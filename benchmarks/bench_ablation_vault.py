@@ -1,0 +1,72 @@
+"""Ablation: Data-Vault lazy ingestion vs eager loading.
+
+The vault's promise (§3.1.1): attach files "as-is" and pay conversion
+only for data a query actually touches.  We attach a batch of band
+images and compare (a) attach + one query over a single image (lazy pays
+for one load) against (b) eager load of everything up front.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import CRISIS_START
+from repro.arraydb import MonetDB
+from repro.seviri.hrit import HRITDriver, write_hrit_segments
+
+IMAGE_COUNT = 12
+
+
+@pytest.fixture(scope="module")
+def image_dirs(tmp_path_factory, scene_generator, season):
+    base = tmp_path_factory.mktemp("vault_ablation")
+    dirs = []
+    for k in range(IMAGE_COUNT):
+        when = CRISIS_START + timedelta(hours=12, minutes=5 * k)
+        scene = scene_generator.generate(when, season)
+        d = base / f"img_{k:02d}"
+        write_hrit_segments(str(d), "MSG1", "IR_039", when, scene.t039)
+        dirs.append(str(d))
+    return dirs
+
+
+def _attach_all(dirs):
+    db = MonetDB()
+    db.vault.register_driver(HRITDriver())
+    for i, d in enumerate(dirs):
+        db.vault.attach(d, name=f"img_{i:02d}")
+    return db
+
+
+def test_lazy_query_single_image(benchmark, image_dirs):
+    def run():
+        db = _attach_all(image_dirs)
+        result = db.execute("SELECT MAX(v) AS m FROM img_00")
+        assert db.vault.stats.loads == 1  # only the touched image loaded
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.num_rows == 1
+
+
+def test_eager_load_everything(benchmark, image_dirs):
+    def run():
+        db = _attach_all(image_dirs)
+        db.vault.load_all()
+        result = db.execute("SELECT MAX(v) AS m FROM img_00")
+        assert db.vault.stats.loads == IMAGE_COUNT
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.num_rows == 1
+
+
+def test_repeated_queries_hit_cache(benchmark, image_dirs):
+    db = _attach_all(image_dirs)
+    db.execute("SELECT COUNT(*) AS n FROM img_00")  # trigger the load
+
+    result = benchmark(db.execute, "SELECT MAX(v) AS m FROM img_00")
+    assert db.vault.stats.loads == 1

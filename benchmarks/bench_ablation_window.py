@@ -1,0 +1,64 @@
+"""Ablation: structural-grouping window computation strategies.
+
+The SciQL executor computes ``GROUP BY a[x-1:x+2][y-1:y+2]`` aggregates
+with integral-image box sums.  This ablation compares that against a
+naive per-cell Python loop on the same grid, and benchmarks the full
+Figure 4 classification query for context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arraydb import MonetDB
+from repro.arraydb.sql.functions import window_aggregate
+from repro.core.sciql_chain import figure4_query
+
+GRID = np.random.default_rng(3).uniform(280.0, 320.0, (96, 96))
+
+
+def _naive_window_avg(grid: np.ndarray) -> np.ndarray:
+    nx, ny = grid.shape
+    out = np.zeros_like(grid)
+    for i in range(nx):
+        for j in range(ny):
+            window = grid[
+                max(i - 1, 0) : min(i + 2, nx),
+                max(j - 1, 0) : min(j + 2, ny),
+            ]
+            out[i, j] = window.mean()
+    return out
+
+
+def test_integral_image_window(benchmark):
+    result, nulls = benchmark(
+        window_aggregate, "avg", GRID, None, [(-1, 2), (-1, 2)]
+    )
+    assert nulls is None
+    assert result.shape == GRID.shape
+
+
+def test_naive_python_window(benchmark):
+    result = benchmark(_naive_window_avg, GRID)
+    fast, _ = window_aggregate("avg", GRID, None, [(-1, 2), (-1, 2)])
+    np.testing.assert_allclose(result, fast, rtol=1e-10)
+
+
+def test_figure4_query_end_to_end(benchmark):
+    db = MonetDB()
+    for name in ("hrit_T039_image_array", "hrit_T108_image_array"):
+        db.execute(
+            f"CREATE ARRAY {name} (x INTEGER DIMENSION [0:96], "
+            "y INTEGER DIMENSION [0:96], v FLOAT)"
+        )
+    t039 = GRID.copy()
+    t039[40:43, 40:43] += 60.0
+    db.get_array("hrit_T039_image_array").set_attribute("v", t039)
+    db.get_array("hrit_T108_image_array").set_attribute(
+        "v", np.full_like(GRID, 295.0)
+    )
+    query = figure4_query()
+
+    result = benchmark(db.execute, query)
+    assert result.num_rows == 96 * 96

@@ -1,0 +1,91 @@
+"""Benchmark + regeneration of **Figure 6** (thematic-map overlay
+queries — the paper's Queries 1-5 plus the infrastructure layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CRISIS_START
+from repro.core.mapping import MapComposer, region_wkt
+from repro.experiments.figure6 import (
+    Figure6Config,
+    build_crisis_endpoint,
+    format_figure6_result,
+    run_figure6,
+)
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def crisis_endpoint(greece):
+    endpoint, _season = build_crisis_endpoint(
+        greece, Figure6Config(start=CRISIS_START)
+    )
+    return endpoint
+
+
+def test_hotspots_query(benchmark, greece, crisis_endpoint):
+    composer = MapComposer(crisis_endpoint)
+    region = region_wkt(*greece.bbox)
+    day = CRISIS_START.strftime("%Y-%m-%d")
+    result = benchmark(
+        composer.hotspots_query,
+        region,
+        f"{day}T00:00:00",
+        f"{day}T23:59:59",
+    )
+    assert len(result) > 0
+
+
+def test_land_cover_query(benchmark, greece, crisis_endpoint):
+    composer = MapComposer(crisis_endpoint)
+    result = benchmark(
+        composer.land_cover_query, region_wkt(*greece.bbox)
+    )
+    assert len(result) > 0
+
+
+def test_municipalities_query(benchmark, greece, crisis_endpoint):
+    composer = MapComposer(crisis_endpoint)
+    result = benchmark(
+        composer.municipalities_query, region_wkt(*greece.bbox)
+    )
+    assert len(result) > 0
+
+
+def test_capitals_query(benchmark, greece, crisis_endpoint):
+    composer = MapComposer(crisis_endpoint)
+    result = benchmark(composer.capitals_query, region_wkt(*greece.bbox))
+    assert len(result) == len(greece.prefectures)
+
+
+def test_figure6_compose(benchmark, greece, crisis_endpoint):
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs={
+            "greece": greece,
+            "config": Figure6Config(start=CRISIS_START),
+            "endpoint": crisis_endpoint,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS["figure6"] = result
+    assert {s.name for s in result.layers} == {
+        "hotspots",
+        "land_cover",
+        "primary_roads",
+        "capitals",
+        "municipalities",
+        "fire_stations",
+    }
+    assert all(s.features > 0 for s in result.layers)
+
+
+def teardown_module(module):
+    from benchmarks.reporting import report
+
+    result = _RESULTS.get("figure6")
+    if result is not None:
+        report("figure6", format_figure6_result(result))

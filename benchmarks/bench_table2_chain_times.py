@@ -1,0 +1,70 @@
+"""Benchmark + regeneration of **Table 2** (chain processing times).
+
+Two benchmarks time one full chain invocation per round (decode → crop →
+georeference → classify → vectorise) for the legacy numpy chain and the
+SciQL/MonetDB chain; a third test regenerates the min/avg/max table over
+an image sequence.
+
+Paper numbers: legacy C avg 1.48 s/image, SciQL avg 2.07 s/image over 281
+images — the SciQL chain is slightly slower but the same order of
+magnitude.  The shape checked here: legacy ≤ SciQL < the 5-minute budget.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import pytest
+
+from benchmarks.conftest import CRISIS_START, paper_scale
+from repro.core.legacy import LegacyChain
+from repro.core.sciql_chain import SciQLChain
+from repro.experiments.table2 import (
+    Table2Config,
+    format_table2_result,
+    run_table2,
+)
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def noon_scene(scene_generator, season):
+    return scene_generator.generate(
+        CRISIS_START + timedelta(hours=13), season
+    )
+
+
+def test_legacy_chain_per_image(benchmark, georeference, noon_scene):
+    chain = LegacyChain(georeference)
+    product = benchmark(chain.process, noon_scene)
+    assert product.timestamp == noon_scene.timestamp
+
+
+def test_sciql_chain_per_image(benchmark, georeference, noon_scene):
+    chain = SciQLChain(georeference)
+    product = benchmark(chain.process, noon_scene)
+    assert product.timestamp == noon_scene.timestamp
+
+
+def test_table2_sequence(benchmark, greece):
+    config = Table2Config(
+        start=CRISIS_START, image_count=281 if paper_scale() else 24
+    )
+    result = benchmark.pedantic(
+        run_table2, args=(greece, config), rounds=1, iterations=1
+    )
+    _RESULTS["table2"] = result
+    # Table 2's shape: legacy is at least as fast as SciQL, both well
+    # inside the 5-minute real-time budget, outputs identical.
+    assert result.legacy.avg <= result.sciql.avg
+    assert result.sciql.max < 300.0
+    assert result.hotspot_agreement >= 0.95
+
+
+def teardown_module(module):
+    from benchmarks.reporting import report
+
+    result = _RESULTS.get("table2")
+    if result is not None:
+        report("table2", format_table2_result(result))

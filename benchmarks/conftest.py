@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+``small`` (default — minutes on a laptop) or ``paper`` (the paper's full
+acquisition counts; much slower).
+"""
+
+from __future__ import annotations
+
+import os
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.datasets import SyntheticGreece
+from repro.seviri.fires import FireSeason
+from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
+from repro.seviri.scene import SceneGenerator
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+CRISIS_START = datetime(2007, 8, 24, tzinfo=timezone.utc)
+
+
+def paper_scale() -> bool:
+    return SCALE == "paper"
+
+
+@pytest.fixture(scope="session")
+def greece() -> SyntheticGreece:
+    # A bigger administrative/land-cover partition than the test fixture:
+    # benchmark realism for the spatial joins of Figure 8.
+    return SyntheticGreece(
+        seed=42, detail=2, municipality_count=150, land_cover_count=200
+    )
+
+
+@pytest.fixture(scope="session")
+def season(greece) -> FireSeason:
+    return FireSeason(greece, CRISIS_START, days=3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def georeference() -> GeoReference:
+    return GeoReference(RawGrid(), TargetGrid())
+
+
+@pytest.fixture(scope="session")
+def scene_generator(greece) -> SceneGenerator:
+    return SceneGenerator(greece)

@@ -1,0 +1,21 @@
+"""Benchmark result reporting.
+
+Module teardowns route their paper-style tables to
+``benchmarks/out/<name>.txt`` (always) and to stdout (visible when pytest
+runs with ``-s``; captured otherwise).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def report(name: str, text: str) -> str:
+    """Persist and display a regenerated table/figure; returns the path."""
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+    return path

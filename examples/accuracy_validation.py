@@ -1,0 +1,37 @@
+"""Thematic-accuracy validation: a compact Table 1 run.
+
+Reproduces the §4.1 protocol on one simulated crisis day: MODIS
+overpasses provide the reference, 30 minutes of MSG acquisitions are
+merged around each overpass, and omission/false-alarm rates are computed
+for the plain chain and after refinement.
+
+Run:  python examples/accuracy_validation.py
+"""
+
+from repro.datasets import SyntheticGreece
+from repro.experiments.table1 import (
+    Table1Config,
+    format_table1_result,
+    run_table1,
+)
+
+
+def main() -> None:
+    greece = SyntheticGreece(seed=42, detail=2)
+    print("Running the MODIS cross-validation protocol (1 crisis day)...")
+    result = run_table1(greece, Table1Config(days=1))
+    print()
+    print(format_table1_result(result))
+    print("\nPer-overpass detail (overpass time, MODIS points, merged MSG "
+          "hotspot count):")
+    for overpass, n_modis, n_msg in result.per_overpass:
+        print(f"  {overpass:%Y-%m-%d %H:%M}  modis={n_modis:4d}  "
+              f"msg={n_msg:4d}")
+    print(
+        "\nPaper reference (real 2007 data): plain 12.71% omission / "
+        "26.20% false alarms; refined 10.03% / 29.46%."
+    )
+
+
+if __name__ == "__main__":
+    main()

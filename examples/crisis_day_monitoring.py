@@ -1,0 +1,75 @@
+"""Crisis-day monitoring: the operational loop of the NOA service.
+
+Replays two hours of a simulated crisis afternoon at the MSG2 cadence
+(one acquisition every 15 minutes), exactly the loop the service runs in
+production: scene → vault → SciQL chain → stRDF annotation → stSPARQL
+refinement → dissemination.  Prints a situation report per acquisition
+and a final summary comparing the TELEIOS service with the pre-TELEIOS
+configuration.
+
+Run:  python examples/crisis_day_monitoring.py
+"""
+
+from datetime import datetime, timedelta, timezone
+
+from repro.core.render import render_situation_map
+from repro.core.service import FireMonitoringService
+from repro.datasets import SyntheticGreece
+from repro.seviri.fires import FireSeason
+
+
+def main() -> None:
+    greece = SyntheticGreece(seed=42, detail=2)
+    crisis_start = datetime(2007, 8, 24, tzinfo=timezone.utc)
+    season = FireSeason(greece, crisis_start, days=1, seed=7)
+
+    teleios = FireMonitoringService(
+        greece=greece, mode="teleios", archive_products=True
+    )
+    legacy = FireMonitoringService(greece=greece, mode="pre-teleios")
+
+    print("time   | raw  refined | chain(s) refine(s) | active fires")
+    print("-" * 62)
+    when = crisis_start.replace(hour=14)
+    for step in range(8):
+        outcome = teleios.process_acquisition(when, season)
+        legacy_outcome = legacy.process_acquisition(when, season)
+        active = len(season.active_fires(when))
+        print(
+            f"{when:%H:%M}  | {len(outcome.raw_product):4d} "
+            f"{outcome.refined_count:7d} | "
+            f"{outcome.chain_seconds:8.3f} "
+            f"{outcome.refinement_seconds:9.3f} | {active:3d}"
+        )
+        assert len(legacy_outcome.raw_product) >= 0
+        when += timedelta(minutes=15)
+
+    print("\nSummary (averages per acquisition):")
+    for name, service in (("TELEIOS", teleios), ("pre-TELEIOS", legacy)):
+        summary = service.timing_summary()
+        refine = summary.get("refine_avg_s", 0.0)
+        print(
+            f"  {name:<12} chain {summary['chain_avg_s']:.3f}s"
+            + (f" + refinement {refine:.3f}s" if refine else
+               "  (no refinement stage)")
+        )
+
+    last = teleios.outcomes[-1]
+    raw = len(last.raw_product)
+    refined = last.refined_count
+    print(
+        f"\nAt {last.timestamp:%H:%M} the refinement step removed "
+        f"{raw - refined} of {raw} raw detections (sea smoke, "
+        f"inconsistent land cover) and annotated the rest with "
+        f"municipalities and confirmation states."
+    )
+
+    print(f"\nArchive: {len(teleios.archive)} products filed under "
+          f"{teleios.archive.directory}")
+    print(f"\nSituation map at {last.timestamp:%H:%M} UTC:")
+    print(render_situation_map(greece, last.raw_product.hotspots,
+                               width=76, height=26))
+
+
+if __name__ == "__main__":
+    main()

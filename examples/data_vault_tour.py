@@ -1,0 +1,86 @@
+"""Data Vault + SciQL tour: the §3.1 machinery, hands on.
+
+Writes real HRIT-style segment files for one synthetic acquisition,
+attaches them to the Data Vault (no loading happens), and then lets a
+SciQL query trigger the lazy ingestion.  Finishes by running the paper's
+Figure 4 hotspot-classification query verbatim against the ingested
+arrays.
+
+Run:  python examples/data_vault_tour.py
+"""
+
+import os
+import tempfile
+from datetime import datetime, timezone
+
+from repro.arraydb import MonetDB
+from repro.core.sciql_chain import figure4_query
+from repro.datasets import SyntheticGreece
+from repro.seviri.fires import FireSeason
+from repro.seviri.hrit import HRITDriver, image_metadata, segment_paths_for, write_hrit_segments
+from repro.seviri.scene import SceneGenerator
+
+
+def main() -> None:
+    greece = SyntheticGreece(seed=42, detail=2)
+    when = datetime(2007, 8, 24, 14, 0, tzinfo=timezone.utc)
+    season = FireSeason(greece, when.replace(hour=0), days=1, seed=7)
+    scene = SceneGenerator(greece).generate(when, season)
+
+    workdir = tempfile.mkdtemp(prefix="vault_tour_")
+    print(f"1. Writing HRIT-style segment files under {workdir} ...")
+    for band, grid in (("IR_039", scene.t039), ("IR_108", scene.t108)):
+        paths = write_hrit_segments(
+            os.path.join(workdir, band), "MSG2", band, when, grid
+        )
+        total = sum(os.path.getsize(p) for p in paths)
+        print(f"   {band}: {len(paths)} segments, {total // 1024} KiB "
+              f"(zlib-compressed centikelvin)")
+
+    print("\n2. Segment metadata without decompressing a single pixel "
+          "(the SEVIRI Monitor's catalog step):")
+    headers = image_metadata(
+        segment_paths_for(os.path.join(workdir, "IR_039"))
+    )
+    for h in headers:
+        print(f"   segment {h.segment_index + 1}/{h.segment_count} "
+              f"{h.sensor} {h.band} {h.timestamp:%Y-%m-%d %H:%M} "
+              f"{h.rows}x{h.cols}")
+
+    print("\n3. Attaching both bands to the Data Vault (load is lazy):")
+    db = MonetDB()
+    db.vault.register_driver(HRITDriver())
+    db.vault.attach(os.path.join(workdir, "IR_039"),
+                    name="hrit_T039_image_array")
+    db.vault.attach(os.path.join(workdir, "IR_108"),
+                    name="hrit_T108_image_array")
+    print(f"   attached: {[e.name for e in db.vault.entries()]}, "
+          f"loads so far: {db.vault.stats.loads}")
+
+    print("\n4. A SciQL query touches the arrays - the vault loads them "
+          "on demand:")
+    stats = db.execute(
+        "SELECT COUNT(*) AS cells, MIN(v) AS tmin, MAX(v) AS tmax "
+        "FROM hrit_T039_image_array"
+    ).to_dicts()[0]
+    print(f"   IR 3.9: {stats['cells']} cells, "
+          f"{stats['tmin']:.1f}-{stats['tmax']:.1f} K "
+          f"(vault loads: {db.vault.stats.loads})")
+
+    print("\n5. Running the paper's Figure 4 classification query "
+          "verbatim...")
+    result = db.execute(figure4_query())
+    fire = [d for d in result.to_dicts() if d["confidence"] == 2]
+    potential = [d for d in result.to_dicts() if d["confidence"] == 1]
+    print(f"   {len(fire)} fire pixels, {len(potential)} potential-fire "
+          f"pixels out of {result.num_rows} classified cells")
+    for d in fire[:5]:
+        lon, lat = scene.t039.shape  # raw pixel indices here
+        print(f"   fire at raw pixel ({d['x']}, {d['y']})")
+
+    print("\nDone. Cropping, georeferencing and per-pixel thresholds are "
+          "layered on top of this same machinery by repro.core.SciQLChain.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Reproduction of "Real-Time Wildfire Monitoring Using Scientific
+Database and Linked Data Technologies" (Koubarakis et al., EDBT 2013).
+
+Subpackages
+-----------
+``repro.geometry``
+    Computational-geometry substrate (WKT, predicates, booleans, R-tree).
+``repro.arraydb``
+    MonetDB/SciQL reimplementation: column store, dimensional arrays,
+    structural grouping, Data Vault.
+``repro.rdf`` / ``repro.stsparql``
+    Strabon reimplementation: triple store, Turtle, RDFS inference, and
+    the stSPARQL query/update engine with spatial functions.
+``repro.seviri``
+    Synthetic MSG/SEVIRI + MODIS earth-observation substrate.
+``repro.shapefile``
+    Minimal real ESRI shapefile I/O.
+``repro.core``
+    The paper's contribution: processing chains, annotation, refinement,
+    thematic maps, validation and the end-to-end service.
+``repro.datasets``
+    Synthetic Greece and the five auxiliary linked-data datasets.
+``repro.experiments``
+    Harnesses regenerating every table and figure of the evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arraydb",
+    "core",
+    "datasets",
+    "experiments",
+    "geometry",
+    "ontology",
+    "rdf",
+    "seviri",
+    "shapefile",
+    "stsparql",
+]

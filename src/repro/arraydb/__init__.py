@@ -1,0 +1,38 @@
+"""Array-database substrate: our MonetDB + SciQL reimplementation.
+
+The package provides
+
+* a column-store engine (:mod:`repro.arraydb.table`,
+  :mod:`repro.arraydb.column`) with numpy-backed columns,
+* SciQL dimensional arrays (:mod:`repro.arraydb.array`),
+* a SciQL subset front-end (:mod:`repro.arraydb.sql`) covering the
+  statements the paper's processing chain uses — including **structural
+  grouping** (``GROUP BY a[x-1:x+2][y-1:y+2]``), array slicing, CASE
+  expressions and array element access,
+* the Data Vault (:mod:`repro.arraydb.vault`): lazy, format-driver-based
+  ingestion of external files (HRIT satellite segments in this project).
+
+Entry point: :class:`repro.arraydb.connection.MonetDB`.
+"""
+
+from repro.arraydb.array import SciQLArray
+from repro.arraydb.catalog import Catalog
+from repro.arraydb.column import Column
+from repro.arraydb.connection import MonetDB
+from repro.arraydb.errors import ArrayDBError, SQLParseError, SQLRuntimeError
+from repro.arraydb.table import ResultTable, Table
+from repro.arraydb.vault import DataVault, FormatDriver
+
+__all__ = [
+    "ArrayDBError",
+    "Catalog",
+    "Column",
+    "DataVault",
+    "FormatDriver",
+    "MonetDB",
+    "ResultTable",
+    "SQLParseError",
+    "SQLRuntimeError",
+    "SciQLArray",
+    "Table",
+]

@@ -1,0 +1,206 @@
+"""SciQL dimensional arrays.
+
+A :class:`SciQLArray` has named integer dimensions (with start/stop bounds)
+and one or more value attributes stored as dense numpy grids, exactly the
+model behind ``CREATE ARRAY a (x INTEGER DIMENSION, y INTEGER DIMENSION,
+v FLOAT)`` in the paper.  Cells can be NULL (tracked with a mask per
+attribute); queries see the array as a flat relation with one row per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arraydb.column import Column
+from repro.arraydb.errors import ArrayDBError
+from repro.arraydb.table import ResultTable
+from repro.arraydb.types import INTEGER, SQLType, type_for_dtype
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A named integer dimension with half-open bounds ``[start, stop)``."""
+
+    name: str
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def indices(self) -> np.ndarray:
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+class SciQLArray:
+    """A dense multidimensional array with named value attributes."""
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: Sequence[Dimension],
+        attributes: Sequence[Tuple[str, SQLType]],
+    ) -> None:
+        if not dimensions:
+            raise ArrayDBError("an array needs at least one dimension")
+        if not attributes:
+            raise ArrayDBError("an array needs at least one value attribute")
+        self.name = name
+        self.dimensions = list(dimensions)
+        self.attribute_types: Dict[str, SQLType] = dict(attributes)
+        shape = tuple(d.size for d in dimensions)
+        self.values: Dict[str, np.ndarray] = {}
+        self.null_masks: Dict[str, np.ndarray] = {}
+        for attr, sql_type in attributes:
+            dtype = sql_type.dtype
+            self.values[attr] = np.zeros(shape, dtype=dtype)
+            # All cells start NULL, as in SciQL.
+            self.null_masks[attr] = np.ones(shape, dtype=bool)
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(d.size for d in self.dimensions)
+
+    @property
+    def dimension_names(self) -> List[str]:
+        return [d.name for d in self.dimensions]
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return list(self.values)
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.dimension_names + self.attribute_names
+
+    def dimension(self, name: str) -> Dimension:
+        for d in self.dimensions:
+            if d.name == name:
+                return d
+        raise ArrayDBError(f"array {self.name} has no dimension {name!r}")
+
+    # -- bulk data ---------------------------------------------------------
+
+    @classmethod
+    def from_numpy(
+        cls,
+        name: str,
+        grid: np.ndarray,
+        dim_names: Sequence[str] = ("x", "y"),
+        attr_name: str = "v",
+    ) -> "SciQLArray":
+        """Wrap a dense numpy grid as a fully non-NULL array."""
+        dims = [
+            Dimension(dim_names[i], 0, grid.shape[i])
+            for i in range(grid.ndim)
+        ]
+        sql_type = type_for_dtype(grid.dtype)
+        arr = cls(name, dims, [(attr_name, sql_type)])
+        arr.values[attr_name] = grid.astype(sql_type.dtype)
+        arr.null_masks[attr_name] = np.zeros(grid.shape, dtype=bool)
+        return arr
+
+    def set_attribute(self, attr: str, grid: np.ndarray) -> None:
+        """Replace an attribute's full grid (marks all cells non-NULL)."""
+        if attr not in self.values:
+            raise ArrayDBError(f"array {self.name} has no attribute {attr!r}")
+        if grid.shape != self.shape:
+            raise ArrayDBError(
+                f"grid shape {grid.shape} does not match array shape {self.shape}"
+            )
+        self.values[attr] = grid.astype(self.attribute_types[attr].dtype)
+        self.null_masks[attr] = np.zeros(grid.shape, dtype=bool)
+
+    def attribute_grid(self, attr: str) -> np.ndarray:
+        if attr not in self.values:
+            raise ArrayDBError(f"array {self.name} has no attribute {attr!r}")
+        return self.values[attr]
+
+    def attribute_nulls(self, attr: str) -> np.ndarray:
+        return self.null_masks[attr]
+
+    # -- cell updates from query results -------------------------------------
+
+    def assign_cells(
+        self,
+        dim_columns: Sequence[np.ndarray],
+        attr: str,
+        values: np.ndarray,
+        nulls: Optional[np.ndarray] = None,
+    ) -> int:
+        """Write ``values`` into the cells addressed by ``dim_columns``.
+
+        Out-of-bounds cell addresses are ignored (SciQL semantics for
+        sparse inserts into a bounded array).
+        """
+        if len(dim_columns) != len(self.dimensions):
+            raise ArrayDBError("dimension column count mismatch")
+        index_arrays: List[np.ndarray] = []
+        in_bounds = np.ones(len(values), dtype=bool)
+        for dim, col in zip(self.dimensions, dim_columns):
+            idx = col.astype(np.int64) - dim.start
+            in_bounds &= (idx >= 0) & (idx < dim.size)
+            index_arrays.append(idx)
+        selector = tuple(idx[in_bounds] for idx in index_arrays)
+        target_dtype = self.attribute_types[attr].dtype
+        self.values[attr][selector] = values[in_bounds].astype(target_dtype)
+        if nulls is not None:
+            self.null_masks[attr][selector] = nulls[in_bounds]
+        else:
+            self.null_masks[attr][selector] = False
+        return int(in_bounds.sum())
+
+    # -- relational view -----------------------------------------------------
+
+    def scan(
+        self, slices: Optional[Sequence[Tuple[int, int]]] = None
+    ) -> ResultTable:
+        """Flatten (a slice of) the array into a relation.
+
+        ``slices`` gives per-dimension ``[lo, hi)`` bounds in *dimension
+        coordinates* (not zero-based offsets).  Rows whose every attribute
+        is NULL are kept — SciQL arrays are dense relations.
+        """
+        index_ranges: List[np.ndarray] = []
+        offset_ranges: List[np.ndarray] = []
+        for i, dim in enumerate(self.dimensions):
+            if slices is not None and slices[i] is not None:
+                lo, hi = slices[i]
+                lo = max(lo, dim.start)
+                hi = min(hi, dim.stop)
+                if lo >= hi:
+                    lo, hi = dim.start, dim.start  # empty
+            else:
+                lo, hi = dim.start, dim.stop
+            index_ranges.append(np.arange(lo, hi, dtype=np.int64))
+            offset_ranges.append(np.arange(lo - dim.start, hi - dim.start))
+        mesh = np.meshgrid(*index_ranges, indexing="ij")
+        columns: List[Column] = [
+            Column(dim.name, INTEGER, m.ravel(), None)
+            for dim, m in zip(self.dimensions, mesh)
+        ]
+        selector = np.ix_(*offset_ranges) if offset_ranges else ()
+        for attr, grid in self.values.items():
+            sub = grid[selector]
+            nulls = self.null_masks[attr][selector]
+            columns.append(
+                Column(
+                    attr,
+                    self.attribute_types[attr],
+                    sub.ravel(),
+                    nulls.ravel() if nulls.any() else None,
+                )
+            )
+        return ResultTable(columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dims = ", ".join(
+            f"{d.name}[{d.start}:{d.stop}]" for d in self.dimensions
+        )
+        return f"<SciQLArray {self.name} ({dims}) attrs={self.attribute_names}>"

@@ -1,0 +1,90 @@
+"""The MonetDB facade: catalog + vault + SciQL executor in one object."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arraydb.array import SciQLArray
+from repro.arraydb.catalog import Catalog
+from repro.arraydb.sql.executor import Executor
+from repro.arraydb.sql.parser import parse_script, parse_statement
+from repro.arraydb.table import ResultTable, Table
+from repro.arraydb.vault import DataVault
+
+
+@dataclass
+class ExecStats:
+    """Timing of the most recent :meth:`MonetDB.execute` call."""
+
+    statement_count: int = 0
+    parse_seconds: float = 0.0
+    exec_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.parse_seconds + self.exec_seconds
+
+
+class MonetDB:
+    """An embedded array database speaking the SciQL subset.
+
+    >>> db = MonetDB()
+    >>> db.execute("CREATE TABLE t (a INTEGER, b FLOAT)")
+    >>> db.execute("INSERT INTO t VALUES (1, 2.5), (2, 5.0)")
+    >>> db.execute("SELECT a, b * 2 AS twice FROM t").to_dicts()
+    [{'a': 1, 'twice': 5.0}, {'a': 2, 'twice': 10.0}]
+    """
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.vault = DataVault(self.catalog)
+        self._executor = Executor(self.catalog, vault=self.vault)
+        self.last_stats = ExecStats()
+
+    def execute(self, sql: str) -> Optional[ResultTable]:
+        """Run one statement; returns a result for SELECTs, else None."""
+        t0 = time.perf_counter()
+        stmt = parse_statement(sql)
+        t1 = time.perf_counter()
+        result = self._executor.execute(stmt)
+        t2 = time.perf_counter()
+        self.last_stats = ExecStats(1, t1 - t0, t2 - t1)
+        return result
+
+    def execute_script(self, sql: str) -> List[Optional[ResultTable]]:
+        """Run a ``;``-separated script; returns per-statement results."""
+        t0 = time.perf_counter()
+        statements = parse_script(sql)
+        t1 = time.perf_counter()
+        results = [self._executor.execute(s) for s in statements]
+        t2 = time.perf_counter()
+        self.last_stats = ExecStats(len(statements), t1 - t0, t2 - t1)
+        return results
+
+    # -- programmatic shortcuts ------------------------------------------
+
+    def register_array(
+        self,
+        name: str,
+        grid: np.ndarray,
+        dim_names=("x", "y"),
+        attr_name: str = "v",
+        replace: bool = True,
+    ) -> SciQLArray:
+        """Wrap a numpy grid as a catalog array (bypasses SQL)."""
+        arr = SciQLArray.from_numpy(name, grid, dim_names, attr_name)
+        self.catalog.create(arr, replace=replace)
+        return arr
+
+    def get_array(self, name: str) -> SciQLArray:
+        return self.catalog.get_array(name)
+
+    def get_table(self, name: str) -> Table:
+        return self.catalog.get_table(name)
+
+    def table_names(self) -> List[str]:
+        return self.catalog.names()

@@ -1,0 +1,21 @@
+"""Array-database error hierarchy."""
+
+
+class ArrayDBError(Exception):
+    """Base class for all array-database errors."""
+
+
+class SQLParseError(ArrayDBError):
+    """Raised when SciQL text cannot be parsed."""
+
+
+class SQLRuntimeError(ArrayDBError):
+    """Raised when a statement fails during execution."""
+
+
+class CatalogError(ArrayDBError):
+    """Raised on unknown or duplicate catalog objects."""
+
+
+class VaultError(ArrayDBError):
+    """Raised on data-vault failures (unknown format, missing file...)."""

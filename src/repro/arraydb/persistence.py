@@ -1,0 +1,160 @@
+"""Catalog persistence: save/load a MonetDB instance to a directory.
+
+MonetDB is a persistent DBMS; this module gives the embedded engine the
+same property: tables are stored as ``.npz`` column bundles, arrays as
+``.npz`` grid bundles, with a JSON manifest describing the schema.  Vault
+attachments are remembered by path and re-attached lazily on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arraydb.array import Dimension, SciQLArray
+from repro.arraydb.column import Column
+from repro.arraydb.connection import MonetDB
+from repro.arraydb.errors import ArrayDBError
+from repro.arraydb.table import ResultTable, Table
+from repro.arraydb.types import parse_type
+
+MANIFEST_NAME = "catalog.json"
+FORMAT_VERSION = 1
+
+
+def save_catalog(db: MonetDB, directory: str) -> str:
+    """Persist every table and array in ``db`` under ``directory``.
+
+    Returns the manifest path.  Vault attachments that have not been
+    materialised are recorded by path (their files stay where they are —
+    that is the vault's contract).
+    """
+    os.makedirs(directory, exist_ok=True)
+    manifest: Dict = {"version": FORMAT_VERSION, "objects": [], "vault": []}
+    for name in db.table_names():
+        obj = db.catalog.get(name)
+        filename = f"{name.lower()}.npz"
+        path = os.path.join(directory, filename)
+        if isinstance(obj, Table):
+            scan = obj.scan()
+            payload = {}
+            for col in scan.columns:
+                payload[f"values_{col.name}"] = _storable(col.values)
+                payload[f"nulls_{col.name}"] = col.is_null()
+            np.savez_compressed(path, **payload)
+            manifest["objects"].append(
+                {
+                    "kind": "table",
+                    "name": obj.name,
+                    "file": filename,
+                    "schema": [
+                        [col_name, sql_type.name]
+                        for col_name, sql_type in obj.schema
+                    ],
+                }
+            )
+        elif isinstance(obj, SciQLArray):
+            payload = {}
+            for attr in obj.attribute_names:
+                payload[f"values_{attr}"] = obj.attribute_grid(attr)
+                payload[f"nulls_{attr}"] = obj.attribute_nulls(attr)
+            np.savez_compressed(path, **payload)
+            manifest["objects"].append(
+                {
+                    "kind": "array",
+                    "name": obj.name,
+                    "file": filename,
+                    "dimensions": [
+                        [d.name, d.start, d.stop] for d in obj.dimensions
+                    ],
+                    "attributes": [
+                        [attr, obj.attribute_types[attr].name]
+                        for attr in obj.attribute_names
+                    ],
+                }
+            )
+    for entry in db.vault.entries():
+        manifest["vault"].append(
+            {"name": entry.name, "path": entry.path}
+        )
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    with open(manifest_path, "w") as f:
+        json.dump(manifest, f, indent=2)
+    return manifest_path
+
+
+def load_catalog(
+    directory: str, db: Optional[MonetDB] = None
+) -> MonetDB:
+    """Restore a catalog saved by :func:`save_catalog`."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise ArrayDBError(f"no catalog manifest under {directory!r}")
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+    if manifest.get("version") != FORMAT_VERSION:
+        raise ArrayDBError(
+            f"unsupported catalog version {manifest.get('version')!r}"
+        )
+    if db is None:
+        db = MonetDB()
+    for spec in manifest["objects"]:
+        bundle = np.load(
+            os.path.join(directory, spec["file"]), allow_pickle=True
+        )
+        if spec["kind"] == "table":
+            schema = [
+                (col_name, parse_type(type_name))
+                for col_name, type_name in spec["schema"]
+            ]
+            table = Table(spec["name"], schema)
+            columns = []
+            for col_name, sql_type in schema:
+                values = bundle[f"values_{col_name}"]
+                if values.dtype.kind in ("U", "S", "O"):
+                    values = values.astype(object)
+                nulls = bundle[f"nulls_{col_name}"]
+                columns.append(
+                    Column(
+                        col_name,
+                        sql_type,
+                        values,
+                        nulls if nulls.any() else None,
+                    )
+                )
+            if columns and len(columns[0]):
+                table.insert_result(ResultTable(columns))
+            db.catalog.create(table, replace=True)
+        else:
+            dims = [
+                Dimension(d_name, start, stop)
+                for d_name, start, stop in spec["dimensions"]
+            ]
+            attrs = [
+                (attr, parse_type(type_name))
+                for attr, type_name in spec["attributes"]
+            ]
+            array = SciQLArray(spec["name"], dims, attrs)
+            for attr, _ in attrs:
+                array.values[attr] = bundle[f"values_{attr}"]
+                array.null_masks[attr] = bundle[f"nulls_{attr}"]
+            db.catalog.create(array, replace=True)
+    for attachment in manifest.get("vault", []):
+        if os.path.exists(attachment["path"]) and not db.vault.is_attached(
+            attachment["name"]
+        ):
+            try:
+                db.vault.attach(attachment["path"], name=attachment["name"])
+            except Exception:
+                pass  # driver not registered on this instance
+    return db
+
+
+def _storable(values: np.ndarray) -> np.ndarray:
+    """Object columns become unicode for npz storage."""
+    if values.dtype == object:
+        return np.array([str(v) for v in values], dtype="U")
+    return values

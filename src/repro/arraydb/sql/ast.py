@@ -1,0 +1,230 @@
+"""AST node definitions for the SciQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.arraydb.types import SQLType
+
+# -- expressions ---------------------------------------------------------
+
+
+class Expr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int, float, str, bool or None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    qualifier: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class DimensionRef(Expr):
+    """A ``[x]`` / ``[T039.x]`` dimension projection in the SELECT list."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "-", "+", "not"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # and or = <> < <= > >= + - * / %
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # lowercase
+    args: Tuple[Expr, ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    operand: Expr
+    target: SQLType
+
+
+@dataclass(frozen=True)
+class ArrayElement(Expr):
+    """Element access ``arr[e1][e2]`` into a catalog array."""
+
+    array_name: str
+    indices: Tuple[Expr, ...]
+    attribute: Optional[str] = None  # None = sole value attribute
+
+
+# -- select --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expr
+    alias: Optional[str] = None
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A named relation, optionally sliced (arrays) and aliased."""
+
+    name: str
+    alias: Optional[str] = None
+    slices: Optional[Tuple[Tuple[Expr, Expr], ...]] = None
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    query: "Select"
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join:
+    left: "FromItem"
+    right: "FromItem"
+    condition: Expr
+
+
+FromItem = Union[TableRef, SubqueryRef, Join]
+
+
+@dataclass(frozen=True)
+class StructuralGroup:
+    """``GROUP BY alias[x-1:x+2][y-1:y+2]`` — a sliding-window group."""
+
+    source: str
+    windows: Tuple[Tuple[Expr, Expr], ...]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: Tuple[SelectItem, ...]
+    source: Optional[FromItem]
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    structural_group: Optional[StructuralGroup] = None
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+    distinct: bool = False
+
+
+# -- DDL / DML ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    sql_type: SQLType
+    is_dimension: bool = False
+    dim_start: Optional[Expr] = None
+    dim_stop: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    is_array: bool = False
+
+
+@dataclass(frozen=True)
+class DropObject:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class InsertValues:
+    table: str
+    rows: Tuple[Tuple[Expr, ...], ...]
+    columns: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class InsertSelect:
+    table: str
+    query: Select
+    columns: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DeleteFrom:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+Statement = Union[
+    Select,
+    CreateTable,
+    DropObject,
+    InsertValues,
+    InsertSelect,
+    DeleteFrom,
+    UpdateStmt,
+]

@@ -1,0 +1,301 @@
+"""Vectorised scalar and aggregate SQL functions."""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arraydb.errors import SQLRuntimeError
+
+#: A vectorised value: dense numpy values plus an optional null mask.
+VectorValue = Tuple[np.ndarray, Optional[np.ndarray]]
+
+
+def combine_nulls(*masks: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    present = [m for m in masks if m is not None]
+    if not present:
+        return None
+    out = present[0].copy()
+    for m in present[1:]:
+        out |= m
+    return out
+
+
+def _numeric_unary(fn: Callable[[np.ndarray], np.ndarray]):
+    def impl(args: List[VectorValue]) -> VectorValue:
+        values, nulls = args[0]
+        with np.errstate(all="ignore"):
+            out = fn(values.astype(np.float64))
+        bad = ~np.isfinite(out)
+        if bad.any():
+            nulls = combine_nulls(nulls, bad)
+            out = np.where(bad, 0.0, out)
+        return out, nulls
+
+    return impl
+
+
+def _fn_power(args: List[VectorValue]) -> VectorValue:
+    (base, n1), (exp, n2) = args
+    with np.errstate(all="ignore"):
+        out = np.power(base.astype(np.float64), exp.astype(np.float64))
+    bad = ~np.isfinite(out)
+    nulls = combine_nulls(n1, n2, bad if bad.any() else None)
+    return np.where(bad, 0.0, out), nulls
+
+
+def _fn_mod(args: List[VectorValue]) -> VectorValue:
+    (a, n1), (b, n2) = args
+    zero = b == 0
+    safe_b = np.where(zero, 1, b)
+    out = np.mod(a, safe_b)
+    nulls = combine_nulls(n1, n2, zero if zero.any() else None)
+    return out, nulls
+
+
+def _fn_coalesce(args: List[VectorValue]) -> VectorValue:
+    values, nulls = args[0]
+    values = values.copy()
+    nulls = nulls.copy() if nulls is not None else np.zeros(len(values), bool)
+    for more_values, more_nulls in args[1:]:
+        take = nulls & ~(
+            more_nulls if more_nulls is not None else np.zeros(len(values), bool)
+        )
+        values[take] = more_values[take].astype(values.dtype, copy=False)
+        nulls[take] = False
+    return values, (nulls if nulls.any() else None)
+
+
+def _fn_nullif(args: List[VectorValue]) -> VectorValue:
+    (a, n1), (b, n2) = args
+    equal = a == b
+    return a, combine_nulls(n1, equal if equal.any() else None)
+
+
+def _minmax(fn) :
+    def impl(args: List[VectorValue]) -> VectorValue:
+        values = args[0][0].astype(np.float64)
+        nulls = args[0][1]
+        for more, mnulls in args[1:]:
+            values = fn(values, more.astype(np.float64))
+            nulls = combine_nulls(nulls, mnulls)
+        return values, nulls
+
+    return impl
+
+
+def _fn_like(args: List[VectorValue]) -> VectorValue:
+    values, nulls = args[0]
+    patterns, pnulls = args[1]
+    out = np.zeros(len(values), dtype=bool)
+    cache: Dict[str, re.Pattern] = {}
+    for i in range(len(values)):
+        pat = str(patterns[i] if len(patterns) > 1 else patterns[0])
+        compiled = cache.get(pat)
+        if compiled is None:
+            regex = re.escape(pat).replace("%", ".*").replace("_", ".")
+            compiled = re.compile(f"^{regex}$", re.IGNORECASE)
+            cache[pat] = compiled
+        out[i] = compiled.match(str(values[i])) is not None
+    return out, combine_nulls(nulls, pnulls)
+
+
+def _string_fn(fn: Callable[[str], object]):
+    def impl(args: List[VectorValue]) -> VectorValue:
+        values, nulls = args[0]
+        out = np.array([fn(str(v)) for v in values], dtype=object)
+        if out.dtype == object and len(out) and isinstance(out[0], int):
+            out = out.astype(np.int64)
+        return out, nulls
+
+    return impl
+
+
+def _fn_concat(args: List[VectorValue]) -> VectorValue:
+    n = max(len(a[0]) for a in args)
+    out = np.empty(n, dtype=object)
+    for i in range(n):
+        out[i] = "".join(
+            str(v[i] if len(v) > 1 else v[0]) for v, _ in args
+        )
+    return out, combine_nulls(*(m for _, m in args))
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[[List[VectorValue]], VectorValue]] = {
+    "sqrt": _numeric_unary(np.sqrt),
+    "abs": _numeric_unary(np.abs),
+    "exp": _numeric_unary(np.exp),
+    "ln": _numeric_unary(np.log),
+    "log": _numeric_unary(np.log),
+    "log10": _numeric_unary(np.log10),
+    "floor": _numeric_unary(np.floor),
+    "ceil": _numeric_unary(np.ceil),
+    "ceiling": _numeric_unary(np.ceil),
+    "round": _numeric_unary(np.round),
+    "sin": _numeric_unary(np.sin),
+    "cos": _numeric_unary(np.cos),
+    "tan": _numeric_unary(np.tan),
+    "asin": _numeric_unary(np.arcsin),
+    "acos": _numeric_unary(np.arccos),
+    "atan": _numeric_unary(np.arctan),
+    "degrees": _numeric_unary(np.degrees),
+    "radians": _numeric_unary(np.radians),
+    "sign": _numeric_unary(np.sign),
+    "power": _fn_power,
+    "pow": _fn_power,
+    "mod": _fn_mod,
+    "coalesce": _fn_coalesce,
+    "nullif": _fn_nullif,
+    "least": _minmax(np.minimum),
+    "greatest": _minmax(np.maximum),
+    "like": _fn_like,
+    "length": _string_fn(len),
+    "upper": _string_fn(str.upper),
+    "lower": _string_fn(str.lower),
+    "trim": _string_fn(str.strip),
+    "concat": _fn_concat,
+}
+
+
+# -- aggregates ---------------------------------------------------------------
+
+AGGREGATE_NAMES = {
+    "count",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "stddev",
+    "stddev_pop",
+    "stddev_samp",
+    "var_pop",
+    "median",
+    "prod",
+}
+
+
+def aggregate_reduce(
+    name: str, values: np.ndarray, nulls: Optional[np.ndarray]
+) -> object:
+    """Reduce one group's values to a scalar (NULL-aware)."""
+    if nulls is not None:
+        values = values[~nulls]
+    if name == "count":
+        return int(len(values))
+    if len(values) == 0:
+        return None
+    if name == "sum":
+        return values.sum().item()
+    if name == "avg":
+        return float(values.mean())
+    if name == "min":
+        return values.min().item()
+    if name == "max":
+        return values.max().item()
+    if name in ("stddev", "stddev_pop"):
+        return float(values.std())
+    if name == "stddev_samp":
+        return float(values.std(ddof=1)) if len(values) > 1 else None
+    if name == "var_pop":
+        return float(values.var())
+    if name == "median":
+        return float(np.median(values))
+    if name == "prod":
+        return float(np.prod(values))
+    raise SQLRuntimeError(f"unknown aggregate {name!r}")
+
+
+def window_aggregate(
+    name: str,
+    grid: np.ndarray,
+    null_grid: Optional[np.ndarray],
+    offsets: List[Tuple[int, int]],
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Sliding-window aggregate over a dense 2-D grid.
+
+    ``offsets`` holds per-axis half-open window bounds relative to the
+    anchor cell, e.g. ``[(-1, 2), (-1, 2)]`` for a 3x3 window.  Border
+    cells aggregate over the in-bounds part of their window (SciQL
+    structural-grouping semantics).  Returns per-anchor values and nulls.
+    """
+    if grid.ndim != 2 or len(offsets) != 2:
+        raise SQLRuntimeError("structural grouping supports 2-D arrays")
+    data = grid.astype(np.float64)
+    valid = (
+        ~null_grid if null_grid is not None else np.ones(grid.shape, bool)
+    )
+    data = np.where(valid, data, 0.0)
+    if name in ("count", "sum", "avg", "stddev", "stddev_pop", "var_pop"):
+        counts = _box_sum(valid.astype(np.float64), offsets)
+        if name == "count":
+            return counts.astype(np.int64), None
+        sums = _box_sum(data, offsets)
+        empty = counts == 0
+        if name == "sum":
+            return sums, (empty if empty.any() else None)
+        means = np.divide(
+            sums, np.where(empty, 1.0, counts)
+        )
+        if name == "avg":
+            return means, (empty if empty.any() else None)
+        sq_sums = _box_sum(data * data, offsets)
+        variance = sq_sums / np.where(empty, 1.0, counts) - means * means
+        variance = np.maximum(variance, 0.0)
+        if name == "var_pop":
+            return variance, (empty if empty.any() else None)
+        return np.sqrt(variance), (empty if empty.any() else None)
+    if name in ("min", "max"):
+        fill = np.inf if name == "min" else -np.inf
+        masked = np.where(valid, data, fill)
+        out = np.full(grid.shape, fill, dtype=np.float64)
+        (lo0, hi0), (lo1, hi1) = offsets
+        pick = np.minimum if name == "min" else np.maximum
+        for dx in range(lo0, hi0):
+            for dy in range(lo1, hi1):
+                shifted = _shift2d(masked, dx, dy, fill)
+                out = pick(out, shifted)
+        counts = _box_sum(valid.astype(np.float64), offsets)
+        empty = counts == 0
+        out = np.where(empty, 0.0, out)
+        return out, (empty if empty.any() else None)
+    raise SQLRuntimeError(
+        f"aggregate {name!r} is not supported in structural grouping"
+    )
+
+
+def _shift2d(
+    grid: np.ndarray, dx: int, dy: int, fill: float
+) -> np.ndarray:
+    """``out[i, j] = grid[i + dx, j + dy]`` with ``fill`` outside."""
+    nx, ny = grid.shape
+    out = np.full_like(grid, fill)
+    src_x = slice(max(dx, 0), nx + min(dx, 0))
+    src_y = slice(max(dy, 0), ny + min(dy, 0))
+    dst_x = slice(max(-dx, 0), nx + min(-dx, 0))
+    dst_y = slice(max(-dy, 0), ny + min(-dy, 0))
+    out[dst_x, dst_y] = grid[src_x, src_y]
+    return out
+
+
+def _box_sum(grid: np.ndarray, offsets: List[Tuple[int, int]]) -> np.ndarray:
+    """Sum over the window ``[x+lo0, x+hi0) x [y+lo1, y+hi1)`` per anchor,
+    clipped to the grid, via an integral image."""
+    nx, ny = grid.shape
+    integral = np.zeros((nx + 1, ny + 1), dtype=np.float64)
+    np.cumsum(grid, axis=0, out=integral[1:, 1:])
+    np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
+    (lo0, hi0), (lo1, hi1) = offsets
+    xs = np.arange(nx)[:, None]
+    ys = np.arange(ny)[None, :]
+    x0 = np.clip(xs + lo0, 0, nx)
+    x1 = np.clip(xs + hi0, 0, nx)
+    y0 = np.clip(ys + lo1, 0, ny)
+    y1 = np.clip(ys + hi1, 0, ny)
+    return (
+        integral[x1, y1]
+        - integral[x0, y1]
+        - integral[x1, y0]
+        + integral[x0, y0]
+    )

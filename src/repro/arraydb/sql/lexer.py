@@ -1,0 +1,64 @@
+"""SciQL tokenizer."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.arraydb.errors import SQLParseError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "asc",
+    "desc", "limit", "offset", "as", "join", "inner", "left", "outer", "on",
+    "and", "or", "not", "case", "when", "then", "else", "end", "null",
+    "true", "false", "is", "in", "between", "like", "create", "drop",
+    "table", "array", "insert", "into", "values", "delete", "update", "set",
+    "dimension", "default", "if", "exists", "distinct", "cast", "union",
+    "all",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>--[^\n]*|\#[^\n]*)
+  | (?P<string>'(?:[^'\\]|\\.|'')*')
+  | (?P<number>(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?)
+  | (?P<word>[A-Za-z_][\w$]*)
+  | (?P<op><>|!=|<=|>=|\|\||[(),.;:\[\]=<>+\-*/%])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword, word, number, string, op, eof
+    value: str
+    pos: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise SciQL text; keywords come back lowercase."""
+    tokens: List[Token] = []
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SQLParseError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        kind = m.lastgroup or ""
+        value = m.group()
+        if kind == "word":
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, pos))
+            else:
+                tokens.append(Token("word", value, pos))
+        elif kind not in ("ws", "comment"):
+            tokens.append(Token(kind, value, pos))
+        pos = m.end()
+    tokens.append(Token("eof", "", pos))
+    return tokens

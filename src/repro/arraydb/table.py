@@ -1,0 +1,180 @@
+"""Column-store tables and query result sets."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arraydb.column import Column, concat_columns
+from repro.arraydb.errors import ArrayDBError
+from repro.arraydb.types import SQLType
+
+
+class ResultTable:
+    """An ordered collection of equal-length columns.
+
+    Used both as the result of a query and as the intermediate
+    representation inside the executor.
+    """
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ArrayDBError(f"ragged columns: lengths {sorted(lengths)}")
+        self.columns = list(columns)
+        self._by_name: Dict[str, Column] = {}
+        for col in self.columns:
+            # Last writer wins for duplicate output names (SQL allows them).
+            self._by_name[col.name] = col
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, name: str) -> Column:
+        col = self._by_name.get(name)
+        if col is None:
+            raise ArrayDBError(f"no column named {name!r}")
+        return col
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Yield rows as tuples of Python values (None for NULL)."""
+        materialised = [c.to_list() for c in self.columns]
+        for i in range(self.num_rows):
+            yield tuple(col[i] for col in materialised)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.rows()]
+
+    def filter(self, mask: np.ndarray) -> "ResultTable":
+        return ResultTable([c.filter(mask) for c in self.columns])
+
+    def take(self, indices: np.ndarray) -> "ResultTable":
+        return ResultTable([c.take(indices) for c in self.columns])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResultTable {self.column_names} x {self.num_rows} rows>"
+        )
+
+
+class Table:
+    """A named, mutable column-store table."""
+
+    def __init__(
+        self, name: str, schema: Sequence[Tuple[str, SQLType]]
+    ) -> None:
+        if not schema:
+            raise ArrayDBError("a table needs at least one column")
+        self.name = name
+        self.schema = list(schema)
+        self._chunks: List[List[Column]] = []
+        self._cached: Optional[ResultTable] = None
+
+    @property
+    def column_names(self) -> List[str]:
+        return [name for name, _ in self.schema]
+
+    @property
+    def num_rows(self) -> int:
+        return sum(len(chunk[0]) for chunk in self._chunks)
+
+    def insert_rows(self, rows: Sequence[Sequence[Any]]) -> int:
+        """Append literal rows; values are positionally matched."""
+        if not rows:
+            return 0
+        width = len(self.schema)
+        for row in rows:
+            if len(row) != width:
+                raise ArrayDBError(
+                    f"row width {len(row)} does not match schema width {width}"
+                )
+        columns = [
+            Column.from_values(
+                name, [row[i] for row in rows], sql_type
+            )
+            for i, (name, sql_type) in enumerate(self.schema)
+        ]
+        self._chunks.append(columns)
+        self._cached = None
+        return len(rows)
+
+    def insert_result(self, result: ResultTable) -> int:
+        """Append the rows of a query result (positional column match)."""
+        if len(result.columns) != len(self.schema):
+            raise ArrayDBError(
+                f"result width {len(result.columns)} does not match "
+                f"schema width {len(self.schema)}"
+            )
+        columns = [
+            Column(
+                name,
+                sql_type,
+                _coerce(result.columns[i].values, sql_type),
+                result.columns[i].nulls,
+            )
+            for i, (name, sql_type) in enumerate(self.schema)
+        ]
+        self._chunks.append(columns)
+        self._cached = None
+        return result.num_rows
+
+    def delete_where(self, mask: np.ndarray) -> int:
+        """Delete the rows selected by a boolean mask over the full scan."""
+        scan = self.scan()
+        keep = ~mask
+        kept = scan.filter(keep)
+        self._chunks = [list(kept.columns)] if kept.num_rows else []
+        self._cached = None
+        return int(mask.sum())
+
+    def truncate(self) -> None:
+        self._chunks = []
+        self._cached = None
+
+    def scan(self) -> ResultTable:
+        """Materialise the table as a single ResultTable (cached)."""
+        if self._cached is None:
+            if not self._chunks:
+                empty = [
+                    Column(name, t, np.empty(0, dtype=t.dtype), None)
+                    for name, t in self.schema
+                ]
+                self._cached = ResultTable(empty)
+            elif len(self._chunks) == 1:
+                self._cached = ResultTable(self._chunks[0])
+            else:
+                merged = [
+                    concat_columns(
+                        name, [chunk[i] for chunk in self._chunks]
+                    )
+                    for i, (name, _) in enumerate(self.schema)
+                ]
+                self._cached = ResultTable(merged)
+        return self._cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Table {self.name} {self.column_names} x {self.num_rows}>"
+
+
+def _coerce(values: np.ndarray, sql_type: SQLType) -> np.ndarray:
+    if values.dtype == sql_type.dtype:
+        return values
+    try:
+        return values.astype(sql_type.dtype)
+    except (TypeError, ValueError) as exc:
+        raise ArrayDBError(
+            f"cannot coerce {values.dtype} to {sql_type.name}"
+        ) from exc

@@ -1,0 +1,87 @@
+"""SQL type system and its numpy mapping."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.arraydb.errors import ArrayDBError
+
+
+@dataclass(frozen=True)
+class SQLType:
+    """A logical SQL type with its numpy storage dtype."""
+
+    name: str
+    dtype: np.dtype
+    is_numeric: bool
+
+    def __repr__(self) -> str:
+        return f"SQLType({self.name})"
+
+
+INTEGER = SQLType("INTEGER", np.dtype(np.int64), True)
+BIGINT = SQLType("BIGINT", np.dtype(np.int64), True)
+SMALLINT = SQLType("SMALLINT", np.dtype(np.int64), True)
+FLOAT = SQLType("FLOAT", np.dtype(np.float64), True)
+DOUBLE = SQLType("DOUBLE", np.dtype(np.float64), True)
+REAL = SQLType("REAL", np.dtype(np.float64), True)
+BOOLEAN = SQLType("BOOLEAN", np.dtype(np.bool_), False)
+VARCHAR = SQLType("VARCHAR", np.dtype(object), False)
+STRING = SQLType("STRING", np.dtype(object), False)
+TIMESTAMP = SQLType("TIMESTAMP", np.dtype(object), False)
+
+_BY_NAME = {
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "BIGINT": BIGINT,
+    "SMALLINT": SMALLINT,
+    "TINYINT": SMALLINT,
+    "FLOAT": FLOAT,
+    "DOUBLE": DOUBLE,
+    "REAL": REAL,
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+    "VARCHAR": VARCHAR,
+    "CHAR": VARCHAR,
+    "TEXT": STRING,
+    "STRING": STRING,
+    "CLOB": STRING,
+    "TIMESTAMP": TIMESTAMP,
+    "DATE": TIMESTAMP,
+}
+
+
+def parse_type(text: str) -> SQLType:
+    """Resolve a SQL type name (``VARCHAR(32)`` style lengths are ignored)."""
+    base = re.sub(r"\(.*\)$", "", text.strip()).upper()
+    sql_type = _BY_NAME.get(base)
+    if sql_type is None:
+        raise ArrayDBError(f"unknown SQL type {text!r}")
+    return sql_type
+
+
+def infer_type(value: Any) -> SQLType:
+    """Infer a column type from a Python value."""
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return BOOLEAN
+    if isinstance(value, (int, np.integer)):
+        return INTEGER
+    if isinstance(value, (float, np.floating)):
+        return DOUBLE
+    if isinstance(value, str):
+        return VARCHAR
+    return STRING
+
+
+def type_for_dtype(dtype: np.dtype) -> SQLType:
+    if np.issubdtype(dtype, np.bool_):
+        return BOOLEAN
+    if np.issubdtype(dtype, np.integer):
+        return INTEGER
+    if np.issubdtype(dtype, np.floating):
+        return DOUBLE
+    return STRING

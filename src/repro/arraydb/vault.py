@@ -1,0 +1,159 @@
+"""The Data Vault [Ivanova et al., SSDBM 2012].
+
+The vault makes the DBMS aware of external file formats: files are attached
+"as-is" under names, and the knowledge of how to convert a file into tables
+or arrays lives in registered :class:`FormatDriver` objects *inside* the
+database.  Nothing is converted at attach time; the first query that scans
+an attached name triggers the load (the executor calls
+:meth:`DataVault.ensure_loaded` on every scan).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.arraydb.catalog import Catalog
+from repro.arraydb.errors import VaultError
+
+
+class FormatDriver(Protocol):
+    """Converts an external file into catalog objects."""
+
+    #: Short format name, e.g. "HRIT".
+    format_name: str
+
+    def can_handle(self, path: str) -> bool:
+        """True when this driver understands the file at ``path``."""
+        ...
+
+    def load(self, path: str, catalog: Catalog, name: str) -> None:
+        """Materialise the file into catalog object(s) named ``name``."""
+        ...
+
+
+@dataclass
+class VaultEntry:
+    """Book-keeping for one attached external file."""
+
+    name: str
+    path: str
+    driver: FormatDriver
+    attached_at: float
+    loaded: bool = False
+    load_seconds: float = 0.0
+    load_count: int = 0
+
+
+@dataclass
+class VaultStats:
+    """Aggregate counters for benchmarks and tests."""
+
+    attached: int = 0
+    loads: int = 0
+    load_seconds: float = 0.0
+    cache_hits: int = 0
+
+
+class DataVault:
+    """Registry of external files with lazy, driver-based ingestion."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._drivers: List[FormatDriver] = []
+        self._entries: Dict[str, VaultEntry] = {}
+        self.stats = VaultStats()
+
+    # -- drivers -----------------------------------------------------------
+
+    def register_driver(self, driver: FormatDriver) -> None:
+        self._drivers.append(driver)
+
+    def driver_for(self, path: str) -> FormatDriver:
+        for driver in self._drivers:
+            if driver.can_handle(path):
+                return driver
+        raise VaultError(f"no registered driver understands {path!r}")
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(
+        self,
+        path: str,
+        name: Optional[str] = None,
+        driver: Optional[FormatDriver] = None,
+    ) -> VaultEntry:
+        """Attach an external file under ``name`` (default: file stem).
+
+        The file is *not* read; only its existence is checked.
+        """
+        if not os.path.exists(path):
+            raise VaultError(f"no such file: {path!r}")
+        if name is None:
+            name = os.path.splitext(os.path.basename(path))[0]
+        if driver is None:
+            driver = self.driver_for(path)
+        key = name.lower()
+        if key in self._entries:
+            raise VaultError(f"vault name {name!r} already attached")
+        entry = VaultEntry(
+            name=name, path=path, driver=driver, attached_at=time.time()
+        )
+        self._entries[key] = entry
+        self.stats.attached += 1
+        return entry
+
+    def detach(self, name: str, drop_object: bool = True) -> None:
+        key = name.lower()
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            raise VaultError(f"nothing attached as {name!r}")
+        if drop_object and entry.loaded:
+            self.catalog.drop(entry.name, if_exists=True)
+
+    def entries(self) -> List[VaultEntry]:
+        return list(self._entries.values())
+
+    def is_attached(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    # -- lazy loading ---------------------------------------------------------
+
+    def ensure_loaded(self, name: str) -> bool:
+        """Load the attachment backing ``name`` if it is not yet in the
+        catalog.  Returns True when a load actually happened."""
+        entry = self._entries.get(name.lower())
+        if entry is None:
+            return False  # Not a vault name; regular catalog object.
+        if entry.loaded and self.catalog.exists(entry.name):
+            self.stats.cache_hits += 1
+            return False
+        t0 = time.perf_counter()
+        entry.driver.load(entry.path, self.catalog, entry.name)
+        elapsed = time.perf_counter() - t0
+        entry.loaded = True
+        entry.load_seconds += elapsed
+        entry.load_count += 1
+        self.stats.loads += 1
+        self.stats.load_seconds += elapsed
+        return True
+
+    def load_all(self) -> int:
+        """Eagerly load every attachment (the non-vault baseline for the
+        ablation benchmark)."""
+        count = 0
+        for entry in list(self._entries.values()):
+            if self.ensure_loaded(entry.name):
+                count += 1
+        return count
+
+    def evict(self, name: str) -> None:
+        """Drop the materialised object but keep the attachment: the next
+        scan reloads from the file."""
+        entry = self._entries.get(name.lower())
+        if entry is None:
+            raise VaultError(f"nothing attached as {name!r}")
+        self.catalog.drop(entry.name, if_exists=True)
+        entry.loaded = False

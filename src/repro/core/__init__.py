@@ -1,0 +1,45 @@
+"""The paper's primary contribution: the TELEIOS fire-monitoring service.
+
+* :mod:`repro.core.thresholds` — EUMETSAT day/night threshold sets with
+  solar-zenith interpolation (§3.1.3),
+* :mod:`repro.core.legacy` — the "legacy C" processing chain baseline,
+* :mod:`repro.core.sciql_chain` — the same chain expressed in SciQL and
+  executed by :class:`repro.arraydb.MonetDB` (§3.1, Figure 4),
+* :mod:`repro.core.products` — hotspot products and shapefile export,
+* :mod:`repro.core.annotation` — products → stRDF (NOA ontology, §3.2.2),
+* :mod:`repro.core.refinement` — the six refinement operations of
+  Figure 8 as stSPARQL updates over Strabon (§3.2.4),
+* :mod:`repro.core.mapping` — the five map-overlay queries (Figure 6),
+* :mod:`repro.core.validation` — the Table 1 MODIS cross-validation,
+* :mod:`repro.core.service` — the end-to-end real-time service.
+"""
+
+from repro.core.thresholds import ThresholdSet, interpolate_thresholds
+from repro.core.products import Hotspot, HotspotProduct
+from repro.core.legacy import LegacyChain
+from repro.core.sciql_chain import SciQLChain, figure4_query
+from repro.core.annotation import annotate_product
+from repro.core.refinement import RefinementPipeline
+from repro.core.mapping import MapComposer
+from repro.core.validation import CrossValidator, ValidationRow
+from repro.core.service import FireMonitoringService
+from repro.core.archive import ProductArchive
+from repro.core.render import render_situation_map
+
+__all__ = [
+    "CrossValidator",
+    "FireMonitoringService",
+    "Hotspot",
+    "HotspotProduct",
+    "LegacyChain",
+    "MapComposer",
+    "ProductArchive",
+    "RefinementPipeline",
+    "SciQLChain",
+    "ThresholdSet",
+    "ValidationRow",
+    "annotate_product",
+    "figure4_query",
+    "interpolate_thresholds",
+    "render_situation_map",
+]

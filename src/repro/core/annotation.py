@@ -1,0 +1,121 @@
+"""Semantic annotation: hotspot products → stRDF (§3.2.2).
+
+Every attribute of the product shapefile becomes a predicate; every
+hotspot becomes a URI-identified ``noa:Hotspot`` carrying the annotations
+of Figure 5 (acquisition time, confidence, sensor, producer, processing
+chain, geometry literal).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.core.products import Hotspot, HotspotProduct
+from repro.ontology.noa import (
+    CONFIRMATION_CONFIRMED,
+    CONFIRMATION_UNCONFIRMED,
+)
+from repro.rdf import Graph, Literal, NOA, RDF, STRDF, Term, URI, XSD
+
+_product_counter = itertools.count()
+
+
+def hotspot_uri(product_index: int, hotspot_index: int) -> URI:
+    return NOA.term(f"Hotspot_{product_index}_{hotspot_index}")
+
+
+def product_uri(product_index: int) -> URI:
+    return NOA.term(f"Shapefile_{product_index}")
+
+
+def hotspot_triples(
+    node: URI, hotspot: Hotspot, shapefile_node: Optional[URI] = None
+) -> List[Tuple[Term, Term, Term]]:
+    """The annotation triples of one hotspot (paper §3.2.2 example)."""
+    triples: List[Tuple[Term, Term, Term]] = [
+        (node, RDF.type, NOA.Hotspot),
+        (
+            node,
+            NOA.hasAcquisitionDateTime,
+            Literal(
+                hotspot.timestamp.strftime("%Y-%m-%dT%H:%M:%S"),
+                datatype=XSD.base + "dateTime",
+            ),
+        ),
+        (
+            node,
+            NOA.hasConfidence,
+            Literal(repr(hotspot.confidence), datatype=XSD.base + "float"),
+        ),
+        (
+            node,
+            STRDF.hasGeometry,
+            Literal(hotspot.polygon.wkt, datatype=STRDF.geometry.value),
+        ),
+        (
+            node,
+            NOA.isDerivedFromSensor,
+            Literal(hotspot.sensor, datatype=XSD.base + "string"),
+        ),
+        (node, NOA.isProducedBy, NOA.noa),
+        (
+            node,
+            NOA.isFromProcessingChain,
+            Literal(hotspot.chain, datatype=XSD.base + "string"),
+        ),
+    ]
+    if hotspot.confirmed is not None:
+        triples.append(
+            (
+                node,
+                NOA.hasConfirmation,
+                CONFIRMATION_CONFIRMED
+                if hotspot.confirmed
+                else CONFIRMATION_UNCONFIRMED,
+            )
+        )
+    if shapefile_node is not None:
+        triples.append((node, NOA.isDerivedFromShapefile, shapefile_node))
+    return triples
+
+
+def annotate_product(
+    graph: Graph,
+    product: HotspotProduct,
+    product_index: Optional[int] = None,
+) -> Tuple[int, List[URI]]:
+    """Insert a product's RDF representation; returns (#triples, hotspot
+    URIs)."""
+    if product_index is None:
+        product_index = next(_product_counter)
+    added = 0
+    shp_node = product_uri(product_index)
+    added += graph.add(shp_node, RDF.type, NOA.Shapefile)
+    added += graph.add(
+        shp_node,
+        NOA.hasAcquisitionDateTime,
+        Literal(
+            product.timestamp.strftime("%Y-%m-%dT%H:%M:%S"),
+            datatype=XSD.base + "dateTime",
+        ),
+    )
+    added += graph.add(
+        shp_node,
+        NOA.isDerivedFromSensor,
+        Literal(product.sensor, datatype=XSD.base + "string"),
+    )
+    added += graph.add(shp_node, NOA.isProducedBy, NOA.noa)
+    if product.filename:
+        added += graph.add(
+            shp_node,
+            NOA.hasFilename,
+            Literal(product.filename, datatype=XSD.base + "string"),
+        )
+    uris: List[URI] = []
+    for i, hotspot in enumerate(product.hotspots):
+        node = hotspot_uri(product_index, i)
+        uris.append(node)
+        for triple in hotspot_triples(node, hotspot, shp_node):
+            added += graph.add(*triple)
+    return added, uris

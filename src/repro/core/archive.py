@@ -1,0 +1,174 @@
+"""The product archive: the paper's "disk array + PostGIS" dissemination
+store, reproduced as a shapefile directory with a JSON index.
+
+Figure 1 shows derived products being dispatched both to a disk array for
+permanent storage and to a PostGIS database for dissemination through
+GeoServer.  This component plays that role: it files each
+:class:`~repro.core.products.HotspotProduct` as an ESRI shapefile, keeps a
+queryable index, and answers the time/sensor/region lookups the web front
+end needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.products import HotspotProduct
+from repro.geometry import Envelope
+from repro.shapefile import read_shapefile, write_shapefile
+
+INDEX_NAME = "products.json"
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """One archived product."""
+
+    base_name: str
+    sensor: str
+    chain: str
+    timestamp: datetime
+    hotspot_count: int
+    bbox: Optional[Tuple[float, float, float, float]]
+
+    def as_json(self) -> Dict:
+        return {
+            "base_name": self.base_name,
+            "sensor": self.sensor,
+            "chain": self.chain,
+            "timestamp": self.timestamp.isoformat(),
+            "hotspot_count": self.hotspot_count,
+            "bbox": list(self.bbox) if self.bbox else None,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Dict) -> "ArchiveEntry":
+        return cls(
+            base_name=obj["base_name"],
+            sensor=obj["sensor"],
+            chain=obj["chain"],
+            timestamp=datetime.fromisoformat(obj["timestamp"]),
+            hotspot_count=obj["hotspot_count"],
+            bbox=tuple(obj["bbox"]) if obj.get("bbox") else None,
+        )
+
+
+class ProductArchive:
+    """A directory of archived hotspot products with a JSON index."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._entries: List[ArchiveEntry] = []
+        self._load_index()
+
+    def _index_path(self) -> str:
+        return os.path.join(self.directory, INDEX_NAME)
+
+    def _load_index(self) -> None:
+        path = self._index_path()
+        if os.path.exists(path):
+            with open(path) as f:
+                data = json.load(f)
+            self._entries = [
+                ArchiveEntry.from_json(obj) for obj in data.get("products", [])
+            ]
+
+    def _save_index(self) -> None:
+        with open(self._index_path(), "w") as f:
+            json.dump(
+                {"products": [e.as_json() for e in self._entries]},
+                f,
+                indent=2,
+            )
+
+    # -- ingest ----------------------------------------------------------
+
+    def store(self, product: HotspotProduct) -> ArchiveEntry:
+        """File a product; returns its index entry."""
+        stamp = product.timestamp.strftime("%Y%m%d%H%M%S")
+        base_name = f"hotspots_{product.sensor}_{product.chain}_{stamp}"
+        base_path = os.path.join(self.directory, base_name)
+        write_shapefile(product.to_shapefile(), base_path)
+        if product.hotspots:
+            env = Envelope.union_all(
+                h.polygon.envelope for h in product.hotspots
+            )
+            bbox: Optional[Tuple[float, float, float, float]] = env.as_tuple()
+        else:
+            bbox = None
+        entry = ArchiveEntry(
+            base_name=base_name,
+            sensor=product.sensor,
+            chain=product.chain,
+            timestamp=product.timestamp,
+            hotspot_count=len(product),
+            bbox=bbox,
+        )
+        # Replace any previous entry for the same product identity.
+        self._entries = [
+            e for e in self._entries if e.base_name != base_name
+        ] + [entry]
+        self._entries.sort(key=lambda e: (e.timestamp, e.sensor))
+        self._save_index()
+        return entry
+
+    # -- lookup ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[ArchiveEntry]:
+        return list(self._entries)
+
+    def query(
+        self,
+        start: Optional[datetime] = None,
+        end: Optional[datetime] = None,
+        sensor: Optional[str] = None,
+        region: Optional[Envelope] = None,
+        chain: Optional[str] = None,
+    ) -> List[ArchiveEntry]:
+        """Index lookup by time window, sensor, chain and/or bbox overlap."""
+        out: List[ArchiveEntry] = []
+        for entry in self._entries:
+            if start is not None and entry.timestamp < start:
+                continue
+            if end is not None and entry.timestamp > end:
+                continue
+            if sensor is not None and entry.sensor != sensor:
+                continue
+            if chain is not None and entry.chain != chain:
+                continue
+            if region is not None:
+                if entry.bbox is None:
+                    continue
+                if not Envelope(*entry.bbox).intersects(region):
+                    continue
+            out.append(entry)
+        return out
+
+    def load(self, entry: ArchiveEntry) -> HotspotProduct:
+        """Read an archived product back from its shapefile."""
+        base_path = os.path.join(self.directory, entry.base_name)
+        shapefile = read_shapefile(base_path)
+        return HotspotProduct.from_shapefile(
+            shapefile,
+            sensor=entry.sensor,
+            chain=entry.chain,
+            filename=base_path + ".shp",
+        )
+
+    def latest(
+        self, sensor: Optional[str] = None
+    ) -> Optional[ArchiveEntry]:
+        candidates = [
+            e
+            for e in self._entries
+            if sensor is None or e.sensor == sensor
+        ]
+        return candidates[-1] if candidates else None

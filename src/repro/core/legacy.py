@@ -1,0 +1,213 @@
+"""The legacy processing chain (the paper's hand-coded C baseline).
+
+Implements the full §3.1 pipeline — decode, crop, georeference, classify,
+vectorise — directly in numpy with no database in the loop.  This is the
+"Legacy C" row of Table 2; it also serves as an independent cross-check of
+the SciQL chain's classification output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.products import CONFIDENCE_BY_CLASS, Hotspot, HotspotProduct
+from repro.core.thresholds import threshold_grids
+from repro.seviri.geo import GeoReference
+from repro.seviri.hrit import read_hrit_image
+from repro.seviri.scene import SceneImage
+from repro.seviri.solar import solar_zenith_deg
+
+ChainInput = Union[SceneImage, Tuple[Sequence[str], Sequence[str]]]
+
+
+def window_mean_and_sq(
+    grid: np.ndarray, valid: np.ndarray, half: int = 1
+) -> Tuple[np.ndarray, np.ndarray]:
+    """3x3 (or (2h+1)²) window mean and mean-of-squares via integral
+    images, averaging over in-bounds valid cells only."""
+    data = np.where(valid, grid, 0.0)
+    counts = _box_sum(valid.astype(np.float64), half)
+    counts = np.where(counts == 0, 1.0, counts)
+    mean = _box_sum(data, half) / counts
+    sq_mean = _box_sum(data * data, half) / counts
+    return mean, sq_mean
+
+
+def _box_sum(grid: np.ndarray, half: int) -> np.ndarray:
+    nx, ny = grid.shape
+    integral = np.zeros((nx + 1, ny + 1), dtype=np.float64)
+    np.cumsum(grid, axis=0, out=integral[1:, 1:])
+    np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
+    xs = np.arange(nx)[:, None]
+    ys = np.arange(ny)[None, :]
+    x0 = np.clip(xs - half, 0, nx)
+    x1 = np.clip(xs + half + 1, 0, nx)
+    y0 = np.clip(ys - half, 0, ny)
+    y1 = np.clip(ys + half + 1, 0, ny)
+    return (
+        integral[x1, y1]
+        - integral[x0, y1]
+        - integral[x1, y0]
+        + integral[x0, y0]
+    )
+
+
+def classify_grids(
+    t039: np.ndarray,
+    t108: np.ndarray,
+    zenith_deg: np.ndarray,
+    cloud_mask: bool = True,
+) -> np.ndarray:
+    """The EUMETSAT classifier: per-pixel confidence 0 / 1 / 2.
+
+    Thresholds are linearly interpolated between the day and night sets
+    according to the per-pixel solar zenith angle.  With ``cloud_mask``
+    (the paper's "cloud-masked" chain), pixels whose 10.8 µm temperature
+    reveals cloud top are excluded from the classification *and* from the
+    3x3 window statistics — otherwise a cloud edge next to a fire inflates
+    the 10.8 window deviation and suppresses a real detection.
+    """
+    from repro.core.thresholds import CLOUD_T108_MAX
+
+    valid = np.isfinite(t039) & np.isfinite(t108)
+    if cloud_mask:
+        valid &= np.where(np.isfinite(t108), t108, 0.0) > CLOUD_T108_MAX
+    mean039, sq039 = window_mean_and_sq(t039, valid)
+    mean108, sq108 = window_mean_and_sq(t108, valid)
+    std039 = np.sqrt(np.maximum(sq039 - mean039 * mean039, 0.0))
+    std108 = np.sqrt(np.maximum(sq108 - mean108 * mean108, 0.0))
+    th = threshold_grids(zenith_deg)
+    t039_safe = np.where(valid, t039, 0.0)
+    diff = np.where(valid, t039 - t108, 0.0)
+    base = (t039_safe > th["t039_min"]) & (std108 < th["std108_max"]) & valid
+    fire = base & (diff > th["diff_fire"]) & (std039 > th["std039_fire"])
+    potential = (
+        base
+        & (diff > th["diff_potential"])
+        & (std039 > th["std039_potential"])
+    )
+    out = np.zeros(t039.shape, dtype=np.int64)
+    out[potential] = 1
+    out[fire] = 2
+    return out
+
+
+@dataclass
+class ChainTimings:
+    """Per-stage wall times of the most recent image (seconds)."""
+
+    decode: float = 0.0
+    crop: float = 0.0
+    georeference: float = 0.0
+    classify: float = 0.0
+    vectorize: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.decode
+            + self.crop
+            + self.georeference
+            + self.classify
+            + self.vectorize
+        )
+
+
+class LegacyChain:
+    """Direct-numpy processing chain (decode → crop → georef → classify →
+    vectorise)."""
+
+    name = "legacy-c"
+
+    def __init__(
+        self, georeference: GeoReference, cloud_mask: bool = True
+    ) -> None:
+        self.georeference = georeference
+        self.cloud_mask = cloud_mask
+        self.timings = ChainTimings()
+
+    def process(self, chain_input: ChainInput) -> HotspotProduct:
+        """Run the full chain on one acquisition."""
+        t0 = time.perf_counter()
+        t039_raw, t108_raw, timestamp, sensor = self._decode(chain_input)
+        t1 = time.perf_counter()
+        window = self.georeference.crop_window()
+        i_lo, i_hi, j_lo, j_hi = window
+        c039 = t039_raw[i_lo:i_hi, j_lo:j_hi]
+        c108 = t108_raw[i_lo:i_hi, j_lo:j_hi]
+        t2 = time.perf_counter()
+        g039 = self.georeference.resample(c039, window)
+        g108 = self.georeference.resample(c108, window)
+        t3 = time.perf_counter()
+        target = self.georeference.target
+        lon, lat = target.mesh()
+        zenith = solar_zenith_deg(timestamp, lon, lat)
+        confidence = classify_grids(
+            g039, g108, zenith, cloud_mask=self.cloud_mask
+        )
+        t4 = time.perf_counter()
+        hotspots = vectorize_confidence(
+            confidence, target, timestamp, sensor, self.name
+        )
+        t5 = time.perf_counter()
+        self.timings = ChainTimings(
+            decode=t1 - t0,
+            crop=t2 - t1,
+            georeference=t3 - t2,
+            classify=t4 - t3,
+            vectorize=t5 - t4,
+        )
+        return HotspotProduct(
+            sensor=sensor,
+            timestamp=timestamp,
+            chain=self.name,
+            hotspots=hotspots,
+            processing_seconds=self.timings.total,
+        )
+
+    @staticmethod
+    def _decode(
+        chain_input: ChainInput,
+    ) -> Tuple[np.ndarray, np.ndarray, datetime, str]:
+        if isinstance(chain_input, SceneImage):
+            return (
+                chain_input.t039,
+                chain_input.t108,
+                chain_input.timestamp,
+                chain_input.sensor_name,
+            )
+        paths039, paths108 = chain_input
+        header039, t039 = read_hrit_image(list(paths039))
+        _header108, t108 = read_hrit_image(list(paths108))
+        return (t039, t108, header039.timestamp, header039.sensor)
+
+
+def vectorize_confidence(
+    confidence: np.ndarray,
+    target,
+    timestamp: datetime,
+    sensor: str,
+    chain: str,
+) -> List[Hotspot]:
+    """Fire / potential-fire pixels → 4x4 km polygon hotspots (§3.1.4)."""
+    hotspots: List[Hotspot] = []
+    xs, ys = np.nonzero(confidence)
+    for x, y in zip(xs.tolist(), ys.tolist()):
+        klass = int(confidence[x, y])
+        hotspots.append(
+            Hotspot(
+                x=x,
+                y=y,
+                polygon=target.pixel_polygon(x, y),
+                confidence=CONFIDENCE_BY_CLASS[klass],
+                timestamp=timestamp,
+                sensor=sensor,
+                chain=chain,
+            )
+        )
+    return hotspots

@@ -1,0 +1,214 @@
+"""Thematic map generation: the five overlay queries of §3.2.4 / Figure 6.
+
+A :class:`MapComposer` runs the paper's Query 1–5 against the integrated
+endpoint and assembles the results into named map layers that a GIS client
+(QGIS, Google Earth) would overlay; :meth:`MapComposer.compose` returns a
+GeoJSON-style FeatureCollection per layer.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Any, Dict, List, Optional
+
+from repro.geometry import Geometry, Polygon
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import flatten
+from repro.geometry.point import Point
+from repro.rdf.term import Literal, Term, URI
+from repro.stsparql import SolutionSet, Strabon
+
+_PREFIXES = """
+PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>
+PREFIX clc: <http://teleios.di.uoa.gr/ontologies/clcOntology.owl#>
+PREFIX gag: <http://teleios.di.uoa.gr/ontologies/gagOntology.owl#>
+PREFIX lgdo: <http://linkedgeodata.org/ontology/>
+PREFIX gn: <http://www.geonames.org/ontology#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+"""
+
+
+def region_wkt(
+    min_lon: float, min_lat: float, max_lon: float, max_lat: float
+) -> str:
+    """A rectangular area-of-interest polygon in WKT."""
+    return (
+        f"POLYGON(({min_lon} {max_lat}, {max_lon} {max_lat}, "
+        f"{max_lon} {min_lat}, {min_lon} {min_lat}, {min_lon} {max_lat}))"
+    )
+
+
+#: The paper's Figure 6 area of interest (south-eastern Peloponnese).
+SE_PELOPONNESE_WKT = region_wkt(21.027, 36.05, 23.77, 38.36)
+
+
+class MapComposer:
+    """Builds the layered thematic map of Figure 6 from stSPARQL queries."""
+
+    def __init__(self, strabon: Strabon) -> None:
+        self.strabon = strabon
+
+    # -- the five queries ----------------------------------------------------
+
+    def hotspots_query(
+        self, region: str, start: str, end: str
+    ) -> SolutionSet:
+        """Query 1: hotspots in a region within a time interval."""
+        return self.strabon.select(
+            _PREFIXES
+            + f"""
+SELECT ?hotspot ?hGeo ?hAcqTime ?hConfidence ?hProvider ?hSensor
+WHERE {{
+  ?hotspot a noa:Hotspot ;
+      strdf:hasGeometry ?hGeo ;
+      noa:hasAcquisitionDateTime ?hAcqTime ;
+      noa:hasConfidence ?hConfidence ;
+      noa:isProducedBy ?hProvider ;
+      noa:isDerivedFromSensor ?hSensor .
+  FILTER( "{start}" <= str(?hAcqTime) ) .
+  FILTER( str(?hAcqTime) <= "{end}" ) .
+  FILTER( strdf:contains("{region}"^^strdf:WKT, ?hGeo)) . }}
+"""
+        )
+
+    def land_cover_query(self, region: str) -> SolutionSet:
+        """Query 2: land cover of areas located in the region."""
+        return self.strabon.select(
+            _PREFIXES
+            + f"""
+SELECT ?area ?aGeo ?aLandUseType
+WHERE {{
+  ?area a clc:Area ;
+      clc:hasLandUse ?aLandUse ;
+      strdf:hasGeometry ?aGeo .
+  ?aLandUse a ?aLandUseType .
+  FILTER( strdf:contains("{region}"^^strdf:WKT, ?aGeo) ) . }}
+"""
+        )
+
+    def primary_roads_query(self, region: str) -> SolutionSet:
+        """Query 3: primary roads in the region (LinkedGeoData)."""
+        return self.strabon.select(
+            _PREFIXES
+            + f"""
+SELECT ?road ?rGeo
+WHERE {{
+  ?road a lgdo:Primary ;
+      strdf:hasGeometry ?rGeo .
+  FILTER( strdf:anyInteract("{region}"^^strdf:WKT, ?rGeo) ) . }}
+"""
+        )
+
+    def capitals_query(self, region: str) -> SolutionSet:
+        """Query 4: prefecture capitals (GeoNames PPLA features)."""
+        return self.strabon.select(
+            _PREFIXES
+            + f"""
+SELECT ?n ?nName ?nGeo
+WHERE {{
+  ?n a gn:Feature ;
+      strdf:hasGeometry ?nGeo ;
+      gn:name ?nName ;
+      gn:featureCode gn:P.PPLA .
+  FILTER( strdf:contains("{region}"^^strdf:geometry, ?nGeo)) }}
+"""
+        )
+
+    def municipalities_query(self, region: str) -> SolutionSet:
+        """Query 5: municipality boundaries in the region."""
+        return self.strabon.select(
+            _PREFIXES
+            + f"""
+SELECT ?municipality ?mYpesCode ?mContainer ?mLabel
+  ( strdf:boundary(?mGeo) as ?mBoundary )
+WHERE {{
+  ?municipality a gag:Dhmos ;
+      noa:hasYpesCode ?mYpesCode ;
+      gag:isPartOf ?mContainer ;
+      rdfs:label ?mLabel ;
+      strdf:hasGeometry ?mGeo .
+  FILTER( strdf:anyInteract("{region}"^^strdf:WKT, ?mGeo) ) . }}
+"""
+        )
+
+    def amenities_query(self, region: str, kind: str = "FireStation"):
+        """Bonus layer: crucial infrastructure near the fire front."""
+        return self.strabon.select(
+            _PREFIXES
+            + f"""
+SELECT ?amenity ?label ?aGeo
+WHERE {{
+  ?amenity a lgdo:{kind} ;
+      rdfs:label ?label ;
+      strdf:hasGeometry ?aGeo .
+  FILTER( strdf:contains("{region}"^^strdf:WKT, ?aGeo) ) . }}
+"""
+        )
+
+    # -- composition -----------------------------------------------------
+
+    def compose(
+        self,
+        region: str = SE_PELOPONNESE_WKT,
+        start: str = "2007-08-23T00:00:00",
+        end: str = "2007-08-26T23:59:59",
+    ) -> Dict[str, Any]:
+        """Run all layer queries and assemble a GeoJSON-style map."""
+        layers = {
+            "hotspots": _layer(
+                self.hotspots_query(region, start, end),
+                geometry_var="hGeo",
+                property_vars=("hAcqTime", "hConfidence", "hSensor"),
+            ),
+            "land_cover": _layer(
+                self.land_cover_query(region),
+                geometry_var="aGeo",
+                property_vars=("aLandUseType",),
+            ),
+            "primary_roads": _layer(
+                self.primary_roads_query(region),
+                geometry_var="rGeo",
+                property_vars=(),
+            ),
+            "capitals": _layer(
+                self.capitals_query(region),
+                geometry_var="nGeo",
+                property_vars=("nName",),
+            ),
+            "municipalities": _layer(
+                self.municipalities_query(region),
+                geometry_var="mBoundary",
+                property_vars=("mLabel", "mYpesCode"),
+            ),
+            "fire_stations": _layer(
+                self.amenities_query(region, "FireStation"),
+                geometry_var="aGeo",
+                property_vars=("label",),
+            ),
+        }
+        return {"type": "Map", "region": region, "layers": layers}
+
+
+def _layer(
+    solutions: SolutionSet, geometry_var: str, property_vars
+) -> Dict[str, Any]:
+    from repro.geometry.geojson import feature, feature_collection
+
+    features: List[Dict[str, Any]] = []
+    for row in solutions:
+        geom_term = row.get(geometry_var)
+        if geom_term is None or not isinstance(geom_term, Literal):
+            continue
+        geom = geom_term.value
+        if not isinstance(geom, Geometry):
+            continue
+        properties = {}
+        for var in property_vars:
+            term = row.get(var)
+            if isinstance(term, Literal):
+                properties[var] = term.lexical
+            elif isinstance(term, URI):
+                properties[var] = term.local_name()
+        features.append(feature(geom, properties))
+    return feature_collection(features)

@@ -1,0 +1,125 @@
+"""Hotspot products: the chain's output model.
+
+A :class:`HotspotProduct` is what one acquisition produces: a set of
+:class:`Hotspot` pixels (4x4 km squares classified as fire or potential
+fire) plus acquisition metadata.  Products round-trip through real ESRI
+shapefiles (the dissemination format of §3.1.4) and convert to stRDF for
+the refinement pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import List, Optional, Sequence
+
+from repro.geometry import Polygon, loads_wkt
+from repro.shapefile import Field, ShapeRecord, Shapefile
+
+#: Map of raw classifier output to the confidence float stored in products.
+CONFIDENCE_BY_CLASS = {1: 0.5, 2: 1.0}
+
+
+@dataclass
+class Hotspot:
+    """One detected fire pixel."""
+
+    x: int
+    y: int
+    polygon: Polygon
+    confidence: float  # 0.5 potential fire, 1.0 fire
+    timestamp: datetime
+    sensor: str
+    chain: str = "plain"
+    confirmed: Optional[bool] = None
+
+    @property
+    def center(self):
+        return self.polygon.centroid
+
+
+@dataclass
+class HotspotProduct:
+    """All hotspots derived from one image acquisition."""
+
+    sensor: str
+    timestamp: datetime
+    chain: str
+    hotspots: List[Hotspot] = field(default_factory=list)
+    #: Wall time the chain spent producing this product (Table 2 metric).
+    processing_seconds: float = 0.0
+    filename: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.hotspots)
+
+    def fire_pixels(self) -> List[Hotspot]:
+        return [h for h in self.hotspots if h.confidence >= 1.0]
+
+    def potential_pixels(self) -> List[Hotspot]:
+        return [h for h in self.hotspots if 0.0 < h.confidence < 1.0]
+
+    # -- shapefile round trip -----------------------------------------------
+
+    SHAPE_FIELDS = [
+        Field("ACQ_TIME", "C", 24),
+        Field("CONF", "N", 6, 2),
+        Field("SENSOR", "C", 10),
+        Field("CHAIN", "C", 16),
+        Field("PIXEL_X", "N", 6),
+        Field("PIXEL_Y", "N", 6),
+    ]
+
+    def to_shapefile(self) -> Shapefile:
+        records = [
+            ShapeRecord(
+                geometry=h.polygon,
+                attributes={
+                    "ACQ_TIME": h.timestamp.strftime("%Y-%m-%dT%H:%M:%S"),
+                    "CONF": h.confidence,
+                    "SENSOR": h.sensor,
+                    "CHAIN": h.chain,
+                    "PIXEL_X": h.x,
+                    "PIXEL_Y": h.y,
+                },
+            )
+            for h in self.hotspots
+        ]
+        return Shapefile(fields=list(self.SHAPE_FIELDS), records=records)
+
+    @classmethod
+    def from_shapefile(
+        cls,
+        shapefile: Shapefile,
+        sensor: str = "MSG2",
+        chain: str = "plain",
+        filename: Optional[str] = None,
+    ) -> "HotspotProduct":
+        hotspots: List[Hotspot] = []
+        timestamp = None
+        for record in shapefile.records:
+            attrs = record.attributes
+            ts = datetime.fromisoformat(str(attrs.get("ACQ_TIME")))
+            timestamp = ts
+            geom = record.geometry
+            assert isinstance(geom, Polygon), "hotspot products are polygons"
+            hotspots.append(
+                Hotspot(
+                    x=int(attrs.get("PIXEL_X", 0) or 0),
+                    y=int(attrs.get("PIXEL_Y", 0) or 0),
+                    polygon=geom,
+                    confidence=float(attrs.get("CONF", 0.0) or 0.0),
+                    timestamp=ts,
+                    sensor=str(attrs.get("SENSOR", sensor)),
+                    chain=str(attrs.get("CHAIN", chain)),
+                )
+            )
+        if timestamp is None:
+            timestamp = datetime(1970, 1, 1)
+        return cls(
+            sensor=sensor,
+            timestamp=timestamp,
+            chain=chain,
+            hotspots=hotspots,
+            filename=filename,
+        )

@@ -1,0 +1,300 @@
+"""The semantic refinement pipeline (§3.2.4, measured in Figure 8).
+
+Six operations run per acquisition, in the paper's order:
+
+1. **Store** — annotate the product in RDF and insert it,
+2. **Municipalities** — associate each hotspot with the municipality it
+   falls in (the slowest operation in Figure 8),
+3. **DeleteInSea** — drop hotspots lying entirely in the sea,
+4. **InvalidForFires** — drop hotspots over land-cover classes where a
+   forest fire is impossible (urban, permanent agriculture ...),
+5. **RefineInCoast** — clip partially-at-sea hotspot geometries to land
+   (the paper's strdf:union / strdf:intersection update, verbatim),
+6. **TimePersistence** — confirm hotspots re-detected within the last
+   hour; mark isolated ones unconfirmed.
+
+Every operation is an stSPARQL query/update executed by Strabon, and every
+call returns its wall time so the Figure 8 benchmark can plot them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Dict, List, Optional
+
+from repro.core.annotation import annotate_product
+from repro.core.products import HotspotProduct
+from repro.ontology.noa import load_noa_ontology
+from repro.stsparql import Strabon
+
+_PREFIXES = """
+PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>
+PREFIX clc: <http://teleios.di.uoa.gr/ontologies/clcOntology.owl#>
+PREFIX coast: <http://teleios.di.uoa.gr/ontologies/coastlineOntology.owl#>
+PREFIX gag: <http://teleios.di.uoa.gr/ontologies/gagOntology.owl#>
+PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+"""
+
+
+def _stamp(when: datetime) -> str:
+    return when.strftime("%Y-%m-%dT%H:%M:%S")
+
+
+@dataclass
+class OperationTiming:
+    """Wall time of one refinement operation on one acquisition."""
+
+    operation: str
+    timestamp: datetime
+    seconds: float
+    detail: Dict[str, int] = field(default_factory=dict)
+
+
+class RefinementPipeline:
+    """Runs the six refinement operations against a Strabon endpoint."""
+
+    #: Figure 8's operation order and labels.
+    OPERATIONS = (
+        "Store",
+        "Municipalities",
+        "Delete In Sea",
+        "Invalid For Fires",
+        "Refine In Coast",
+        "Time Persistence",
+    )
+
+    def __init__(
+        self,
+        strabon: Strabon,
+        persistence_window_minutes: int = 60,
+        persistence_min_detections: int = 3,
+    ) -> None:
+        self.strabon = strabon
+        self.persistence_window_minutes = persistence_window_minutes
+        self.persistence_min_detections = persistence_min_detections
+        self.timings: List[OperationTiming] = []
+        self._product_count = 0
+        load_noa_ontology(strabon.graph)
+
+    # -- operations --------------------------------------------------------
+
+    def store(self, product: HotspotProduct) -> OperationTiming:
+        """Operation 1: insert the product's RDF representation."""
+        t0 = time.perf_counter()
+        added, _uris = annotate_product(
+            self.strabon.graph, product, self._product_count
+        )
+        self._product_count += 1
+        timing = OperationTiming(
+            "Store",
+            product.timestamp,
+            time.perf_counter() - t0,
+            {"triples": added, "hotspots": len(product)},
+        )
+        self.timings.append(timing)
+        return timing
+
+    def municipalities(self, timestamp: datetime) -> OperationTiming:
+        """Operation 2: hotspot → municipality association."""
+        update = (
+            _PREFIXES
+            + f"""
+INSERT {{ ?h noa:isInMunicipality ?m }}
+WHERE {{
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
+     strdf:hasGeometry ?hGeo .
+  ?m a gag:Dhmos ;
+     strdf:hasGeometry ?mGeo .
+  FILTER(strdf:anyInteract(?hGeo, ?mGeo)) .
+}}
+"""
+        )
+        return self._run("Municipalities", timestamp, update)
+
+    def delete_in_sea(self, timestamp: datetime) -> OperationTiming:
+        """Operation 3: the paper's first update statement, scoped to one
+        acquisition (hotspots intersecting no coastline polygon lie
+        entirely in the sea)."""
+        update = (
+            _PREFIXES
+            + f"""
+DELETE {{ ?h ?hProperty ?hObject }}
+WHERE {{
+  {{ SELECT DISTINCT ?h WHERE {{
+       ?h a noa:Hotspot ;
+          noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
+          strdf:hasGeometry ?hGeo .
+       OPTIONAL {{
+         ?c a coast:Coastline ;
+            strdf:hasGeometry ?cGeo .
+         FILTER (strdf:anyInteract(?hGeo, ?cGeo)) }}
+       FILTER(!bound(?c)) }} }}
+  ?h ?hProperty ?hObject . }}
+"""
+        )
+        return self._run("Delete In Sea", timestamp, update)
+
+    def invalid_for_fires(self, timestamp: datetime) -> OperationTiming:
+        """Operation 4: drop hotspots over fully inconsistent land-cover
+        classes (urban fabric, industrial units, permanent crops) that do
+        not also touch fire-consistent (forest / semi-natural) cover —
+        the paper's first false-alarm scenario."""
+        update = (
+            _PREFIXES
+            + f"""
+DELETE {{ ?h ?hProperty ?hObject }}
+WHERE {{
+  {{ SELECT DISTINCT ?h WHERE {{
+       ?h a noa:Hotspot ;
+          noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
+          strdf:hasGeometry ?hGeo .
+       ?bad a clc:Area ;
+          clc:hasLandUse ?badUse ;
+          strdf:hasGeometry ?badGeo .
+       {{ ?badUse a clc:ArtificialSurfaces }} UNION
+       {{ ?badUse a clc:PermanentCrops }}
+       FILTER(strdf:anyInteract(?hGeo, ?badGeo)) .
+       OPTIONAL {{
+         ?ok a clc:Area ;
+            clc:hasLandUse ?okUse ;
+            strdf:hasGeometry ?okGeo .
+         ?okUse a clc:ForestsAndSemiNaturalAreas .
+         FILTER(strdf:anyInteract(?hGeo, ?okGeo)) }}
+       FILTER(!bound(?ok)) }} }}
+  ?h ?hProperty ?hObject . }}
+"""
+        )
+        return self._run("Invalid For Fires", timestamp, update)
+
+    def refine_in_coast(self, timestamp: datetime) -> OperationTiming:
+        """Operation 5: the paper's second update statement verbatim —
+        replace the geometry of partially-at-sea hotspots with its
+        intersection with the union of coastline polygons."""
+        update = (
+            _PREFIXES
+            + f"""
+DELETE {{ ?h strdf:hasGeometry ?hGeo }}
+INSERT {{ ?h strdf:hasGeometry ?dif }}
+WHERE {{
+  SELECT DISTINCT ?h ?hGeo
+  (strdf:intersection(?hGeo, strdf:union(?cGeo)) AS ?dif)
+  WHERE {{
+    ?h a noa:Hotspot ;
+       noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
+       strdf:hasGeometry ?hGeo .
+    ?c a coast:Coastline ;
+       strdf:hasGeometry ?cGeo .
+    FILTER(strdf:anyInteract(?hGeo, ?cGeo)) }}
+  GROUP BY ?h ?hGeo
+  HAVING strdf:overlap(?hGeo, strdf:union(?cGeo)) }}
+"""
+        )
+        return self._run("Refine In Coast", timestamp, update)
+
+    def time_persistence(self, timestamp: datetime) -> OperationTiming:
+        """Operation 6: confirmation by temporal persistence.
+
+        A hotspot is *confirmed* when the same location was detected at
+        least ``persistence_min_detections`` times during the preceding
+        window; otherwise it is marked *unconfirmed*.
+        """
+        window_start = timestamp - timedelta(
+            minutes=self.persistence_window_minutes
+        )
+        t0 = time.perf_counter()
+        confirm = (
+            _PREFIXES
+            + f"""
+INSERT {{ ?h noa:hasConfirmation noa:confirmed }}
+WHERE {{
+  SELECT ?h (COUNT(?prev) AS ?n)
+  WHERE {{
+    ?h a noa:Hotspot ;
+       noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
+       strdf:hasGeometry ?hGeo .
+    ?prev a noa:Hotspot ;
+       noa:hasAcquisitionDateTime ?pTime ;
+       strdf:hasGeometry ?pGeo .
+    FILTER( str(?pTime) < "{_stamp(timestamp)}" ) .
+    FILTER( str(?pTime) >= "{_stamp(window_start)}" ) .
+    FILTER( strdf:anyInteract(?hGeo, ?pGeo) ) .
+  }}
+  GROUP BY ?h
+  HAVING (COUNT(?prev) >= {self.persistence_min_detections}) }}
+"""
+        )
+        confirmed = self.strabon.update(confirm)
+        mark_rest = (
+            _PREFIXES
+            + f"""
+INSERT {{ ?h noa:hasConfirmation noa:unconfirmed }}
+WHERE {{
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime .
+  FILTER NOT EXISTS {{ ?h noa:hasConfirmation noa:confirmed }} }}
+"""
+        )
+        self.strabon.update(mark_rest)
+        timing = OperationTiming(
+            "Time Persistence",
+            timestamp,
+            time.perf_counter() - t0,
+            {"confirmed": confirmed.added},
+        )
+        self.timings.append(timing)
+        return timing
+
+    # -- orchestration -----------------------------------------------------
+
+    def refine_acquisition(
+        self, product: HotspotProduct
+    ) -> List[OperationTiming]:
+        """Run all six operations for one product; returns their timings."""
+        out = [self.store(product)]
+        ts = product.timestamp
+        out.append(self.municipalities(ts))
+        out.append(self.delete_in_sea(ts))
+        out.append(self.invalid_for_fires(ts))
+        out.append(self.refine_in_coast(ts))
+        out.append(self.time_persistence(ts))
+        return out
+
+    def surviving_hotspots(self, timestamp: Optional[datetime] = None):
+        """Hotspot URI / geometry / confidence rows after refinement."""
+        scope = (
+            f'FILTER( str(?t) = "{_stamp(timestamp)}" ) .'
+            if timestamp is not None
+            else ""
+        )
+        query = (
+            _PREFIXES
+            + f"""
+SELECT ?h ?hGeo ?conf ?confirmation
+WHERE {{
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?t ;
+     strdf:hasGeometry ?hGeo ;
+     noa:hasConfidence ?conf .
+  OPTIONAL {{ ?h noa:hasConfirmation ?confirmation }}
+  {scope} }}
+"""
+        )
+        return self.strabon.select(query)
+
+    def _run(
+        self, operation: str, timestamp: datetime, update_text: str
+    ) -> OperationTiming:
+        t0 = time.perf_counter()
+        result = self.strabon.update(update_text)
+        timing = OperationTiming(
+            operation,
+            timestamp,
+            time.perf_counter() - t0,
+            {"added": result.added, "removed": result.removed},
+        )
+        self.timings.append(timing)
+        return timing

@@ -1,0 +1,104 @@
+"""ASCII situation maps.
+
+The operations room of the paper gets maps through GeoServer; for a
+terminal-only reproduction we render the same situation — coastline,
+hotspots, infrastructure — as character art.  Used by the examples and
+handy when debugging scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.products import Hotspot
+from repro.datasets.geography import SyntheticGreece
+from repro.geometry import Point
+
+#: Glyphs by priority (later entries drawn on top).
+GLYPH_SEA = "."
+GLYPH_LAND = " "
+GLYPH_COAST = "~"
+GLYPH_CAPITAL = "O"
+GLYPH_FIRE_STATION = "+"
+GLYPH_POTENTIAL = "x"
+GLYPH_FIRE = "#"
+
+
+def render_situation_map(
+    greece: SyntheticGreece,
+    hotspots: Sequence[Hotspot] = (),
+    width: int = 78,
+    height: int = 30,
+    show_infrastructure: bool = True,
+    bbox: Optional[Tuple[float, float, float, float]] = None,
+) -> str:
+    """Render a situation map as a multi-line string.
+
+    ``#`` fire pixels, ``x`` potential fires, ``O`` prefecture capitals,
+    ``+`` fire stations, ``~`` coastline, ``.`` open sea.
+    """
+    minx, miny, maxx, maxy = bbox or greece.bbox
+
+    def cell_of(lon: float, lat: float) -> Optional[Tuple[int, int]]:
+        if not (minx <= lon <= maxx and miny <= lat <= maxy):
+            return None
+        col = int((lon - minx) / (maxx - minx) * (width - 1))
+        row = int((maxy - lat) / (maxy - miny) * (height - 1))
+        return (row, col)
+
+    grid: List[List[str]] = []
+    for row in range(height):
+        lat = maxy - (row + 0.5) / height * (maxy - miny)
+        line: List[str] = []
+        for col in range(width):
+            lon = minx + (col + 0.5) / width * (maxx - minx)
+            line.append(
+                GLYPH_LAND if greece.is_land(lon, lat) else GLYPH_SEA
+            )
+        grid.append(line)
+    # Trace the coast: land cells adjacent to sea cells.
+    for r in range(height):
+        for c in range(width):
+            if grid[r][c] != GLYPH_LAND:
+                continue
+            neighbours = [
+                grid[rr][cc]
+                for rr, cc in (
+                    (r - 1, c),
+                    (r + 1, c),
+                    (r, c - 1),
+                    (r, c + 1),
+                )
+                if 0 <= rr < height and 0 <= cc < width
+            ]
+            if GLYPH_SEA in neighbours:
+                grid[r][c] = GLYPH_COAST
+    if show_infrastructure:
+        for pref in greece.prefectures:
+            _plot(grid, cell_of(pref.capital.x, pref.capital.y), GLYPH_CAPITAL)
+        for amenity in greece.amenities:
+            if amenity.kind == "FireStation":
+                _plot(
+                    grid,
+                    cell_of(amenity.point.x, amenity.point.y),
+                    GLYPH_FIRE_STATION,
+                )
+    for hotspot in hotspots:
+        centre = hotspot.polygon.centroid
+        glyph = GLYPH_FIRE if hotspot.confidence >= 1.0 else GLYPH_POTENTIAL
+        _plot(grid, cell_of(centre.x, centre.y), glyph)
+    legend = (
+        f"{GLYPH_FIRE} fire  {GLYPH_POTENTIAL} potential  "
+        f"{GLYPH_CAPITAL} capital  {GLYPH_FIRE_STATION} fire station  "
+        f"{GLYPH_COAST} coast"
+    )
+    return "\n".join("".join(line) for line in grid) + "\n" + legend
+
+
+def _plot(
+    grid: List[List[str]], cell: Optional[Tuple[int, int]], glyph: str
+) -> None:
+    if cell is None:
+        return
+    row, col = cell
+    grid[row][col] = glyph

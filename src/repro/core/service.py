@@ -1,0 +1,192 @@
+"""The end-to-end real-time fire monitoring service.
+
+Ties everything together the way Figure 3 draws it: acquisitions flow
+from the (simulated) satellite through the data vault into the processing
+chain (SciQL over MonetDB), products are annotated in stRDF, refined with
+linked geospatial data (stSPARQL over Strabon), and disseminated as
+shapefiles and thematic map layers.
+
+Two configurations are provided:
+
+* ``mode="teleios"`` — the paper's improved service (SciQL chain +
+  semantic refinement),
+* ``mode="pre-teleios"`` — the legacy configuration of Figure 1 (C-style
+  chain, no refinement), used as the comparison baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.archive import ProductArchive
+from repro.core.legacy import LegacyChain
+from repro.core.mapping import MapComposer
+from repro.core.products import HotspotProduct
+from repro.core.refinement import OperationTiming, RefinementPipeline
+from repro.core.sciql_chain import SciQLChain
+from repro.datasets import SyntheticGreece, load_auxiliary_data
+from repro.seviri.fires import FireSeason
+from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
+from repro.seviri.hrit import write_hrit_segments
+from repro.seviri.scene import SceneGenerator, SceneImage
+from repro.shapefile import write_shapefile
+from repro.stsparql import Strabon
+
+
+@dataclass
+class AcquisitionOutcome:
+    """Everything the service produced for one acquisition."""
+
+    timestamp: datetime
+    sensor: str
+    raw_product: HotspotProduct
+    refined_count: Optional[int] = None
+    chain_seconds: float = 0.0
+    refinement_timings: List[OperationTiming] = field(default_factory=list)
+
+    @property
+    def refinement_seconds(self) -> float:
+        return sum(t.seconds for t in self.refinement_timings)
+
+    @property
+    def within_budget(self) -> bool:
+        """Both stages must fit in the 5-minute MSG1 window (§4.2.1)."""
+        return (self.chain_seconds + self.refinement_seconds) < 300.0
+
+
+class FireMonitoringService:
+    """The NOA fire monitoring service, rebuilt on TELEIOS technologies."""
+
+    def __init__(
+        self,
+        greece: Optional[SyntheticGreece] = None,
+        mode: str = "teleios",
+        seed: int = 42,
+        use_files: bool = False,
+        workdir: Optional[str] = None,
+        archive_products: bool = False,
+        clouds_per_scene: float = 0.0,
+    ) -> None:
+        if mode not in ("teleios", "pre-teleios"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.greece = greece if greece is not None else SyntheticGreece(seed)
+        self.scene_generator = SceneGenerator(
+            self.greece, clouds_per_scene=clouds_per_scene
+        )
+        self.georeference = GeoReference(RawGrid(), TargetGrid())
+        self.use_files = use_files
+        self.workdir = workdir or tempfile.mkdtemp(prefix="noa_service_")
+        self.archive: Optional[ProductArchive] = (
+            ProductArchive(os.path.join(self.workdir, "archive"))
+            if archive_products
+            else None
+        )
+        if mode == "teleios":
+            self.chain = SciQLChain(self.georeference)
+            self.strabon = Strabon()
+            load_auxiliary_data(self.strabon, self.greece)
+            self.refinement: Optional[RefinementPipeline] = (
+                RefinementPipeline(self.strabon)
+            )
+            self.map_composer: Optional[MapComposer] = MapComposer(
+                self.strabon
+            )
+        else:
+            self.chain = LegacyChain(self.georeference)
+            self.strabon = None  # type: ignore[assignment]
+            self.refinement = None
+            self.map_composer = None
+        self.outcomes: List[AcquisitionOutcome] = []
+
+    # -- acquisition processing ------------------------------------------
+
+    def process_acquisition(
+        self,
+        when: datetime,
+        season: Optional[FireSeason] = None,
+        sensor_name: str = "MSG2",
+    ) -> AcquisitionOutcome:
+        """Synthesise, detect and (in teleios mode) refine one acquisition."""
+        scene = self.scene_generator.generate(
+            when, season, sensor_name=sensor_name
+        )
+        return self.process_scene(scene)
+
+    def process_scene(self, scene: SceneImage) -> AcquisitionOutcome:
+        chain_input = self._chain_input(scene)
+        product = self.chain.process(chain_input)
+        outcome = AcquisitionOutcome(
+            timestamp=product.timestamp,
+            sensor=product.sensor,
+            raw_product=product,
+            chain_seconds=product.processing_seconds,
+        )
+        if self.refinement is not None:
+            outcome.refinement_timings = self.refinement.refine_acquisition(
+                product
+            )
+            surviving = self.refinement.surviving_hotspots(product.timestamp)
+            outcome.refined_count = len(surviving)
+        if self.archive is not None:
+            self.archive.store(product)
+        self.outcomes.append(outcome)
+        return outcome
+
+    def _chain_input(self, scene: SceneImage):
+        if not self.use_files:
+            return scene
+        # Full fidelity: write HRIT segments and let the vault ingest them.
+        stamp = scene.timestamp.strftime("%Y%m%d%H%M%S")
+        dir039 = os.path.join(self.workdir, f"{stamp}_039")
+        dir108 = os.path.join(self.workdir, f"{stamp}_108")
+        write_hrit_segments(
+            dir039, scene.sensor_name, "IR_039", scene.timestamp, scene.t039
+        )
+        write_hrit_segments(
+            dir108, scene.sensor_name, "IR_108", scene.timestamp, scene.t108
+        )
+        return (dir039, dir108)
+
+    # -- dissemination -----------------------------------------------------
+
+    def export_product(
+        self, product: HotspotProduct, base_path: Optional[str] = None
+    ) -> str:
+        """Write the product as an ESRI shapefile; returns the .shp path."""
+        if base_path is None:
+            stamp = product.timestamp.strftime("%Y%m%d%H%M%S")
+            base_path = os.path.join(
+                self.workdir, f"hotspots_{product.sensor}_{stamp}"
+            )
+        shp, _shx, _dbf = write_shapefile(product.to_shapefile(), base_path)
+        product.filename = shp
+        return shp
+
+    def thematic_map(self, **kwargs) -> Dict:
+        """The Figure 6 overlay map (teleios mode only)."""
+        if self.map_composer is None:
+            raise RuntimeError(
+                "thematic maps need the teleios mode (Strabon endpoint)"
+            )
+        return self.map_composer.compose(**kwargs)
+
+    # -- reporting -------------------------------------------------------
+
+    def timing_summary(self) -> Dict[str, float]:
+        """Average per-acquisition stage timings across outcomes."""
+        if not self.outcomes:
+            return {}
+        n = len(self.outcomes)
+        return {
+            "chain_avg_s": sum(o.chain_seconds for o in self.outcomes) / n,
+            "refine_avg_s": sum(
+                o.refinement_seconds for o in self.outcomes
+            )
+            / n,
+            "acquisitions": float(n),
+        }

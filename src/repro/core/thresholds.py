@@ -1,0 +1,109 @@
+"""EUMETSAT-style classification thresholds (§3.1.3).
+
+The classifier uses four thresholds per confidence level: the IR 3.9
+brightness temperature, the 3.9−10.8 difference, and the two window
+standard deviations.  Figure 4 hard-codes the daytime set; at night a
+lower set applies; for solar zenith angles between 70° and 90° the sets
+are linearly interpolated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Solar zenith angle below which full daytime thresholds apply.
+DAY_ZENITH_DEG = 70.0
+#: ... and above which full nighttime thresholds apply.
+NIGHT_ZENITH_DEG = 90.0
+
+#: Cloud mask: a Mediterranean-summer 10.8 µm brightness temperature below
+#: this is cloud top, not surface — such pixels are excluded from the
+#: classification windows (the paper's "cloud-masked" processing chain).
+CLOUD_T108_MAX = 272.0
+
+
+@dataclass(frozen=True)
+class ThresholdSet:
+    """One complete set of classification thresholds.
+
+    ``*_potential`` values gate confidence 1 (potential fire); the
+    stricter ``*_fire`` values gate confidence 2 (fire).
+    """
+
+    t039_min: float
+    diff_fire: float
+    diff_potential: float
+    std039_fire: float
+    std039_potential: float
+    std108_max: float
+
+
+#: The daytime set — exactly the constants of Figure 4.
+DAY_THRESHOLDS = ThresholdSet(
+    t039_min=310.0,
+    diff_fire=10.0,
+    diff_potential=8.0,
+    std039_fire=4.0,
+    std039_potential=2.5,
+    std108_max=2.0,
+)
+
+#: The night set: cooler backgrounds allow lower gates.
+NIGHT_THRESHOLDS = ThresholdSet(
+    t039_min=303.0,
+    diff_fire=7.0,
+    diff_potential=5.5,
+    std039_fire=3.0,
+    std039_potential=2.0,
+    std108_max=2.0,
+)
+
+
+def interpolate_thresholds(zenith_deg: float) -> ThresholdSet:
+    """The threshold set for one solar zenith angle (scalar)."""
+    w = day_weight(zenith_deg)
+    return ThresholdSet(
+        t039_min=_mix(DAY_THRESHOLDS.t039_min, NIGHT_THRESHOLDS.t039_min, w),
+        diff_fire=_mix(DAY_THRESHOLDS.diff_fire, NIGHT_THRESHOLDS.diff_fire, w),
+        diff_potential=_mix(
+            DAY_THRESHOLDS.diff_potential, NIGHT_THRESHOLDS.diff_potential, w
+        ),
+        std039_fire=_mix(
+            DAY_THRESHOLDS.std039_fire, NIGHT_THRESHOLDS.std039_fire, w
+        ),
+        std039_potential=_mix(
+            DAY_THRESHOLDS.std039_potential,
+            NIGHT_THRESHOLDS.std039_potential,
+            w,
+        ),
+        std108_max=_mix(
+            DAY_THRESHOLDS.std108_max, NIGHT_THRESHOLDS.std108_max, w
+        ),
+    )
+
+
+def day_weight(zenith_deg) -> np.ndarray:
+    """1.0 during day, 0.0 at night, linear in between — vectorised."""
+    z = np.asarray(zenith_deg, dtype=np.float64)
+    w = (NIGHT_ZENITH_DEG - z) / (NIGHT_ZENITH_DEG - DAY_ZENITH_DEG)
+    return np.clip(w, 0.0, 1.0)
+
+
+def threshold_grids(zenith_deg: np.ndarray):
+    """Per-pixel interpolated threshold grids for a zenith-angle raster.
+
+    Returns a dict of numpy arrays keyed by the ThresholdSet field names.
+    """
+    w = day_weight(zenith_deg)
+    out = {}
+    for name in ThresholdSet.__dataclass_fields__:
+        day_v = getattr(DAY_THRESHOLDS, name)
+        night_v = getattr(NIGHT_THRESHOLDS, name)
+        out[name] = night_v + (day_v - night_v) * w
+    return out
+
+
+def _mix(day_value: float, night_value: float, w: float) -> float:
+    return night_value + (day_value - night_value) * float(w)

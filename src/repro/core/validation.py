@@ -1,0 +1,193 @@
+"""Thematic-accuracy cross-validation (§4.1, Table 1).
+
+The paper's protocol, reproduced step for step:
+
+1. pick the crisis days,
+2. collect MODIS detections per overpass (our FIRMS analogue),
+3. merge 30 minutes of MSG acquisitions around each overpass time,
+4. overlay points and polygons with a 700 m tolerance,
+5. report omission error (MODIS hotspots missed by MSG) and false-alarm
+   rate (MSG hotspots unconfirmed by MODIS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.products import Hotspot, HotspotProduct
+from repro.geometry import Point, Polygon, RTree
+from repro.seviri.modis import ModisDetection
+
+#: The paper's point-in-polygon tolerance: 700 m, in degrees.
+TOLERANCE_DEG = 0.7 / 111.0
+
+
+@dataclass
+class ValidationRow:
+    """One row of Table 1."""
+
+    chain: str
+    total_modis: int
+    modis_detected_by_msg: int
+    total_msg: int
+    msg_detected_by_modis: int
+
+    @property
+    def omission_error_pct(self) -> float:
+        if self.total_modis == 0:
+            return 0.0
+        return 100.0 * (
+            1.0 - self.modis_detected_by_msg / self.total_modis
+        )
+
+    @property
+    def false_alarm_rate_pct(self) -> float:
+        if self.total_msg == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.msg_detected_by_modis / self.total_msg)
+
+    def as_table1_row(self) -> Tuple:
+        return (
+            self.chain,
+            self.total_modis,
+            self.modis_detected_by_msg,
+            round(self.omission_error_pct, 2),
+            self.total_msg,
+            self.msg_detected_by_modis,
+            round(self.false_alarm_rate_pct, 2),
+        )
+
+
+@dataclass
+class OverpassSample:
+    """MODIS detections + merged MSG hotspots around one overpass."""
+
+    overpass_time: datetime
+    modis: List[ModisDetection]
+    msg_hotspots: List[Hotspot]
+
+
+class CrossValidator:
+    """Implements the Table 1 counting protocol."""
+
+    def __init__(
+        self,
+        merge_window_minutes: float = 30.0,
+        tolerance_deg: float = TOLERANCE_DEG,
+    ) -> None:
+        self.merge_window = timedelta(minutes=merge_window_minutes)
+        self.tolerance_deg = tolerance_deg
+
+    def build_samples(
+        self,
+        modis_by_overpass: Dict[datetime, List[ModisDetection]],
+        msg_products: Sequence[HotspotProduct],
+    ) -> List[OverpassSample]:
+        """Merge MSG acquisitions (±window/2) around each MODIS overpass."""
+        half = self.merge_window / 2
+        samples: List[OverpassSample] = []
+        for overpass_time, detections in sorted(
+            modis_by_overpass.items()
+        ):
+            merged: List[Hotspot] = []
+            seen_cells = set()
+            for product in msg_products:
+                if abs(product.timestamp - overpass_time) > half:
+                    continue
+                for hotspot in product.hotspots:
+                    cell = (hotspot.x, hotspot.y)
+                    if cell in seen_cells:
+                        continue  # the same pixel across 5-min repeats
+                    seen_cells.add(cell)
+                    merged.append(hotspot)
+            samples.append(
+                OverpassSample(overpass_time, list(detections), merged)
+            )
+        return samples
+
+    def count_sample(
+        self, sample: OverpassSample
+    ) -> Tuple[int, int, int, int]:
+        """(total_modis, modis_hit, total_msg, msg_hit) for one overpass."""
+        tol = self.tolerance_deg
+        msg_index = RTree.bulk_load(
+            (h.polygon.envelope.expand(tol), h) for h in sample.msg_hotspots
+        )
+        modis_hit = 0
+        for det in sample.modis:
+            point = det.point
+            for hotspot in msg_index.search_point(det.lon, det.lat):
+                if _point_near_polygon(point, hotspot.polygon, tol):
+                    modis_hit += 1
+                    break
+        modis_index = RTree.bulk_load(
+            (
+                d.point.envelope.expand(tol),
+                d,
+            )
+            for d in sample.modis
+        )
+        msg_hit = 0
+        for hotspot in sample.msg_hotspots:
+            env = hotspot.polygon.envelope.expand(tol)
+            confirmed = False
+            for det in modis_index.search(env):
+                if _point_near_polygon(det.point, hotspot.polygon, tol):
+                    confirmed = True
+                    break
+            if confirmed:
+                msg_hit += 1
+        return (
+            len(sample.modis),
+            modis_hit,
+            len(sample.msg_hotspots),
+            msg_hit,
+        )
+
+    def validate(
+        self,
+        chain_name: str,
+        modis_by_overpass: Dict[datetime, List[ModisDetection]],
+        msg_products: Sequence[HotspotProduct],
+    ) -> ValidationRow:
+        """Aggregate all overpasses into one Table 1 row."""
+        totals = [0, 0, 0, 0]
+        for sample in self.build_samples(modis_by_overpass, msg_products):
+            counts = self.count_sample(sample)
+            for i in range(4):
+                totals[i] += counts[i]
+        return ValidationRow(
+            chain=chain_name,
+            total_modis=totals[0],
+            modis_detected_by_msg=totals[1],
+            total_msg=totals[2],
+            msg_detected_by_modis=totals[3],
+        )
+
+
+def _point_near_polygon(
+    point: Point, polygon: Polygon, tolerance: float
+) -> bool:
+    if polygon.contains_point((point.x, point.y)):
+        return True
+    return point.distance(polygon) <= tolerance
+
+
+def format_table1(rows: Iterable[ValidationRow]) -> str:
+    """Render rows in the layout of Table 1."""
+    header = (
+        f"{'Processing Chain':<18} {'MODIS total':>11} {'MODIS hit':>9} "
+        f"{'Omission %':>10} {'MSG total':>9} {'MSG hit':>8} "
+        f"{'False alarm %':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        values = row.as_table1_row()
+        lines.append(
+            f"{values[0]:<18} {values[1]:>11} {values[2]:>9} "
+            f"{values[3]:>10.2f} {values[4]:>9} {values[5]:>8} "
+            f"{values[6]:>13.2f}"
+        )
+    return "\n".join(lines)

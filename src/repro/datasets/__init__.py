@@ -1,0 +1,31 @@
+"""Synthetic auxiliary geospatial datasets.
+
+The paper's refinement pipeline correlates hotspot products with five
+auxiliary datasets: the Greek coastline, Corine Land Cover, the Greek
+Administrative Geography, LinkedGeoData and GeoNames.  Real copies of
+those datasets are not redistributable here, so this package generates a
+deterministic *synthetic Greece* ("Hellas-Sim") with the same structure —
+a fractal coastline with islands, a three-level CLC land-cover partition,
+a prefecture/municipality administrative hierarchy, a road/amenity network
+and a gazetteer — and converts each dataset to RDF using exactly the
+vocabularies shown in Section 3.2.3 of the paper.
+"""
+
+from repro.datasets.geography import SyntheticGreece
+from repro.datasets.corine import CLC_TAXONOMY, corine_to_rdf
+from repro.datasets.coastline import coastline_to_rdf
+from repro.datasets.gag import gag_to_rdf
+from repro.datasets.linkedgeodata import linkedgeodata_to_rdf
+from repro.datasets.geonames import geonames_to_rdf
+from repro.datasets.loader import load_auxiliary_data
+
+__all__ = [
+    "CLC_TAXONOMY",
+    "SyntheticGreece",
+    "coastline_to_rdf",
+    "corine_to_rdf",
+    "gag_to_rdf",
+    "geonames_to_rdf",
+    "linkedgeodata_to_rdf",
+    "load_auxiliary_data",
+]

@@ -1,0 +1,134 @@
+"""Corine Land Cover: class taxonomy and RDF conversion.
+
+CLC uses a three-level hierarchical nomenclature; the refinement queries
+rely on the class taxonomy (``rdfs:subClassOf``) so that e.g. asking for
+``clc:Forests`` also matches coniferous-forest areas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.rdf import CLC, RDF, RDFS, STRDF, Graph, Literal, URI
+from repro.datasets.geography import SyntheticGreece
+
+#: level-3 key -> (class local name, level-2 class, level-1 class)
+CLC_TAXONOMY: Dict[str, Tuple[str, str, str]] = {
+    "continuousUrbanFabric": (
+        "ContinuousUrbanFabric", "UrbanFabric", "ArtificialSurfaces",
+    ),
+    "discontinuousUrbanFabric": (
+        "DiscontinuousUrbanFabric", "UrbanFabric", "ArtificialSurfaces",
+    ),
+    "industrialOrCommercialUnits": (
+        "IndustrialOrCommercialUnits",
+        "IndustrialCommercialAndTransportUnits",
+        "ArtificialSurfaces",
+    ),
+    "nonIrrigatedArableLand": (
+        "NonIrrigatedArableLand", "ArableLand", "AgriculturalAreas",
+    ),
+    "permanentlyIrrigatedLand": (
+        "PermanentlyIrrigatedLand", "ArableLand", "AgriculturalAreas",
+    ),
+    "vineyards": ("Vineyards", "PermanentCrops", "AgriculturalAreas"),
+    "olivegroves": ("OliveGroves", "PermanentCrops", "AgriculturalAreas"),
+    "broadLeavedForest": (
+        "BroadLeavedForest", "Forests", "ForestsAndSemiNaturalAreas",
+    ),
+    "coniferousForest": (
+        "ConiferousForest", "Forests", "ForestsAndSemiNaturalAreas",
+    ),
+    "mixedForest": ("MixedForest", "Forests", "ForestsAndSemiNaturalAreas"),
+    "naturalGrassland": (
+        "NaturalGrassland",
+        "ScrubAndOrHerbaceousVegetationAssociations",
+        "ForestsAndSemiNaturalAreas",
+    ),
+    "sclerophyllousVegetation": (
+        "SclerophyllousVegetation",
+        "ScrubAndOrHerbaceousVegetationAssociations",
+        "ForestsAndSemiNaturalAreas",
+    ),
+    "transitionalWoodlandShrub": (
+        "TransitionalWoodlandShrub",
+        "ScrubAndOrHerbaceousVegetationAssociations",
+        "ForestsAndSemiNaturalAreas",
+    ),
+    "beachesDunesSands": (
+        "BeachesDunesSands",
+        "OpenSpacesWithLittleOrNoVegetation",
+        "ForestsAndSemiNaturalAreas",
+    ),
+}
+
+LEVEL3_KEYS = frozenset(CLC_TAXONOMY)
+
+#: Level-3 keys where a detected hotspot is consistent with a forest fire.
+FIRE_CONSISTENT_KEYS = frozenset(
+    key
+    for key, (_, _, level1) in CLC_TAXONOMY.items()
+    if level1 == "ForestsAndSemiNaturalAreas"
+)
+
+#: Level-3 keys that invalidate a hotspot (urban / permanent agriculture —
+#: the paper's "fully inconsistent land use/land cover classes").
+FIRE_INCONSISTENT_KEYS = frozenset(
+    key
+    for key, (_, level2, level1) in CLC_TAXONOMY.items()
+    if level1 == "ArtificialSurfaces" or level2 == "PermanentCrops"
+)
+
+
+def taxonomy_triples() -> List[tuple]:
+    """The rdfs:subClassOf taxonomy triples for the CLC hierarchy."""
+    triples = []
+    seen = set()
+    for key, (level3, level2, level1) in CLC_TAXONOMY.items():
+        if (level3, level2) not in seen:
+            triples.append(
+                (CLC.term(level3), RDFS.subClassOf, CLC.term(level2))
+            )
+            seen.add((level3, level2))
+        if (level2, level1) not in seen:
+            triples.append(
+                (CLC.term(level2), RDFS.subClassOf, CLC.term(level1))
+            )
+            seen.add((level2, level1))
+        if (level1, "LandCoverClass") not in seen:
+            triples.append(
+                (
+                    CLC.term(level1),
+                    RDFS.subClassOf,
+                    CLC.term("LandCoverClass"),
+                )
+            )
+            seen.add((level1, "LandCoverClass"))
+    return triples
+
+
+def corine_to_rdf(greece: SyntheticGreece, graph: Graph) -> int:
+    """Convert the synthetic CLC partition to RDF (paper §3.2.3 style).
+
+    Every area gets a ``clc:Area`` node with a geometry literal and a
+    ``clc:hasLandUse`` edge to a land-use *instance* typed by its level-3
+    class — mirroring the paper's example triples.
+    """
+    added = 0
+    for triple in taxonomy_triples():
+        added += graph.add(*triple)
+    landuse_instances = {}
+    for key, (level3, _, _) in CLC_TAXONOMY.items():
+        instance = CLC.term(key)
+        landuse_instances[key] = instance
+        added += graph.add(instance, RDF.type, CLC.term(level3))
+    for i, area in enumerate(greece.land_cover):
+        node = CLC.term(f"Area_{i}")
+        added += graph.add(node, RDF.type, CLC.Area)
+        added += graph.add(
+            node,
+            STRDF.hasGeometry,
+            Literal(area.polygon.wkt, datatype=STRDF.geometry.value),
+        )
+        added += graph.add(node, CLC.hasLandUse, landuse_instances[area.code])
+    return added

@@ -1,0 +1,59 @@
+"""Greek Administrative Geography → RDF.
+
+Prefectures and municipalities with labels, populations, containment
+(``gag:isPartOf``) and geometries.  Municipalities are typed ``gag:Dhmos``
+(the class name used by Query 5 in the paper) and also carry the YPES
+registry code the query projects.
+"""
+
+from __future__ import annotations
+
+from repro.rdf import GAG, NOA, RDF, RDFS, STRDF, Graph, Literal, XSD
+from repro.datasets.geography import SyntheticGreece
+
+
+def gag_to_rdf(greece: SyntheticGreece, graph: Graph) -> int:
+    added = 0
+    added += graph.add(GAG.Dhmos, RDFS.subClassOf, GAG.AdministrativeUnit)
+    added += graph.add(
+        GAG.Prefecture, RDFS.subClassOf, GAG.AdministrativeUnit
+    )
+    pref_nodes = {}
+    for pref in greece.prefectures:
+        node = GAG.term(pref.uri_suffix)
+        pref_nodes[pref.name] = node
+        added += graph.add(node, RDF.type, GAG.Prefecture)
+        added += graph.add(node, RDFS.label, Literal(pref.name))
+        added += graph.add(
+            node,
+            GAG.hasPopulation,
+            Literal(str(pref.population), datatype=XSD.base + "integer"),
+        )
+        added += graph.add(
+            node,
+            STRDF.hasGeometry,
+            Literal(pref.polygon.wkt, datatype=STRDF.geometry.value),
+        )
+    for i, mun in enumerate(greece.municipalities):
+        node = GAG.term(f"mun{i}")
+        added += graph.add(node, RDF.type, GAG.Dhmos)
+        added += graph.add(node, RDFS.label, Literal(mun.name))
+        added += graph.add(
+            node,
+            GAG.hasPopulation,
+            Literal(str(mun.population), datatype=XSD.base + "integer"),
+        )
+        added += graph.add(
+            node,
+            NOA.hasYpesCode,
+            Literal(mun.ypes_code, datatype=XSD.base + "string"),
+        )
+        parent = pref_nodes.get(mun.prefecture)
+        if parent is not None:
+            added += graph.add(node, GAG.isPartOf, parent)
+        added += graph.add(
+            node,
+            STRDF.hasGeometry,
+            Literal(mun.polygon.wkt, datatype=STRDF.geometry.value),
+        )
+    return added

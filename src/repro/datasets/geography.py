@@ -1,0 +1,521 @@
+"""Hellas-Sim: a deterministic synthetic Greece.
+
+Everything downstream (scene synthesis, refinement, validation) keys off
+the single :class:`SyntheticGreece` object built here.  The generator is
+fully deterministic for a given seed.
+
+Coordinate frame: WGS84 lon/lat degrees inside the bounding box
+(20.5, 34.5) – (27.0, 41.5), roughly the paper's area of interest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry import (
+    Envelope,
+    LineString,
+    Point,
+    Polygon,
+    RTree,
+)
+from repro.geometry import ops as geo_ops
+
+Coordinate = Tuple[float, float]
+
+#: Default bounding box (min_lon, min_lat, max_lon, max_lat).
+DEFAULT_BBOX = (20.5, 34.5, 27.0, 41.5)
+
+_SYLLABLES_A = [
+    "Ath", "Pat", "Kal", "Meg", "Nav", "Tri", "Kor", "Arg", "Spar", "Ther",
+    "Lam", "Vol", "Kast", "Ser", "Xan", "Kav", "Flor", "Pyr", "Kar", "Lar",
+]
+_SYLLABLES_B = [
+    "an", "ar", "ol", "ip", "am", "on", "el", "or", "it", "al",
+]
+_SYLLABLES_C = [
+    "ia", "os", "ion", "i", "a", "ada", "ini", "oni", "issa", "ido",
+]
+
+
+def _make_name(rng: np.random.Generator) -> str:
+    return (
+        _SYLLABLES_A[rng.integers(len(_SYLLABLES_A))]
+        + _SYLLABLES_B[rng.integers(len(_SYLLABLES_B))]
+        + _SYLLABLES_C[rng.integers(len(_SYLLABLES_C))]
+    )
+
+
+@dataclass
+class Prefecture:
+    """A first-level administrative division."""
+
+    name: str
+    polygon: Polygon
+    capital: Point
+    capital_name: str
+    population: int
+    uri_suffix: str = ""
+
+
+@dataclass
+class Municipality:
+    """A second-level administrative division (gag:Dhmos in the paper)."""
+
+    name: str
+    polygon: Polygon
+    population: int
+    prefecture: str
+    ypes_code: str = ""
+
+
+@dataclass
+class LandCoverArea:
+    """A Corine Land Cover level-3 area."""
+
+    code: str  # level-3 class key, e.g. "coniferousForest"
+    polygon: Polygon
+
+
+@dataclass
+class Road:
+    name: str
+    highway_class: str  # "Primary" | "Secondary" | "Tertiary"
+    line: LineString
+
+
+@dataclass
+class Amenity:
+    kind: str  # "FireStation" | "Hospital" | "School" | "IndustrialSite"
+    name: str
+    point: Point
+
+
+@dataclass
+class PlaceName:
+    """A GeoNames-style gazetteer entry."""
+
+    name: str
+    feature_code: str  # "P.PPLA" capitals, "P.PPL" towns
+    point: Point
+    population: int
+
+
+def _fractal_ring(
+    base: Sequence[Coordinate],
+    rng: np.random.Generator,
+    iterations: int,
+    roughness: float,
+) -> List[Coordinate]:
+    """Midpoint-displacement refinement of a coarse ring."""
+    ring = list(base)
+    for level in range(iterations):
+        out: List[Coordinate] = []
+        n = len(ring)
+        amp = roughness / (2.2**level)
+        for i in range(n):
+            a = ring[i]
+            b = ring[(i + 1) % n]
+            out.append(a)
+            mx, my = (a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0
+            # Displace perpendicular to the edge.
+            dx, dy = b[0] - a[0], b[1] - a[1]
+            norm = math.hypot(dx, dy)
+            if norm > 1e-9:
+                offset = (rng.random() - 0.5) * 2.0 * amp * norm
+                out.append((mx - dy / norm * offset, my + dx / norm * offset))
+        ring = out
+    return ring
+
+
+def _voronoi_polygons(
+    points: np.ndarray, bbox: Tuple[float, float, float, float]
+) -> List[Polygon]:
+    """Finite Voronoi cells clipped to ``bbox`` (mirror-point trick)."""
+    from scipy.spatial import Voronoi
+
+    minx, miny, maxx, maxy = bbox
+    mirrored = [points]
+    mirrored.append(np.column_stack([2 * minx - points[:, 0], points[:, 1]]))
+    mirrored.append(np.column_stack([2 * maxx - points[:, 0], points[:, 1]]))
+    mirrored.append(np.column_stack([points[:, 0], 2 * miny - points[:, 1]]))
+    mirrored.append(np.column_stack([points[:, 0], 2 * maxy - points[:, 1]]))
+    all_points = np.vstack(mirrored)
+    vor = Voronoi(all_points)
+    cells: List[Polygon] = []
+    for i in range(len(points)):
+        region_index = vor.point_region[i]
+        region = vor.regions[region_index]
+        if -1 in region or not region:
+            continue  # Cannot happen with mirrors, kept defensively.
+        coords = [tuple(vor.vertices[v]) for v in region]
+        poly = Polygon(coords)
+        cells.append(poly)
+    return cells
+
+
+class SyntheticGreece:
+    """The synthetic geography every other module consumes.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; two instances with the same seed are identical.
+    detail:
+        Fractal iterations for the coastline (2 is plenty for tests; 4
+        gives visually pleasing coastlines for demos).
+    """
+
+    def __init__(
+        self,
+        seed: int = 42,
+        detail: int = 3,
+        prefecture_count: int = 10,
+        municipality_count: int = 40,
+        land_cover_count: int = 90,
+    ) -> None:
+        self.seed = seed
+        self.prefecture_count = prefecture_count
+        self.municipality_count = municipality_count
+        self.land_cover_count = land_cover_count
+        self.bbox = DEFAULT_BBOX
+        rng = np.random.default_rng(seed)
+        self._rng = rng
+        self.mainland = self._build_mainland(rng, detail)
+        self.islands = self._build_islands(rng, detail)
+        self.land_polygons: List[Polygon] = [self.mainland, *self.islands]
+        self._land_index = RTree.bulk_load(
+            (p.envelope, p) for p in self.land_polygons
+        )
+        self.prefectures = self._build_prefectures(rng)
+        self.municipalities = self._build_municipalities(rng)
+        self.land_cover = self._build_land_cover(rng)
+        self._cover_index = RTree.bulk_load(
+            (area.polygon.envelope, area) for area in self.land_cover
+        )
+        self.roads = self._build_roads(rng)
+        self.amenities = self._build_amenities(rng)
+        self.placenames = self._build_placenames(rng)
+
+    # -- construction -------------------------------------------------------
+
+    def _build_mainland(
+        self, rng: np.random.Generator, detail: int
+    ) -> Polygon:
+        # A coarse landmass with a southern peninsula, vaguely Greece-shaped.
+        base = [
+            (21.3, 36.6),   # SW peninsula tip
+            (22.2, 36.4),
+            (23.1, 36.5),
+            (23.3, 37.2),
+            (23.0, 37.9),   # isthmus east
+            (24.1, 38.0),
+            (24.5, 38.6),
+            (24.3, 39.4),
+            (24.6, 40.2),
+            (25.6, 40.6),
+            (26.3, 41.1),
+            (25.2, 41.3),
+            (23.8, 41.2),
+            (22.6, 41.0),
+            (21.6, 40.8),
+            (21.0, 40.0),
+            (20.9, 39.0),
+            (21.4, 38.3),
+            (21.2, 37.8),
+            (21.0, 37.3),
+        ]
+        ring = _fractal_ring(base, rng, detail, roughness=0.18)
+        return Polygon(ring)
+
+    def _build_islands(
+        self, rng: np.random.Generator, detail: int
+    ) -> List[Polygon]:
+        islands: List[Polygon] = []
+        specs = [
+            ((24.8, 35.1), 0.9, 0.35),   # big southern island (Crete-ish)
+            ((26.2, 39.2), 0.35, 0.3),
+            ((26.5, 37.7), 0.3, 0.25),
+            ((25.3, 36.7), 0.22, 0.22),
+            ((23.5, 35.9), 0.18, 0.2),
+            ((24.9, 37.5), 0.16, 0.18),
+            ((26.0, 36.3), 0.14, 0.18),
+            ((22.4, 36.0), 0.12, 0.15),
+        ]
+        for (cx, cy), rx, ry in specs:
+            k = 10
+            base = [
+                (
+                    cx + rx * (1 + 0.25 * (rng.random() - 0.5))
+                    * math.cos(2 * math.pi * i / k),
+                    cy + ry * (1 + 0.25 * (rng.random() - 0.5))
+                    * math.sin(2 * math.pi * i / k),
+                )
+                for i in range(k)
+            ]
+            ring = _fractal_ring(base, rng, max(detail - 1, 1), roughness=0.15)
+            poly = Polygon(ring)
+            if not poly.envelope.intersects(self.mainland.envelope) or \
+                    not poly.intersects(self.mainland):
+                islands.append(poly)
+        return islands
+
+    def _land_seeds(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """Random points on land (rejection sampling)."""
+        minx, miny, maxx, maxy = self.bbox
+        seeds: List[Coordinate] = []
+        while len(seeds) < count:
+            lon = rng.uniform(minx, maxx)
+            lat = rng.uniform(miny, maxy)
+            if self.is_land(lon, lat):
+                seeds.append((lon, lat))
+        return np.array(seeds)
+
+    def _build_prefectures(
+        self, rng: np.random.Generator
+    ) -> List[Prefecture]:
+        seeds = self._land_seeds(rng, self.prefecture_count)
+        cells = _voronoi_polygons(seeds, self.bbox)
+        prefectures: List[Prefecture] = []
+        used_names: set = set()
+        for i, cell in enumerate(cells):
+            pieces = [
+                p
+                for land in self.land_polygons
+                for p in _clip_parts(land, cell)
+            ]
+            if not pieces:
+                continue
+            biggest = max(pieces, key=lambda p: p.area)
+            name = _unique_name(rng, used_names)
+            capital = biggest.representative_point()
+            prefectures.append(
+                Prefecture(
+                    name=f"Prefecture of {name}",
+                    polygon=biggest,
+                    capital=capital,
+                    capital_name=name,
+                    population=int(rng.integers(40, 900)) * 1000,
+                    uri_suffix=f"pre{name}",
+                )
+            )
+        return prefectures
+
+    def _build_municipalities(
+        self, rng: np.random.Generator
+    ) -> List[Municipality]:
+        seeds = self._land_seeds(rng, self.municipality_count)
+        cells = _voronoi_polygons(seeds, self.bbox)
+        municipalities: List[Municipality] = []
+        used_names: set = set()
+        pref_index = RTree.bulk_load(
+            (p.polygon.envelope, p) for p in self.prefectures
+        )
+        for cell in cells:
+            pieces = [
+                p
+                for land in self.land_polygons
+                for p in _clip_parts(land, cell)
+            ]
+            if not pieces:
+                continue
+            biggest = max(pieces, key=lambda p: p.area)
+            probe = biggest.representative_point()
+            parent = "Unassigned"
+            for pref in pref_index.search_point(probe.x, probe.y):
+                if pref.polygon.contains_point((probe.x, probe.y)):
+                    parent = pref.name
+                    break
+            name = _unique_name(rng, used_names)
+            municipalities.append(
+                Municipality(
+                    name=f"Municipality of {name}",
+                    polygon=biggest,
+                    population=int(rng.integers(2, 120)) * 1000,
+                    prefecture=parent,
+                    ypes_code=f"{rng.integers(1000, 9999)}",
+                )
+            )
+        return municipalities
+
+    def _build_land_cover(
+        self, rng: np.random.Generator
+    ) -> List[LandCoverArea]:
+        from repro.datasets.corine import LEVEL3_KEYS
+
+        seeds = self._land_seeds(rng, self.land_cover_count)
+        cells = _voronoi_polygons(seeds, self.bbox)
+        # Weighted class mix: forests and agriculture dominate.
+        weights = {
+            "coniferousForest": 0.17,
+            "broadLeavedForest": 0.12,
+            "mixedForest": 0.08,
+            "sclerophyllousVegetation": 0.14,
+            "transitionalWoodlandShrub": 0.09,
+            "naturalGrassland": 0.06,
+            "nonIrrigatedArableLand": 0.12,
+            "permanentlyIrrigatedLand": 0.05,
+            "olivegroves": 0.07,
+            "vineyards": 0.03,
+            "continuousUrbanFabric": 0.02,
+            "discontinuousUrbanFabric": 0.03,
+            "industrialOrCommercialUnits": 0.01,
+            "beachesDunesSands": 0.01,
+        }
+        keys = list(weights)
+        probs = np.array([weights[k] for k in keys])
+        probs = probs / probs.sum()
+        areas: List[LandCoverArea] = []
+        for cell in cells:
+            code = keys[rng.choice(len(keys), p=probs)]
+            assert code in LEVEL3_KEYS, code
+            for land in self.land_polygons:
+                for piece in _clip_parts(land, cell):
+                    areas.append(LandCoverArea(code=code, polygon=piece))
+        # Urban cores around prefecture capitals (guaranteed urban areas).
+        for pref in self.prefectures:
+            urban = Polygon.square(pref.capital.x, pref.capital.y, 0.12)
+            areas.append(
+                LandCoverArea(code="continuousUrbanFabric", polygon=urban)
+            )
+        return areas
+
+    def _build_roads(self, rng: np.random.Generator) -> List[Road]:
+        roads: List[Road] = []
+        capitals = [p.capital for p in self.prefectures]
+        used: set = set()
+        # Primary roads: spanning chain over capitals (sorted by lon).
+        ordered = sorted(capitals, key=lambda p: (p.x, p.y))
+        for i in range(len(ordered) - 1):
+            a, b = ordered[i], ordered[i + 1]
+            mid = (
+                (a.x + b.x) / 2 + rng.uniform(-0.1, 0.1),
+                (a.y + b.y) / 2 + rng.uniform(-0.1, 0.1),
+            )
+            roads.append(
+                Road(
+                    name=f"EO-{i + 1}",
+                    highway_class="Primary",
+                    line=LineString([(a.x, a.y), mid, (b.x, b.y)]),
+                )
+            )
+        # Secondary roads: capital to nearby municipality centres.
+        for mun in self.municipalities[::3]:
+            centre = mun.polygon.centroid
+            nearest = min(
+                capitals, key=lambda c: (c.x - centre.x) ** 2 + (c.y - centre.y) ** 2
+            )
+            name = f"Road of {mun.name.split()[-1]}"
+            if name in used:
+                continue
+            used.add(name)
+            roads.append(
+                Road(
+                    name=name,
+                    highway_class="Secondary" if rng.random() < 0.7 else "Tertiary",
+                    line=LineString(
+                        [(nearest.x, nearest.y), (centre.x, centre.y)]
+                    ),
+                )
+            )
+        return roads
+
+    def _build_amenities(self, rng: np.random.Generator) -> List[Amenity]:
+        amenities: List[Amenity] = []
+        kinds = ["FireStation", "Hospital", "School", "IndustrialSite"]
+        for mun in self.municipalities:
+            centre = mun.polygon.centroid
+            short = mun.name.split()[-1]
+            for kind in kinds:
+                if kind != "FireStation" and rng.random() < 0.45:
+                    continue
+                dx, dy = rng.uniform(-0.05, 0.05, size=2)
+                amenities.append(
+                    Amenity(
+                        kind=kind,
+                        name=f"{kind} of {short}",
+                        point=Point(centre.x + dx, centre.y + dy),
+                    )
+                )
+        return amenities
+
+    def _build_placenames(self, rng: np.random.Generator) -> List[PlaceName]:
+        places: List[PlaceName] = []
+        for pref in self.prefectures:
+            places.append(
+                PlaceName(
+                    name=pref.capital_name,
+                    feature_code="P.PPLA",
+                    point=pref.capital,
+                    population=pref.population // 3,
+                )
+            )
+        for mun in self.municipalities:
+            centre = mun.polygon.centroid
+            places.append(
+                PlaceName(
+                    name=mun.name.replace("Municipality of ", ""),
+                    feature_code="P.PPL",
+                    point=centre,
+                    population=mun.population,
+                )
+            )
+        return places
+
+    # -- queries ---------------------------------------------------------
+
+    def is_land(self, lon: float, lat: float) -> bool:
+        """True when the point lies on (or on the border of) land."""
+        for poly in self._land_index.search_point(lon, lat):
+            if poly.contains_point((lon, lat)):
+                return True
+        return False
+
+    def land_cover_at(self, lon: float, lat: float) -> Optional[str]:
+        """Level-3 CLC key at a point, or None (sea / uncovered)."""
+        best: Optional[LandCoverArea] = None
+        for area in self._cover_index.search_point(lon, lat):
+            if area.polygon.contains_point((lon, lat)):
+                # Urban overlays beat the base partition.
+                if best is None or "Urban" in area.code or "urban" in area.code:
+                    best = area
+        return best.code if best else None
+
+    def municipality_at(self, lon: float, lat: float) -> Optional[Municipality]:
+        for mun in self.municipalities:
+            if mun.polygon.envelope.contains_point(lon, lat) and \
+                    mun.polygon.contains_point((lon, lat)):
+                return mun
+        return None
+
+    @property
+    def envelope(self) -> Envelope:
+        minx, miny, maxx, maxy = self.bbox
+        return Envelope(minx, miny, maxx, maxy)
+
+
+def _clip_parts(land: Polygon, cell: Polygon) -> List[Polygon]:
+    """Polygon pieces of ``land ∩ cell`` (cells are convex)."""
+    from repro.geometry.multi import polygons_of
+
+    if not land.envelope.intersects(cell.envelope):
+        return []
+    got = geo_ops.intersection(land, cell)
+    return [p for p in polygons_of(got) if p.area > 1e-6]
+
+
+def _unique_name(rng: np.random.Generator, used: set) -> str:
+    for _ in range(100):
+        name = _make_name(rng)
+        if name not in used:
+            used.add(name)
+            return name
+    name = f"Chora{len(used)}"
+    used.add(name)
+    return name

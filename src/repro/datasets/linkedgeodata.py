@@ -1,0 +1,41 @@
+"""LinkedGeoData (OpenStreetMap-derived) → RDF.
+
+Roads become ``lgdo:Primary`` / ``lgdo:Secondary`` / ``lgdo:Tertiary``
+ways; amenities (fire stations, hospitals...) become typed nodes with
+point geometries — mirroring the paper's LGD example triples.
+"""
+
+from __future__ import annotations
+
+from repro.rdf import LGD, LGDO, RDF, RDFS, STRDF, Graph, Literal
+from repro.datasets.geography import SyntheticGreece
+
+
+def linkedgeodata_to_rdf(greece: SyntheticGreece, graph: Graph) -> int:
+    added = 0
+    added += graph.add(LGDO.Primary, RDFS.subClassOf, LGDO.HighwayThing)
+    added += graph.add(LGDO.Secondary, RDFS.subClassOf, LGDO.HighwayThing)
+    added += graph.add(LGDO.Tertiary, RDFS.subClassOf, LGDO.HighwayThing)
+    for i, road in enumerate(greece.roads):
+        node = LGD.term(f"way{i}")
+        added += graph.add(node, RDF.type, LGDO.term(road.highway_class))
+        added += graph.add(node, RDF.type, LGDO.Way)
+        added += graph.add(node, RDFS.label, Literal(road.name))
+        added += graph.add(
+            node,
+            STRDF.hasGeometry,
+            Literal(road.line.wkt, datatype=STRDF.geometry.value),
+        )
+    for i, amenity in enumerate(greece.amenities):
+        node = LGD.term(f"node{i}")
+        added += graph.add(node, RDF.type, LGDO.term(amenity.kind))
+        added += graph.add(node, RDF.type, LGDO.Amenity)
+        added += graph.add(node, RDF.type, LGDO.Node)
+        added += graph.add(node, LGDO.directType, LGDO.term(amenity.kind))
+        added += graph.add(node, RDFS.label, Literal(amenity.name))
+        added += graph.add(
+            node,
+            STRDF.hasGeometry,
+            Literal(amenity.point.wkt, datatype=STRDF.geometry.value),
+        )
+    return added

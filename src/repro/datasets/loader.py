@@ -1,0 +1,30 @@
+"""Convenience loader: all auxiliary datasets into a Strabon endpoint."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.datasets.coastline import coastline_to_rdf
+from repro.datasets.corine import corine_to_rdf
+from repro.datasets.gag import gag_to_rdf
+from repro.datasets.geography import SyntheticGreece
+from repro.datasets.geonames import geonames_to_rdf
+from repro.datasets.linkedgeodata import linkedgeodata_to_rdf
+from repro.stsparql import Strabon
+
+
+def load_auxiliary_data(
+    strabon: Strabon, greece: SyntheticGreece
+) -> Dict[str, int]:
+    """Load coastline, CLC, GAG, LGD and GeoNames into the endpoint.
+
+    Returns the number of triples added per dataset.
+    """
+    graph = strabon.graph
+    return {
+        "coastline": coastline_to_rdf(greece, graph),
+        "corine": corine_to_rdf(greece, graph),
+        "gag": gag_to_rdf(greece, graph),
+        "linkedgeodata": linkedgeodata_to_rdf(greece, graph),
+        "geonames": geonames_to_rdf(greece, graph),
+    }

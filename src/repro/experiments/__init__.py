@@ -1,0 +1,34 @@
+"""Experiment harnesses regenerating every table and figure of §4.
+
+Each module exposes a ``run_*`` function returning structured results and
+a ``format_*`` function printing them in the paper's layout:
+
+* :mod:`repro.experiments.table1` — thematic accuracy (Table 1),
+* :mod:`repro.experiments.table2` — chain processing times (Table 2),
+* :mod:`repro.experiments.figure8` — refinement response times (Figure 8),
+* :mod:`repro.experiments.figure6` — map-overlay queries (Figure 6 /
+  Queries 1–5).
+
+The benchmarks under ``benchmarks/`` and the examples under ``examples/``
+are thin wrappers over these harnesses.
+"""
+
+from repro.experiments.table1 import Table1Result, format_table1_result, run_table1
+from repro.experiments.table2 import Table2Result, format_table2_result, run_table2
+from repro.experiments.figure8 import Figure8Result, format_figure8_result, run_figure8
+from repro.experiments.figure6 import Figure6Result, format_figure6_result, run_figure6
+
+__all__ = [
+    "Figure6Result",
+    "Figure8Result",
+    "Table1Result",
+    "Table2Result",
+    "format_figure6_result",
+    "format_figure8_result",
+    "format_table1_result",
+    "format_table2_result",
+    "run_figure6",
+    "run_figure8",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,119 @@
+"""Figure 6 / Queries 1–5: the thematic-map overlay queries.
+
+Runs the five stSPARQL queries of §3.2.4 (plus the fire-station layer the
+paper's motivation calls for) against an endpoint holding a refined crisis
+scenario, reporting per-layer feature counts and query times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.legacy import LegacyChain
+from repro.core.mapping import MapComposer, region_wkt
+from repro.core.refinement import RefinementPipeline
+from repro.datasets import SyntheticGreece, load_auxiliary_data
+from repro.seviri.fires import FireSeason
+from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
+from repro.seviri.scene import SceneGenerator
+from repro.stsparql import Strabon
+
+
+@dataclass
+class Figure6Config:
+    start: datetime = datetime(2007, 8, 24, tzinfo=timezone.utc)
+    acquisitions: int = 6
+    cadence_minutes: int = 15
+    seed: int = 7
+
+
+@dataclass
+class LayerStats:
+    name: str
+    features: int
+    seconds: float
+
+
+@dataclass
+class Figure6Result:
+    layers: List[LayerStats] = field(default_factory=list)
+    map_document: Optional[dict] = None
+
+    def layer(self, name: str) -> LayerStats:
+        for stats in self.layers:
+            if stats.name == name:
+                return stats
+        raise KeyError(name)
+
+
+def build_crisis_endpoint(
+    greece: SyntheticGreece, config: Figure6Config
+) -> Tuple[Strabon, FireSeason]:
+    """An endpoint populated with a refined afternoon of acquisitions."""
+    season = FireSeason(greece, config.start, days=1, seed=config.seed)
+    generator = SceneGenerator(greece)
+    chain = LegacyChain(GeoReference(RawGrid(), TargetGrid()))
+    strabon = Strabon()
+    load_auxiliary_data(strabon, greece)
+    pipeline = RefinementPipeline(strabon)
+    when = config.start + timedelta(hours=14)
+    for _ in range(config.acquisitions):
+        product = chain.process(generator.generate(when, season))
+        pipeline.refine_acquisition(product)
+        when += timedelta(minutes=config.cadence_minutes)
+    return strabon, season
+
+
+def run_figure6(
+    greece: Optional[SyntheticGreece] = None,
+    config: Optional[Figure6Config] = None,
+    endpoint: Optional[Strabon] = None,
+) -> Figure6Result:
+    config = config or Figure6Config()
+    greece = greece or SyntheticGreece(seed=42)
+    if endpoint is None:
+        endpoint, _season = build_crisis_endpoint(greece, config)
+    composer = MapComposer(endpoint)
+    region = region_wkt(*greece.bbox)
+    day = config.start.strftime("%Y-%m-%d")
+    queries = [
+        (
+            "hotspots",
+            lambda: composer.hotspots_query(
+                region, f"{day}T00:00:00", f"{day}T23:59:59"
+            ),
+        ),
+        ("land_cover", lambda: composer.land_cover_query(region)),
+        ("primary_roads", lambda: composer.primary_roads_query(region)),
+        ("capitals", lambda: composer.capitals_query(region)),
+        ("municipalities", lambda: composer.municipalities_query(region)),
+        ("fire_stations", lambda: composer.amenities_query(region)),
+    ]
+    result = Figure6Result()
+    for name, run in queries:
+        t0 = time.perf_counter()
+        solutions = run()
+        elapsed = time.perf_counter() - t0
+        result.layers.append(LayerStats(name, len(solutions), elapsed))
+    result.map_document = composer.compose(
+        region=region,
+        start=f"{day}T00:00:00",
+        end=f"{day}T23:59:59",
+    )
+    return result
+
+
+def format_figure6_result(result: Figure6Result) -> str:
+    lines = [
+        "Figure 6: thematic-map overlay queries (Queries 1-5 + "
+        "infrastructure layer)",
+        f"{'layer':<16} {'features':>9} {'seconds':>9}",
+    ]
+    for stats in result.layers:
+        lines.append(
+            f"{stats.name:<16} {stats.features:>9} {stats.seconds:>9.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Computational-geometry substrate for the wildfire-monitoring reproduction.
+
+This package plays the role PostGIS/GEOS plays for Strabon in the paper: it
+provides the geometry model (points, linestrings, polygons and their multi
+variants), WKT input/output, the spatial predicates used by stSPARQL
+(``strdf:anyInteract``, ``strdf:contains`` ...), constructive operations
+(intersection, union, difference, boundary, buffer) and an R-tree index used
+to accelerate spatial joins.
+
+All geometries are immutable value objects over 2-D float coordinates.
+"""
+
+from repro.geometry.envelope import Envelope
+from repro.geometry.base import Geometry
+from repro.geometry.point import Point
+from repro.geometry.linestring import LineString, LinearRing
+from repro.geometry.polygon import Polygon
+from repro.geometry.multi import (
+    GeometryCollection,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+)
+from repro.geometry.wkt import dumps_wkt, loads_wkt
+from repro.geometry.geojson import from_geojson, to_geojson
+from repro.geometry.errors import GeometryError, WKTParseError
+from repro.geometry import predicates
+from repro.geometry import ops
+from repro.geometry.rtree import RTree
+from repro.geometry.projection import GreekGrid, TransverseMercator
+from repro.geometry.transform import transform_geometry
+
+__all__ = [
+    "Envelope",
+    "Geometry",
+    "GeometryCollection",
+    "GeometryError",
+    "GreekGrid",
+    "LineString",
+    "LinearRing",
+    "MultiLineString",
+    "MultiPoint",
+    "MultiPolygon",
+    "Point",
+    "Polygon",
+    "RTree",
+    "TransverseMercator",
+    "WKTParseError",
+    "dumps_wkt",
+    "from_geojson",
+    "loads_wkt",
+    "ops",
+    "predicates",
+    "to_geojson",
+    "transform_geometry",
+]

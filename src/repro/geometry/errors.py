@@ -1,0 +1,9 @@
+"""Exceptions raised by the geometry package."""
+
+
+class GeometryError(ValueError):
+    """Raised when a geometry is constructed from invalid input."""
+
+
+class WKTParseError(GeometryError):
+    """Raised when a Well-Known Text string cannot be parsed."""

@@ -1,0 +1,112 @@
+"""GeoJSON encoding/decoding for the geometry model.
+
+The map composer disseminates layers as GeoJSON (the modern equivalent of
+the paper's GeoServer overlay maps); this module provides the conversion
+both ways for every geometry type in the package.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.geometry.base import Geometry
+from repro.geometry.errors import GeometryError
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import (
+    GeometryCollection,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    flatten,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def to_geojson(geom: Geometry) -> Dict[str, Any]:
+    """Encode a geometry as a GeoJSON geometry object (a plain dict)."""
+    if isinstance(geom, Point):
+        return {"type": "Point", "coordinates": [geom.x, geom.y]}
+    if isinstance(geom, Polygon):
+        return {
+            "type": "Polygon",
+            "coordinates": [
+                [[x, y] for x, y in ring.coords] for ring in geom.rings
+            ],
+        }
+    if isinstance(geom, LineString):
+        return {
+            "type": "LineString",
+            "coordinates": [[x, y] for x, y in geom.coords],
+        }
+    if isinstance(geom, MultiPoint):
+        return {
+            "type": "MultiPoint",
+            "coordinates": [[p.x, p.y] for p in geom.geoms],
+        }
+    if isinstance(geom, MultiLineString):
+        return {
+            "type": "MultiLineString",
+            "coordinates": [
+                [[x, y] for x, y in line.coords] for line in geom.geoms
+            ],
+        }
+    if isinstance(geom, MultiPolygon):
+        return {
+            "type": "MultiPolygon",
+            "coordinates": [
+                [[[x, y] for x, y in ring.coords] for ring in poly.rings]
+                for poly in geom.geoms
+            ],
+        }
+    if isinstance(geom, GeometryCollection):
+        return {
+            "type": "GeometryCollection",
+            "geometries": [to_geojson(g) for g in geom.geoms],
+        }
+    raise GeometryError(f"cannot encode {type(geom).__name__} as GeoJSON")
+
+
+def from_geojson(obj: Dict[str, Any]) -> Geometry:
+    """Decode a GeoJSON geometry object into a geometry."""
+    kind = obj.get("type")
+    coords = obj.get("coordinates")
+    if kind == "Point":
+        return Point(coords[0], coords[1])
+    if kind == "LineString":
+        return LineString([(x, y) for x, y, *_ in coords])
+    if kind == "Polygon":
+        rings = [[(x, y) for x, y, *_ in ring] for ring in coords]
+        if not rings:
+            return MultiPolygon([])
+        return Polygon(rings[0], rings[1:])
+    if kind == "MultiPoint":
+        return MultiPoint([Point(x, y) for x, y, *_ in coords])
+    if kind == "MultiLineString":
+        return MultiLineString(
+            [LineString([(x, y) for x, y, *_ in line]) for line in coords]
+        )
+    if kind == "MultiPolygon":
+        polys: List[Polygon] = []
+        for poly in coords:
+            rings = [[(x, y) for x, y, *_ in ring] for ring in poly]
+            polys.append(Polygon(rings[0], rings[1:]))
+        return MultiPolygon(polys)
+    if kind == "GeometryCollection":
+        return GeometryCollection(
+            [from_geojson(g) for g in obj.get("geometries", [])]
+        )
+    raise GeometryError(f"unsupported GeoJSON type {kind!r}")
+
+
+def feature(geom: Geometry, properties: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a geometry as a GeoJSON Feature."""
+    return {
+        "type": "Feature",
+        "geometry": to_geojson(geom),
+        "properties": dict(properties),
+    }
+
+
+def feature_collection(features: List[Dict[str, Any]]) -> Dict[str, Any]:
+    return {"type": "FeatureCollection", "features": list(features)}

@@ -1,0 +1,137 @@
+"""LineString and LinearRing geometries."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.geometry import algorithms as alg
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+from repro.geometry.errors import GeometryError
+from repro.geometry.point import Point
+
+Coordinate = Tuple[float, float]
+
+
+class LineString(Geometry):
+    """An open polyline with at least two coordinates (e.g. an LGD road)."""
+
+    __slots__ = ("_coords", "_envelope")
+
+    geom_type = "LINESTRING"
+
+    def __init__(self, coords: Iterable[Coordinate]) -> None:
+        pts = [(float(x), float(y)) for x, y in coords]
+        if len(pts) < 2:
+            raise GeometryError("a LineString needs at least two coordinates")
+        object.__setattr__(self, "_coords", tuple(pts))
+        object.__setattr__(self, "_envelope", Envelope.of_coords(pts))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("LineString is immutable")
+
+    @property
+    def coords(self) -> Tuple[Coordinate, ...]:
+        return self._coords
+
+    @property
+    def envelope(self) -> Envelope:
+        return self._envelope
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+    @property
+    def length(self) -> float:
+        return alg.polyline_length(self._coords)
+
+    @property
+    def is_closed(self) -> bool:
+        return alg.coords_equal(self._coords[0], self._coords[-1])
+
+    def coordinates(self) -> Iterator[Coordinate]:
+        yield from self._coords
+
+    def segments(self) -> Iterator[Tuple[Coordinate, Coordinate]]:
+        """Yield consecutive coordinate pairs."""
+        for i in range(len(self._coords) - 1):
+            yield (self._coords[i], self._coords[i + 1])
+
+    @property
+    def centroid(self) -> Point:
+        """Length-weighted centroid of the polyline."""
+        total = self.length
+        if total == 0.0:
+            return Point(*self._coords[0])
+        cx = cy = 0.0
+        for a, b in self.segments():
+            seg_len = ((b[0] - a[0]) ** 2 + (b[1] - a[1]) ** 2) ** 0.5
+            cx += (a[0] + b[0]) / 2.0 * seg_len
+            cy += (a[1] + b[1]) / 2.0 * seg_len
+        return Point(cx / total, cy / total)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LineString) and self._coords == other._coords
+
+    def __hash__(self) -> int:
+        return hash((self.geom_type, self._coords))
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+
+class LinearRing(LineString):
+    """A closed, simple ring used as a polygon boundary component.
+
+    Stored closed (first coordinate repeated at the end). Construction
+    accepts either open or closed input.
+    """
+
+    __slots__ = ()
+
+    geom_type = "LINEARRING"
+
+    def __init__(self, coords: Iterable[Coordinate]) -> None:
+        pts: List[Coordinate] = [(float(x), float(y)) for x, y in coords]
+        if pts and not alg.coords_equal(pts[0], pts[-1]):
+            pts.append(pts[0])
+        if len(pts) < 4:
+            raise GeometryError(
+                "a LinearRing needs at least three distinct coordinates"
+            )
+        super().__init__(pts)
+
+    @property
+    def open_coords(self) -> Tuple[Coordinate, ...]:
+        """Ring coordinates without the duplicated closing coordinate."""
+        return self._coords[:-1]
+
+    @property
+    def signed_area(self) -> float:
+        return alg.ring_signed_area(self.open_coords)
+
+    @property
+    def area(self) -> float:
+        return abs(self.signed_area)
+
+    @property
+    def is_ccw(self) -> bool:
+        return self.signed_area > 0.0
+
+    def reversed(self) -> "LinearRing":
+        return LinearRing(tuple(reversed(self.open_coords)))
+
+    def oriented(self, ccw: bool = True) -> "LinearRing":
+        """Return the ring with the requested winding order."""
+        if self.is_ccw == ccw:
+            return self
+        return self.reversed()
+
+    def contains_point(self, p: Coordinate) -> int:
+        """+1 inside, 0 on the boundary, -1 outside."""
+        return alg.point_in_ring(p, self.open_coords)

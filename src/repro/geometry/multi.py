@@ -1,0 +1,158 @@
+"""Multi-part geometries and geometry collections."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple, Type, TypeVar
+
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+from repro.geometry.errors import GeometryError
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+Coordinate = Tuple[float, float]
+G = TypeVar("G", bound=Geometry)
+
+
+class _Multi(Geometry):
+    """Shared machinery for homogeneous multi-geometries."""
+
+    __slots__ = ("_geoms", "_envelope")
+
+    member_type: Type[Geometry] = Geometry
+
+    def __init__(self, geoms: Iterable[Geometry]) -> None:
+        members = tuple(geoms)
+        for g in members:
+            if not isinstance(g, self.member_type):
+                raise GeometryError(
+                    f"{type(self).__name__} members must be "
+                    f"{self.member_type.__name__}, got {type(g).__name__}"
+                )
+        object.__setattr__(self, "_geoms", members)
+        env = (
+            Envelope.union_all(g.envelope for g in members)
+            if members
+            else None
+        )
+        object.__setattr__(self, "_envelope", env)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    @property
+    def geoms(self) -> Tuple[Geometry, ...]:
+        return self._geoms
+
+    @property
+    def envelope(self) -> Envelope:
+        if self._envelope is None:
+            raise ValueError("empty geometry has no envelope")
+        return self._envelope
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._geoms
+
+    @property
+    def area(self) -> float:
+        return sum(g.area for g in self._geoms)
+
+    @property
+    def length(self) -> float:
+        return sum(g.length for g in self._geoms)
+
+    def coordinates(self) -> Iterator[Coordinate]:
+        for g in self._geoms:
+            yield from g.coordinates()
+
+    def __len__(self) -> int:
+        return len(self._geoms)
+
+    def __iter__(self) -> Iterator[Geometry]:
+        return iter(self._geoms)
+
+    def __getitem__(self, idx: int) -> Geometry:
+        return self._geoms[idx]
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._geoms == other._geoms
+
+    def __hash__(self) -> int:
+        return hash((self.geom_type, self._geoms))
+
+
+class MultiPoint(_Multi):
+    __slots__ = ()
+    geom_type = "MULTIPOINT"
+    member_type = Point
+
+    @property
+    def dimension(self) -> int:
+        return 0
+
+
+class MultiLineString(_Multi):
+    __slots__ = ()
+    geom_type = "MULTILINESTRING"
+    member_type = LineString
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+
+class MultiPolygon(_Multi):
+    __slots__ = ()
+    geom_type = "MULTIPOLYGON"
+    member_type = Polygon
+
+    @property
+    def dimension(self) -> int:
+        return 2
+
+    def contains_point(self, p: Coordinate) -> bool:
+        return any(poly.contains_point(p) for poly in self._geoms)
+
+    def locate_point(self, p: Coordinate) -> int:
+        best = -1
+        for poly in self._geoms:
+            where = poly.locate_point(p)
+            if where > best:
+                best = where
+            if best == 1:
+                break
+        return best
+
+
+class GeometryCollection(_Multi):
+    """A heterogeneous bag of geometries.
+
+    Returned by constructive operations whose result mixes dimensions
+    (e.g. a polygon intersection that degenerates to a point and a line).
+    """
+
+    __slots__ = ()
+    geom_type = "GEOMETRYCOLLECTION"
+    member_type = Geometry
+
+    @property
+    def dimension(self) -> int:
+        return max((g.dimension for g in self._geoms), default=0)
+
+
+def flatten(geom: Geometry) -> Iterator[Geometry]:
+    """Yield primitive (non-multi) geometries contained in ``geom``."""
+    if isinstance(geom, _Multi):
+        for g in geom.geoms:
+            yield from flatten(g)
+    else:
+        yield geom
+
+
+def polygons_of(geom: Geometry) -> Iterator[Polygon]:
+    """Yield every polygon contained (directly or nested) in ``geom``."""
+    for g in flatten(geom):
+        if isinstance(g, Polygon):
+            yield g

@@ -1,0 +1,485 @@
+"""Constructive geometry operations.
+
+These back the stSPARQL spatial functions ``strdf:intersection``,
+``strdf:union`` (binary and aggregate), ``strdf:difference``,
+``strdf:boundary`` and ``strdf:buffer``.
+
+Strategy: hotspot pixels are convex quads, so polygon/polygon intersection
+goes through Sutherland–Hodgman half-plane clipping whenever one operand is
+convex (fully robust).  The general simple-polygon case uses
+Greiner–Hormann with perturbation retries (:mod:`repro.geometry.clip`).
+Unions keep non-overlapping operands as multipolygon parts and only invoke
+clipping to dissolve genuine overlaps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.geometry import algorithms as alg
+from repro.geometry import clip as _clip
+from repro.geometry import predicates
+from repro.geometry.base import Geometry
+from repro.geometry.linestring import LinearRing, LineString
+from repro.geometry.multi import (
+    GeometryCollection,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    flatten,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+Coordinate = Tuple[float, float]
+
+EMPTY = GeometryCollection([])
+
+
+def _as_polygons(geom: Geometry) -> List[Polygon]:
+    return [g for g in flatten(geom) if isinstance(g, Polygon)]
+
+
+def _rings_to_geometry(rings: Sequence[Sequence[Coordinate]]) -> Geometry:
+    """Assemble clip output rings into a polygon / multipolygon.
+
+    Clipping traversal emits rings with arbitrary winding, so shells and
+    holes are told apart by containment nesting depth (even depth = shell,
+    odd = hole of the innermost enclosing shell), not by orientation.
+    """
+    cleaned = [
+        list(ring)
+        for ring in rings
+        if len(ring) >= 3 and abs(alg.ring_signed_area(ring)) > 1e-16
+    ]
+    if not cleaned:
+        return EMPTY
+    # Largest first so parents precede children.
+    cleaned.sort(key=lambda r: -abs(alg.ring_signed_area(r)))
+    depth: List[int] = []
+    parent: List[int] = []
+    for i, ring in enumerate(cleaned):
+        probe = _ring_probe(ring)
+        d = 0
+        p = -1
+        for j in range(i):
+            if alg.point_in_ring(probe, cleaned[j]) > 0:
+                if depth[j] + 1 > d:
+                    d = depth[j] + 1
+                    p = j
+        depth.append(d)
+        parent.append(p)
+    shells = [i for i, d in enumerate(depth) if d % 2 == 0]
+    polys: List[Polygon] = []
+    for i in shells:
+        holes = [
+            cleaned[j]
+            for j, (d, p) in enumerate(zip(depth, parent))
+            if d % 2 == 1 and p == i
+        ]
+        polys.append(Polygon(cleaned[i], holes))
+    if len(polys) == 1:
+        return polys[0]
+    return MultiPolygon(polys)
+
+
+def _ring_probe(ring: List[Coordinate]) -> Coordinate:
+    """A point in the ring's interior (vertex-average fallback to centroid)."""
+    c = alg.ring_centroid(ring)
+    if alg.point_in_ring(c, ring) > 0:
+        return c
+    # Probe slightly inside the ring from the midpoint of an edge.
+    n = len(ring)
+    for i in range(n):
+        a = ring[i]
+        b = ring[(i + 1) % n]
+        mx, my = (a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0
+        nx, ny = -(b[1] - a[1]), b[0] - a[0]
+        norm = (nx * nx + ny * ny) ** 0.5
+        if norm == 0:
+            continue
+        for scale in (1e-9, 1e-7, 1e-5):
+            for sign in (1.0, -1.0):
+                p = (mx + sign * scale * nx / norm, my + sign * scale * ny / norm)
+                if alg.point_in_ring(p, ring) > 0:
+                    return p
+    return c
+
+
+def _polygon_pair_intersection(a: Polygon, b: Polygon) -> Geometry:
+    if not a.envelope.intersects(b.envelope):
+        return EMPTY
+    if b.is_convex:
+        return _convex_clip_polygon(a, b)
+    if a.is_convex:
+        return _convex_clip_polygon(b, a)
+    rings = _clip.clip_rings(
+        a.shell.open_coords, b.shell.open_coords, "int"
+    )
+    result = _rings_to_geometry(rings)
+    for hole in (*a.holes, *b.holes):
+        hole_poly = Polygon(hole.open_coords)
+        result = difference(result, hole_poly)
+    return result
+
+
+def _convex_clip_polygon(subject: Polygon, convex: Polygon) -> Geometry:
+    out_shell = _clip.clip_ring_convex(
+        subject.shell.open_coords, convex.shell.open_coords
+    )
+    if len(out_shell) < 3 or abs(alg.ring_signed_area(out_shell)) < 1e-16:
+        return EMPTY
+    result: Geometry = Polygon(out_shell)
+    for hole in subject.holes:
+        clipped_hole = _clip.clip_ring_convex(
+            hole.open_coords, convex.shell.open_coords
+        )
+        if len(clipped_hole) >= 3:
+            result = difference(result, Polygon(clipped_hole))
+    for hole in convex.holes:
+        result = difference(result, Polygon(hole.open_coords))
+    return result
+
+
+def intersection(a: Geometry, b: Geometry) -> Geometry:
+    """The shared region/points of two geometries."""
+    if a.is_empty or b.is_empty:
+        return EMPTY
+    if not a.envelope.intersects(b.envelope):
+        return EMPTY
+    if a.dimension == 2 and b.dimension == 2:
+        parts: List[Polygon] = []
+        for pa in _as_polygons(a):
+            for pb in _as_polygons(b):
+                got = _polygon_pair_intersection(pa, pb)
+                parts.extend(_as_polygons(got))
+        if not parts:
+            return EMPTY
+        if len(parts) == 1:
+            return parts[0]
+        return MultiPolygon(parts)
+    # Lower-dimensional cases: points of the lower-dim operand inside the
+    # higher-dim one, plus clipped line pieces.
+    low, high = (a, b) if a.dimension <= b.dimension else (b, a)
+    if low.dimension == 0:
+        pts = [
+            g
+            for g in flatten(low)
+            if isinstance(g, Point) and predicates.intersects(g, high)
+        ]
+        if not pts:
+            return EMPTY
+        return pts[0] if len(pts) == 1 else MultiPoint(pts)
+    # line vs line/polygon
+    pieces: List[LineString] = []
+    for g in flatten(low):
+        if not isinstance(g, LineString):
+            continue
+        pieces.extend(_clip_line(g, high))
+    if not pieces:
+        return EMPTY
+    return pieces[0] if len(pieces) == 1 else MultiLineString(pieces)
+
+
+def _clip_line(line: LineString, region: Geometry) -> List[LineString]:
+    """Pieces of ``line`` inside a polygonal ``region`` (or touching a line)."""
+    polys = _as_polygons(region)
+    if not polys:
+        # line ∩ line: degrade to shared points; rarely needed.
+        return []
+    pieces: List[LineString] = []
+    for s, e in line.segments():
+        cut_params = {0.0, 1.0}
+        for poly in polys:
+            for ps, pe in _poly_edges(poly):
+                got = alg.segment_line_parameters(s, e, ps, pe)
+                if got is None:
+                    continue
+                t, u = got
+                if -alg.EPS <= t <= 1 + alg.EPS and -alg.EPS <= u <= 1 + alg.EPS:
+                    cut_params.add(min(1.0, max(0.0, t)))
+        params = sorted(cut_params)
+        for t0, t1 in zip(params, params[1:]):
+            if t1 - t0 < 1e-12:
+                continue
+            tm = (t0 + t1) / 2.0
+            mid = (s[0] + tm * (e[0] - s[0]), s[1] + tm * (e[1] - s[1]))
+            if any(p.locate_point(mid) >= 0 for p in polys):
+                p0 = (s[0] + t0 * (e[0] - s[0]), s[1] + t0 * (e[1] - s[1]))
+                p1 = (s[0] + t1 * (e[0] - s[0]), s[1] + t1 * (e[1] - s[1]))
+                pieces.append(LineString([p0, p1]))
+    return _merge_line_pieces(pieces)
+
+
+def _merge_line_pieces(pieces: List[LineString]) -> List[LineString]:
+    """Chain consecutive pieces that share endpoints."""
+    merged: List[List[Coordinate]] = []
+    for piece in pieces:
+        coords = list(piece.coords)
+        if merged and alg.coords_equal(merged[-1][-1], coords[0]):
+            merged[-1].extend(coords[1:])
+        else:
+            merged.append(coords)
+    return [LineString(c) for c in merged if len(c) >= 2]
+
+
+def _poly_edges(poly: Polygon):
+    for ring in poly.rings:
+        coords = ring.coords
+        for i in range(len(coords) - 1):
+            yield coords[i], coords[i + 1]
+
+
+def union(a: Geometry, b: Geometry) -> Geometry:
+    """Binary union."""
+    if a.is_empty:
+        return b
+    if b.is_empty:
+        return a
+    if a.dimension == 2 and b.dimension == 2:
+        return union_all([a, b])
+    parts = list(flatten(a)) + list(flatten(b))
+    return GeometryCollection(parts)
+
+
+def union_all(geoms: Iterable[Geometry]) -> Geometry:
+    """N-ary polygon union (the ``strdf:union`` spatial aggregate).
+
+    Overlapping polygons are dissolved via clipping; disjoint or merely
+    touching polygons stay separate multipolygon parts (correct area and
+    predicate behaviour, boundary not dissolved — documented engine
+    limitation).
+    """
+    pending: List[Polygon] = []
+    others: List[Geometry] = []
+    for g in geoms:
+        if g is None or g.is_empty:
+            continue
+        for part in flatten(g):
+            if isinstance(part, Polygon):
+                pending.append(part)
+            else:
+                others.append(part)
+    merged: List[Polygon] = []
+    for poly in pending:
+        current = poly
+        changed = True
+        while changed:
+            changed = False
+            for i, existing in enumerate(merged):
+                if not existing.envelope.intersects(current.envelope):
+                    continue
+                if not predicates.overlaps(existing, current) and not (
+                    predicates.contains(existing, current)
+                    or predicates.contains(current, existing)
+                ):
+                    continue
+                merged.pop(i)
+                current = _dissolve_pair(existing, current)
+                changed = True
+                break
+        merged.append(current)
+    if others:
+        return GeometryCollection([*merged, *others])
+    if not merged:
+        return EMPTY
+    if len(merged) == 1:
+        return merged[0]
+    return MultiPolygon(merged)
+
+
+def _dissolve_pair(a: Polygon, b: Polygon) -> Polygon:
+    if predicates.contains(a, b):
+        return a
+    if predicates.contains(b, a):
+        return b
+    try:
+        rings = _clip.clip_rings(
+            a.shell.open_coords, b.shell.open_coords, "union"
+        )
+        geom = _rings_to_geometry(rings)
+        polys = _as_polygons(geom)
+        if polys:
+            # Union of two overlapping simple shells is one shell (possibly
+            # with holes); pick the largest component defensively.
+            return max(polys, key=lambda p: p.area)
+    except _clip.DegenerateClipError:
+        pass
+    # Fallback: convex hull over both shells (over-approximation, rare).
+    hull = alg.convex_hull(
+        list(a.shell.open_coords) + list(b.shell.open_coords)
+    )
+    return Polygon(hull)
+
+
+def difference(a: Geometry, b: Geometry) -> Geometry:
+    """Points of ``a`` not in ``b``."""
+    if a.is_empty:
+        return EMPTY
+    if b.is_empty or not a.envelope.intersects(b.envelope):
+        return a
+    if a.dimension == 2 and b.dimension == 2:
+        remaining: List[Polygon] = list(_as_polygons(a))
+        for pb in _as_polygons(b):
+            next_parts: List[Polygon] = []
+            for pa in remaining:
+                got = _polygon_pair_difference(pa, pb)
+                next_parts.extend(_as_polygons(got))
+            remaining = next_parts
+        if not remaining:
+            return EMPTY
+        if len(remaining) == 1:
+            return remaining[0]
+        return MultiPolygon(remaining)
+    if a.dimension == 0:
+        pts = [
+            g
+            for g in flatten(a)
+            if isinstance(g, Point) and not predicates.intersects(g, b)
+        ]
+        if not pts:
+            return EMPTY
+        return pts[0] if len(pts) == 1 else MultiPoint(pts)
+    # line minus polygon: keep pieces outside.
+    pieces: List[LineString] = []
+    for g in flatten(a):
+        if not isinstance(g, LineString):
+            continue
+        inside = {piece for piece in _clip_line(g, b)}
+        del inside
+        pieces.extend(_line_outside(g, b))
+    if not pieces:
+        return EMPTY
+    return pieces[0] if len(pieces) == 1 else MultiLineString(pieces)
+
+
+def _line_outside(line: LineString, region: Geometry) -> List[LineString]:
+    polys = _as_polygons(region)
+    if not polys:
+        return [line]
+    pieces: List[LineString] = []
+    for s, e in line.segments():
+        cut_params = {0.0, 1.0}
+        for poly in polys:
+            for ps, pe in _poly_edges(poly):
+                got = alg.segment_line_parameters(s, e, ps, pe)
+                if got is None:
+                    continue
+                t, u = got
+                if -alg.EPS <= t <= 1 + alg.EPS and -alg.EPS <= u <= 1 + alg.EPS:
+                    cut_params.add(min(1.0, max(0.0, t)))
+        params = sorted(cut_params)
+        for t0, t1 in zip(params, params[1:]):
+            if t1 - t0 < 1e-12:
+                continue
+            tm = (t0 + t1) / 2.0
+            mid = (s[0] + tm * (e[0] - s[0]), s[1] + tm * (e[1] - s[1]))
+            if all(p.locate_point(mid) < 0 for p in polys):
+                p0 = (s[0] + t0 * (e[0] - s[0]), s[1] + t0 * (e[1] - s[1]))
+                p1 = (s[0] + t1 * (e[0] - s[0]), s[1] + t1 * (e[1] - s[1]))
+                pieces.append(LineString([p0, p1]))
+    return _merge_line_pieces(pieces)
+
+
+def _polygon_pair_difference(a: Polygon, b: Polygon) -> Geometry:
+    if not a.envelope.intersects(b.envelope):
+        return a
+    if predicates.contains(b, a):
+        return EMPTY
+    if not predicates.intersects(a, b):
+        return a
+    try:
+        rings = _clip.clip_rings(
+            a.shell.open_coords, b.shell.open_coords, "diff"
+        )
+    except _clip.DegenerateClipError:
+        return a
+    result = _rings_to_geometry(rings)
+    # Holes of `a` remain holes of the result.
+    for hole in a.holes:
+        result = difference(result, Polygon(hole.open_coords))
+    # Parts of holes of `b` inside `a` come back.
+    for hole in b.holes:
+        back = _polygon_pair_intersection(a, Polygon(hole.open_coords))
+        parts = _as_polygons(result) + _as_polygons(back)
+        if len(parts) == 1:
+            result = parts[0]
+        elif parts:
+            result = MultiPolygon(parts)
+    return result
+
+
+def boundary(geom: Geometry) -> Geometry:
+    """``strdf:boundary``: rings of polygons, endpoints of lines."""
+    if isinstance(geom, Polygon):
+        rings = [LineString(r.coords) for r in geom.rings]
+        return rings[0] if len(rings) == 1 else MultiLineString(rings)
+    if isinstance(geom, LineString):
+        if geom.is_closed:
+            return MultiPoint([])
+        return MultiPoint([Point(*geom.coords[0]), Point(*geom.coords[-1])])
+    if isinstance(geom, Point):
+        return MultiPoint([])
+    if isinstance(geom, (MultiPolygon, MultiLineString, GeometryCollection)):
+        lines: List[Geometry] = []
+        for g in flatten(geom):
+            b = boundary(g)
+            lines.extend(flatten(b))
+        line_parts = [g for g in lines if isinstance(g, LineString)]
+        point_parts = [g for g in lines if isinstance(g, Point)]
+        if line_parts and not point_parts:
+            return (
+                line_parts[0]
+                if len(line_parts) == 1
+                else MultiLineString(line_parts)
+            )
+        if point_parts and not line_parts:
+            return MultiPoint(point_parts)
+        return GeometryCollection(lines)
+    if isinstance(geom, MultiPoint):
+        return MultiPoint([])
+    raise TypeError(type(geom).__name__)
+
+
+def buffer(geom: Geometry, radius: float, resolution: int = 16) -> Geometry:
+    """A polygon approximating all points within ``radius`` of ``geom``.
+
+    Point buffers are regular polygons; line and polygon buffers use the
+    convex hull of vertex disc approximations — adequate for the tolerance
+    buffers used by the Table 1 validation protocol (700 m point tolerance).
+    """
+    if radius <= 0:
+        raise ValueError("buffer radius must be positive")
+    if isinstance(geom, Point):
+        return Polygon(_disc(geom.x, geom.y, radius, resolution))
+    pts: List[Coordinate] = []
+    for x, y in geom.coordinates():
+        pts.extend(_disc(x, y, radius, resolution))
+    hull = alg.convex_hull(pts)
+    return Polygon(hull)
+
+
+def _disc(
+    cx: float, cy: float, radius: float, resolution: int
+) -> List[Coordinate]:
+    return [
+        (
+            cx + radius * math.cos(2 * math.pi * i / resolution),
+            cy + radius * math.sin(2 * math.pi * i / resolution),
+        )
+        for i in range(resolution)
+    ]
+
+
+def convex_hull(geom: Geometry) -> Geometry:
+    """Smallest convex polygon containing the geometry."""
+    pts = list(geom.coordinates())
+    hull = alg.convex_hull(pts)
+    if len(hull) >= 3:
+        return Polygon(hull)
+    if len(hull) == 2:
+        return LineString(hull)
+    if len(hull) == 1:
+        return Point(*hull[0])
+    return EMPTY

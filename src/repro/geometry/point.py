@@ -1,0 +1,72 @@
+"""Point geometry."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+from repro.geometry.errors import GeometryError
+
+Coordinate = Tuple[float, float]
+
+
+class Point(Geometry):
+    """A single 2-D location, e.g. a GeoNames placename or an LGD node."""
+
+    __slots__ = ("_x", "_y")
+
+    geom_type = "POINT"
+
+    def __init__(self, x: float, y: float) -> None:
+        x = float(x)
+        y = float(y)
+        if math.isnan(x) or math.isnan(y):
+            raise GeometryError("point coordinates must not be NaN")
+        object.__setattr__(self, "_x", x)
+        object.__setattr__(self, "_y", y)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Point is immutable")
+
+    @property
+    def x(self) -> float:
+        return self._x
+
+    @property
+    def y(self) -> float:
+        return self._y
+
+    @property
+    def coords(self) -> Coordinate:
+        return (self._x, self._y)
+
+    @property
+    def envelope(self) -> Envelope:
+        return Envelope(self._x, self._y, self._x, self._y)
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    @property
+    def dimension(self) -> int:
+        return 0
+
+    def coordinates(self) -> Iterator[Coordinate]:
+        yield (self._x, self._y)
+
+    @property
+    def centroid(self) -> "Point":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Point)
+            and self._x == other._x
+            and self._y == other._y
+        )
+
+    def __hash__(self) -> int:
+        return hash(("POINT", self._x, self._y))

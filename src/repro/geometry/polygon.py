@@ -1,0 +1,177 @@
+"""Polygon geometry (exterior shell plus optional interior holes)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.geometry import algorithms as alg
+from repro.geometry.base import Geometry
+from repro.geometry.envelope import Envelope
+from repro.geometry.errors import GeometryError
+from repro.geometry.linestring import LinearRing
+from repro.geometry.point import Point
+
+Coordinate = Tuple[float, float]
+
+
+class Polygon(Geometry):
+    """A simple-features polygon.
+
+    Shells are normalised counter-clockwise and holes clockwise at
+    construction, matching the orientation convention the clipping code
+    expects.
+    """
+
+    __slots__ = ("_shell", "_holes", "_envelope")
+
+    geom_type = "POLYGON"
+
+    def __init__(
+        self,
+        shell: Iterable[Coordinate] | LinearRing,
+        holes: Optional[Sequence[Iterable[Coordinate] | LinearRing]] = None,
+    ) -> None:
+        shell_ring = shell if isinstance(shell, LinearRing) else LinearRing(shell)
+        hole_rings = tuple(
+            (h if isinstance(h, LinearRing) else LinearRing(h)).oriented(False)
+            for h in (holes or ())
+        )
+        object.__setattr__(self, "_shell", shell_ring.oriented(True))
+        object.__setattr__(self, "_holes", hole_rings)
+        object.__setattr__(self, "_envelope", shell_ring.envelope)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Polygon is immutable")
+
+    @classmethod
+    def from_envelope(cls, env: Envelope) -> "Polygon":
+        """Axis-aligned rectangle polygon covering ``env``."""
+        return cls(list(env.corners()))
+
+    @classmethod
+    def square(cls, cx: float, cy: float, side: float) -> "Polygon":
+        """Axis-aligned square centred at ``(cx, cy)`` — a sensor pixel."""
+        h = side / 2.0
+        return cls(
+            [(cx - h, cy - h), (cx + h, cy - h), (cx + h, cy + h), (cx - h, cy + h)]
+        )
+
+    @property
+    def shell(self) -> LinearRing:
+        return self._shell
+
+    @property
+    def holes(self) -> Tuple[LinearRing, ...]:
+        return self._holes
+
+    @property
+    def rings(self) -> Tuple[LinearRing, ...]:
+        return (self._shell, *self._holes)
+
+    @property
+    def envelope(self) -> Envelope:
+        return self._envelope
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    @property
+    def dimension(self) -> int:
+        return 2
+
+    @property
+    def area(self) -> float:
+        return self._shell.area - sum(h.area for h in self._holes)
+
+    @property
+    def length(self) -> float:
+        """Total perimeter, holes included."""
+        return sum(r.length for r in self.rings)
+
+    @property
+    def is_convex(self) -> bool:
+        return not self._holes and alg.is_convex_ring(self._shell.open_coords)
+
+    def coordinates(self) -> Iterator[Coordinate]:
+        for ring in self.rings:
+            yield from ring.coords
+
+    @property
+    def centroid(self) -> Point:
+        """Area-weighted centroid accounting for holes."""
+        ax = ay = total = 0.0
+        for ring, sign in [(self._shell, 1.0)] + [
+            (h, -1.0) for h in self._holes
+        ]:
+            a = ring.area
+            cx, cy = alg.ring_centroid(ring.open_coords)
+            ax += sign * a * cx
+            ay += sign * a * cy
+            total += sign * a
+        if total == 0.0:
+            return Point(*alg.ring_centroid(self._shell.open_coords))
+        return Point(ax / total, ay / total)
+
+    def locate_point(self, p: Coordinate) -> int:
+        """+1 interior, 0 boundary, -1 exterior (holes handled)."""
+        where = self._shell.contains_point(p)
+        if where <= 0:
+            return where
+        for hole in self._holes:
+            inside_hole = hole.contains_point(p)
+            if inside_hole == 0:
+                return 0
+            if inside_hole > 0:
+                return -1
+        return 1
+
+    def contains_point(self, p: Coordinate) -> bool:
+        """True for interior or boundary points."""
+        return self.locate_point(p) >= 0
+
+    def representative_point(self) -> Point:
+        """A point guaranteed to lie in the polygon's interior.
+
+        Tries the centroid first, then scans midpoints of horizontal lines
+        through the envelope.
+        """
+        c = self.centroid
+        if self.locate_point((c.x, c.y)) > 0:
+            return c
+        env = self._envelope
+        steps = 17
+        for i in range(1, steps):
+            y = env.miny + env.height * i / steps
+            xs = sorted(
+                x
+                for ring in self.rings
+                for x in _ring_scanline_crossings(ring, y)
+            )
+            for j in range(0, len(xs) - 1, 2):
+                mx = (xs[j] + xs[j + 1]) / 2.0
+                if self.locate_point((mx, y)) > 0:
+                    return Point(mx, y)
+        raise GeometryError("could not find an interior point")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Polygon)
+            and self._shell == other._shell
+            and self._holes == other._holes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.geom_type, self._shell, self._holes))
+
+
+def _ring_scanline_crossings(ring: LinearRing, y: float) -> Iterator[float]:
+    """X coordinates where the ring crosses the horizontal line at ``y``."""
+    pts = ring.open_coords
+    n = len(pts)
+    for i in range(n):
+        a = pts[i]
+        b = pts[(i + 1) % n]
+        if (a[1] > y) != (b[1] > y):
+            t = (y - a[1]) / (b[1] - a[1])
+            yield a[0] + t * (b[0] - a[0])

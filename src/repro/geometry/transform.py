@@ -1,0 +1,56 @@
+"""Coordinate-wise geometry transformation.
+
+Backs ``strdf:transform`` in the stSPARQL engine: rebuilds any geometry
+with every coordinate mapped through a callable — here used to move
+between WGS84 lon/lat (EPSG:4326) and the Greek Grid (EPSG:2100) the NOA
+chain georeferences to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.geometry.base import Geometry
+from repro.geometry.linestring import LinearRing, LineString
+from repro.geometry.multi import (
+    GeometryCollection,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+Coordinate = Tuple[float, float]
+CoordFn = Callable[[float, float], Coordinate]
+
+
+def transform_geometry(geom: Geometry, fn: CoordFn) -> Geometry:
+    """A copy of ``geom`` with every coordinate mapped through ``fn``."""
+    if isinstance(geom, Point):
+        return Point(*fn(geom.x, geom.y))
+    if isinstance(geom, Polygon):
+        shell = [fn(x, y) for x, y in geom.shell.open_coords]
+        holes = [
+            [fn(x, y) for x, y in hole.open_coords] for hole in geom.holes
+        ]
+        return Polygon(shell, holes)
+    if isinstance(geom, LineString):  # covers LinearRing used standalone
+        return LineString([fn(x, y) for x, y in geom.coords])
+    if isinstance(geom, MultiPoint):
+        return MultiPoint(
+            [transform_geometry(g, fn) for g in geom.geoms]
+        )
+    if isinstance(geom, MultiLineString):
+        return MultiLineString(
+            [transform_geometry(g, fn) for g in geom.geoms]
+        )
+    if isinstance(geom, MultiPolygon):
+        return MultiPolygon(
+            [transform_geometry(g, fn) for g in geom.geoms]
+        )
+    if isinstance(geom, GeometryCollection):
+        return GeometryCollection(
+            [transform_geometry(g, fn) for g in geom.geoms]
+        )
+    raise TypeError(f"cannot transform {type(geom).__name__}")

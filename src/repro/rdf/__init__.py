@@ -1,0 +1,56 @@
+"""RDF substrate: the storage layer of our Strabon reimplementation.
+
+Provides RDF terms (:class:`URI`, :class:`Literal`, :class:`BNode`),
+an indexed, dictionary-encoded triple store (:class:`Graph`), Turtle
+parsing/serialisation, well-known namespaces (including ``strdf:`` from the
+paper) and lightweight RDFS subclass inference used by the Corine Land
+Cover class taxonomy.
+"""
+
+from repro.rdf.term import URI, BNode, Literal, Term, Variable
+from repro.rdf.namespace import (
+    CLC,
+    COAST,
+    GAG,
+    GN,
+    LGD,
+    LGDO,
+    NOA,
+    OWL,
+    RDF,
+    RDFS,
+    STRDF,
+    SWEET,
+    XSD,
+    Namespace,
+)
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+from repro.rdf.inference import RDFSInference
+
+__all__ = [
+    "BNode",
+    "CLC",
+    "COAST",
+    "GAG",
+    "GN",
+    "Graph",
+    "LGD",
+    "LGDO",
+    "Literal",
+    "NOA",
+    "Namespace",
+    "OWL",
+    "RDF",
+    "RDFS",
+    "RDFSInference",
+    "STRDF",
+    "SWEET",
+    "Term",
+    "Triple",
+    "URI",
+    "Variable",
+    "XSD",
+    "parse_turtle",
+    "serialize_turtle",
+]

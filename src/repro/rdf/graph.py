@@ -1,0 +1,267 @@
+"""A dictionary-encoded, triple-indexed RDF graph.
+
+Terms are interned to integer identifiers; three nested-hash indexes
+(SPO, POS, OSP) answer any triple pattern with at most one level of
+iteration, mirroring how Strabon lays out its triple table plus indexes.
+The graph also tracks which objects are spatial (geometry-typed) literals
+so the stSPARQL engine can build an R-tree over them on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.term import Literal, Term, URI
+
+Triple = Tuple[Term, Term, Term]
+_Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+
+class Graph:
+    """A mutable set of RDF triples with pattern-matching access."""
+
+    def __init__(self) -> None:
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Term] = []
+        self._spo: Dict[int, Dict[int, Set[int]]] = {}
+        self._pos: Dict[int, Dict[int, Set[int]]] = {}
+        self._osp: Dict[int, Dict[int, Set[int]]] = {}
+        self._size = 0
+        self._generation = 0
+
+    # -- term interning ----------------------------------------------------
+
+    def _intern(self, term: Term) -> int:
+        tid = self._term_to_id.get(term)
+        if tid is None:
+            tid = len(self._id_to_term)
+            self._term_to_id[term] = tid
+            self._id_to_term.append(term)
+        return tid
+
+    def _lookup(self, term: Term) -> Optional[int]:
+        return self._term_to_id.get(term)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, s: Term, p: Term, o: Term) -> bool:
+        """Insert a triple; returns False when it was already present."""
+        si, pi, oi = self._intern(s), self._intern(p), self._intern(o)
+        bucket = self._spo.setdefault(si, {}).setdefault(pi, set())
+        if oi in bucket:
+            return False
+        bucket.add(oi)
+        self._pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
+        self._osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
+        self._size += 1
+        self._generation += 1
+        return True
+
+    def add_all(self, triples) -> int:
+        """Insert many triples; returns the number actually added."""
+        added = 0
+        for s, p, o in triples:
+            if self.add(s, p, o):
+                added += 1
+        return added
+
+    def remove(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> int:
+        """Delete all triples matching the (possibly wildcard) pattern."""
+        victims = list(self.triples(s, p, o))
+        for triple in victims:
+            self._remove_exact(*triple)
+        return len(victims)
+
+    def _remove_exact(self, s: Term, p: Term, o: Term) -> None:
+        si, pi, oi = self._lookup(s), self._lookup(p), self._lookup(o)
+        if si is None or pi is None or oi is None:
+            return
+        try:
+            self._spo[si][pi].remove(oi)
+        except KeyError:
+            return
+        if not self._spo[si][pi]:
+            del self._spo[si][pi]
+            if not self._spo[si]:
+                del self._spo[si]
+        self._pos[pi][oi].discard(si)
+        if not self._pos[pi][oi]:
+            del self._pos[pi][oi]
+            if not self._pos[pi]:
+                del self._pos[pi]
+        self._osp[oi][si].discard(pi)
+        if not self._osp[oi][si]:
+            del self._osp[oi][si]
+            if not self._osp[oi]:
+                del self._osp[oi]
+        self._size -= 1
+        self._generation += 1
+
+    def clear(self) -> None:
+        self.__init__()
+
+    # -- access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        si, pi, oi = self._lookup(s), self._lookup(p), self._lookup(o)
+        if si is None or pi is None or oi is None:
+            return False
+        return oi in self._spo.get(si, {}).get(pi, ())
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every mutation; used to invalidate derived indexes."""
+        return self._generation
+
+    def triples(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the pattern (None = wildcard)."""
+        ids = self._triple_ids(s, p, o)
+        terms = self._id_to_term
+        for si, pi, oi in ids:
+            yield (terms[si], terms[pi], terms[oi])
+
+    def _triple_ids(
+        self, s: Optional[Term], p: Optional[Term], o: Optional[Term]
+    ) -> Iterator[Tuple[int, int, int]]:
+        si = self._lookup(s) if s is not None else None
+        pi = self._lookup(p) if p is not None else None
+        oi = self._lookup(o) if o is not None else None
+        if (s is not None and si is None) or (
+            p is not None and pi is None
+        ) or (o is not None and oi is None):
+            return
+        if si is not None:
+            by_p = self._spo.get(si, {})
+            if pi is not None:
+                objs = by_p.get(pi, ())
+                if oi is not None:
+                    if oi in objs:
+                        yield (si, pi, oi)
+                else:
+                    for obj in list(objs):
+                        yield (si, pi, obj)
+            else:
+                for pred, objs in list(by_p.items()):
+                    if oi is not None:
+                        if oi in objs:
+                            yield (si, pred, oi)
+                    else:
+                        for obj in list(objs):
+                            yield (si, pred, obj)
+        elif pi is not None:
+            by_o = self._pos.get(pi, {})
+            if oi is not None:
+                for subj in list(by_o.get(oi, ())):
+                    yield (subj, pi, oi)
+            else:
+                for obj, subjects in list(by_o.items()):
+                    for subj in list(subjects):
+                        yield (subj, pi, obj)
+        elif oi is not None:
+            for subj, preds in list(self._osp.get(oi, {}).items()):
+                for pred in list(preds):
+                    yield (subj, pred, oi)
+        else:
+            for subj, by_p in list(self._spo.items()):
+                for pred, objs in list(by_p.items()):
+                    for obj in list(objs):
+                        yield (subj, pred, obj)
+
+    def count(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> int:
+        """Cardinality of a pattern (cheap for bound patterns)."""
+        si = self._lookup(s) if s is not None else None
+        pi = self._lookup(p) if p is not None else None
+        oi = self._lookup(o) if o is not None else None
+        if (s is not None and si is None) or (
+            p is not None and pi is None
+        ) or (o is not None and oi is None):
+            return 0
+        if s is None and p is None and o is None:
+            return self._size
+        if si is not None and pi is not None and oi is None:
+            return len(self._spo.get(si, {}).get(pi, ()))
+        if pi is not None and oi is not None and si is None:
+            return len(self._pos.get(pi, {}).get(oi, ()))
+        return sum(1 for _ in self._triple_ids(s, p, o))
+
+    # -- convenience accessors ------------------------------------------
+
+    def subjects(
+        self, p: Optional[Term] = None, o: Optional[Term] = None
+    ) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for s, _, _ in self.triples(None, p, o):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def objects(
+        self, s: Optional[Term] = None, p: Optional[Term] = None
+    ) -> Iterator[Term]:
+        for _, _, o in self.triples(s, p, None):
+            yield o
+
+    def predicates(
+        self, s: Optional[Term] = None, o: Optional[Term] = None
+    ) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for _, p, _ in self.triples(s, None, o):
+            if p not in seen:
+                seen.add(p)
+                yield p
+
+    def value(
+        self, s: Optional[Term] = None, p: Optional[Term] = None
+    ) -> Optional[Term]:
+        """First object of the pattern, or None."""
+        for o in self.objects(s, p):
+            return o
+        return None
+
+    def geometry_literals(self) -> Iterator[Tuple[Term, Term, Literal]]:
+        """Yield every triple whose object is a geometry-typed literal."""
+        for s, p, o in self.triples():
+            if isinstance(o, Literal) and o.is_geometry:
+                yield (s, p, o)
+
+    def namespaces_used(self) -> Set[str]:
+        """Distinct URI prefixes present in the graph (diagnostics)."""
+        bases: Set[str] = set()
+        for term in self._id_to_term:
+            if isinstance(term, URI):
+                value = term.value
+                for sep in ("#", "/"):
+                    if sep in value:
+                        bases.add(value.rsplit(sep, 1)[0] + sep)
+                        break
+        return bases
+
+    def copy(self) -> "Graph":
+        g = Graph()
+        g.add_all(self.triples())
+        return g
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Graph with {self._size} triples>"

@@ -1,0 +1,95 @@
+"""Namespace helpers and the vocabularies used throughout the paper."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.rdf.term import URI
+
+
+class Namespace:
+    """A URI prefix that mints terms by attribute or item access.
+
+    >>> NOA = Namespace("http://teleios.di.uoa.gr/ontologies/noaOntology.owl#")
+    >>> NOA.Hotspot
+    <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot>
+    """
+
+    def __init__(self, base: str) -> None:
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, name: str) -> URI:
+        return URI(self._base + name)
+
+    def __getattr__(self, name: str) -> URI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> URI:
+        return self.term(name)
+
+    def __contains__(self, uri: object) -> bool:
+        return isinstance(uri, URI) and uri.value.startswith(self._base)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: The stRDF vocabulary of Strabon (spatial literal datatypes + functions).
+STRDF = Namespace("http://strdf.di.uoa.gr/ontology#")
+
+#: GeoSPARQL function and ontology namespaces (OGC standard; the engine
+#: accepts these as aliases of the strdf functions).
+GEOF = Namespace("http://www.opengis.net/def/function/geosparql/")
+GEO = Namespace("http://www.opengis.net/ont/geosparql#")
+
+#: The NOA fire-product ontology of Section 3.2.1.
+NOA = Namespace("http://teleios.di.uoa.gr/ontologies/noaOntology.owl#")
+
+#: Corine Land Cover.
+CLC = Namespace("http://teleios.di.uoa.gr/ontologies/clcOntology.owl#")
+
+#: Greek coastline dataset.
+COAST = Namespace("http://teleios.di.uoa.gr/ontologies/coastlineOntology.owl#")
+
+#: Greek Administrative Geography.
+GAG = Namespace("http://teleios.di.uoa.gr/ontologies/gagOntology.owl#")
+
+#: LinkedGeoData instances and ontology.
+LGD = Namespace("http://linkedgeodata.org/triplify/")
+LGDO = Namespace("http://linkedgeodata.org/ontology/")
+
+#: GeoNames.
+GN = Namespace("http://www.geonames.org/ontology#")
+
+#: NASA SWEET upper ontology (superclasses of the NOA classes).
+SWEET = Namespace("http://sweet.jpl.nasa.gov/2.2/")
+
+#: Prefix map used by the Turtle serialiser and the stSPARQL parser.
+WELL_KNOWN_PREFIXES: Dict[str, str] = {
+    "rdf": RDF.base,
+    "rdfs": RDFS.base,
+    "owl": OWL.base,
+    "xsd": XSD.base,
+    "strdf": STRDF.base,
+    "geof": GEOF.base,
+    "geo": GEO.base,
+    "noa": NOA.base,
+    "clc": CLC.base,
+    "coast": COAST.base,
+    "gag": GAG.base,
+    "lgd": LGD.base,
+    "lgdo": LGDO.base,
+    "gn": GN.base,
+    "sweet": SWEET.base,
+}

@@ -1,0 +1,313 @@
+"""Turtle reader and writer.
+
+Covers the subset of Turtle used by the paper's datasets: ``@prefix``
+directives, prefixed names, full IRIs, ``a``, predicate lists (``;``),
+object lists (``,``), plain/typed/language-tagged literals (including
+long ``\"\"\"`` strings), numeric and boolean shorthand, and labelled or
+anonymous blank nodes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import WELL_KNOWN_PREFIXES, RDF, XSD
+from repro.rdf.term import BNode, Literal, Term, URI
+
+
+class TurtleParseError(ValueError):
+    """Raised on malformed Turtle input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<longstring>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+  | (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<iri><[^<>"{}|^`\\\s]*>)
+  | (?P<prefix_decl>@prefix|@base)
+  | (?P<lang>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<dtype>\^\^)
+  | (?P<bnode>_:[A-Za-z0-9_.-]+)
+  | (?P<pname>[A-Za-z_][\w.-]*)?:(?P<local>[\w][\w.-]*(?<![.]))?
+  | (?P<number>[-+]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?)
+  | (?P<keyword>\ba\b|true|false)
+  | (?P<punct>[;,.\[\]\(\)])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise TurtleParseError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        kind = m.lastgroup or ""
+        if kind == "local":
+            kind = "pname"
+        if kind not in ("ws", "comment"):
+            if m.group("pname") is not None or (
+                kind == "pname" and ":" in m.group()
+            ):
+                tokens.append(("pname", m.group()))
+            else:
+                tokens.append((kind, m.group()))
+        pos = m.end()
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.idx = 0
+        self.prefixes: Dict[str, str] = {}
+        self.base = ""
+        self.graph = Graph()
+
+    # -- token plumbing ------------------------------------------------
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.idx]
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.tokens[self.idx]
+        self.idx += 1
+        return tok
+
+    def expect_punct(self, char: str) -> None:
+        kind, value = self.next()
+        if kind != "punct" or value != char:
+            raise TurtleParseError(f"expected {char!r}, got {value!r}")
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> Graph:
+        while self.peek()[0] != "eof":
+            kind, value = self.peek()
+            if kind == "prefix_decl":
+                self._parse_directive()
+            else:
+                self._parse_statement()
+        return self.graph
+
+    def _parse_directive(self) -> None:
+        _, directive = self.next()
+        if directive == "@prefix":
+            kind, pname = self.next()
+            if kind != "pname" or not pname.endswith(":"):
+                raise TurtleParseError(f"bad prefix name {pname!r}")
+            prefix = pname[:-1]
+            kind, iri = self.next()
+            if kind != "iri":
+                raise TurtleParseError(f"bad prefix IRI {iri!r}")
+            self.prefixes[prefix] = iri[1:-1]
+        else:  # @base
+            kind, iri = self.next()
+            if kind != "iri":
+                raise TurtleParseError(f"bad base IRI {iri!r}")
+            self.base = iri[1:-1]
+        self.expect_punct(".")
+
+    def _parse_statement(self) -> None:
+        subject = self._parse_term(as_subject=True)
+        self._parse_predicate_object_list(subject)
+        self.expect_punct(".")
+
+    def _parse_predicate_object_list(self, subject: Term) -> None:
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term()
+                self.graph.add(subject, predicate, obj)
+                kind, value = self.peek()
+                if kind == "punct" and value == ",":
+                    self.next()
+                    continue
+                break
+            kind, value = self.peek()
+            if kind == "punct" and value == ";":
+                self.next()
+                # Allow trailing ';' before '.' or ']'.
+                kind, value = self.peek()
+                if kind == "punct" and value in (".", "]"):
+                    return
+                continue
+            return
+
+    def _parse_verb(self) -> Term:
+        kind, value = self.peek()
+        if kind == "keyword" and value == "a":
+            self.next()
+            return RDF.type
+        return self._parse_term(verb=True)
+
+    def _parse_term(self, as_subject: bool = False, verb: bool = False) -> Term:
+        kind, value = self.next()
+        if kind == "iri":
+            iri = value[1:-1]
+            if self.base and not re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", iri):
+                iri = self.base + iri
+            return URI(iri)
+        if kind == "pname":
+            return self._resolve_pname(value)
+        if kind == "bnode":
+            return BNode(value[2:])
+        if kind == "punct" and value == "[":
+            node = BNode()
+            if self.peek() != ("punct", "]"):
+                self._parse_predicate_object_list(node)
+            self.expect_punct("]")
+            return node
+        if verb:
+            raise TurtleParseError(f"bad predicate token {value!r}")
+        if kind in ("string", "longstring"):
+            return self._parse_literal(value, long=kind == "longstring")
+        if kind == "number":
+            if re.search(r"[.eE]", value):
+                return Literal(value, datatype=XSD.base + "double")
+            return Literal(value, datatype=XSD.base + "integer")
+        if kind == "keyword" and value in ("true", "false"):
+            return Literal(value, datatype=XSD.base + "boolean")
+        raise TurtleParseError(f"unexpected token {value!r}")
+
+    def _parse_literal(self, raw: str, long: bool) -> Literal:
+        body = raw[3:-3] if long else raw[1:-1]
+        text = _unescape(body)
+        kind, value = self.peek()
+        if kind == "dtype":
+            self.next()
+            kind, value = self.next()
+            if kind == "iri":
+                return Literal(text, datatype=value[1:-1])
+            if kind == "pname":
+                dt = self._resolve_pname(value)
+                return Literal(text, datatype=dt.value)
+            raise TurtleParseError(f"bad datatype token {value!r}")
+        if kind == "lang":
+            self.next()
+            return Literal(text, language=value[1:])
+        return Literal(text)
+
+    def _resolve_pname(self, pname: str) -> URI:
+        prefix, _, local = pname.partition(":")
+        base = self.prefixes.get(prefix)
+        if base is None:
+            base = WELL_KNOWN_PREFIXES.get(prefix)
+        if base is None:
+            raise TurtleParseError(f"unknown prefix {prefix!r}")
+        return URI(base + local)
+
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+def _unescape(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "u" and i + 5 < n:
+                out.append(chr(int(text[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+            if nxt == "U" and i + 9 < n:
+                out.append(chr(int(text[i + 2 : i + 10], 16)))
+                i += 10
+                continue
+            out.append(_ESCAPES.get(nxt, nxt))
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def parse_turtle(
+    text: str, prefixes: Optional[Dict[str, str]] = None
+) -> Graph:
+    """Parse Turtle ``text`` into a new :class:`Graph`.
+
+    ``prefixes`` pre-seeds the prefix table (the well-known project
+    prefixes are always available as a fallback).
+    """
+    parser = _Parser(text)
+    if prefixes:
+        parser.prefixes.update(prefixes)
+    return parser.parse()
+
+
+def serialize_turtle(
+    graph: Graph, prefixes: Optional[Dict[str, str]] = None
+) -> str:
+    """Serialise a graph as Turtle, grouping triples by subject."""
+    table = dict(WELL_KNOWN_PREFIXES)
+    if prefixes:
+        table.update(prefixes)
+    by_base = sorted(table.items(), key=lambda kv: -len(kv[1]))
+
+    def shorten(term: Term) -> str:
+        if isinstance(term, URI):
+            for prefix, base in by_base:
+                if term.value.startswith(base):
+                    local = term.value[len(base):]
+                    if re.fullmatch(r"[\w.-]*", local) and not local.startswith("."):
+                        return f"{prefix}:{local}"
+            return term.n3()
+        if isinstance(term, Literal) and term.datatype:
+            for prefix, base in by_base:
+                if term.datatype.startswith(base):
+                    local = term.datatype[len(base):]
+                    if re.fullmatch(r"[\w.-]*", local):
+                        escaped = (
+                            term.lexical.replace("\\", "\\\\").replace('"', '\\"')
+                        )
+                        return f'"{escaped}"^^{prefix}:{local}'
+            return term.n3()
+        return term.n3()
+
+    used_prefixes = set()
+    lines: List[str] = []
+    subjects: Dict[Term, List[Tuple[Term, Term]]] = {}
+    for s, p, o in graph.triples():
+        subjects.setdefault(s, []).append((p, o))
+    body: List[str] = []
+    for s, pos_list in subjects.items():
+        s_text = shorten(s)
+        parts: List[str] = []
+        pos_list.sort(key=lambda po: (str(po[0]), str(po[1])))
+        by_pred: Dict[Term, List[Term]] = {}
+        for p, o in pos_list:
+            by_pred.setdefault(p, []).append(o)
+        for p, objs in by_pred.items():
+            p_text = "a" if p == RDF.type else shorten(p)
+            o_text = ", ".join(shorten(o) for o in objs)
+            parts.append(f"{p_text} {o_text}")
+        body.append(f"{s_text} " + " ;\n    ".join(parts) + " .")
+        for token in re.findall(r"\b([\w-]+):", " ".join(parts) + " " + s_text):
+            used_prefixes.add(token)
+    for prefix, base in sorted(table.items()):
+        if prefix in used_prefixes:
+            lines.append(f"@prefix {prefix}: <{base}> .")
+    if lines:
+        lines.append("")
+    lines.extend(body)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,59 @@
+"""Earth-observation substrate: synthetic MSG/SEVIRI + MODIS simulation.
+
+The paper's service consumes MSG/SEVIRI HRIT imagery from a receiving
+station.  Here an equivalent synthetic pipeline produces physically
+plausible brightness-temperature imagery of a simulated Greek fire season:
+
+* :mod:`repro.seviri.sensors` — sensor models (MSG1/MSG2 SEVIRI, MODIS),
+* :mod:`repro.seviri.solar` — solar geometry (zenith angle, day/night),
+* :mod:`repro.seviri.fires` — fire-event and fire-season simulation,
+* :mod:`repro.seviri.geo` — raw satellite grid, target lon/lat grid and
+  the second-degree-polynomial georeferencing of the paper,
+* :mod:`repro.seviri.scene` — brightness-temperature synthesis (IR 3.9
+  and IR 10.8 µm) with diurnal cycles, sea/land contrast, smoke plumes
+  and sensor noise,
+* :mod:`repro.seviri.hrit` — an HRIT-like segmented binary file format
+  with writer, reader and a Data-Vault format driver,
+* :mod:`repro.seviri.modis` — simulated MODIS/FIRMS reference hotspots,
+* :mod:`repro.seviri.acquisition` — acquisition scheduling (5-minute
+  MSG1, 15-minute MSG2, twice-daily Terra/Aqua).
+"""
+
+from repro.seviri.sensors import MODIS_AQUA, MODIS_TERRA, MSG1, MSG2, Sensor
+from repro.seviri.solar import solar_zenith_deg
+from repro.seviri.fires import FireEvent, FireSeason
+from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
+from repro.seviri.scene import SceneGenerator
+from repro.seviri.hrit import HRITDriver, read_hrit_image, write_hrit_segments
+from repro.seviri.modis import ModisDetection, simulate_modis_detections
+from repro.seviri.acquisition import (
+    AcquisitionSchedule,
+    modis_overpasses,
+    msg_schedule,
+)
+from repro.seviri.monitor import ReadyAcquisition, SeviriMonitor
+
+__all__ = [
+    "AcquisitionSchedule",
+    "FireEvent",
+    "FireSeason",
+    "GeoReference",
+    "HRITDriver",
+    "MODIS_AQUA",
+    "MODIS_TERRA",
+    "MSG1",
+    "MSG2",
+    "ModisDetection",
+    "RawGrid",
+    "ReadyAcquisition",
+    "SceneGenerator",
+    "Sensor",
+    "SeviriMonitor",
+    "TargetGrid",
+    "modis_overpasses",
+    "msg_schedule",
+    "read_hrit_image",
+    "simulate_modis_detections",
+    "solar_zenith_deg",
+    "write_hrit_segments",
+]

@@ -1,0 +1,91 @@
+"""Acquisition scheduling.
+
+MSG1 SEVIRI delivers an image every 5 minutes, MSG2 every 15 (Section 2);
+MODIS Terra/Aqua pass over Greece at fixed local times.  The schedule
+objects below drive the real-time loop of the service and the Table 2 /
+Figure 8 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime, time, timedelta, timezone
+from typing import Iterator, List, Tuple
+
+from repro.seviri.sensors import MODIS_AQUA, MODIS_TERRA, MSG1, MSG2, Sensor
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One scheduled image acquisition."""
+
+    sensor: Sensor
+    timestamp: datetime
+
+
+def msg_schedule(
+    day: date, sensor: Sensor = MSG2, tz=timezone.utc
+) -> List[Acquisition]:
+    """All acquisitions of a geostationary sensor during ``day``."""
+    if not sensor.is_geostationary:
+        raise ValueError(f"{sensor.name} is not geostationary")
+    out: List[Acquisition] = []
+    current = datetime.combine(day, time(0, 0), tzinfo=tz)
+    end = current + timedelta(days=1)
+    step = timedelta(minutes=sensor.revisit_minutes)
+    while current < end:
+        out.append(Acquisition(sensor, current))
+        current += step
+    return out
+
+
+def modis_overpasses(
+    day: date, tz=timezone.utc, longitude: float = 23.7
+) -> List[Acquisition]:
+    """Terra/Aqua overpasses during ``day``.
+
+    Local solar overpass times are converted to UTC using the longitude
+    (Greece ≈ UTC+1.6 solar offset at 23.7°E).
+    """
+    out: List[Acquisition] = []
+    solar_offset = timedelta(hours=longitude / 15.0)
+    for sensor in (MODIS_TERRA, MODIS_AQUA):
+        for hhmm in sensor.overpass_local_times:
+            hh, mm = map(int, hhmm.split(":"))
+            local = datetime.combine(day, time(hh, mm), tzinfo=tz)
+            out.append(Acquisition(sensor, local - solar_offset))
+    out.sort(key=lambda a: a.timestamp)
+    return out
+
+
+@dataclass
+class AcquisitionSchedule:
+    """A merged multi-sensor schedule over a date range."""
+
+    start: date
+    days: int
+    sensors: Tuple[Sensor, ...] = (MSG1, MSG2)
+    include_modis: bool = True
+
+    def msg_acquisitions(self) -> List[Acquisition]:
+        out: List[Acquisition] = []
+        for d in range(self.days):
+            day = self.start + timedelta(days=d)
+            for sensor in self.sensors:
+                if sensor.is_geostationary:
+                    out.extend(msg_schedule(day, sensor))
+        out.sort(key=lambda a: (a.timestamp, a.sensor.name))
+        return out
+
+    def modis_acquisitions(self) -> List[Acquisition]:
+        if not self.include_modis:
+            return []
+        out: List[Acquisition] = []
+        for d in range(self.days):
+            out.extend(modis_overpasses(self.start + timedelta(days=d)))
+        return out
+
+    def __iter__(self) -> Iterator[Acquisition]:
+        merged = self.msg_acquisitions() + self.modis_acquisitions()
+        merged.sort(key=lambda a: a.timestamp)
+        return iter(merged)

@@ -1,0 +1,214 @@
+"""Satellite imaging geometry and georeferencing.
+
+Two grids matter:
+
+* the **raw grid** — pixel coordinates of the image as downlinked.  The
+  MSG satellite is geostationary, so the mapping from raw pixels to
+  geographic coordinates is fixed; we model it as an affine transform
+  (scale + slight rotation) plus a small quadratic distortion standing in
+  for the real scan geometry.
+* the **target grid** — the regular lon/lat product grid over the area of
+  interest to which the chain georeferences (the paper georeferences to
+  HGRS 87; our product grid is geographic but
+  :class:`repro.geometry.projection.GreekGrid` provides the projected
+  frame where needed).
+
+Georeferencing follows the paper exactly: the transformation is computed
+once (here: least-squares fit of two second-degree polynomials mapping
+target lon/lat to raw pixel coordinates), and every image is resampled the
+same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import Polygon
+
+
+@dataclass(frozen=True)
+class TargetGrid:
+    """A regular geographic grid; cell (i, j) covers a dlon x dlat box."""
+
+    lon0: float = 20.5
+    lat0: float = 34.5
+    dlon: float = 0.04
+    dlat: float = 0.04
+    nx: int = 162
+    ny: int = 175
+
+    def lon(self, i) -> np.ndarray:
+        """Longitude of pixel centre(s) at x-index ``i``."""
+        return self.lon0 + (np.asarray(i, dtype=np.float64) + 0.5) * self.dlon
+
+    def lat(self, j) -> np.ndarray:
+        return self.lat0 + (np.asarray(j, dtype=np.float64) + 0.5) * self.dlat
+
+    def index_of(self, lon: float, lat: float) -> Tuple[int, int]:
+        i = int((lon - self.lon0) / self.dlon)
+        j = int((lat - self.lat0) / self.dlat)
+        return (i, j)
+
+    def contains(self, lon: float, lat: float) -> bool:
+        i, j = self.index_of(lon, lat)
+        return 0 <= i < self.nx and 0 <= j < self.ny
+
+    def mesh(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(lon, lat) arrays of shape (nx, ny) for all pixel centres."""
+        lons = self.lon(np.arange(self.nx))
+        lats = self.lat(np.arange(self.ny))
+        return np.meshgrid(lons, lats, indexing="ij")
+
+    def pixel_polygon(self, i: int, j: int) -> Polygon:
+        """The pixel's footprint as a lon/lat polygon (the paper's 4x4 km
+        square hotspot geometry)."""
+        lon_lo = self.lon0 + i * self.dlon
+        lat_lo = self.lat0 + j * self.dlat
+        return Polygon(
+            [
+                (lon_lo, lat_lo),
+                (lon_lo + self.dlon, lat_lo),
+                (lon_lo + self.dlon, lat_lo + self.dlat),
+                (lon_lo, lat_lo + self.dlat),
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class RawGrid:
+    """The raw satellite pixel grid and its fixed imaging geometry.
+
+    ``raw_to_geo`` maps pixel indices to lon/lat; the inverse is never
+    computed exactly — the chain approximates it with fitted polynomials,
+    as NOA's chain does.
+    """
+
+    nx: int = 260
+    ny: int = 280
+    #: Geographic anchor of raw pixel (0, 0).
+    lon_origin: float = 19.6
+    lat_origin: float = 33.9
+    #: Nominal degrees per raw pixel.
+    dlon: float = 0.033
+    dlat: float = 0.031
+    #: Rotation (radians) between the scan axes and the geographic axes.
+    rotation: float = 0.035
+    #: Quadratic distortion coefficient (scan curvature).
+    curvature: float = 3.5e-7
+
+    def raw_to_geo(self, i, j) -> Tuple[np.ndarray, np.ndarray]:
+        """Map raw pixel indices to (lon, lat)."""
+        i = np.asarray(i, dtype=np.float64)
+        j = np.asarray(j, dtype=np.float64)
+        cos_r = np.cos(self.rotation)
+        sin_r = np.sin(self.rotation)
+        u = i * cos_r - j * sin_r
+        v = i * sin_r + j * cos_r
+        lon = self.lon_origin + u * self.dlon + self.curvature * (v**2)
+        lat = self.lat_origin + v * self.dlat + self.curvature * (u**2)
+        return lon, lat
+
+    def mesh(self) -> Tuple[np.ndarray, np.ndarray]:
+        ii, jj = np.meshgrid(
+            np.arange(self.nx), np.arange(self.ny), indexing="ij"
+        )
+        return self.raw_to_geo(ii, jj)
+
+
+def _poly2_design(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Design matrix of a full 2-degree bivariate polynomial."""
+    return np.column_stack(
+        [np.ones_like(x), x, y, x * x, x * y, y * y]
+    )
+
+
+class GeoReference:
+    """Second-degree polynomial mapping target lon/lat → raw pixel coords.
+
+    Mirrors §3.1.2: "applies a two degree polynomial in order to map
+    pixels of the old image to the pixels of the new image.  The
+    coefficients of the polynomial as well as the target image dimensions
+    are all precalculated."
+    """
+
+    def __init__(self, raw: RawGrid, target: TargetGrid) -> None:
+        self.raw = raw
+        self.target = target
+        # Fit on a coarse control-point grid.
+        ctrl_i = np.linspace(0, raw.nx - 1, 24)
+        ctrl_j = np.linspace(0, raw.ny - 1, 24)
+        ii, jj = np.meshgrid(ctrl_i, ctrl_j, indexing="ij")
+        lon, lat = raw.raw_to_geo(ii, jj)
+        design = _poly2_design(lon.ravel(), lat.ravel())
+        self.coeff_i, *_ = np.linalg.lstsq(design, ii.ravel(), rcond=None)
+        self.coeff_j, *_ = np.linalg.lstsq(design, jj.ravel(), rcond=None)
+        residual_i = design @ self.coeff_i - ii.ravel()
+        residual_j = design @ self.coeff_j - jj.ravel()
+        #: RMS fit error in raw pixels (should be well below 1).
+        self.rms_pixels = float(
+            np.sqrt(np.mean(residual_i**2 + residual_j**2))
+        )
+
+    def geo_to_raw(self, lon, lat) -> Tuple[np.ndarray, np.ndarray]:
+        """Polynomial estimate of raw pixel coordinates for lon/lat."""
+        lon = np.asarray(lon, dtype=np.float64)
+        lat = np.asarray(lat, dtype=np.float64)
+        design = _poly2_design(lon.ravel(), lat.ravel())
+        i = design @ self.coeff_i
+        j = design @ self.coeff_j
+        return i.reshape(lon.shape), j.reshape(lat.shape)
+
+    def resample(
+        self,
+        raw_image: np.ndarray,
+        window: Optional[Tuple[int, int, int, int]] = None,
+    ) -> np.ndarray:
+        """Nearest-neighbour resample of a raw image onto the target grid.
+
+        ``window`` identifies the raw-grid origin of ``raw_image`` when it
+        is a cropped sub-image (``(i_lo, i_hi, j_lo, j_hi)``).  Returns an
+        (nx, ny) float array; pixels that fall outside the raw image come
+        back as NaN.
+        """
+        lon, lat = self.target.mesh()
+        i, j = self.geo_to_raw(lon, lat)
+        ii = np.round(i).astype(np.int64)
+        jj = np.round(j).astype(np.int64)
+        if window is not None:
+            ii = ii - window[0]
+            jj = jj - window[2]
+        valid = (
+            (ii >= 0)
+            & (ii < raw_image.shape[0])
+            & (jj >= 0)
+            & (jj < raw_image.shape[1])
+        )
+        out = np.full(lon.shape, np.nan, dtype=np.float64)
+        out[valid] = raw_image[ii[valid], jj[valid]]
+        return out
+
+    def source_indices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Integer raw-pixel indices feeding each target cell — the
+        precalculated lookup the SciQL chain stores as arrays."""
+        lon, lat = self.target.mesh()
+        i, j = self.geo_to_raw(lon, lat)
+        return (
+            np.round(i).astype(np.int64),
+            np.round(j).astype(np.int64),
+        )
+
+    def crop_window(self) -> Tuple[int, int, int, int]:
+        """Raw-grid window ``(i_lo, i_hi, j_lo, j_hi)`` covering the target
+        area — the chain's cropping step."""
+        lon, lat = self.target.mesh()
+        i, j = self.geo_to_raw(lon, lat)
+        margin = 2
+        return (
+            max(int(np.floor(i.min())) - margin, 0),
+            min(int(np.ceil(i.max())) + margin + 1, self.raw.nx),
+            max(int(np.floor(j.min())) - margin, 0),
+            min(int(np.ceil(j.max())) + margin + 1, self.raw.ny),
+        )

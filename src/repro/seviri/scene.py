@@ -1,0 +1,238 @@
+"""Brightness-temperature scene synthesis.
+
+Produces the IR 3.9 µm and IR 10.8 µm rasters the detection chain consumes,
+on the **raw satellite grid** (so cropping and georeferencing remain real
+work).  The thermal model is deliberately simple but captures everything
+the EUMETSAT classifier keys on:
+
+* diurnal surface-temperature cycle with land/sea contrast,
+* per-pixel static terrain variation (deterministic),
+* fire contribution: sub-pixel hot sources raise T3.9 far more than
+  T10.8 (the physical basis of the 3.9/10.8 split),
+* smoke plumes: moderate, textured T3.9 elevation — the classic false
+  alarm of Figure 7,
+* sensor noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.geography import SyntheticGreece
+from repro.seviri.fires import FireEvent, FireSeason
+from repro.seviri.geo import RawGrid
+from repro.seviri.solar import solar_zenith_deg
+
+#: Fire brightness temperature (K) of the burning fraction at 3.9 µm.
+FIRE_TEMP_039 = 600.0
+#: ... and at 10.8 µm (smaller: smoke/flames are semi-transparent there).
+FIRE_TEMP_108 = 450.0
+
+
+@dataclass
+class SceneImage:
+    """One synthesised acquisition on the raw grid."""
+
+    timestamp: datetime
+    t039: np.ndarray  # brightness temperature, K
+    t108: np.ndarray
+    sensor_name: str = "MSG2"
+
+
+class SceneGenerator:
+    """Synthesises raw-grid brightness temperatures for any timestamp."""
+
+    def __init__(
+        self,
+        greece: SyntheticGreece,
+        raw: Optional[RawGrid] = None,
+        seed: int = 99,
+        noise_k: float = 0.35,
+        clouds_per_scene: float = 0.0,
+    ) -> None:
+        self.greece = greece
+        self.raw = raw if raw is not None else RawGrid()
+        self.seed = seed
+        self.noise_k = noise_k
+        #: Expected number of cloud fields per acquisition (Poisson).
+        self.clouds_per_scene = clouds_per_scene
+        # One-time precomputation: per-pixel geography.
+        self.lon, self.lat = self.raw.mesh()
+        self.land_mask = self._rasterize_land()
+        rng = np.random.default_rng(seed)
+        #: Static terrain temperature offset (K), land only.
+        self.terrain = np.where(
+            self.land_mask, rng.normal(0.0, 1.1, self.lon.shape), 0.0
+        )
+
+    def _rasterize_land(self) -> np.ndarray:
+        """Vectorised even-odd rasterisation of the land polygons."""
+        lon = self.lon.ravel()
+        lat = self.lat.ravel()
+        inside = np.zeros(lon.shape, dtype=bool)
+        for poly in self.greece.land_polygons:
+            env = poly.envelope
+            box = (
+                (lon >= env.minx)
+                & (lon <= env.maxx)
+                & (lat >= env.miny)
+                & (lat <= env.maxy)
+            )
+            if not box.any():
+                continue
+            px = lon[box]
+            py = lat[box]
+            crossings = np.zeros(px.shape, dtype=np.int64)
+            ring = poly.shell.open_coords
+            n = len(ring)
+            for k in range(n):
+                x1, y1 = ring[k]
+                x2, y2 = ring[(k + 1) % n]
+                straddles = (y1 > py) != (y2 > py)
+                if not straddles.any():
+                    continue
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    t = (py - y1) / (y2 - y1)
+                xi = x1 + t * (x2 - x1)
+                crossings += (straddles & (xi > px)).astype(np.int64)
+            inside_box = crossings % 2 == 1
+            partial = inside[box]
+            partial |= inside_box
+            inside[box] = partial
+        return inside.reshape(self.lon.shape)
+
+    # -- thermal model -----------------------------------------------------
+
+    def _background(
+        self, when: datetime
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        zenith = solar_zenith_deg(when, self.lon, self.lat)
+        # Insolation proxy: daylight heating, zero at night.
+        heating = np.clip(np.cos(np.radians(zenith)), 0.0, None)
+        land_t = 287.0 + 16.0 * heating + self.terrain
+        sea_t = 292.0 + 2.0 * heating
+        t108 = np.where(self.land_mask, land_t, sea_t)
+        # At 3.9 µm daytime solar reflection adds a bit over land.
+        t039 = t108 + np.where(self.land_mask, 2.0 * heating, 0.5 * heating)
+        return t039, t108
+
+    def _apply_fire(
+        self,
+        t039: np.ndarray,
+        t108: np.ndarray,
+        event: FireEvent,
+        when: datetime,
+    ) -> None:
+        intensity = event.intensity_at(when)
+        if intensity <= 0.0:
+            return
+        radius_deg = max(event.radius_deg_at(when), 0.004)
+        # Work on a local window around the event for speed.
+        pad = radius_deg * 3 + 0.1
+        window = (
+            (self.lon >= event.lon - pad)
+            & (self.lon <= event.lon + pad)
+            & (self.lat >= event.lat - pad)
+            & (self.lat <= event.lat + pad)
+        )
+        if not window.any():
+            return
+        lon = self.lon[window]
+        lat = self.lat[window]
+        if event.kind == "smoke":
+            # Elongated warm plume downwind; moderate, textured.
+            ca, sa = math.cos(event.wind_direction), math.sin(
+                event.wind_direction
+            )
+            du = (lon - event.lon) * ca + (lat - event.lat) * sa
+            dv = -(lon - event.lon) * sa + (lat - event.lat) * ca
+            shape = np.exp(
+                -((du / (radius_deg * 2.5)) ** 2)
+                - ((dv / (radius_deg * 0.8)) ** 2)
+            )
+            rng = np.random.default_rng(
+                self.seed ^ event.event_id ^ int(when.timestamp())
+            )
+            texture = rng.normal(1.0, 0.35, lon.shape).clip(0.0, 2.0)
+            bump039 = 26.0 * intensity * shape * texture
+            bump108 = 1.5 * intensity * shape
+            t039[window] += bump039
+            t108[window] += bump108
+            return
+        # Real combustion: sub-pixel fraction of the pixel is burning.
+        # The spatial spread is at least a pixel wide so small fires still
+        # land on a pixel centre (MSG's key property: a small burning
+        # portion of a 4x4 km pixel suffices for detection — §2).
+        d2 = (lon - event.lon) ** 2 + (lat - event.lat) ** 2
+        sigma = max(radius_deg * 0.6, 0.6 * self.raw.dlon)
+        proximity = np.exp(-d2 / (2.0 * sigma**2))
+        # A wider, weaker halo models warm fringes around the burning
+        # core; it is what produces the classifier's "potential fire"
+        # pixels at fire margins.
+        halo = np.exp(-d2 / (2.0 * (2.0 * sigma) ** 2))
+        pixel_area_deg2 = self.raw.dlon * self.raw.dlat
+        burning_area = math.pi * radius_deg**2 * intensity
+        core_load = burning_area / pixel_area_deg2 * 0.5
+        fraction = np.clip(
+            core_load * proximity + core_load * 0.07 * halo, 0.0, 0.35
+        )
+        # Planck-ish mixing approximated linearly in brightness temp;
+        # the 10.8 µm band barely reacts to sub-pixel hot sources, which
+        # is exactly what the classifier's std108 gate relies on.
+        t039[window] += fraction * (FIRE_TEMP_039 - t039[window])
+        t108[window] += fraction * 0.04 * (FIRE_TEMP_108 - t108[window])
+
+    def _apply_clouds(
+        self,
+        t039: np.ndarray,
+        t108: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Cold cloud blobs: both bands drop towards cloud-top temps."""
+        minx, miny, maxx, maxy = self.greece.bbox
+        for _ in range(rng.poisson(self.clouds_per_scene)):
+            cx = rng.uniform(minx, maxx)
+            cy = rng.uniform(miny, maxy)
+            radius = rng.uniform(0.25, 0.8)
+            depth = rng.uniform(35.0, 55.0)
+            d2 = (self.lon - cx) ** 2 + (self.lat - cy) ** 2
+            opacity = np.clip(
+                np.exp(-d2 / (2.0 * (radius * 0.6) ** 2)) * 1.4, 0.0, 1.0
+            )
+            # Opaque cores replace the surface signal with cloud top.
+            t108 -= opacity * depth
+            t039 -= opacity * depth
+
+    def generate(
+        self,
+        when: datetime,
+        season: Optional[FireSeason] = None,
+        sensor_name: str = "MSG2",
+    ) -> SceneImage:
+        """Synthesise the two-band acquisition at ``when`` (UTC)."""
+        if when.tzinfo is None:
+            when = when.replace(tzinfo=timezone.utc)
+        t039, t108 = self._background(when)
+        if season is not None:
+            for event in season.active_events(when):
+                self._apply_fire(t039, t108, event, when)
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003) ^ int(when.timestamp())
+        )
+        # Cloud fields come last: an opaque cloud hides whatever burns
+        # beneath it in both bands (the omission mechanism clouds cause).
+        if self.clouds_per_scene > 0:
+            self._apply_clouds(t039, t108, rng)
+        t039 = t039 + rng.normal(0.0, self.noise_k, t039.shape)
+        t108 = t108 + rng.normal(0.0, self.noise_k, t108.shape)
+        return SceneImage(
+            timestamp=when,
+            t039=t039.astype(np.float64),
+            t108=t108.astype(np.float64),
+            sensor_name=sensor_name,
+        )

@@ -1,0 +1,19 @@
+"""Minimal but real ESRI shapefile I/O.
+
+The NOA chain's products are ESRI shapefiles; refinement starts by
+converting shapefiles to RDF.  This package writes and reads actual
+``.shp`` / ``.shx`` / ``.dbf`` bytes for the two shape types the pipeline
+needs (Point and Polygon) with character/numeric/date DBF attributes.
+"""
+
+from repro.shapefile.model import Field, ShapeRecord, Shapefile
+from repro.shapefile.reader import read_shapefile
+from repro.shapefile.writer import write_shapefile
+
+__all__ = [
+    "Field",
+    "ShapeRecord",
+    "Shapefile",
+    "read_shapefile",
+    "write_shapefile",
+]

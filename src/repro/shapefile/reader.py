@@ -1,0 +1,169 @@
+"""Shapefile reader (.shp + .dbf)."""
+
+from __future__ import annotations
+
+import os
+import struct
+from datetime import date
+from typing import Any, List, Optional, Tuple
+
+from repro.geometry import Geometry, LinearRing, Point, Polygon
+from repro.geometry.multi import MultiPolygon
+from repro.geometry import algorithms as alg
+from repro.shapefile.model import (
+    SHAPE_TYPE_NULL,
+    SHAPE_TYPE_POINT,
+    SHAPE_TYPE_POLYGON,
+    Field,
+    ShapeRecord,
+    Shapefile,
+)
+
+
+def read_shapefile(base_path: str) -> Shapefile:
+    """Read ``<base>.shp`` + ``<base>.dbf`` back into a :class:`Shapefile`."""
+    base, ext = os.path.splitext(base_path)
+    if ext.lower() in (".shp", ".shx", ".dbf"):
+        base_path = base
+    geometries = _read_shp(base_path + ".shp")
+    fields, rows = _read_dbf(base_path + ".dbf")
+    records: List[ShapeRecord] = []
+    for i, geom in enumerate(geometries):
+        attributes = rows[i] if i < len(rows) else {}
+        if geom is not None:
+            records.append(ShapeRecord(geom, attributes))
+    return Shapefile(fields=fields, records=records)
+
+
+def _read_shp(path: str) -> List[Optional[Geometry]]:
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < 100:
+        raise ValueError(f"{path!r} is too short to be a shapefile")
+    (file_code,) = struct.unpack(">i", data[:4])
+    if file_code != 9994:
+        raise ValueError(f"{path!r} is not a shapefile (bad magic)")
+    geometries: List[Optional[Geometry]] = []
+    pos = 100
+    while pos + 8 <= len(data):
+        _number, length_words = struct.unpack(">ii", data[pos : pos + 8])
+        pos += 8
+        content = data[pos : pos + length_words * 2]
+        pos += length_words * 2
+        geometries.append(_parse_shape(content))
+    return geometries
+
+
+def _parse_shape(content: bytes) -> Optional[Geometry]:
+    (shape_type,) = struct.unpack("<i", content[:4])
+    if shape_type == SHAPE_TYPE_NULL:
+        return None
+    if shape_type == SHAPE_TYPE_POINT:
+        x, y = struct.unpack("<dd", content[4:20])
+        return Point(x, y)
+    if shape_type == SHAPE_TYPE_POLYGON:
+        num_parts, num_points = struct.unpack("<ii", content[36:44])
+        parts = struct.unpack(f"<{num_parts}i", content[44 : 44 + 4 * num_parts])
+        coords_start = 44 + 4 * num_parts
+        points: List[Tuple[float, float]] = []
+        for k in range(num_points):
+            x, y = struct.unpack(
+                "<dd", content[coords_start + 16 * k : coords_start + 16 * k + 16]
+            )
+            points.append((x, y))
+        rings: List[List[Tuple[float, float]]] = []
+        boundaries = list(parts) + [num_points]
+        for i in range(num_parts):
+            rings.append(points[boundaries[i] : boundaries[i + 1]])
+        return _assemble_polygons(rings)
+    raise ValueError(f"unsupported shape type {shape_type}")
+
+
+def _assemble_polygons(rings: List[List[Tuple[float, float]]]) -> Geometry:
+    """Group rings into polygons: CW rings (per spec) are shells, CCW are
+    holes assigned to the containing shell."""
+    shells: List[List[Tuple[float, float]]] = []
+    holes: List[List[Tuple[float, float]]] = []
+    for ring in rings:
+        if len(ring) < 4:
+            continue
+        if alg.is_ccw(alg.ensure_open(ring)):
+            holes.append(ring)
+        else:
+            shells.append(ring)
+    if not shells:  # tolerate wrong winding from sloppy writers
+        shells, holes = holes, []
+    polygons: List[Polygon] = []
+    hole_assignment: List[List[List[Tuple[float, float]]]] = [
+        [] for _ in shells
+    ]
+    for hole in holes:
+        probe = hole[0]
+        for i, shell in enumerate(shells):
+            if alg.point_in_ring(probe, alg.ensure_open(shell)) >= 0:
+                hole_assignment[i].append(hole)
+                break
+    for shell, its_holes in zip(shells, hole_assignment):
+        polygons.append(Polygon(shell, its_holes))
+    if len(polygons) == 1:
+        return polygons[0]
+    return MultiPolygon(polygons)
+
+
+def _read_dbf(path: str) -> Tuple[List[Field], List[dict]]:
+    with open(path, "rb") as f:
+        data = f.read()
+    record_count, header_size, record_size = struct.unpack(
+        "<IHH", data[4:12]
+    )
+    fields: List[Field] = []
+    pos = 32
+    while data[pos] != 0x0D:
+        name_raw, ftype, length, decimals = struct.unpack(
+            "<11sc4xBB14x", data[pos : pos + 32]
+        )
+        fields.append(
+            Field(
+                name=name_raw.split(b"\0")[0].decode("ascii"),
+                field_type=ftype.decode("ascii"),
+                length=length,
+                decimals=decimals,
+            )
+        )
+        pos += 32
+    rows: List[dict] = []
+    pos = header_size
+    for _ in range(record_count):
+        chunk = data[pos : pos + record_size]
+        pos += record_size
+        if not chunk or chunk[0:1] == b"*":
+            continue
+        row: dict = {}
+        offset = 1
+        for f in fields:
+            raw = chunk[offset : offset + f.length]
+            offset += f.length
+            row[f.name] = _parse_value(raw, f)
+        rows.append(row)
+    return fields, rows
+
+
+def _parse_value(raw: bytes, field: Field) -> Any:
+    text = raw.decode("utf-8", "replace").strip()
+    if field.field_type == "C":
+        return text
+    if field.field_type in ("N", "F"):
+        if not text:
+            return None
+        return float(text) if ("." in text or field.decimals) else int(text)
+    if field.field_type == "D":
+        if len(text) != 8 or not text.isdigit():
+            return None
+        return date(int(text[:4]), int(text[4:6]), int(text[6:8]))
+    if field.field_type == "L":
+        if text in ("T", "t", "Y", "y"):
+            return True
+        if text in ("F", "f", "N", "n"):
+            return False
+        return None
+    return text

@@ -1,0 +1,173 @@
+"""Shapefile writer (.shp + .shx + .dbf)."""
+
+from __future__ import annotations
+
+import os
+import struct
+from datetime import date, datetime
+from typing import Any, List, Tuple
+
+from repro.geometry import Geometry, Point, Polygon
+from repro.geometry.multi import MultiPolygon, polygons_of
+from repro.shapefile.model import (
+    SHAPE_TYPE_POINT,
+    SHAPE_TYPE_POLYGON,
+    Field,
+    Shapefile,
+)
+
+
+def write_shapefile(shapefile: Shapefile, base_path: str) -> Tuple[str, str, str]:
+    """Write ``<base>.shp``, ``<base>.shx`` and ``<base>.dbf``.
+
+    Returns the three written paths.  The shape type is inferred from the
+    first record's geometry (Point or Polygon family).
+    """
+    base, ext = os.path.splitext(base_path)
+    if ext.lower() == ".shp":
+        base_path = base
+    shp_path = base_path + ".shp"
+    shx_path = base_path + ".shx"
+    dbf_path = base_path + ".dbf"
+    shape_type = _infer_shape_type(shapefile)
+    shp_records: List[bytes] = []
+    offsets: List[Tuple[int, int]] = []
+    bbox = [float("inf"), float("inf"), float("-inf"), float("-inf")]
+    offset_words = 50  # header is 100 bytes = 50 words
+    for number, record in enumerate(shapefile.records, start=1):
+        content = _shape_content(record.geometry, shape_type)
+        length_words = len(content) // 2
+        header = struct.pack(">ii", number, length_words)
+        shp_records.append(header + content)
+        offsets.append((offset_words, length_words))
+        offset_words += 4 + length_words
+        env = record.geometry.envelope
+        bbox[0] = min(bbox[0], env.minx)
+        bbox[1] = min(bbox[1], env.miny)
+        bbox[2] = max(bbox[2], env.maxx)
+        bbox[3] = max(bbox[3], env.maxy)
+    if not shapefile.records:
+        bbox = [0.0, 0.0, 0.0, 0.0]
+    total_words = offset_words
+    with open(shp_path, "wb") as f:
+        f.write(_main_header(total_words, shape_type, bbox))
+        for chunk in shp_records:
+            f.write(chunk)
+    shx_words = 50 + 4 * len(offsets)
+    with open(shx_path, "wb") as f:
+        f.write(_main_header(shx_words, shape_type, bbox))
+        for off, length in offsets:
+            f.write(struct.pack(">ii", off, length))
+    with open(dbf_path, "wb") as f:
+        f.write(_dbf_bytes(shapefile))
+    return (shp_path, shx_path, dbf_path)
+
+
+def _infer_shape_type(shapefile: Shapefile) -> int:
+    for record in shapefile.records:
+        if isinstance(record.geometry, Point):
+            return SHAPE_TYPE_POINT
+        if isinstance(record.geometry, (Polygon, MultiPolygon)):
+            return SHAPE_TYPE_POLYGON
+        raise ValueError(
+            f"unsupported shapefile geometry {record.geometry.geom_type}"
+        )
+    return SHAPE_TYPE_POLYGON
+
+
+def _main_header(length_words: int, shape_type: int, bbox: List[float]) -> bytes:
+    header = struct.pack(">i", 9994)
+    header += b"\0" * 20
+    header += struct.pack(">i", length_words)
+    header += struct.pack("<ii", 1000, shape_type)
+    header += struct.pack("<4d", *bbox)
+    header += struct.pack("<4d", 0.0, 0.0, 0.0, 0.0)  # Z and M ranges
+    return header
+
+
+def _shape_content(geometry: Geometry, shape_type: int) -> bytes:
+    if shape_type == SHAPE_TYPE_POINT:
+        assert isinstance(geometry, Point)
+        return struct.pack("<idd", SHAPE_TYPE_POINT, geometry.x, geometry.y)
+    # Polygon: collect rings from all polygons (shells CW per spec,
+    # holes CCW).
+    rings: List[List[Tuple[float, float]]] = []
+    for poly in polygons_of(geometry):
+        shell = list(poly.shell.oriented(False).coords)  # CW shell
+        rings.append(shell)
+        for hole in poly.holes:
+            rings.append(list(hole.oriented(True).coords))  # CCW holes
+    env = geometry.envelope
+    num_points = sum(len(r) for r in rings)
+    parts: List[int] = []
+    running = 0
+    for r in rings:
+        parts.append(running)
+        running += len(r)
+    content = struct.pack("<i", SHAPE_TYPE_POLYGON)
+    content += struct.pack("<4d", env.minx, env.miny, env.maxx, env.maxy)
+    content += struct.pack("<ii", len(rings), num_points)
+    content += struct.pack(f"<{len(parts)}i", *parts)
+    for r in rings:
+        for x, y in r:
+            content += struct.pack("<dd", x, y)
+    return content
+
+
+def _dbf_bytes(shapefile: Shapefile) -> bytes:
+    fields = shapefile.fields
+    record_size = 1 + sum(f.length for f in fields)
+    header_size = 32 + 32 * len(fields) + 1
+    now = datetime.now()
+    out = struct.pack(
+        "<BBBBIHH20x",
+        0x03,
+        now.year - 1900,
+        now.month,
+        now.day,
+        len(shapefile.records),
+        header_size,
+        record_size,
+    )
+    for f in fields:
+        out += struct.pack(
+            "<11sc4xBB14x",
+            f.name.encode("ascii")[:11],
+            f.field_type.encode("ascii"),
+            f.length,
+            f.decimals,
+        )
+    out += b"\x0d"
+    for record in shapefile.records:
+        out += b" "  # not deleted
+        for f in fields:
+            out += _format_value(record.attributes.get(f.name), f)
+    out += b"\x1a"
+    return out
+
+
+def _format_value(value: Any, field: Field) -> bytes:
+    if field.field_type == "C":
+        text = "" if value is None else str(value)
+        return text.encode("utf-8", "replace")[: field.length].ljust(
+            field.length
+        )
+    if field.field_type in ("N", "F"):
+        if value is None:
+            return b" " * field.length
+        if field.decimals:
+            text = f"{float(value):.{field.decimals}f}"
+        else:
+            text = str(int(value))
+        return text[: field.length].rjust(field.length).encode("ascii")
+    if field.field_type == "D":
+        if value is None:
+            return b" " * 8
+        if isinstance(value, (datetime, date)):
+            return value.strftime("%Y%m%d").encode("ascii")
+        return str(value)[:8].ljust(8).encode("ascii")
+    if field.field_type == "L":
+        if value is None:
+            return b"?"
+        return b"T" if value else b"F"
+    raise ValueError(f"bad field type {field.field_type!r}")

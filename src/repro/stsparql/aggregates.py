@@ -1,0 +1,120 @@
+"""Aggregate functions, including the stSPARQL spatial aggregates."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.geometry import Geometry, ops
+from repro.geometry.envelope import Envelope
+from repro.geometry.polygon import Polygon
+from repro.rdf.namespace import STRDF
+from repro.stsparql.errors import ExpressionError
+from repro.stsparql.functions import as_geometry, as_number, as_string
+
+Value = Any
+
+
+def _distinct(values: List[Value], distinct: bool) -> List[Value]:
+    if not distinct:
+        return values
+    seen = []
+    for v in values:
+        if v not in seen:
+            seen.append(v)
+    return seen
+
+
+def agg_count(values: List[Value], distinct: bool) -> Value:
+    return len(_distinct(values, distinct))
+
+
+def agg_sum(values: List[Value], distinct: bool) -> Value:
+    nums = [as_number(v) for v in _distinct(values, distinct)]
+    total = sum(nums)
+    return int(total) if all(isinstance(n, int) for n in nums) else total
+
+
+def agg_avg(values: List[Value], distinct: bool) -> Value:
+    vals = _distinct(values, distinct)
+    if not vals:
+        raise ExpressionError("AVG over empty group")
+    return sum(as_number(v) for v in vals) / len(vals)
+
+
+def agg_min(values: List[Value], distinct: bool) -> Value:
+    if not values:
+        raise ExpressionError("MIN over empty group")
+    try:
+        return min(values)
+    except TypeError as exc:
+        raise ExpressionError(str(exc)) from exc
+
+
+def agg_max(values: List[Value], distinct: bool) -> Value:
+    if not values:
+        raise ExpressionError("MAX over empty group")
+    try:
+        return max(values)
+    except TypeError as exc:
+        raise ExpressionError(str(exc)) from exc
+
+
+def agg_sample(values: List[Value], distinct: bool) -> Value:
+    if not values:
+        raise ExpressionError("SAMPLE over empty group")
+    return values[0]
+
+
+def agg_group_concat(values: List[Value], distinct: bool) -> Value:
+    return " ".join(as_string(v) for v in _distinct(values, distinct))
+
+
+def agg_spatial_union(values: List[Value], distinct: bool) -> Value:
+    """``strdf:union(?g)`` — dissolve a group of geometries into one."""
+    geoms = [as_geometry(v) for v in values]
+    if not geoms:
+        raise ExpressionError("strdf:union over empty group")
+    return ops.union_all(geoms)
+
+
+def agg_spatial_intersection(values: List[Value], distinct: bool) -> Value:
+    """``strdf:intersection(?g)`` — common region of a group."""
+    geoms = [as_geometry(v) for v in values]
+    if not geoms:
+        raise ExpressionError("strdf:intersection over empty group")
+    result: Geometry = geoms[0]
+    for g in geoms[1:]:
+        result = ops.intersection(result, g)
+        if result.is_empty:
+            break
+    return result
+
+
+def agg_spatial_extent(values: List[Value], distinct: bool) -> Value:
+    """``strdf:extent(?g)`` — bounding box of a group of geometries."""
+    geoms = [as_geometry(v) for v in values]
+    if not geoms:
+        raise ExpressionError("strdf:extent over empty group")
+    env = Envelope.union_all(g.envelope for g in geoms)
+    return Polygon.from_envelope(env)
+
+
+AGGREGATES: Dict[str, Callable[[List[Value], bool], Value]] = {
+    "count": agg_count,
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+    "sample": agg_sample,
+    "group_concat": agg_group_concat,
+    STRDF.base + "union": agg_spatial_union,
+    STRDF.base + "intersection": agg_spatial_intersection,
+    STRDF.base + "extent": agg_spatial_extent,
+}
+
+
+def resolve_aggregate(name: str) -> Callable[[List[Value], bool], Value]:
+    impl = AGGREGATES.get(name)
+    if impl is None:
+        raise ExpressionError(f"unknown aggregate {name!r}")
+    return impl

@@ -1,0 +1,241 @@
+"""A fluent stSPARQL query builder.
+
+Section 3 of the paper mentions that "a visual query builder is currently
+being developed ... to allow NOA personnel to express complex stSPARQL
+queries easily".  This module is the programmatic counterpart: a fluent
+API that assembles syntactically correct stSPARQL SELECT queries and
+updates without string plumbing.
+
+>>> from repro.stsparql.builder import SelectBuilder
+>>> text = (
+...     SelectBuilder()
+...     .select("?h", "?hGeo")
+...     .where("?h", "a", "noa:Hotspot")
+...     .where("?h", "strdf:hasGeometry", "?hGeo")
+...     .filter_spatial("anyInteract", "?hGeo", "?region")
+...     .limit(10)
+...     .build()
+... )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.namespace import WELL_KNOWN_PREFIXES
+
+_DEFAULT_PREFIXES = ("noa", "strdf", "xsd", "clc", "coast", "gag", "gn")
+
+
+def _term(value: str) -> str:
+    """Pass variables, prefixed names, WKT literals and IRIs through;
+    quote everything else as a plain literal."""
+    value = str(value)
+    if value.startswith(("?", "$", "<", '"')):
+        return value
+    if value == "a" or ":" in value:
+        return value
+    return f'"{value}"'
+
+
+def wkt_literal(wkt: str, datatype: str = "strdf:WKT") -> str:
+    """A geometry constant usable in filters."""
+    return f'"{wkt}"^^{datatype}'
+
+
+def datetime_literal(iso: str) -> str:
+    return f'"{iso}"^^xsd:dateTime'
+
+
+class _PatternMixin:
+    """Shared WHERE-pattern assembly."""
+
+    def __init__(self) -> None:
+        self._pattern_lines: List[str] = []
+        self._prefixes: List[str] = list(_DEFAULT_PREFIXES)
+
+    def prefix(self, *names: str) -> "_PatternMixin":
+        """Add extra well-known prefixes to the prologue."""
+        for name in names:
+            if name not in WELL_KNOWN_PREFIXES:
+                raise ValueError(f"unknown prefix {name!r}")
+            if name not in self._prefixes:
+                self._prefixes.append(name)
+        return self
+
+    def where(self, subject: str, predicate: str, obj: str) -> "_PatternMixin":
+        self._pattern_lines.append(
+            f"  {_term(subject)} {_term(predicate)} {_term(obj)} ."
+        )
+        return self
+
+    def optional(self, *triples: Tuple[str, str, str]) -> "_PatternMixin":
+        inner = " ".join(
+            f"{_term(s)} {_term(p)} {_term(o)} ." for s, p, o in triples
+        )
+        self._pattern_lines.append(f"  OPTIONAL {{ {inner} }}")
+        return self
+
+    def optional_group(self, builder_fn) -> "_PatternMixin":
+        """OPTIONAL with a sub-pattern assembled by ``builder_fn(sub)``."""
+        sub = _SubPattern()
+        builder_fn(sub)
+        body = "\n".join("  " + line for line in sub._pattern_lines)
+        self._pattern_lines.append("  OPTIONAL {\n" + body + "\n  }")
+        return self
+
+    def filter(self, expression: str) -> "_PatternMixin":
+        self._pattern_lines.append(f"  FILTER({expression}) .")
+        return self
+
+    def filter_spatial(
+        self, function: str, left: str, right: str
+    ) -> "_PatternMixin":
+        """FILTER(strdf:<function>(left, right))."""
+        self._pattern_lines.append(
+            f"  FILTER(strdf:{function}({_term(left)}, {_term(right)})) ."
+        )
+        return self
+
+    def filter_not_bound(self, variable: str) -> "_PatternMixin":
+        self._pattern_lines.append(f"  FILTER(!bound({variable})) .")
+        return self
+
+    def filter_time_between(
+        self, variable: str, start_iso: str, end_iso: str
+    ) -> "_PatternMixin":
+        self._pattern_lines.append(
+            f'  FILTER( "{start_iso}" <= str({variable}) ) .'
+        )
+        self._pattern_lines.append(
+            f'  FILTER( str({variable}) <= "{end_iso}" ) .'
+        )
+        return self
+
+    def _prologue(self) -> str:
+        return "".join(
+            f"PREFIX {name}: <{WELL_KNOWN_PREFIXES[name]}>\n"
+            for name in self._prefixes
+        )
+
+    def _pattern(self) -> str:
+        return "{\n" + "\n".join(self._pattern_lines) + "\n}"
+
+
+class _SubPattern(_PatternMixin):
+    pass
+
+
+class SelectBuilder(_PatternMixin):
+    """Fluent SELECT query assembly."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._projections: List[str] = []
+        self._distinct = False
+        self._group_by: List[str] = []
+        self._having: List[str] = []
+        self._order_by: List[str] = []
+        self._limit: Optional[int] = None
+        self._offset: Optional[int] = None
+
+    def select(self, *items: str) -> "SelectBuilder":
+        self._projections.extend(items)
+        return self
+
+    def select_expression(self, expression: str, alias: str) -> "SelectBuilder":
+        self._projections.append(f"( {expression} AS {alias} )")
+        return self
+
+    def distinct(self) -> "SelectBuilder":
+        self._distinct = True
+        return self
+
+    def group_by(self, *variables: str) -> "SelectBuilder":
+        self._group_by.extend(variables)
+        return self
+
+    def having(self, expression: str) -> "SelectBuilder":
+        self._having.append(expression)
+        return self
+
+    def order_by(self, variable: str, descending: bool = False) -> "SelectBuilder":
+        self._order_by.append(
+            f"DESC({variable})" if descending else variable
+        )
+        return self
+
+    def limit(self, n: int) -> "SelectBuilder":
+        self._limit = int(n)
+        return self
+
+    def offset(self, n: int) -> "SelectBuilder":
+        self._offset = int(n)
+        return self
+
+    def build(self) -> str:
+        if not self._projections:
+            raise ValueError("SELECT needs at least one projection")
+        if not self._pattern_lines:
+            raise ValueError("the WHERE pattern is empty")
+        head = "SELECT "
+        if self._distinct:
+            head += "DISTINCT "
+        head += " ".join(self._projections)
+        parts = [self._prologue() + head, "WHERE " + self._pattern()]
+        if self._group_by:
+            parts.append("GROUP BY " + " ".join(self._group_by))
+        for having in self._having:
+            parts.append(f"HAVING ({having})")
+        if self._order_by:
+            parts.append("ORDER BY " + " ".join(self._order_by))
+        if self._limit is not None:
+            parts.append(f"LIMIT {self._limit}")
+        if self._offset is not None:
+            parts.append(f"OFFSET {self._offset}")
+        return "\n".join(parts)
+
+    def run(self, strabon):
+        """Build and execute against a Strabon endpoint."""
+        return strabon.select(self.build())
+
+
+class UpdateBuilder(_PatternMixin):
+    """Fluent DELETE/INSERT ... WHERE assembly."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._delete: List[str] = []
+        self._insert: List[str] = []
+
+    def delete(self, subject: str, predicate: str, obj: str) -> "UpdateBuilder":
+        self._delete.append(
+            f"{_term(subject)} {_term(predicate)} {_term(obj)}"
+        )
+        return self
+
+    def insert(self, subject: str, predicate: str, obj: str) -> "UpdateBuilder":
+        self._insert.append(
+            f"{_term(subject)} {_term(predicate)} {_term(obj)}"
+        )
+        return self
+
+    def build(self) -> str:
+        if not self._delete and not self._insert:
+            raise ValueError("an update needs a DELETE or INSERT template")
+        if not self._pattern_lines:
+            raise ValueError("the WHERE pattern is empty")
+        parts = [self._prologue().rstrip()]
+        if self._delete:
+            parts.append(
+                "DELETE { " + " . ".join(self._delete) + " }"
+            )
+        if self._insert:
+            parts.append(
+                "INSERT { " + " . ".join(self._insert) + " }"
+            )
+        parts.append("WHERE " + self._pattern())
+        return "\n".join(parts)
+
+    def run(self, strabon):
+        return strabon.update(self.build())

@@ -1,0 +1,270 @@
+"""The Strabon facade: a geospatial RDF store with an stSPARQL endpoint.
+
+Wraps a :class:`~repro.rdf.graph.Graph` with
+
+* an stSPARQL query/update endpoint (:meth:`Strabon.query`,
+  :meth:`Strabon.update`),
+* an R-tree over geometry literals, rebuilt lazily when the graph changes,
+  used for index-assisted spatial joins,
+* optional RDFS subclass inference (needed by the CLC taxonomy queries),
+* simple per-query statistics (:attr:`Strabon.last_stats`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.geometry import Geometry
+from repro.geometry.rtree import RTree
+from repro.rdf.graph import Graph
+from repro.rdf.inference import RDFSInference
+from repro.rdf.term import Literal, Term, Variable
+from repro.rdf.turtle import parse_turtle
+from repro.stsparql import ast
+from repro.stsparql.errors import SparqlEvalError
+from repro.stsparql.eval import Evaluator, Row, SolutionSet
+from repro.stsparql.parser import parse
+
+
+@dataclass
+class QueryStats:
+    """Timing and cardinality of the most recent operation."""
+
+    operation: str = ""
+    parse_seconds: float = 0.0
+    eval_seconds: float = 0.0
+    rows: int = 0
+    triples_added: int = 0
+    triples_removed: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.parse_seconds + self.eval_seconds
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of an update request."""
+
+    removed: int = 0
+    added: int = 0
+
+
+class Strabon:
+    """A geospatial RDF store speaking stSPARQL."""
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        enable_inference: bool = True,
+        enable_spatial_index: bool = True,
+    ) -> None:
+        self.graph = graph if graph is not None else Graph()
+        self._inference = (
+            RDFSInference(self.graph) if enable_inference else None
+        )
+        self._spatial_index_enabled = enable_spatial_index
+        self._rtree: Optional[RTree] = None
+        self._rtree_generation = -1
+        # Candidate-set memo keyed by probe-geometry object identity;
+        # evaluators probe the same bound geometry once per joined row.
+        self._candidate_cache: Dict[int, tuple] = {}
+        self.last_stats = QueryStats()
+
+    # -- data loading --------------------------------------------------------
+
+    def load_turtle(self, text: str) -> int:
+        """Parse Turtle and add its triples; returns the number added."""
+        incoming = parse_turtle(text)
+        return self.graph.add_all(incoming.triples())
+
+    def add(self, s: Term, p: Term, o: Term) -> bool:
+        return self.graph.add(s, p, o)
+
+    def size(self) -> int:
+        return len(self.graph)
+
+    # -- spatial index ---------------------------------------------------------
+
+    def _ensure_rtree(self) -> Optional[RTree]:
+        if not self._spatial_index_enabled:
+            return None
+        if (
+            self._rtree is None
+            or self._rtree_generation != self.graph.generation
+        ):
+            entries = []
+            for _, _, lit in self.graph.geometry_literals():
+                geom = lit.value
+                if isinstance(geom, Geometry) and not geom.is_empty:
+                    entries.append((geom.envelope, lit))
+            self._rtree = RTree.bulk_load(entries)
+            self._rtree_generation = self.graph.generation
+            self._candidate_cache = {}
+        return self._rtree
+
+    def spatial_candidates(self, geom: Geometry) -> Optional[Set[Literal]]:
+        """Geometry literals whose envelope intersects ``geom``'s.
+
+        Returns None when the index is disabled (callers then fall back to
+        a scan).
+        """
+        tree = self._ensure_rtree()
+        if tree is None:
+            return None
+        key = id(geom)
+        cached = self._candidate_cache.get(key)
+        if cached is not None and cached[0] is geom:
+            return cached[1]
+        result = set(tree.search(geom.envelope))
+        if len(self._candidate_cache) > 4096:
+            self._candidate_cache.clear()
+        self._candidate_cache[key] = (geom, result)
+        return result
+
+    # -- querying ----------------------------------------------------------
+
+    def _evaluator(self) -> Evaluator:
+        candidates = (
+            self.spatial_candidates if self._spatial_index_enabled else None
+        )
+        return Evaluator(
+            self.graph,
+            inference=self._inference,
+            spatial_candidates=candidates,
+        )
+
+    def query(self, text: str) -> Union[SolutionSet, bool, UpdateResult]:
+        """Parse and run any stSPARQL request (SELECT / ASK / update)."""
+        t0 = time.perf_counter()
+        parsed = parse(text)
+        t1 = time.perf_counter()
+        if isinstance(parsed, ast.SelectQuery):
+            result: Union[SolutionSet, bool, Graph, UpdateResult] = (
+                self._evaluator().select(parsed)
+            )
+            rows = len(result)  # type: ignore[arg-type]
+            op = "select"
+        elif isinstance(parsed, ast.AskQuery):
+            result = self._evaluator().ask(parsed)
+            rows = 1
+            op = "ask"
+        elif isinstance(parsed, ast.ConstructQuery):
+            result = self._construct(parsed)
+            rows = len(result)
+            op = "construct"
+        else:
+            result = self._apply_update(parsed)
+            rows = 0
+            op = "update"
+        t2 = time.perf_counter()
+        self.last_stats = QueryStats(
+            operation=op,
+            parse_seconds=t1 - t0,
+            eval_seconds=t2 - t1,
+            rows=rows,
+            triples_added=getattr(result, "added", 0),
+            triples_removed=getattr(result, "removed", 0),
+        )
+        return result
+
+    def select(self, text: str) -> SolutionSet:
+        result = self.query(text)
+        if not isinstance(result, SolutionSet):
+            raise SparqlEvalError("request was not a SELECT query")
+        return result
+
+    def ask(self, text: str) -> bool:
+        result = self.query(text)
+        if not isinstance(result, bool):
+            raise SparqlEvalError("request was not an ASK query")
+        return result
+
+    def update(self, text: str) -> UpdateResult:
+        result = self.query(text)
+        if not isinstance(result, UpdateResult):
+            raise SparqlEvalError("request was not an update")
+        return result
+
+    def construct(self, text: str) -> Graph:
+        result = self.query(text)
+        if not isinstance(result, Graph):
+            raise SparqlEvalError("request was not a CONSTRUCT query")
+        return result
+
+    def _construct(self, query: ast.ConstructQuery) -> Graph:
+        bindings = self._evaluator().update_bindings(query.pattern)
+        if query.offset:
+            bindings = bindings[query.offset:]
+        if query.limit is not None:
+            bindings = bindings[: query.limit]
+        out = Graph()
+        for s, p, o in _instantiate(query.template, bindings):
+            out.add(s, p, o)
+        return out
+
+    # -- update machinery --------------------------------------------------
+
+    def _apply_update(self, request: ast.UpdateRequest) -> UpdateResult:
+        if request.where_pattern is None:
+            # INSERT DATA / DELETE DATA — templates must be ground.
+            removed = 0
+            added = 0
+            for tmpl in request.delete_template:
+                triple = _ground(tmpl)
+                removed += self.graph.remove(*triple)
+            for tmpl in request.insert_template:
+                triple = _ground(tmpl)
+                if self.graph.add(*triple):
+                    added += 1
+            return UpdateResult(removed=removed, added=added)
+        bindings = self._evaluator().update_bindings(request.where_pattern)
+        to_remove = _instantiate(request.delete_template, bindings)
+        to_add = _instantiate(request.insert_template, bindings)
+        removed = 0
+        for s, p, o in to_remove:
+            if (s, p, o) in self.graph:
+                self.graph.remove(s, p, o)
+                removed += 1
+        added = 0
+        for s, p, o in to_add:
+            if self.graph.add(s, p, o):
+                added += 1
+        return UpdateResult(removed=removed, added=added)
+
+
+def _ground(tmpl: ast.TriplePattern):
+    for term in (tmpl.subject, tmpl.predicate, tmpl.object):
+        if isinstance(term, Variable):
+            raise SparqlEvalError(
+                "INSERT/DELETE DATA templates must not contain variables"
+            )
+    return (tmpl.subject, tmpl.predicate, tmpl.object)
+
+
+def _instantiate(
+    templates, bindings: List[Row]
+) -> List[tuple]:
+    out: List[tuple] = []
+    seen: Set[tuple] = set()
+    for row in bindings:
+        for tmpl in templates:
+            triple = []
+            ok = True
+            for term in (tmpl.subject, tmpl.predicate, tmpl.object):
+                if isinstance(term, Variable):
+                    bound = row.get(term.name)
+                    if bound is None:
+                        ok = False
+                        break
+                    triple.append(bound)
+                else:
+                    triple.append(term)
+            if ok:
+                key = tuple(triple)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(key)
+    return out

@@ -1,0 +1,21 @@
+"""stSPARQL error hierarchy."""
+
+
+class SparqlError(Exception):
+    """Base class for all engine errors."""
+
+
+class SparqlParseError(SparqlError):
+    """Raised when query text cannot be parsed."""
+
+
+class SparqlEvalError(SparqlError):
+    """Raised when a query is structurally valid but cannot be evaluated."""
+
+
+class ExpressionError(Exception):
+    """Internal: an expression evaluated to an error value.
+
+    Follows SPARQL semantics — a FILTER over an error is false; a projected
+    error leaves the variable unbound.  Never escapes the evaluator.
+    """

@@ -1,0 +1,719 @@
+"""Scalar function library: SPARQL built-ins plus the strdf:* extension.
+
+The evaluator works with Python-level *values* (numbers, strings, bools,
+datetimes, :class:`~repro.geometry.Geometry` objects, URIs...).  This module
+provides the conversions between RDF terms and values and a registry mapping
+function names (lowercase built-ins or full extension URIs) to
+implementations.
+
+Errors follow SPARQL semantics: implementations raise
+:class:`~repro.stsparql.errors.ExpressionError`, which makes the enclosing
+FILTER false and a projected expression unbound.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from datetime import date, datetime
+from typing import Any, Callable, Dict, List
+
+from repro.geometry import Geometry, dumps_wkt, loads_wkt, ops, predicates
+from repro.geometry.errors import GeometryError, WKTParseError
+from repro.rdf.namespace import STRDF, XSD
+from repro.rdf.term import BNode, Literal, Term, URI
+from repro.stsparql.errors import ExpressionError
+
+Value = Any
+FunctionImpl = Callable[[List[Value]], Value]
+
+GEOMETRY_DATATYPE = STRDF.base + "geometry"
+
+
+# -- term <-> value conversion ----------------------------------------------
+
+
+def to_value(term: Term) -> Value:
+    """Convert a bound RDF term to an evaluation value."""
+    if isinstance(term, Literal):
+        return term.value
+    return term
+
+
+def to_term(value: Value) -> Term:
+    """Convert an evaluation value back to an RDF term for binding."""
+    from repro.rdf.temporal import PERIOD_DATATYPE, Period
+
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, Geometry):
+        return Literal(dumps_wkt(value), datatype=GEOMETRY_DATATYPE)
+    if isinstance(value, Period):
+        return Literal(value.lexical(), datatype=PERIOD_DATATYPE)
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD.base + "boolean")
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD.base + "integer")
+    if isinstance(value, float):
+        return Literal(repr(value), datatype=XSD.base + "double")
+    if isinstance(value, datetime):
+        return Literal(value.isoformat(), datatype=XSD.base + "dateTime")
+    if isinstance(value, date):
+        return Literal(value.isoformat(), datatype=XSD.base + "date")
+    if isinstance(value, str):
+        return Literal(value)
+    raise ExpressionError(f"cannot convert {type(value).__name__} to a term")
+
+
+def effective_boolean(value: Value) -> bool:
+    """SPARQL effective boolean value."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and math.isnan(value):
+            return False
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    raise ExpressionError(
+        f"no effective boolean value for {type(value).__name__}"
+    )
+
+
+def as_geometry(value: Value) -> Geometry:
+    """Coerce a value to a geometry (WKT strings accepted)."""
+    if isinstance(value, Geometry):
+        return value
+    if isinstance(value, Literal):
+        value = value.value
+        if isinstance(value, Geometry):
+            return value
+    if isinstance(value, str):
+        try:
+            return loads_wkt(value)
+        except WKTParseError as exc:
+            raise ExpressionError(f"bad WKT: {exc}") from exc
+    raise ExpressionError(f"not a geometry: {value!r}")
+
+
+def as_number(value: Value) -> float:
+    if isinstance(value, bool):
+        raise ExpressionError("boolean is not a number")
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise ExpressionError(f"not a number: {value!r}")
+    raise ExpressionError(f"not a number: {value!r}")
+
+
+def as_string(value: Value) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, URI):
+        return value.value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, (datetime, date)):
+        return value.isoformat()
+    if isinstance(value, Geometry):
+        return dumps_wkt(value)
+    if isinstance(value, Literal):
+        return value.lexical
+    raise ExpressionError(f"cannot stringify {type(value).__name__}")
+
+
+# -- comparison --------------------------------------------------------------
+
+
+def compare(op: str, left: Value, right: Value) -> bool:
+    """Evaluate a SPARQL comparison operator on two values."""
+    if op == "=":
+        return _equal(left, right)
+    if op == "!=":
+        return not _equal(left, right)
+    lo, hi = _orderable_pair(left, right)
+    if op == "<":
+        return lo < hi
+    if op == "<=":
+        return lo <= hi
+    if op == ">":
+        return lo > hi
+    if op == ">=":
+        return lo >= hi
+    raise ExpressionError(f"unknown comparison {op!r}")
+
+
+def _equal(left: Value, right: Value) -> bool:
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)) \
+            and not isinstance(left, bool) and not isinstance(right, bool):
+        return float(left) == float(right)
+    if isinstance(left, Geometry) and isinstance(right, Geometry):
+        return predicates.equals(left, right)
+    if type(left) is type(right):
+        return left == right
+    if isinstance(left, Term) or isinstance(right, Term):
+        return left == right
+    # Mixed comparable types (str vs datetime etc.) — compare stringified.
+    try:
+        return as_string(left) == as_string(right)
+    except ExpressionError:
+        return False
+
+
+def _orderable_pair(left: Value, right: Value):
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)) \
+            and not isinstance(left, bool) and not isinstance(right, bool):
+        return float(left), float(right)
+    if isinstance(left, datetime) and isinstance(right, datetime):
+        return left, right
+    if isinstance(left, date) and isinstance(right, date):
+        return left, right
+    if isinstance(left, str) and isinstance(right, str):
+        return left, right
+    # Datetime vs ISO string — common in the paper's queries via str().
+    if isinstance(left, (datetime, date)) and isinstance(right, str):
+        return left.isoformat(), right
+    if isinstance(left, str) and isinstance(right, (datetime, date)):
+        return left, right.isoformat()
+    raise ExpressionError(
+        f"cannot order {type(left).__name__} and {type(right).__name__}"
+    )
+
+
+# -- spatial functions -------------------------------------------------------
+
+
+#: Identity-keyed memo for precise spatial predicate evaluations.  The
+#: refinement pipeline tests the same (hotspot, coastline/area) geometry
+#: pairs across several operations per acquisition; geometry objects are
+#: cached inside their literals, so identity keys are stable.  Values keep
+#: references to both geometries so ids cannot be recycled while cached.
+_PREDICATE_CACHE: Dict[tuple, tuple] = {}
+_PREDICATE_CACHE_LIMIT = 200_000
+
+
+def _spatial_predicate(
+    fn: Callable[[Geometry, Geometry], bool]
+) -> FunctionImpl:
+    name = fn.__name__
+
+    def impl(args: List[Value]) -> Value:
+        if len(args) != 2:
+            raise ExpressionError("spatial predicate needs two arguments")
+        a = as_geometry(args[0])
+        b = as_geometry(args[1])
+        key = (name, id(a), id(b))
+        hit = _PREDICATE_CACHE.get(key)
+        if hit is not None and hit[0] is a and hit[1] is b:
+            return hit[2]
+        result = fn(a, b)
+        if len(_PREDICATE_CACHE) >= _PREDICATE_CACHE_LIMIT:
+            _PREDICATE_CACHE.clear()
+        _PREDICATE_CACHE[key] = (a, b, result)
+        return result
+
+    return impl
+
+
+def _spatial_binary(
+    fn: Callable[[Geometry, Geometry], Geometry]
+) -> FunctionImpl:
+    def impl(args: List[Value]) -> Value:
+        if len(args) != 2:
+            raise ExpressionError("spatial constructor needs two arguments")
+        return fn(as_geometry(args[0]), as_geometry(args[1]))
+
+    return impl
+
+
+def _fn_boundary(args: List[Value]) -> Value:
+    if len(args) != 1:
+        raise ExpressionError("strdf:boundary needs one argument")
+    return ops.boundary(as_geometry(args[0]))
+
+
+def _fn_buffer(args: List[Value]) -> Value:
+    if len(args) != 2:
+        raise ExpressionError("strdf:buffer needs (geometry, radius)")
+    try:
+        return ops.buffer(as_geometry(args[0]), as_number(args[1]))
+    except (ValueError, GeometryError) as exc:
+        raise ExpressionError(str(exc)) from exc
+
+
+def _fn_envelope(args: List[Value]) -> Value:
+    from repro.geometry import Polygon
+
+    if len(args) != 1:
+        raise ExpressionError("strdf:envelope needs one argument")
+    return Polygon.from_envelope(as_geometry(args[0]).envelope)
+
+
+def _fn_convex_hull(args: List[Value]) -> Value:
+    if len(args) != 1:
+        raise ExpressionError("strdf:convexHull needs one argument")
+    return ops.convex_hull(as_geometry(args[0]))
+
+
+def _fn_area(args: List[Value]) -> Value:
+    if len(args) != 1:
+        raise ExpressionError("strdf:area needs one argument")
+    return as_geometry(args[0]).area
+
+def _fn_distance(args: List[Value]) -> Value:
+    if len(args) != 2:
+        raise ExpressionError("strdf:distance needs two arguments")
+    try:
+        return predicates.distance(as_geometry(args[0]), as_geometry(args[1]))
+    except ValueError as exc:
+        raise ExpressionError(str(exc)) from exc
+
+
+def _fn_dimension(args: List[Value]) -> Value:
+    if len(args) != 1:
+        raise ExpressionError("strdf:dimension needs one argument")
+    return as_geometry(args[0]).dimension
+
+
+def _fn_geometry_type(args: List[Value]) -> Value:
+    if len(args) != 1:
+        raise ExpressionError("strdf:geometryType needs one argument")
+    return as_geometry(args[0]).geom_type
+
+
+#: Spatial reference systems strdf:transform understands.
+_WGS84_IDS = frozenset(
+    {"4326", "epsg:4326", "http://www.opengis.net/def/crs/EPSG/0/4326"}
+)
+_GREEK_GRID_IDS = frozenset(
+    {"2100", "epsg:2100", "http://www.opengis.net/def/crs/EPSG/0/2100"}
+)
+
+
+def _fn_transform(args: List[Value]) -> Value:
+    """``strdf:transform(geom, srid)``: WGS84 ↔ Greek Grid (EPSG:2100).
+
+    Geometries in this store are WGS84 lon/lat; transforming to 2100
+    projects them onto the HGRS 87 metric grid the NOA chain uses, and
+    transforming a projected geometry back to 4326 inverts it (the source
+    frame is inferred from the coordinate magnitudes).
+    """
+    from repro.geometry.projection import GreekGrid
+    from repro.geometry.transform import transform_geometry
+
+    if len(args) != 2:
+        raise ExpressionError("strdf:transform needs (geometry, srid)")
+    geom = as_geometry(args[0])
+    target = as_string(args[1]).strip().lower()
+    grid = GreekGrid()
+    looks_projected = any(
+        abs(x) > 360 or abs(y) > 360 for x, y in geom.coordinates()
+    )
+    if target in _GREEK_GRID_IDS:
+        if looks_projected:
+            return geom
+        return transform_geometry(geom, grid.forward)
+    if target in _WGS84_IDS:
+        if not looks_projected:
+            return geom
+        return transform_geometry(geom, grid.inverse)
+    raise ExpressionError(f"unsupported target SRS {target!r}")
+
+
+def _fn_srid(args: List[Value]) -> Value:
+    geom = as_geometry(args[0])
+    looks_projected = any(
+        abs(x) > 360 or abs(y) > 360 for x, y in geom.coordinates()
+    )
+    return (
+        "http://www.opengis.net/def/crs/EPSG/0/2100"
+        if looks_projected
+        else "http://www.opengis.net/def/crs/EPSG/0/4326"
+    )
+
+
+_STRDF_FUNCTIONS: Dict[str, FunctionImpl] = {
+    "anyInteract": _spatial_predicate(predicates.intersects),
+    "intersects": _spatial_predicate(predicates.intersects),
+    "contains": _spatial_predicate(predicates.contains),
+    "containedBy": _spatial_predicate(predicates.within),
+    "inside": _spatial_predicate(predicates.within),
+    "within": _spatial_predicate(predicates.within),
+    "disjoint": _spatial_predicate(predicates.disjoint),
+    "touch": _spatial_predicate(predicates.touches),
+    "touches": _spatial_predicate(predicates.touches),
+    "overlap": _spatial_predicate(predicates.overlaps),
+    "overlaps": _spatial_predicate(predicates.overlaps),
+    "crosses": _spatial_predicate(predicates.crosses),
+    "equals": _spatial_predicate(predicates.equals),
+    "intersection": _spatial_binary(ops.intersection),
+    "union": _spatial_binary(ops.union),
+    "difference": _spatial_binary(ops.difference),
+    "boundary": _fn_boundary,
+    "buffer": _fn_buffer,
+    "envelope": _fn_envelope,
+    "convexHull": _fn_convex_hull,
+    "area": _fn_area,
+    "distance": _fn_distance,
+    "dimension": _fn_dimension,
+    "geometryType": _fn_geometry_type,
+    "transform": _fn_transform,
+    "srid": _fn_srid,
+}
+
+# -- stRDF temporal functions --------------------------------------------
+
+
+def _as_period(value: Value):
+    from repro.rdf.temporal import Period, PeriodError
+
+    if isinstance(value, Period):
+        return value
+    if isinstance(value, Literal):
+        value = value.value
+        if isinstance(value, Period):
+            return value
+    if isinstance(value, str):
+        try:
+            return Period.parse(value)
+        except PeriodError as exc:
+            raise ExpressionError(str(exc)) from exc
+    raise ExpressionError(f"not a period: {value!r}")
+
+
+def _as_instant(value: Value) -> datetime:
+    if isinstance(value, datetime):
+        return value
+    if isinstance(value, Literal):
+        value = value.value
+        if isinstance(value, datetime):
+            return value
+    if isinstance(value, str):
+        try:
+            return datetime.fromisoformat(value)
+        except ValueError as exc:
+            raise ExpressionError(str(exc)) from exc
+    raise ExpressionError(f"not an instant: {value!r}")
+
+
+def _fn_during(args: List[Value]) -> Value:
+    """``strdf:during(instant-or-period, period)``."""
+    if len(args) != 2:
+        raise ExpressionError("strdf:during needs two arguments")
+    period = _as_period(args[1])
+    try:
+        return period.contains_period(_as_period(args[0]))
+    except ExpressionError:
+        return period.contains_instant(_as_instant(args[0]))
+
+
+def _temporal_relation(method: str) -> FunctionImpl:
+    def impl(args: List[Value]) -> Value:
+        if len(args) != 2:
+            raise ExpressionError("temporal relation needs two arguments")
+        a = _as_period(args[0])
+        b = _as_period(args[1])
+        return getattr(a, method)(b)
+
+    return impl
+
+
+def _fn_period_intersection(args: List[Value]) -> Value:
+    a = _as_period(args[0])
+    b = _as_period(args[1])
+    got = a.intersection(b)
+    if got is None:
+        raise ExpressionError("periods do not intersect")
+    return got
+
+
+def _fn_period_union(args: List[Value]) -> Value:
+    return _as_period(args[0]).union(_as_period(args[1]))
+
+
+def _fn_period_start(args: List[Value]) -> Value:
+    return _as_period(args[0]).start
+
+
+def _fn_period_end(args: List[Value]) -> Value:
+    return _as_period(args[0]).end
+
+
+def _fn_period_make(args: List[Value]) -> Value:
+    from repro.rdf.temporal import Period, PeriodError
+
+    if len(args) != 2:
+        raise ExpressionError("strdf:period needs (start, end)")
+    try:
+        return Period(_as_instant(args[0]), _as_instant(args[1]))
+    except PeriodError as exc:
+        raise ExpressionError(str(exc)) from exc
+
+
+_TEMPORAL_FUNCTIONS: Dict[str, FunctionImpl] = {
+    "during": _fn_during,
+    "periodOverlaps": _temporal_relation("overlaps"),
+    "before": _temporal_relation("before"),
+    "after": _temporal_relation("after"),
+    "meets": _temporal_relation("meets"),
+    "periodContains": _temporal_relation("contains_period"),
+    "periodIntersection": _fn_period_intersection,
+    "periodUnion": _fn_period_union,
+    "periodStart": _fn_period_start,
+    "periodEnd": _fn_period_end,
+    "period": _fn_period_make,
+}
+
+
+#: GeoSPARQL (OGC) function namespace — the paper's related work compares
+#: stSPARQL with GeoSPARQL; we expose both vocabularies over the same
+#: implementations so GeoSPARQL queries run unchanged.
+GEOF = "http://www.opengis.net/def/function/geosparql/"
+
+_GEOF_FUNCTIONS: Dict[str, FunctionImpl] = {
+    "sfIntersects": _spatial_predicate(predicates.intersects),
+    "sfContains": _spatial_predicate(predicates.contains),
+    "sfWithin": _spatial_predicate(predicates.within),
+    "sfTouches": _spatial_predicate(predicates.touches),
+    "sfOverlaps": _spatial_predicate(predicates.overlaps),
+    "sfCrosses": _spatial_predicate(predicates.crosses),
+    "sfDisjoint": _spatial_predicate(predicates.disjoint),
+    "sfEquals": _spatial_predicate(predicates.equals),
+    "intersection": _spatial_binary(ops.intersection),
+    "union": _spatial_binary(ops.union),
+    "difference": _spatial_binary(ops.difference),
+    "boundary": _fn_boundary,
+    "buffer": _fn_buffer,
+    "envelope": _fn_envelope,
+    "convexHull": _fn_convex_hull,
+    "distance": _fn_distance,
+    "getSRID": _fn_srid,
+}
+
+
+# -- SPARQL built-ins ----------------------------------------------------------
+
+
+def _fn_str(args: List[Value]) -> Value:
+    if len(args) != 1:
+        raise ExpressionError("str() needs one argument")
+    return as_string(args[0])
+
+
+def _fn_datatype(args: List[Value]) -> Value:
+    value = args[0]
+    if isinstance(value, Literal):
+        return URI(value.datatype) if value.datatype else URI(XSD.base + "string")
+    if isinstance(value, bool):
+        return URI(XSD.base + "boolean")
+    if isinstance(value, int):
+        return URI(XSD.base + "integer")
+    if isinstance(value, float):
+        return URI(XSD.base + "double")
+    if isinstance(value, datetime):
+        return URI(XSD.base + "dateTime")
+    if isinstance(value, Geometry):
+        return URI(GEOMETRY_DATATYPE)
+    if isinstance(value, str):
+        return URI(XSD.base + "string")
+    raise ExpressionError("datatype() of a non-literal")
+
+
+def _fn_regex(args: List[Value]) -> Value:
+    if len(args) not in (2, 3):
+        raise ExpressionError("regex() needs 2 or 3 arguments")
+    text = as_string(args[0])
+    pattern = as_string(args[1])
+    flags = 0
+    if len(args) == 3 and "i" in as_string(args[2]):
+        flags |= re.IGNORECASE
+    try:
+        return re.search(pattern, text, flags) is not None
+    except re.error as exc:
+        raise ExpressionError(f"bad regex: {exc}") from exc
+
+
+def _fn_if(args: List[Value]) -> Value:
+    if len(args) != 3:
+        raise ExpressionError("if() needs three arguments")
+    return args[1] if effective_boolean(args[0]) else args[2]
+
+
+def _fn_coalesce(args: List[Value]) -> Value:
+    for a in args:
+        if a is not None:
+            return a
+    raise ExpressionError("coalesce() found no bound argument")
+
+
+def _numeric_unary(fn: Callable[[float], float]) -> FunctionImpl:
+    def impl(args: List[Value]) -> Value:
+        if len(args) != 1:
+            raise ExpressionError("function needs one argument")
+        return fn(as_number(args[0]))
+
+    return impl
+
+
+def _fn_concat(args: List[Value]) -> Value:
+    return "".join(as_string(a) for a in args)
+
+
+def _fn_substr(args: List[Value]) -> Value:
+    if len(args) not in (2, 3):
+        raise ExpressionError("substr() needs 2 or 3 arguments")
+    text = as_string(args[0])
+    start = int(as_number(args[1])) - 1  # SPARQL is 1-based
+    if len(args) == 3:
+        return text[start : start + int(as_number(args[2]))]
+    return text[start:]
+
+
+def _fn_replace(args: List[Value]) -> Value:
+    if len(args) != 3:
+        raise ExpressionError("replace() needs three arguments")
+    return re.sub(as_string(args[1]), as_string(args[2]), as_string(args[0]))
+
+
+def _datetime_part(attr: str) -> FunctionImpl:
+    def impl(args: List[Value]) -> Value:
+        value = args[0]
+        if isinstance(value, str):
+            try:
+                value = datetime.fromisoformat(value)
+            except ValueError as exc:
+                raise ExpressionError(str(exc)) from exc
+        if not isinstance(value, (datetime, date)):
+            raise ExpressionError("not a dateTime")
+        got = getattr(value, attr, None)
+        if got is None:
+            raise ExpressionError(f"dateTime has no {attr}")
+        return got
+
+    return impl
+
+
+def _type_check(kinds) -> FunctionImpl:
+    def impl(args: List[Value]) -> Value:
+        return isinstance(args[0], kinds)
+
+    return impl
+
+
+_BUILTINS: Dict[str, FunctionImpl] = {
+    "str": _fn_str,
+    "datatype": _fn_datatype,
+    "lang": lambda args: (
+        args[0].language or ""
+        if isinstance(args[0], Literal)
+        else ""
+    ),
+    "regex": _fn_regex,
+    "abs": _numeric_unary(abs),
+    "ceil": _numeric_unary(math.ceil),
+    "floor": _numeric_unary(math.floor),
+    "round": _numeric_unary(round),
+    "sqrt": _numeric_unary(math.sqrt),
+    "concat": _fn_concat,
+    "strlen": lambda args: len(as_string(args[0])),
+    "ucase": lambda args: as_string(args[0]).upper(),
+    "lcase": lambda args: as_string(args[0]).lower(),
+    "contains": lambda args: as_string(args[1]) in as_string(args[0]),
+    "strstarts": lambda args: as_string(args[0]).startswith(as_string(args[1])),
+    "strends": lambda args: as_string(args[0]).endswith(as_string(args[1])),
+    "substr": _fn_substr,
+    "replace": _fn_replace,
+    "year": _datetime_part("year"),
+    "month": _datetime_part("month"),
+    "day": _datetime_part("day"),
+    "hours": _datetime_part("hour"),
+    "minutes": _datetime_part("minute"),
+    "seconds": _datetime_part("second"),
+    "uri": lambda args: URI(as_string(args[0])),
+    "iri": lambda args: URI(as_string(args[0])),
+    "isuri": _type_check(URI),
+    "isiri": _type_check(URI),
+    "isblank": _type_check(BNode),
+    "isliteral": lambda args: not isinstance(args[0], (URI, BNode)),
+    "isnumeric": lambda args: isinstance(args[0], (int, float))
+    and not isinstance(args[0], bool),
+    "if": _fn_if,
+    "coalesce": _fn_coalesce,
+    "sameterm": lambda args: to_term(args[0]) == to_term(args[1]),
+}
+
+_XSD_CASTS: Dict[str, FunctionImpl] = {
+    XSD.base + "integer": lambda args: int(as_number(args[0])),
+    XSD.base + "int": lambda args: int(as_number(args[0])),
+    XSD.base + "double": lambda args: float(as_number(args[0])),
+    XSD.base + "float": lambda args: float(as_number(args[0])),
+    XSD.base + "decimal": lambda args: float(as_number(args[0])),
+    XSD.base + "string": lambda args: as_string(args[0]),
+    XSD.base + "boolean": lambda args: effective_boolean(args[0]),
+    XSD.base + "dateTime": lambda args: datetime.fromisoformat(
+        as_string(args[0])
+    ),
+}
+
+
+def resolve(name: str) -> FunctionImpl:
+    """Look up a function by lowercase built-in name or extension URI."""
+    impl = _BUILTINS.get(name)
+    if impl is not None:
+        return impl
+    if name.startswith(STRDF.base):
+        local = name[len(STRDF.base):]
+        impl = _STRDF_FUNCTIONS.get(local)
+        if impl is not None:
+            return impl
+        impl = _TEMPORAL_FUNCTIONS.get(local)
+        if impl is not None:
+            return impl
+    if name.startswith(GEOF):
+        local = name[len(GEOF):]
+        impl = _GEOF_FUNCTIONS.get(local)
+        if impl is not None:
+            return impl
+    impl = _XSD_CASTS.get(name)
+    if impl is not None:
+        return impl
+    raise ExpressionError(f"unknown function {name!r}")
+
+
+#: Names of spatial predicates usable for index-assisted spatial joins.
+SPATIAL_PREDICATE_NAMES = {
+    STRDF.base + local: local
+    for local in (
+        "anyInteract",
+        "intersects",
+        "contains",
+        "containedBy",
+        "inside",
+        "within",
+        "overlap",
+        "overlaps",
+        "touch",
+        "touches",
+        "crosses",
+        "equals",
+    )
+}
+SPATIAL_PREDICATE_NAMES.update(
+    {
+        GEOF + local: local
+        for local in (
+            "sfIntersects",
+            "sfContains",
+            "sfWithin",
+            "sfTouches",
+            "sfOverlaps",
+            "sfCrosses",
+            "sfEquals",
+        )
+    }
+)

@@ -1,0 +1,123 @@
+"""SciQL dimensional arrays."""
+
+import numpy as np
+import pytest
+
+from repro.arraydb.array import Dimension, SciQLArray
+from repro.arraydb.errors import ArrayDBError
+from repro.arraydb.types import DOUBLE, INTEGER
+
+
+@pytest.fixture
+def array():
+    arr = SciQLArray(
+        "img",
+        [Dimension("x", 0, 3), Dimension("y", 0, 2)],
+        [("v", DOUBLE)],
+    )
+    arr.set_attribute("v", np.arange(6, dtype=float).reshape(3, 2))
+    return arr
+
+
+class TestConstruction:
+    def test_needs_dimensions(self):
+        with pytest.raises(ArrayDBError):
+            SciQLArray("a", [], [("v", DOUBLE)])
+
+    def test_needs_attributes(self):
+        with pytest.raises(ArrayDBError):
+            SciQLArray("a", [Dimension("x", 0, 2)], [])
+
+    def test_cells_start_null(self):
+        arr = SciQLArray(
+            "a", [Dimension("x", 0, 2)], [("v", DOUBLE)]
+        )
+        assert arr.attribute_nulls("v").all()
+
+    def test_from_numpy(self):
+        grid = np.ones((4, 5))
+        arr = SciQLArray.from_numpy("a", grid)
+        assert arr.shape == (4, 5)
+        assert not arr.attribute_nulls("v").any()
+
+    def test_nonzero_dimension_start(self):
+        arr = SciQLArray(
+            "a", [Dimension("x", 10, 13)], [("v", DOUBLE)]
+        )
+        assert arr.dimension("x").size == 3
+
+
+class TestScan:
+    def test_full_scan_dense(self, array):
+        result = array.scan()
+        assert result.num_rows == 6
+        assert result.column_names == ["x", "y", "v"]
+        rows = list(result.rows())
+        assert rows[0] == (0, 0, 0.0)
+        assert rows[-1] == (2, 1, 5.0)
+
+    def test_sliced_scan(self, array):
+        result = array.scan([(1, 3), (0, 1)])
+        assert result.num_rows == 2
+        assert [r[2] for r in result.rows()] == [2.0, 4.0]
+
+    def test_slice_clipped_to_bounds(self, array):
+        result = array.scan([(-5, 100), None])
+        assert result.num_rows == 6
+
+    def test_empty_slice(self, array):
+        result = array.scan([(5, 9), None])
+        assert result.num_rows == 0
+
+
+class TestAssignment:
+    def test_assign_cells(self, array):
+        n = array.assign_cells(
+            [np.array([0, 2]), np.array([1, 0])],
+            "v",
+            np.array([100.0, 200.0]),
+        )
+        assert n == 2
+        assert array.attribute_grid("v")[0, 1] == 100.0
+        assert array.attribute_grid("v")[2, 0] == 200.0
+
+    def test_out_of_bounds_ignored(self, array):
+        n = array.assign_cells(
+            [np.array([0, 99]), np.array([0, 0])],
+            "v",
+            np.array([7.0, 8.0]),
+        )
+        assert n == 1
+
+    def test_assign_respects_dimension_offsets(self):
+        arr = SciQLArray(
+            "a",
+            [Dimension("x", 10, 12), Dimension("y", 0, 2)],
+            [("v", DOUBLE)],
+        )
+        arr.assign_cells(
+            [np.array([10]), np.array([1])], "v", np.array([5.0])
+        )
+        assert arr.attribute_grid("v")[0, 1] == 5.0
+
+    def test_unknown_attribute(self, array):
+        with pytest.raises(ArrayDBError):
+            array.set_attribute("w", np.zeros((3, 2)))
+
+    def test_shape_mismatch(self, array):
+        with pytest.raises(ArrayDBError):
+            array.set_attribute("v", np.zeros((2, 2)))
+
+
+class TestMultiAttribute:
+    def test_two_attributes(self):
+        arr = SciQLArray(
+            "a",
+            [Dimension("x", 0, 2), Dimension("y", 0, 2)],
+            [("t039", DOUBLE), ("t108", DOUBLE)],
+        )
+        arr.set_attribute("t039", np.full((2, 2), 300.0))
+        arr.set_attribute("t108", np.full((2, 2), 290.0))
+        result = arr.scan()
+        assert result.column_names == ["x", "y", "t039", "t108"]
+        assert all(r[2] - r[3] == 10.0 for r in result.rows())

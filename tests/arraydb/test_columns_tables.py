@@ -1,0 +1,121 @@
+"""Column and table storage layer."""
+
+import numpy as np
+import pytest
+
+from repro.arraydb.column import Column, concat_columns
+from repro.arraydb.errors import ArrayDBError
+from repro.arraydb.table import ResultTable, Table
+from repro.arraydb.types import (
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    VARCHAR,
+    infer_type,
+    parse_type,
+)
+
+
+class TestTypes:
+    def test_parse_basic(self):
+        assert parse_type("INTEGER") is INTEGER
+        assert parse_type("float").name == "FLOAT"
+        assert parse_type("VARCHAR(32)") is VARCHAR
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ArrayDBError):
+            parse_type("GEOGRAPHY")
+
+    def test_infer(self):
+        assert infer_type(1) is INTEGER
+        assert infer_type(2.5) is DOUBLE
+        assert infer_type(True) is BOOLEAN
+        assert infer_type("x") is VARCHAR
+
+
+class TestColumn:
+    def test_from_values_with_nulls(self):
+        col = Column.from_values("c", [1, None, 3], INTEGER)
+        assert col.to_list() == [1, None, 3]
+        assert col.is_null().tolist() == [False, True, False]
+
+    def test_no_null_mask_when_dense(self):
+        col = Column.from_values("c", [1, 2, 3], INTEGER)
+        assert col.nulls is None
+
+    def test_filter_and_take(self):
+        col = Column.from_values("c", [10, 20, 30, 40], INTEGER)
+        assert col.filter(np.array([True, False, True, False])).to_list() == [
+            10,
+            30,
+        ]
+        assert col.take(np.array([3, 0])).to_list() == [40, 10]
+
+    def test_concat(self):
+        a = Column.from_values("c", [1, 2], INTEGER)
+        b = Column.from_values("c", [None, 4], INTEGER)
+        merged = concat_columns("c", [a, b])
+        assert merged.to_list() == [1, 2, None, 4]
+
+    def test_string_column(self):
+        col = Column.from_values("s", ["a", None, "c"])
+        assert col.to_list() == ["a", None, "c"]
+
+
+class TestTable:
+    def test_insert_and_scan(self):
+        t = Table("t", [("a", INTEGER), ("b", DOUBLE)])
+        t.insert_rows([(1, 1.5), (2, 2.5)])
+        t.insert_rows([(3, None)])
+        scan = t.scan()
+        assert scan.num_rows == 3
+        assert list(scan.rows()) == [(1, 1.5), (2, 2.5), (3, None)]
+
+    def test_row_width_validated(self):
+        t = Table("t", [("a", INTEGER)])
+        with pytest.raises(ArrayDBError):
+            t.insert_rows([(1, 2)])
+
+    def test_delete_where_mask(self):
+        t = Table("t", [("a", INTEGER)])
+        t.insert_rows([(i,) for i in range(5)])
+        removed = t.delete_where(np.array([True, False, True, False, False]))
+        assert removed == 2
+        assert [r[0] for r in t.scan().rows()] == [1, 3, 4]
+
+    def test_scan_cache_invalidation(self):
+        t = Table("t", [("a", INTEGER)])
+        t.insert_rows([(1,)])
+        first = t.scan()
+        t.insert_rows([(2,)])
+        assert t.scan().num_rows == 2
+        assert first.num_rows == 1  # old snapshot untouched
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ArrayDBError):
+            Table("t", [])
+
+
+class TestResultTable:
+    def test_ragged_rejected(self):
+        a = Column.from_values("a", [1, 2])
+        b = Column.from_values("b", [1])
+        with pytest.raises(ArrayDBError):
+            ResultTable([a, b])
+
+    def test_to_dicts(self):
+        rt = ResultTable(
+            [
+                Column.from_values("x", [1, 2]),
+                Column.from_values("y", ["a", "b"]),
+            ]
+        )
+        assert rt.to_dicts() == [
+            {"x": 1, "y": "a"},
+            {"x": 2, "y": "b"},
+        ]
+
+    def test_column_lookup_error(self):
+        rt = ResultTable([Column.from_values("x", [1])])
+        with pytest.raises(ArrayDBError):
+            rt.column("nope")

@@ -1,0 +1,100 @@
+"""Catalog save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.arraydb import MonetDB
+from repro.arraydb.errors import ArrayDBError
+from repro.arraydb.persistence import load_catalog, save_catalog
+
+
+@pytest.fixture
+def populated_db():
+    db = MonetDB()
+    db.execute("CREATE TABLE obs (station INTEGER, temp FLOAT, name VARCHAR)")
+    db.execute(
+        "INSERT INTO obs VALUES (1, 300.5, 'alpha'), (2, NULL, 'beta')"
+    )
+    db.execute(
+        "CREATE ARRAY img (x INTEGER DIMENSION [2:5], "
+        "y INTEGER DIMENSION [0:2], v FLOAT)"
+    )
+    db.execute("INSERT INTO img VALUES (2, 0, 1.5), (4, 1, 9.0)")
+    return db
+
+
+class TestRoundtrip:
+    def test_table_roundtrip(self, populated_db, tmp_path):
+        save_catalog(populated_db, str(tmp_path))
+        restored = load_catalog(str(tmp_path))
+        rows = restored.execute("SELECT * FROM obs ORDER BY station").to_dicts()
+        assert rows == [
+            {"station": 1, "temp": 300.5, "name": "alpha"},
+            {"station": 2, "temp": None, "name": "beta"},
+        ]
+
+    def test_array_roundtrip(self, populated_db, tmp_path):
+        save_catalog(populated_db, str(tmp_path))
+        restored = load_catalog(str(tmp_path))
+        arr = restored.get_array("img")
+        assert arr.dimension("x").start == 2
+        rows = restored.execute(
+            "SELECT [x], [y], v FROM img WHERE v IS NOT NULL ORDER BY v"
+        ).to_dicts()
+        assert rows == [
+            {"x": 2, "y": 0, "v": 1.5},
+            {"x": 4, "y": 1, "v": 9.0},
+        ]
+        # Unset cells stay NULL after the round trip.
+        total = restored.execute("SELECT COUNT(*) AS n FROM img").to_dicts()
+        non_null = restored.execute(
+            "SELECT COUNT(v) AS n FROM img"
+        ).to_dicts()
+        assert total == [{"n": 6}]
+        assert non_null == [{"n": 2}]
+
+    def test_queries_work_after_restore(self, populated_db, tmp_path):
+        save_catalog(populated_db, str(tmp_path))
+        restored = load_catalog(str(tmp_path))
+        restored.execute("INSERT INTO obs VALUES (3, 290.0, 'gamma')")
+        r = restored.execute("SELECT COUNT(*) AS n FROM obs")
+        assert r.to_dicts() == [{"n": 3}]
+
+    def test_empty_table_roundtrip(self, tmp_path):
+        db = MonetDB()
+        db.execute("CREATE TABLE empty (a INTEGER)")
+        save_catalog(db, str(tmp_path))
+        restored = load_catalog(str(tmp_path))
+        assert restored.execute("SELECT COUNT(*) AS n FROM empty").to_dicts() \
+            == [{"n": 0}]
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ArrayDBError):
+            load_catalog(str(tmp_path))
+
+    def test_vault_attachment_remembered(self, tmp_path):
+        from datetime import datetime, timezone
+
+        from repro.seviri.hrit import HRITDriver, write_hrit_segments
+
+        image_dir = tmp_path / "image"
+        write_hrit_segments(
+            str(image_dir),
+            "MSG2",
+            "IR_039",
+            datetime(2010, 8, 22, tzinfo=timezone.utc),
+            np.full((4, 4), 300.0),
+            1,
+        )
+        db = MonetDB()
+        db.vault.register_driver(HRITDriver())
+        db.vault.attach(str(image_dir), name="scene")
+        catalog_dir = tmp_path / "catalog"
+        save_catalog(db, str(catalog_dir))
+
+        restored = MonetDB()
+        restored.vault.register_driver(HRITDriver())
+        load_catalog(str(catalog_dir), db=restored)
+        assert restored.vault.is_attached("scene")
+        r = restored.execute("SELECT COUNT(*) AS n FROM scene")
+        assert r.to_dicts() == [{"n": 16}]

@@ -1,0 +1,208 @@
+"""SciQL array features: dimensions, slicing, structural grouping,
+element access, INSERT INTO array SELECT — everything Figure 4 needs."""
+
+import numpy as np
+import pytest
+
+from repro.arraydb import MonetDB
+from repro.arraydb.errors import SQLRuntimeError
+from repro.core.sciql_chain import figure4_query
+
+
+@pytest.fixture
+def db():
+    db = MonetDB()
+    db.execute(
+        "CREATE ARRAY img (x INTEGER DIMENSION [0:4], "
+        "y INTEGER DIMENSION [0:4], v FLOAT)"
+    )
+    db.get_array("img").set_attribute(
+        "v", np.arange(16, dtype=float).reshape(4, 4)
+    )
+    return db
+
+
+class TestArrayDDL:
+    def test_create_and_scan(self, db):
+        r = db.execute("SELECT COUNT(*) AS n FROM img")
+        assert r.to_dicts() == [{"n": 16}]
+
+    def test_dimension_projection(self, db):
+        r = db.execute("SELECT [x], [y], v FROM img WHERE v = 5")
+        assert r.to_dicts() == [{"x": 1, "y": 1, "v": 5.0}]
+
+    def test_insert_values_into_array(self):
+        db = MonetDB()
+        db.execute(
+            "CREATE ARRAY a (x INTEGER DIMENSION [0:2], v FLOAT)"
+        )
+        db.execute("INSERT INTO a VALUES (0, 1.5), (1, 2.5)")
+        r = db.execute("SELECT v FROM a WHERE v IS NOT NULL")
+        assert r.num_rows == 2
+
+    def test_drop_array(self, db):
+        db.execute("DROP ARRAY img")
+        with pytest.raises(Exception):
+            db.execute("SELECT * FROM img")
+
+
+class TestSlicing:
+    def test_crop_slice(self, db):
+        r = db.execute("SELECT [x], [y], v FROM img[1:3][1:3]")
+        assert r.num_rows == 4
+        values = sorted(d["v"] for d in r.to_dicts())
+        assert values == [5.0, 6.0, 9.0, 10.0]
+
+    def test_slice_preserves_absolute_indices(self, db):
+        r = db.execute("SELECT [x] FROM img[2:3][0:1]")
+        assert r.to_dicts() == [{"x": 2}]
+
+
+class TestElementAccess:
+    def test_lookup_another_array(self, db):
+        db.execute(
+            "CREATE ARRAY lut (x INTEGER DIMENSION [0:4], "
+            "y INTEGER DIMENSION [0:4], v FLOAT)"
+        )
+        db.get_array("lut").set_attribute("v", np.full((4, 4), 100.0))
+        r = db.execute(
+            "SELECT [x], [y], lut[x][y] + v AS total FROM img WHERE x = 0 AND y = 0"
+        )
+        assert r.to_dicts() == [{"x": 0, "y": 0, "total": 100.0}]
+
+    def test_out_of_bounds_is_null(self, db):
+        r = db.execute(
+            "SELECT img[x + 10][y] AS far FROM img WHERE x = 0 AND y = 0"
+        )
+        assert r.to_dicts() == [{"far": None}]
+
+    def test_computed_indices(self, db):
+        # img[3 - x][y] mirrors the x axis.
+        r = db.execute(
+            "SELECT [x], img[3 - x][y] AS mirrored FROM img WHERE y = 0 AND x = 0"
+        )
+        assert r.to_dicts() == [{"x": 0, "mirrored": 12.0}]
+
+
+class TestStructuralGrouping:
+    def test_window_average_interior(self, db):
+        r = db.execute(
+            """SELECT [x], [y], AVG(v) AS m FROM img
+               GROUP BY img[x-1:x+2][y-1:y+2]"""
+        )
+        grid = np.zeros((4, 4))
+        for d in r.to_dicts():
+            grid[d["x"], d["y"]] = d["m"]
+        # Interior cell (1,1): mean of 3x3 block of 0..15 grid.
+        block = np.arange(16).reshape(4, 4)[0:3, 0:3]
+        assert grid[1, 1] == pytest.approx(block.mean())
+
+    def test_window_average_corner_uses_inbounds_only(self, db):
+        r = db.execute(
+            """SELECT [x], [y], AVG(v) AS m FROM img
+               GROUP BY img[x-1:x+2][y-1:y+2]"""
+        )
+        grid = {(d["x"], d["y"]): d["m"] for d in r.to_dicts()}
+        corner_block = np.arange(16).reshape(4, 4)[0:2, 0:2]
+        assert grid[(0, 0)] == pytest.approx(corner_block.mean())
+
+    def test_window_count(self, db):
+        r = db.execute(
+            """SELECT [x], [y], COUNT(*) AS n FROM img
+               GROUP BY img[x-1:x+2][y-1:y+2]"""
+        )
+        grid = {(d["x"], d["y"]): d["n"] for d in r.to_dicts()}
+        assert grid[(0, 0)] == 4
+        assert grid[(1, 1)] == 9
+        assert grid[(0, 1)] == 6
+
+    def test_window_min_max(self, db):
+        r = db.execute(
+            """SELECT [x], [y], MIN(v) AS lo, MAX(v) AS hi FROM img
+               GROUP BY img[x-1:x+2][y-1:y+2]"""
+        )
+        grid = {(d["x"], d["y"]): (d["lo"], d["hi"]) for d in r.to_dicts()}
+        assert grid[(1, 1)] == (0.0, 10.0)
+        assert grid[(3, 3)] == (10.0, 15.0)
+
+    def test_mixed_aggregate_and_value(self, db):
+        r = db.execute(
+            """SELECT [x], [y], v, AVG(v) AS m FROM img
+               GROUP BY img[x-1:x+2][y-1:y+2]"""
+        )
+        first = r.to_dicts()[0]
+        assert "v" in first and "m" in first
+
+    def test_asymmetric_window(self, db):
+        r = db.execute(
+            """SELECT [x], [y], SUM(v) AS s FROM img
+               GROUP BY img[x:x+2][y:y+1]"""
+        )
+        grid = {(d["x"], d["y"]): d["s"] for d in r.to_dicts()}
+        base = np.arange(16).reshape(4, 4)
+        assert grid[(0, 0)] == base[0, 0] + base[1, 0]
+
+    def test_non_rectangular_input_rejected(self, db):
+        with pytest.raises(SQLRuntimeError):
+            db.execute(
+                """SELECT [x], [y], AVG(v) AS m FROM (
+                     SELECT [x], [y], v FROM img WHERE v <> 5
+                   ) AS holes
+                   GROUP BY holes[x-1:x+2][y-1:y+2]"""
+            )
+
+
+class TestInsertSelect:
+    def test_array_to_array(self, db):
+        db.execute(
+            "CREATE ARRAY doubled (x INTEGER DIMENSION [0:4], "
+            "y INTEGER DIMENSION [0:4], v FLOAT)"
+        )
+        db.execute("INSERT INTO doubled SELECT [x], [y], v * 2 FROM img")
+        r = db.execute("SELECT MAX(v) AS m FROM doubled")
+        assert r.to_dicts() == [{"m": 30.0}]
+
+    def test_select_into_table(self, db):
+        db.execute("CREATE TABLE flat (x INTEGER, y INTEGER, v FLOAT)")
+        db.execute("INSERT INTO flat SELECT [x], [y], v FROM img WHERE v > 13")
+        assert db.get_table("flat").num_rows == 2
+
+
+class TestFigure4:
+    def test_verbatim_query_runs(self):
+        db = MonetDB()
+        for name in ("hrit_T039_image_array", "hrit_T108_image_array"):
+            db.execute(
+                f"CREATE ARRAY {name} (x INTEGER DIMENSION [0:8], "
+                "y INTEGER DIMENSION [0:8], v FLOAT)"
+            )
+        t039 = np.full((8, 8), 300.0)
+        t108 = np.full((8, 8), 295.0)
+        # Plant a fire pixel: hot in 3.9, slightly warm in 10.8.
+        t039[4, 4] = 340.0
+        t108[4, 4] = 296.5
+        db.get_array("hrit_T039_image_array").set_attribute("v", t039)
+        db.get_array("hrit_T108_image_array").set_attribute("v", t108)
+        r = db.execute(figure4_query())
+        conf = {(d["x"], d["y"]): d["confidence"] for d in r.to_dicts()}
+        assert conf[(4, 4)] == 2
+        assert conf[(0, 0)] == 0
+        assert sum(1 for v in conf.values() if v > 0) == 1
+
+    def test_potential_fire_class(self):
+        db = MonetDB()
+        for name in ("hrit_T039_image_array", "hrit_T108_image_array"):
+            db.execute(
+                f"CREATE ARRAY {name} (x INTEGER DIMENSION [0:8], "
+                "y INTEGER DIMENSION [0:8], v FLOAT)"
+            )
+        t039 = np.full((8, 8), 300.0)
+        t108 = np.full((8, 8), 295.0)
+        # Milder anomaly: above 310 with diff in (8, 10] and moderate stddev.
+        t039[4, 4] = 311.0
+        t039[4, 5] = 304.0
+        db.get_array("hrit_T039_image_array").set_attribute("v", t039)
+        db.get_array("hrit_T108_image_array").set_attribute("v", t108)
+        r = db.execute(figure4_query())
+        conf = {(d["x"], d["y"]): d["confidence"] for d in r.to_dicts()}
+        assert conf[(4, 4)] == 1

@@ -1,0 +1,146 @@
+"""Scalar SQL function coverage and the window-aggregate kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arraydb import MonetDB
+from repro.arraydb.sql.functions import window_aggregate
+
+
+@pytest.fixture
+def db():
+    db = MonetDB()
+    db.execute("CREATE TABLE v (x FLOAT, s VARCHAR)")
+    db.execute(
+        "INSERT INTO v VALUES (4.0, 'Fire'), (-2.25, 'smoke'), (NULL, 'x')"
+    )
+    return db
+
+
+def one(db, expr, where="s = 'Fire'"):
+    return db.execute(f"SELECT {expr} AS r FROM v WHERE {where}").to_dicts()[
+        0
+    ]["r"]
+
+
+class TestNumericFunctions:
+    def test_sqrt(self, db):
+        assert one(db, "SQRT(x)") == pytest.approx(2.0)
+
+    def test_sqrt_negative_is_null(self, db):
+        assert one(db, "SQRT(x)", "x < 0") is None
+
+    def test_abs_floor_ceil_round(self, db):
+        assert one(db, "ABS(x)", "x < 0") == pytest.approx(2.25)
+        assert one(db, "FLOOR(x)", "x < 0") == -3.0
+        assert one(db, "CEIL(x)", "x < 0") == -2.0
+        assert one(db, "ROUND(x)", "x < 0") == -2.0
+
+    def test_power_and_mod(self, db):
+        assert one(db, "POWER(x, 2)") == pytest.approx(16.0)
+        assert one(db, "MOD(x, 3)") == pytest.approx(1.0)
+
+    def test_exp_ln(self, db):
+        assert one(db, "LN(EXP(x))") == pytest.approx(4.0)
+
+    def test_trig(self, db):
+        assert one(db, "SIN(RADIANS(x * 0 + 90))") == pytest.approx(1.0)
+
+    def test_least_greatest(self, db):
+        assert one(db, "LEAST(x, 1.0)") == pytest.approx(1.0)
+        assert one(db, "GREATEST(x, 1.0)") == pytest.approx(4.0)
+
+    def test_sign(self, db):
+        assert one(db, "SIGN(x)", "x < 0") == -1.0
+
+
+class TestNullHandling:
+    def test_coalesce(self, db):
+        assert one(db, "COALESCE(x, -1.0)", "x IS NULL") == -1.0
+        assert one(db, "COALESCE(x, -1.0)") == pytest.approx(4.0)
+
+    def test_nullif(self, db):
+        assert one(db, "NULLIF(x, 4.0)") is None
+        assert one(db, "NULLIF(x, 5.0)") == pytest.approx(4.0)
+
+    def test_null_propagates_through_arithmetic(self, db):
+        assert one(db, "x + 1", "x IS NULL") is None
+
+
+class TestStringFunctions:
+    def test_upper_lower(self, db):
+        assert one(db, "UPPER(s)") == "FIRE"
+        assert one(db, "LOWER(s)") == "fire"
+
+    def test_length(self, db):
+        assert one(db, "LENGTH(s)", "s = 'smoke'") == 5
+
+    def test_concat_operator(self, db):
+        assert one(db, "s || '-front'") == "Fire-front"
+
+    def test_like_patterns(self, db):
+        r = db.execute("SELECT s FROM v WHERE s LIKE 'F_re'")
+        assert r.to_dicts() == [{"s": "Fire"}]
+        r = db.execute("SELECT s FROM v WHERE s LIKE '%ok%'")
+        assert r.to_dicts() == [{"s": "smoke"}]
+
+    def test_not_like(self, db):
+        r = db.execute("SELECT COUNT(*) AS n FROM v WHERE s NOT LIKE '%o%'")
+        assert r.to_dicts() == [{"n": 2}]
+
+
+class TestWindowAggregateKernel:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.integers(min_value=2, max_value=9),
+        st.sampled_from(["avg", "sum", "count", "min", "max", "stddev"]),
+        st.integers(min_value=-2, max_value=0),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_matches_naive(self, nx, ny, agg, lo, hi):
+        rng = np.random.default_rng(nx * 100 + ny)
+        grid = rng.uniform(-5, 5, (nx, ny))
+        fast, nulls = window_aggregate(agg, grid, None, [(lo, hi), (lo, hi)])
+        assert nulls is None
+        for i in range(nx):
+            for j in range(ny):
+                window = grid[
+                    max(i + lo, 0) : min(i + hi, nx),
+                    max(j + lo, 0) : min(j + hi, ny),
+                ]
+                expected = {
+                    "avg": window.mean(),
+                    "sum": window.sum(),
+                    "count": window.size,
+                    "min": window.min(),
+                    "max": window.max(),
+                    "stddev": window.std(),
+                }[agg]
+                # stddev uses the sum-of-squares formula (as the paper's
+                # own SciQL query does), which loses precision for
+                # near-constant windows.
+                tolerance = 1e-6 if agg == "stddev" else 1e-9
+                assert fast[i, j] == pytest.approx(
+                    expected, abs=tolerance
+                ), (agg, i, j)
+
+    def test_null_cells_excluded(self):
+        grid = np.ones((4, 4))
+        grid[1, 1] = 100.0
+        nulls = np.zeros((4, 4), dtype=bool)
+        nulls[1, 1] = True
+        avg, out_nulls = window_aggregate(
+            "avg", grid, nulls, [(-1, 2), (-1, 2)]
+        )
+        assert avg[0, 0] == pytest.approx(1.0)
+        assert out_nulls is None or not out_nulls[0, 0]
+
+    def test_fully_null_window_is_null(self):
+        grid = np.ones((3, 3))
+        nulls = np.ones((3, 3), dtype=bool)
+        _, out_nulls = window_aggregate(
+            "avg", grid, nulls, [(-1, 2), (-1, 2)]
+        )
+        assert out_nulls is not None and out_nulls.all()

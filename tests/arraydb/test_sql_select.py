@@ -1,0 +1,179 @@
+"""SciQL SELECT evaluation over tables and arrays."""
+
+import numpy as np
+import pytest
+
+from repro.arraydb import MonetDB
+from repro.arraydb.errors import SQLParseError, SQLRuntimeError
+
+
+@pytest.fixture
+def db():
+    db = MonetDB()
+    db.execute("CREATE TABLE obs (station INTEGER, temp FLOAT, name VARCHAR)")
+    db.execute(
+        "INSERT INTO obs VALUES (1, 300.0, 'alpha'), (1, 310.0, 'beta'), "
+        "(2, 295.5, 'gamma'), (3, NULL, 'delta')"
+    )
+    return db
+
+
+class TestProjectionAndWhere:
+    def test_select_star(self, db):
+        r = db.execute("SELECT * FROM obs")
+        assert r.num_rows == 4
+        assert r.column_names == ["station", "temp", "name"]
+
+    def test_expressions_and_aliases(self, db):
+        r = db.execute("SELECT temp - 273.15 AS celsius FROM obs WHERE station = 1")
+        assert [round(v["celsius"], 2) for v in r.to_dicts()] == [26.85, 36.85]
+
+    def test_where_null_excluded(self, db):
+        r = db.execute("SELECT station FROM obs WHERE temp > 0")
+        assert r.num_rows == 3
+
+    def test_is_null(self, db):
+        r = db.execute("SELECT name FROM obs WHERE temp IS NULL")
+        assert r.to_dicts() == [{"name": "delta"}]
+
+    def test_is_not_null(self, db):
+        assert db.execute(
+            "SELECT name FROM obs WHERE temp IS NOT NULL"
+        ).num_rows == 3
+
+    def test_between(self, db):
+        r = db.execute("SELECT name FROM obs WHERE temp BETWEEN 296 AND 305")
+        assert r.to_dicts() == [{"name": "alpha"}]
+
+    def test_in_list(self, db):
+        r = db.execute("SELECT name FROM obs WHERE station IN (2, 3)")
+        assert r.num_rows == 2
+
+    def test_like(self, db):
+        r = db.execute("SELECT name FROM obs WHERE name LIKE '%lph%'")
+        assert r.to_dicts() == [{"name": "alpha"}]
+
+    def test_case_expression(self, db):
+        r = db.execute(
+            """SELECT name, CASE WHEN temp > 305 THEN 'hot'
+               WHEN temp > 299 THEN 'warm' ELSE 'cool' END AS label
+               FROM obs WHERE temp IS NOT NULL ORDER BY temp"""
+        )
+        assert [d["label"] for d in r.to_dicts()] == ["cool", "warm", "hot"]
+
+    def test_cast(self, db):
+        r = db.execute("SELECT CAST(temp AS INTEGER) AS t FROM obs WHERE station = 2")
+        assert r.to_dicts() == [{"t": 295}]
+
+    def test_scalar_functions(self, db):
+        r = db.execute(
+            "SELECT SQRT(ABS(temp - 300.0)) AS s FROM obs WHERE station = 1"
+        )
+        got = [round(d["s"], 3) for d in r.to_dicts()]
+        assert got == [0.0, pytest.approx(3.162, abs=1e-3)]
+
+    def test_division_by_zero_is_null(self, db):
+        r = db.execute("SELECT temp / (station - 1) AS ratio FROM obs WHERE station = 1")
+        assert r.to_dicts()[0]["ratio"] is None
+
+
+class TestAggregation:
+    def test_global_aggregates(self, db):
+        r = db.execute(
+            "SELECT COUNT(*) AS n, COUNT(temp) AS nt, AVG(temp) AS m FROM obs"
+        )
+        row = r.to_dicts()[0]
+        assert row["n"] == 4
+        assert row["nt"] == 3  # NULL ignored
+        assert row["m"] == pytest.approx((300 + 310 + 295.5) / 3)
+
+    def test_group_by(self, db):
+        r = db.execute(
+            "SELECT station, MAX(temp) AS hi FROM obs GROUP BY station "
+            "ORDER BY station"
+        )
+        assert [d["hi"] for d in r.to_dicts()] == [310.0, 295.5, None]
+
+    def test_having(self, db):
+        r = db.execute(
+            "SELECT station FROM obs GROUP BY station HAVING COUNT(*) > 1"
+        )
+        assert r.to_dicts() == [{"station": 1}]
+
+    def test_stddev(self, db):
+        r = db.execute("SELECT STDDEV(temp) AS s FROM obs WHERE station = 1")
+        assert r.to_dicts()[0]["s"] == pytest.approx(5.0)
+
+    def test_aggregate_outside_group_rejected_in_where(self, db):
+        with pytest.raises(SQLRuntimeError):
+            db.execute("SELECT station FROM obs WHERE AVG(temp) > 1")
+
+
+class TestOrderDistinctLimit:
+    def test_order_by_desc(self, db):
+        r = db.execute("SELECT name FROM obs WHERE temp IS NOT NULL ORDER BY temp DESC")
+        assert [d["name"] for d in r.to_dicts()] == ["beta", "alpha", "gamma"]
+
+    def test_distinct(self, db):
+        r = db.execute("SELECT DISTINCT station FROM obs")
+        assert r.num_rows == 3
+
+    def test_limit_offset(self, db):
+        r = db.execute("SELECT name FROM obs ORDER BY name LIMIT 2 OFFSET 1")
+        assert [d["name"] for d in r.to_dicts()] == ["beta", "delta"]
+
+
+class TestJoinsAndSubqueries:
+    def test_equi_join(self, db):
+        db.execute("CREATE TABLE stations (sid INTEGER, label VARCHAR)")
+        db.execute("INSERT INTO stations VALUES (1, 'north'), (2, 'south')")
+        r = db.execute(
+            """SELECT o.name, s.label FROM obs AS o
+               JOIN stations AS s ON o.station = s.sid ORDER BY o.name"""
+        )
+        assert [d["label"] for d in r.to_dicts()] == ["north", "north", "south"]
+
+    def test_join_residual_condition(self, db):
+        db.execute("CREATE TABLE limits (sid INTEGER, cutoff FLOAT)")
+        db.execute("INSERT INTO limits VALUES (1, 305.0)")
+        r = db.execute(
+            """SELECT o.name FROM obs AS o
+               JOIN limits AS l ON o.station = l.sid AND o.temp > l.cutoff"""
+        )
+        assert r.to_dicts() == [{"name": "beta"}]
+
+    def test_subquery_in_from(self, db):
+        r = db.execute(
+            """SELECT hot.name FROM (
+                 SELECT name, temp FROM obs WHERE temp > 299
+               ) AS hot WHERE hot.temp < 305"""
+        )
+        assert r.to_dicts() == [{"name": "alpha"}]
+
+    def test_nested_subqueries(self, db):
+        r = db.execute(
+            """SELECT COUNT(*) AS n FROM (
+                 SELECT * FROM ( SELECT station FROM obs ) AS inner1
+               ) AS outer1"""
+        )
+        assert r.to_dicts() == [{"n": 4}]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT FROM obs",
+            "SELECT * FROM obs WHERE",
+            "SELECT * obs",
+            "CREATE obs (a INTEGER)",
+        ],
+    )
+    def test_rejects(self, db, bad):
+        with pytest.raises(SQLParseError):
+            db.execute(bad)
+
+    def test_unknown_table(self, db):
+        with pytest.raises(Exception):
+            db.execute("SELECT * FROM nonexistent")

@@ -1,0 +1,101 @@
+"""Data Vault: attach / lazy load / evict semantics."""
+
+import os
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.arraydb import MonetDB
+from repro.arraydb.errors import VaultError
+from repro.seviri.hrit import HRITDriver, write_hrit_segments
+
+TS = datetime(2010, 8, 22, 12, 0, tzinfo=timezone.utc)
+
+
+@pytest.fixture
+def image_dir(tmp_path):
+    grid = np.linspace(280, 320, 64, dtype=float).reshape(8, 8)
+    d = tmp_path / "img"
+    write_hrit_segments(str(d), "MSG2", "IR_039", TS, grid, segment_count=3)
+    return str(d), grid
+
+
+@pytest.fixture
+def db():
+    db = MonetDB()
+    db.vault.register_driver(HRITDriver())
+    return db
+
+
+class TestAttach:
+    def test_attach_does_not_load(self, db, image_dir):
+        path, _ = image_dir
+        db.vault.attach(path, name="scene")
+        assert db.vault.stats.loads == 0
+        assert not db.catalog.exists("scene")
+
+    def test_missing_file_rejected(self, db):
+        with pytest.raises(VaultError):
+            db.vault.attach("/no/such/path")
+
+    def test_duplicate_name_rejected(self, db, image_dir):
+        path, _ = image_dir
+        db.vault.attach(path, name="scene")
+        with pytest.raises(VaultError):
+            db.vault.attach(path, name="scene")
+
+    def test_unknown_format_rejected(self, db, tmp_path):
+        odd = tmp_path / "data.xyz"
+        odd.write_bytes(b"not an image")
+        with pytest.raises(VaultError):
+            db.vault.attach(str(odd))
+
+
+class TestLazyLoad:
+    def test_first_query_triggers_load(self, db, image_dir):
+        path, grid = image_dir
+        db.vault.attach(path, name="scene")
+        r = db.execute("SELECT MAX(v) AS m FROM scene")
+        assert r.to_dicts()[0]["m"] == pytest.approx(grid.max(), abs=0.02)
+        assert db.vault.stats.loads == 1
+
+    def test_second_query_hits_cache(self, db, image_dir):
+        path, _ = image_dir
+        db.vault.attach(path, name="scene")
+        db.execute("SELECT COUNT(*) AS n FROM scene")
+        db.execute("SELECT COUNT(*) AS n FROM scene")
+        assert db.vault.stats.loads == 1
+        assert db.vault.stats.cache_hits >= 1
+
+    def test_evict_forces_reload(self, db, image_dir):
+        path, _ = image_dir
+        db.vault.attach(path, name="scene")
+        db.execute("SELECT COUNT(*) AS n FROM scene")
+        db.vault.evict("scene")
+        assert not db.catalog.exists("scene")
+        db.execute("SELECT COUNT(*) AS n FROM scene")
+        assert db.vault.stats.loads == 2
+
+    def test_load_all_eager(self, db, image_dir):
+        path, _ = image_dir
+        db.vault.attach(path, name="scene")
+        assert db.vault.load_all() == 1
+        assert db.catalog.exists("scene")
+
+    def test_detach_drops_object(self, db, image_dir):
+        path, _ = image_dir
+        db.vault.attach(path, name="scene")
+        db.vault.load_all()
+        db.vault.detach("scene")
+        assert not db.catalog.exists("scene")
+        assert not db.vault.is_attached("scene")
+
+    def test_single_segment_file_attachment(self, db, tmp_path):
+        grid = np.full((6, 6), 300.0)
+        paths = write_hrit_segments(
+            str(tmp_path), "MSG1", "IR_108", TS, grid, segment_count=1
+        )
+        db.vault.attach(paths[0], name="single")
+        r = db.execute("SELECT COUNT(*) AS n FROM single")
+        assert r.to_dicts() == [{"n": 36}]

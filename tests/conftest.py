@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+The synthetic geography and derived objects are session-scoped: they are
+deterministic for a fixed seed, moderately expensive to build, and every
+integration test can share them safely because tests never mutate them
+(engines that do get mutated are function-scoped).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.datasets import SyntheticGreece, load_auxiliary_data
+from repro.seviri.fires import FireSeason
+from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
+from repro.seviri.scene import SceneGenerator
+from repro.stsparql import Strabon
+
+CRISIS_START = datetime(2007, 8, 24, tzinfo=timezone.utc)
+
+
+@pytest.fixture(scope="session")
+def greece() -> SyntheticGreece:
+    return SyntheticGreece(seed=42, detail=2)
+
+
+@pytest.fixture(scope="session")
+def season(greece) -> FireSeason:
+    return FireSeason(greece, CRISIS_START, days=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def georeference() -> GeoReference:
+    return GeoReference(RawGrid(), TargetGrid())
+
+
+@pytest.fixture(scope="session")
+def scene_generator(greece) -> SceneGenerator:
+    return SceneGenerator(greece)
+
+
+@pytest.fixture(scope="session")
+def noon_scene(scene_generator, season):
+    return scene_generator.generate(
+        datetime(2007, 8, 24, 13, 0, tzinfo=timezone.utc), season
+    )
+
+
+@pytest.fixture()
+def strabon_with_aux(greece) -> Strabon:
+    """A fresh endpoint preloaded with the auxiliary datasets."""
+    endpoint = Strabon()
+    load_auxiliary_data(endpoint, greece)
+    return endpoint

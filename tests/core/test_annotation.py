@@ -1,0 +1,83 @@
+"""Product → stRDF annotation (§3.2.2 / Figure 5)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.annotation import annotate_product, hotspot_triples, hotspot_uri
+from repro.core.products import Hotspot, HotspotProduct
+from repro.geometry import Polygon
+from repro.rdf import Graph, Literal, NOA, RDF, STRDF
+
+TS = datetime(2007, 8, 24, 18, 15)
+
+
+@pytest.fixture
+def product():
+    hotspot = Hotspot(
+        x=5,
+        y=6,
+        polygon=Polygon.square(21.54, 37.89, 0.05),
+        confidence=1.0,
+        timestamp=TS,
+        sensor="MSG2",
+        chain="cloud-masked",
+    )
+    return HotspotProduct(
+        sensor="MSG2", timestamp=TS, chain="cloud-masked", hotspots=[hotspot]
+    )
+
+
+class TestAnnotation:
+    def test_paper_example_shape(self, product):
+        g = Graph()
+        added, uris = annotate_product(g, product, product_index=0)
+        assert added > 0
+        node = uris[0]
+        assert (node, RDF.type, NOA.Hotspot) in g
+        acq = g.value(node, NOA.hasAcquisitionDateTime)
+        assert acq.lexical == "2007-08-24T18:15:00"
+        conf = g.value(node, NOA.hasConfidence)
+        assert float(conf.lexical) == 1.0
+        geom = g.value(node, STRDF.hasGeometry)
+        assert geom.is_geometry
+        sensor = g.value(node, NOA.isDerivedFromSensor)
+        assert sensor.lexical == "MSG2"
+        assert g.value(node, NOA.isProducedBy) == NOA.noa
+        chain = g.value(node, NOA.isFromProcessingChain)
+        assert chain.lexical == "cloud-masked"
+
+    def test_shapefile_node_links(self, product):
+        g = Graph()
+        _, uris = annotate_product(g, product, product_index=7)
+        shp = g.value(uris[0], NOA.isDerivedFromShapefile)
+        assert shp is not None
+        assert (shp, RDF.type, NOA.Shapefile) in g
+
+    def test_distinct_products_distinct_uris(self, product):
+        g = Graph()
+        _, uris_a = annotate_product(g, product, product_index=0)
+        _, uris_b = annotate_product(g, product, product_index=1)
+        assert set(uris_a).isdisjoint(uris_b)
+
+    def test_confirmation_annotation(self, product):
+        product.hotspots[0].confirmed = True
+        triples = hotspot_triples(hotspot_uri(0, 0), product.hotspots[0])
+        objects = {o for _, p, o in triples if p == NOA.hasConfirmation}
+        assert objects == {NOA.confirmed}
+
+    def test_queryable_through_stsparql(self, product):
+        from repro.stsparql import Strabon
+
+        s = Strabon()
+        annotate_product(s.graph, product, product_index=0)
+        r = s.select(
+            "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+            "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+            """SELECT ?h ?geo WHERE {
+                 ?h a noa:Hotspot ; strdf:hasGeometry ?geo .
+                 FILTER(strdf:anyInteract(
+                   "POLYGON ((21 37, 22 37, 22 38.5, 21 38.5, 21 37))"^^strdf:WKT,
+                   ?geo)) }"""
+        )
+        assert len(r) == 1

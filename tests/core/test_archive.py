@@ -1,0 +1,107 @@
+"""The product archive (disk array + dissemination index)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.archive import ProductArchive
+from repro.core.products import Hotspot, HotspotProduct
+from repro.geometry import Envelope, Polygon
+
+T0 = datetime(2007, 8, 24, 12, 0)
+
+
+def product_at(when, sensor="MSG2", chain="sciql", lon=22.0, lat=38.0, n=2):
+    hotspots = [
+        Hotspot(
+            x=i,
+            y=0,
+            polygon=Polygon.square(lon + 0.05 * i, lat, 0.04),
+            confidence=1.0,
+            timestamp=when,
+            sensor=sensor,
+            chain=chain,
+        )
+        for i in range(n)
+    ]
+    return HotspotProduct(
+        sensor=sensor, timestamp=when, chain=chain, hotspots=hotspots
+    )
+
+
+class TestStoreAndLoad:
+    def test_store_creates_shapefile_and_index(self, tmp_path):
+        archive = ProductArchive(str(tmp_path))
+        entry = archive.store(product_at(T0))
+        assert entry.hotspot_count == 2
+        assert (tmp_path / (entry.base_name + ".shp")).exists()
+        assert (tmp_path / "products.json").exists()
+
+    def test_roundtrip(self, tmp_path):
+        archive = ProductArchive(str(tmp_path))
+        original = product_at(T0, n=3)
+        entry = archive.store(original)
+        loaded = archive.load(entry)
+        assert len(loaded) == 3
+        assert loaded.timestamp == T0
+        assert loaded.sensor == "MSG2"
+
+    def test_index_survives_reopen(self, tmp_path):
+        archive = ProductArchive(str(tmp_path))
+        archive.store(product_at(T0))
+        archive.store(product_at(T0 + timedelta(minutes=15)))
+        reopened = ProductArchive(str(tmp_path))
+        assert len(reopened) == 2
+
+    def test_restore_same_product_overwrites(self, tmp_path):
+        archive = ProductArchive(str(tmp_path))
+        archive.store(product_at(T0, n=2))
+        archive.store(product_at(T0, n=4))
+        assert len(archive) == 1
+        assert archive.entries()[0].hotspot_count == 4
+
+    def test_empty_product(self, tmp_path):
+        archive = ProductArchive(str(tmp_path))
+        entry = archive.store(
+            HotspotProduct(sensor="MSG1", timestamp=T0, chain="sciql")
+        )
+        assert entry.bbox is None
+        assert len(archive.load(entry)) == 0
+
+
+class TestQuery:
+    @pytest.fixture
+    def archive(self, tmp_path):
+        archive = ProductArchive(str(tmp_path))
+        archive.store(product_at(T0, sensor="MSG1"))
+        archive.store(product_at(T0 + timedelta(hours=1), sensor="MSG2"))
+        archive.store(
+            product_at(
+                T0 + timedelta(hours=2), sensor="MSG2", lon=25.0, lat=40.0
+            )
+        )
+        return archive
+
+    def test_time_window(self, archive):
+        got = archive.query(
+            start=T0 + timedelta(minutes=30),
+            end=T0 + timedelta(minutes=90),
+        )
+        assert len(got) == 1
+
+    def test_sensor_filter(self, archive):
+        assert len(archive.query(sensor="MSG2")) == 2
+        assert len(archive.query(sensor="MSG1")) == 1
+
+    def test_region_filter(self, archive):
+        north_east = Envelope(24.5, 39.5, 26.0, 41.0)
+        got = archive.query(region=north_east)
+        assert len(got) == 1
+
+    def test_latest(self, archive):
+        latest = archive.latest()
+        assert latest.timestamp == T0 + timedelta(hours=2)
+        assert archive.latest(sensor="MSG1").timestamp == T0
+
+    def test_latest_empty(self, tmp_path):
+        assert ProductArchive(str(tmp_path / "new")).latest() is None

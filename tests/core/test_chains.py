@@ -1,0 +1,165 @@
+"""The two processing chains: correctness and cross-equivalence.
+
+The decisive integration test is `test_chains_agree`: the hand-coded
+numpy chain and the in-DBMS SciQL chain must classify every pixel
+identically — two independent implementations of §3.1.
+"""
+
+from datetime import datetime, timedelta, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.legacy import LegacyChain, classify_grids, window_mean_and_sq
+from repro.core.sciql_chain import SciQLChain
+from repro.seviri.hrit import write_hrit_segments
+
+START = datetime(2007, 8, 24, tzinfo=timezone.utc)
+
+
+class TestWindowStatistics:
+    def test_mean_matches_manual(self):
+        grid = np.arange(25, dtype=float).reshape(5, 5)
+        valid = np.ones((5, 5), dtype=bool)
+        mean, sq = window_mean_and_sq(grid, valid)
+        assert mean[2, 2] == pytest.approx(grid[1:4, 1:4].mean())
+        assert sq[2, 2] == pytest.approx((grid[1:4, 1:4] ** 2).mean())
+
+    def test_border_uses_inbounds_cells(self):
+        grid = np.arange(25, dtype=float).reshape(5, 5)
+        valid = np.ones((5, 5), dtype=bool)
+        mean, _ = window_mean_and_sq(grid, valid)
+        assert mean[0, 0] == pytest.approx(grid[0:2, 0:2].mean())
+
+    def test_invalid_cells_excluded(self):
+        grid = np.ones((5, 5))
+        grid[2, 2] = 1000.0
+        valid = np.ones((5, 5), dtype=bool)
+        valid[2, 2] = False
+        mean, _ = window_mean_and_sq(grid, valid)
+        assert mean[1, 1] == pytest.approx(1.0)
+
+
+class TestClassifier:
+    def _flat_scene(self, n=9):
+        t039 = np.full((n, n), 300.0)
+        t108 = np.full((n, n), 295.0)
+        zenith = np.full((n, n), 40.0)  # full day
+        return t039, t108, zenith
+
+    def test_quiet_scene_all_zero(self):
+        conf = classify_grids(*self._flat_scene())
+        assert (conf == 0).all()
+
+    def test_hot_anomaly_is_fire(self):
+        t039, t108, zenith = self._flat_scene()
+        t039[4, 4] = 340.0
+        conf = classify_grids(t039, t108, zenith)
+        assert conf[4, 4] == 2
+        assert conf.sum() == 2
+
+    def test_mild_anomaly_is_potential(self):
+        t039, t108, zenith = self._flat_scene()
+        t039[4, 4] = 311.0
+        t039[4, 5] = 304.0
+        conf = classify_grids(t039, t108, zenith)
+        assert conf[4, 4] == 1
+
+    def test_night_thresholds_more_sensitive(self):
+        t039, t108, _ = self._flat_scene()
+        # 309 K: below the day 310 K gate, above the night 303 K gate;
+        # the window std (≈2.8) passes only the night potential gate.
+        t039[4, 4] = 309.0
+        day = classify_grids(t039, t108, np.full(t039.shape, 40.0))
+        night = classify_grids(t039, t108, np.full(t039.shape, 110.0))
+        assert day[4, 4] == 0
+        assert night[4, 4] == 1
+
+    def test_uniform_108_required(self):
+        # High std in 10.8 (e.g. cloud edge) suppresses detection.
+        t039, t108, zenith = self._flat_scene()
+        t039[4, 4] = 340.0
+        t108[4, 4] = 320.0  # big 10.8 anomaly -> std108 too high
+        conf = classify_grids(t039, t108, zenith)
+        assert conf[4, 4] == 0
+
+    def test_nan_pixels_never_fire(self):
+        t039, t108, zenith = self._flat_scene()
+        t039[4, 4] = np.nan
+        conf = classify_grids(t039, t108, zenith)
+        assert conf[4, 4] == 0
+
+
+class TestChainEquivalence:
+    def test_chains_agree(self, georeference, scene_generator, season):
+        when = START + timedelta(hours=14)
+        scene = scene_generator.generate(when, season)
+        legacy = LegacyChain(georeference).process(scene)
+        sciql = SciQLChain(georeference).process(scene)
+        as_grid = lambda product: {
+            (h.x, h.y): h.confidence for h in product.hotspots
+        }
+        assert as_grid(legacy) == as_grid(sciql)
+        assert legacy.timestamp == sciql.timestamp
+
+    def test_chains_agree_at_night(
+        self, georeference, scene_generator, season
+    ):
+        when = START + timedelta(hours=22)
+        scene = scene_generator.generate(when, season)
+        legacy = LegacyChain(georeference).process(scene)
+        sciql = SciQLChain(georeference).process(scene)
+        assert {(h.x, h.y) for h in legacy.hotspots} == {
+            (h.x, h.y) for h in sciql.hotspots
+        }
+
+    def test_stage_timings_recorded(self, georeference, scene_generator):
+        scene = scene_generator.generate(START + timedelta(hours=12))
+        chain = LegacyChain(georeference)
+        chain.process(scene)
+        t = chain.timings
+        assert t.total > 0
+        assert t.classify > 0
+
+
+class TestFileInput:
+    def test_chain_from_hrit_files(
+        self, tmp_path, georeference, scene_generator, season
+    ):
+        when = START + timedelta(hours=14)
+        scene = scene_generator.generate(when, season)
+        dir039 = str(tmp_path / "b039")
+        dir108 = str(tmp_path / "b108")
+        write_hrit_segments(dir039, "MSG2", "IR_039", when, scene.t039)
+        write_hrit_segments(dir108, "MSG2", "IR_108", when, scene.t108)
+        from_scene = LegacyChain(georeference).process(scene)
+        from repro.seviri.hrit import segment_paths_for
+
+        from_files = LegacyChain(georeference).process(
+            (segment_paths_for(dir039), segment_paths_for(dir108))
+        )
+        # Centikelvin quantisation can flip borderline pixels; the two
+        # products must agree on nearly every pixel.
+        a = {(h.x, h.y) for h in from_scene.hotspots}
+        b = {(h.x, h.y) for h in from_files.hotspots}
+        assert len(a ^ b) <= max(2, len(a) // 5)
+        assert from_files.timestamp.replace(tzinfo=None) == when.replace(
+            tzinfo=None
+        )
+
+    def test_sciql_chain_via_vault(
+        self, tmp_path, georeference, scene_generator, season
+    ):
+        when = START + timedelta(hours=14)
+        scene = scene_generator.generate(when, season)
+        dir039 = str(tmp_path / "v039")
+        dir108 = str(tmp_path / "v108")
+        write_hrit_segments(dir039, "MSG2", "IR_039", when, scene.t039)
+        write_hrit_segments(dir108, "MSG2", "IR_108", when, scene.t108)
+        chain = SciQLChain(georeference, use_vault=True)
+        product = chain.process((dir039, dir108))
+        assert chain.db.vault.stats.loads == 2
+        direct = SciQLChain(georeference).process(scene)
+        a = {(h.x, h.y) for h in product.hotspots}
+        b = {(h.x, h.y) for h in direct.hotspots}
+        assert len(a ^ b) <= max(2, len(a) // 5)

@@ -1,0 +1,93 @@
+"""Cloud fields and the cloud-masked chain."""
+
+from datetime import datetime, timedelta, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.legacy import LegacyChain, classify_grids
+from repro.core.sciql_chain import SciQLChain
+from repro.core.thresholds import CLOUD_T108_MAX
+from repro.seviri.scene import SceneGenerator
+
+START = datetime(2007, 8, 24, tzinfo=timezone.utc)
+
+
+class TestCloudScene:
+    def test_clouds_cool_the_scene(self, greece, season):
+        clear = SceneGenerator(greece, seed=5, clouds_per_scene=0.0)
+        cloudy = SceneGenerator(greece, seed=5, clouds_per_scene=3.0)
+        when = START + timedelta(hours=13)
+        a = clear.generate(when, season)
+        b = cloudy.generate(when, season)
+        assert b.t108.min() < a.t108.min() - 20.0
+
+    def test_cloudless_default(self, greece):
+        gen = SceneGenerator(greece, seed=5)
+        when = START + timedelta(hours=13)
+        img = gen.generate(when)
+        assert img.t108.min() > CLOUD_T108_MAX  # summer surface is warm
+
+    def test_deterministic(self, greece, season):
+        when = START + timedelta(hours=13)
+        a = SceneGenerator(greece, seed=5, clouds_per_scene=2.0).generate(
+            when, season
+        )
+        b = SceneGenerator(greece, seed=5, clouds_per_scene=2.0).generate(
+            when, season
+        )
+        np.testing.assert_array_equal(a.t108, b.t108)
+
+
+class TestCloudMaskClassifier:
+    def _scene_with_cloud_edge_fire(self, n=11):
+        t039 = np.full((n, n), 300.0)
+        t108 = np.full((n, n), 295.0)
+        zenith = np.full((n, n), 40.0)
+        # A fire pixel right next to an opaque cloud bank.
+        t039[5, 5] = 340.0
+        t039[:, :4] = 250.0
+        t108[:, :4] = 250.0
+        return t039, t108, zenith
+
+    def test_cloud_edge_fire_needs_mask(self):
+        t039, t108, zenith = self._scene_with_cloud_edge_fire()
+        masked = classify_grids(t039, t108, zenith, cloud_mask=True)
+        assert masked[5, 5] == 2
+
+    def test_cloudy_pixels_never_fire(self):
+        t039, t108, zenith = self._scene_with_cloud_edge_fire()
+        # Even an (unphysical) hot 3.9 signal inside the cloud region is
+        # rejected by the mask.
+        t039[5, 2] = 400.0
+        masked = classify_grids(t039, t108, zenith, cloud_mask=True)
+        assert masked[5, 2] == 0
+
+    def test_fire_next_to_cloud_is_suppressed_without_mask(self):
+        t039, t108, zenith = self._scene_with_cloud_edge_fire()
+        t039[5, 4] = 340.0  # fire pixel adjacent to the cloud bank
+        unmasked = classify_grids(t039, t108, zenith, cloud_mask=False)
+        masked = classify_grids(t039, t108, zenith, cloud_mask=True)
+        assert unmasked[5, 4] == 0  # cloud-edge std108 kills it
+        assert masked[5, 4] == 2   # the mask recovers the detection
+
+
+class TestChainParityWithClouds:
+    def test_chains_agree_under_clouds(self, greece, season, georeference):
+        gen = SceneGenerator(greece, seed=5, clouds_per_scene=3.0)
+        when = START + timedelta(hours=14)
+        scene = gen.generate(when, season)
+        legacy = LegacyChain(georeference).process(scene)
+        sciql = SciQLChain(georeference).process(scene)
+        assert {(h.x, h.y, h.confidence) for h in legacy.hotspots} == {
+            (h.x, h.y, h.confidence) for h in sciql.hotspots
+        }
+
+    def test_cloud_hides_fires(self, greece, season, georeference):
+        when = START + timedelta(hours=14)
+        clear = SceneGenerator(greece, seed=5, clouds_per_scene=0.0)
+        cloudy = SceneGenerator(greece, seed=5, clouds_per_scene=4.0)
+        chain = LegacyChain(georeference)
+        n_clear = len(chain.process(clear.generate(when, season)))
+        n_cloudy = len(chain.process(cloudy.generate(when, season)))
+        assert n_cloudy <= n_clear

@@ -1,0 +1,67 @@
+"""Hotspot products and shapefile round trips."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.products import Hotspot, HotspotProduct
+from repro.geometry import Polygon
+from repro.shapefile import read_shapefile, write_shapefile
+
+TS = datetime(2007, 8, 24, 18, 15)
+
+
+def make_product(n_fire=2, n_potential=1):
+    hotspots = []
+    for i in range(n_fire + n_potential):
+        hotspots.append(
+            Hotspot(
+                x=10 + i,
+                y=20,
+                polygon=Polygon.square(21.0 + i * 0.04, 38.0, 0.04),
+                confidence=1.0 if i < n_fire else 0.5,
+                timestamp=TS,
+                sensor="MSG2",
+                chain="sciql",
+            )
+        )
+    return HotspotProduct(
+        sensor="MSG2", timestamp=TS, chain="sciql", hotspots=hotspots
+    )
+
+
+class TestProduct:
+    def test_partition_by_confidence(self):
+        p = make_product()
+        assert len(p.fire_pixels()) == 2
+        assert len(p.potential_pixels()) == 1
+        assert len(p) == 3
+
+    def test_shapefile_roundtrip(self, tmp_path):
+        p = make_product()
+        base = str(tmp_path / "prod")
+        write_shapefile(p.to_shapefile(), base)
+        back = HotspotProduct.from_shapefile(read_shapefile(base))
+        assert len(back) == 3
+        assert back.timestamp == TS
+        assert back.hotspots[0].sensor == "MSG2"
+        assert back.hotspots[0].confidence == 1.0
+        assert back.hotspots[0].polygon.area == pytest.approx(
+            0.04 * 0.04, rel=1e-6
+        )
+
+    def test_pixel_indices_roundtrip(self, tmp_path):
+        p = make_product()
+        base = str(tmp_path / "prod2")
+        write_shapefile(p.to_shapefile(), base)
+        back = HotspotProduct.from_shapefile(read_shapefile(base))
+        assert [(h.x, h.y) for h in back.hotspots] == [
+            (h.x, h.y) for h in p.hotspots
+        ]
+
+    def test_empty_product_shapefile(self, tmp_path):
+        p = HotspotProduct(sensor="MSG2", timestamp=TS, chain="x")
+        base = str(tmp_path / "empty")
+        write_shapefile(p.to_shapefile(), base)
+        back = HotspotProduct.from_shapefile(read_shapefile(base))
+        assert len(back) == 0

@@ -1,0 +1,118 @@
+"""Oracle test: the stSPARQL refinement pipeline vs direct geometry.
+
+The six refinement operations are expressed as stSPARQL updates running
+through the full stack (parser → algebra → spatial functions → triple
+store).  This test recomputes what each operation *should* do with plain
+geometry calls — no RDF, no query engine — and checks the pipeline
+agrees, on a real chain product from the simulated crisis.
+"""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.core.legacy import LegacyChain
+from repro.core.refinement import RefinementPipeline
+from repro.datasets.corine import (
+    FIRE_CONSISTENT_KEYS,
+    FIRE_INCONSISTENT_KEYS,
+)
+from repro.geometry import ops, predicates
+
+START = datetime(2007, 8, 24, tzinfo=timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def chain_product(georeference, scene_generator, season):
+    chain = LegacyChain(georeference)
+    scene = scene_generator.generate(START + timedelta(hours=16), season)
+    product = chain.process(scene)
+    assert len(product) > 3, "scenario must produce a non-trivial product"
+    return product
+
+
+def oracle_survivors(greece, product):
+    """Direct-geometry reimplementation of delete-in-sea +
+    invalid-for-fires, returning the surviving hotspot indexes."""
+    survivors = []
+    for i, hotspot in enumerate(product.hotspots):
+        geom = hotspot.polygon
+        touches_land = any(
+            predicates.intersects(geom, land)
+            for land in greece.land_polygons
+        )
+        if not touches_land:
+            continue  # delete-in-sea
+        touches_bad = any(
+            predicates.intersects(geom, area.polygon)
+            for area in greece.land_cover
+            if area.code in FIRE_INCONSISTENT_KEYS
+        )
+        touches_good = any(
+            predicates.intersects(geom, area.polygon)
+            for area in greece.land_cover
+            if area.code in FIRE_CONSISTENT_KEYS
+        )
+        if touches_bad and not touches_good:
+            continue  # invalid-for-fires
+        survivors.append(i)
+    return survivors
+
+
+class TestPipelineMatchesOracle:
+    def test_deletion_operations(
+        self, greece, strabon_with_aux, chain_product
+    ):
+        pipeline = RefinementPipeline(strabon_with_aux)
+        pipeline.store(chain_product)
+        pipeline.delete_in_sea(chain_product.timestamp)
+        pipeline.invalid_for_fires(chain_product.timestamp)
+        survivors = pipeline.surviving_hotspots(chain_product.timestamp)
+        expected = oracle_survivors(greece, chain_product)
+        assert len(survivors) == len(expected)
+
+    def test_coast_clipping_areas(
+        self, greece, strabon_with_aux, chain_product
+    ):
+        pipeline = RefinementPipeline(strabon_with_aux)
+        pipeline.store(chain_product)
+        pipeline.delete_in_sea(chain_product.timestamp)
+        pipeline.refine_in_coast(chain_product.timestamp)
+        rows = pipeline.surviving_hotspots(chain_product.timestamp)
+        # Build the oracle per original geometry: survivors' areas must be
+        # the land-clipped areas.
+        by_area = sorted(
+            round(row["hGeo"].value.area, 10) for row in rows
+        )
+        expected_areas = []
+        for hotspot in chain_product.hotspots:
+            geom = hotspot.polygon
+            touching = [
+                land
+                for land in greece.land_polygons
+                if predicates.intersects(geom, land)
+            ]
+            if not touching:
+                continue  # deleted in sea
+            land_union = ops.union_all(touching)
+            if predicates.overlaps(geom, land_union):
+                clipped = ops.intersection(geom, land_union)
+                expected_areas.append(round(clipped.area, 10))
+            else:
+                expected_areas.append(round(geom.area, 10))
+        assert len(by_area) == len(expected_areas)
+        for got, want in zip(by_area, sorted(expected_areas)):
+            assert got == pytest.approx(want, rel=1e-6)
+
+    def test_municipality_associations(
+        self, greece, strabon_with_aux, chain_product
+    ):
+        pipeline = RefinementPipeline(strabon_with_aux)
+        pipeline.store(chain_product)
+        timing = pipeline.municipalities(chain_product.timestamp)
+        expected_pairs = 0
+        for hotspot in chain_product.hotspots:
+            for mun in greece.municipalities:
+                if predicates.intersects(hotspot.polygon, mun.polygon):
+                    expected_pairs += 1
+        assert timing.detail["added"] == expected_pairs

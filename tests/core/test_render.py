@@ -1,0 +1,86 @@
+"""ASCII situation-map rendering."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.products import Hotspot
+from repro.core.render import (
+    GLYPH_CAPITAL,
+    GLYPH_COAST,
+    GLYPH_FIRE,
+    GLYPH_POTENTIAL,
+    GLYPH_SEA,
+    render_situation_map,
+)
+from repro.geometry import Polygon
+
+
+def hotspot_at(greece, confidence):
+    c = greece.mainland.representative_point()
+    return Hotspot(
+        x=0,
+        y=0,
+        polygon=Polygon.square(c.x, c.y, 0.05),
+        confidence=confidence,
+        timestamp=datetime(2007, 8, 24, 15, 0),
+        sensor="MSG2",
+    )
+
+
+class TestRender:
+    def test_dimensions(self, greece):
+        text = render_situation_map(greece, width=40, height=12)
+        lines = text.split("\n")
+        assert len(lines) == 13  # 12 rows + legend
+        assert all(len(line) == 40 for line in lines[:-1])
+
+    def test_contains_sea_and_coast(self, greece):
+        text = render_situation_map(greece, width=60, height=20)
+        assert GLYPH_SEA in text
+        assert GLYPH_COAST in text
+
+    def test_capitals_drawn(self, greece):
+        text = render_situation_map(greece, width=70, height=26)
+        assert GLYPH_CAPITAL in text
+
+    def test_hotspots_drawn(self, greece):
+        fire = hotspot_at(greece, 1.0)
+        potential = hotspot_at(greece, 0.5)
+        text = render_situation_map(
+            greece,
+            [potential, fire],
+            width=70,
+            height=26,
+            show_infrastructure=False,
+        )
+        assert GLYPH_FIRE in text
+
+    def test_custom_bbox_zoom(self, greece):
+        c = greece.mainland.representative_point()
+        text = render_situation_map(
+            greece,
+            [],
+            width=30,
+            height=10,
+            bbox=(c.x - 0.5, c.y - 0.5, c.x + 0.5, c.y + 0.5),
+            show_infrastructure=False,
+        )
+        # Zoomed into the interior: mostly land, little or no sea.
+        sea_cells = text.split("\n")[0:10]
+        assert sum(line.count(GLYPH_SEA) for line in sea_cells) < 100
+
+    def test_offmap_hotspots_ignored(self, greece):
+        off = Hotspot(
+            x=0,
+            y=0,
+            polygon=Polygon.square(50.0, 50.0, 0.05),
+            confidence=1.0,
+            timestamp=datetime(2007, 8, 24),
+            sensor="MSG2",
+        )
+        text = render_situation_map(
+            greece, [off], width=40, height=12, show_infrastructure=False
+        )
+        map_rows = text.split("\n")[:-1]  # drop the legend line
+        assert all(GLYPH_FIRE not in row for row in map_rows)

@@ -1,0 +1,73 @@
+"""Threshold interpolation (§3.1.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.thresholds import (
+    DAY_THRESHOLDS,
+    NIGHT_THRESHOLDS,
+    day_weight,
+    interpolate_thresholds,
+    threshold_grids,
+)
+
+
+class TestInterpolation:
+    def test_full_day_below_70(self):
+        assert interpolate_thresholds(50.0) == DAY_THRESHOLDS
+
+    def test_full_night_above_90(self):
+        assert interpolate_thresholds(110.0) == NIGHT_THRESHOLDS
+
+    def test_midpoint_is_mean(self):
+        got = interpolate_thresholds(80.0)
+        assert got.t039_min == pytest.approx(
+            (DAY_THRESHOLDS.t039_min + NIGHT_THRESHOLDS.t039_min) / 2
+        )
+
+    def test_figure4_constants(self):
+        # The day set must match the constants hard-coded in Figure 4.
+        assert DAY_THRESHOLDS.t039_min == 310.0
+        assert DAY_THRESHOLDS.diff_fire == 10.0
+        assert DAY_THRESHOLDS.diff_potential == 8.0
+        assert DAY_THRESHOLDS.std039_fire == 4.0
+        assert DAY_THRESHOLDS.std039_potential == 2.5
+        assert DAY_THRESHOLDS.std108_max == 2.0
+
+    @given(st.floats(min_value=0, max_value=180))
+    def test_monotone_between_night_and_day(self, zenith):
+        got = interpolate_thresholds(zenith)
+        lo = min(DAY_THRESHOLDS.t039_min, NIGHT_THRESHOLDS.t039_min)
+        hi = max(DAY_THRESHOLDS.t039_min, NIGHT_THRESHOLDS.t039_min)
+        assert lo <= got.t039_min <= hi
+
+    @given(st.floats(min_value=70, max_value=90))
+    def test_linear_in_twilight(self, zenith):
+        got = interpolate_thresholds(zenith)
+        w = (90.0 - zenith) / 20.0
+        expected = (
+            NIGHT_THRESHOLDS.diff_fire
+            + (DAY_THRESHOLDS.diff_fire - NIGHT_THRESHOLDS.diff_fire) * w
+        )
+        assert got.diff_fire == pytest.approx(expected)
+
+
+class TestGrids:
+    def test_day_weight_vectorised(self):
+        z = np.array([50.0, 80.0, 100.0])
+        w = day_weight(z)
+        np.testing.assert_allclose(w, [1.0, 0.5, 0.0])
+
+    def test_threshold_grids_keys(self):
+        grids = threshold_grids(np.array([[60.0, 95.0]]))
+        assert set(grids) == {
+            "t039_min",
+            "diff_fire",
+            "diff_potential",
+            "std039_fire",
+            "std039_potential",
+            "std108_max",
+        }
+        assert grids["t039_min"][0, 0] == DAY_THRESHOLDS.t039_min
+        assert grids["t039_min"][0, 1] == NIGHT_THRESHOLDS.t039_min

@@ -1,0 +1,132 @@
+"""The Table 1 cross-validation protocol."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.products import Hotspot, HotspotProduct
+from repro.core.validation import (
+    CrossValidator,
+    ValidationRow,
+    format_table1,
+)
+from repro.geometry import Polygon
+from repro.seviri.modis import ModisDetection
+
+T0 = datetime(2007, 8, 24, 12, 0)
+
+
+def msg_product(cells, when=T0):
+    hotspots = [
+        Hotspot(
+            x=int(lon * 100),
+            y=int(lat * 100),
+            polygon=Polygon.square(lon, lat, 0.036),
+            confidence=1.0,
+            timestamp=when,
+            sensor="MSG2",
+        )
+        for lon, lat in cells
+    ]
+    return HotspotProduct(
+        sensor="MSG2", timestamp=when, chain="plain", hotspots=hotspots
+    )
+
+
+def modis_point(lon, lat, when=T0):
+    return ModisDetection(
+        lon=lon, lat=lat, timestamp=when, confidence=80.0, satellite="Terra"
+    )
+
+
+class TestCounting:
+    def test_perfect_agreement(self):
+        validator = CrossValidator()
+        row = validator.validate(
+            "plain",
+            {T0: [modis_point(22.0, 38.0)]},
+            [msg_product([(22.0, 38.0)])],
+        )
+        assert row.omission_error_pct == 0.0
+        assert row.false_alarm_rate_pct == 0.0
+
+    def test_msg_false_alarm(self):
+        validator = CrossValidator()
+        row = validator.validate(
+            "plain",
+            {T0: [modis_point(22.0, 38.0)]},
+            [msg_product([(22.0, 38.0), (25.0, 40.0)])],
+        )
+        assert row.total_msg == 2
+        assert row.msg_detected_by_modis == 1
+        assert row.false_alarm_rate_pct == pytest.approx(50.0)
+
+    def test_msg_omission(self):
+        validator = CrossValidator()
+        row = validator.validate(
+            "plain",
+            {T0: [modis_point(22.0, 38.0), modis_point(25.0, 40.0)]},
+            [msg_product([(22.0, 38.0)])],
+        )
+        assert row.omission_error_pct == pytest.approx(50.0)
+
+    def test_700m_tolerance(self):
+        validator = CrossValidator()
+        # Point just outside the pixel polygon but within 700 m.
+        near = modis_point(22.0 + 0.018 + 0.005, 38.0)
+        far = modis_point(22.0 + 0.018 + 0.02, 38.2)
+        row = validator.validate(
+            "plain",
+            {T0: [near, far]},
+            [msg_product([(22.0, 38.0)])],
+        )
+        assert row.modis_detected_by_msg == 1
+
+    def test_empty_inputs(self):
+        validator = CrossValidator()
+        row = validator.validate("plain", {}, [])
+        assert row.omission_error_pct == 0.0
+        assert row.false_alarm_rate_pct == 0.0
+
+
+class TestMergeWindow:
+    def test_products_merged_within_window(self):
+        validator = CrossValidator(merge_window_minutes=30)
+        products = [
+            msg_product([(22.0, 38.0)], T0 - timedelta(minutes=10)),
+            msg_product([(23.0, 38.5)], T0 + timedelta(minutes=10)),
+            msg_product([(25.0, 40.0)], T0 + timedelta(minutes=40)),  # out
+        ]
+        samples = validator.build_samples({T0: []}, products)
+        assert len(samples) == 1
+        assert len(samples[0].msg_hotspots) == 2
+
+    def test_duplicate_pixels_counted_once(self):
+        validator = CrossValidator(merge_window_minutes=30)
+        products = [
+            msg_product([(22.0, 38.0)], T0 - timedelta(minutes=5)),
+            msg_product([(22.0, 38.0)], T0 + timedelta(minutes=5)),
+        ]
+        samples = validator.build_samples({T0: []}, products)
+        assert len(samples[0].msg_hotspots) == 1
+
+
+class TestReporting:
+    def test_table_format(self):
+        rows = [
+            ValidationRow("Plain chain", 2542, 2219, 2710, 2000),
+            ValidationRow("After refinement", 2542, 2287, 3262, 2301),
+        ]
+        text = format_table1(rows)
+        assert "Plain chain" in text
+        assert "12.71" in text  # the paper's omission error
+        assert "26.20" in text  # the paper's false alarm rate
+
+    def test_paper_rates_reproduce_from_counts(self):
+        # Sanity-check our formulas against the paper's own numbers.
+        plain = ValidationRow("plain", 2542, 2219, 2710, 2000)
+        assert plain.omission_error_pct == pytest.approx(12.71, abs=0.01)
+        assert plain.false_alarm_rate_pct == pytest.approx(26.20, abs=0.01)
+        refined = ValidationRow("refined", 2542, 2287, 3262, 2301)
+        assert refined.omission_error_pct == pytest.approx(10.03, abs=0.01)
+        assert refined.false_alarm_rate_pct == pytest.approx(29.46, abs=0.01)

@@ -1,0 +1,102 @@
+"""Synthetic Greece structural invariants."""
+
+import pytest
+
+from repro.datasets import SyntheticGreece
+from repro.datasets.corine import LEVEL3_KEYS
+from repro.geometry import predicates
+
+
+class TestLandmasses:
+    def test_mainland_is_large(self, greece):
+        assert greece.mainland.area > 5.0
+
+    def test_islands_disjoint_from_mainland(self, greece):
+        for island in greece.islands:
+            assert not predicates.intersects(island, greece.mainland)
+
+    def test_is_land_consistency(self, greece):
+        c = greece.mainland.representative_point()
+        assert greece.is_land(c.x, c.y)
+        assert not greece.is_land(20.51, 34.51)  # far SW corner: open sea
+
+    def test_determinism(self):
+        a = SyntheticGreece(seed=5, detail=1)
+        b = SyntheticGreece(seed=5, detail=1)
+        assert a.mainland.wkt == b.mainland.wkt
+        assert len(a.municipalities) == len(b.municipalities)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticGreece(seed=5, detail=1)
+        b = SyntheticGreece(seed=6, detail=1)
+        assert a.mainland.wkt != b.mainland.wkt
+
+
+class TestAdministrative:
+    def test_prefectures_on_land(self, greece):
+        for pref in greece.prefectures:
+            p = pref.polygon.representative_point()
+            assert greece.is_land(p.x, p.y)
+
+    def test_capitals_inside_prefectures(self, greece):
+        for pref in greece.prefectures:
+            assert pref.polygon.contains_point(
+                (pref.capital.x, pref.capital.y)
+            )
+
+    def test_municipalities_have_parents(self, greece):
+        named = [
+            m
+            for m in greece.municipalities
+            if m.prefecture != "Unassigned"
+        ]
+        assert len(named) >= len(greece.municipalities) * 0.8
+
+    def test_municipality_lookup(self, greece):
+        mun = greece.municipalities[0]
+        c = mun.polygon.representative_point()
+        found = greece.municipality_at(c.x, c.y)
+        assert found is not None
+
+    def test_populations_positive(self, greece):
+        assert all(p.population > 0 for p in greece.prefectures)
+        assert all(m.population > 0 for m in greece.municipalities)
+
+
+class TestLandCover:
+    def test_classes_valid(self, greece):
+        assert {a.code for a in greece.land_cover} <= LEVEL3_KEYS
+
+    def test_cover_at_land_point(self, greece):
+        c = greece.mainland.representative_point()
+        assert greece.land_cover_at(c.x, c.y) in LEVEL3_KEYS
+
+    def test_cover_at_sea_is_none(self, greece):
+        assert greece.land_cover_at(20.51, 34.51) is None
+
+    def test_urban_cores_near_capitals(self, greece):
+        for pref in greece.prefectures:
+            code = greece.land_cover_at(pref.capital.x, pref.capital.y)
+            assert code == "continuousUrbanFabric"
+
+    def test_coverage_fraction(self, greece):
+        total_cover = sum(a.polygon.area for a in greece.land_cover)
+        land = sum(p.area for p in greece.land_polygons)
+        # Voronoi partition of land + urban overlays: near-complete cover.
+        assert total_cover > 0.9 * land
+
+
+class TestInfrastructure:
+    def test_every_municipality_has_fire_station(self, greece):
+        stations = [a for a in greece.amenities if a.kind == "FireStation"]
+        assert len(stations) >= len(greece.municipalities)
+
+    def test_roads_connect_capitals(self, greece):
+        primaries = [r for r in greece.roads if r.highway_class == "Primary"]
+        assert len(primaries) == len(greece.prefectures) - 1
+
+    def test_placenames_include_capitals(self, greece):
+        capitals = [
+            p for p in greece.placenames if p.feature_code == "P.PPLA"
+        ]
+        assert len(capitals) == len(greece.prefectures)

@@ -1,0 +1,132 @@
+"""RDF conversion of the auxiliary datasets (§3.2.3 vocabularies)."""
+
+import pytest
+
+from repro.datasets.corine import (
+    CLC_TAXONOMY,
+    FIRE_CONSISTENT_KEYS,
+    FIRE_INCONSISTENT_KEYS,
+)
+from repro.rdf import CLC, COAST, GAG, GN, LGDO, RDF, RDFS, STRDF
+from repro.rdf.term import Literal
+
+
+class TestCoastline:
+    def test_one_instance_per_landmass(self, strabon_with_aux, greece):
+        r = strabon_with_aux.select(
+            "PREFIX coast: <http://teleios.di.uoa.gr/ontologies/coastlineOntology.owl#>\n"
+            "SELECT ?c WHERE { ?c a coast:Coastline }"
+        )
+        assert len(r) == len(greece.land_polygons)
+
+    def test_geometries_valid(self, strabon_with_aux):
+        for _, _, lit in strabon_with_aux.graph.triples(
+            None, STRDF.hasGeometry, None
+        ):
+            assert isinstance(lit, Literal)
+            if lit.is_geometry:
+                assert not isinstance(lit.value, str)
+
+
+class TestCorine:
+    def test_taxonomy_loaded(self, strabon_with_aux):
+        assert (
+            CLC.ConiferousForest,
+            RDFS.subClassOf,
+            CLC.Forests,
+        ) in strabon_with_aux.graph
+        assert (
+            CLC.Forests,
+            RDFS.subClassOf,
+            CLC.ForestsAndSemiNaturalAreas,
+        ) in strabon_with_aux.graph
+
+    def test_every_area_has_landuse_and_geometry(self, strabon_with_aux):
+        r = strabon_with_aux.select(
+            "PREFIX clc: <http://teleios.di.uoa.gr/ontologies/clcOntology.owl#>\n"
+            "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+            "SELECT ?a WHERE { ?a a clc:Area ; clc:hasLandUse ?lu ; "
+            "strdf:hasGeometry ?g }"
+        )
+        count = strabon_with_aux.graph.count(None, CLC.hasLandUse, None)
+        assert len(r) == count
+
+    def test_level1_query_reaches_level3_instances(self, strabon_with_aux):
+        r = strabon_with_aux.select(
+            "PREFIX clc: <http://teleios.di.uoa.gr/ontologies/clcOntology.owl#>\n"
+            "SELECT DISTINCT ?lu WHERE { ?lu a clc:ForestsAndSemiNaturalAreas }"
+        )
+        locals_ = {row["lu"].local_name() for row in r}
+        assert locals_ <= FIRE_CONSISTENT_KEYS | {"beachesDunesSands"}
+        assert "coniferousForest" in locals_
+
+    def test_consistent_and_inconsistent_disjoint(self):
+        assert not (FIRE_CONSISTENT_KEYS & FIRE_INCONSISTENT_KEYS)
+
+    def test_taxonomy_covers_all_keys(self):
+        for key, (l3, l2, l1) in CLC_TAXONOMY.items():
+            assert l3 and l2 and l1
+
+
+class TestGag:
+    def test_municipalities_typed_dhmos(self, strabon_with_aux, greece):
+        r = strabon_with_aux.select(
+            "PREFIX gag: <http://teleios.di.uoa.gr/ontologies/gagOntology.owl#>\n"
+            "SELECT ?m WHERE { ?m a gag:Dhmos }"
+        )
+        assert len(r) == len(greece.municipalities)
+
+    def test_paper_query5_shape(self, strabon_with_aux):
+        r = strabon_with_aux.select(
+            """
+PREFIX gag: <http://teleios.di.uoa.gr/ontologies/gagOntology.owl#>
+PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+SELECT ?municipality ?mYpesCode ?mContainer ?mLabel
+  ( strdf:boundary(?mGeo) as ?mBoundary )
+WHERE {
+  ?municipality a gag:Dhmos ;
+      noa:hasYpesCode ?mYpesCode ;
+      gag:isPartOf ?mContainer ;
+      rdfs:label ?mLabel ;
+      strdf:hasGeometry ?mGeo . }
+"""
+        )
+        assert len(r) > 0
+        first = r.rows[0]
+        assert first["mBoundary"].value.length > 0
+
+
+class TestLinkedGeoDataAndGeoNames:
+    def test_fire_stations_present(self, strabon_with_aux):
+        r = strabon_with_aux.select(
+            "PREFIX lgdo: <http://linkedgeodata.org/ontology/>\n"
+            "SELECT ?n WHERE { ?n a lgdo:FireStation }"
+        )
+        assert len(r) > 10
+
+    def test_roads_typed_by_class(self, strabon_with_aux, greece):
+        r = strabon_with_aux.select(
+            "PREFIX lgdo: <http://linkedgeodata.org/ontology/>\n"
+            "SELECT ?w WHERE { ?w a lgdo:Primary }"
+        )
+        primaries = [
+            rd for rd in greece.roads if rd.highway_class == "Primary"
+        ]
+        assert len(r) == len(primaries)
+
+    def test_geonames_capitals_have_ppla_code(self, strabon_with_aux, greece):
+        r = strabon_with_aux.select(
+            "PREFIX gn: <http://www.geonames.org/ontology#>\n"
+            "SELECT ?f ?name WHERE { ?f a gn:Feature ; "
+            "gn:featureCode gn:P.PPLA ; gn:name ?name }"
+        )
+        assert len(r) == len(greece.prefectures)
+
+    def test_country_code_gr(self, strabon_with_aux):
+        r = strabon_with_aux.select(
+            "PREFIX gn: <http://www.geonames.org/ontology#>\n"
+            'SELECT ?f WHERE { ?f gn:countryCode "GR" }'
+        )
+        assert len(r) > 0

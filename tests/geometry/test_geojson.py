@@ -1,0 +1,107 @@
+"""GeoJSON encoding/decoding."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    loads_wkt,
+)
+from repro.geometry.errors import GeometryError
+from repro.geometry.geojson import (
+    feature,
+    feature_collection,
+    from_geojson,
+    to_geojson,
+)
+
+finite = st.floats(
+    min_value=-180, max_value=180, allow_nan=False, allow_infinity=False
+).map(lambda v: round(v, 6))
+
+
+class TestEncoding:
+    def test_point(self):
+        assert to_geojson(Point(21.5, 38.0)) == {
+            "type": "Point",
+            "coordinates": [21.5, 38.0],
+        }
+
+    def test_polygon_with_hole(self):
+        donut = loads_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(4 4, 6 4, 6 6, 4 6, 4 4))"
+        )
+        encoded = to_geojson(donut)
+        assert encoded["type"] == "Polygon"
+        assert len(encoded["coordinates"]) == 2
+
+    def test_json_serialisable(self):
+        geom = MultiPolygon(
+            [Polygon.square(0, 0, 2), Polygon.square(5, 5, 2)]
+        )
+        text = json.dumps(to_geojson(geom))
+        assert "MultiPolygon" in text
+
+    def test_collection(self):
+        gc = GeometryCollection([Point(1, 2), LineString([(0, 0), (1, 1)])])
+        encoded = to_geojson(gc)
+        assert encoded["type"] == "GeometryCollection"
+        assert len(encoded["geometries"]) == 2
+
+
+class TestDecoding:
+    def test_unknown_type_raises(self):
+        with pytest.raises(GeometryError):
+            from_geojson({"type": "Circle", "coordinates": [0, 0, 1]})
+
+    def test_z_coordinates_dropped(self):
+        got = from_geojson(
+            {"type": "LineString", "coordinates": [[0, 0, 5], [1, 1, 6]]}
+        )
+        assert got.coords == ((0.0, 0.0), (1.0, 1.0))
+
+    @pytest.mark.parametrize(
+        "wkt",
+        [
+            "POINT (21.7 38.2)",
+            "LINESTRING (0 0, 1 1, 2 0)",
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+            "MULTIPOINT ((1 2), (3 4))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))",
+            "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))",
+        ],
+    )
+    def test_roundtrip_all_types(self, wkt):
+        geom = loads_wkt(wkt)
+        back = from_geojson(json.loads(json.dumps(to_geojson(geom))))
+        assert back.geom_type == geom.geom_type
+        assert back.area == pytest.approx(geom.area)
+        assert back.length == pytest.approx(geom.length)
+
+    @given(finite, finite)
+    def test_point_roundtrip_property(self, x, y):
+        back = from_geojson(to_geojson(Point(x, y)))
+        assert back == Point(x, y)
+
+
+class TestFeatures:
+    def test_feature_wrapper(self):
+        f = feature(Point(1, 2), {"name": "Patras"})
+        assert f["type"] == "Feature"
+        assert f["properties"]["name"] == "Patras"
+
+    def test_feature_collection(self):
+        fc = feature_collection([feature(Point(1, 2), {})])
+        assert fc["type"] == "FeatureCollection"
+        assert len(fc["features"]) == 1

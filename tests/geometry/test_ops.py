@@ -1,0 +1,195 @@
+"""Constructive operations: intersection, union, difference, boundary,
+buffer — the machinery behind strdf:intersection / strdf:union /
+strdf:boundary."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    loads_wkt,
+    ops,
+)
+
+finite = st.floats(
+    min_value=-20, max_value=20, allow_nan=False, allow_infinity=False
+)
+side = st.floats(min_value=0.5, max_value=8)
+
+
+class TestIntersection:
+    def test_overlapping_squares(self):
+        got = ops.intersection(Polygon.square(0, 0, 2), Polygon.square(1, 1, 2))
+        assert got.area == pytest.approx(1.0)
+
+    def test_disjoint_is_empty(self):
+        got = ops.intersection(Polygon.square(0, 0, 1), Polygon.square(9, 9, 1))
+        assert got.is_empty
+
+    def test_contained_returns_inner(self):
+        inner = Polygon.square(0, 0, 2)
+        got = ops.intersection(Polygon.square(0, 0, 10), inner)
+        assert got.area == pytest.approx(inner.area)
+
+    def test_concave_with_convex(self):
+        # A U-shaped polygon clipped by a square.
+        u_shape = Polygon(
+            [(0, 0), (6, 0), (6, 5), (4, 5), (4, 2), (2, 2), (2, 5), (0, 5)]
+        )
+        clip = Polygon([(0, 3), (6, 3), (6, 6), (0, 6)])
+        got = ops.intersection(u_shape, clip)
+        # Two prongs of the U: each 2 x 2.
+        assert got.area == pytest.approx(8.0)
+
+    def test_point_in_polygon(self):
+        got = ops.intersection(Point(0.5, 0.5), Polygon.square(0.5, 0.5, 1))
+        assert isinstance(got, Point)
+
+    def test_point_outside_polygon_empty(self):
+        got = ops.intersection(Point(5, 5), Polygon.square(0, 0, 1))
+        assert got.is_empty
+
+    def test_line_clipped_by_polygon(self):
+        line = LineString([(-2, 0), (2, 0)])
+        poly = Polygon.square(0, 0, 2)
+        got = ops.intersection(line, poly)
+        assert got.length == pytest.approx(2.0)
+
+    def test_hotspot_coast_clip(self):
+        # The RefineInCoast core computation.
+        hotspot = loads_wkt(
+            "POLYGON ((21.9 37.5, 22.1 37.5, 22.1 37.7, 21.9 37.7, 21.9 37.5))"
+        )
+        coast = loads_wkt(
+            "POLYGON ((21 37, 22 37, 22 38.5, 21 38.5, 21 37))"
+        )
+        got = ops.intersection(hotspot, coast)
+        assert got.area == pytest.approx(0.02, rel=1e-6)
+
+
+class TestUnion:
+    def test_overlapping_dissolved(self):
+        got = ops.union(Polygon.square(0, 0, 2), Polygon.square(1, 1, 2))
+        assert got.area == pytest.approx(7.0)
+
+    def test_disjoint_kept_as_parts(self):
+        got = ops.union(Polygon.square(0, 0, 2), Polygon.square(9, 9, 2))
+        assert isinstance(got, MultiPolygon)
+        assert got.area == pytest.approx(8.0)
+
+    def test_contained_collapses(self):
+        got = ops.union(Polygon.square(0, 0, 10), Polygon.square(0, 0, 2))
+        assert got.area == pytest.approx(100.0)
+
+    def test_union_all_chain(self):
+        squares = [Polygon.square(i * 1.5, 0, 2) for i in range(4)]
+        got = ops.union_all(squares)
+        # Overlapping chain: total span 2 + 3*1.5 = 6.5 wide, 2 tall.
+        assert got.area == pytest.approx(13.0)
+
+    def test_union_all_empty(self):
+        assert ops.union_all([]).is_empty
+
+    def test_union_with_empty_operand(self):
+        square = Polygon.square(0, 0, 2)
+        assert ops.union(square, ops.EMPTY).area == pytest.approx(4.0)
+
+
+class TestDifference:
+    def test_partial_overlap(self):
+        got = ops.difference(Polygon.square(0, 0, 2), Polygon.square(1, 1, 2))
+        assert got.area == pytest.approx(3.0)
+
+    def test_hole_punched(self):
+        got = ops.difference(Polygon.square(0, 0, 10), Polygon.square(0, 0, 2))
+        assert got.area == pytest.approx(96.0)
+        assert not got.intersects(Point(0, 0))
+
+    def test_disjoint_unchanged(self):
+        square = Polygon.square(0, 0, 2)
+        got = ops.difference(square, Polygon.square(9, 9, 1))
+        assert got.area == pytest.approx(square.area)
+
+    def test_swallowed_is_empty(self):
+        got = ops.difference(Polygon.square(0, 0, 2), Polygon.square(0, 0, 10))
+        assert got.is_empty
+
+    def test_line_minus_polygon(self):
+        line = LineString([(-2, 0), (2, 0)])
+        got = ops.difference(line, Polygon.square(0, 0, 2))
+        assert got.length == pytest.approx(2.0)
+
+
+class TestBoundaryAndBuffer:
+    def test_polygon_boundary_is_ring(self):
+        got = ops.boundary(Polygon.square(0, 0, 2))
+        assert isinstance(got, LineString)
+        assert got.length == pytest.approx(8.0)
+
+    def test_polygon_with_hole_boundary(self):
+        donut = loads_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(4 4, 6 4, 6 6, 4 6, 4 4))"
+        )
+        got = ops.boundary(donut)
+        assert isinstance(got, MultiLineString)
+        assert got.length == pytest.approx(48.0)
+
+    def test_open_line_boundary_is_endpoints(self):
+        got = ops.boundary(LineString([(0, 0), (1, 0), (1, 1)]))
+        assert isinstance(got, MultiPoint)
+        assert len(got) == 2
+
+    def test_point_boundary_empty(self):
+        assert ops.boundary(Point(1, 1)).is_empty
+
+    def test_point_buffer_area(self):
+        got = ops.buffer(Point(0, 0), 1.0, resolution=64)
+        assert got.area == pytest.approx(math.pi, rel=0.01)
+
+    def test_buffer_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            ops.buffer(Point(0, 0), -1.0)
+
+    def test_convex_hull(self):
+        got = ops.convex_hull(
+            MultiPoint([Point(0, 0), Point(2, 0), Point(1, 3), Point(1, 1)])
+        )
+        assert isinstance(got, Polygon)
+        assert got.area == pytest.approx(3.0)
+
+
+class TestBooleanProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(finite, finite, side, finite, finite, side)
+    def test_inclusion_exclusion(self, ax, ay, asz, bx, by, bsz):
+        a = Polygon.square(ax, ay, asz)
+        b = Polygon.square(bx, by, bsz)
+        inter = ops.intersection(a, b).area
+        union = ops.union(a, b).area
+        assert union == pytest.approx(a.area + b.area - inter, rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite, finite, side, finite, finite, side)
+    def test_difference_partition(self, ax, ay, asz, bx, by, bsz):
+        a = Polygon.square(ax, ay, asz)
+        b = Polygon.square(bx, by, bsz)
+        inter = ops.intersection(a, b).area
+        diff = ops.difference(a, b).area
+        assert diff + inter == pytest.approx(a.area, rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite, finite, side, finite, finite, side)
+    def test_intersection_commutative_area(self, ax, ay, asz, bx, by, bsz):
+        a = Polygon.square(ax, ay, asz)
+        b = Polygon.square(bx, by, bsz)
+        assert ops.intersection(a, b).area == pytest.approx(
+            ops.intersection(b, a).area, rel=1e-6, abs=1e-9
+        )

@@ -1,0 +1,189 @@
+"""Spatial predicate semantics (the strdf:* relations)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    LineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+    loads_wkt,
+    predicates as P,
+)
+
+finite = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.fixture
+def unit_square():
+    return Polygon.square(0.5, 0.5, 1.0)
+
+
+class TestIntersects:
+    def test_point_in_polygon(self, unit_square):
+        assert P.intersects(Point(0.5, 0.5), unit_square)
+
+    def test_point_on_boundary(self, unit_square):
+        assert P.intersects(Point(0.0, 0.5), unit_square)
+
+    def test_point_outside(self, unit_square):
+        assert not P.intersects(Point(2, 2), unit_square)
+
+    def test_polygon_polygon_overlap(self):
+        assert P.intersects(Polygon.square(0, 0, 2), Polygon.square(1, 1, 2))
+
+    def test_polygon_polygon_touching_edge(self):
+        assert P.intersects(Polygon.square(0, 0, 2), Polygon.square(2, 0, 2))
+
+    def test_polygon_containing_other(self):
+        assert P.intersects(Polygon.square(0, 0, 10), Polygon.square(0, 0, 2))
+
+    def test_line_crossing_polygon(self, unit_square):
+        line = LineString([(-1, 0.5), (2, 0.5)])
+        assert P.intersects(line, unit_square)
+
+    def test_line_outside_polygon(self, unit_square):
+        assert not P.intersects(LineString([(5, 5), (6, 6)]), unit_square)
+
+    def test_line_line_crossing(self):
+        a = LineString([(0, 0), (2, 2)])
+        b = LineString([(0, 2), (2, 0)])
+        assert P.intersects(a, b)
+
+    def test_multipolygon_any_part(self):
+        mp = MultiPolygon([Polygon.square(0, 0, 1), Polygon.square(10, 10, 1)])
+        assert P.intersects(mp, Point(10, 10))
+
+    def test_hole_excludes_point(self):
+        donut = loads_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(4 4, 6 4, 6 6, 4 6, 4 4))"
+        )
+        assert not P.intersects(donut, Point(5, 5))
+        assert P.intersects(donut, Point(1, 1))
+
+
+class TestContains:
+    def test_polygon_contains_point(self, unit_square):
+        assert P.contains(unit_square, Point(0.5, 0.5))
+
+    def test_polygon_covers_boundary_point(self, unit_square):
+        # Our contains() is covers(): boundary points count.
+        assert P.contains(unit_square, Point(0, 0))
+
+    def test_polygon_contains_smaller(self):
+        assert P.contains(Polygon.square(0, 0, 10), Polygon.square(0, 0, 2))
+
+    def test_not_contains_overlapping(self):
+        assert not P.contains(Polygon.square(0, 0, 2), Polygon.square(1, 1, 2))
+
+    def test_within_is_converse(self):
+        inner, outer = Polygon.square(0, 0, 2), Polygon.square(0, 0, 10)
+        assert P.within(inner, outer)
+        assert not P.within(outer, inner)
+
+    def test_polygon_contains_line(self):
+        poly = Polygon.square(0, 0, 10)
+        assert P.contains(poly, LineString([(-2, -2), (2, 2)]))
+        assert not P.contains(poly, LineString([(0, 0), (20, 0)]))
+
+    def test_region_contains_hotspot_pixel(self):
+        # The Query 1 region filter from the paper.
+        region = loads_wkt(
+            "POLYGON((21.027 38.36, 23.77 38.36, 23.77 36.05, "
+            "21.027 36.05, 21.027 38.36))"
+        )
+        pixel = loads_wkt(
+            "POLYGON ((21.52 37.91,21.57 37.91,21.56 37.88,"
+            "21.52 37.87,21.52 37.91))"
+        )
+        assert P.contains(region, pixel)
+
+    def test_hole_breaks_containment(self):
+        donut = loads_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(4 4, 6 4, 6 6, 4 6, 4 4))"
+        )
+        assert not P.contains(donut, Polygon.square(5, 5, 3))
+        assert P.contains(donut, Polygon.square(1.5, 1.5, 1))
+
+
+class TestTouchOverlapCross:
+    def test_touches_edge_adjacent_squares(self):
+        assert P.touches(Polygon.square(0, 0, 2), Polygon.square(2, 0, 2))
+
+    def test_touches_false_for_overlap(self):
+        assert not P.touches(Polygon.square(0, 0, 2), Polygon.square(1, 0, 2))
+
+    def test_touches_point_on_boundary(self, unit_square):
+        assert P.touches(Point(0, 0.5), unit_square)
+
+    def test_overlaps_partial(self):
+        assert P.overlaps(Polygon.square(0, 0, 2), Polygon.square(1, 1, 2))
+
+    def test_overlaps_false_for_containment(self):
+        assert not P.overlaps(Polygon.square(0, 0, 10), Polygon.square(0, 0, 2))
+
+    def test_overlaps_false_for_different_dims(self, unit_square):
+        assert not P.overlaps(unit_square, LineString([(0, 0), (1, 1)]))
+
+    def test_crosses_line_polygon(self, unit_square):
+        assert P.crosses(LineString([(-1, 0.5), (2, 0.5)]), unit_square)
+
+    def test_crosses_false_line_inside(self):
+        poly = Polygon.square(0, 0, 10)
+        assert not P.crosses(LineString([(-1, 0), (1, 0)]), poly)
+
+    def test_equals_same_ring_rotated(self):
+        a = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        b = Polygon([(2, 0), (2, 2), (0, 2), (0, 0)])
+        assert P.equals(a, b)
+
+    def test_disjoint(self):
+        assert P.disjoint(Polygon.square(0, 0, 1), Polygon.square(5, 5, 1))
+
+
+class TestDistance:
+    def test_distance_touching_is_zero(self):
+        assert P.distance(Polygon.square(0, 0, 2), Polygon.square(2, 0, 2)) == 0
+
+    def test_point_to_polygon(self):
+        assert P.distance(Point(5, 0), Polygon.square(0, 0, 2)) == pytest.approx(4.0)
+
+    def test_point_to_point(self):
+        assert P.distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_modis_tolerance_scenario(self):
+        # A MODIS point 700 m from a hotspot pixel edge (Table 1 protocol).
+        pixel = Polygon.square(0, 0, 0.036)  # ~4 km
+        point = Point(0.018 + 0.0063, 0.0)
+        assert P.distance(point, pixel) <= 0.0064
+
+
+class TestProperties:
+    @given(finite, finite, st.floats(min_value=0.5, max_value=5),
+           finite, finite, st.floats(min_value=0.5, max_value=5))
+    def test_intersects_symmetric(self, ax, ay, asz, bx, by, bsz):
+        a = Polygon.square(ax, ay, asz)
+        b = Polygon.square(bx, by, bsz)
+        assert P.intersects(a, b) == P.intersects(b, a)
+
+    @given(finite, finite, st.floats(min_value=0.5, max_value=5))
+    def test_self_relations(self, x, y, size):
+        square = Polygon.square(x, y, size)
+        assert P.intersects(square, square)
+        assert P.contains(square, square)
+        assert P.equals(square, square)
+        assert not P.disjoint(square, square)
+
+    @given(finite, finite, st.floats(min_value=0.5, max_value=5),
+           finite, finite)
+    def test_point_membership_consistency(self, cx, cy, size, px, py):
+        square = Polygon.square(cx, cy, size)
+        point = Point(px, py)
+        if P.contains(square, point):
+            assert P.intersects(square, point)
+            assert P.distance(square, point) == 0

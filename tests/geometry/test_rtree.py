@@ -1,0 +1,119 @@
+"""R-tree index: correctness against brute force."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Envelope, RTree
+
+finite = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+def rand_env(a, b, w, h):
+    return Envelope(a, b, a + abs(w), b + abs(h))
+
+
+env_strategy = st.builds(
+    rand_env,
+    finite,
+    finite,
+    st.floats(min_value=0, max_value=10),
+    st.floats(min_value=0, max_value=10),
+)
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert list(tree.search(Envelope(0, 0, 1, 1))) == []
+        assert tree.nearest(0, 0) == []
+
+    def test_single_item(self):
+        tree = RTree()
+        tree.insert(Envelope(0, 0, 1, 1), "a")
+        assert list(tree.search(Envelope(0.5, 0.5, 2, 2))) == ["a"]
+        assert list(tree.search(Envelope(5, 5, 6, 6))) == []
+
+    def test_min_entries_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+
+    def test_grid_search(self):
+        tree = RTree(max_entries=4)
+        for i in range(10):
+            for j in range(10):
+                tree.insert(Envelope(i, j, i + 0.5, j + 0.5), (i, j))
+        hits = set(tree.search(Envelope(2.25, 2.25, 4.25, 4.25)))
+        assert hits == {(i, j) for i in (2, 3, 4) for j in (2, 3, 4)}
+
+    def test_bulk_load_matches_incremental(self):
+        items = [
+            (Envelope(i, i % 7, i + 1, i % 7 + 1), i) for i in range(100)
+        ]
+        bulk = RTree.bulk_load(items)
+        incremental = RTree()
+        for env, payload in items:
+            incremental.insert(env, payload)
+        probe = Envelope(10, 0, 20, 8)
+        assert set(bulk.search(probe)) == set(incremental.search(probe))
+
+    def test_items_roundtrip(self):
+        items = [(Envelope(i, 0, i + 1, 1), i) for i in range(25)]
+        tree = RTree.bulk_load(items)
+        assert sorted(p for _, p in tree.items()) == list(range(25))
+
+
+class TestNearest:
+    def test_nearest_single(self):
+        tree = RTree.bulk_load(
+            [(Envelope(i, 0, i, 0), i) for i in range(10)]
+        )
+        assert tree.nearest(3.2, 0) == [3]
+
+    def test_nearest_k_ordering(self):
+        tree = RTree.bulk_load(
+            [(Envelope(i, 0, i, 0), i) for i in range(10)]
+        )
+        got = tree.nearest(0.1, 0, k=3)
+        assert got == [0, 1, 2]
+
+    def test_nearest_more_than_size(self):
+        tree = RTree.bulk_load([(Envelope(0, 0, 1, 1), "only")])
+        assert tree.nearest(9, 9, k=5) == ["only"]
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(env_strategy, min_size=0, max_size=60), env_strategy)
+    def test_search_equals_bruteforce(self, envs, probe):
+        items = [(e, i) for i, e in enumerate(envs)]
+        tree = RTree.bulk_load(items)
+        expected = {i for e, i in items if e.intersects(probe)}
+        assert set(tree.search(probe)) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(env_strategy, min_size=1, max_size=40), finite, finite)
+    def test_nearest_equals_bruteforce(self, envs, x, y):
+        items = [(e, i) for i, e in enumerate(envs)]
+        tree = RTree.bulk_load(items)
+        probe = Envelope(x, y, x, y)
+        best = min(items, key=lambda item: item[0].distance(probe))
+        got = tree.nearest(x, y, k=1)[0]
+        got_env = envs[got]
+        assert got_env.distance(probe) == pytest.approx(
+            best[0].distance(probe)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(env_strategy, min_size=0, max_size=50))
+    def test_incremental_insert_consistency(self, envs):
+        tree = RTree(max_entries=5)
+        for i, e in enumerate(envs):
+            tree.insert(e, i)
+        assert len(tree) == len(envs)
+        everything = Envelope(-200, -200, 200, 200)
+        assert set(tree.search(everything)) == set(range(len(envs)))

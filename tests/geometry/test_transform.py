@@ -1,0 +1,74 @@
+"""Coordinate-wise geometry transformation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    GeometryCollection,
+    GreekGrid,
+    LineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+    loads_wkt,
+)
+from repro.geometry.transform import transform_geometry
+
+lon = st.floats(min_value=20.5, max_value=27.0, allow_nan=False)
+lat = st.floats(min_value=34.5, max_value=41.5, allow_nan=False)
+
+
+def shift(dx, dy):
+    return lambda x, y: (x + dx, y + dy)
+
+
+class TestTransform:
+    def test_point(self):
+        got = transform_geometry(Point(1, 2), shift(10, 20))
+        assert got == Point(11, 22)
+
+    def test_polygon_with_hole(self):
+        donut = loads_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(4 4, 6 4, 6 6, 4 6, 4 4))"
+        )
+        got = transform_geometry(donut, shift(100, 0))
+        assert got.area == pytest.approx(donut.area)
+        assert len(got.holes) == 1
+        assert got.envelope.minx == pytest.approx(100.0)
+
+    def test_collection(self):
+        gc = GeometryCollection(
+            [Point(0, 0), LineString([(0, 0), (1, 1)])]
+        )
+        got = transform_geometry(gc, shift(5, 5))
+        assert isinstance(got, GeometryCollection)
+        assert got.geoms[0] == Point(5, 5)
+
+    def test_multipolygon(self):
+        mp = MultiPolygon(
+            [Polygon.square(0, 0, 2), Polygon.square(10, 10, 2)]
+        )
+        got = transform_geometry(mp, shift(1, 1))
+        assert got.area == pytest.approx(8.0)
+
+    def test_identity_preserves_equality(self):
+        poly = Polygon.square(5, 5, 3)
+        got = transform_geometry(poly, lambda x, y: (x, y))
+        assert got == poly
+
+    @given(lon, lat)
+    def test_projection_roundtrip_on_points(self, x, y):
+        grid = GreekGrid()
+        projected = transform_geometry(Point(x, y), grid.forward)
+        back = transform_geometry(projected, grid.inverse)
+        assert back.x == pytest.approx(x, abs=1e-7)
+        assert back.y == pytest.approx(y, abs=1e-7)
+
+    def test_projected_pixel_area_plausible(self):
+        # A 0.04 x 0.04 degree pixel at 38N is roughly 3.5 x 4.45 km.
+        pixel = Polygon.square(23.0, 38.0, 0.04)
+        grid = GreekGrid()
+        projected = transform_geometry(pixel, grid.forward)
+        area_km2 = projected.area / 1e6
+        assert area_km2 == pytest.approx(15.6, rel=0.1)

@@ -1,0 +1,144 @@
+"""WKT parsing and serialisation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    WKTParseError,
+    dumps_wkt,
+    loads_wkt,
+)
+
+finite = st.floats(
+    min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+).map(lambda v: round(v, 6))
+
+
+class TestParsing:
+    def test_point(self):
+        g = loads_wkt("POINT (21.73 38.24)")
+        assert isinstance(g, Point)
+        assert (g.x, g.y) == (21.73, 38.24)
+
+    def test_point_case_insensitive(self):
+        assert isinstance(loads_wkt("point(1 2)"), Point)
+
+    def test_linestring(self):
+        g = loads_wkt("LINESTRING (0 0, 1 1, 2 0)")
+        assert isinstance(g, LineString)
+        assert len(g.coords) == 3
+
+    def test_polygon_from_paper(self):
+        g = loads_wkt(
+            "POLYGON ((21.52 37.91,21.57 37.91,21.56 37.88,"
+            "21.56 37.88,21.52 37.87,21.52 37.91))"
+        )
+        assert isinstance(g, Polygon)
+        assert g.area > 0
+
+    def test_polygon_with_hole(self):
+        g = loads_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(2 2, 4 2, 4 4, 2 4, 2 2))"
+        )
+        assert isinstance(g, Polygon)
+        assert len(g.holes) == 1
+        assert g.area == pytest.approx(96.0)
+
+    def test_multipoint_both_syntaxes(self):
+        a = loads_wkt("MULTIPOINT ((1 2), (3 4))")
+        b = loads_wkt("MULTIPOINT (1 2, 3 4)")
+        assert isinstance(a, MultiPoint) and isinstance(b, MultiPoint)
+        assert len(a) == len(b) == 2
+
+    def test_multipolygon(self):
+        g = loads_wkt(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), "
+            "((5 5, 6 5, 6 6, 5 6, 5 5)))"
+        )
+        assert isinstance(g, MultiPolygon)
+        assert len(g) == 2
+
+    def test_geometrycollection(self):
+        g = loads_wkt(
+            "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))"
+        )
+        assert isinstance(g, GeometryCollection)
+        assert len(g) == 2
+
+    def test_empty_keyword(self):
+        assert loads_wkt("MULTIPOLYGON EMPTY").is_empty
+        assert loads_wkt("POINT EMPTY").is_empty
+        assert loads_wkt("GEOMETRYCOLLECTION EMPTY").is_empty
+
+    def test_z_ordinate_dropped(self):
+        g = loads_wkt("POINT (1 2 3)")
+        assert isinstance(g, Point)
+        assert (g.x, g.y) == (1.0, 2.0)
+
+    def test_scientific_notation(self):
+        g = loads_wkt("POINT (1e2 -2.5E-1)")
+        assert (g.x, g.y) == (100.0, -0.25)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "POINT",
+            "POINT (1)",
+            "POINT (1 2",
+            "TRIANGLE (0 0, 1 1, 2 2)",
+            "POINT (1 2) extra",
+            "POLYGON ((0 0, 1 1))",
+        ],
+    )
+    def test_bad_input_raises(self, bad):
+        with pytest.raises(WKTParseError):
+            loads_wkt(bad)
+
+
+class TestSerialisation:
+    def test_point_roundtrip(self):
+        g = Point(21.5, -4.25)
+        assert loads_wkt(dumps_wkt(g)) == g
+
+    def test_integers_have_no_decimal_zeros(self):
+        assert dumps_wkt(Point(1.0, 2.0)) == "POINT (1 2)"
+
+    def test_multipolygon_roundtrip(self):
+        g = MultiPolygon(
+            [Polygon.square(0, 0, 2), Polygon.square(10, 10, 2)]
+        )
+        back = loads_wkt(dumps_wkt(g))
+        assert isinstance(back, MultiPolygon)
+        assert back.area == pytest.approx(g.area)
+
+    def test_empty_serialisation(self):
+        assert dumps_wkt(MultiPoint([])) == "MULTIPOINT EMPTY"
+
+
+class TestRoundtripProperties:
+    @given(finite, finite)
+    def test_point_roundtrip(self, x, y):
+        g = Point(x, y)
+        assert loads_wkt(dumps_wkt(g)) == g
+
+    @given(st.lists(st.tuples(finite, finite), min_size=2, max_size=8))
+    def test_linestring_roundtrip(self, coords):
+        g = LineString(coords)
+        back = loads_wkt(dumps_wkt(g))
+        assert isinstance(back, LineString)
+        assert back.coords == g.coords
+
+    @given(finite, finite, st.floats(min_value=0.1, max_value=10))
+    def test_square_roundtrip_preserves_area(self, cx, cy, side):
+        g = Polygon.square(cx, cy, side)
+        back = loads_wkt(dumps_wkt(g))
+        assert back.area == pytest.approx(g.area, rel=1e-9)

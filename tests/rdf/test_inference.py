@@ -1,0 +1,61 @@
+"""RDFS subclass inference (rdfs9 + rdfs11)."""
+
+import pytest
+
+from repro.rdf import CLC, Graph, RDF, RDFS, RDFSInference
+
+
+@pytest.fixture
+def taxonomy():
+    g = Graph()
+    g.add(CLC.ConiferousForest, RDFS.subClassOf, CLC.Forests)
+    g.add(CLC.BroadLeavedForest, RDFS.subClassOf, CLC.Forests)
+    g.add(CLC.Forests, RDFS.subClassOf, CLC.ForestsAndSemiNaturalAreas)
+    g.add(CLC.Vineyards, RDFS.subClassOf, CLC.PermanentCrops)
+    g.add(CLC.area1, RDF.type, CLC.ConiferousForest)
+    g.add(CLC.area2, RDF.type, CLC.Vineyards)
+    return g
+
+
+class TestInference:
+    def test_superclasses_transitive(self, taxonomy):
+        inf = RDFSInference(taxonomy)
+        supers = inf.superclasses(CLC.ConiferousForest)
+        assert supers == {CLC.Forests, CLC.ForestsAndSemiNaturalAreas}
+
+    def test_subclasses(self, taxonomy):
+        inf = RDFSInference(taxonomy)
+        subs = inf.subclasses(CLC.ForestsAndSemiNaturalAreas)
+        assert CLC.ConiferousForest in subs
+        assert CLC.Forests in subs
+        assert CLC.Vineyards not in subs
+
+    def test_types_of_instance(self, taxonomy):
+        inf = RDFSInference(taxonomy)
+        types = inf.types_of(CLC.area1)
+        assert CLC.ConiferousForest in types
+        assert CLC.ForestsAndSemiNaturalAreas in types
+        assert CLC.PermanentCrops not in types
+
+    def test_instances_of_superclass(self, taxonomy):
+        inf = RDFSInference(taxonomy)
+        assert set(inf.instances_of(CLC.Forests)) == {CLC.area1}
+        assert set(inf.instances_of(CLC.ConiferousForest)) == {CLC.area1}
+
+    def test_refresh_after_mutation(self, taxonomy):
+        inf = RDFSInference(taxonomy)
+        assert set(inf.instances_of(CLC.Forests)) == {CLC.area1}
+        taxonomy.add(CLC.area3, RDF.type, CLC.BroadLeavedForest)
+        assert set(inf.instances_of(CLC.Forests)) == {CLC.area1, CLC.area3}
+
+    def test_cycle_does_not_hang(self):
+        g = Graph()
+        g.add(CLC.A, RDFS.subClassOf, CLC.B)
+        g.add(CLC.B, RDFS.subClassOf, CLC.A)
+        inf = RDFSInference(g)
+        assert CLC.B in inf.superclasses(CLC.A)
+
+    def test_type_triples_enumeration(self, taxonomy):
+        inf = RDFSInference(taxonomy)
+        got = set(inf.type_triples(CLC.area1))
+        assert (CLC.area1, RDF.type, CLC.Forests) in got

@@ -1,0 +1,134 @@
+"""Turtle parsing and serialisation."""
+
+import pytest
+
+from repro.rdf import (
+    CLC,
+    Graph,
+    Literal,
+    NOA,
+    RDF,
+    RDFS,
+    STRDF,
+    URI,
+    XSD,
+    parse_turtle,
+    serialize_turtle,
+)
+from repro.rdf.turtle import TurtleParseError
+
+PAPER_HOTSPOT = """
+@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .
+@prefix strdf: <http://strdf.di.uoa.gr/ontology#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+noa:Hotspot_1 a noa:Hotspot ;
+    noa:hasAcquisitionDateTime "2007-08-24T18:15:00"^^xsd:dateTime ;
+    noa:hasConfidence 1.0 ;
+    noa:hasConfirmation noa:confirmed ;
+    strdf:hasGeometry "POLYGON ((21.52 37.91,21.57 37.91,21.56 37.88,21.56 37.88,21.52 37.87,21.52 37.91))"^^strdf:geometry ;
+    noa:isDerivedFromSensor "MSG2"^^xsd:string ;
+    noa:isProducedBy noa:noa ;
+    noa:isFromProcessingChain "cloud-masked"^^xsd:string .
+"""
+
+
+class TestParsing:
+    def test_paper_example(self):
+        g = parse_turtle(PAPER_HOTSPOT)
+        assert len(g) == 8
+        assert (NOA.Hotspot_1, RDF.type, NOA.Hotspot) in g
+        geom = g.value(NOA.Hotspot_1, STRDF.hasGeometry)
+        assert geom.is_geometry
+        assert geom.value.area > 0
+
+    def test_object_lists(self):
+        g = parse_turtle("@prefix ex: <http://e/> . ex:a ex:p ex:b, ex:c .")
+        assert len(g) == 2
+
+    def test_numbers_and_booleans(self):
+        g = parse_turtle(
+            "@prefix ex: <http://e/> . ex:a ex:i 42 ; ex:f 2.5 ; ex:b true ."
+        )
+        values = {o.value for _, _, o in g.triples()}
+        assert values == {42, 2.5, True}
+
+    def test_language_tag(self):
+        g = parse_turtle('@prefix ex: <http://e/> . ex:a ex:name "Patras"@en .')
+        lit = g.value(ex_a := ex(g), None)
+        assert lit.language == "en"
+
+    def test_comments_ignored(self):
+        g = parse_turtle(
+            "# header\n@prefix ex: <http://e/> . ex:a ex:p ex:b . # trailing"
+        )
+        assert len(g) == 1
+
+    def test_blank_nodes(self):
+        g = parse_turtle(
+            "@prefix ex: <http://e/> . _:x ex:p ex:b . ex:a ex:q [ ex:r ex:c ] ."
+        )
+        assert len(g) == 3
+
+    def test_well_known_prefix_fallback(self):
+        # clc: is available without @prefix.
+        g = parse_turtle("clc:Area_1 a clc:Area .")
+        assert (CLC.Area_1, RDF.type, CLC.Area) in g
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("bogus:a bogus:p bogus:c .")
+
+    def test_long_string(self):
+        g = parse_turtle(
+            '@prefix ex: <http://e/> . ex:a ex:doc """line1\nline2""" .'
+        )
+        lit = next(iter(g.triples()))[2]
+        assert "line1\nline2" == lit.lexical
+
+    def test_escapes(self):
+        g = parse_turtle(
+            '@prefix ex: <http://e/> . ex:a ex:p "tab\\there" .'
+        )
+        assert next(iter(g.triples()))[2].lexical == "tab\there"
+
+    def test_semicolon_before_dot_tolerated(self):
+        g = parse_turtle("@prefix ex: <http://e/> . ex:a ex:p ex:b ; .")
+        assert len(g) == 1
+
+
+def ex(graph: Graph):
+    return next(iter(graph.subjects()))
+
+
+class TestRoundtrip:
+    def test_serialise_and_reparse(self):
+        g = parse_turtle(PAPER_HOTSPOT)
+        text = serialize_turtle(g)
+        g2 = parse_turtle(text)
+        assert len(g2) == len(g)
+        for t in g.triples():
+            assert t in g2
+
+    def test_roundtrip_with_special_characters(self):
+        g = Graph()
+        g.add(NOA.x, RDFS.label, Literal('he said "hi"'))
+        g.add(NOA.x, NOA.note, Literal("multi\nline"))
+        g2 = parse_turtle(serialize_turtle(g))
+        assert len(g2) == 2
+        for t in g.triples():
+            assert t in g2
+
+    def test_roundtrip_typed_literals(self):
+        g = Graph()
+        g.add(NOA.x, NOA.c, Literal("0.5", datatype=XSD.base + "float"))
+        g.add(NOA.x, NOA.n, Literal(7))
+        g2 = parse_turtle(serialize_turtle(g))
+        for t in g.triples():
+            assert t in g2
+
+    def test_prefixes_emitted_once(self):
+        g = Graph()
+        g.add(NOA.a, RDF.type, NOA.Hotspot)
+        text = serialize_turtle(g)
+        assert text.count("@prefix noa:") == 1

@@ -1,0 +1,63 @@
+"""Property-based Turtle round trips over randomly generated graphs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Graph, Literal, NOA, URI, XSD, parse_turtle, serialize_turtle
+
+_subjects = st.integers(min_value=0, max_value=5).map(
+    lambda i: NOA.term(f"s{i}")
+)
+_predicates = st.integers(min_value=0, max_value=4).map(
+    lambda i: NOA.term(f"p{i}")
+)
+
+_safe_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        categories=("L", "N", "P", "Zs"),
+        exclude_characters="\r",
+    ),
+    max_size=40,
+)
+
+_objects = st.one_of(
+    st.integers(min_value=0, max_value=5).map(lambda i: NOA.term(f"o{i}")),
+    st.integers(min_value=-1000, max_value=1000).map(Literal),
+    st.floats(
+        min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+    ).map(Literal),
+    st.booleans().map(Literal),
+    _safe_text.map(Literal),
+    _safe_text.map(lambda t: Literal(t, language="en")),
+    _safe_text.map(
+        lambda t: Literal(t, datatype=XSD.base + "string")
+    ),
+)
+
+_triples = st.lists(
+    st.tuples(_subjects, _predicates, _objects), max_size=40
+)
+
+
+class TestTurtleRoundtripProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(_triples)
+    def test_serialise_parse_identity(self, triples):
+        g = Graph()
+        for s, p, o in triples:
+            g.add(s, p, o)
+        text = serialize_turtle(g)
+        back = parse_turtle(text)
+        assert len(back) == len(g)
+        for t in g.triples():
+            assert t in back
+
+    @settings(max_examples=25, deadline=None)
+    @given(_triples)
+    def test_double_roundtrip_stable(self, triples):
+        g = Graph()
+        for s, p, o in triples:
+            g.add(s, p, o)
+        once = serialize_turtle(parse_turtle(serialize_turtle(g)))
+        twice = serialize_turtle(parse_turtle(once))
+        assert once == twice

@@ -1,0 +1,133 @@
+"""Fire season simulation and thermal scene synthesis."""
+
+from datetime import datetime, timedelta, timezone
+
+import numpy as np
+import pytest
+
+from repro.datasets.corine import FIRE_CONSISTENT_KEYS
+from repro.seviri.fires import FireEvent, FireSeason
+from repro.seviri.scene import SceneGenerator
+
+START = datetime(2007, 8, 24, tzinfo=timezone.utc)
+
+
+class TestFireEvent:
+    @pytest.fixture
+    def event(self):
+        return FireEvent(
+            event_id=1,
+            lon=22.0,
+            lat=38.0,
+            start=START + timedelta(hours=10),
+            peak=START + timedelta(hours=13),
+            end=START + timedelta(hours=18),
+            max_radius_km=3.0,
+        )
+
+    def test_inactive_before_start(self, event):
+        assert event.intensity_at(START) == 0.0
+        assert event.footprint(START) is None
+
+    def test_peak_intensity_is_one(self, event):
+        assert event.intensity_at(event.peak) == pytest.approx(1.0)
+
+    def test_linear_growth(self, event):
+        mid = event.start + (event.peak - event.start) / 2
+        assert event.intensity_at(mid) == pytest.approx(0.5)
+
+    def test_decay_to_zero(self, event):
+        assert event.intensity_at(event.end) == pytest.approx(0.0)
+
+    def test_radius_grows(self, event):
+        early = event.radius_km_at(event.start + timedelta(hours=1))
+        late = event.radius_km_at(event.start + timedelta(hours=6))
+        assert 0 < early < late <= event.max_radius_km
+
+    def test_footprint_contains_centre(self, event):
+        poly = event.footprint(event.peak)
+        assert poly is not None
+        assert poly.contains_point((event.lon, event.lat))
+
+
+class TestFireSeason:
+    def test_deterministic(self, greece):
+        a = FireSeason(greece, START, days=1, seed=5)
+        b = FireSeason(greece, START, days=1, seed=5)
+        assert len(a.events) == len(b.events)
+        assert all(
+            (x.lon, x.lat, x.kind) == (y.lon, y.lat, y.kind)
+            for x, y in zip(a.events, b.events)
+        )
+
+    def test_forest_fires_on_flammable_cover(self, greece, season):
+        for event in season.forest_fires():
+            cover = greece.land_cover_at(event.lon, event.lat)
+            assert cover in FIRE_CONSISTENT_KEYS
+
+    def test_agricultural_fires_off_forest(self, greece, season):
+        agri = [e for e in season.events if e.kind == "agricultural"]
+        for event in agri:
+            cover = greece.land_cover_at(event.lon, event.lat)
+            assert cover not in FIRE_CONSISTENT_KEYS
+
+    def test_all_fires_on_land(self, greece, season):
+        for event in season.events:
+            if event.kind != "smoke":
+                assert greece.is_land(event.lon, event.lat)
+
+    def test_active_fires_excludes_smoke(self, season):
+        for event in season.events:
+            if event.kind == "smoke":
+                when = event.peak
+                assert event not in season.active_fires(when)
+
+
+class TestSceneGenerator:
+    def test_land_sea_contrast_at_night(self, scene_generator):
+        img = scene_generator.generate(
+            START + timedelta(hours=2)  # 02:00 UTC: night
+        )
+        land = img.t108[scene_generator.land_mask]
+        sea = img.t108[~scene_generator.land_mask]
+        assert sea.mean() > land.mean()  # sea stays warm at night
+
+    def test_daytime_land_warmer(self, scene_generator):
+        img = scene_generator.generate(START + timedelta(hours=12))
+        land = img.t108[scene_generator.land_mask]
+        sea = img.t108[~scene_generator.land_mask]
+        assert land.mean() > sea.mean()
+
+    def test_deterministic_per_timestamp(self, greece, season):
+        a = SceneGenerator(greece, seed=1).generate(
+            START + timedelta(hours=12), season
+        )
+        b = SceneGenerator(greece, seed=1).generate(
+            START + timedelta(hours=12), season
+        )
+        np.testing.assert_array_equal(a.t039, b.t039)
+
+    def test_fire_raises_t039_far_more_than_t108(
+        self, greece, scene_generator, season
+    ):
+        when = START + timedelta(hours=13)
+        fires = [
+            e for e in season.active_fires(when) if e.intensity_at(when) > 0.6
+        ]
+        assert fires, "expected at least one mature fire at 13:00"
+        quiet = scene_generator.generate(when, season=None)
+        burning = scene_generator.generate(when, season=season)
+        d039 = burning.t039 - quiet.t039
+        d108 = burning.t108 - quiet.t108
+        assert d039.max() > 20.0
+        assert d039.max() > 5 * d108.max()
+
+    def test_land_fraction_plausible(self, scene_generator):
+        frac = scene_generator.land_mask.mean()
+        assert 0.1 < frac < 0.5
+
+    def test_temperatures_physical(self, scene_generator, season):
+        img = scene_generator.generate(START + timedelta(hours=14), season)
+        assert img.t039.min() > 250
+        assert img.t039.max() < 620
+        assert img.t108.max() < 400

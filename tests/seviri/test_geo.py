@@ -1,0 +1,110 @@
+"""Grids and georeferencing."""
+
+import numpy as np
+import pytest
+
+from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
+
+
+class TestTargetGrid:
+    def test_pixel_centres(self):
+        g = TargetGrid(lon0=20.0, lat0=35.0, dlon=0.1, dlat=0.1, nx=10, ny=10)
+        assert float(g.lon(0)) == pytest.approx(20.05)
+        assert float(g.lat(9)) == pytest.approx(35.95)
+
+    def test_index_roundtrip(self):
+        g = TargetGrid()
+        i, j = g.index_of(float(g.lon(50)), float(g.lat(60)))
+        assert (i, j) == (50, 60)
+
+    def test_contains(self):
+        g = TargetGrid()
+        assert g.contains(23.0, 38.0)
+        assert not g.contains(50.0, 38.0)
+
+    def test_pixel_polygon_area(self):
+        g = TargetGrid()
+        poly = g.pixel_polygon(10, 10)
+        assert poly.area == pytest.approx(g.dlon * g.dlat)
+
+    def test_mesh_shape(self):
+        g = TargetGrid(nx=5, ny=7)
+        lon, lat = g.mesh()
+        assert lon.shape == (5, 7)
+
+
+class TestRawGrid:
+    def test_raw_to_geo_monotone(self):
+        raw = RawGrid()
+        lon1, _ = raw.raw_to_geo(0, 0)
+        lon2, _ = raw.raw_to_geo(100, 0)
+        assert lon2 > lon1
+
+    def test_rotation_couples_axes(self):
+        raw = RawGrid()
+        _, lat1 = raw.raw_to_geo(0, 0)
+        _, lat2 = raw.raw_to_geo(100, 0)
+        assert lat1 != lat2  # x motion changes latitude (rotation)
+
+
+class TestGeoReference:
+    def test_fit_quality(self, georeference):
+        # The 2-degree polynomial must reproduce the imaging geometry to a
+        # tiny fraction of a pixel.
+        assert georeference.rms_pixels < 0.05
+
+    def test_geo_to_raw_inverts_raw_to_geo(self, georeference):
+        raw = georeference.raw
+        lon, lat = raw.raw_to_geo(120.0, 130.0)
+        i, j = georeference.geo_to_raw(lon, lat)
+        assert float(i) == pytest.approx(120.0, abs=0.1)
+        assert float(j) == pytest.approx(130.0, abs=0.1)
+
+    def test_resample_constant_field(self, georeference):
+        raw_img = np.full(
+            (georeference.raw.nx, georeference.raw.ny), 42.0
+        )
+        out = georeference.resample(raw_img)
+        assert out.shape == (georeference.target.nx, georeference.target.ny)
+        valid = ~np.isnan(out)
+        assert valid.all()
+        assert (out == 42.0).all()
+
+    def test_resample_gradient_preserved(self, georeference):
+        raw = georeference.raw
+        ii, jj = np.meshgrid(
+            np.arange(raw.nx), np.arange(raw.ny), indexing="ij"
+        )
+        lon, _ = raw.raw_to_geo(ii, jj)
+        out = georeference.resample(lon)
+        target_lon, _ = georeference.target.mesh()
+        # Nearest-neighbour: lon error bounded by one raw pixel.
+        assert np.nanmax(np.abs(out - target_lon)) < raw.dlon * 1.5
+
+    def test_resample_window_offset_equivalence(self, georeference):
+        raw = georeference.raw
+        rng = np.random.default_rng(0)
+        raw_img = rng.normal(300, 5, (raw.nx, raw.ny))
+        window = georeference.crop_window()
+        i_lo, i_hi, j_lo, j_hi = window
+        cropped = raw_img[i_lo:i_hi, j_lo:j_hi]
+        full = georeference.resample(raw_img)
+        windowed = georeference.resample(cropped, window)
+        np.testing.assert_array_equal(
+            np.nan_to_num(full), np.nan_to_num(windowed)
+        )
+
+    def test_crop_window_covers_target(self, georeference):
+        i_lo, i_hi, j_lo, j_hi = georeference.crop_window()
+        assert 0 <= i_lo < i_hi <= georeference.raw.nx
+        assert 0 <= j_lo < j_hi <= georeference.raw.ny
+        # Window must be a strict subset (cropping actually saves work).
+        raw_cells = georeference.raw.nx * georeference.raw.ny
+        window_cells = (i_hi - i_lo) * (j_hi - j_lo)
+        assert window_cells < raw_cells
+
+    def test_source_indices_in_window(self, georeference):
+        gx, gy = georeference.source_indices()
+        i_lo, i_hi, j_lo, j_hi = georeference.crop_window()
+        assert gx.min() >= i_lo and gx.max() < i_hi
+        assert gy.min() >= j_lo and gy.max() < j_hi

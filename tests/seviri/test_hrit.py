@@ -1,0 +1,128 @@
+"""HRIT-like segmented file format."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arraydb.errors import VaultError
+from repro.seviri.hrit import (
+    HRITDriver,
+    image_metadata,
+    read_hrit_image,
+    read_segment,
+    segment_paths_for,
+    write_hrit_segments,
+)
+
+TS = datetime(2010, 8, 22, 9, 35, tzinfo=timezone.utc)
+
+
+class TestRoundtrip:
+    def test_basic_roundtrip(self, tmp_path):
+        grid = np.linspace(250, 350, 15 * 11).reshape(15, 11)
+        paths = write_hrit_segments(str(tmp_path), "MSG2", "IR_039", TS, grid)
+        header, back = read_hrit_image(paths)
+        assert header.sensor == "MSG2"
+        assert header.band == "IR_039"
+        assert header.timestamp == TS
+        assert back.shape == grid.shape
+        assert np.abs(back - grid).max() <= 0.01  # centikelvin quantisation
+
+    def test_out_of_order_segments(self, tmp_path):
+        grid = np.random.default_rng(1).uniform(260, 330, (20, 8))
+        paths = write_hrit_segments(
+            str(tmp_path), "MSG1", "IR_108", TS, grid, segment_count=5
+        )
+        _, back = read_hrit_image(list(reversed(paths)))
+        assert np.abs(back - grid).max() <= 0.01
+
+    def test_uneven_segment_split(self, tmp_path):
+        grid = np.full((10, 4), 300.0)  # 10 rows, 4 segments -> 3/3/3/1
+        paths = write_hrit_segments(
+            str(tmp_path), "MSG2", "IR_039", TS, grid, segment_count=4
+        )
+        _, back = read_hrit_image(paths)
+        assert back.shape == (10, 4)
+
+    def test_missing_segment_detected(self, tmp_path):
+        grid = np.full((8, 8), 300.0)
+        paths = write_hrit_segments(
+            str(tmp_path), "MSG2", "IR_039", TS, grid, segment_count=4
+        )
+        with pytest.raises(VaultError, match="missing segments"):
+            read_hrit_image(paths[:-1])
+
+    def test_mixed_images_detected(self, tmp_path):
+        a = write_hrit_segments(
+            str(tmp_path / "a"), "MSG2", "IR_039", TS, np.full((8, 8), 300.0)
+        )
+        b = write_hrit_segments(
+            str(tmp_path / "b"),
+            "MSG2",
+            "IR_108",
+            TS,
+            np.full((8, 8), 290.0),
+        )
+        with pytest.raises(VaultError, match="different images"):
+            read_hrit_image([a[0], b[1], a[2], b[3]])
+
+    def test_not_hsim_file(self, tmp_path):
+        bogus = tmp_path / "x.hsim"
+        bogus.write_bytes(b"JUNK" + b"\0" * 100)
+        with pytest.raises(VaultError):
+            read_segment(str(bogus))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=40),
+        st.integers(min_value=4, max_value=40),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_roundtrip_shapes(self, rows, cols, segments):
+        import tempfile
+
+        grid = np.random.default_rng(rows * cols).uniform(
+            200, 400, (rows, cols)
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = write_hrit_segments(
+                str(tmp), "MSG2", "IR_039", TS, grid, segment_count=segments
+            )
+            _, back = read_hrit_image(paths)
+        assert back.shape == (rows, cols)
+        assert np.abs(back - grid).max() <= 0.01
+
+
+class TestMetadata:
+    def test_headers_without_decompression(self, tmp_path):
+        grid = np.full((12, 6), 300.0)
+        paths = write_hrit_segments(
+            str(tmp_path), "MSG2", "IR_039", TS, grid, segment_count=3
+        )
+        headers = image_metadata(paths)
+        assert len(headers) == 3
+        assert {h.segment_index for h in headers} == {0, 1, 2}
+        assert all(h.rows == 12 and h.cols == 6 for h in headers)
+
+    def test_segment_paths_filter_by_band(self, tmp_path):
+        write_hrit_segments(
+            str(tmp_path), "MSG2", "IR_039", TS, np.full((4, 4), 1.0), 2
+        )
+        write_hrit_segments(
+            str(tmp_path), "MSG2", "IR_108", TS, np.full((4, 4), 1.0), 2
+        )
+        assert len(segment_paths_for(str(tmp_path))) == 4
+        assert len(segment_paths_for(str(tmp_path), band="IR_039")) == 2
+
+
+class TestDriver:
+    def test_can_handle(self, tmp_path):
+        driver = HRITDriver()
+        paths = write_hrit_segments(
+            str(tmp_path), "MSG2", "IR_039", TS, np.full((4, 4), 1.0), 1
+        )
+        assert driver.can_handle(str(tmp_path))
+        assert driver.can_handle(paths[0])
+        assert not driver.can_handle(str(tmp_path / "nope.txt"))

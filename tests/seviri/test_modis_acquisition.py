@@ -1,0 +1,103 @@
+"""MODIS simulation and acquisition scheduling."""
+
+from datetime import date, datetime, timedelta, timezone
+
+import pytest
+
+from repro.seviri.acquisition import (
+    AcquisitionSchedule,
+    modis_overpasses,
+    msg_schedule,
+)
+from repro.seviri.modis import simulate_modis_detections
+from repro.seviri.sensors import MODIS_AQUA, MODIS_TERRA, MSG1, MSG2
+
+DAY = date(2007, 8, 24)
+START = datetime(2007, 8, 24, tzinfo=timezone.utc)
+
+
+class TestSchedules:
+    def test_msg1_has_288_daily_acquisitions(self):
+        assert len(msg_schedule(DAY, MSG1)) == 24 * 12
+
+    def test_msg2_has_96_daily_acquisitions(self):
+        assert len(msg_schedule(DAY, MSG2)) == 24 * 4
+
+    def test_msg_schedule_rejects_polar(self):
+        with pytest.raises(ValueError):
+            msg_schedule(DAY, MODIS_TERRA)
+
+    def test_modis_four_overpasses(self):
+        passes = modis_overpasses(DAY)
+        assert len(passes) == 4
+        sensors = {a.sensor.name for a in passes}
+        assert sensors == {"MODIS-Terra", "MODIS-Aqua"}
+
+    def test_modis_overpass_utc_shift(self):
+        passes = modis_overpasses(DAY, longitude=23.7)
+        # 09:30 local solar time at 23.7E is ~07:55 UTC.
+        terra_morning = min(
+            a.timestamp for a in passes if a.sensor is MODIS_TERRA
+        )
+        assert terra_morning.hour == 7
+
+    def test_merged_schedule_sorted(self):
+        sched = AcquisitionSchedule(DAY, days=1, sensors=(MSG1, MSG2))
+        merged = list(sched)
+        times = [a.timestamp for a in merged]
+        assert times == sorted(times)
+        assert len(sched.msg_acquisitions()) == 288 + 96
+
+    def test_multi_day(self):
+        sched = AcquisitionSchedule(DAY, days=3, sensors=(MSG2,))
+        assert len(sched.msg_acquisitions()) == 3 * 96
+
+
+class TestModisSimulation:
+    def test_detections_near_active_fires(self, greece, season):
+        when = START + timedelta(hours=13)
+        detections = simulate_modis_detections(
+            greece, season, when, seed=11, false_alarm_rate=0.0
+        )
+        fires = season.active_fires(when)
+        assert detections
+        for det in detections:
+            nearest = min(
+                abs(det.lon - f.lon) + abs(det.lat - f.lat) for f in fires
+            )
+            assert nearest < 0.2
+
+    def test_deterministic_with_seed(self, greece, season):
+        when = START + timedelta(hours=13)
+        a = simulate_modis_detections(greece, season, when, seed=3)
+        b = simulate_modis_detections(greece, season, when, seed=3)
+        assert [(d.lon, d.lat) for d in a] == [(d.lon, d.lat) for d in b]
+
+    def test_no_fires_no_real_detections(self, greece, season):
+        when = START + timedelta(hours=3)  # before first ignition
+        detections = simulate_modis_detections(
+            greece, season, when, seed=5, false_alarm_rate=0.0
+        )
+        assert detections == []
+
+    def test_confidence_range(self, greece, season):
+        when = START + timedelta(hours=14)
+        for det in simulate_modis_detections(greece, season, when, seed=1):
+            assert 0 <= det.confidence <= 100
+
+    def test_more_detections_for_bigger_fires(self, greece, season):
+        early = simulate_modis_detections(
+            greece,
+            season,
+            START + timedelta(hours=10, minutes=30),
+            seed=9,
+            false_alarm_rate=0.0,
+        )
+        late = simulate_modis_detections(
+            greece,
+            season,
+            START + timedelta(hours=15),
+            seed=9,
+            false_alarm_rate=0.0,
+        )
+        assert len(late) >= len(early)

@@ -1,0 +1,160 @@
+"""The SEVIRI Monitor (pre-TELEIOS stream manager, §2)."""
+
+import os
+import shutil
+from datetime import datetime, timedelta, timezone
+
+import numpy as np
+import pytest
+
+from repro.seviri.hrit import write_hrit_segments
+from repro.seviri.monitor import FIRE_BANDS, SeviriMonitor
+
+TS = datetime(2010, 8, 22, 9, 35, tzinfo=timezone.utc)
+
+
+def write_acquisition(directory, when=TS, sensor="MSG2", segments=3):
+    """Both fire bands of one acquisition, as segment files."""
+    paths = {}
+    for band in FIRE_BANDS:
+        grid = np.full((9, 9), 300.0)
+        paths[band] = write_hrit_segments(
+            str(directory), sensor, band, when, grid, segment_count=segments
+        )
+    return paths
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    incoming = tmp_path / "incoming"
+    archive = tmp_path / "archive"
+    incoming.mkdir()
+    return str(incoming), str(archive)
+
+
+class TestScan:
+    def test_metadata_extracted(self, dirs):
+        incoming, archive = dirs
+        write_acquisition(incoming)
+        with SeviriMonitor(incoming, archive) as monitor:
+            assert monitor.scan() == 6  # 3 segments x 2 bands
+            assert monitor.catalog_size() == 6
+
+    def test_rescan_is_idempotent(self, dirs):
+        incoming, archive = dirs
+        write_acquisition(incoming)
+        with SeviriMonitor(incoming, archive) as monitor:
+            monitor.scan()
+            assert monitor.scan() == 0
+
+    def test_irrelevant_bands_filtered(self, dirs):
+        incoming, archive = dirs
+        write_hrit_segments(
+            incoming, "MSG2", "VIS006", TS, np.full((4, 4), 1.0), 2
+        )
+        with SeviriMonitor(incoming, archive) as monitor:
+            assert monitor.scan() == 0
+            assert monitor.filtered_count == 2
+        # Filtered files are removed from the incoming spool.
+        assert not [f for f in os.listdir(incoming) if "VIS006" in f]
+
+    def test_corrupt_file_rejected(self, dirs):
+        incoming, archive = dirs
+        bogus = os.path.join(incoming, "junk.hsim")
+        with open(bogus, "wb") as f:
+            f.write(b"garbage")
+        with SeviriMonitor(incoming, archive) as monitor:
+            assert monitor.scan() == 0
+            assert monitor.rejected_count == 1
+
+
+class TestDispatch:
+    def test_complete_acquisition_dispatched(self, dirs):
+        incoming, archive = dirs
+        write_acquisition(incoming)
+        with SeviriMonitor(incoming, archive) as monitor:
+            monitor.scan()
+            ready = monitor.dispatch_ready()
+        assert len(ready) == 1
+        acq = ready[0]
+        assert acq.sensor == "MSG2"
+        paths039, paths108 = acq.chain_input
+        assert len(paths039) == 3 and len(paths108) == 3
+        # Files were moved to the permanent archive.
+        for path in paths039 + paths108:
+            assert path.startswith(archive)
+            assert os.path.exists(path)
+        assert not os.listdir(incoming)
+
+    def test_out_of_order_arrival(self, dirs):
+        incoming, archive = dirs
+        staging = os.path.join(archive, "..", "staging")
+        os.makedirs(staging)
+        paths = write_acquisition(staging)
+        with SeviriMonitor(incoming, archive) as monitor:
+            # Segments trickle in out of order; nothing dispatches until
+            # both bands are complete.
+            order = [
+                paths["IR_039"][2],
+                paths["IR_108"][0],
+                paths["IR_039"][0],
+                paths["IR_108"][2],
+                paths["IR_039"][1],
+            ]
+            for p in order:
+                shutil.move(p, incoming)
+                monitor.scan()
+                assert monitor.dispatch_ready() == []
+            assert monitor.pending_images()
+            shutil.move(paths["IR_108"][1], incoming)
+            monitor.scan()
+            ready = monitor.dispatch_ready()
+        assert len(ready) == 1
+
+    def test_one_band_missing_blocks_dispatch(self, dirs):
+        incoming, archive = dirs
+        write_hrit_segments(
+            incoming, "MSG2", "IR_039", TS, np.full((6, 6), 300.0), 2
+        )
+        with SeviriMonitor(incoming, archive) as monitor:
+            monitor.scan()
+            assert monitor.dispatch_ready() == []
+
+    def test_multiple_acquisitions(self, dirs):
+        incoming, archive = dirs
+        write_acquisition(incoming, TS)
+        write_acquisition(incoming, TS + timedelta(minutes=15))
+        with SeviriMonitor(incoming, archive) as monitor:
+            monitor.scan()
+            ready = monitor.dispatch_ready()
+        assert len(ready) == 2
+        assert ready[0].timestamp < ready[1].timestamp
+
+    def test_dispatched_files_not_redispatched(self, dirs):
+        incoming, archive = dirs
+        write_acquisition(incoming)
+        with SeviriMonitor(incoming, archive) as monitor:
+            monitor.scan()
+            assert len(monitor.dispatch_ready()) == 1
+            assert monitor.dispatch_ready() == []
+
+
+class TestEndToEnd:
+    def test_monitor_feeds_the_chain(self, dirs, georeference,
+                                     scene_generator, season):
+        from repro.core.legacy import LegacyChain
+
+        incoming, archive = dirs
+        when = datetime(2007, 8, 24, 14, 0, tzinfo=timezone.utc)
+        scene = scene_generator.generate(when, season)
+        write_hrit_segments(incoming, "MSG2", "IR_039", when, scene.t039)
+        write_hrit_segments(incoming, "MSG2", "IR_108", when, scene.t108)
+        with SeviriMonitor(incoming, archive) as monitor:
+            monitor.scan()
+            ready = monitor.dispatch_ready()
+        assert len(ready) == 1
+        product = LegacyChain(georeference).process(ready[0].chain_input)
+        direct = LegacyChain(georeference).process(scene)
+        a = {(h.x, h.y) for h in product.hotspots}
+        b = {(h.x, h.y) for h in direct.hotspots}
+        assert len(a ^ b) <= max(2, len(a) // 5)

@@ -1,0 +1,158 @@
+"""ESRI shapefile writer/reader byte-level round trips."""
+
+import struct
+from datetime import date
+
+import pytest
+
+from repro.geometry import MultiPolygon, Point, Polygon, loads_wkt
+from repro.shapefile import (
+    Field,
+    ShapeRecord,
+    Shapefile,
+    read_shapefile,
+    write_shapefile,
+)
+
+
+@pytest.fixture
+def polygon_layer():
+    fields = [
+        Field("NAME", "C", 16),
+        Field("CONF", "N", 8, 2),
+        Field("COUNT", "N", 6),
+        Field("SEEN", "D"),
+        Field("OK", "L", 1),
+    ]
+    records = [
+        ShapeRecord(
+            Polygon.square(21.5, 38.0, 0.04),
+            {
+                "NAME": "hotspot-1",
+                "CONF": 1.0,
+                "COUNT": 3,
+                "SEEN": date(2007, 8, 24),
+                "OK": True,
+            },
+        ),
+        ShapeRecord(
+            Polygon.square(22.5, 37.0, 0.04),
+            {
+                "NAME": "hotspot-2",
+                "CONF": 0.5,
+                "COUNT": 1,
+                "SEEN": None,
+                "OK": False,
+            },
+        ),
+    ]
+    return Shapefile(fields=fields, records=records)
+
+
+class TestRoundtrip:
+    def test_polygon_layer(self, tmp_path, polygon_layer):
+        base = str(tmp_path / "hotspots")
+        shp, shx, dbf = write_shapefile(polygon_layer, base)
+        back = read_shapefile(base)
+        assert len(back) == 2
+        r0 = back.records[0]
+        assert r0.attributes["NAME"] == "hotspot-1"
+        assert r0.attributes["CONF"] == pytest.approx(1.0)
+        assert r0.attributes["COUNT"] == 3
+        assert r0.attributes["SEEN"] == date(2007, 8, 24)
+        assert r0.attributes["OK"] is True
+        assert back.records[1].attributes["SEEN"] is None
+        assert back.records[1].attributes["OK"] is False
+        assert r0.geometry.area == pytest.approx(0.04 * 0.04)
+
+    def test_point_layer(self, tmp_path):
+        layer = Shapefile(
+            fields=[Field("ID", "N", 4)],
+            records=[
+                ShapeRecord(Point(23.8, 40.4), {"ID": 1}),
+                ShapeRecord(Point(21.7, 38.2), {"ID": 2}),
+            ],
+        )
+        base = str(tmp_path / "points")
+        write_shapefile(layer, base)
+        back = read_shapefile(base + ".shp")
+        assert [r.attributes["ID"] for r in back.records] == [1, 2]
+        assert isinstance(back.records[0].geometry, Point)
+
+    def test_polygon_with_hole(self, tmp_path):
+        donut = loads_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(4 4, 6 4, 6 6, 4 6, 4 4))"
+        )
+        layer = Shapefile(
+            fields=[Field("ID", "N", 4)],
+            records=[ShapeRecord(donut, {"ID": 1})],
+        )
+        base = str(tmp_path / "donut")
+        write_shapefile(layer, base)
+        back = read_shapefile(base)
+        geom = back.records[0].geometry
+        assert geom.area == pytest.approx(96.0)
+
+    def test_multipolygon_flattened(self, tmp_path):
+        mp = MultiPolygon(
+            [Polygon.square(0, 0, 2), Polygon.square(10, 10, 2)]
+        )
+        layer = Shapefile(
+            fields=[Field("ID", "N", 4)],
+            records=[ShapeRecord(mp, {"ID": 1})],
+        )
+        base = str(tmp_path / "mp")
+        write_shapefile(layer, base)
+        back = read_shapefile(base)
+        assert back.records[0].geometry.area == pytest.approx(8.0)
+
+    def test_empty_layer(self, tmp_path):
+        layer = Shapefile(fields=[Field("ID", "N", 4)], records=[])
+        base = str(tmp_path / "empty")
+        write_shapefile(layer, base)
+        back = read_shapefile(base)
+        assert len(back) == 0
+
+
+class TestFormatDetails:
+    def test_magic_number(self, tmp_path, polygon_layer):
+        base = str(tmp_path / "layer")
+        shp, _, _ = write_shapefile(polygon_layer, base)
+        with open(shp, "rb") as f:
+            header = f.read(100)
+        (file_code,) = struct.unpack(">i", header[:4])
+        (version, shape_type) = struct.unpack("<ii", header[28:36])
+        assert file_code == 9994
+        assert version == 1000
+        assert shape_type == 5  # polygon
+
+    def test_shx_record_count(self, tmp_path, polygon_layer):
+        base = str(tmp_path / "layer")
+        _, shx, _ = write_shapefile(polygon_layer, base)
+        with open(shx, "rb") as f:
+            data = f.read()
+        assert (len(data) - 100) // 8 == 2
+
+    def test_dbf_header(self, tmp_path, polygon_layer):
+        base = str(tmp_path / "layer")
+        _, _, dbf = write_shapefile(polygon_layer, base)
+        with open(dbf, "rb") as f:
+            data = f.read()
+        assert data[0] == 0x03
+        (count,) = struct.unpack("<I", data[4:8])
+        assert count == 2
+
+    def test_field_name_length_enforced(self):
+        with pytest.raises(ValueError):
+            Field("WAY_TOO_LONG_NAME", "C", 8)
+
+    def test_bad_field_type(self):
+        with pytest.raises(ValueError):
+            Field("X", "Z", 8)
+
+    def test_not_a_shapefile(self, tmp_path):
+        bogus = tmp_path / "x.shp"
+        bogus.write_bytes(b"\0" * 120)
+        with pytest.raises(ValueError):
+            read_shapefile(str(bogus))

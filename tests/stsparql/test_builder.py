@@ -1,0 +1,162 @@
+"""The fluent stSPARQL query builder."""
+
+import pytest
+
+from repro.stsparql import Strabon
+from repro.stsparql.builder import (
+    SelectBuilder,
+    UpdateBuilder,
+    datetime_literal,
+    wkt_literal,
+)
+
+DATA = """
+@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .
+@prefix strdf: <http://strdf.di.uoa.gr/ontology#> .
+@prefix coast: <http://teleios.di.uoa.gr/ontologies/coastlineOntology.owl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+noa:h1 a noa:Hotspot ;
+  noa:hasAcquisitionDateTime "2007-08-24T14:00:00"^^xsd:dateTime ;
+  noa:hasConfidence 1.0 ;
+  strdf:hasGeometry "POLYGON ((21.3 37.4, 21.5 37.4, 21.5 37.6, 21.3 37.6, 21.3 37.4))"^^strdf:geometry .
+noa:h2 a noa:Hotspot ;
+  noa:hasAcquisitionDateTime "2007-08-25T10:00:00"^^xsd:dateTime ;
+  noa:hasConfidence 0.5 ;
+  strdf:hasGeometry "POLYGON ((30 30, 30.2 30, 30.2 30.2, 30 30.2, 30 30))"^^strdf:geometry .
+coast:c1 a coast:Coastline ;
+  strdf:hasGeometry "POLYGON ((21 37, 22 37, 22 38, 21 38, 21 37))"^^strdf:geometry .
+"""
+
+
+@pytest.fixture
+def engine():
+    s = Strabon()
+    s.load_turtle(DATA)
+    return s
+
+
+class TestSelectBuilder:
+    def test_simple_select(self, engine):
+        result = (
+            SelectBuilder()
+            .select("?h")
+            .where("?h", "a", "noa:Hotspot")
+            .run(engine)
+        )
+        assert len(result) == 2
+
+    def test_spatial_filter_with_constant(self, engine):
+        region = wkt_literal(
+            "POLYGON ((21 37, 22 37, 22 38, 21 38, 21 37))"
+        )
+        result = (
+            SelectBuilder()
+            .select("?h")
+            .where("?h", "a", "noa:Hotspot")
+            .where("?h", "strdf:hasGeometry", "?g")
+            .filter_spatial("anyInteract", "?g", region)
+            .run(engine)
+        )
+        assert [row["h"].local_name() for row in result] == ["h1"]
+
+    def test_time_window(self, engine):
+        result = (
+            SelectBuilder()
+            .select("?h")
+            .where("?h", "noa:hasAcquisitionDateTime", "?t")
+            .filter_time_between(
+                "?t", "2007-08-24T00:00:00", "2007-08-24T23:59:59"
+            )
+            .run(engine)
+        )
+        assert len(result) == 1
+
+    def test_optional_not_bound_idiom(self, engine):
+        result = (
+            SelectBuilder()
+            .select("?h")
+            .where("?h", "a", "noa:Hotspot")
+            .where("?h", "strdf:hasGeometry", "?hGeo")
+            .optional_group(
+                lambda sub: sub.where("?c", "a", "coast:Coastline")
+                .where("?c", "strdf:hasGeometry", "?cGeo")
+                .filter("strdf:anyInteract(?hGeo, ?cGeo)")
+            )
+            .filter_not_bound("?c")
+            .run(engine)
+        )
+        assert [row["h"].local_name() for row in result] == ["h2"]
+
+    def test_aggregation(self, engine):
+        result = (
+            SelectBuilder()
+            .select_expression("COUNT(?h)", "?n")
+            .where("?h", "a", "noa:Hotspot")
+            .run(engine)
+        )
+        assert int(result.rows[0]["n"].lexical) == 2
+
+    def test_order_limit_distinct(self, engine):
+        result = (
+            SelectBuilder()
+            .select("?c")
+            .distinct()
+            .where("?h", "noa:hasConfidence", "?c")
+            .order_by("?c", descending=True)
+            .limit(1)
+            .run(engine)
+        )
+        assert float(result.rows[0]["c"].lexical) == 1.0
+
+    def test_requires_projection_and_pattern(self):
+        with pytest.raises(ValueError):
+            SelectBuilder().where("?s", "?p", "?o").build()
+        with pytest.raises(ValueError):
+            SelectBuilder().select("?s").build()
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            SelectBuilder().prefix("bogus")
+
+    def test_plain_literal_quoting(self, engine):
+        engine.load_turtle(
+            '@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .\n'
+            'noa:h1 noa:isDerivedFromSensor "MSG2" .'
+        )
+        result = (
+            SelectBuilder()
+            .select("?h")
+            .where("?h", "noa:isDerivedFromSensor", "MSG2")
+            .run(engine)
+        )
+        assert len(result) == 1
+
+
+class TestUpdateBuilder:
+    def test_delete_where(self, engine):
+        result = (
+            UpdateBuilder()
+            .delete("?h", "noa:hasConfidence", "?c")
+            .where("?h", "noa:hasConfidence", "?c")
+            .filter("?c < 0.7")
+            .run(engine)
+        )
+        assert result.removed == 1
+
+    def test_insert_where(self, engine):
+        result = (
+            UpdateBuilder()
+            .insert("?h", "noa:flagged", "noa:yes")
+            .where("?h", "a", "noa:Hotspot")
+            .run(engine)
+        )
+        assert result.added == 2
+
+    def test_needs_template(self):
+        with pytest.raises(ValueError):
+            UpdateBuilder().where("?s", "?p", "?o").build()
+
+    def test_datetime_literal_helper(self):
+        assert datetime_literal("2007-08-24T00:00:00").endswith(
+            "^^xsd:dateTime"
+        )

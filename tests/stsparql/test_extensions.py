@@ -1,0 +1,138 @@
+"""Engine extensions: strdf:transform / strdf:srid and the GeoSPARQL
+(geof:) function aliases."""
+
+import pytest
+
+from repro.stsparql import Strabon
+
+PREFIX = (
+    "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+    "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+    "PREFIX geof: <http://www.opengis.net/def/function/geosparql/>\n"
+)
+
+DATA = """
+@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .
+@prefix strdf: <http://strdf.di.uoa.gr/ontology#> .
+noa:athens a noa:Site ;
+  strdf:hasGeometry "POINT (23.7275 37.9838)"^^strdf:geometry .
+noa:pixel a noa:Hotspot ;
+  strdf:hasGeometry "POLYGON ((23.70 37.96, 23.76 37.96, 23.76 38.00, 23.70 38.00, 23.70 37.96))"^^strdf:geometry .
+"""
+
+
+@pytest.fixture
+def engine():
+    s = Strabon()
+    s.load_turtle(DATA)
+    return s
+
+
+class TestTransform:
+    def test_point_to_greek_grid(self, engine):
+        r = engine.select(
+            PREFIX
+            + """SELECT (strdf:transform(?g, "2100") AS ?p) WHERE {
+                noa:athens strdf:hasGeometry ?g }"""
+        )
+        projected = r.rows[0]["p"].value
+        assert projected.x == pytest.approx(476070, abs=60)
+        assert projected.y == pytest.approx(4204050, abs=60)
+
+    def test_roundtrip_through_4326(self, engine):
+        r = engine.select(
+            PREFIX
+            + """SELECT
+              (strdf:transform(strdf:transform(?g, "2100"), "4326") AS ?back)
+              WHERE { noa:athens strdf:hasGeometry ?g }"""
+        )
+        back = r.rows[0]["back"].value
+        assert back.x == pytest.approx(23.7275, abs=1e-6)
+        assert back.y == pytest.approx(37.9838, abs=1e-6)
+
+    def test_polygon_area_in_square_metres(self, engine):
+        # A ~6.6 km x 4.4 km pixel: the projected area must be ~29 km^2.
+        r = engine.select(
+            PREFIX
+            + """SELECT (strdf:area(strdf:transform(?g, "2100")) AS ?a)
+              WHERE { noa:pixel strdf:hasGeometry ?g }"""
+        )
+        area_m2 = float(r.rows[0]["a"].lexical)
+        assert area_m2 == pytest.approx(23.3e6, rel=0.15)
+
+    def test_srid_detection(self, engine):
+        r = engine.select(
+            PREFIX
+            + """SELECT (strdf:srid(?g) AS ?s)
+                (strdf:srid(strdf:transform(?g, "2100")) AS ?s2)
+              WHERE { noa:athens strdf:hasGeometry ?g }"""
+        )
+        assert r.rows[0]["s"].lexical.endswith("4326")
+        assert r.rows[0]["s2"].lexical.endswith("2100")
+
+    def test_unknown_srs_is_error(self, engine):
+        # Errors make the filter false -> zero rows, no exception.
+        r = engine.select(
+            PREFIX
+            + """SELECT ?g WHERE { noa:athens strdf:hasGeometry ?g .
+                FILTER(strdf:area(strdf:transform(?g, "32633")) > 0) }"""
+        )
+        assert len(r) == 0
+
+
+class TestGeoSPARQLAliases:
+    def test_sf_intersects_matches_any_interact(self, engine):
+        strdf_rows = engine.select(
+            PREFIX
+            + """SELECT ?a ?b WHERE {
+              ?a strdf:hasGeometry ?ga . ?b strdf:hasGeometry ?gb .
+              FILTER(strdf:anyInteract(?ga, ?gb)) }"""
+        )
+        geof_rows = engine.select(
+            PREFIX
+            + """SELECT ?a ?b WHERE {
+              ?a strdf:hasGeometry ?ga . ?b strdf:hasGeometry ?gb .
+              FILTER(geof:sfIntersects(?ga, ?gb)) }"""
+        )
+        assert {tuple(sorted((r["a"], r["b"]), key=str)) for r in strdf_rows} \
+            == {tuple(sorted((r["a"], r["b"]), key=str)) for r in geof_rows}
+
+    def test_sf_contains(self, engine):
+        r = engine.select(
+            PREFIX
+            + """SELECT ?x WHERE {
+              noa:athens strdf:hasGeometry ?pg .
+              ?x a noa:Hotspot ; strdf:hasGeometry ?g .
+              FILTER(geof:sfContains(?g, ?pg)) }"""
+        )
+        assert len(r) == 1
+
+    def test_geof_constructors(self, engine):
+        r = engine.select(
+            PREFIX
+            + """SELECT (geof:buffer(?g, 0.01) AS ?b)
+                (geof:boundary(?g) AS ?ring)
+              WHERE { noa:pixel strdf:hasGeometry ?g }"""
+        )
+        row = r.rows[0]
+        assert row["b"].value.area > 0
+        assert row["ring"].value.length > 0
+
+    def test_wkt_literal_datatype_accepted(self):
+        s = Strabon()
+        s.load_turtle(
+            """
+@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .
+@prefix geo: <http://www.opengis.net/ont/geosparql#> .
+noa:x a noa:Site ;
+  geo:asWKT "POINT (21 38)"^^geo:wktLiteral .
+"""
+        )
+        r = s.select(
+            PREFIX
+            + "PREFIX geo: <http://www.opengis.net/ont/geosparql#>\n"
+            + """SELECT ?x WHERE { ?x geo:asWKT ?g .
+                FILTER(geof:sfIntersects(?g,
+                  "POLYGON ((20 37, 22 37, 22 39, 20 39, 20 37))"^^geo:wktLiteral)) }"""
+        )
+        assert len(r) == 1

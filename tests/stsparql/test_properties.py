@@ -1,0 +1,164 @@
+"""Property-based tests of the stSPARQL evaluator's algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Graph, Literal, NOA, RDF, XSD
+from repro.stsparql import Strabon
+
+PREFIX = "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+
+#: Strategy: a small random "sensor readings" graph.
+node_ids = st.integers(min_value=0, max_value=6)
+readings = st.lists(
+    st.tuples(node_ids, st.integers(min_value=-5, max_value=5)),
+    min_size=0,
+    max_size=25,
+)
+
+
+def build_engine(pairs):
+    engine = Strabon()
+    for node_id, value in pairs:
+        node = NOA.term(f"n{node_id}")
+        engine.graph.add(node, RDF.type, NOA.Sensor)
+        engine.graph.add(
+            node,
+            NOA.reading,
+            Literal(str(value), datatype=XSD.base + "integer"),
+        )
+    return engine
+
+
+class TestAlgebraProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(readings, st.integers(min_value=-5, max_value=5))
+    def test_filter_partition(self, pairs, threshold):
+        """FILTER(e) and FILTER(!e) partition the solution multiset."""
+        engine = build_engine(pairs)
+        base = engine.select(
+            PREFIX + "SELECT ?s ?v WHERE { ?s noa:reading ?v }"
+        )
+        above = engine.select(
+            PREFIX
+            + f"SELECT ?s ?v WHERE {{ ?s noa:reading ?v . "
+            f"FILTER(?v > {threshold}) }}"
+        )
+        not_above = engine.select(
+            PREFIX
+            + f"SELECT ?s ?v WHERE {{ ?s noa:reading ?v . "
+            f"FILTER(!(?v > {threshold})) }}"
+        )
+        assert len(above) + len(not_above) == len(base)
+
+    @settings(max_examples=30, deadline=None)
+    @given(readings)
+    def test_union_with_self_doubles(self, pairs):
+        engine = build_engine(pairs)
+        single = engine.select(
+            PREFIX + "SELECT ?s WHERE { ?s a noa:Sensor }"
+        )
+        doubled = engine.select(
+            PREFIX
+            + "SELECT ?s WHERE { { ?s a noa:Sensor } UNION "
+            "{ ?s a noa:Sensor } }"
+        )
+        assert len(doubled) == 2 * len(single)
+
+    @settings(max_examples=30, deadline=None)
+    @given(readings)
+    def test_distinct_is_set_size(self, pairs):
+        engine = build_engine(pairs)
+        distinct = engine.select(
+            PREFIX + "SELECT DISTINCT ?s WHERE { ?s noa:reading ?v }"
+        )
+        expected = len({node_id for node_id, _ in pairs})
+        assert len(distinct) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(readings, st.integers(min_value=0, max_value=30))
+    def test_limit_bounds(self, pairs, limit):
+        engine = build_engine(pairs)
+        base = engine.select(
+            PREFIX + "SELECT ?s ?v WHERE { ?s noa:reading ?v }"
+        )
+        limited = engine.select(
+            PREFIX
+            + f"SELECT ?s ?v WHERE {{ ?s noa:reading ?v }} LIMIT {limit}"
+        )
+        assert len(limited) == min(limit, len(base))
+
+    @settings(max_examples=30, deadline=None)
+    @given(readings)
+    def test_count_aggregate_matches_row_count(self, pairs):
+        engine = build_engine(pairs)
+        base = engine.select(
+            PREFIX + "SELECT ?s ?v WHERE { ?s noa:reading ?v }"
+        )
+        counted = engine.select(
+            PREFIX
+            + "SELECT (COUNT(?v) AS ?n) WHERE { ?s noa:reading ?v }"
+        )
+        assert int(counted.rows[0]["n"].lexical) == len(base)
+
+    @settings(max_examples=30, deadline=None)
+    @given(readings)
+    def test_optional_never_loses_rows(self, pairs):
+        engine = build_engine(pairs)
+        plain = engine.select(
+            PREFIX + "SELECT ?s WHERE { ?s a noa:Sensor }"
+        )
+        with_optional = engine.select(
+            PREFIX
+            + "SELECT ?s WHERE { ?s a noa:Sensor . "
+            "OPTIONAL { ?s noa:missing ?m } }"
+        )
+        assert len(with_optional) == len(plain)
+
+    @settings(max_examples=30, deadline=None)
+    @given(readings)
+    def test_order_by_is_permutation(self, pairs):
+        engine = build_engine(pairs)
+        base = engine.select(
+            PREFIX + "SELECT ?s ?v WHERE { ?s noa:reading ?v }"
+        )
+        ordered = engine.select(
+            PREFIX
+            + "SELECT ?s ?v WHERE { ?s noa:reading ?v } ORDER BY ?v"
+        )
+        assert sorted(map(str, base.column("v"))) == sorted(
+            map(str, ordered.column("v"))
+        )
+        values = [int(t.lexical) for t in ordered.column("v")]
+        assert values == sorted(values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(readings)
+    def test_ask_iff_nonempty(self, pairs):
+        engine = build_engine(pairs)
+        rows = engine.select(
+            PREFIX + "SELECT ?s WHERE { ?s noa:reading ?v }"
+        )
+        assert engine.ask(
+            PREFIX + "ASK { ?s noa:reading ?v }"
+        ) == bool(rows)
+
+    @settings(max_examples=20, deadline=None)
+    @given(readings, st.integers(min_value=-5, max_value=5))
+    def test_update_then_query_consistency(self, pairs, threshold):
+        """Deleting rows below a threshold leaves exactly the rest."""
+        engine = build_engine(pairs)
+        before = engine.select(
+            PREFIX
+            + f"SELECT ?s ?v WHERE {{ ?s noa:reading ?v . "
+            f"FILTER(?v >= {threshold}) }}"
+        )
+        engine.update(
+            PREFIX
+            + f"DELETE {{ ?s noa:reading ?v }} WHERE {{ "
+            f"?s noa:reading ?v . FILTER(?v < {threshold}) }}"
+        )
+        after = engine.select(
+            PREFIX + "SELECT ?s ?v WHERE { ?s noa:reading ?v }"
+        )
+        assert len(after) == len(before)
