@@ -7,11 +7,17 @@ refinement → dissemination.  Prints a situation report per acquisition
 and a final summary comparing the TELEIOS service with the pre-TELEIOS
 configuration.
 
+The whole run executes under the observability layer (``repro.obs``):
+the final sections print the acquisition-budget report against the
+5-minute window and the per-stage breakdown regenerated from the
+recorded spans.
+
 Run:  python examples/crisis_day_monitoring.py
 """
 
 from datetime import datetime, timedelta, timezone
 
+from repro import obs
 from repro.core.render import render_situation_map
 from repro.core.service import FireMonitoringService
 from repro.datasets import SyntheticGreece
@@ -19,6 +25,7 @@ from repro.seviri.fires import FireSeason
 
 
 def main() -> None:
+    obs.enable()
     greece = SyntheticGreece(seed=42, detail=2)
     crisis_start = datetime(2007, 8, 24, tzinfo=timezone.utc)
     season = FireSeason(greece, crisis_start, days=1, seed=7)
@@ -35,9 +42,10 @@ def main() -> None:
         outcome = teleios.process_acquisition(when, season)
         legacy_outcome = legacy.process_acquisition(when, season)
         active = len(season.active_fires(when))
+        refined = outcome.refined_count or 0
         print(
             f"{when:%H:%M}  | {len(outcome.raw_product):4d} "
-            f"{outcome.refined_count:7d} | "
+            f"{refined:7d} | "
             f"{outcome.chain_seconds:8.3f} "
             f"{outcome.refinement_seconds:9.3f} | {active:3d}"
         )
@@ -56,13 +64,18 @@ def main() -> None:
 
     last = teleios.outcomes[-1]
     raw = len(last.raw_product)
-    refined = last.refined_count
+    refined = last.refined_count or 0
     print(
         f"\nAt {last.timestamp:%H:%M} the refinement step removed "
         f"{raw - refined} of {raw} raw detections (sea smoke, "
         f"inconsistent land cover) and annotated the rest with "
         f"municipalities and confirmation states."
     )
+
+    print("\n" + teleios.budget_report())
+    print("\n" + obs.table2_from_spans(
+        obs.get_tracer().spans()
+    ).format())
 
     print(f"\nArchive: {len(teleios.archive)} products filed under "
           f"{teleios.archive.directory}")

@@ -18,6 +18,7 @@ import shutil
 import tempfile
 from datetime import datetime, timedelta, timezone
 
+from repro import obs
 from repro.core.archive import ProductArchive
 from repro.core.legacy import LegacyChain
 from repro.datasets import SyntheticGreece
@@ -29,6 +30,7 @@ from repro.seviri.scene import SceneGenerator
 
 
 def main() -> None:
+    obs.enable()
     greece = SyntheticGreece(seed=42, detail=2)
     start = datetime(2007, 8, 24, 14, 0, tzinfo=timezone.utc)
     season = FireSeason(greece, start.replace(hour=0), days=1, seed=7)
@@ -90,6 +92,17 @@ def main() -> None:
     print(f"\n   latest product reloaded from its shapefile: "
           f"{len(reloaded)} hotspots at {reloaded.timestamp:%H:%M}")
     assert processed == 3
+
+    metrics = obs.get_metrics()
+    scans = metrics.get("monitor_scan_seconds")
+    print("\n5. Observability (repro.obs) over the whole run:")
+    print(f"   segments catalogued : "
+          f"{metrics.get('monitor_segments_received_total').total():.0f}")
+    print(f"   segments dropped    : "
+          f"{metrics.get('monitor_segments_dropped_total').total():.0f}")
+    print(f"   directory scans     : {scans.count()} "
+          f"(p95 {scans.percentile(95) * 1000:.2f} ms)")
+    print("\n" + obs.table2_from_spans(obs.get_tracer().spans()).format())
 
 
 if __name__ == "__main__":

@@ -22,7 +22,18 @@ Subpackages
     Synthetic Greece and the five auxiliary linked-data datasets.
 ``repro.experiments``
     Harnesses regenerating every table and figure of the evaluation.
+``repro.obs``
+    Observability: tracing spans, metrics, exporters and the
+    5-minute-window budget accounting.
+
+Logging follows library practice: ``repro`` attaches a ``NullHandler``
+to its root logger, so nothing is emitted unless the application
+configures handlers (e.g. ``logging.basicConfig(level=logging.INFO)``).
 """
+
+import logging as _logging
+
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -32,6 +43,7 @@ __all__ = [
     "datasets",
     "experiments",
     "geometry",
+    "obs",
     "ontology",
     "rdf",
     "seviri",

@@ -14,6 +14,10 @@ from repro.arraydb.sql.executor import Executor
 from repro.arraydb.sql.parser import parse_script, parse_statement
 from repro.arraydb.table import ResultTable, Table
 from repro.arraydb.vault import DataVault
+from repro.obs import get_metrics, get_tracer, is_enabled
+
+_tracer = get_tracer()
+_metrics = get_metrics()
 
 
 @dataclass
@@ -23,6 +27,8 @@ class ExecStats:
     statement_count: int = 0
     parse_seconds: float = 0.0
     exec_seconds: float = 0.0
+    rows_scanned: int = 0
+    rows_out: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -43,16 +49,49 @@ class MonetDB:
         self.catalog = Catalog()
         self.vault = DataVault(self.catalog)
         self._executor = Executor(self.catalog, vault=self.vault)
+        self._executor_kind = ""
         self.last_stats = ExecStats()
 
     def execute(self, sql: str) -> Optional[ResultTable]:
         """Run one statement; returns a result for SELECTs, else None."""
+        if not is_enabled():
+            return self._execute_plain(sql)
+        with _tracer.span("arraydb.execute") as span:
+            result = self._execute_plain(sql)
+            stats = self.last_stats
+            span.set(
+                kind=self._executor_kind,
+                parse_seconds=stats.parse_seconds,
+                exec_seconds=stats.exec_seconds,
+                rows_scanned=stats.rows_scanned,
+                rows_out=stats.rows_out,
+            )
+        if _metrics.enabled:
+            _metrics.histogram(
+                "arraydb_statement_seconds",
+                "Wall seconds per SciQL statement (parse + execute)",
+            ).observe(stats.total_seconds, kind=self._executor_kind)
+            _metrics.counter(
+                "arraydb_rows_scanned_total",
+                "Rows materialised by table/array scans",
+            ).inc(stats.rows_scanned)
+        return result
+
+    def _execute_plain(self, sql: str) -> Optional[ResultTable]:
         t0 = time.perf_counter()
         stmt = parse_statement(sql)
         t1 = time.perf_counter()
+        scanned_before = self._executor.rows_scanned
         result = self._executor.execute(stmt)
         t2 = time.perf_counter()
-        self.last_stats = ExecStats(1, t1 - t0, t2 - t1)
+        self._executor_kind = type(stmt).__name__
+        self.last_stats = ExecStats(
+            1,
+            t1 - t0,
+            t2 - t1,
+            rows_scanned=self._executor.rows_scanned - scanned_before,
+            rows_out=len(result) if result is not None else 0,
+        )
         return result
 
     def execute_script(self, sql: str) -> List[Optional[ResultTable]]:
@@ -60,9 +99,16 @@ class MonetDB:
         t0 = time.perf_counter()
         statements = parse_script(sql)
         t1 = time.perf_counter()
+        scanned_before = self._executor.rows_scanned
         results = [self._executor.execute(s) for s in statements]
         t2 = time.perf_counter()
-        self.last_stats = ExecStats(len(statements), t1 - t0, t2 - t1)
+        self.last_stats = ExecStats(
+            len(statements),
+            t1 - t0,
+            t2 - t1,
+            rows_scanned=self._executor.rows_scanned - scanned_before,
+            rows_out=sum(len(r) for r in results if r is not None),
+        )
         return results
 
     # -- programmatic shortcuts ------------------------------------------

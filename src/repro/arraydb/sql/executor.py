@@ -90,6 +90,10 @@ class Executor:
     def __init__(self, catalog: Catalog, vault=None) -> None:
         self.catalog = catalog
         self.vault = vault
+        #: Cumulative rows materialised by table/array scans — the
+        #: connection layer diffs this around a statement to report
+        #: rows-scanned per statement.
+        self.rows_scanned = 0
 
     # -- statement dispatch --------------------------------------------------
 
@@ -357,10 +361,13 @@ class Executor:
                 ]
                 while len(slices) < len(obj.dimensions):
                     slices.append(None)  # type: ignore[arg-type]
-            return Frame.from_result(obj.scan(slices), qualifier)
-        if ref.slices:
+            frame = Frame.from_result(obj.scan(slices), qualifier)
+        elif ref.slices:
             raise SQLRuntimeError(f"{ref.name!r} is not an array; cannot slice")
-        return Frame.from_result(obj.scan(), qualifier)
+        else:
+            frame = Frame.from_result(obj.scan(), qualifier)
+        self.rows_scanned += frame.num_rows
+        return frame
 
     def _join(
         self, left: Frame, right: Frame, condition: ast.Expr

@@ -10,13 +10,19 @@ an attached name triggers the load (the executor calls
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple, Union
 
 from repro.arraydb.catalog import Catalog
 from repro.arraydb.errors import VaultError
+from repro.obs import get_metrics, get_tracer
+
+_log = logging.getLogger(__name__)
+_tracer = get_tracer()
+_metrics = get_metrics()
 
 
 class FormatDriver(Protocol):
@@ -25,11 +31,14 @@ class FormatDriver(Protocol):
     #: Short format name, e.g. "HRIT".
     format_name: str
 
-    def can_handle(self, path: str) -> bool:
-        """True when this driver understands the file at ``path``."""
+    def can_handle(self, path: Union[str, Tuple[str, ...]]) -> bool:
+        """True when this driver understands the file(s) at ``path``."""
         ...
 
-    def load(self, path: str, catalog: Catalog, name: str) -> None:
+    def load(
+        self, path: Union[str, Tuple[str, ...]], catalog: Catalog,
+        name: str,
+    ) -> None:
         """Materialise the file into catalog object(s) named ``name``."""
         ...
 
@@ -39,7 +48,8 @@ class VaultEntry:
     """Book-keeping for one attached external file."""
 
     name: str
-    path: str
+    #: A file, a directory, or an explicit tuple of segment files.
+    path: Union[str, Tuple[str, ...]]
     driver: FormatDriver
     attached_at: float
     loaded: bool = False
@@ -81,20 +91,35 @@ class DataVault:
 
     def attach(
         self,
-        path: str,
+        path,
         name: Optional[str] = None,
         driver: Optional[FormatDriver] = None,
     ) -> VaultEntry:
         """Attach an external file under ``name`` (default: file stem).
 
-        The file is *not* read; only its existence is checked.
+        ``path`` may be a single file, a directory, or a sequence of
+        files that together make up one object (one satellite image
+        arrives as multiple segment files, possibly interleaved with
+        other images' segments in the same directory).  Nothing is read;
+        only existence is checked.
         """
-        if not os.path.exists(path):
-            raise VaultError(f"no such file: {path!r}")
+        if not isinstance(path, str):
+            paths = tuple(str(p) for p in path)
+            if not paths:
+                raise VaultError("empty attachment path list")
+            for p in paths:
+                if not os.path.exists(p):
+                    raise VaultError(f"no such file: {p!r}")
+            path = paths if len(paths) > 1 else paths[0]
+            probe = paths[0]
+        else:
+            if not os.path.exists(path):
+                raise VaultError(f"no such file: {path!r}")
+            probe = path
         if name is None:
-            name = os.path.splitext(os.path.basename(path))[0]
+            name = os.path.splitext(os.path.basename(probe))[0]
         if driver is None:
-            driver = self.driver_for(path)
+            driver = self.driver_for(probe)
         key = name.lower()
         if key in self._entries:
             raise VaultError(f"vault name {name!r} already attached")
@@ -129,15 +154,35 @@ class DataVault:
             return False  # Not a vault name; regular catalog object.
         if entry.loaded and self.catalog.exists(entry.name):
             self.stats.cache_hits += 1
+            if _metrics.enabled:
+                _metrics.counter(
+                    "vault_cache_hits_total",
+                    "Vault scans served by an already-loaded object",
+                ).inc()
             return False
-        t0 = time.perf_counter()
-        entry.driver.load(entry.path, self.catalog, entry.name)
-        elapsed = time.perf_counter() - t0
+        with _tracer.measure(
+            "vault.load", name=entry.name, format=entry.driver.format_name
+        ) as span:
+            entry.driver.load(entry.path, self.catalog, entry.name)
+        elapsed = span.duration
         entry.loaded = True
         entry.load_seconds += elapsed
         entry.load_count += 1
         self.stats.loads += 1
         self.stats.load_seconds += elapsed
+        if _metrics.enabled:
+            _metrics.counter(
+                "vault_loads_total", "Lazy loads performed by the vault"
+            ).inc()
+            _metrics.histogram(
+                "vault_load_seconds", "Wall seconds per vault load"
+            ).observe(elapsed, format=entry.driver.format_name)
+        _log.debug(
+            "vault loaded %r (%s) in %.3fs",
+            entry.name,
+            entry.driver.format_name,
+            elapsed,
+        )
         return True
 
     def load_all(self) -> int:

@@ -8,13 +8,14 @@ the SciQL chain's classification output.
 
 from __future__ import annotations
 
-import time
+import logging
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs import get_metrics, get_tracer
 from repro.core.products import CONFIDENCE_BY_CLASS, Hotspot, HotspotProduct
 from repro.core.thresholds import threshold_grids
 from repro.seviri.geo import GeoReference
@@ -23,6 +24,10 @@ from repro.seviri.scene import SceneImage
 from repro.seviri.solar import solar_zenith_deg
 
 ChainInput = Union[SceneImage, Tuple[Sequence[str], Sequence[str]]]
+
+_log = logging.getLogger(__name__)
+_tracer = get_tracer()
+_metrics = get_metrics()
 
 
 def window_mean_and_sq(
@@ -99,13 +104,44 @@ def classify_grids(
 
 @dataclass
 class ChainTimings:
-    """Per-stage wall times of the most recent image (seconds)."""
+    """Per-stage wall times of the most recent image (seconds).
+
+    Populated from the tracing spans the chains open per stage (see
+    :mod:`repro.obs`); the field set is unchanged from the original
+    ad-hoc ``perf_counter`` ladder for backward compatibility.
+    """
 
     decode: float = 0.0
     crop: float = 0.0
     georeference: float = 0.0
     classify: float = 0.0
     vectorize: float = 0.0
+
+    #: The §3.1 stage names, in chain order.
+    STAGES = ("decode", "crop", "georeference", "classify", "vectorize")
+
+    @classmethod
+    def from_spans(cls, **spans) -> "ChainTimings":
+        """Build from one closed span per stage (keyword = stage name)."""
+        return cls(
+            **{stage: spans[stage].duration for stage in cls.STAGES}
+        )
+
+    def record_metrics(self, metrics, chain: str) -> None:
+        """Feed the per-stage histograms of the metrics registry."""
+        if not metrics.enabled:
+            return
+        histogram = metrics.histogram(
+            "chain_stage_seconds",
+            "Wall seconds per processing-chain stage",
+        )
+        for stage in self.STAGES:
+            histogram.observe(getattr(self, stage), chain=chain,
+                              stage=stage)
+        metrics.counter(
+            "chain_acquisitions_total",
+            "Acquisitions processed per chain",
+        ).inc(chain=chain)
 
     @property
     def total(self) -> float:
@@ -133,34 +169,45 @@ class LegacyChain:
 
     def process(self, chain_input: ChainInput) -> HotspotProduct:
         """Run the full chain on one acquisition."""
-        t0 = time.perf_counter()
-        t039_raw, t108_raw, timestamp, sensor = self._decode(chain_input)
-        t1 = time.perf_counter()
-        window = self.georeference.crop_window()
-        i_lo, i_hi, j_lo, j_hi = window
-        c039 = t039_raw[i_lo:i_hi, j_lo:j_hi]
-        c108 = t108_raw[i_lo:i_hi, j_lo:j_hi]
-        t2 = time.perf_counter()
-        g039 = self.georeference.resample(c039, window)
-        g108 = self.georeference.resample(c108, window)
-        t3 = time.perf_counter()
-        target = self.georeference.target
-        lon, lat = target.mesh()
-        zenith = solar_zenith_deg(timestamp, lon, lat)
-        confidence = classify_grids(
-            g039, g108, zenith, cloud_mask=self.cloud_mask
+        with _tracer.measure("chain.process", chain=self.name) as root:
+            with _tracer.measure("chain.decode") as s_decode:
+                t039_raw, t108_raw, timestamp, sensor = self._decode(
+                    chain_input
+                )
+            with _tracer.measure("chain.crop") as s_crop:
+                window = self.georeference.crop_window()
+                i_lo, i_hi, j_lo, j_hi = window
+                c039 = t039_raw[i_lo:i_hi, j_lo:j_hi]
+                c108 = t108_raw[i_lo:i_hi, j_lo:j_hi]
+            with _tracer.measure("chain.georeference") as s_geo:
+                g039 = self.georeference.resample(c039, window)
+                g108 = self.georeference.resample(c108, window)
+            with _tracer.measure("chain.classify") as s_classify:
+                target = self.georeference.target
+                lon, lat = target.mesh()
+                zenith = solar_zenith_deg(timestamp, lon, lat)
+                confidence = classify_grids(
+                    g039, g108, zenith, cloud_mask=self.cloud_mask
+                )
+            with _tracer.measure("chain.vectorize") as s_vectorize:
+                hotspots = vectorize_confidence(
+                    confidence, target, timestamp, sensor, self.name
+                )
+            root.set(sensor=sensor, hotspots=len(hotspots))
+        self.timings = ChainTimings.from_spans(
+            decode=s_decode,
+            crop=s_crop,
+            georeference=s_geo,
+            classify=s_classify,
+            vectorize=s_vectorize,
         )
-        t4 = time.perf_counter()
-        hotspots = vectorize_confidence(
-            confidence, target, timestamp, sensor, self.name
-        )
-        t5 = time.perf_counter()
-        self.timings = ChainTimings(
-            decode=t1 - t0,
-            crop=t2 - t1,
-            georeference=t3 - t2,
-            classify=t4 - t3,
-            vectorize=t5 - t4,
+        self.timings.record_metrics(_metrics, self.name)
+        _log.debug(
+            "legacy chain %s %s: %d hotspot(s) in %.3fs",
+            sensor,
+            timestamp,
+            len(hotspots),
+            self.timings.total,
         )
         return HotspotProduct(
             sensor=sensor,

@@ -19,15 +19,21 @@ call returns its wall time so the Figure 8 benchmark can plot them.
 
 from __future__ import annotations
 
-import time
+import logging
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
 from typing import Dict, List, Optional
 
 from repro.core.annotation import annotate_product
 from repro.core.products import HotspotProduct
+from repro.obs import get_metrics, get_tracer
+from repro.obs.span import Span
 from repro.ontology.noa import load_noa_ontology
 from repro.stsparql import Strabon
+
+_log = logging.getLogger(__name__)
+_tracer = get_tracer()
+_metrics = get_metrics()
 
 _PREFIXES = """
 PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>
@@ -45,12 +51,35 @@ def _stamp(when: datetime) -> str:
 
 @dataclass
 class OperationTiming:
-    """Wall time of one refinement operation on one acquisition."""
+    """Wall time of one refinement operation on one acquisition.
+
+    Backed by the tracing-span primitive of :mod:`repro.obs` — the
+    public fields are unchanged; :meth:`from_span` is how the pipeline
+    now builds instances.
+    """
 
     operation: str
     timestamp: datetime
     seconds: float
     detail: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_span(
+        cls,
+        span: Span,
+        operation: str,
+        timestamp: datetime,
+        detail: Optional[Dict[str, int]] = None,
+    ) -> "OperationTiming":
+        """Build from a closed span measuring the operation."""
+        detail = dict(detail or {})
+        span.set(operation=operation, **detail)
+        if _metrics.enabled:
+            _metrics.histogram(
+                "refine_operation_seconds",
+                "Wall seconds per semantic-refinement operation",
+            ).observe(span.duration, operation=operation)
+        return cls(operation, timestamp, span.duration, detail)
 
 
 class RefinementPipeline:
@@ -83,15 +112,16 @@ class RefinementPipeline:
 
     def store(self, product: HotspotProduct) -> OperationTiming:
         """Operation 1: insert the product's RDF representation."""
-        t0 = time.perf_counter()
-        added, _uris = annotate_product(
-            self.strabon.graph, product, self._product_count
-        )
+        with _tracer.measure("refine.store") as span:
+            with _tracer.span("annotation"):
+                added, _uris = annotate_product(
+                    self.strabon.graph, product, self._product_count
+                )
         self._product_count += 1
-        timing = OperationTiming(
+        timing = OperationTiming.from_span(
+            span,
             "Store",
             product.timestamp,
-            time.perf_counter() - t0,
             {"triples": added, "hotspots": len(product)},
         )
         self.timings.append(timing)
@@ -205,7 +235,6 @@ WHERE {{
         window_start = timestamp - timedelta(
             minutes=self.persistence_window_minutes
         )
-        t0 = time.perf_counter()
         confirm = (
             _PREFIXES
             + f"""
@@ -227,7 +256,6 @@ WHERE {{
   HAVING (COUNT(?prev) >= {self.persistence_min_detections}) }}
 """
         )
-        confirmed = self.strabon.update(confirm)
         mark_rest = (
             _PREFIXES
             + f"""
@@ -238,11 +266,13 @@ WHERE {{
   FILTER NOT EXISTS {{ ?h noa:hasConfirmation noa:confirmed }} }}
 """
         )
-        self.strabon.update(mark_rest)
-        timing = OperationTiming(
+        with _tracer.measure("refine.time_persistence") as span:
+            confirmed = self.strabon.update(confirm)
+            self.strabon.update(mark_rest)
+        timing = OperationTiming.from_span(
+            span,
             "Time Persistence",
             timestamp,
-            time.perf_counter() - t0,
             {"confirmed": confirmed.added},
         )
         self.timings.append(timing)
@@ -254,13 +284,20 @@ WHERE {{
         self, product: HotspotProduct
     ) -> List[OperationTiming]:
         """Run all six operations for one product; returns their timings."""
-        out = [self.store(product)]
-        ts = product.timestamp
-        out.append(self.municipalities(ts))
-        out.append(self.delete_in_sea(ts))
-        out.append(self.invalid_for_fires(ts))
-        out.append(self.refine_in_coast(ts))
-        out.append(self.time_persistence(ts))
+        with _tracer.span("refinement", hotspots=len(product)):
+            out = [self.store(product)]
+            ts = product.timestamp
+            out.append(self.municipalities(ts))
+            out.append(self.delete_in_sea(ts))
+            out.append(self.invalid_for_fires(ts))
+            out.append(self.refine_in_coast(ts))
+            out.append(self.time_persistence(ts))
+        _log.debug(
+            "refined acquisition %s: %d operation(s), %.3fs total",
+            ts,
+            len(out),
+            sum(t.seconds for t in out),
+        )
         return out
 
     def surviving_hotspots(self, timestamp: Optional[datetime] = None):
@@ -288,13 +325,21 @@ WHERE {{
     def _run(
         self, operation: str, timestamp: datetime, update_text: str
     ) -> OperationTiming:
-        t0 = time.perf_counter()
-        result = self.strabon.update(update_text)
-        timing = OperationTiming(
+        slug = operation.lower().replace(" ", "_")
+        with _tracer.measure(f"refine.{slug}") as span:
+            result = self.strabon.update(update_text)
+        timing = OperationTiming.from_span(
+            span,
             operation,
             timestamp,
-            time.perf_counter() - t0,
             {"added": result.added, "removed": result.removed},
         )
+        if result.removed:
+            _log.debug(
+                "refinement %s at %s removed %d triple(s)",
+                operation,
+                timestamp,
+                result.removed,
+            )
         self.timings.append(timing)
         return timing

@@ -20,10 +20,13 @@ executed as-is in the test suite.
 
 from __future__ import annotations
 
-import time
+import logging
+import os
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.obs import get_metrics, get_tracer
 
 from repro.arraydb import MonetDB
 from repro.arraydb.array import Dimension, SciQLArray
@@ -32,11 +35,20 @@ from repro.core.legacy import ChainTimings, vectorize_confidence
 from repro.core.products import CONFIDENCE_BY_CLASS, Hotspot, HotspotProduct
 from repro.core.thresholds import threshold_grids
 from repro.seviri.geo import GeoReference
-from repro.seviri.hrit import HRITDriver, read_hrit_image
+from repro.seviri.hrit import (
+    HRITDriver,
+    image_metadata,
+    read_hrit_image,
+    segment_paths_for,
+)
 from repro.seviri.scene import SceneImage
 from repro.seviri.solar import solar_zenith_deg
 
 ChainInput = Union[SceneImage, Tuple[Sequence[str], Sequence[str]]]
+
+_log = logging.getLogger(__name__)
+_tracer = get_tracer()
+_metrics = get_metrics()
 
 
 def figure4_query(
@@ -199,26 +211,15 @@ class SciQLChain:
             ):
                 if self.db.vault.is_attached(name):
                     self.db.vault.detach(name, drop_object=True)
-                # A directory attachment covers all segments of the band.
-                path = paths if isinstance(paths, str) else paths[0]
-                import os
-
-                attach_path = (
-                    path if os.path.isdir(str(path)) else os.path.dirname(
-                        str(path)
-                    )
-                )
-                self.db.vault.attach(attach_path, name=name)
+                # A directory covers all segments of the band; an
+                # explicit path list covers exactly one image (the
+                # monitor's archive mixes many images per directory).
+                self.db.vault.attach(paths, name=name)
             # Read just the metadata for timestamp/sensor (cheap header
             # scan — the pixel loads stay lazy until the crop SELECT).
-            from repro.seviri.hrit import image_metadata
-
             first = paths039 if isinstance(paths039, str) else paths039[0]
-            import glob
-            import os
-
             if os.path.isdir(str(first)):
-                seg_files = sorted(glob.glob(os.path.join(first, "*.hsim")))
+                seg_files = segment_paths_for(str(first))
             else:
                 seg_files = [str(first)]
             header = image_metadata(seg_files)[0]
@@ -283,25 +284,38 @@ class SciQLChain:
     # -- the chain -------------------------------------------------------
 
     def process(self, chain_input: ChainInput) -> HotspotProduct:
-        """Run the full in-DBMS chain on one acquisition."""
-        t0 = time.perf_counter()
-        timestamp, sensor = self._ingest(chain_input)
-        t1 = time.perf_counter()
-        self._crop()
-        t2 = time.perf_counter()
-        self._georeference()
-        self._load_thresholds(timestamp)
-        t3 = time.perf_counter()
-        result = self._classify()
-        t4 = time.perf_counter()
-        hotspots = self._output(result, timestamp, sensor)
-        t5 = time.perf_counter()
-        self.timings = ChainTimings(
-            decode=t1 - t0,
-            crop=t2 - t1,
-            georeference=t3 - t2,
-            classify=t4 - t3,
-            vectorize=t5 - t4,
+        """Run the full in-DBMS chain on one acquisition.
+
+        Every stage runs inside a tracing span; :attr:`timings` is
+        rebuilt from the span durations (one timing mechanism).
+        """
+        with _tracer.measure("chain.process", chain=self.name) as root:
+            with _tracer.measure("chain.decode") as s_decode:
+                timestamp, sensor = self._ingest(chain_input)
+            with _tracer.measure("chain.crop") as s_crop:
+                self._crop()
+            with _tracer.measure("chain.georeference") as s_geo:
+                self._georeference()
+                self._load_thresholds(timestamp)
+            with _tracer.measure("chain.classify") as s_classify:
+                result = self._classify()
+            with _tracer.measure("chain.vectorize") as s_vectorize:
+                hotspots = self._output(result, timestamp, sensor)
+            root.set(sensor=sensor, hotspots=len(hotspots))
+        self.timings = ChainTimings.from_spans(
+            decode=s_decode,
+            crop=s_crop,
+            georeference=s_geo,
+            classify=s_classify,
+            vectorize=s_vectorize,
+        )
+        self.timings.record_metrics(_metrics, self.name)
+        _log.debug(
+            "sciql chain %s %s: %d hotspot(s) in %.3fs",
+            sensor,
+            timestamp,
+            len(hotspots),
+            self.timings.total,
         )
         return HotspotProduct(
             sensor=sensor,

@@ -16,6 +16,7 @@ Two configurations are provided:
 
 from __future__ import annotations
 
+import logging
 import os
 import tempfile
 from dataclasses import dataclass, field
@@ -29,12 +30,17 @@ from repro.core.products import HotspotProduct
 from repro.core.refinement import OperationTiming, RefinementPipeline
 from repro.core.sciql_chain import SciQLChain
 from repro.datasets import SyntheticGreece, load_auxiliary_data
+from repro.obs import AcquisitionBudget, get_metrics, get_tracer
 from repro.seviri.fires import FireSeason
 from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
 from repro.seviri.hrit import write_hrit_segments
 from repro.seviri.scene import SceneGenerator, SceneImage
 from repro.shapefile import write_shapefile
 from repro.stsparql import Strabon
+
+_log = logging.getLogger(__name__)
+_tracer = get_tracer()
+_metrics = get_metrics()
 
 
 @dataclass
@@ -102,6 +108,8 @@ class FireMonitoringService:
             self.refinement = None
             self.map_composer = None
         self.outcomes: List[AcquisitionOutcome] = []
+        #: Per-acquisition accounting against the 5-minute window.
+        self.budget = AcquisitionBudget()
 
     # -- acquisition processing ------------------------------------------
 
@@ -118,23 +126,70 @@ class FireMonitoringService:
         return self.process_scene(scene)
 
     def process_scene(self, scene: SceneImage) -> AcquisitionOutcome:
-        chain_input = self._chain_input(scene)
-        product = self.chain.process(chain_input)
-        outcome = AcquisitionOutcome(
-            timestamp=product.timestamp,
-            sensor=product.sensor,
-            raw_product=product,
-            chain_seconds=product.processing_seconds,
-        )
-        if self.refinement is not None:
-            outcome.refinement_timings = self.refinement.refine_acquisition(
-                product
+        return self._run_acquisition(self._chain_input(scene))
+
+    def process_ready(self, acquisition) -> AcquisitionOutcome:
+        """Process a complete two-band acquisition dispatched by a
+        :class:`~repro.seviri.monitor.SeviriMonitor`."""
+        return self._run_acquisition(acquisition.chain_input)
+
+    def _run_acquisition(self, chain_input) -> AcquisitionOutcome:
+        with _tracer.span("acquisition", mode=self.mode) as root:
+            product = self.chain.process(chain_input)
+            outcome = AcquisitionOutcome(
+                timestamp=product.timestamp,
+                sensor=product.sensor,
+                raw_product=product,
+                chain_seconds=product.processing_seconds,
             )
-            surviving = self.refinement.surviving_hotspots(product.timestamp)
-            outcome.refined_count = len(surviving)
-        if self.archive is not None:
-            self.archive.store(product)
+            if self.refinement is not None:
+                outcome.refinement_timings = (
+                    self.refinement.refine_acquisition(product)
+                )
+                surviving = self.refinement.surviving_hotspots(
+                    product.timestamp
+                )
+                outcome.refined_count = len(surviving)
+            if self.archive is not None:
+                self.archive.store(product)
+            root.set(
+                sensor=outcome.sensor,
+                timestamp=str(outcome.timestamp),
+                raw_hotspots=len(product),
+                refined_hotspots=outcome.refined_count,
+            )
         self.outcomes.append(outcome)
+        self.budget.record_outcome(outcome)
+        if _metrics.enabled:
+            histogram = _metrics.histogram(
+                "acquisition_stage_seconds",
+                "Wall seconds per acquisition, by service stage",
+            )
+            histogram.observe(outcome.chain_seconds, stage="chain")
+            histogram.observe(
+                outcome.refinement_seconds, stage="refinement"
+            )
+            histogram.observe(
+                outcome.chain_seconds + outcome.refinement_seconds,
+                stage="total",
+            )
+            if not outcome.within_budget:
+                _metrics.counter(
+                    "acquisition_deadline_misses_total",
+                    "Acquisitions that overran the 5-minute window",
+                ).inc()
+        _log.info(
+            "acquisition %s %s: %d raw / %s refined hotspot(s), "
+            "chain %.3fs + refinement %.3fs%s",
+            outcome.sensor,
+            outcome.timestamp,
+            len(product),
+            "n/a" if outcome.refined_count is None
+            else outcome.refined_count,
+            outcome.chain_seconds,
+            outcome.refinement_seconds,
+            "" if outcome.within_budget else "  ** DEADLINE MISS **",
+        )
         return outcome
 
     def _chain_input(self, scene: SceneImage):
@@ -163,8 +218,15 @@ class FireMonitoringService:
             base_path = os.path.join(
                 self.workdir, f"hotspots_{product.sensor}_{stamp}"
             )
-        shp, _shx, _dbf = write_shapefile(product.to_shapefile(), base_path)
+        with _tracer.span(
+            "disseminate.shapefile", hotspots=len(product)
+        ) as span:
+            shp, _shx, _dbf = write_shapefile(
+                product.to_shapefile(), base_path
+            )
+            span.set(path=shp)
         product.filename = shp
+        _log.debug("disseminated %d hotspot(s) to %s", len(product), shp)
         return shp
 
     def thematic_map(self, **kwargs) -> Dict:
@@ -173,7 +235,8 @@ class FireMonitoringService:
             raise RuntimeError(
                 "thematic maps need the teleios mode (Strabon endpoint)"
             )
-        return self.map_composer.compose(**kwargs)
+        with _tracer.span("disseminate.map"):
+            return self.map_composer.compose(**kwargs)
 
     # -- reporting -------------------------------------------------------
 
@@ -190,3 +253,7 @@ class FireMonitoringService:
             / n,
             "acquisitions": float(n),
         }
+
+    def budget_report(self) -> str:
+        """The per-acquisition budget report (5-minute window, §4.2.1)."""
+        return self.budget.report()

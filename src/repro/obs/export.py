@@ -1,0 +1,203 @@
+"""Pluggable exporters for spans and metrics.
+
+Three formats, all dependency-free:
+
+* **JSON lines** — one span record per line
+  (:func:`write_spans_jsonl` / :func:`read_spans_jsonl` round-trip),
+* **Prometheus-style text** — :func:`prometheus_text` renders a
+  :class:`~repro.obs.metrics.MetricsRegistry` in the exposition format
+  (histograms as summaries with ``quantile`` labels),
+* **tree report** — :func:`tree_report` renders recorded spans as an
+  indented call tree with durations, for humans.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span
+
+__all__ = [
+    "span_record",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "prometheus_text",
+    "tree_report",
+]
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+
+def span_record(span: SpanLike) -> Dict[str, Any]:
+    """Normalise a :class:`Span` or an already-exported dict."""
+    if isinstance(span, dict):
+        return span
+    return span.to_dict()
+
+
+# -- JSON lines -----------------------------------------------------------
+
+
+def write_spans_jsonl(spans: Iterable[SpanLike], destination) -> int:
+    """Write spans as JSON lines to a path or file object.
+
+    Returns the number of spans written.
+    """
+    records = [span_record(s) for s in spans]
+    if hasattr(destination, "write"):
+        for record in records:
+            destination.write(json.dumps(record, sort_keys=True) + "\n")
+    else:
+        with open(destination, "w") as f:
+            for record in records:
+                f.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_spans_jsonl(source) -> List[Dict[str, Any]]:
+    """Read a JSON-lines span log (path or file object) back to records."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        with open(source) as f:
+            text = f.read()
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+# -- Prometheus text format ----------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus exposition format."""
+    out = io.StringIO()
+    for metric in registry.collect():
+        name, kind, help_text = (
+            metric["name"],
+            metric["kind"],
+            metric["help"],
+        )
+        if help_text:
+            out.write(f"# HELP {name} {help_text}\n")
+        # Percentile summaries use the Prometheus "summary" type.
+        out.write(
+            f"# TYPE {name} "
+            f"{'summary' if kind == 'histogram' else kind}\n"
+        )
+        for labels, value in metric["samples"]:
+            if kind == "histogram":
+                summary: Dict[str, float] = value
+                for q, field in (("0.5", "p50"), ("0.95", "p95"),
+                                 ("0.99", "p99")):
+                    q_labels = dict(labels, quantile=q)
+                    out.write(
+                        f"{name}{_format_labels(q_labels)} "
+                        f"{_format_value(summary[field])}\n"
+                    )
+                out.write(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(summary['sum'])}\n"
+                )
+                out.write(
+                    f"{name}_count{_format_labels(labels)} "
+                    f"{_format_value(summary['count'])}\n"
+                )
+            else:
+                out.write(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(value)}\n"
+                )
+    return out.getvalue()
+
+
+# -- human-readable span tree --------------------------------------------
+
+
+def _format_attributes(attributes: Dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    parts = []
+    for key in sorted(attributes):
+        value = attributes[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def tree_report(
+    spans: Iterable[SpanLike],
+    include_attributes: bool = True,
+    max_spans: Optional[int] = None,
+) -> str:
+    """Render spans as an indented tree, one line per span.
+
+    Children are grouped under their parent in recording order; spans
+    whose parent is missing from the input are treated as roots.
+    """
+    records = [span_record(s) for s in spans]
+    if max_spans is not None:
+        records = records[:max_spans]
+    by_id = {r["span_id"]: r for r in records}
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for record in records:
+        parent = record.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    def start_key(r: Dict[str, Any]) -> Any:
+        return (r.get("wall_start", 0.0), r["span_id"])
+
+    lines: List[str] = []
+
+    def emit(record: Dict[str, Any], depth: int) -> None:
+        marker = "!" if record.get("status") == "error" else ""
+        line = (
+            f"{record['duration_s'] * 1000.0:10.3f} ms  "
+            + "  " * depth
+            + marker
+            + record["name"]
+        )
+        if record.get("error"):
+            line += f"  <{record['error']}>"
+        if include_attributes:
+            line += _format_attributes(record.get("attributes", {}))
+        lines.append(line)
+        for child in sorted(children.get(record["span_id"], []),
+                            key=start_key):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=start_key):
+        emit(root, 0)
+    return "\n".join(lines)

@@ -184,14 +184,19 @@ def segment_paths_for(directory: str, band: Optional[str] = None) -> List[str]:
 class HRITDriver:
     """Data-Vault format driver for HSIM imagery.
 
-    An attachment may be a single segment file or a directory holding all
-    the segments of one band's image; the driver materialises it as a
-    2-D SciQL array named after the attachment with attribute ``v``.
+    An attachment may be a single segment file, a directory holding all
+    the segments of one band's image, or an explicit sequence of segment
+    files (the SEVIRI Monitor hands over exactly the segments of one
+    image, whose archive directory mixes many images); the driver
+    materialises it as a 2-D SciQL array named after the attachment with
+    attribute ``v``.
     """
 
     format_name = "HRIT"
 
-    def can_handle(self, path: str) -> bool:
+    def can_handle(self, path) -> bool:
+        if not isinstance(path, str):
+            return bool(path) and self.can_handle(str(path[0]))
         if os.path.isdir(path):
             return bool(segment_paths_for(path))
         if not path.endswith(".hsim"):
@@ -202,8 +207,10 @@ class HRITDriver:
         except OSError:
             return False
 
-    def load(self, path: str, catalog: Catalog, name: str) -> None:
-        if os.path.isdir(path):
+    def load(self, path, catalog: Catalog, name: str) -> None:
+        if not isinstance(path, str):
+            paths = [str(p) for p in path]
+        elif os.path.isdir(path):
             paths = segment_paths_for(path)
         else:
             paths = [path]

@@ -21,6 +21,7 @@ acquisitions.
 from __future__ import annotations
 
 import glob
+import logging
 import os
 import shutil
 import sqlite3
@@ -29,10 +30,15 @@ from datetime import datetime, timezone
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arraydb.errors import VaultError
+from repro.obs import get_metrics, get_tracer
 from repro.seviri.hrit import image_metadata
 
 #: The spectral bands the fire-monitoring chain consumes.
 FIRE_BANDS = ("IR_039", "IR_108")
+
+_log = logging.getLogger(__name__)
+_tracer = get_tracer()
+_metrics = get_metrics()
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS raw_files (
@@ -98,6 +104,18 @@ class SeviriMonitor:
         Only the fixed-size header of each file is read — the compressed
         payload stays untouched (the paper's metadata-extraction step).
         """
+        with _tracer.measure("monitor.scan") as span:
+            registered = self._scan_incoming()
+            span.set(registered=registered)
+        if _metrics.enabled:
+            _metrics.histogram(
+                "monitor_scan_seconds",
+                "Wall seconds per incoming-directory scan "
+                "(header-only metadata decode)",
+            ).observe(span.duration)
+        return registered
+
+    def _scan_incoming(self) -> int:
         registered = 0
         for path in sorted(
             glob.glob(os.path.join(self.incoming_dir, "*.hsim"))
@@ -108,10 +126,27 @@ class SeviriMonitor:
                 header = image_metadata([path])[0]
             except (VaultError, OSError):
                 self.rejected_count += 1
+                if _metrics.enabled:
+                    _metrics.counter(
+                        "monitor_segments_dropped_total",
+                        "Segment files dropped by the monitor",
+                    ).inc(reason="unparseable")
+                _log.warning("monitor rejected unparseable segment %s",
+                             path)
                 continue
             if header.band not in self.relevant_bands:
                 # Step 2a: disregard non-applicable data.
                 self.filtered_count += 1
+                if _metrics.enabled:
+                    _metrics.counter(
+                        "monitor_segments_dropped_total",
+                        "Segment files dropped by the monitor",
+                    ).inc(reason="irrelevant_band")
+                _log.debug(
+                    "monitor filtered %s segment %s",
+                    header.band,
+                    os.path.basename(path),
+                )
                 os.remove(path)
                 continue
             self._db.execute(
@@ -132,6 +167,11 @@ class SeviriMonitor:
             )
             registered += 1
         self._db.commit()
+        if registered and _metrics.enabled:
+            _metrics.counter(
+                "monitor_segments_received_total",
+                "Segment files catalogued by the monitor",
+            ).inc(registered)
         return registered
 
     def _known(self, path: str) -> bool:
@@ -158,6 +198,25 @@ class SeviriMonitor:
     def dispatch_ready(self) -> List[ReadyAcquisition]:
         """Archive and hand over acquisitions whose *both* IR bands are
         complete (the chain needs 3.9 and 10.8 together)."""
+        with _tracer.span("monitor.dispatch") as span:
+            ready = self._dispatch_ready()
+            span.set(acquisitions=len(ready))
+        if ready:
+            if _metrics.enabled:
+                _metrics.counter(
+                    "monitor_acquisitions_assembled_total",
+                    "Complete two-band acquisitions handed to the chain",
+                ).inc(len(ready))
+            for acquisition in ready:
+                _log.info(
+                    "monitor dispatched acquisition %s %s (%d segments)",
+                    acquisition.sensor,
+                    acquisition.timestamp,
+                    sum(len(p) for p in acquisition.band_paths.values()),
+                )
+        return ready
+
+    def _dispatch_ready(self) -> List[ReadyAcquisition]:
         complete = self.complete_images()
         by_acquisition: Dict[Tuple[str, str], Dict[str, bool]] = {}
         for sensor, band, acquired in complete:

@@ -12,11 +12,13 @@ Wraps a :class:`~repro.rdf.graph.Graph` with
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Union
 
 from repro.geometry import Geometry
+from repro.obs import get_metrics, get_tracer, is_enabled
 from repro.geometry.rtree import RTree
 from repro.rdf.graph import Graph
 from repro.rdf.inference import RDFSInference
@@ -26,6 +28,10 @@ from repro.stsparql import ast
 from repro.stsparql.errors import SparqlEvalError
 from repro.stsparql.eval import Evaluator, Row, SolutionSet
 from repro.stsparql.parser import parse
+
+_log = logging.getLogger(__name__)
+_tracer = get_tracer()
+_metrics = get_metrics()
 
 
 @dataclass
@@ -127,38 +133,83 @@ class Strabon:
     # -- querying ----------------------------------------------------------
 
     def _evaluator(self) -> Evaluator:
-        candidates = (
-            self.spatial_candidates if self._spatial_index_enabled else None
-        )
-        return Evaluator(
-            self.graph,
-            inference=self._inference,
-            spatial_candidates=candidates,
-        )
+        """Build the evaluation plan: binds inference + spatial index."""
+        with _tracer.span("stsparql.plan"):
+            candidates = (
+                self.spatial_candidates
+                if self._spatial_index_enabled
+                else None
+            )
+            return Evaluator(
+                self.graph,
+                inference=self._inference,
+                spatial_candidates=candidates,
+            )
 
-    def query(self, text: str) -> Union[SolutionSet, bool, UpdateResult]:
-        """Parse and run any stSPARQL request (SELECT / ASK / update)."""
-        t0 = time.perf_counter()
-        parsed = parse(text)
-        t1 = time.perf_counter()
+    def _dispatch(self, parsed):
+        """Evaluate a parsed request; returns (result, operation, rows)."""
         if isinstance(parsed, ast.SelectQuery):
             result: Union[SolutionSet, bool, Graph, UpdateResult] = (
                 self._evaluator().select(parsed)
             )
-            rows = len(result)  # type: ignore[arg-type]
-            op = "select"
-        elif isinstance(parsed, ast.AskQuery):
-            result = self._evaluator().ask(parsed)
-            rows = 1
-            op = "ask"
-        elif isinstance(parsed, ast.ConstructQuery):
+            return result, "select", len(result)  # type: ignore[arg-type]
+        if isinstance(parsed, ast.AskQuery):
+            return self._evaluator().ask(parsed), "ask", 1
+        if isinstance(parsed, ast.ConstructQuery):
             result = self._construct(parsed)
-            rows = len(result)
-            op = "construct"
-        else:
-            result = self._apply_update(parsed)
-            rows = 0
-            op = "update"
+            return result, "construct", len(result)
+        return self._apply_update(parsed), "update", 0
+
+    def query(self, text: str) -> Union[SolutionSet, bool, UpdateResult]:
+        """Parse and run any stSPARQL request (SELECT / ASK / update)."""
+        if not is_enabled():
+            return self._query_plain(text)
+        with _tracer.span("stsparql.query") as span:
+            t0 = time.perf_counter()
+            with _tracer.span("stsparql.parse"):
+                parsed = parse(text)
+            t1 = time.perf_counter()
+            with _tracer.span("stsparql.eval"):
+                result, op, rows = self._dispatch(parsed)
+            t2 = time.perf_counter()
+            stats = QueryStats(
+                operation=op,
+                parse_seconds=t1 - t0,
+                eval_seconds=t2 - t1,
+                rows=rows,
+                triples_added=getattr(result, "added", 0),
+                triples_removed=getattr(result, "removed", 0),
+            )
+            self.last_stats = stats
+            span.set(
+                operation=op,
+                rows=rows,
+                triples_added=stats.triples_added,
+                triples_removed=stats.triples_removed,
+            )
+        if _metrics.enabled:
+            _metrics.histogram(
+                "stsparql_query_seconds",
+                "Wall seconds per stSPARQL request (parse + eval)",
+            ).observe(stats.total_seconds, operation=op)
+            if stats.triples_added:
+                _metrics.counter(
+                    "stsparql_triples_added_total",
+                    "Triples inserted by stSPARQL updates",
+                ).inc(stats.triples_added)
+            if stats.triples_removed:
+                _metrics.counter(
+                    "stsparql_triples_removed_total",
+                    "Triples deleted by stSPARQL updates",
+                ).inc(stats.triples_removed)
+        return result
+
+    def _query_plain(self, text: str):
+        """The uninstrumented request path (observability disabled)."""
+        t0 = time.perf_counter()
+        parsed = parse(text)
+        t1 = time.perf_counter()
+        result, op, rows = self._dispatch(parsed)
         t2 = time.perf_counter()
         self.last_stats = QueryStats(
             operation=op,

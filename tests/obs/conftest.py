@@ -1,0 +1,25 @@
+"""Fixtures for the observability tests.
+
+The ``repro.obs`` tracer and registry are process-global singletons, so
+any test that enables them must guarantee they end up disabled and empty
+again — otherwise instrumentation state would leak into the rest of the
+suite (which assumes the default off state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def observability():
+    """Globally enabled observability, guaranteed clean on teardown."""
+    obs.reset()
+    obs.enable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.reset()

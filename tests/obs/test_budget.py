@@ -1,0 +1,133 @@
+"""Budget accounting and Table 2 regeneration from spans."""
+
+from __future__ import annotations
+
+import io
+from datetime import datetime, timezone
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import (
+    AcquisitionBudget,
+    Tracer,
+    read_spans_jsonl,
+    table2_from_spans,
+    write_spans_jsonl,
+)
+
+WHEN = datetime(2007, 8, 24, 13, 0, tzinfo=timezone.utc)
+
+
+def test_record_and_miss_ratio():
+    budget = AcquisitionBudget(window_seconds=300.0)
+    good = budget.record(WHEN, chain_seconds=2.0, refinement_seconds=1.0)
+    bad = budget.record(WHEN, chain_seconds=250.0,
+                        refinement_seconds=100.0)
+    assert good.within_budget
+    assert good.total_seconds == 3.0
+    assert good.headroom_seconds == 297.0
+    assert not bad.within_budget
+    assert bad.headroom_seconds == -50.0
+    assert len(budget) == 2
+    assert budget.misses() == 1
+    assert budget.miss_ratio() == 0.5
+
+
+def test_rolling_window_limits_miss_ratio():
+    budget = AcquisitionBudget(window_seconds=10.0, rolling_window=2)
+    budget.record(WHEN, chain_seconds=100.0)  # miss, but rolls out
+    budget.record(WHEN, chain_seconds=1.0)
+    budget.record(WHEN, chain_seconds=1.0)
+    assert budget.misses() == 1  # all-time
+    assert budget.miss_ratio() == 0.0  # last two only
+    assert budget.miss_ratio(last=3) == pytest.approx(1 / 3)
+
+
+def test_record_outcome_duck_types_service_outcomes():
+    budget = AcquisitionBudget()
+    outcome = SimpleNamespace(
+        timestamp=WHEN,
+        sensor="MSG2",
+        chain_seconds=1.5,
+        refinement_seconds=0.5,
+    )
+    entry = budget.record_outcome(outcome)
+    assert entry.sensor == "MSG2"
+    assert entry.total_seconds == 2.0
+
+
+def test_summary_and_report():
+    budget = AcquisitionBudget(window_seconds=300.0)
+    empty = budget.report()
+    assert "no acquisitions recorded" in empty
+    budget.record(WHEN, chain_seconds=4.0, refinement_seconds=2.0)
+    budget.record(WHEN, chain_seconds=400.0)
+    summary = budget.summary()
+    assert summary["acquisitions"] == 2.0
+    assert summary["chain_avg_s"] == pytest.approx(202.0)
+    assert summary["total_avg_s"] == pytest.approx(203.0)
+    assert summary["total_max_s"] == 400.0
+    assert summary["headroom_min_s"] == -100.0
+    assert summary["deadline_miss_ratio"] == 0.5
+    report = budget.report()
+    assert "300 s window, 2 acquisition(s)" in report
+    assert "deadline misses: 1/2" in report
+    budget.reset()
+    assert len(budget) == 0
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        AcquisitionBudget(window_seconds=0.0)
+
+
+def _chain_trace(tracer: Tracer, chain: str) -> None:
+    with tracer.span("chain.process", chain=chain):
+        for stage in ("decode", "crop", "georeference", "classify",
+                      "vectorize"):
+            with tracer.span(f"chain.{stage}"):
+                pass
+
+
+def test_table2_from_spans_groups_by_chain_and_stage():
+    tracer = Tracer(enabled=True)
+    _chain_trace(tracer, "sciql")
+    _chain_trace(tracer, "sciql")
+    _chain_trace(tracer, "legacy")
+    # Unrelated spans must not disturb the table.
+    with tracer.span("acquisition"):
+        with tracer.span("stsparql.query"):
+            pass
+    breakdown = table2_from_spans(tracer.spans())
+    assert breakdown.acquisition_count == 3
+    assert set(breakdown.chains) == {"sciql", "legacy"}
+    sciql = breakdown.chains["sciql"]
+    assert sciql["TOTAL"].count == 2
+    for stage in ("decode", "crop", "georeference", "classify",
+                  "vectorize"):
+        assert sciql[stage].count == 2
+        assert sciql[stage].min <= sciql[stage].avg <= sciql[stage].max
+    assert breakdown.chains["legacy"]["TOTAL"].count == 1
+    text = breakdown.format()
+    assert "3 acquisition(s)" in text
+    assert "sciql" in text and "legacy" in text
+    # Stages render in the paper's §3.1 order, TOTAL last.
+    legacy_rows = [line for line in text.splitlines()
+                   if line.startswith("legacy")]
+    assert [row.split()[1] for row in legacy_rows] == [
+        "decode", "crop", "georeference", "classify", "vectorize",
+        "TOTAL",
+    ]
+
+
+def test_table2_from_reloaded_jsonl_records():
+    tracer = Tracer(enabled=True)
+    _chain_trace(tracer, "sciql")
+    buffer = io.StringIO()
+    write_spans_jsonl(tracer.spans(), buffer)
+    buffer.seek(0)
+    records = read_spans_jsonl(buffer)
+    breakdown = table2_from_spans(records)
+    assert breakdown.acquisition_count == 1
+    assert breakdown.chains["sciql"]["classify"].count == 1

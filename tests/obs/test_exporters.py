@@ -1,0 +1,109 @@
+"""Exporters: JSON-lines round-trip, Prometheus text, span tree."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    prometheus_text,
+    read_spans_jsonl,
+    tree_report,
+    write_spans_jsonl,
+)
+
+
+def _sample_spans():
+    tracer = Tracer(enabled=True)
+    with tracer.span("acquisition", mode="teleios"):
+        with tracer.span("chain.process", chain="sciql"):
+            with tracer.span("chain.decode"):
+                pass
+        with pytest.raises(RuntimeError):
+            with tracer.span("refinement"):
+                raise RuntimeError("strabon down")
+    return tracer.spans()
+
+
+def test_jsonl_round_trip_through_file_object():
+    spans = _sample_spans()
+    buffer = io.StringIO()
+    written = write_spans_jsonl(spans, buffer)
+    assert written == len(spans) == 4
+    buffer.seek(0)
+    records = read_spans_jsonl(buffer)
+    assert records == [s.to_dict() for s in spans]
+
+
+def test_jsonl_round_trip_through_path(tmp_path):
+    spans = _sample_spans()
+    path = tmp_path / "spans.jsonl"
+    write_spans_jsonl(spans, str(path))
+    records = read_spans_jsonl(str(path))
+    assert [r["name"] for r in records] == [s.name for s in spans]
+    # The error span survives serialisation intact.
+    failed = [r for r in records if r["status"] == "error"]
+    assert len(failed) == 1
+    assert failed[0]["name"] == "refinement"
+    assert "strabon down" in failed[0]["error"]
+
+
+def test_prometheus_text_renders_all_kinds():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "Requests seen").inc(
+        3, operation="select"
+    )
+    registry.gauge("queue_depth").set(2)
+    hist = registry.histogram("latency_seconds", "Request latency")
+    for v in (0.1, 0.2, 0.3):
+        hist.observe(v, stage="chain")
+    text = prometheus_text(registry)
+    assert "# HELP requests_total Requests seen\n" in text
+    assert "# TYPE requests_total counter\n" in text
+    assert 'requests_total{operation="select"} 3\n' in text
+    assert "# TYPE queue_depth gauge\n" in text
+    assert "queue_depth 2\n" in text
+    # Histograms export as Prometheus summaries with quantile labels.
+    assert "# TYPE latency_seconds summary\n" in text
+    assert 'latency_seconds{quantile="0.5",stage="chain"} 0.2\n' in text
+    assert 'latency_seconds{quantile="0.95"' in text
+    assert 'latency_seconds_sum{stage="chain"}' in text
+    assert 'latency_seconds_count{stage="chain"} 3\n' in text
+
+
+def test_prometheus_text_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(path='a"b\\c')
+    text = prometheus_text(registry)
+    assert 'c{path="a\\"b\\\\c"} 1' in text
+
+
+def test_tree_report_indents_children_and_marks_errors():
+    spans = _sample_spans()
+    report = tree_report(spans)
+    lines = report.splitlines()
+    assert len(lines) == 4
+    # Root first, children indented by depth, recording order preserved.
+    assert "acquisition" in lines[0]
+    assert "[mode=teleios]" in lines[0]
+    assert lines[1].split("ms  ")[1].startswith("  chain.process")
+    assert lines[2].split("ms  ")[1].startswith("    chain.decode")
+    assert "!refinement" in lines[3]
+    assert "<RuntimeError: strabon down>" in lines[3]
+
+
+def test_tree_report_treats_orphans_as_roots_and_caps_output():
+    spans = _sample_spans()
+    records = [s.to_dict() for s in spans]
+    # Drop the root: its children become top-level entries.
+    orphans = [r for r in records if r["name"] != "acquisition"]
+    report = tree_report(orphans, include_attributes=False)
+    top_level = [
+        line for line in report.splitlines()
+        if not line.split("ms  ")[1].startswith(" ")
+    ]
+    assert len(top_level) == 2
+    assert len(tree_report(records, max_spans=1).splitlines()) == 1

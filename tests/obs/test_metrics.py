@@ -1,0 +1,136 @@
+"""Metrics registry: counters, gauges, histogram percentiles, labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import _percentile
+
+
+def test_counter_labels_value_and_total():
+    registry = MetricsRegistry()
+    counter = registry.counter("segments_total", "help text")
+    counter.inc(reason="unparseable")
+    counter.inc(2, reason="irrelevant_band")
+    counter.inc()
+    assert counter.value(reason="unparseable") == 1
+    assert counter.value(reason="irrelevant_band") == 2
+    assert counter.value() == 1
+    assert counter.total() == 4
+
+
+def test_counter_rejects_negative_increment():
+    counter = MetricsRegistry().counter("c")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    gauge = MetricsRegistry().gauge("queue_depth")
+    gauge.set(5)
+    gauge.inc(2)
+    gauge.dec()
+    assert gauge.value() == 6.0
+
+
+def test_histogram_exact_percentiles():
+    histogram = MetricsRegistry().histogram("latency_s")
+    for v in range(1, 101):  # 1..100
+        histogram.observe(float(v))
+    assert histogram.count() == 100
+    # Linear interpolation over sorted values (0-indexed ranks).
+    assert histogram.percentile(50) == pytest.approx(50.5)
+    assert histogram.percentile(95) == pytest.approx(95.05)
+    assert histogram.percentile(0) == 1.0
+    assert histogram.percentile(100) == 100.0
+    summary = histogram.summary()
+    assert summary["count"] == 100
+    assert summary["sum"] == pytest.approx(5050.0)
+    assert summary["min"] == 1.0
+    assert summary["max"] == 100.0
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["p95"] == pytest.approx(95.05)
+
+
+def test_histogram_label_sets_are_independent():
+    histogram = MetricsRegistry().histogram("chain_stage_seconds")
+    histogram.observe(0.1, chain="sciql", stage="classify")
+    histogram.observe(0.3, chain="sciql", stage="classify")
+    histogram.observe(9.0, chain="legacy", stage="classify")
+    assert histogram.count(chain="sciql", stage="classify") == 2
+    assert histogram.count(chain="legacy", stage="classify") == 1
+    assert histogram.percentile(
+        50, chain="sciql", stage="classify"
+    ) == pytest.approx(0.2)
+    labelled = dict(
+        (tuple(sorted(labels.items())), summary["count"])
+        for labels, summary in histogram.samples()
+    )
+    assert labelled == {
+        (("chain", "legacy"), ("stage", "classify")): 1,
+        (("chain", "sciql"), ("stage", "classify")): 2,
+    }
+
+
+def test_percentile_edge_cases():
+    assert _percentile([], 50) == 0.0
+    assert _percentile([7.0], 95) == 7.0
+    with pytest.raises(ValueError):
+        _percentile([1.0, 2.0], 101)
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("hits", "first help")
+    b = registry.counter("hits")
+    assert a is b
+    assert b.help == "first help"
+    assert registry.names() == ["hits"]
+    assert registry.get("hits") is a
+    assert registry.get("missing") is None
+
+
+def test_registry_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("mixed")
+    with pytest.raises(TypeError, match="already registered"):
+        registry.histogram("mixed")
+
+
+def test_disabled_registry_updates_are_noops():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("c")
+    gauge = registry.gauge("g")
+    histogram = registry.histogram("h")
+    counter.inc(5)
+    gauge.set(3)
+    histogram.observe(1.0)
+    assert counter.value() == 0.0
+    assert gauge.value() == 0.0
+    assert histogram.count() == 0
+    registry.enable()
+    counter.inc(5)
+    assert counter.value() == 5.0
+
+
+def test_reset_clears_values_but_keeps_instruments():
+    registry = MetricsRegistry()
+    counter = registry.counter("kept")
+    counter.inc(3)
+    registry.reset()
+    assert registry.get("kept") is counter
+    assert counter.value() == 0.0
+
+
+def test_collect_snapshots_every_instrument():
+    registry = MetricsRegistry()
+    registry.counter("b_counter", "counts").inc(2)
+    registry.histogram("a_hist").observe(1.5, stage="chain")
+    collected = registry.collect()
+    assert [m["name"] for m in collected] == ["a_hist", "b_counter"]
+    assert collected[0]["kind"] == "histogram"
+    (labels, summary) = collected[0]["samples"][0]
+    assert labels == {"stage": "chain"}
+    assert summary["count"] == 1
+    assert collected[1]["samples"] == [({}, 2.0)]

@@ -1,0 +1,160 @@
+"""Span primitive: nesting, decorator, no-op mode, exception safety."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_SPAN, Tracer
+
+
+def test_nested_spans_link_parent_and_child():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer") as outer:
+        with tracer.span("middle") as middle:
+            with tracer.span("inner") as inner:
+                pass
+    finished = tracer.spans()
+    # Completion order: innermost closes first.
+    assert [s.name for s in finished] == ["inner", "middle", "outer"]
+    assert outer.parent_id is None
+    assert middle.parent_id == outer.span_id
+    assert inner.parent_id == middle.span_id
+    assert all(s.end is not None for s in finished)
+    assert all(s.duration >= 0.0 for s in finished)
+
+
+def test_sibling_spans_share_a_parent():
+    tracer = Tracer(enabled=True)
+    with tracer.span("root") as root:
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+    assert first.parent_id == root.span_id
+    assert second.parent_id == root.span_id
+
+
+def test_span_attributes_at_open_and_via_set():
+    tracer = Tracer(enabled=True)
+    with tracer.span("work", chain="sciql") as span:
+        span.set(hotspots=3, name="override-safe")
+    assert span.attributes == {
+        "chain": "sciql",
+        "hotspots": 3,
+        "name": "override-safe",
+    }
+
+
+def test_decorator_records_a_span():
+    tracer = Tracer(enabled=True)
+
+    @tracer.trace("compute.answer")
+    def answer() -> int:
+        return 42
+
+    assert answer() == 42
+    names = [s.name for s in tracer.spans()]
+    assert names == ["compute.answer"]
+
+
+def test_decorator_defaults_to_qualname_and_skips_when_disabled():
+    tracer = Tracer(enabled=False)
+
+    @tracer.trace()
+    def helper() -> str:
+        return "ok"
+
+    assert helper() == "ok"
+    assert tracer.spans() == []
+
+
+def test_disabled_tracer_span_is_shared_null_singleton():
+    tracer = Tracer(enabled=False)
+    cm = tracer.span("anything", key="value")
+    assert cm is NULL_SPAN
+    with cm as span:
+        span.set(ignored=True)
+    assert tracer.spans() == []
+    assert NULL_SPAN.attributes == {}
+
+
+def test_measure_yields_real_duration_even_when_disabled():
+    tracer = Tracer(enabled=False)
+    with tracer.measure("timed.stage") as span:
+        time.sleep(0.002)
+    assert span.duration >= 0.002
+    # ... but nothing is recorded into the tracer.
+    assert tracer.spans() == []
+
+
+def test_exception_closes_span_marks_error_and_reraises():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(ValueError, match="boom"):
+        with tracer.span("explodes"):
+            raise ValueError("boom")
+    (span,) = tracer.spans()
+    assert span.status == "error"
+    assert span.end is not None
+    assert span.error == "ValueError: boom"
+    assert tracer.failure_counts == {"explodes": 1}
+    # The active stack is clean: a new span becomes a root.
+    with tracer.span("after") as after:
+        pass
+    assert after.parent_id is None
+
+
+def test_failure_hook_feeds_global_metrics(observability):
+    with pytest.raises(RuntimeError):
+        with obs.span("stage.fail"):
+            raise RuntimeError("nope")
+    counter = obs.get_metrics().get(obs.SPAN_FAILURES)
+    assert counter is not None
+    assert counter.value(span="stage.fail") == 1
+
+
+def test_threads_keep_independent_span_stacks():
+    tracer = Tracer(enabled=True)
+    errors = []
+
+    def work(label: str) -> None:
+        try:
+            with tracer.span(f"outer.{label}") as outer:
+                with tracer.span(f"inner.{label}") as inner:
+                    assert inner.parent_id == outer.span_id
+                assert outer.parent_id is None
+        except BaseException as exc:  # pragma: no cover - defensive
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=work, args=(str(i),)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(tracer.spans()) == 8
+
+
+def test_max_spans_backstop_counts_drops():
+    tracer = Tracer(enabled=True, max_spans=2)
+    for i in range(4):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer.spans()) == 2
+    assert tracer.dropped == 2
+
+
+def test_clear_resets_spans_and_failures():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(ValueError):
+        with tracer.span("bad"):
+            raise ValueError()
+    tracer.clear()
+    assert tracer.spans() == []
+    assert tracer.failure_counts == {}
+    assert tracer.dropped == 0
