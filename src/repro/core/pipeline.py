@@ -1,0 +1,268 @@
+"""The pipelined acquisition executor.
+
+The serial service alternates two stages per acquisition: stage one
+synthesises/ingests the scene and runs the SciQL processing chain
+(decode → crop → georeference → classify → vectorize), stage two refines
+the product semantically over Strabon.  The stages have disjoint state —
+the chain touches only its own MonetDB instance and the input segments,
+refinement touches only the RDF store — so stage one of acquisition N+1
+can run while acquisition N is being refined.
+
+:class:`PipelinedExecutor` does exactly that and nothing more:
+
+* stage one runs on a small pool of **worker processes** (the chain is
+  CPython-interpreter-bound, so threads cannot overlap it with
+  refinement; worker kind ``"thread"`` remains available for platforms
+  without ``fork``).  Every worker lazily builds its **own** chain —
+  SciQL chains own their MonetDB catalog, so workers share nothing,
+* at most ``chain_workers + queue_depth`` acquisitions are in flight —
+  the bounded queue that keeps a fast chain from racing ahead of a slow
+  refinement unboundedly,
+* stage two (refinement, archiving, budget accounting) runs on the
+  calling thread, **strictly in input order**, one acquisition at a
+  time — so refinement of acquisition N never observes products of
+  N+1, the paper's per-acquisition semantics are preserved, and the
+  surviving-hotspot sets are identical to a serial run.
+
+The pool persists across :meth:`PipelinedExecutor.run` calls (warm
+workers keep their chain), so a long-lived service pays the process
+start-up cost once; use the executor as a context manager or call
+:meth:`close`.  The serial path remains the default everywhere;
+examples and tests opt into the pipeline explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import multiprocessing
+import threading
+from collections import deque
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Deque, Iterable, List, Optional
+
+from repro.core.products import HotspotProduct
+from repro.obs import get_tracer
+from repro.perf import get_config
+from repro.seviri.scene import SceneImage
+
+_log = logging.getLogger(__name__)
+_tracer = get_tracer()
+
+__all__ = ["PipelinedExecutor"]
+
+
+def _fork_available() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return False
+    return True
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything a stage-one worker needs, detached from the service.
+
+    Deliberately excludes the Strabon store and the refinement pipeline:
+    workers only synthesise scenes, write segments and run the chain.
+    """
+
+    mode: str
+    georeference: object
+    use_files: bool
+    workdir: str
+    scene_generator: object
+    season: object
+    sensor_name: str
+
+    def make_chain(self):
+        if self.mode == "teleios":
+            from repro.core.sciql_chain import SciQLChain
+
+            return SciQLChain(self.georeference)
+        from repro.core.legacy import LegacyChain
+
+        return LegacyChain(self.georeference)
+
+    def resolve(self, item):
+        """Turn a work item into what the chain consumes.
+
+        Accepted items mirror the serial entry points: a bare timestamp
+        (scene synthesis happens on the worker), a
+        :class:`~repro.seviri.scene.SceneImage`, a monitor-dispatched
+        acquisition exposing ``chain_input``, or a raw chain input.
+        """
+        from repro.core.service import scene_to_chain_input
+
+        if isinstance(item, datetime):
+            item = self.scene_generator.generate(
+                item, self.season, sensor_name=self.sensor_name
+            )
+        if isinstance(item, SceneImage):
+            return scene_to_chain_input(item, self.use_files, self.workdir)
+        if hasattr(item, "chain_input"):
+            return item.chain_input
+        return item
+
+
+# Per-worker-process state, installed by the pool initializer.  The
+# chain builds lazily on first use and then persists for the lifetime of
+# the worker (a SciQL chain owns an in-memory MonetDB catalog — building
+# one per acquisition would swamp the win).
+_SPEC: Optional[_WorkerSpec] = None
+_CHAIN = None
+
+
+def _init_process_worker(spec: _WorkerSpec) -> None:
+    global _SPEC, _CHAIN
+    _SPEC = spec
+    _CHAIN = None
+
+
+def _process_stage(item) -> HotspotProduct:
+    global _CHAIN
+    assert _SPEC is not None, "worker used before initialisation"
+    if _CHAIN is None:
+        _CHAIN = _SPEC.make_chain()
+    return _CHAIN.process(_SPEC.resolve(item))
+
+
+class PipelinedExecutor:
+    """Overlaps chain execution with refinement behind a bounded queue."""
+
+    def __init__(
+        self,
+        service,
+        chain_workers: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        worker_kind: Optional[str] = None,
+        season=None,
+        sensor_name: str = "MSG2",
+    ) -> None:
+        cfg = get_config()
+        self.service = service
+        self.chain_workers = (
+            chain_workers if chain_workers is not None
+            else cfg.chain_workers
+        )
+        self.queue_depth = (
+            queue_depth if queue_depth is not None else cfg.pipeline_depth
+        )
+        if self.chain_workers < 1:
+            raise ValueError("pipelined executor needs chain_workers >= 1")
+        if self.queue_depth < 0:
+            raise ValueError("pipelined executor needs queue_depth >= 0")
+        if worker_kind is None:
+            worker_kind = "process" if _fork_available() else "thread"
+        if worker_kind not in ("process", "thread"):
+            raise ValueError(f"unknown worker kind {worker_kind!r}")
+        if worker_kind == "process" and not _fork_available():
+            raise ValueError(
+                "process workers need the fork start method; "
+                "use worker_kind='thread'"
+            )
+        self.worker_kind = worker_kind
+        self.season = season
+        self.sensor_name = sensor_name
+        self._pool = None
+        self._thread_state = threading.local()
+
+    # -- stage 1: chain work on workers -----------------------------------
+
+    def _spec(self) -> _WorkerSpec:
+        svc = self.service
+        return _WorkerSpec(
+            mode=svc.mode,
+            georeference=svc.georeference,
+            use_files=svc.use_files,
+            workdir=svc.workdir,
+            scene_generator=svc.scene_generator,
+            season=self.season,
+            sensor_name=self.sensor_name,
+        )
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.worker_kind == "process":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.chain_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=_init_process_worker,
+                    initargs=(self._spec(),),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.chain_workers,
+                    thread_name_prefix="chain-worker",
+                )
+        return self._pool
+
+    def _thread_stage(self, item) -> HotspotProduct:
+        """Stage one on a worker thread (fallback worker kind)."""
+        spec = getattr(self._thread_state, "spec", None)
+        if spec is None:
+            spec = self._spec()
+            self._thread_state.spec = spec
+            self._thread_state.chain = spec.make_chain()
+        with _tracer.span("pipeline.chain", stage="chain"):
+            return self._thread_state.chain.process(spec.resolve(item))
+
+    def _submit(self, pool, item) -> Future:
+        if self.worker_kind == "process":
+            return pool.submit(_process_stage, item)
+        return pool.submit(self._thread_stage, item)
+
+    # -- the pipeline ------------------------------------------------------
+
+    def run(self, items: Iterable) -> List:
+        """Process acquisitions; returns outcomes in input order.
+
+        ``items`` may hold timestamps, scenes, monitor-dispatched
+        acquisitions, or raw chain inputs, exactly like the serial entry
+        points.
+        """
+        window = self.chain_workers + self.queue_depth
+        outcomes: List = []
+        iterator = iter(items)
+        pool = self._ensure_pool()
+        pending: Deque[Future] = deque(
+            self._submit(pool, item)
+            for item in itertools.islice(iterator, window)
+        )
+        while pending:
+            product = pending.popleft().result()
+            # Refill before refining so workers stay busy while this
+            # thread runs stage two.
+            for item in itertools.islice(iterator, 1):
+                pending.append(self._submit(pool, item))
+            outcomes.append(self.service._finish_acquisition(product))
+        _log.debug(
+            "pipelined executor finished %d acquisition(s) "
+            "(%d %s worker(s), depth %d)",
+            len(outcomes),
+            self.chain_workers,
+            self.worker_kind,
+            self.queue_depth,
+        )
+        return outcomes
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PipelinedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

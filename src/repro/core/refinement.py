@@ -15,6 +15,13 @@ Six operations run per acquisition, in the paper's order:
 
 Every operation is an stSPARQL query/update executed by Strabon, and every
 call returns its wall time so the Figure 8 benchmark can plot them.
+
+The request texts are static templates: per-acquisition values (the
+acquisition timestamp, the persistence-window start) are passed as
+*parameters* — pre-bound variables ``?__ts`` / ``?__window_start`` —
+instead of being embedded in the text.  Constant text is what makes the
+engine's plan cache effective: after the first acquisition every
+refinement request is answered from a cached parse.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ from repro.core.products import HotspotProduct
 from repro.obs import get_metrics, get_tracer
 from repro.obs.span import Span
 from repro.ontology.noa import load_noa_ontology
+from repro.rdf.namespace import XSD
+from repro.rdf.term import Literal
 from repro.stsparql import Strabon
 
 _log = logging.getLogger(__name__)
@@ -47,6 +56,118 @@ PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
 
 def _stamp(when: datetime) -> str:
     return when.strftime("%Y-%m-%dT%H:%M:%S")
+
+
+def _ts_param(when: datetime) -> Literal:
+    """The xsd:dateTime literal a timestamp parameter binds to.
+
+    Must match the lexical form :mod:`repro.core.annotation` writes, so
+    a ``?__ts``-bound pattern matches the stored literal exactly.
+    """
+    return Literal(_stamp(when), datatype=XSD.base + "dateTime")
+
+
+#: Static request templates.  The acquisition timestamp arrives as the
+#: pre-bound parameter ``?__ts`` (and the persistence window start as
+#: ``?__window_start``) so the text — the engine's plan-cache key —
+#: never changes between acquisitions.
+
+_MUNICIPALITIES_UPDATE = _PREFIXES + """
+INSERT { ?h noa:isInMunicipality ?m }
+WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?__ts ;
+     strdf:hasGeometry ?hGeo .
+  ?m a gag:Dhmos ;
+     strdf:hasGeometry ?mGeo .
+  FILTER(strdf:anyInteract(?hGeo, ?mGeo)) .
+}
+"""
+
+_DELETE_IN_SEA_UPDATE = _PREFIXES + """
+DELETE { ?h ?hProperty ?hObject }
+WHERE {
+  { SELECT DISTINCT ?h WHERE {
+       ?h a noa:Hotspot ;
+          noa:hasAcquisitionDateTime ?__ts ;
+          strdf:hasGeometry ?hGeo .
+       OPTIONAL {
+         ?c a coast:Coastline ;
+            strdf:hasGeometry ?cGeo .
+         FILTER (strdf:anyInteract(?hGeo, ?cGeo)) }
+       FILTER(!bound(?c)) } }
+  ?h ?hProperty ?hObject . }
+"""
+
+_INVALID_FOR_FIRES_UPDATE = _PREFIXES + """
+DELETE { ?h ?hProperty ?hObject }
+WHERE {
+  { SELECT DISTINCT ?h WHERE {
+       ?h a noa:Hotspot ;
+          noa:hasAcquisitionDateTime ?__ts ;
+          strdf:hasGeometry ?hGeo .
+       ?bad a clc:Area ;
+          clc:hasLandUse ?badUse ;
+          strdf:hasGeometry ?badGeo .
+       { ?badUse a clc:ArtificialSurfaces } UNION
+       { ?badUse a clc:PermanentCrops }
+       FILTER(strdf:anyInteract(?hGeo, ?badGeo)) .
+       OPTIONAL {
+         ?ok a clc:Area ;
+            clc:hasLandUse ?okUse ;
+            strdf:hasGeometry ?okGeo .
+         ?okUse a clc:ForestsAndSemiNaturalAreas .
+         FILTER(strdf:anyInteract(?hGeo, ?okGeo)) }
+       FILTER(!bound(?ok)) } }
+  ?h ?hProperty ?hObject . }
+"""
+
+_REFINE_IN_COAST_UPDATE = _PREFIXES + """
+DELETE { ?h strdf:hasGeometry ?hGeo }
+INSERT { ?h strdf:hasGeometry ?dif }
+WHERE {
+  SELECT DISTINCT ?h ?hGeo
+  (strdf:intersection(?hGeo, strdf:union(?cGeo)) AS ?dif)
+  WHERE {
+    ?h a noa:Hotspot ;
+       noa:hasAcquisitionDateTime ?__ts ;
+       strdf:hasGeometry ?hGeo .
+    ?c a coast:Coastline ;
+       strdf:hasGeometry ?cGeo .
+    FILTER(strdf:anyInteract(?hGeo, ?cGeo)) }
+  GROUP BY ?h ?hGeo
+  HAVING strdf:overlap(?hGeo, strdf:union(?cGeo)) }
+"""
+
+_MARK_UNCONFIRMED_UPDATE = _PREFIXES + """
+INSERT { ?h noa:hasConfirmation noa:unconfirmed }
+WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?__ts .
+  FILTER NOT EXISTS { ?h noa:hasConfirmation noa:confirmed } }
+"""
+
+_SURVIVORS_ALL_QUERY = _PREFIXES + """
+SELECT ?h ?hGeo ?conf ?confirmation
+WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?t ;
+     strdf:hasGeometry ?hGeo ;
+     noa:hasConfidence ?conf .
+  OPTIONAL { ?h noa:hasConfirmation ?confirmation }
+  }
+"""
+
+_SURVIVORS_AT_QUERY = _PREFIXES + """
+SELECT ?h ?hGeo ?conf ?confirmation
+WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?t ;
+     strdf:hasGeometry ?hGeo ;
+     noa:hasConfidence ?conf .
+  OPTIONAL { ?h noa:hasConfirmation ?confirmation }
+  FILTER( str(?t) = str(?__ts) ) . }
+"""
 
 
 @dataclass
@@ -106,6 +227,27 @@ class RefinementPipeline:
         self.persistence_min_detections = persistence_min_detections
         self.timings: List[OperationTiming] = []
         self._product_count = 0
+        # The confirmation threshold is part of the HAVING clause, and
+        # constant for the pipeline's lifetime — bake it into the text
+        # once so the template stays plan-cacheable.
+        self._confirm_update = _PREFIXES + f"""
+INSERT {{ ?h noa:hasConfirmation noa:confirmed }}
+WHERE {{
+  SELECT ?h (COUNT(?prev) AS ?n)
+  WHERE {{
+    ?h a noa:Hotspot ;
+       noa:hasAcquisitionDateTime ?__ts ;
+       strdf:hasGeometry ?hGeo .
+    ?prev a noa:Hotspot ;
+       noa:hasAcquisitionDateTime ?pTime ;
+       strdf:hasGeometry ?pGeo .
+    FILTER( str(?pTime) < str(?__ts) ) .
+    FILTER( str(?pTime) >= str(?__window_start) ) .
+    FILTER( strdf:anyInteract(?hGeo, ?pGeo) ) .
+  }}
+  GROUP BY ?h
+  HAVING (COUNT(?prev) >= {self.persistence_min_detections}) }}
+"""
         load_noa_ontology(strabon.graph)
 
     # -- operations --------------------------------------------------------
@@ -129,101 +271,34 @@ class RefinementPipeline:
 
     def municipalities(self, timestamp: datetime) -> OperationTiming:
         """Operation 2: hotspot → municipality association."""
-        update = (
-            _PREFIXES
-            + f"""
-INSERT {{ ?h noa:isInMunicipality ?m }}
-WHERE {{
-  ?h a noa:Hotspot ;
-     noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
-     strdf:hasGeometry ?hGeo .
-  ?m a gag:Dhmos ;
-     strdf:hasGeometry ?mGeo .
-  FILTER(strdf:anyInteract(?hGeo, ?mGeo)) .
-}}
-"""
+        return self._run(
+            "Municipalities", timestamp, _MUNICIPALITIES_UPDATE
         )
-        return self._run("Municipalities", timestamp, update)
 
     def delete_in_sea(self, timestamp: datetime) -> OperationTiming:
         """Operation 3: the paper's first update statement, scoped to one
         acquisition (hotspots intersecting no coastline polygon lie
         entirely in the sea)."""
-        update = (
-            _PREFIXES
-            + f"""
-DELETE {{ ?h ?hProperty ?hObject }}
-WHERE {{
-  {{ SELECT DISTINCT ?h WHERE {{
-       ?h a noa:Hotspot ;
-          noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
-          strdf:hasGeometry ?hGeo .
-       OPTIONAL {{
-         ?c a coast:Coastline ;
-            strdf:hasGeometry ?cGeo .
-         FILTER (strdf:anyInteract(?hGeo, ?cGeo)) }}
-       FILTER(!bound(?c)) }} }}
-  ?h ?hProperty ?hObject . }}
-"""
+        return self._run(
+            "Delete In Sea", timestamp, _DELETE_IN_SEA_UPDATE
         )
-        return self._run("Delete In Sea", timestamp, update)
 
     def invalid_for_fires(self, timestamp: datetime) -> OperationTiming:
         """Operation 4: drop hotspots over fully inconsistent land-cover
         classes (urban fabric, industrial units, permanent crops) that do
         not also touch fire-consistent (forest / semi-natural) cover —
         the paper's first false-alarm scenario."""
-        update = (
-            _PREFIXES
-            + f"""
-DELETE {{ ?h ?hProperty ?hObject }}
-WHERE {{
-  {{ SELECT DISTINCT ?h WHERE {{
-       ?h a noa:Hotspot ;
-          noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
-          strdf:hasGeometry ?hGeo .
-       ?bad a clc:Area ;
-          clc:hasLandUse ?badUse ;
-          strdf:hasGeometry ?badGeo .
-       {{ ?badUse a clc:ArtificialSurfaces }} UNION
-       {{ ?badUse a clc:PermanentCrops }}
-       FILTER(strdf:anyInteract(?hGeo, ?badGeo)) .
-       OPTIONAL {{
-         ?ok a clc:Area ;
-            clc:hasLandUse ?okUse ;
-            strdf:hasGeometry ?okGeo .
-         ?okUse a clc:ForestsAndSemiNaturalAreas .
-         FILTER(strdf:anyInteract(?hGeo, ?okGeo)) }}
-       FILTER(!bound(?ok)) }} }}
-  ?h ?hProperty ?hObject . }}
-"""
+        return self._run(
+            "Invalid For Fires", timestamp, _INVALID_FOR_FIRES_UPDATE
         )
-        return self._run("Invalid For Fires", timestamp, update)
 
     def refine_in_coast(self, timestamp: datetime) -> OperationTiming:
         """Operation 5: the paper's second update statement verbatim —
         replace the geometry of partially-at-sea hotspots with its
         intersection with the union of coastline polygons."""
-        update = (
-            _PREFIXES
-            + f"""
-DELETE {{ ?h strdf:hasGeometry ?hGeo }}
-INSERT {{ ?h strdf:hasGeometry ?dif }}
-WHERE {{
-  SELECT DISTINCT ?h ?hGeo
-  (strdf:intersection(?hGeo, strdf:union(?cGeo)) AS ?dif)
-  WHERE {{
-    ?h a noa:Hotspot ;
-       noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
-       strdf:hasGeometry ?hGeo .
-    ?c a coast:Coastline ;
-       strdf:hasGeometry ?cGeo .
-    FILTER(strdf:anyInteract(?hGeo, ?cGeo)) }}
-  GROUP BY ?h ?hGeo
-  HAVING strdf:overlap(?hGeo, strdf:union(?cGeo)) }}
-"""
+        return self._run(
+            "Refine In Coast", timestamp, _REFINE_IN_COAST_UPDATE
         )
-        return self._run("Refine In Coast", timestamp, update)
 
     def time_persistence(self, timestamp: datetime) -> OperationTiming:
         """Operation 6: confirmation by temporal persistence.
@@ -235,40 +310,13 @@ WHERE {{
         window_start = timestamp - timedelta(
             minutes=self.persistence_window_minutes
         )
-        confirm = (
-            _PREFIXES
-            + f"""
-INSERT {{ ?h noa:hasConfirmation noa:confirmed }}
-WHERE {{
-  SELECT ?h (COUNT(?prev) AS ?n)
-  WHERE {{
-    ?h a noa:Hotspot ;
-       noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime ;
-       strdf:hasGeometry ?hGeo .
-    ?prev a noa:Hotspot ;
-       noa:hasAcquisitionDateTime ?pTime ;
-       strdf:hasGeometry ?pGeo .
-    FILTER( str(?pTime) < "{_stamp(timestamp)}" ) .
-    FILTER( str(?pTime) >= "{_stamp(window_start)}" ) .
-    FILTER( strdf:anyInteract(?hGeo, ?pGeo) ) .
-  }}
-  GROUP BY ?h
-  HAVING (COUNT(?prev) >= {self.persistence_min_detections}) }}
-"""
-        )
-        mark_rest = (
-            _PREFIXES
-            + f"""
-INSERT {{ ?h noa:hasConfirmation noa:unconfirmed }}
-WHERE {{
-  ?h a noa:Hotspot ;
-     noa:hasAcquisitionDateTime "{_stamp(timestamp)}"^^xsd:dateTime .
-  FILTER NOT EXISTS {{ ?h noa:hasConfirmation noa:confirmed }} }}
-"""
-        )
+        params = {
+            "__ts": _ts_param(timestamp),
+            "__window_start": _ts_param(window_start),
+        }
         with _tracer.measure("refine.time_persistence") as span:
-            confirmed = self.strabon.update(confirm)
-            self.strabon.update(mark_rest)
+            confirmed = self.strabon.update(self._confirm_update, params)
+            self.strabon.update(_MARK_UNCONFIRMED_UPDATE, params)
         timing = OperationTiming.from_span(
             span,
             "Time Persistence",
@@ -302,32 +350,19 @@ WHERE {{
 
     def surviving_hotspots(self, timestamp: Optional[datetime] = None):
         """Hotspot URI / geometry / confidence rows after refinement."""
-        scope = (
-            f'FILTER( str(?t) = "{_stamp(timestamp)}" ) .'
-            if timestamp is not None
-            else ""
+        if timestamp is None:
+            return self.strabon.select(_SURVIVORS_ALL_QUERY)
+        return self.strabon.select(
+            _SURVIVORS_AT_QUERY, {"__ts": _ts_param(timestamp)}
         )
-        query = (
-            _PREFIXES
-            + f"""
-SELECT ?h ?hGeo ?conf ?confirmation
-WHERE {{
-  ?h a noa:Hotspot ;
-     noa:hasAcquisitionDateTime ?t ;
-     strdf:hasGeometry ?hGeo ;
-     noa:hasConfidence ?conf .
-  OPTIONAL {{ ?h noa:hasConfirmation ?confirmation }}
-  {scope} }}
-"""
-        )
-        return self.strabon.select(query)
 
     def _run(
         self, operation: str, timestamp: datetime, update_text: str
     ) -> OperationTiming:
         slug = operation.lower().replace(" ", "_")
+        params = {"__ts": _ts_param(timestamp)}
         with _tracer.measure(f"refine.{slug}") as span:
-            result = self.strabon.update(update_text)
+            result = self.strabon.update(update_text, params)
         timing = OperationTiming.from_span(
             span,
             operation,

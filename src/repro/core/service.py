@@ -43,6 +43,30 @@ _tracer = get_tracer()
 _metrics = get_metrics()
 
 
+def scene_to_chain_input(
+    scene: SceneImage, use_files: bool, workdir: str
+):
+    """What the processing chain consumes for ``scene``.
+
+    In-memory mode hands the scene straight over; file mode writes the
+    two IR bands as HRIT segment directories (full fidelity: the vault
+    ingests them like downlinked data).  Module-level so the pipelined
+    executor's worker processes can run it without a service instance.
+    """
+    if not use_files:
+        return scene
+    stamp = scene.timestamp.strftime("%Y%m%d%H%M%S")
+    dir039 = os.path.join(workdir, f"{stamp}_039")
+    dir108 = os.path.join(workdir, f"{stamp}_108")
+    write_hrit_segments(
+        dir039, scene.sensor_name, "IR_039", scene.timestamp, scene.t039
+    )
+    write_hrit_segments(
+        dir108, scene.sensor_name, "IR_108", scene.timestamp, scene.t108
+    )
+    return (dir039, dir108)
+
+
 @dataclass
 class AcquisitionOutcome:
     """Everything the service produced for one acquisition."""
@@ -76,15 +100,21 @@ class FireMonitoringService:
         workdir: Optional[str] = None,
         archive_products: bool = False,
         clouds_per_scene: float = 0.0,
+        raw_grid: Optional[RawGrid] = None,
+        target_grid: Optional[TargetGrid] = None,
     ) -> None:
         if mode not in ("teleios", "pre-teleios"):
             raise ValueError(f"unknown mode {mode!r}")
         self.mode = mode
         self.greece = greece if greece is not None else SyntheticGreece(seed)
-        self.scene_generator = SceneGenerator(
-            self.greece, clouds_per_scene=clouds_per_scene
+        raw_grid = raw_grid if raw_grid is not None else RawGrid()
+        target_grid = (
+            target_grid if target_grid is not None else TargetGrid()
         )
-        self.georeference = GeoReference(RawGrid(), TargetGrid())
+        self.scene_generator = SceneGenerator(
+            self.greece, raw=raw_grid, clouds_per_scene=clouds_per_scene
+        )
+        self.georeference = GeoReference(raw_grid, target_grid)
         self.use_files = use_files
         self.workdir = workdir or tempfile.mkdtemp(prefix="noa_service_")
         self.archive: Optional[ProductArchive] = (
@@ -136,6 +166,40 @@ class FireMonitoringService:
     def _run_acquisition(self, chain_input) -> AcquisitionOutcome:
         with _tracer.span("acquisition", mode=self.mode) as root:
             product = self.chain.process(chain_input)
+            outcome = self._refine_and_archive(product, root)
+        self._account_outcome(outcome)
+        return outcome
+
+    def _finish_acquisition(self, product: HotspotProduct) -> (
+        AcquisitionOutcome
+    ):
+        """Refine, archive and account a chain product computed elsewhere.
+
+        This is stage two of the pipelined executor
+        (:class:`repro.core.pipeline.PipelinedExecutor`): the SciQL
+        chain already ran on a worker thread, the per-acquisition
+        semantics (refinement, archiving, budget accounting) run here —
+        on the caller's thread, strictly one acquisition at a time.
+        """
+        with _tracer.span(
+            "acquisition", mode=self.mode, pipelined=True
+        ) as root:
+            outcome = self._refine_and_archive(product, root)
+        self._account_outcome(outcome)
+        return outcome
+
+    def _make_chain(self):
+        """A fresh processing chain like :attr:`chain` (worker-private
+        state: each SciQL chain owns its MonetDB instance)."""
+        if self.mode == "teleios":
+            return SciQLChain(self.georeference)
+        return LegacyChain(self.georeference)
+
+    def _refine_and_archive(self, product, root) -> AcquisitionOutcome:
+        # ``stage.refine`` is the pipeline's whole second stage
+        # (refinement + surviving-hotspot query + archiving): its span
+        # duration is what bounds pipelined throughput.
+        with _tracer.span("stage.refine", hotspots=len(product)):
             outcome = AcquisitionOutcome(
                 timestamp=product.timestamp,
                 sensor=product.sensor,
@@ -152,12 +216,16 @@ class FireMonitoringService:
                 outcome.refined_count = len(surviving)
             if self.archive is not None:
                 self.archive.store(product)
-            root.set(
-                sensor=outcome.sensor,
-                timestamp=str(outcome.timestamp),
-                raw_hotspots=len(product),
-                refined_hotspots=outcome.refined_count,
-            )
+        root.set(
+            sensor=outcome.sensor,
+            timestamp=str(outcome.timestamp),
+            raw_hotspots=len(product),
+            refined_hotspots=outcome.refined_count,
+        )
+        return outcome
+
+    def _account_outcome(self, outcome: AcquisitionOutcome) -> None:
+        product = outcome.raw_product
         self.outcomes.append(outcome)
         self.budget.record_outcome(outcome)
         if _metrics.enabled:
@@ -190,22 +258,64 @@ class FireMonitoringService:
             outcome.refinement_seconds,
             "" if outcome.within_budget else "  ** DEADLINE MISS **",
         )
-        return outcome
+
+    def process_scenes(
+        self,
+        scenes: Sequence[SceneImage],
+        pipelined: bool = False,
+        chain_workers: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+    ) -> List[AcquisitionOutcome]:
+        """Process a batch of scenes, strictly serially by default.
+
+        With ``pipelined=True`` the SciQL chain of acquisition N+1 runs
+        on worker threads while acquisition N is being refined — see
+        :class:`repro.core.pipeline.PipelinedExecutor`.  Both modes
+        produce identical outcomes in scene order.
+        """
+        if not pipelined:
+            return [self.process_scene(scene) for scene in scenes]
+        from repro.core.pipeline import PipelinedExecutor
+
+        with PipelinedExecutor(
+            self, chain_workers=chain_workers, queue_depth=queue_depth
+        ) as executor:
+            return executor.run(scenes)
+
+    def process_acquisitions(
+        self,
+        whens: Sequence[datetime],
+        season: Optional[FireSeason] = None,
+        sensor_name: str = "MSG2",
+        pipelined: bool = False,
+        chain_workers: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+    ) -> List[AcquisitionOutcome]:
+        """Synthesise and process one acquisition per timestamp.
+
+        The pipelined variant moves the whole first stage — scene
+        synthesis, segment writing and the SciQL chain — onto the
+        workers, so acquisition N+1 is being decoded and classified
+        while acquisition N is refined.
+        """
+        if not pipelined:
+            return [
+                self.process_acquisition(when, season, sensor_name)
+                for when in whens
+            ]
+        from repro.core.pipeline import PipelinedExecutor
+
+        with PipelinedExecutor(
+            self,
+            chain_workers=chain_workers,
+            queue_depth=queue_depth,
+            season=season,
+            sensor_name=sensor_name,
+        ) as executor:
+            return executor.run(whens)
 
     def _chain_input(self, scene: SceneImage):
-        if not self.use_files:
-            return scene
-        # Full fidelity: write HRIT segments and let the vault ingest them.
-        stamp = scene.timestamp.strftime("%Y%m%d%H%M%S")
-        dir039 = os.path.join(self.workdir, f"{stamp}_039")
-        dir108 = os.path.join(self.workdir, f"{stamp}_108")
-        write_hrit_segments(
-            dir039, scene.sensor_name, "IR_039", scene.timestamp, scene.t039
-        )
-        write_hrit_segments(
-            dir108, scene.sensor_name, "IR_108", scene.timestamp, scene.t108
-        )
-        return (dir039, dir108)
+        return scene_to_chain_input(scene, self.use_files, self.workdir)
 
     # -- dissemination -----------------------------------------------------
 

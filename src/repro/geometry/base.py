@@ -150,6 +150,27 @@ class Geometry(ABC):
 
         return ops.buffer(self, radius, resolution=resolution)
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Collect slot values across the class hierarchy.
+
+        Geometries are ``__slots__`` classes whose ``__setattr__`` enforces
+        immutability, so the default slot-state restore would raise; an
+        explicit state round-trip keeps them picklable (hotspot products
+        cross process boundaries in the pipelined executor).
+        """
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if hasattr(self, slot):
+                    state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         wkt = self.wkt
         if len(wkt) > 80:

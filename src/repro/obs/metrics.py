@@ -6,9 +6,11 @@ keyword labels, and each distinct label set is tracked separately —
 ``registry.histogram("chain_stage_seconds").observe(0.2, chain="sciql",
 stage="classify")``.
 
-Histograms keep the raw observations (runs here are at most a few
-thousand points per series) and report exact percentile summaries
-(p50/p95/p99) — what the 5-minute-budget analysis of §4.2.1 needs.
+Histograms keep raw observations in a bounded ring buffer per label
+set (newest ``max_observations`` win) and report exact percentile
+summaries (p50/p95/p99) over the retained window — what the
+5-minute-budget analysis of §4.2.1 needs, without letting long-running
+pipelined services grow memory one float per observation forever.
 
 Updates on a disabled registry are no-ops, so instrumented code does not
 need its own guards.  All structures are lock-protected.
@@ -17,7 +19,8 @@ need its own guards.  All structures are lock-protected.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -131,31 +134,50 @@ class Gauge(_Instrument):
 
 
 class Histogram(_Instrument):
-    """A distribution with exact percentile summaries."""
+    """A distribution with exact percentile summaries.
+
+    Each label set keeps its observations in a fixed-capacity ring
+    buffer: once ``max_observations`` have arrived, every new sample
+    silently displaces the oldest one.  Percentiles are exact over the
+    retained window — for the stationary per-stage latencies recorded
+    here, a trailing window of this size is statistically
+    indistinguishable from the full stream, and memory stays bounded
+    no matter how long a pipelined service runs.
+    """
 
     kind = "histogram"
 
-    #: Keep at most this many observations per label set (newest win);
-    #: a backstop for unbounded service runs, far above benchmark scale.
+    #: Ring-buffer capacity per label set (newest win); a backstop for
+    #: unbounded service runs, far above benchmark scale.  Read when a
+    #: label set records its first observation.
     max_observations = 100_000
 
     def __init__(self, name, help="", registry=None) -> None:
         super().__init__(name, help, registry)
-        self._observations: Dict[LabelKey, List[float]] = {}
+        self._observations: Dict[LabelKey, Deque[float]] = {}
+        self._total_counts: Dict[LabelKey, int] = {}
 
     def observe(self, value: float, **labels: Any) -> None:
         if not self._enabled:
             return
         key = _label_key(labels)
         with self._lock:
-            bucket = self._observations.setdefault(key, [])
-            if len(bucket) >= self.max_observations:
-                del bucket[: len(bucket) // 2]
+            bucket = self._observations.get(key)
+            if bucket is None:
+                bucket = deque(maxlen=self.max_observations)
+                self._observations[key] = bucket
             bucket.append(float(value))
+            self._total_counts[key] = self._total_counts.get(key, 0) + 1
 
     def count(self, **labels: Any) -> int:
+        """Observations currently retained for one label set."""
         with self._lock:
             return len(self._observations.get(_label_key(labels), ()))
+
+    def total_count(self, **labels: Any) -> int:
+        """Lifetime observations, including ones the ring displaced."""
+        with self._lock:
+            return self._total_counts.get(_label_key(labels), 0)
 
     def percentile(self, p: float, **labels: Any) -> float:
         """Exact percentile (linear interpolation); 0.0 when empty."""
@@ -187,6 +209,7 @@ class Histogram(_Instrument):
     def reset(self) -> None:
         with self._lock:
             self._observations.clear()
+            self._total_counts.clear()
 
 
 def _percentile(sorted_values: List[float], p: float) -> float:

@@ -1,0 +1,64 @@
+"""Bounded thread-pool helpers for I/O- and zlib-heavy fan-out.
+
+CPython's zlib module releases the GIL while (de)compressing, and so do
+NumPy's bulk operations and file reads — exactly the work HRIT segment
+decoding is made of.  :func:`map_concurrent` is the one primitive the
+decode paths need: apply a function to every item on a short-lived
+pool, **preserving input order** in the result list, with a serial
+fallback when parallelism cannot pay for its thread setup.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["map_concurrent", "map_outcomes"]
+
+
+def map_concurrent(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: int,
+    name: str = "repro-perf",
+) -> List[R]:
+    """``[fn(item) for item in items]`` on up to ``max_workers`` threads.
+
+    Results come back in input order.  The first exception raised by any
+    call propagates (remaining results are discarded), mirroring the
+    serial loop's behaviour.  With one worker, one item or no items the
+    pool is skipped entirely.
+    """
+    if max_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(max_workers, len(items))
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix=name
+    ) as pool:
+        return list(pool.map(fn, items))
+
+
+def map_outcomes(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: int,
+    name: str = "repro-perf",
+) -> List[object]:
+    """Like :func:`map_concurrent`, but exceptions become results.
+
+    Each slot holds either ``fn(item)``'s return value or the exception
+    it raised — for callers that handle per-item failures (the SEVIRI
+    monitor must reject one unparseable segment without losing the
+    rest of the batch).
+    """
+
+    def attempt(item: T) -> object:
+        try:
+            return fn(item)
+        except Exception as exc:  # noqa: BLE001 - handed to the caller
+            return exc
+
+    return map_concurrent(attempt, items, max_workers, name=name)

@@ -32,6 +32,24 @@ class Term:
 
     __slots__ = ()
 
+    def __getstate__(self) -> dict:
+        """Slot-state pickling for immutable ``__slots__`` terms.
+
+        The guarded ``__setattr__`` of the concrete classes breaks the
+        default slot restore; collecting and re-applying slot values via
+        ``object.__setattr__`` keeps terms picklable across processes.
+        """
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if hasattr(self, slot):
+                    state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
 
 class URI(Term):
     """An IRI reference."""
@@ -201,6 +219,16 @@ class Variable(Term):
 class _Unset:
     __slots__ = ()
 
+    def __reduce__(self):
+        # Pickling must preserve the sentinel's identity: the lazy
+        # ``Literal.value`` check is ``is _UNSET``, so an unpickled copy
+        # of the sentinel would permanently mask the parsed value.
+        return (_get_unset, ())
+
+
+def _get_unset() -> "_Unset":
+    return _UNSET
+
 
 _UNSET = _Unset()
 
@@ -240,10 +268,12 @@ def _parse_value(lit: Literal) -> Any:
         except ValueError:
             return text
     if dt in GEOMETRY_DATATYPES:
-        from repro.geometry import loads_wkt
+        # Equal WKT text yields the *same* geometry object process-wide
+        # (identity matters: spatial caches downstream key on it).
+        from repro.perf.geometry_cache import geometry_from_wkt
 
         try:
-            return loads_wkt(text)
+            return geometry_from_wkt(text)
         except Exception:
             return text
     if dt == _STRDF + "period":

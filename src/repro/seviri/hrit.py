@@ -150,13 +150,28 @@ def read_segment(path: str) -> Tuple[SegmentHeader, np.ndarray]:
 def read_hrit_image(
     paths: Sequence[str],
 ) -> Tuple[SegmentHeader, np.ndarray]:
-    """Assemble a full image from its segment files (any order)."""
+    """Assemble a full image from its segment files (any order).
+
+    Segments decode concurrently on up to ``decode_workers`` threads
+    (zlib decompression and the NumPy reshape both release the GIL).
+    Assembly is unchanged: results arrive keyed by each header's
+    ``segment_index``, so file order — and decode completion order —
+    never mattered in the first place.
+    """
     if not paths:
         raise VaultError("no segment files given")
+    from repro.perf import get_config
+    from repro.perf.parallel import map_concurrent
+
+    decoded = map_concurrent(
+        read_segment,
+        list(paths),
+        max_workers=get_config().decode_workers,
+        name="hrit-decode",
+    )
     segments: Dict[int, np.ndarray] = {}
     header: Optional[SegmentHeader] = None
-    for path in paths:
-        seg_header, grid = read_segment(path)
+    for seg_header, grid in decoded:
         if header is None:
             header = seg_header
         elif (

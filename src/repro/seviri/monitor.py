@@ -31,6 +31,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arraydb.errors import VaultError
 from repro.obs import get_metrics, get_tracer
+from repro.perf import get_config
+from repro.perf.parallel import map_outcomes
 from repro.seviri.hrit import image_metadata
 
 #: The spectral bands the fire-monitoring chain consumes.
@@ -117,14 +119,25 @@ class SeviriMonitor:
 
     def _scan_incoming(self) -> int:
         registered = 0
-        for path in sorted(
-            glob.glob(os.path.join(self.incoming_dir, "*.hsim"))
-        ):
-            if self._known(path):
-                continue
-            try:
-                header = image_metadata([path])[0]
-            except (VaultError, OSError):
+        new_paths = [
+            path
+            for path in sorted(
+                glob.glob(os.path.join(self.incoming_dir, "*.hsim"))
+            )
+            if not self._known(path)
+        ]
+        # Header parsing (open + read + unpack, all GIL-releasing I/O)
+        # fans out across threads; everything stateful — the SQLite
+        # catalog, the counters, file deletion — stays on this thread,
+        # in sorted path order, exactly as the serial scan behaved.
+        headers = map_outcomes(
+            lambda p: image_metadata([p])[0],
+            new_paths,
+            max_workers=get_config().decode_workers,
+            name="hsim-scan",
+        )
+        for path, header in zip(new_paths, headers):
+            if isinstance(header, (VaultError, OSError)):
                 self.rejected_count += 1
                 if _metrics.enabled:
                     _metrics.counter(
@@ -134,6 +147,8 @@ class SeviriMonitor:
                 _log.warning("monitor rejected unparseable segment %s",
                              path)
                 continue
+            if isinstance(header, Exception):
+                raise header
             if header.band not in self.relevant_bands:
                 # Step 2a: disregard non-applicable data.
                 self.filtered_count += 1

@@ -7,6 +7,7 @@ from typing import Any, Callable, Dict, List
 from repro.geometry import Geometry, ops
 from repro.geometry.envelope import Envelope
 from repro.geometry.polygon import Polygon
+from repro.perf import geometry_cache
 from repro.rdf.namespace import STRDF
 from repro.stsparql.errors import ExpressionError
 from repro.stsparql.functions import as_geometry, as_number, as_string
@@ -70,11 +71,19 @@ def agg_group_concat(values: List[Value], distinct: bool) -> Value:
 
 
 def agg_spatial_union(values: List[Value], distinct: bool) -> Value:
-    """``strdf:union(?g)`` — dissolve a group of geometries into one."""
+    """``strdf:union(?g)`` — dissolve a group of geometries into one.
+
+    Memoised on the identity tuple of the group: RefineInCoast unions
+    the same coastline geometries in its HAVING clause, again in its
+    projection, and again on every acquisition.  Returning the same
+    result object also lets the predicate memo downstream key on it.
+    """
     geoms = [as_geometry(v) for v in values]
     if not geoms:
         raise ExpressionError("strdf:union over empty group")
-    return ops.union_all(geoms)
+    return geometry_cache.union_aggregate(
+        geoms, lambda: ops.union_all(geoms)
+    )
 
 
 def agg_spatial_intersection(values: List[Value], distinct: bool) -> Value:

@@ -4,8 +4,13 @@ Wraps a :class:`~repro.rdf.graph.Graph` with
 
 * an stSPARQL query/update endpoint (:meth:`Strabon.query`,
   :meth:`Strabon.update`),
+* a parsed-request **plan cache** keyed on request text: templated
+  requests (the refinement operations) parse once and re-run with
+  per-acquisition values supplied as *parameters* — pre-bound variables
+  handed to the evaluator (``query(text, params={"__ts": ...})``),
 * an R-tree over geometry literals, rebuilt lazily when the graph changes,
-  used for index-assisted spatial joins,
+  used for index-assisted spatial joins (candidate sets are memoised in a
+  bounded LRU keyed on probe-geometry identity),
 * optional RDFS subclass inference (needed by the CLC taxonomy queries),
 * simple per-query statistics (:attr:`Strabon.last_stats`).
 """
@@ -20,6 +25,8 @@ from typing import Dict, List, Optional, Set, Union
 from repro.geometry import Geometry
 from repro.obs import get_metrics, get_tracer, is_enabled
 from repro.geometry.rtree import RTree
+from repro.perf import get_config
+from repro.perf.lru import LRUCache
 from repro.rdf.graph import Graph
 from repro.rdf.inference import RDFSInference
 from repro.rdf.term import Literal, Term, Variable
@@ -74,9 +81,14 @@ class Strabon:
         self._spatial_index_enabled = enable_spatial_index
         self._rtree: Optional[RTree] = None
         self._rtree_generation = -1
+        perf = get_config()
         # Candidate-set memo keyed by probe-geometry object identity;
         # evaluators probe the same bound geometry once per joined row.
-        self._candidate_cache: Dict[int, tuple] = {}
+        # Bounded LRU: under sustained load the hot working set stays.
+        self._candidate_cache = LRUCache(perf.candidate_cache_size)
+        #: Parsed request plans keyed on request text.  The evaluator
+        #: never mutates a parsed AST, so plans are shared safely.
+        self.plan_cache = LRUCache(perf.plan_cache_size)
         self.last_stats = QueryStats()
 
     # -- data loading --------------------------------------------------------
@@ -108,7 +120,7 @@ class Strabon:
                     entries.append((geom.envelope, lit))
             self._rtree = RTree.bulk_load(entries)
             self._rtree_generation = self.graph.generation
-            self._candidate_cache = {}
+            self._candidate_cache.clear()
         return self._rtree
 
     def spatial_candidates(self, geom: Geometry) -> Optional[Set[Literal]]:
@@ -125,14 +137,14 @@ class Strabon:
         if cached is not None and cached[0] is geom:
             return cached[1]
         result = set(tree.search(geom.envelope))
-        if len(self._candidate_cache) > 4096:
-            self._candidate_cache.clear()
-        self._candidate_cache[key] = (geom, result)
+        # The value keeps a strong reference to the probe geometry so
+        # its id cannot be recycled while the entry is cached.
+        self._candidate_cache.put(key, (geom, result))
         return result
 
     # -- querying ----------------------------------------------------------
 
-    def _evaluator(self) -> Evaluator:
+    def _evaluator(self, initial: Optional[Row] = None) -> Evaluator:
         """Build the evaluation plan: binds inference + spatial index."""
         with _tracer.span("stsparql.plan"):
             candidates = (
@@ -144,33 +156,83 @@ class Strabon:
                 self.graph,
                 inference=self._inference,
                 spatial_candidates=candidates,
+                initial=initial,
             )
 
-    def _dispatch(self, parsed):
+    def _parse_cached(self, text: str):
+        """Parse through the plan cache; returns (plan, was_cached).
+
+        Parsed ASTs are immutable to the evaluator, so one plan serves
+        every execution of the same request text.
+        """
+        parsed = self.plan_cache.get(text)
+        hit = parsed is not None
+        if not hit:
+            parsed = parse(text)
+            self.plan_cache.put(text, parsed)
+        if _metrics.enabled:
+            if hit:
+                _metrics.counter(
+                    "stsparql_plan_cache_hits_total",
+                    "stSPARQL requests answered from the plan cache",
+                ).inc()
+            else:
+                _metrics.counter(
+                    "stsparql_plan_cache_misses_total",
+                    "stSPARQL requests parsed from text",
+                ).inc()
+        return parsed, hit
+
+    @staticmethod
+    def _param_row(params: Optional[Dict[str, object]]) -> Optional[Row]:
+        """Normalise a params mapping to an initial binding row."""
+        if not params:
+            return None
+        from repro.stsparql.functions import to_term
+
+        return {
+            name.lstrip("?$"): to_term(value)
+            for name, value in params.items()
+        }
+
+    def _dispatch(self, parsed, initial: Optional[Row] = None):
         """Evaluate a parsed request; returns (result, operation, rows)."""
         if isinstance(parsed, ast.SelectQuery):
             result: Union[SolutionSet, bool, Graph, UpdateResult] = (
-                self._evaluator().select(parsed)
+                self._evaluator(initial).select(parsed)
             )
             return result, "select", len(result)  # type: ignore[arg-type]
         if isinstance(parsed, ast.AskQuery):
-            return self._evaluator().ask(parsed), "ask", 1
+            return self._evaluator(initial).ask(parsed), "ask", 1
         if isinstance(parsed, ast.ConstructQuery):
-            result = self._construct(parsed)
+            result = self._construct(parsed, initial)
             return result, "construct", len(result)
-        return self._apply_update(parsed), "update", 0
+        return self._apply_update(parsed, initial), "update", 0
 
-    def query(self, text: str) -> Union[SolutionSet, bool, UpdateResult]:
-        """Parse and run any stSPARQL request (SELECT / ASK / update)."""
+    def query(
+        self,
+        text: str,
+        params: Optional[Dict[str, object]] = None,
+    ) -> Union[SolutionSet, bool, UpdateResult]:
+        """Parse and run any stSPARQL request (SELECT / ASK / update).
+
+        ``params`` pre-binds variables (``{"__ts": Literal(...)}`` binds
+        ``?__ts``) so callers can keep request text constant — and
+        therefore plan-cache friendly — across executions.  Values may
+        be RDF terms or plain Python values (converted like expression
+        results).
+        """
+        initial = self._param_row(params)
         if not is_enabled():
-            return self._query_plain(text)
+            return self._query_plain(text, initial)
         with _tracer.span("stsparql.query") as span:
             t0 = time.perf_counter()
-            with _tracer.span("stsparql.parse"):
-                parsed = parse(text)
+            with _tracer.span("stsparql.parse") as parse_span:
+                parsed, was_cached = self._parse_cached(text)
+                parse_span.set(cached=was_cached)
             t1 = time.perf_counter()
             with _tracer.span("stsparql.eval"):
-                result, op, rows = self._dispatch(parsed)
+                result, op, rows = self._dispatch(parsed, initial)
             t2 = time.perf_counter()
             stats = QueryStats(
                 operation=op,
@@ -204,12 +266,12 @@ class Strabon:
                 ).inc(stats.triples_removed)
         return result
 
-    def _query_plain(self, text: str):
+    def _query_plain(self, text: str, initial: Optional[Row] = None):
         """The uninstrumented request path (observability disabled)."""
         t0 = time.perf_counter()
-        parsed = parse(text)
+        parsed, _was_cached = self._parse_cached(text)
         t1 = time.perf_counter()
-        result, op, rows = self._dispatch(parsed)
+        result, op, rows = self._dispatch(parsed, initial)
         t2 = time.perf_counter()
         self.last_stats = QueryStats(
             operation=op,
@@ -221,32 +283,42 @@ class Strabon:
         )
         return result
 
-    def select(self, text: str) -> SolutionSet:
-        result = self.query(text)
+    def select(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> SolutionSet:
+        result = self.query(text, params)
         if not isinstance(result, SolutionSet):
             raise SparqlEvalError("request was not a SELECT query")
         return result
 
-    def ask(self, text: str) -> bool:
-        result = self.query(text)
+    def ask(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> bool:
+        result = self.query(text, params)
         if not isinstance(result, bool):
             raise SparqlEvalError("request was not an ASK query")
         return result
 
-    def update(self, text: str) -> UpdateResult:
-        result = self.query(text)
+    def update(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> UpdateResult:
+        result = self.query(text, params)
         if not isinstance(result, UpdateResult):
             raise SparqlEvalError("request was not an update")
         return result
 
-    def construct(self, text: str) -> Graph:
-        result = self.query(text)
+    def construct(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> Graph:
+        result = self.query(text, params)
         if not isinstance(result, Graph):
             raise SparqlEvalError("request was not a CONSTRUCT query")
         return result
 
-    def _construct(self, query: ast.ConstructQuery) -> Graph:
-        bindings = self._evaluator().update_bindings(query.pattern)
+    def _construct(
+        self, query: ast.ConstructQuery, initial: Optional[Row] = None
+    ) -> Graph:
+        bindings = self._evaluator(initial).update_bindings(query.pattern)
         if query.offset:
             bindings = bindings[query.offset:]
         if query.limit is not None:
@@ -258,7 +330,11 @@ class Strabon:
 
     # -- update machinery --------------------------------------------------
 
-    def _apply_update(self, request: ast.UpdateRequest) -> UpdateResult:
+    def _apply_update(
+        self,
+        request: ast.UpdateRequest,
+        initial: Optional[Row] = None,
+    ) -> UpdateResult:
         if request.where_pattern is None:
             # INSERT DATA / DELETE DATA — templates must be ground.
             removed = 0
@@ -271,7 +347,9 @@ class Strabon:
                 if self.graph.add(*triple):
                     added += 1
             return UpdateResult(removed=removed, added=added)
-        bindings = self._evaluator().update_bindings(request.where_pattern)
+        bindings = self._evaluator(initial).update_bindings(
+            request.where_pattern
+        )
         to_remove = _instantiate(request.delete_template, bindings)
         to_add = _instantiate(request.insert_template, bindings)
         removed = 0

@@ -90,6 +90,13 @@ class Evaluator:
     ``spatial_candidates`` (optional) is a callable mapping a geometry to
     the set of geometry literals whose envelope intersects it — supplied by
     the engine from its R-tree.
+
+    ``initial`` (optional) pre-binds variables before evaluation — the
+    parameter mechanism behind the engine's plan cache: templated
+    requests keep a constant text (the cache key) and receive their
+    per-acquisition values (timestamps, window bounds) as bindings.
+    It is evaluator state rather than a per-call seed so subselects,
+    which re-enter :meth:`select`, see the same parameters.
     """
 
     def __init__(
@@ -97,25 +104,30 @@ class Evaluator:
         graph: Graph,
         inference=None,
         spatial_candidates=None,
+        initial: Optional[Row] = None,
     ) -> None:
         self.graph = graph
         self.inference = inference
         self.spatial_candidates = spatial_candidates
+        self.initial: Row = dict(initial) if initial else {}
+
+    def _seed(self) -> List[Row]:
+        return [dict(self.initial)]
 
     # -- public entry points ------------------------------------------------
 
     def select(self, query: ast.SelectQuery) -> SolutionSet:
-        rows = self._eval_group(query.pattern, [dict()])
+        rows = self._eval_group(query.pattern, self._seed())
         return self._apply_modifiers(query, rows)
 
     def ask(self, query: ast.AskQuery) -> bool:
-        rows = self._eval_group(query.pattern, [dict()])
+        rows = self._eval_group(query.pattern, self._seed())
         return bool(rows)
 
     def update_bindings(
         self, pattern: ast.GroupGraphPattern
     ) -> List[Row]:
-        return self._eval_group(pattern, [dict()])
+        return self._eval_group(pattern, self._seed())
 
     # -- solution modifiers ----------------------------------------------
 

@@ -18,8 +18,9 @@ import re
 from datetime import date, datetime
 from typing import Any, Callable, Dict, List
 
-from repro.geometry import Geometry, dumps_wkt, loads_wkt, ops, predicates
+from repro.geometry import Geometry, dumps_wkt, ops, predicates
 from repro.geometry.errors import GeometryError, WKTParseError
+from repro.perf import geometry_cache
 from repro.rdf.namespace import STRDF, XSD
 from repro.rdf.term import BNode, Literal, Term, URI
 from repro.stsparql.errors import ExpressionError
@@ -90,7 +91,7 @@ def as_geometry(value: Value) -> Geometry:
             return value
     if isinstance(value, str):
         try:
-            return loads_wkt(value)
+            return geometry_cache.geometry_from_wkt(value)
         except WKTParseError as exc:
             raise ExpressionError(f"bad WKT: {exc}") from exc
     raise ExpressionError(f"not a geometry: {value!r}")
@@ -188,13 +189,13 @@ def _orderable_pair(left: Value, right: Value):
 # -- spatial functions -------------------------------------------------------
 
 
-#: Identity-keyed memo for precise spatial predicate evaluations.  The
-#: refinement pipeline tests the same (hotspot, coastline/area) geometry
-#: pairs across several operations per acquisition; geometry objects are
-#: cached inside their literals, so identity keys are stable.  Values keep
-#: references to both geometries so ids cannot be recycled while cached.
-_PREDICATE_CACHE: Dict[tuple, tuple] = {}
-_PREDICATE_CACHE_LIMIT = 200_000
+# Precise spatial predicate evaluations are memoised process-wide on
+# the identity of their geometry arguments (the refinement pipeline
+# tests the same (hotspot, coastline/area) pairs across several
+# operations per acquisition, and geometry objects are cached inside
+# interned literals, so identity keys are stable across acquisitions).
+# The memo lives in repro.perf.geometry_cache: a bounded LRU that keeps
+# the hot working set under sustained load instead of clearing wholesale.
 
 
 def _spatial_predicate(
@@ -207,15 +208,9 @@ def _spatial_predicate(
             raise ExpressionError("spatial predicate needs two arguments")
         a = as_geometry(args[0])
         b = as_geometry(args[1])
-        key = (name, id(a), id(b))
-        hit = _PREDICATE_CACHE.get(key)
-        if hit is not None and hit[0] is a and hit[1] is b:
-            return hit[2]
-        result = fn(a, b)
-        if len(_PREDICATE_CACHE) >= _PREDICATE_CACHE_LIMIT:
-            _PREDICATE_CACHE.clear()
-        _PREDICATE_CACHE[key] = (a, b, result)
-        return result
+        return geometry_cache.predicate_result(
+            name, a, b, lambda: fn(a, b)
+        )
 
     return impl
 
@@ -223,10 +218,16 @@ def _spatial_predicate(
 def _spatial_binary(
     fn: Callable[[Geometry, Geometry], Geometry]
 ) -> FunctionImpl:
+    name = fn.__name__
+
     def impl(args: List[Value]) -> Value:
         if len(args) != 2:
             raise ExpressionError("spatial constructor needs two arguments")
-        return fn(as_geometry(args[0]), as_geometry(args[1]))
+        a = as_geometry(args[0])
+        b = as_geometry(args[1])
+        return geometry_cache.binary_op_result(
+            name, a, b, lambda: fn(a, b)
+        )
 
     return impl
 

@@ -81,8 +81,12 @@ def test_span_tree_covers_every_pipeline_layer(
                   "vectorize"):
         span = next(s for s in spans if s.name == f"chain.{stage}")
         assert span.parent_id == chain_root.span_id
+    # Stage two (refinement + surviving query + archive) is delimited
+    # by "stage.refine", which sits under the acquisition root.
     refinement = next(s for s in spans if s.name == "refinement")
-    assert by_id[refinement.parent_id].name == "acquisition"
+    stage2 = by_id[refinement.parent_id]
+    assert stage2.name == "stage.refine"
+    assert by_id[stage2.parent_id].name == "acquisition"
     store = next(s for s in spans if s.name == "refine.store")
     assert store.parent_id == refinement.span_id
     # Outcome timing is the sum of the stage spans, so it fits inside

@@ -1,0 +1,71 @@
+"""The BENCH_pipeline.json artifact — tier-1 smoke contract.
+
+Thresholds are deliberately generous relative to the numbers the
+benchmark actually produces (≈1.75× speedup, 1.0 hit ratio) so that
+noisy re-runs on slow hosts don't flake the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+BENCH_PIPELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    ))),
+    "benchmarks",
+    "out",
+    "BENCH_pipeline.json",
+)
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    if not os.path.exists(BENCH_PIPELINE):
+        pytest.skip("benchmarks/out/BENCH_pipeline.json not generated yet")
+    with open(BENCH_PIPELINE) as f:
+        return json.load(f)
+
+
+def test_schema_has_every_required_section(artifact):
+    assert artifact["schema"] == "bench-pipeline/1"
+    for section in (
+        "workload", "serial", "pipelined", "speedup", "plan_cache",
+        "caches", "determinism",
+    ):
+        assert section in artifact, f"missing section {section!r}"
+    for mode in ("serial", "pipelined"):
+        assert artifact[mode]["acquisitions_per_min"] > 0
+        assert artifact[mode]["wall_s"] > 0
+    stages = artifact["serial"]["stage_latencies_s"]
+    for stage in ("stage1_chain", "stage2_refine", "total"):
+        summary = stages[stage]
+        assert 0 < summary["p50_s"] <= summary["p95_s"]
+
+
+def test_pipelined_throughput_beats_serial(artifact):
+    speedup = artifact["speedup"]["acquisitions_per_min_ratio"]
+    assert speedup >= 1.4, (
+        f"committed artifact shows only {speedup:.2f}x "
+        f"(basis: {artifact['speedup']['basis']})"
+    )
+    assert artifact["speedup"]["basis"] in (
+        "measured", "pipeline-law"
+    )
+
+
+def test_plan_cache_is_hot_after_first_acquisition(artifact):
+    assert (
+        artifact["plan_cache"]["hit_ratio_after_first_acquisition"]
+        >= 0.8
+    )
+
+
+def test_modes_were_deterministically_identical(artifact):
+    determinism = artifact["determinism"]
+    assert determinism["identical_outcomes"] is True
+    assert determinism["identical_surviving_sets"] is True
+    assert determinism["surviving_hotspots"] > 0

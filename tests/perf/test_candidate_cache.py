@@ -1,0 +1,71 @@
+"""Regression: the R-tree candidate cache must evict LRU, not clear.
+
+The seed engine dropped the *entire* candidate cache once it exceeded
+4096 entries, so sustained load (one probe geometry per evaluated
+spatial predicate) repeatedly threw away the hot working set.  The
+cache is now a bounded LRU: the hot probes survive, only the coldest
+entry is shed per insert.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Polygon
+
+
+def _probe(i: int) -> Polygon:
+    x = 20.0 + (i % 50) * 0.01
+    y = 36.0 + (i // 50) * 0.01
+    return Polygon(
+        [(x, y), (x + 0.005, y), (x + 0.005, y + 0.005), (x, y + 0.005)]
+    )
+
+
+def test_sustained_load_keeps_hot_entries(strabon_with_aux):
+    engine = strabon_with_aux
+    cache = engine._candidate_cache
+    cache.resize(16)
+    assert engine._ensure_rtree() is not None
+
+    hot = _probe(0)
+    assert engine.spatial_candidates(hot) is not None
+    for i in range(1, 200):
+        engine.spatial_candidates(_probe(i))
+        engine.spatial_candidates(hot)  # keep it hot
+    stats = cache.stats()
+    # Bounded: never more entries than maxsize, and eviction happened
+    # one-at-a-time instead of clearing the world.
+    assert stats.size <= 16
+    assert stats.evictions >= 199 - 15
+    # The hot probe stayed cached through 199 evicting inserts.
+    assert id(hot) in cache
+    before = cache.stats().hits
+    engine.spatial_candidates(hot)
+    assert cache.stats().hits == before + 1
+
+
+def test_cached_candidates_match_fresh_search(strabon_with_aux):
+    engine = strabon_with_aux
+    probe = _probe(7)
+    first = engine.spatial_candidates(probe)
+    again = engine.spatial_candidates(probe)
+    assert again == first
+    tree = engine._ensure_rtree()
+    assert set(tree.search(probe.envelope)) == first
+
+
+def test_rebuilding_the_index_invalidates_the_cache(strabon_with_aux):
+    engine = strabon_with_aux
+    probe = _probe(3)
+    engine.spatial_candidates(probe)
+    assert len(engine._candidate_cache) > 0
+    # A store mutation forces an index rebuild on next use, which must
+    # drop the now-stale candidate sets.
+    engine.update(
+        "PREFIX noa: "
+        "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> "
+        "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#> "
+        'INSERT DATA { noa:probe strdf:hasGeometry '
+        '"POINT (21.0 37.0)"^^strdf:geometry . }'
+    )
+    engine._ensure_rtree()
+    assert len(engine._candidate_cache) == 0

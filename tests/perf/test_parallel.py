@@ -1,0 +1,67 @@
+"""Ordering and failure semantics of the perf thread-pool helpers."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.perf.parallel import map_concurrent, map_outcomes
+
+
+def test_map_concurrent_preserves_input_order():
+    items = list(range(20))
+
+    def slow_square(x: int) -> int:
+        # Reverse the natural completion order.
+        time.sleep((20 - x) * 0.001)
+        return x * x
+
+    assert map_concurrent(slow_square, items, max_workers=4) == [
+        x * x for x in items
+    ]
+
+
+def test_map_concurrent_serial_fallback_never_spawns():
+    seen_threads = set()
+
+    def probe(x: int) -> int:
+        seen_threads.add(threading.current_thread().name)
+        return x
+
+    main = threading.current_thread().name
+    assert map_concurrent(probe, [1, 2, 3], max_workers=1) == [1, 2, 3]
+    assert map_concurrent(probe, [7], max_workers=8) == [7]
+    assert map_concurrent(probe, [], max_workers=8) == []
+    assert seen_threads == {main}
+
+
+def test_map_concurrent_propagates_first_exception():
+    def explode(x: int) -> int:
+        if x == 3:
+            raise ValueError("boom at 3")
+        return x
+
+    with pytest.raises(ValueError, match="boom at 3"):
+        map_concurrent(explode, list(range(6)), max_workers=3)
+
+
+def test_map_outcomes_returns_exceptions_in_place():
+    def explode(x: int) -> int:
+        if x % 2:
+            raise KeyError(x)
+        return x * 10
+
+    outcomes = map_outcomes(explode, list(range(5)), max_workers=3)
+    assert outcomes[0] == 0 and outcomes[2] == 20 and outcomes[4] == 40
+    assert isinstance(outcomes[1], KeyError)
+    assert isinstance(outcomes[3], KeyError)
+
+
+def test_map_outcomes_serial_path_matches():
+    def explode(x: int) -> int:
+        raise RuntimeError("always")
+
+    (only,) = map_outcomes(explode, ["x"], max_workers=8)
+    assert isinstance(only, RuntimeError)

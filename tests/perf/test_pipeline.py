@@ -1,0 +1,112 @@
+"""Determinism and semantics of the pipelined acquisition executor."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import pytest
+
+from repro.core.pipeline import PipelinedExecutor
+from repro.core.service import FireMonitoringService
+from tests.conftest import CRISIS_START
+
+N = 3
+
+
+def _whens():
+    return [
+        CRISIS_START + timedelta(hours=12, minutes=15 * k)
+        for k in range(N)
+    ]
+
+
+def _service(greece) -> FireMonitoringService:
+    return FireMonitoringService(greece=greece, mode="teleios")
+
+
+def _keys(outcomes):
+    return [
+        (o.timestamp, len(o.raw_product), o.refined_count)
+        for o in outcomes
+    ]
+
+
+def _surviving(service, when):
+    return sorted(
+        repr(row)
+        for row in service.refinement.surviving_hotspots(when)
+    )
+
+
+@pytest.mark.parametrize("worker_kind", ["process", "thread"])
+def test_pipelined_matches_serial_exactly(greece, season, worker_kind):
+    serial = _service(greece)
+    serial_outcomes = serial.process_acquisitions(_whens(), season)
+
+    pipelined = _service(greece)
+    with PipelinedExecutor(
+        pipelined,
+        chain_workers=2,
+        queue_depth=1,
+        worker_kind=worker_kind,
+        season=season,
+    ) as executor:
+        pipelined_outcomes = executor.run(_whens())
+
+    assert _keys(pipelined_outcomes) == _keys(serial_outcomes)
+    assert len(pipelined.outcomes) == N
+    for when in _whens():
+        assert _surviving(pipelined, when) == _surviving(serial, when)
+
+
+def test_process_scenes_pipelined_matches_serial(greece, season):
+    scenes = [
+        _service(greece).scene_generator.generate(when, season)
+        for when in _whens()
+    ]
+    serial = _service(greece)
+    serial_outcomes = serial.process_scenes(scenes)
+    pipelined = _service(greece)
+    pipelined_outcomes = pipelined.process_scenes(
+        scenes, pipelined=True, chain_workers=2, queue_depth=1
+    )
+    assert _keys(pipelined_outcomes) == _keys(serial_outcomes)
+    assert _surviving(pipelined, _whens()[-1]) == _surviving(
+        serial, _whens()[-1]
+    )
+
+
+def test_outcomes_preserve_input_order_and_budget(greece, season):
+    service = _service(greece)
+    with PipelinedExecutor(
+        service, chain_workers=2, queue_depth=2, season=season
+    ) as executor:
+        outcomes = executor.run(_whens())
+    assert [o.timestamp for o in outcomes] == _whens()
+    # Stage two ran on the caller: accounting saw every acquisition.
+    assert len(service.budget) == N
+
+
+def test_pool_survives_across_runs(greece, season):
+    service = _service(greece)
+    whens = _whens()
+    with PipelinedExecutor(
+        service, chain_workers=1, queue_depth=1, season=season
+    ) as executor:
+        first = executor.run(whens[:1])
+        rest = executor.run(whens[1:])
+    assert len(first) + len(rest) == N
+    assert [o.timestamp for o in first + rest] == whens
+
+
+def test_executor_validates_configuration(greece):
+    service = _service(greece)
+    with pytest.raises(ValueError):
+        PipelinedExecutor(service, chain_workers=0)
+    with pytest.raises(ValueError):
+        PipelinedExecutor(service, queue_depth=-1)
+    with pytest.raises(ValueError):
+        PipelinedExecutor(service, worker_kind="fiber")
+    executor = PipelinedExecutor(service, worker_kind="thread")
+    executor.close()
+    executor.close()  # idempotent
