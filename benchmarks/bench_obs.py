@@ -29,6 +29,7 @@ import pytest
 from benchmarks.conftest import CRISIS_START, paper_scale
 from repro import obs
 from repro.core.sciql_chain import SciQLChain
+from repro.core.config import RunOptions
 from repro.core.service import FireMonitoringService
 from repro.obs import (
     build_snapshot,
@@ -73,7 +74,7 @@ def instrumented_run(greece, season):
         with SeviriMonitor(incoming, archive) as monitor:
             registered = monitor.scan()
             ready = monitor.dispatch_ready()
-        outcomes = [service.process_ready(acq) for acq in ready]
+        outcomes = service.run(ready, RunOptions(on_error="raise"))
         shapefiles = [
             service.export_product(o.raw_product) for o in outcomes
         ]

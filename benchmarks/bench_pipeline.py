@@ -40,6 +40,7 @@ from benchmarks.conftest import CRISIS_START, paper_scale
 from repro import obs
 from repro.core.pipeline import PipelinedExecutor
 from repro.core.service import FireMonitoringService
+from repro.core.config import RunOptions
 from repro.perf import all_cache_stats
 from repro.seviri.geo import RawGrid
 
@@ -111,15 +112,16 @@ def pipeline_run(greece, season):
 
         # -- serial ----------------------------------------------------
         serial = _build_service(greece)
-        serial.process_acquisition(warm[0], season)
+        opts = RunOptions(season=season, on_error="raise")
+        serial.run([warm[0]], opts)
         plan_before = serial.strabon.plan_cache.stats()
-        serial.process_acquisition(warm[1], season)
+        serial.run([warm[1]], opts)
         tracer.clear()
         totals = []
         t_serial0 = time.perf_counter()
         for when in timed:
             t0 = time.perf_counter()
-            serial.process_acquisition(when, season)
+            serial.run([when], opts)
             totals.append(time.perf_counter() - t0)
         serial_wall = time.perf_counter() - t_serial0
         stage2 = [

@@ -12,45 +12,98 @@ the final sections print the acquisition-budget report against the
 5-minute window and the per-stage breakdown regenerated from the
 recorded spans.
 
-Run:  python examples/crisis_day_monitoring.py
+With ``--with-faults`` the same afternoon is replayed through the
+fault-injection harness (``repro.faults``): one acquisition loses HRIT
+segments to corruption, one loses its 3.9 µm band entirely, one hits a
+flaky chain that needs retries.  The service's crisis-day contract is
+that **no exception escapes** — every acquisition yields an outcome
+whose ``status``/``errors`` say what was sacrificed.
+
+Run:  python examples/crisis_day_monitoring.py [--with-faults]
 """
 
+import sys
 from datetime import datetime, timedelta, timezone
 
 from repro import obs
+from repro.core import FireMonitoringService, RunOptions, ServiceConfig
 from repro.core.render import render_situation_map
-from repro.core.service import FireMonitoringService
 from repro.datasets import SyntheticGreece
+from repro.faults import FaultPlan, inject
 from repro.seviri.fires import FireSeason
 
 
-def main() -> None:
+def crisis_plan() -> FaultPlan:
+    """One bad afternoon: segment corruption at 14:30, a lost band at
+    15:00, a chain that fails twice before succeeding at 15:30."""
+    return (
+        FaultPlan(seed=7)
+        .corrupt_segment(index=2)
+        .drop_band(index=4, band="IR_039")
+        .raise_in("stage.chain", index=6, times=2)
+    )
+
+
+def main(with_faults: bool = False) -> None:
     obs.enable()
     greece = SyntheticGreece(seed=42, detail=2)
     crisis_start = datetime(2007, 8, 24, tzinfo=timezone.utc)
     season = FireSeason(greece, crisis_start, days=1, seed=7)
 
     teleios = FireMonitoringService(
-        greece=greece, mode="teleios", archive_products=True
+        greece=greece,
+        config=ServiceConfig(
+            mode="teleios",
+            archive_products=True,
+            # Faults mangle HRIT segment bytes, so the faulted replay
+            # must feed the chain through real files.
+            use_files=with_faults,
+        ),
     )
     legacy = FireMonitoringService(greece=greece, mode="pre-teleios")
 
-    print("time   | raw  refined | chain(s) refine(s) | active fires")
-    print("-" * 62)
-    when = crisis_start.replace(hour=14)
-    for step in range(8):
-        outcome = teleios.process_acquisition(when, season)
-        legacy_outcome = legacy.process_acquisition(when, season)
+    whens = [
+        crisis_start.replace(hour=14) + timedelta(minutes=15 * step)
+        for step in range(8)
+    ]
+
+    plan = crisis_plan() if with_faults else None
+    if plan is not None:
+        print(f"Injecting faults: {plan.describe()}\n")
+    with inject(plan):
+        outcomes = teleios.run(whens, RunOptions(season=season))
+    legacy_outcomes = legacy.run(whens, RunOptions(season=season))
+
+    print("time   | status   | raw  refined | chain(s) refine(s) | fires")
+    print("-" * 64)
+    for when, outcome in zip(whens, outcomes):
         active = len(season.active_fires(when))
+        raw = (
+            len(outcome.raw_product)
+            if outcome.raw_product is not None
+            else 0
+        )
         refined = outcome.refined_count or 0
         print(
-            f"{when:%H:%M}  | {len(outcome.raw_product):4d} "
+            f"{when:%H:%M}  | {outcome.status:<8} | {raw:4d} "
             f"{refined:7d} | "
             f"{outcome.chain_seconds:8.3f} "
             f"{outcome.refinement_seconds:9.3f} | {active:3d}"
         )
-        assert len(legacy_outcome.raw_product) >= 0
-        when += timedelta(minutes=15)
+        for error in outcome.errors:
+            print(f"       |   what was sacrificed: {error}")
+    assert all(len(o.raw_product) >= 0 for o in legacy_outcomes)
+
+    if with_faults:
+        degraded = sum(1 for o in outcomes if o.degraded)
+        print(
+            f"\nCrisis-day contract held: {len(outcomes)} outcomes for "
+            f"{len(whens)} requests, {degraded} degraded, no exception "
+            f"escaped.  Quarantined input: "
+            f"{len(teleios.dead_letters)} file(s) in the dead-letter box."
+        )
+        for record in teleios.dead_letters.records():
+            print(f"  {record.reason} at {record.site}: {record.error}")
 
     print("\nSummary (averages per acquisition):")
     for name, service in (("TELEIOS", teleios), ("pre-TELEIOS", legacy)):
@@ -62,7 +115,7 @@ def main() -> None:
                "  (no refinement stage)")
         )
 
-    last = teleios.outcomes[-1]
+    last = outcomes[-1]
     raw = len(last.raw_product)
     refined = last.refined_count or 0
     print(
@@ -82,7 +135,9 @@ def main() -> None:
     print(f"\nSituation map at {last.timestamp:%H:%M} UTC:")
     print(render_situation_map(greece, last.raw_product.hotspots,
                                width=76, height=26))
+    teleios.close()
+    legacy.close()
 
 
 if __name__ == "__main__":
-    main()
+    main(with_faults="--with-faults" in sys.argv[1:])

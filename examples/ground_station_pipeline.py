@@ -7,7 +7,12 @@ Recreates the pre-TELEIOS data flow of the paper's Figure 1, end to end:
 2. the **SEVIRI Monitor** catalogues their metadata in SQLite, filters
    irrelevant bands, archives complete images to the "disk array",
 3. each complete two-band acquisition triggers the processing chain,
-4. products are filed in the product archive for dissemination.
+4. products are filed in the product archive for dissemination,
+5. bad downlink data is handled the way an operational station must:
+   an unparseable segment is **quarantined** in the dead-letter box with
+   a reason record, and an acquisition whose second band never arrives
+   is eventually dispatched **single-band** and processed in degraded
+   mode by the service runtime.
 
 Run:  python examples/ground_station_pipeline.py
 """
@@ -58,7 +63,20 @@ def main() -> None:
         all_segments += write_hrit_segments(
             downlink, "MSG2", "VIS006", when, scene.t108 * 0 + 1.0, 2
         )
-    print(f"   {len(all_segments)} segment files written")
+    # One downlinked file is garbage (a truncated transmission) ...
+    bad = os.path.join(downlink, "H-000-MSG2-IR_108-damaged.hsim")
+    with open(bad, "wb") as f:
+        f.write(b"\x00\xff" * 16)
+    all_segments.append(bad)
+    # ... and one acquisition loses its whole 3.9 um band: only IR_108
+    # ever arrives for 16:00.
+    stale_when = start + timedelta(hours=2)
+    stale_scene = generator.generate(stale_when, season)
+    all_segments += write_hrit_segments(
+        downlink, "MSG2", "IR_108", stale_when, stale_scene.t108
+    )
+    print(f"   {len(all_segments)} segment files written "
+          f"(one corrupt, one half acquisition)")
 
     print("\n2. Segments arrive at the monitor OUT OF ORDER...")
     random.Random(13).shuffle(all_segments)
@@ -79,11 +97,33 @@ def main() -> None:
         print(f"\n3. Monitor summary: catalogued "
               f"{monitor.catalog_size()} fire-band segments, filtered "
               f"{monitor.filtered_count} non-applicable files, "
+              f"rejected {monitor.rejected_count}, "
               f"{len(monitor.pending_images())} incomplete images left")
+
+        print("\n4. Graceful degradation:")
+        for record in monitor.dead_letters.records():
+            print(f"   dead-lettered {os.path.basename(record.quarantined_path)}"
+                  f" ({record.reason}): {record.error}")
+        # The 16:00 acquisition will never complete — after its grace
+        # period the monitor gives up and ships what it has.
+        stale = monitor.dispatch_stale(stale_when + timedelta(hours=1))
+        assert len(stale) == 1
+        acq = stale[0]
+        print(f"   stale acquisition {acq.timestamp:%H:%M} dispatched "
+              f"without {'/'.join(acq.missing_bands)}")
+        from repro.core import FireMonitoringService
+
+        with FireMonitoringService(
+            greece=greece, mode="pre-teleios"
+        ) as service:
+            [outcome] = service.run([acq], season=season)
+        print(f"   service outcome: status={outcome.status}")
+        for error in outcome.errors:
+            print(f"     {error}")
     print(f"   disk array now holds "
           f"{len(os.listdir(disk_array))} archived segment files")
 
-    print(f"\n4. Product archive index ({len(archive)} products):")
+    print(f"\n5. Product archive index ({len(archive)} products):")
     for entry in archive.entries():
         print(f"   {entry.timestamp:%H:%M} {entry.sensor:>5} "
               f"{entry.hotspot_count:3d} hotspots  {entry.base_name}")
@@ -95,7 +135,7 @@ def main() -> None:
 
     metrics = obs.get_metrics()
     scans = metrics.get("monitor_scan_seconds")
-    print("\n5. Observability (repro.obs) over the whole run:")
+    print("\n6. Observability (repro.obs) over the whole run:")
     print(f"   segments catalogued : "
           f"{metrics.get('monitor_segments_received_total').total():.0f}")
     print(f"   segments dropped    : "

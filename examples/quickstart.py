@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 from datetime import datetime, timezone
 
-from repro.core.service import FireMonitoringService
+from repro.core import FireMonitoringService, RunOptions
 from repro.datasets import SyntheticGreece
 from repro.seviri.fires import FireSeason
 
@@ -32,7 +32,8 @@ def main() -> None:
 
     when = crisis_start.replace(hour=14)
     print(f"\nProcessing the {when:%H:%M} UTC acquisition...")
-    outcome = service.process_acquisition(when, season)
+    [outcome] = service.run([when], RunOptions(season=season))
+    print(f"  status       : {outcome.status}")
 
     product = outcome.raw_product
     print(f"  chain output : {len(product)} hotspots "
@@ -59,6 +60,8 @@ def main() -> None:
         confirmed = row.get("confirmation")
         state = confirmed.local_name() if confirmed is not None else "n/a"
         print(f"  ({c.x:7.3f}, {c.y:7.3f})  confidence={conf}  {state}")
+
+    service.close()
 
 
 if __name__ == "__main__":

@@ -25,6 +25,12 @@ Subpackages
 ``repro.obs``
     Observability: tracing spans, metrics, exporters and the
     5-minute-window budget accounting.
+``repro.errors``
+    The shared exception hierarchy with ``Transient`` / ``Permanent``
+    retryability markers.
+``repro.faults``
+    Deterministic fault injection plus retry / timeout /
+    circuit-breaker / dead-letter resilience primitives.
 
 Logging follows library practice: ``repro`` attaches a ``NullHandler``
 to its root logger, so nothing is emitted unless the application
@@ -41,7 +47,9 @@ __all__ = [
     "arraydb",
     "core",
     "datasets",
+    "errors",
     "experiments",
+    "faults",
     "geometry",
     "obs",
     "ontology",

@@ -1,11 +1,13 @@
-"""Array-database error hierarchy."""
+"""Array-database error hierarchy (rooted in :mod:`repro.errors`)."""
+
+from repro.errors import Permanent, ReproError
 
 
-class ArrayDBError(Exception):
+class ArrayDBError(ReproError):
     """Base class for all array-database errors."""
 
 
-class SQLParseError(ArrayDBError):
+class SQLParseError(ArrayDBError, Permanent):
     """Raised when SciQL text cannot be parsed."""
 
 
@@ -13,9 +15,11 @@ class SQLRuntimeError(ArrayDBError):
     """Raised when a statement fails during execution."""
 
 
-class CatalogError(ArrayDBError):
+class CatalogError(ArrayDBError, Permanent):
     """Raised on unknown or duplicate catalog objects."""
 
 
-class VaultError(ArrayDBError):
-    """Raised on data-vault failures (unknown format, missing file...)."""
+class VaultError(ArrayDBError, Permanent):
+    """Raised on data-vault failures (unknown format, corrupt or missing
+    file...).  Permanent: re-reading corrupt bytes cannot heal them —
+    the runtime quarantines the file instead of retrying."""

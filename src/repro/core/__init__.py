@@ -22,13 +22,18 @@ from repro.core.annotation import annotate_product
 from repro.core.refinement import RefinementPipeline
 from repro.core.mapping import MapComposer
 from repro.core.validation import CrossValidator, ValidationRow
-from repro.core.service import FireMonitoringService
+from repro.core.config import FaultPolicy, RunOptions, ServiceConfig
+from repro.core.service import AcquisitionOutcome, FireMonitoringService
 from repro.core.archive import ProductArchive
 from repro.core.render import render_situation_map
 
 __all__ = [
+    "AcquisitionOutcome",
     "CrossValidator",
+    "FaultPolicy",
     "FireMonitoringService",
+    "RunOptions",
+    "ServiceConfig",
     "Hotspot",
     "HotspotProduct",
     "LegacyChain",

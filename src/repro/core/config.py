@@ -1,0 +1,161 @@
+"""Configuration surface of the monitoring service.
+
+One construction-time object (:class:`ServiceConfig`) replaces the
+8-kwarg service constructor, and one per-batch object
+(:class:`RunOptions`) replaces the kwargs that used to be threaded
+through ``process_scenes`` / ``process_acquisitions``:
+
+>>> from repro.core import FireMonitoringService, ServiceConfig, RunOptions
+>>> service = FireMonitoringService(config=ServiceConfig(use_files=True))
+>>> outcomes = service.run(whens, RunOptions(pipelined=True))  # doctest: +SKIP
+
+:class:`FaultPolicy` bundles the fault-tolerance knobs — retry budget
+and backoff, the real-time window the degradation logic enforces, and
+the refinement circuit breaker — and builds the actual
+:mod:`repro.faults` primitives from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.faults import CircuitBreaker, RetryPolicy
+
+__all__ = ["ServiceConfig", "RunOptions", "FaultPolicy"]
+
+#: What :attr:`RunOptions.on_error` accepts.
+ON_ERROR_MODES = ("degrade", "raise")
+
+
+@dataclass
+class FaultPolicy:
+    """Knobs of the fault-tolerance layer for one run."""
+
+    #: Stage-one attempts per acquisition (1 = no retry).  Only
+    #: :class:`repro.errors.Transient` failures are retried.
+    max_attempts: int = 3
+    #: Exponential-backoff base / cap between attempts (seconds).
+    retry_base_delay_s: float = 0.01
+    retry_max_delay_s: float = 0.25
+    #: Jitter fraction of the backoff delay, in [0, 1).
+    retry_jitter: float = 0.5
+    #: Seed for the deterministic jitter RNG.
+    seed: int = 0
+    #: The real-time window both stages must fit (§4.2.1).  Refinement
+    #: is skipped or truncated when stage one has consumed it.
+    window_seconds: float = 300.0
+    #: Static floor for the "can stage two still fit?" estimate; the
+    #: rolling mean of past refinement times is used when larger.
+    refinement_reserve_s: float = 0.0
+    #: Consecutive refinement failures that open the circuit breaker.
+    breaker_threshold: int = 3
+    #: Seconds the breaker stays open before admitting a probe.
+    breaker_recovery_s: float = 120.0
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.window_seconds <= 0:
+            raise ConfigurationError("window_seconds must be positive")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
+
+    def build_retry(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_delay=self.retry_base_delay_s,
+            max_delay=self.retry_max_delay_s,
+            jitter=self.retry_jitter,
+            seed=self.seed,
+        )
+
+    def build_breaker(self, name: str = "refinement") -> CircuitBreaker:
+        return CircuitBreaker(
+            name,
+            failure_threshold=self.breaker_threshold,
+            recovery_seconds=self.breaker_recovery_s,
+        )
+
+
+@dataclass
+class ServiceConfig:
+    """Construction-time configuration of
+    :class:`~repro.core.service.FireMonitoringService`."""
+
+    #: ``"teleios"`` (SciQL chain + semantic refinement) or
+    #: ``"pre-teleios"`` (legacy chain, no refinement).
+    mode: str = "teleios"
+    #: Seed of the synthetic Greece built when none is supplied.
+    seed: int = 42
+    #: Feed the chain HRIT segment files through the Data Vault
+    #: instead of in-memory scenes.
+    use_files: bool = False
+    #: Working directory; a private temporary directory (cleaned up by
+    #: ``close()``) is created when unset.
+    workdir: Optional[str] = None
+    #: File products into a :class:`~repro.core.archive.ProductArchive`.
+    archive_products: bool = False
+    #: Expected cloud fields per synthesised scene (Poisson).
+    clouds_per_scene: float = 0.0
+    #: Satellite grids; library defaults when unset.
+    raw_grid: Optional[object] = None
+    target_grid: Optional[object] = None
+
+    def validate(self) -> None:
+        if self.mode not in ("teleios", "pre-teleios"):
+            raise ConfigurationError(f"unknown mode {self.mode!r}")
+        if self.clouds_per_scene < 0:
+            raise ConfigurationError("clouds_per_scene must be >= 0")
+
+
+@dataclass
+class RunOptions:
+    """Per-batch options of
+    :meth:`~repro.core.service.FireMonitoringService.run`."""
+
+    #: Fire season driving scene synthesis for timestamp requests.
+    season: Optional[object] = None
+    #: Sensor name for synthesised scenes.
+    sensor_name: str = "MSG2"
+    #: Overlap chain(N+1) with refinement(N) on worker processes.
+    pipelined: bool = False
+    #: Stage-one worker count / bounded-queue depth (``None`` = the
+    #: :mod:`repro.perf` configuration defaults).
+    chain_workers: Optional[int] = None
+    queue_depth: Optional[int] = None
+    #: ``"process"`` / ``"thread"`` / ``None`` (auto) pipeline workers.
+    worker_kind: Optional[str] = None
+    #: Fault-tolerance knobs; library defaults when unset.
+    fault_policy: Optional[FaultPolicy] = None
+    #: ``"degrade"`` — failures become non-``ok`` outcomes (the
+    #: crisis-day contract: no exception escapes ``run``);
+    #: ``"raise"`` — the first failure propagates (legacy semantics).
+    on_error: str = "degrade"
+
+    def validate(self) -> None:
+        if self.on_error not in ON_ERROR_MODES:
+            raise ConfigurationError(
+                f"on_error must be one of {ON_ERROR_MODES}, "
+                f"got {self.on_error!r}"
+            )
+        if self.fault_policy is not None:
+            self.fault_policy.validate()
+
+    def policy(self) -> FaultPolicy:
+        return (
+            self.fault_policy
+            if self.fault_policy is not None
+            else FaultPolicy()
+        )
+
+    def merged(self, **overrides: object) -> "RunOptions":
+        """A copy with ``overrides`` applied (unknown names raise)."""
+        valid = {f.name for f in fields(RunOptions)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise ConfigurationError(
+                f"unknown run option(s): {sorted(unknown)}"
+            )
+        return replace(self, **overrides)

@@ -24,6 +24,24 @@ can run while acquisition N is being refined.
   N+1, the paper's per-acquisition semantics are preserved, and the
   surviving-hotspot sets are identical to a serial run.
 
+Stage one is *supervised*: work items travel as ``(index, item,
+attempt)`` and the parent owns the attempt counter, so retry behaviour
+is identical to the serial path's
+:class:`~repro.faults.RetryPolicy` loop —
+
+* a **transient** stage-one failure is resubmitted (same index,
+  ``attempt + 1``) after the policy's seeded backoff, up to
+  ``max_attempts``,
+* a **dead worker process** breaks the pool; the executor respawns the
+  pool and resubmits every in-flight acquisition — a killed
+  acquisition with its attempt bumped (the ``kill-worker`` fault spec
+  that fired is thereby spent), innocent bystanders unchanged,
+* a **permanent** failure (or an exhausted retry budget) either
+  propagates (``on_error="raise"``, the default for direct executor
+  use) or becomes an in-order ``status="error"`` outcome
+  (``on_error="degrade"``, what
+  :meth:`~repro.core.service.FireMonitoringService.run` passes).
+
 The pool persists across :meth:`PipelinedExecutor.run` calls (warm
 workers keep their chain), so a long-lived service pays the process
 start-up cost once; use the executor as a context manager or call
@@ -36,26 +54,33 @@ from __future__ import annotations
 import itertools
 import logging
 import multiprocessing
+import os
 import threading
+import time
 from collections import deque
-from concurrent.futures import (
-    Future,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-)
+from concurrent.futures import Future
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from datetime import datetime
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional
 
-from repro.core.products import HotspotProduct
-from repro.obs import get_tracer
+from repro.core.config import FaultPolicy, RunOptions
+from repro.errors import WorkerCrashError, is_transient
+from repro.faults import FaultPlan, active_plan
+from repro.faults.plan import _install as _install_plan
+from repro.obs import get_metrics, get_tracer
 from repro.perf import get_config
-from repro.seviri.scene import SceneImage
 
 _log = logging.getLogger(__name__)
 _tracer = get_tracer()
+_metrics = get_metrics()
 
 __all__ = ["PipelinedExecutor"]
+
+#: Pool respawns tolerated without any kill-worker fault spec claiming
+#: responsibility — a real, repeatable crash should fail loudly, not
+#: respawn forever.
+_MAX_UNEXPLAINED_RESPAWNS = 3
 
 
 def _fork_available() -> bool:
@@ -81,6 +106,7 @@ class _WorkerSpec:
     scene_generator: object
     season: object
     sensor_name: str
+    fault_plan: Optional[FaultPlan] = None
 
     def make_chain(self):
         if self.mode == "teleios":
@@ -91,25 +117,29 @@ class _WorkerSpec:
 
         return LegacyChain(self.georeference)
 
-    def resolve(self, item):
-        """Turn a work item into what the chain consumes.
+    def stage_one(self, chain, index: int, item, attempt: int):
+        from repro.core.runtime import run_stage_one
 
-        Accepted items mirror the serial entry points: a bare timestamp
-        (scene synthesis happens on the worker), a
-        :class:`~repro.seviri.scene.SceneImage`, a monitor-dispatched
-        acquisition exposing ``chain_input``, or a raw chain input.
-        """
-        from repro.core.service import scene_to_chain_input
+        return run_stage_one(
+            chain,
+            item,
+            index=index,
+            attempt=attempt,
+            workdir=self.workdir,
+            plan=self.fault_plan,
+            scene_generator=self.scene_generator,
+            season=self.season,
+            sensor_name=self.sensor_name,
+            use_files=self.use_files,
+        )
 
-        if isinstance(item, datetime):
-            item = self.scene_generator.generate(
-                item, self.season, sensor_name=self.sensor_name
-            )
-        if isinstance(item, SceneImage):
-            return scene_to_chain_input(item, self.use_files, self.workdir)
-        if hasattr(item, "chain_input"):
-            return item.chain_input
-        return item
+    def kill_specs(self, index: int, attempt: int):
+        """``kill-worker`` specs firing for this work item."""
+        if self.fault_plan is None:
+            return []
+        return self.fault_plan.match(
+            "kill-worker", "pipeline.worker", index, attempt
+        )
 
 
 # Per-worker-process state, installed by the pool initializer.  The
@@ -124,14 +154,31 @@ def _init_process_worker(spec: _WorkerSpec) -> None:
     global _SPEC, _CHAIN
     _SPEC = spec
     _CHAIN = None
+    # Code that consults the ambient plan (rather than receiving it
+    # explicitly) must see the same plan inside the fork.
+    _install_plan(spec.fault_plan)
 
 
-def _process_stage(item) -> HotspotProduct:
+def _process_stage(index: int, item, attempt: int):
     global _CHAIN
     assert _SPEC is not None, "worker used before initialisation"
+    if _SPEC.kill_specs(index, attempt):
+        # A planned worker death: exit hard, exactly like a segfaulting
+        # decoder or an OOM kill — the parent sees a broken pool.
+        os._exit(3)
     if _CHAIN is None:
         _CHAIN = _SPEC.make_chain()
-    return _CHAIN.process(_SPEC.resolve(item))
+    return _SPEC.stage_one(_CHAIN, index, item, attempt)
+
+
+@dataclass
+class _Entry:
+    """One in-flight acquisition: parent-owned attempt accounting."""
+
+    index: int
+    item: object
+    attempt: int
+    future: Future
 
 
 class PipelinedExecutor:
@@ -145,6 +192,8 @@ class PipelinedExecutor:
         worker_kind: Optional[str] = None,
         season=None,
         sensor_name: str = "MSG2",
+        fault_policy: Optional[FaultPolicy] = None,
+        on_error: str = "raise",
     ) -> None:
         cfg = get_config()
         self.service = service
@@ -171,8 +220,14 @@ class PipelinedExecutor:
         self.worker_kind = worker_kind
         self.season = season
         self.sensor_name = sensor_name
+        self.fault_policy = fault_policy
+        if on_error not in ("degrade", "raise"):
+            raise ValueError(f"unknown on_error mode {on_error!r}")
+        self.on_error = on_error
         self._pool = None
+        self._pool_spec: Optional[_WorkerSpec] = None
         self._thread_state = threading.local()
+        self._unexplained_respawns = 0
 
     # -- stage 1: chain work on workers -----------------------------------
 
@@ -186,16 +241,18 @@ class PipelinedExecutor:
             scene_generator=svc.scene_generator,
             season=self.season,
             sensor_name=self.sensor_name,
+            fault_plan=active_plan(),
         )
 
     def _ensure_pool(self):
         if self._pool is None:
+            self._pool_spec = self._spec()
             if self.worker_kind == "process":
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.chain_workers,
                     mp_context=multiprocessing.get_context("fork"),
                     initializer=_init_process_worker,
-                    initargs=(self._spec(),),
+                    initargs=(self._pool_spec,),
                 )
             else:
                 self._pool = ThreadPoolExecutor(
@@ -204,20 +261,53 @@ class PipelinedExecutor:
                 )
         return self._pool
 
-    def _thread_stage(self, item) -> HotspotProduct:
-        """Stage one on a worker thread (fallback worker kind)."""
-        spec = getattr(self._thread_state, "spec", None)
-        if spec is None:
-            spec = self._spec()
-            self._thread_state.spec = spec
-            self._thread_state.chain = spec.make_chain()
-        with _tracer.span("pipeline.chain", stage="chain"):
-            return self._thread_state.chain.process(spec.resolve(item))
+    def _respawn_pool(self):
+        """Replace a broken process pool (workers died)."""
+        assert self._pool is not None
+        self._pool.shutdown(wait=False)
+        self._pool = None
+        spec = self._pool_spec
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.chain_workers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=_init_process_worker,
+            initargs=(spec,),
+        )
+        if _metrics.enabled:
+            _metrics.counter(
+                "pipeline_worker_respawns_total",
+                "Worker pools respawned after a worker death",
+            ).inc()
+        return self._pool
 
-    def _submit(self, pool, item) -> Future:
+    def _thread_stage(self, index: int, item, attempt: int):
+        """Stage one on a worker thread (fallback worker kind)."""
+        spec = self._pool_spec
+        assert spec is not None
+        if spec.kill_specs(index, attempt):
+            # Threads cannot die like processes; the closest faithful
+            # behaviour is the error the parent would diagnose.
+            raise WorkerCrashError(
+                f"worker thread killed (acquisition {index}, "
+                f"attempt {attempt})"
+            )
+        chain = getattr(self._thread_state, "chain", None)
+        if chain is None:
+            chain = spec.make_chain()
+            self._thread_state.chain = chain
+        with _tracer.span("pipeline.chain", stage="chain"):
+            return spec.stage_one(chain, index, item, attempt)
+
+    def _submit(self, pool, entry: _Entry) -> _Entry:
         if self.worker_kind == "process":
-            return pool.submit(_process_stage, item)
-        return pool.submit(self._thread_stage, item)
+            entry.future = pool.submit(
+                _process_stage, entry.index, entry.item, entry.attempt
+            )
+        else:
+            entry.future = pool.submit(
+                self._thread_stage, entry.index, entry.item, entry.attempt
+            )
+        return entry
 
     # -- the pipeline ------------------------------------------------------
 
@@ -228,21 +318,58 @@ class PipelinedExecutor:
         acquisitions, or raw chain inputs, exactly like the serial entry
         points.
         """
+        state = self.service._run_state(
+            RunOptions(
+                season=self.season,
+                sensor_name=self.sensor_name,
+                pipelined=True,
+                fault_policy=self.fault_policy,
+                on_error=self.on_error,
+            )
+        )
         window = self.chain_workers + self.queue_depth
         outcomes: List = []
-        iterator = iter(items)
-        pool = self._ensure_pool()
-        pending: Deque[Future] = deque(
-            self._submit(pool, item)
-            for item in itertools.islice(iterator, window)
-        )
+        iterator = enumerate(items)
+        self._ensure_pool()
+        #: Seeded backoff schedule per acquisition index — the same
+        #: (seed, key) stream the serial retry loop draws from.
+        schedules: Dict[int, Iterator[float]] = {}
+        self._unexplained_respawns = 0
+        pending: Deque[_Entry] = deque()
+        for index, item in itertools.islice(iterator, window):
+            self._enqueue(pending, _Entry(index, item, 1, None))
         while pending:
-            product = pending.popleft().result()
+            entry = pending[0]
+            try:
+                result = entry.future.result()
+            except BrokenProcessPool:
+                # A worker process died mid-batch; every in-flight
+                # future is lost with the pool.
+                self._recover_pool(pending)
+                continue
+            except Exception as error:
+                if (
+                    is_transient(error)
+                    and entry.attempt < state.policy.max_attempts
+                ):
+                    # Retry in place: the entry keeps its head slot so
+                    # outcomes still come out in input order.
+                    self._backoff(state, schedules, entry, error)
+                    self._resubmit(pending, entry)
+                    continue
+                pending.popleft()
+                if self.on_error == "raise":
+                    raise
+                outcomes.append(
+                    self.service._fail(entry.item, error, state)
+                )
+                self._refill(iterator, pending)
+                continue
+            pending.popleft()
             # Refill before refining so workers stay busy while this
             # thread runs stage two.
-            for item in itertools.islice(iterator, 1):
-                pending.append(self._submit(pool, item))
-            outcomes.append(self.service._finish_acquisition(product))
+            self._refill(iterator, pending)
+            outcomes.append(self.service._stage_two(result, state))
         _log.debug(
             "pipelined executor finished %d acquisition(s) "
             "(%d %s worker(s), depth %d)",
@@ -252,6 +379,88 @@ class PipelinedExecutor:
             self.queue_depth,
         )
         return outcomes
+
+    def _enqueue(self, pending: Deque[_Entry], entry: _Entry) -> None:
+        """Track + submit one entry, surviving a broken pool."""
+        pending.append(entry)
+        try:
+            self._submit(self._ensure_pool(), entry)
+        except BrokenProcessPool:
+            self._recover_pool(pending)
+
+    def _resubmit(self, pending: Deque[_Entry], entry: _Entry) -> None:
+        """Resubmit the head entry (still at ``pending[0]``)."""
+        try:
+            self._submit(self._ensure_pool(), entry)
+        except BrokenProcessPool:
+            self._recover_pool(pending)
+
+    def _refill(self, iterator, pending: Deque[_Entry]) -> None:
+        for index, item in itertools.islice(iterator, 1):
+            self._enqueue(pending, _Entry(index, item, 1, None))
+
+    def _backoff(
+        self,
+        state,
+        schedules: Dict[int, Iterator[float]],
+        entry: _Entry,
+        error: BaseException,
+    ) -> None:
+        """Bump the entry's attempt after its policy-seeded delay."""
+        if entry.index not in schedules:
+            schedules[entry.index] = state.retry.delays(
+                ("stage-one", entry.index)
+            )
+        if _metrics.enabled:
+            _metrics.counter(
+                "retry_attempts_total",
+                "Retries of transient failures",
+            ).inc(site="stage.chain")
+        _log.warning(
+            "resubmitting acquisition %d after transient failure "
+            "(attempt %d/%d): %s",
+            entry.index,
+            entry.attempt,
+            state.policy.max_attempts,
+            error,
+        )
+        time.sleep(next(schedules[entry.index]))
+        entry.attempt += 1
+
+    def _recover_pool(self, pending: Deque[_Entry]) -> None:
+        """Respawn after a worker death; resubmit every in-flight entry.
+
+        An entry whose ``kill-worker`` spec fired gets its attempt
+        bumped — stateless spec matching then treats the spec as spent
+        (``attempt > times``) so the rerun survives.  Entries that were
+        merely collateral damage rerun with their attempt unchanged, so
+        their own fault schedule is unaffected by a neighbour's death.
+        """
+        spec = self._pool_spec
+        explained = False
+        for entry in pending:
+            if spec is not None and spec.kill_specs(
+                entry.index, entry.attempt
+            ):
+                entry.attempt += 1
+                explained = True
+        if not explained:
+            self._unexplained_respawns += 1
+            if self._unexplained_respawns > _MAX_UNEXPLAINED_RESPAWNS:
+                raise WorkerCrashError(
+                    f"worker pool died {self._unexplained_respawns} "
+                    "times with no fault spec claiming responsibility"
+                )
+        else:
+            self._unexplained_respawns = 0
+        _log.warning(
+            "worker pool died; respawning and resubmitting %d "
+            "in-flight acquisition(s)",
+            len(pending),
+        )
+        pool = self._respawn_pool()
+        for entry in pending:
+            self._submit(pool, entry)
 
     # -- lifecycle ---------------------------------------------------------
 

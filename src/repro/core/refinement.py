@@ -27,12 +27,14 @@ refinement request is answered from a cached parse.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
 from typing import Dict, List, Optional
 
 from repro.core.annotation import annotate_product
 from repro.core.products import HotspotProduct
+from repro.faults import trip as faults_trip
 from repro.obs import get_metrics, get_tracer
 from repro.obs.span import Span
 from repro.ontology.noa import load_noa_ontology
@@ -329,21 +331,47 @@ WHERE {{
     # -- orchestration -----------------------------------------------------
 
     def refine_acquisition(
-        self, product: HotspotProduct
+        self,
+        product: HotspotProduct,
+        deadline: Optional[float] = None,
+        fault_index: Optional[int] = None,
     ) -> List[OperationTiming]:
-        """Run all six operations for one product; returns their timings."""
-        with _tracer.span("refinement", hotspots=len(product)):
-            out = [self.store(product)]
-            ts = product.timestamp
-            out.append(self.municipalities(ts))
-            out.append(self.delete_in_sea(ts))
-            out.append(self.invalid_for_fires(ts))
-            out.append(self.refine_in_coast(ts))
-            out.append(self.time_persistence(ts))
+        """Run the six operations for one product; returns their timings.
+
+        ``deadline`` (a ``time.monotonic`` instant) makes the loop
+        *cooperatively* truncating: before each operation the remaining
+        time is checked and the pipeline stops cleanly once the window
+        is spent.  Truncation — detectable by the caller as
+        ``len(timings) < len(OPERATIONS)`` — is preferred over a
+        preemptive timeout because an abandoned refinement thread would
+        keep mutating the shared RDF store mid-update.
+
+        Each operation is also a fault site (``refine.<slug>``) so the
+        injection harness can fail or delay refinement of acquisition
+        ``fault_index`` specifically.
+        """
+        ts = product.timestamp
+        steps = [
+            ("store", lambda: self.store(product)),
+            ("municipalities", lambda: self.municipalities(ts)),
+            ("delete_in_sea", lambda: self.delete_in_sea(ts)),
+            ("invalid_for_fires", lambda: self.invalid_for_fires(ts)),
+            ("refine_in_coast", lambda: self.refine_in_coast(ts)),
+            ("time_persistence", lambda: self.time_persistence(ts)),
+        ]
+        out: List[OperationTiming] = []
+        with _tracer.span("refinement", hotspots=len(product)) as span:
+            for slug, step in steps:
+                if deadline is not None and time.monotonic() >= deadline:
+                    span.set(truncated_at=slug)
+                    break
+                faults_trip(f"refine.{slug}", index=fault_index)
+                out.append(step())
         _log.debug(
-            "refined acquisition %s: %d operation(s), %.3fs total",
+            "refined acquisition %s: %d/%d operation(s), %.3fs total",
             ts,
             len(out),
+            len(steps),
             sum(t.seconds for t in out),
         )
         return out

@@ -12,24 +12,47 @@ Two configurations are provided:
   semantic refinement),
 * ``mode="pre-teleios"`` — the legacy configuration of Figure 1 (C-style
   chain, no refinement), used as the comparison baseline.
+
+The public surface is one constructor plus one batch method::
+
+    service = FireMonitoringService(config=ServiceConfig(use_files=True))
+    outcomes = service.run(whens, RunOptions(season=season, pipelined=True))
+
+:meth:`FireMonitoringService.run` owns the failure semantics (see
+DESIGN.md, "Failure semantics"): stage one is retried under the
+:class:`~repro.core.config.FaultPolicy`'s budget, undecodable segments
+are quarantined, single-band acquisitions run degraded, refinement is
+skipped or truncated when the real-time window demands it, and with
+``on_error="degrade"`` (the default) **no exception escapes** — every
+request yields an :class:`AcquisitionOutcome` whose ``status`` /
+``errors`` say what happened.  The pre-redesign entry points
+(``process_acquisition`` / ``process_scene`` / ``process_ready`` /
+``process_scenes`` / ``process_acquisitions``) survive as thin
+deprecated shims with their historical raise-on-failure semantics.
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import shutil
 import tempfile
+import time
+import warnings
 from dataclasses import dataclass, field
 from datetime import datetime
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.archive import ProductArchive
+from repro.core.config import FaultPolicy, RunOptions, ServiceConfig
 from repro.core.legacy import LegacyChain
 from repro.core.mapping import MapComposer
 from repro.core.products import HotspotProduct
 from repro.core.refinement import OperationTiming, RefinementPipeline
 from repro.core.sciql_chain import SciQLChain
 from repro.datasets import SyntheticGreece, load_auxiliary_data
+from repro.errors import ServiceStateError
+from repro.faults import CircuitBreaker, DeadLetterBox, RetryPolicy
 from repro.obs import AcquisitionBudget, get_metrics, get_tracer
 from repro.seviri.fires import FireSeason
 from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
@@ -41,6 +64,9 @@ from repro.stsparql import Strabon
 _log = logging.getLogger(__name__)
 _tracer = get_tracer()
 _metrics = get_metrics()
+
+#: Outcome ``status`` values, from best to worst.
+OUTCOME_STATUSES = ("ok", "degraded", "error")
 
 
 def scene_to_chain_input(
@@ -69,14 +95,34 @@ def scene_to_chain_input(
 
 @dataclass
 class AcquisitionOutcome:
-    """Everything the service produced for one acquisition."""
+    """Everything the service produced for one acquisition.
 
-    timestamp: datetime
+    ``status`` is ``"ok"`` (full two-band processing, full refinement),
+    ``"degraded"`` (the acquisition completed but something was
+    sacrificed — a band, some segments, part or all of refinement;
+    ``errors`` lists each sacrifice) or ``"error"`` (stage one failed
+    permanently: no product; ``errors`` holds the failure).
+    """
+
+    timestamp: Optional[datetime]
     sensor: str
-    raw_product: HotspotProduct
+    raw_product: Optional[HotspotProduct] = None
     refined_count: Optional[int] = None
     chain_seconds: float = 0.0
     refinement_timings: List[OperationTiming] = field(default_factory=list)
+    status: str = "ok"
+    errors: List[str] = field(default_factory=list)
+    #: Wall seconds of the whole first stage (synthesis/ingest + guard +
+    #: chain) — what the stage-two budget decision was based on.
+    stage_one_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
 
     @property
     def refinement_seconds(self) -> float:
@@ -86,6 +132,25 @@ class AcquisitionOutcome:
     def within_budget(self) -> bool:
         """Both stages must fit in the 5-minute MSG1 window (§4.2.1)."""
         return (self.chain_seconds + self.refinement_seconds) < 300.0
+
+
+class _RunState:
+    """Per-run fault-tolerance machinery, shared by both stages."""
+
+    def __init__(
+        self,
+        options: RunOptions,
+        breaker: CircuitBreaker,
+    ) -> None:
+        options.validate()
+        self.options = options
+        self.policy: FaultPolicy = options.policy()
+        self.retry: RetryPolicy = self.policy.build_retry()
+        self.breaker = breaker
+
+    @property
+    def raise_on_error(self) -> bool:
+        return self.options.on_error == "raise"
 
 
 class FireMonitoringService:
@@ -102,27 +167,49 @@ class FireMonitoringService:
         clouds_per_scene: float = 0.0,
         raw_grid: Optional[RawGrid] = None,
         target_grid: Optional[TargetGrid] = None,
+        config: Optional[ServiceConfig] = None,
     ) -> None:
-        if mode not in ("teleios", "pre-teleios"):
-            raise ValueError(f"unknown mode {mode!r}")
-        self.mode = mode
-        self.greece = greece if greece is not None else SyntheticGreece(seed)
-        raw_grid = raw_grid if raw_grid is not None else RawGrid()
-        target_grid = (
-            target_grid if target_grid is not None else TargetGrid()
+        if config is None:
+            config = ServiceConfig(
+                mode=mode,
+                seed=seed,
+                use_files=use_files,
+                workdir=workdir,
+                archive_products=archive_products,
+                clouds_per_scene=clouds_per_scene,
+                raw_grid=raw_grid,
+                target_grid=target_grid,
+            )
+        config.validate()
+        self.config = config
+        self.mode = config.mode
+        self.greece = (
+            greece if greece is not None else SyntheticGreece(config.seed)
+        )
+        raw = (
+            config.raw_grid if config.raw_grid is not None else RawGrid()
+        )
+        target = (
+            config.target_grid
+            if config.target_grid is not None
+            else TargetGrid()
         )
         self.scene_generator = SceneGenerator(
-            self.greece, raw=raw_grid, clouds_per_scene=clouds_per_scene
+            self.greece, raw=raw, clouds_per_scene=config.clouds_per_scene
         )
-        self.georeference = GeoReference(raw_grid, target_grid)
-        self.use_files = use_files
-        self.workdir = workdir or tempfile.mkdtemp(prefix="noa_service_")
+        self.georeference = GeoReference(raw, target)
+        self.use_files = config.use_files
+        self._owns_workdir = config.workdir is None
+        self.workdir = config.workdir or tempfile.mkdtemp(
+            prefix="noa_service_"
+        )
+        self._closed = False
         self.archive: Optional[ProductArchive] = (
             ProductArchive(os.path.join(self.workdir, "archive"))
-            if archive_products
+            if config.archive_products
             else None
         )
-        if mode == "teleios":
+        if self.mode == "teleios":
             self.chain = SciQLChain(self.georeference)
             self.strabon = Strabon()
             load_auxiliary_data(self.strabon, self.greece)
@@ -140,53 +227,292 @@ class FireMonitoringService:
         self.outcomes: List[AcquisitionOutcome] = []
         #: Per-acquisition accounting against the 5-minute window.
         self.budget = AcquisitionBudget()
+        #: Refinement circuit breaker shared by runs that do not bring
+        #: their own :class:`FaultPolicy` (a run with an explicit policy
+        #: gets a fresh breaker so repeated runs behave identically).
+        self._breaker = FaultPolicy().build_breaker()
+        #: Full-refinement wall times driving the "can stage two still
+        #: fit the window?" estimate.
+        self._refine_history: List[float] = []
 
-    # -- acquisition processing ------------------------------------------
+    # -- lifecycle ---------------------------------------------------------
 
-    def process_acquisition(
+    @property
+    def dead_letters(self) -> DeadLetterBox:
+        """The quarantine box for undecodable input of this service."""
+        return DeadLetterBox(os.path.join(self.workdir, "dead_letter"))
+
+    def close(self) -> None:
+        """Release the working directory (idempotent).
+
+        The service used to leak one ``mkdtemp`` directory per instance;
+        directories the service created are now removed here, while a
+        caller-supplied ``workdir`` is left alone.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_workdir:
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def __enter__(self) -> "FireMonitoringService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the batch entry point ---------------------------------------------
+
+    def run(
         self,
-        when: datetime,
-        season: Optional[FireSeason] = None,
-        sensor_name: str = "MSG2",
-    ) -> AcquisitionOutcome:
-        """Synthesise, detect and (in teleios mode) refine one acquisition."""
-        scene = self.scene_generator.generate(
-            when, season, sensor_name=sensor_name
+        requests: Iterable,
+        options: Optional[RunOptions] = None,
+        **overrides,
+    ) -> List[AcquisitionOutcome]:
+        """Process a batch of acquisition requests, in order.
+
+        ``requests`` may hold timestamps (scenes are synthesised),
+        :class:`~repro.seviri.scene.SceneImage` objects, acquisitions
+        dispatched by a :class:`~repro.seviri.monitor.SeviriMonitor`, or
+        raw chain inputs — mixed freely.  ``options`` (or keyword
+        ``overrides`` of individual :class:`RunOptions` fields) selects
+        serial vs pipelined execution and the failure semantics; see the
+        module docstring.
+        """
+        if self._closed:
+            raise ServiceStateError("service is closed")
+        options = options if options is not None else RunOptions()
+        if overrides:
+            options = options.merged(**overrides)
+        options.validate()
+        if options.pipelined:
+            from repro.core.pipeline import PipelinedExecutor
+
+            with PipelinedExecutor(
+                self,
+                chain_workers=options.chain_workers,
+                queue_depth=options.queue_depth,
+                worker_kind=options.worker_kind,
+                season=options.season,
+                sensor_name=options.sensor_name,
+                fault_policy=options.fault_policy,
+                on_error=options.on_error,
+            ) as executor:
+                return executor.run(requests)
+        state = self._run_state(options)
+        return [
+            self._run_one(request, index, state)
+            for index, request in enumerate(requests)
+        ]
+
+    def _run_state(self, options: RunOptions) -> _RunState:
+        breaker = (
+            self._breaker
+            if options.fault_policy is None
+            else options.fault_policy.build_breaker()
         )
-        return self.process_scene(scene)
+        return _RunState(options, breaker)
 
-    def process_scene(self, scene: SceneImage) -> AcquisitionOutcome:
-        return self._run_acquisition(self._chain_input(scene))
+    # -- stage one ---------------------------------------------------------
 
-    def process_ready(self, acquisition) -> AcquisitionOutcome:
-        """Process a complete two-band acquisition dispatched by a
-        :class:`~repro.seviri.monitor.SeviriMonitor`."""
-        return self._run_acquisition(acquisition.chain_input)
+    def _stage_one_with_retry(self, request, index: int, state: _RunState):
+        """Resolve + guard + chain, under the retry policy.
 
-    def _run_acquisition(self, chain_input) -> AcquisitionOutcome:
+        The attempt counter increments per invocation — the number the
+        fault plan matches on, so a ``raise_in("stage.chain", times=2)``
+        spec fails exactly the first two attempts here just as it would
+        on pipeline workers.
+        """
+        from repro.core.runtime import run_stage_one
+
+        attempt = 0
+
+        def once():
+            nonlocal attempt
+            attempt += 1
+            return run_stage_one(
+                self.chain,
+                request,
+                index=index,
+                attempt=attempt,
+                workdir=self.workdir,
+                scene_generator=self.scene_generator,
+                season=state.options.season,
+                sensor_name=state.options.sensor_name,
+                use_files=self.use_files,
+            )
+
+        return state.retry.call(
+            once, key=("stage-one", index), site="stage.chain"
+        )
+
+    def _run_one(
+        self, request, index: int, state: _RunState
+    ) -> AcquisitionOutcome:
         with _tracer.span("acquisition", mode=self.mode) as root:
-            product = self.chain.process(chain_input)
-            outcome = self._refine_and_archive(product, root)
+            try:
+                result = self._stage_one_with_retry(request, index, state)
+            except Exception as error:
+                if state.raise_on_error:
+                    raise
+                outcome = self._failure_outcome(request, error, root)
+                self._account_outcome(outcome)
+                return outcome
+            outcome = self._stage_two(result, state, root)
         self._account_outcome(outcome)
         return outcome
 
-    def _finish_acquisition(self, product: HotspotProduct) -> (
-        AcquisitionOutcome
-    ):
-        """Refine, archive and account a chain product computed elsewhere.
-
-        This is stage two of the pipelined executor
-        (:class:`repro.core.pipeline.PipelinedExecutor`): the SciQL
-        chain already ran on a worker thread, the per-acquisition
-        semantics (refinement, archiving, budget accounting) run here —
-        on the caller's thread, strictly one acquisition at a time.
-        """
+    def _fail(
+        self, request, error: BaseException, state: _RunState
+    ) -> AcquisitionOutcome:
+        """Account one permanently failed acquisition (pipelined path)."""
         with _tracer.span(
             "acquisition", mode=self.mode, pipelined=True
         ) as root:
-            outcome = self._refine_and_archive(product, root)
+            outcome = self._failure_outcome(request, error, root)
         self._account_outcome(outcome)
         return outcome
+
+    def _failure_outcome(
+        self, request, error: BaseException, root
+    ) -> AcquisitionOutcome:
+        from repro.core.runtime import request_identity
+
+        timestamp, sensor = request_identity(request)
+        outcome = AcquisitionOutcome(
+            timestamp=timestamp,
+            sensor=sensor or "",
+            status="error",
+            errors=[f"{type(error).__name__}: {error}"],
+        )
+        root.set(status="error", error=type(error).__name__)
+        _log.error(
+            "acquisition %s failed permanently: %s",
+            timestamp if timestamp is not None else "<unresolved>",
+            outcome.errors[0],
+        )
+        return outcome
+
+    # -- stage two ---------------------------------------------------------
+
+    def _refine_estimate(self, state: _RunState) -> float:
+        """Expected stage-two seconds: the policy's static reserve or
+        the rolling mean of recent full refinements, whichever is
+        larger."""
+        recent = self._refine_history[-8:]
+        rolling = sum(recent) / len(recent) if recent else 0.0
+        return max(state.policy.refinement_reserve_s, rolling)
+
+    def _stage_two(
+        self, result, state: _RunState, root=None
+    ) -> AcquisitionOutcome:
+        """Refine, archive and flag one stage-one product.
+
+        Runs on the caller's thread, one acquisition at a time — in
+        pipelined mode this is the executor's in-order second stage.
+        Every degradation decision (circuit open, window exhausted,
+        refinement failure, truncation) lands in the outcome's
+        ``errors`` and flips ``status`` to ``"degraded"``.
+        """
+        if root is None:
+            with _tracer.span(
+                "acquisition", mode=self.mode, pipelined=True
+            ) as span:
+                outcome = self._stage_two(result, state, span)
+            self._account_outcome(outcome)
+            return outcome
+
+        product = result.product
+        outcome = AcquisitionOutcome(
+            timestamp=product.timestamp,
+            sensor=product.sensor,
+            raw_product=product,
+            chain_seconds=product.processing_seconds,
+            stage_one_seconds=result.stage_seconds,
+            errors=list(result.notes.reasons),
+        )
+        degraded = result.notes.degraded
+        with _tracer.span("stage.refine", hotspots=len(product)):
+            if self.refinement is not None:
+                degraded |= not self._refine(product, result, state, outcome)
+            if self.archive is not None:
+                self.archive.store(product)
+        if degraded:
+            outcome.status = "degraded"
+        root.set(
+            sensor=outcome.sensor,
+            timestamp=str(outcome.timestamp),
+            raw_hotspots=len(product),
+            refined_hotspots=outcome.refined_count,
+            status=outcome.status,
+        )
+        if degraded:
+            root.set(degraded=True)
+        return outcome
+
+    def _refine(
+        self, product, result, state: _RunState, outcome
+    ) -> bool:
+        """Stage-two refinement under breaker + window pressure.
+
+        Returns True only for a *full* refinement — anything less
+        (skip, truncation, failure) degrades the outcome.
+        """
+        refinement = self.refinement
+        assert refinement is not None
+        remaining = state.policy.window_seconds - result.stage_seconds
+        if not state.breaker.allow():
+            outcome.errors.append(
+                "refinement skipped: circuit breaker open"
+            )
+            self._count_degradation("breaker-open")
+            return False
+        if remaining <= 0 or self._refine_estimate(state) > remaining:
+            outcome.errors.append(
+                f"refinement skipped: {remaining:.1f}s left of the "
+                f"{state.policy.window_seconds:g}s window"
+            )
+            self._count_degradation("window-exhausted")
+            return False
+        deadline = time.monotonic() + remaining
+        try:
+            outcome.refinement_timings = refinement.refine_acquisition(
+                product, deadline=deadline, fault_index=result.index
+            )
+        except Exception as error:
+            state.breaker.record_failure()
+            if state.raise_on_error:
+                raise
+            outcome.errors.append(
+                f"refinement failed: {type(error).__name__}: {error}"
+            )
+            self._count_degradation("refinement-failed")
+            return False
+        state.breaker.record_success()
+        if outcome.refinement_timings:
+            outcome.refined_count = len(
+                refinement.surviving_hotspots(product.timestamp)
+            )
+        full = len(outcome.refinement_timings) == len(
+            RefinementPipeline.OPERATIONS
+        )
+        if full:
+            self._refine_history.append(outcome.refinement_seconds)
+        else:
+            outcome.errors.append(
+                f"refinement truncated at the window deadline "
+                f"({len(outcome.refinement_timings)}/"
+                f"{len(RefinementPipeline.OPERATIONS)} operations)"
+            )
+            self._count_degradation("refinement-truncated")
+        return full
+
+    def _count_degradation(self, reason: str) -> None:
+        if _metrics.enabled:
+            _metrics.counter(
+                "acquisitions_degraded_total",
+                "Acquisitions that completed in degraded mode",
+            ).inc(reason=reason)
 
     def _make_chain(self):
         """A fresh processing chain like :attr:`chain` (worker-private
@@ -194,35 +520,6 @@ class FireMonitoringService:
         if self.mode == "teleios":
             return SciQLChain(self.georeference)
         return LegacyChain(self.georeference)
-
-    def _refine_and_archive(self, product, root) -> AcquisitionOutcome:
-        # ``stage.refine`` is the pipeline's whole second stage
-        # (refinement + surviving-hotspot query + archiving): its span
-        # duration is what bounds pipelined throughput.
-        with _tracer.span("stage.refine", hotspots=len(product)):
-            outcome = AcquisitionOutcome(
-                timestamp=product.timestamp,
-                sensor=product.sensor,
-                raw_product=product,
-                chain_seconds=product.processing_seconds,
-            )
-            if self.refinement is not None:
-                outcome.refinement_timings = (
-                    self.refinement.refine_acquisition(product)
-                )
-                surviving = self.refinement.surviving_hotspots(
-                    product.timestamp
-                )
-                outcome.refined_count = len(surviving)
-            if self.archive is not None:
-                self.archive.store(product)
-        root.set(
-            sensor=outcome.sensor,
-            timestamp=str(outcome.timestamp),
-            raw_hotspots=len(product),
-            refined_hotspots=outcome.refined_count,
-        )
-        return outcome
 
     def _account_outcome(self, outcome: AcquisitionOutcome) -> None:
         product = outcome.raw_product
@@ -246,18 +543,56 @@ class FireMonitoringService:
                     "acquisition_deadline_misses_total",
                     "Acquisitions that overran the 5-minute window",
                 ).inc()
+            if outcome.status == "error":
+                _metrics.counter(
+                    "acquisitions_failed_total",
+                    "Acquisitions that produced no product",
+                ).inc()
         _log.info(
-            "acquisition %s %s: %d raw / %s refined hotspot(s), "
+            "acquisition %s %s [%s]: %s raw / %s refined hotspot(s), "
             "chain %.3fs + refinement %.3fs%s",
             outcome.sensor,
             outcome.timestamp,
-            len(product),
+            outcome.status,
+            "n/a" if product is None else len(product),
             "n/a" if outcome.refined_count is None
             else outcome.refined_count,
             outcome.chain_seconds,
             outcome.refinement_seconds,
             "" if outcome.within_budget else "  ** DEADLINE MISS **",
         )
+
+    # -- deprecated pre-redesign entry points ------------------------------
+
+    def _deprecated(self, old: str, new: str) -> None:
+        warnings.warn(
+            f"FireMonitoringService.{old} is deprecated; use {new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def process_acquisition(
+        self,
+        when: datetime,
+        season: Optional[FireSeason] = None,
+        sensor_name: str = "MSG2",
+    ) -> AcquisitionOutcome:
+        """Deprecated: use :meth:`run` with a timestamp request."""
+        self._deprecated("process_acquisition", "run([when], options)")
+        options = RunOptions(
+            season=season, sensor_name=sensor_name, on_error="raise"
+        )
+        return self.run([when], options)[0]
+
+    def process_scene(self, scene: SceneImage) -> AcquisitionOutcome:
+        """Deprecated: use :meth:`run` with a scene request."""
+        self._deprecated("process_scene", "run([scene], options)")
+        return self.run([scene], RunOptions(on_error="raise"))[0]
+
+    def process_ready(self, acquisition) -> AcquisitionOutcome:
+        """Deprecated: use :meth:`run` with the dispatched acquisition."""
+        self._deprecated("process_ready", "run([acquisition], options)")
+        return self.run([acquisition], RunOptions(on_error="raise"))[0]
 
     def process_scenes(
         self,
@@ -266,21 +601,17 @@ class FireMonitoringService:
         chain_workers: Optional[int] = None,
         queue_depth: Optional[int] = None,
     ) -> List[AcquisitionOutcome]:
-        """Process a batch of scenes, strictly serially by default.
-
-        With ``pipelined=True`` the SciQL chain of acquisition N+1 runs
-        on worker threads while acquisition N is being refined — see
-        :class:`repro.core.pipeline.PipelinedExecutor`.  Both modes
-        produce identical outcomes in scene order.
-        """
-        if not pipelined:
-            return [self.process_scene(scene) for scene in scenes]
-        from repro.core.pipeline import PipelinedExecutor
-
-        with PipelinedExecutor(
-            self, chain_workers=chain_workers, queue_depth=queue_depth
-        ) as executor:
-            return executor.run(scenes)
+        """Deprecated: use :meth:`run`."""
+        self._deprecated("process_scenes", "run(scenes, options)")
+        return self.run(
+            scenes,
+            RunOptions(
+                pipelined=pipelined,
+                chain_workers=chain_workers,
+                queue_depth=queue_depth,
+                on_error="raise",
+            ),
+        )
 
     def process_acquisitions(
         self,
@@ -291,28 +622,19 @@ class FireMonitoringService:
         chain_workers: Optional[int] = None,
         queue_depth: Optional[int] = None,
     ) -> List[AcquisitionOutcome]:
-        """Synthesise and process one acquisition per timestamp.
-
-        The pipelined variant moves the whole first stage — scene
-        synthesis, segment writing and the SciQL chain — onto the
-        workers, so acquisition N+1 is being decoded and classified
-        while acquisition N is refined.
-        """
-        if not pipelined:
-            return [
-                self.process_acquisition(when, season, sensor_name)
-                for when in whens
-            ]
-        from repro.core.pipeline import PipelinedExecutor
-
-        with PipelinedExecutor(
-            self,
-            chain_workers=chain_workers,
-            queue_depth=queue_depth,
-            season=season,
-            sensor_name=sensor_name,
-        ) as executor:
-            return executor.run(whens)
+        """Deprecated: use :meth:`run`."""
+        self._deprecated("process_acquisitions", "run(whens, options)")
+        return self.run(
+            whens,
+            RunOptions(
+                season=season,
+                sensor_name=sensor_name,
+                pipelined=pipelined,
+                chain_workers=chain_workers,
+                queue_depth=queue_depth,
+                on_error="raise",
+            ),
+        )
 
     def _chain_input(self, scene: SceneImage):
         return scene_to_chain_input(scene, self.use_files, self.workdir)
@@ -342,7 +664,7 @@ class FireMonitoringService:
     def thematic_map(self, **kwargs) -> Dict:
         """The Figure 6 overlay map (teleios mode only)."""
         if self.map_composer is None:
-            raise RuntimeError(
+            raise ServiceStateError(
                 "thematic maps need the teleios mode (Strabon endpoint)"
             )
         with _tracer.span("disseminate.map"):

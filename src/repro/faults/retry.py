@@ -1,0 +1,278 @@
+"""Composable resilience primitives: retry, timeout, circuit breaker.
+
+All three report into the PR-1 observability metrics
+(``retry_attempts_total``, ``retry_exhausted_total``,
+``stage_timeouts_total``, ``circuit_breaker_state``,
+``circuit_breaker_transitions_total``) and dispatch on the
+:mod:`repro.errors` markers: only :class:`~repro.errors.Transient`
+failures are retried, everything else fails fast.
+
+Backoff jitter comes from a **seeded** RNG so a faulted run replays
+with identical sleep schedules — the fault-matrix tests assert
+outcome-level determinism across runs, and wall-clock randomness is
+the classic way to lose it.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+import time
+from typing import Any, Callable, Iterator, List, Optional, TypeVar
+
+from repro.errors import StageTimeoutError, is_transient
+from repro.obs import get_metrics
+
+_log = logging.getLogger(__name__)
+_metrics = get_metrics()
+
+T = TypeVar("T")
+
+__all__ = ["RetryPolicy", "Timeout", "CircuitBreaker"]
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``delay(attempt) = min(max_delay, base_delay * 2**(attempt-1))``
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` — the *decorrelated* part that keeps a
+    fleet of retrying clients from thundering in lockstep, made
+    reproducible by seeding.
+
+    :meth:`call` retries only failures that
+    :func:`repro.errors.is_transient` accepts (opt-in marker
+    dispatch); the last error propagates once ``max_attempts`` is
+    exhausted.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.01,
+        max_delay: float = 1.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        retry_on: Callable[[BaseException], bool] = is_transient,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+        self.retry_on = retry_on
+        self._sleep = sleep
+
+    def delays(self, key: object = None) -> Iterator[float]:
+        """The backoff schedule between attempts (length
+        ``max_attempts - 1``), deterministic for a (seed, key) pair."""
+        rng = random.Random(f"{self.seed}|{key!r}")
+        for attempt in range(1, self.max_attempts):
+            delay = min(
+                self.max_delay, self.base_delay * (2 ** (attempt - 1))
+            )
+            if self.jitter:
+                delay *= rng.uniform(
+                    1.0 - self.jitter, 1.0 + self.jitter
+                )
+            yield delay
+
+    def call(
+        self,
+        fn: Callable[..., T],
+        *args: Any,
+        key: object = None,
+        site: str = "unnamed",
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        **kwargs: Any,
+    ) -> T:
+        """Run ``fn`` under the policy; returns its first success."""
+        schedule = self.delays(key)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as error:
+                retryable = self.retry_on(error)
+                if not retryable or attempt >= self.max_attempts:
+                    if retryable and _metrics.enabled:
+                        _metrics.counter(
+                            "retry_exhausted_total",
+                            "Operations that failed every retry attempt",
+                        ).inc(site=site)
+                    raise
+                if _metrics.enabled:
+                    _metrics.counter(
+                        "retry_attempts_total",
+                        "Retries of transient failures",
+                    ).inc(site=site)
+                _log.warning(
+                    "retrying %s after transient failure "
+                    "(attempt %d/%d): %s",
+                    site,
+                    attempt,
+                    self.max_attempts,
+                    error,
+                )
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                self._sleep(next(schedule))
+
+
+class Timeout:
+    """A wall-clock deadline around a callable.
+
+    The body runs on a daemon thread; if it has not finished after
+    ``seconds``, :class:`~repro.errors.StageTimeoutError` (transient —
+    retryable) is raised and the thread is *abandoned*: Python offers no
+    preemptive cancellation, so this primitive suits stages whose
+    side effects are idempotent or discardable.  The service runtime
+    prefers cooperative deadlines (see
+    :meth:`repro.core.refinement.RefinementPipeline.refine_acquisition`)
+    exactly because abandoned threads keep mutating shared stores.
+    """
+
+    def __init__(self, seconds: float, name: str = "stage") -> None:
+        if seconds <= 0:
+            raise ValueError("timeout must be positive")
+        self.seconds = seconds
+        self.name = name
+
+    def call(self, fn: Callable[..., T], *args: Any, **kwargs: Any) -> T:
+        result: List[Any] = []
+        failure: List[BaseException] = []
+
+        def body() -> None:
+            try:
+                result.append(fn(*args, **kwargs))
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                failure.append(error)
+
+        thread = threading.Thread(
+            target=body, name=f"timeout-{self.name}", daemon=True
+        )
+        thread.start()
+        thread.join(self.seconds)
+        if thread.is_alive():
+            if _metrics.enabled:
+                _metrics.counter(
+                    "stage_timeouts_total",
+                    "Stages abandoned after overrunning their deadline",
+                ).inc(stage=self.name)
+            raise StageTimeoutError(
+                f"{self.name} exceeded its {self.seconds:g}s deadline"
+            )
+        if failure:
+            raise failure[0]
+        return result[0]
+
+
+class CircuitBreaker:
+    """Stops hammering a persistently failing dependency.
+
+    Classic three-state machine: **closed** (normal operation) opens
+    after ``failure_threshold`` *consecutive* failures; **open**
+    rejects immediately (:meth:`allow` is False) until
+    ``recovery_seconds`` elapse; then **half-open** admits one probe —
+    success closes the circuit, failure re-opens it.
+
+    The service wraps semantic refinement in one of these: when the
+    Strabon endpoint fails repeatedly, acquisitions keep flowing in
+    degraded mode (chain products without refinement) instead of
+    stalling the 5-minute window on a dead dependency.
+    """
+
+    def __init__(
+        self,
+        name: str = "default",
+        failure_threshold: int = 3,
+        recovery_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._publish_state()
+
+    #: Gauge encoding, exported per circuit name.
+    _STATE_CODES = {"closed": 0.0, "half-open": 0.5, "open": 1.0}
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May the protected operation run right now?"""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != "open"
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != "closed":
+                self._transition("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == "half-open":
+                self._transition("open")
+            elif (
+                self._state == "closed"
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition("open")
+
+    # -- internals (lock held) --------------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.recovery_seconds
+        ):
+            self._transition("half-open")
+
+    def _transition(self, new_state: str) -> None:
+        old = self._state
+        self._state = new_state
+        self._opened_at = (
+            self._clock() if new_state == "open" else None
+        )
+        _log.info(
+            "circuit %s: %s -> %s (%d consecutive failure(s))",
+            self.name,
+            old,
+            new_state,
+            self._consecutive_failures,
+        )
+        if _metrics.enabled:
+            _metrics.counter(
+                "circuit_breaker_transitions_total",
+                "Circuit-breaker state transitions",
+            ).inc(circuit=self.name, to=new_state)
+        self._publish_state()
+
+    def _publish_state(self) -> None:
+        if _metrics.enabled:
+            _metrics.gauge(
+                "circuit_breaker_state",
+                "0 closed / 0.5 half-open / 1 open, per circuit",
+            ).set(self._STATE_CODES[self._state], circuit=self.name)

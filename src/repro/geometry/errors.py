@@ -1,7 +1,11 @@
-"""Exceptions raised by the geometry package."""
+"""Exceptions raised by the geometry package (rooted in
+:mod:`repro.errors`; still ``ValueError`` subclasses for callers that
+catch the builtin)."""
+
+from repro.errors import Permanent, ReproError
 
 
-class GeometryError(ValueError):
+class GeometryError(ReproError, Permanent, ValueError):
     """Raised when a geometry is constructed from invalid input."""
 
 

@@ -138,12 +138,22 @@ def read_segment(path: str) -> Tuple[SegmentHeader, np.ndarray]:
         segment_count=seg_count,
         calibration_scale=scale,
     )
-    data = np.frombuffer(zlib.decompress(payload), dtype=">u2")
+    try:
+        data = np.frombuffer(zlib.decompress(payload), dtype=">u2")
+    except zlib.error as error:
+        raise VaultError(
+            f"corrupt HSIM payload in {path!r}: {error}"
+        ) from error
     rows_here = min(
         header.rows_per_segment,
         rows - seg_index * header.rows_per_segment,
     )
-    grid = data.reshape(rows_here, cols).astype(np.float64) / scale
+    try:
+        grid = data.reshape(rows_here, cols).astype(np.float64) / scale
+    except (ValueError, ZeroDivisionError) as error:
+        raise VaultError(
+            f"inconsistent HSIM geometry in {path!r}: {error}"
+        ) from error
     return header, grid
 
 
@@ -264,11 +274,19 @@ def image_metadata(paths: Sequence[str]) -> List[SegmentHeader]:
             seg_count,
             scale,
         ) = struct.unpack(_HEADER_FMT, raw)
+        try:
+            sensor_name = sensor.rstrip(b"\0").decode()
+            band_name = band.rstrip(b"\0").decode()
+            acquired = datetime.fromtimestamp(epoch, tz=timezone.utc)
+        except (UnicodeDecodeError, ValueError, OSError, OverflowError) as e:
+            raise VaultError(
+                f"corrupt HSIM header fields in {path!r}: {e}"
+            ) from e
         headers.append(
             SegmentHeader(
-                sensor=sensor.rstrip(b"\0").decode(),
-                band=band.rstrip(b"\0").decode(),
-                timestamp=datetime.fromtimestamp(epoch, tz=timezone.utc),
+                sensor=sensor_name,
+                band=band_name,
+                timestamp=acquired,
                 rows=rows,
                 cols=cols,
                 segment_index=seg_index,

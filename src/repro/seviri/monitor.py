@@ -30,6 +30,7 @@ from datetime import datetime, timezone
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arraydb.errors import VaultError
+from repro.faults import DeadLetterBox
 from repro.obs import get_metrics, get_tracer
 from repro.perf import get_config
 from repro.perf.parallel import map_outcomes
@@ -62,18 +63,29 @@ CREATE INDEX IF NOT EXISTS idx_raw_files_image
 
 @dataclass(frozen=True)
 class ReadyAcquisition:
-    """A complete two-band acquisition, ready for the processing chain."""
+    """An acquisition ready for the processing chain.
+
+    Normally both IR bands are present; an acquisition dispatched by
+    :meth:`SeviriMonitor.dispatch_stale` lists the band(s) that never
+    arrived in ``missing_bands`` — the service runtime then processes it
+    in documented single-band degraded mode.
+    """
 
     sensor: str
     timestamp: datetime
     band_paths: Dict[str, Tuple[str, ...]]
+    missing_bands: Tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_bands
 
     @property
     def chain_input(self) -> Tuple[Sequence[str], Sequence[str]]:
         """(IR 3.9 paths, IR 10.8 paths) as the chains expect them."""
         return (
-            list(self.band_paths["IR_039"]),
-            list(self.band_paths["IR_108"]),
+            list(self.band_paths.get("IR_039", ())),
+            list(self.band_paths.get("IR_108", ())),
         )
 
 
@@ -86,11 +98,20 @@ class SeviriMonitor:
         archive_dir: str,
         db_path: str = ":memory:",
         relevant_bands: Sequence[str] = FIRE_BANDS,
+        dead_letter_dir: Optional[str] = None,
     ) -> None:
         self.incoming_dir = incoming_dir
         self.archive_dir = archive_dir
         self.relevant_bands = tuple(relevant_bands)
         os.makedirs(archive_dir, exist_ok=True)
+        #: Quarantine for undecodable segment files.  They used to be
+        #: left in the incoming directory (and re-parsed on every scan);
+        #: now each is moved here once, with a reason record.
+        self.dead_letters = DeadLetterBox(
+            dead_letter_dir
+            if dead_letter_dir is not None
+            else os.path.join(archive_dir, "dead_letter")
+        )
         self._db = sqlite3.connect(db_path)
         self._db.executescript(_SCHEMA)
         #: Files ignored because their band is irrelevant to the scenario.
@@ -144,8 +165,13 @@ class SeviriMonitor:
                         "monitor_segments_dropped_total",
                         "Segment files dropped by the monitor",
                     ).inc(reason="unparseable")
-                _log.warning("monitor rejected unparseable segment %s",
-                             path)
+                if os.path.exists(path):
+                    self.dead_letters.quarantine(
+                        path,
+                        reason="unparseable-header",
+                        site="monitor.scan",
+                        error=header,
+                    )
                 continue
             if isinstance(header, Exception):
                 raise header
@@ -265,6 +291,82 @@ class SeviriMonitor:
                     sensor=sensor,
                     timestamp=datetime.fromisoformat(acquired),
                     band_paths=band_paths,
+                )
+            )
+        return ready
+
+    def dispatch_stale(
+        self, older_than: datetime
+    ) -> List[ReadyAcquisition]:
+        """Give up waiting for acquisitions older than ``older_than``.
+
+        An acquisition whose 3.9 *or* 10.8 µm band completed but whose
+        other band never (fully) arrived would block in the catalog
+        forever.  This dispatches every such acquisition acquired before
+        ``older_than`` in **single-band degraded mode**: the complete
+        band is archived and handed over, the stragglers of the missing
+        band are marked dispatched so they are never assembled, and
+        ``missing_bands`` tells the service runtime what is gone.
+        """
+        if older_than.tzinfo is None:
+            older_than = older_than.replace(tzinfo=timezone.utc)
+        by_acquisition: Dict[Tuple[str, str], List[str]] = {}
+        for sensor, band, acquired in self.complete_images():
+            by_acquisition.setdefault((sensor, acquired), []).append(band)
+        ready: List[ReadyAcquisition] = []
+        for (sensor, acquired), bands in sorted(by_acquisition.items()):
+            missing = tuple(
+                b for b in self.relevant_bands if b not in bands
+            )
+            if not missing:
+                continue  # fully complete: dispatch_ready's job
+            if datetime.fromisoformat(acquired) >= older_than:
+                continue  # still within its grace period
+            band_paths: Dict[str, Tuple[str, ...]] = {}
+            for band in bands:
+                paths = [
+                    row[0]
+                    for row in self._db.execute(
+                        "SELECT path FROM raw_files WHERE sensor = ? AND"
+                        " band = ? AND acquired_at = ? AND dispatched = 0"
+                        " ORDER BY segment_index",
+                        (sensor, band, acquired),
+                    )
+                ]
+                archived = tuple(self._archive(p) for p in paths)
+                band_paths[band] = archived
+                for old, new in zip(paths, archived):
+                    self._db.execute(
+                        "UPDATE raw_files SET path = ?, dispatched = 1"
+                        " WHERE path = ?",
+                        (new, old),
+                    )
+            # Stragglers of the missing band(s) must not resurrect the
+            # acquisition if they trickle in after we gave up on it.
+            self._db.execute(
+                "UPDATE raw_files SET dispatched = 1"
+                " WHERE sensor = ? AND acquired_at = ?",
+                (sensor, acquired),
+            )
+            self._db.commit()
+            if _metrics.enabled:
+                _metrics.counter(
+                    "monitor_acquisitions_stale_total",
+                    "Acquisitions dispatched single-band after their "
+                    "grace period",
+                ).inc()
+            _log.warning(
+                "monitor dispatched STALE acquisition %s %s without %s",
+                sensor,
+                acquired,
+                "/".join(missing),
+            )
+            ready.append(
+                ReadyAcquisition(
+                    sensor=sensor,
+                    timestamp=datetime.fromisoformat(acquired),
+                    band_paths=band_paths,
+                    missing_bands=missing,
                 )
             )
         return ready

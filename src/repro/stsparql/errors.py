@@ -1,15 +1,17 @@
-"""stSPARQL error hierarchy."""
+"""stSPARQL error hierarchy (rooted in :mod:`repro.errors`)."""
+
+from repro.errors import Permanent, ReproError
 
 
-class SparqlError(Exception):
+class SparqlError(ReproError):
     """Base class for all engine errors."""
 
 
-class SparqlParseError(SparqlError):
+class SparqlParseError(SparqlError, Permanent):
     """Raised when query text cannot be parsed."""
 
 
-class SparqlEvalError(SparqlError):
+class SparqlEvalError(SparqlError, Permanent):
     """Raised when a query is structurally valid but cannot be evaluated."""
 
 

@@ -1,0 +1,160 @@
+"""The redesigned service API: config objects, run(), lifecycle, shims."""
+
+from __future__ import annotations
+
+import os
+from datetime import timedelta
+
+import pytest
+
+from repro.core import (
+    FireMonitoringService,
+    RunOptions,
+    ServiceConfig,
+)
+from repro.errors import ConfigurationError, ServiceStateError
+from tests.conftest import CRISIS_START
+
+WHEN = CRISIS_START + timedelta(hours=12)
+
+
+@pytest.fixture()
+def service(greece):
+    with FireMonitoringService(greece=greece) as svc:
+        yield svc
+
+
+class TestConfigObjects:
+    def test_legacy_kwargs_funnel_into_config(self, greece):
+        with FireMonitoringService(
+            greece=greece, mode="pre-teleios", use_files=True
+        ) as svc:
+            assert svc.config.mode == "pre-teleios"
+            assert svc.config.use_files is True
+
+    def test_explicit_config_wins(self, greece):
+        config = ServiceConfig(mode="pre-teleios")
+        with FireMonitoringService(greece=greece, config=config) as svc:
+            assert svc.config is config
+            assert svc.mode == "pre-teleios"
+
+    def test_invalid_mode_is_configuration_error(self, greece):
+        with pytest.raises(ConfigurationError):
+            FireMonitoringService(greece=greece, mode="turbo")
+        # ConfigurationError is a ValueError: pre-redesign callers that
+        # caught ValueError keep working.
+        with pytest.raises(ValueError):
+            FireMonitoringService(greece=greece, mode="turbo")
+
+    def test_invalid_run_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunOptions(on_error="explode").validate()
+
+    def test_merged_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="pipelinedd"):
+            RunOptions().merged(pipelinedd=True)
+        merged = RunOptions().merged(pipelined=True, chain_workers=2)
+        assert merged.pipelined is True
+        assert merged.chain_workers == 2
+        assert RunOptions().pipelined is False  # original untouched
+
+
+class TestRun:
+    def test_run_returns_ordered_outcomes(self, service, season):
+        whens = [WHEN, WHEN + timedelta(minutes=15)]
+        outcomes = service.run(whens, RunOptions(season=season))
+        assert [o.timestamp for o in outcomes] == whens
+        assert all(o.status == "ok" for o in outcomes)
+        assert service.outcomes == outcomes
+
+    def test_keyword_overrides_merge_into_options(self, service, season):
+        outcomes = service.run([WHEN], season=season, on_error="raise")
+        assert len(outcomes) == 1 and outcomes[0].ok
+
+    def test_unknown_override_raises(self, service, season):
+        with pytest.raises(ConfigurationError):
+            service.run([WHEN], season=season, retries=5)
+
+    def test_mixed_request_kinds(self, service, season):
+        scene = service.scene_generator.generate(
+            WHEN + timedelta(minutes=30), season
+        )
+        outcomes = service.run([WHEN, scene], RunOptions(season=season))
+        assert [o.timestamp for o in outcomes] == [WHEN, scene.timestamp]
+
+
+class TestLifecycle:
+    def test_close_removes_owned_workdir(self, greece):
+        svc = FireMonitoringService(greece=greece)
+        workdir = svc.workdir
+        assert os.path.isdir(workdir)
+        svc.close()
+        assert not os.path.exists(workdir)
+        svc.close()  # idempotent
+
+    def test_close_preserves_caller_workdir(self, greece, tmp_path):
+        workdir = str(tmp_path / "mine")
+        os.makedirs(workdir)
+        svc = FireMonitoringService(
+            greece=greece, config=ServiceConfig(workdir=workdir)
+        )
+        svc.close()
+        assert os.path.isdir(workdir)
+
+    def test_run_after_close_raises(self, greece, season):
+        svc = FireMonitoringService(greece=greece)
+        svc.close()
+        with pytest.raises(ServiceStateError):
+            svc.run([WHEN], RunOptions(season=season))
+
+    def test_context_manager_closes(self, greece):
+        with FireMonitoringService(greece=greece) as svc:
+            workdir = svc.workdir
+        assert not os.path.exists(workdir)
+
+    def test_thematic_map_requires_teleios(self, greece):
+        with FireMonitoringService(greece=greece, mode="pre-teleios") as svc:
+            with pytest.raises(ServiceStateError):
+                svc.thematic_map()
+
+
+class TestDeprecatedShims:
+    def test_process_acquisition(self, service, season):
+        with pytest.deprecated_call():
+            outcome = service.process_acquisition(WHEN, season)
+        assert outcome.ok and outcome.timestamp == WHEN
+
+    def test_process_scene(self, service, season):
+        scene = service.scene_generator.generate(WHEN, season)
+        with pytest.deprecated_call():
+            outcome = service.process_scene(scene)
+        assert outcome.timestamp == WHEN
+
+    def test_process_scenes(self, service, season):
+        scenes = [
+            service.scene_generator.generate(
+                WHEN + timedelta(minutes=15 * k), season
+            )
+            for k in range(2)
+        ]
+        with pytest.deprecated_call():
+            outcomes = service.process_scenes(scenes)
+        assert [o.timestamp for o in outcomes] == [
+            s.timestamp for s in scenes
+        ]
+
+    def test_process_acquisitions(self, service, season):
+        with pytest.deprecated_call():
+            outcomes = service.process_acquisitions([WHEN], season)
+        assert len(outcomes) == 1 and outcomes[0].ok
+
+    def test_shims_keep_raise_semantics(self, service, season):
+        # The legacy entry points propagated failures; the shims pin
+        # on_error="raise" so they still do.
+        from repro.faults import FaultInjected, FaultPlan, inject
+
+        plan = FaultPlan().raise_in("stage.chain", times=99)
+        with inject(plan):
+            with pytest.deprecated_call():
+                with pytest.raises(FaultInjected):
+                    service.process_acquisition(WHEN, season)

@@ -1,0 +1,67 @@
+"""Dead-letter box: quarantine moves, sidecars, re-readable records."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.faults import DeadLetterBox
+
+
+def _write(path, data=b"payload"):
+    with open(path, "wb") as f:
+        f.write(data)
+    return path
+
+
+def test_quarantine_moves_file_and_writes_sidecar(tmp_path):
+    box = DeadLetterBox(str(tmp_path / "dead"))
+    victim = _write(str(tmp_path / "seg_00.hsim"))
+    record = box.quarantine(
+        victim,
+        reason="undecodable-segment",
+        site="prepare.IR_108",
+        error=ValueError("bad magic"),
+    )
+    assert not os.path.exists(victim)
+    assert os.path.exists(record.quarantined_path)
+    assert record.quarantined_path.startswith(box.directory)
+    sidecar = record.quarantined_path + ".reason.json"
+    with open(sidecar) as f:
+        payload = json.load(f)
+    assert payload["reason"] == "undecodable-segment"
+    assert payload["site"] == "prepare.IR_108"
+    assert payload["error"] == "ValueError: bad magic"
+    assert payload["original_path"] == victim
+
+
+def test_records_reread_from_disk(tmp_path):
+    directory = str(tmp_path / "dead")
+    box = DeadLetterBox(directory)
+    box.quarantine(_write(str(tmp_path / "a.hsim")), reason="r1")
+    box.quarantine(_write(str(tmp_path / "b.hsim")), reason="r2")
+    # A fresh box over the same directory sees both records: what a
+    # forked worker quarantined is visible to the parent process.
+    fresh = DeadLetterBox(directory)
+    records = fresh.records()
+    assert len(fresh) == len(records) == 2
+    assert sorted(r.reason for r in records) == ["r1", "r2"]
+
+
+def test_name_collisions_get_serial_suffixes(tmp_path):
+    box = DeadLetterBox(str(tmp_path / "dead"))
+    quarantined = set()
+    for i in range(3):
+        run_dir = tmp_path / f"run{i}"
+        run_dir.mkdir()
+        victim = _write(str(run_dir / "seg.hsim"))
+        record = box.quarantine(victim, reason="dup")
+        quarantined.add(record.quarantined_path)
+    assert len(quarantined) == 3
+    assert len(box) == 3
+
+
+def test_empty_box(tmp_path):
+    box = DeadLetterBox(str(tmp_path / "dead"))
+    assert len(box) == 0
+    assert box.records() == []

@@ -1,0 +1,187 @@
+"""Resilience primitives: RetryPolicy, Timeout, CircuitBreaker."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import (
+    PermanentError,
+    StageTimeoutError,
+    TransientError,
+    is_transient,
+)
+from repro.faults import CircuitBreaker, RetryPolicy, Timeout
+
+
+class TestRetryPolicy:
+    def test_delays_deterministic_per_seed_and_key(self):
+        policy = RetryPolicy(max_attempts=4, seed=9)
+        first = list(policy.delays(key=("stage-one", 3)))
+        again = list(policy.delays(key=("stage-one", 3)))
+        other_key = list(policy.delays(key=("stage-one", 4)))
+        other_seed = list(
+            RetryPolicy(max_attempts=4, seed=10).delays(key=("stage-one", 3))
+        )
+        assert len(first) == 3
+        assert first == again
+        assert first != other_key
+        assert first != other_seed
+
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, max_delay=0.4, jitter=0.0
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_retries_transient_until_success(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, sleep=sleeps.append)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientError("flap")
+            return "done"
+
+        assert policy.call(flaky, site="test") == "done"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_permanent_fails_fast(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=5, sleep=sleeps.append)
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise PermanentError("corrupt")
+
+        with pytest.raises(PermanentError):
+            policy.call(broken, site="test")
+        assert calls["n"] == 1
+        assert sleeps == []
+
+    def test_unmarked_errors_are_not_retried(self):
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _s: None)
+        calls = {"n": 0}
+
+        def oops():
+            calls["n"] += 1
+            raise KeyError("unmarked")
+
+        with pytest.raises(KeyError):
+            policy.call(oops, site="test")
+        assert calls["n"] == 1
+
+    def test_exhaustion_raises_last_error(self):
+        policy = RetryPolicy(max_attempts=2, sleep=lambda _s: None)
+
+        def always():
+            raise TransientError("still down")
+
+        with pytest.raises(TransientError, match="still down"):
+            policy.call(always, site="test")
+
+    def test_on_retry_hook_sees_attempt_and_error(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _s: None)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise TransientError("flap")
+            return 1
+
+        policy.call(
+            flaky,
+            site="test",
+            on_retry=lambda attempt, error: seen.append(
+                (attempt, type(error).__name__)
+            ),
+        )
+        assert seen == [(1, "TransientError")]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestTimeout:
+    def test_fast_body_passes_through(self):
+        assert Timeout(5.0, name="fast").call(lambda: 42) == 42
+
+    def test_body_error_propagates(self):
+        def boom():
+            raise PermanentError("inner")
+
+        with pytest.raises(PermanentError, match="inner"):
+            Timeout(5.0, name="err").call(boom)
+
+    def test_overrun_raises_transient_stage_timeout(self):
+        with pytest.raises(StageTimeoutError) as exc:
+            Timeout(0.05, name="slow").call(time.sleep, 2.0)
+        assert is_transient(exc.value)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Timeout(0.0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            name="test",
+            failure_threshold=kwargs.pop("failure_threshold", 2),
+            recovery_seconds=kwargs.pop("recovery_seconds", 10.0),
+            clock=lambda: clock["now"],
+        )
+        return breaker, clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _clock = self._breaker()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker, _clock = self._breaker()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock["now"] = 11.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock["now"] = 11.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock["now"] = 22.0
+        assert breaker.state == "half-open"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)

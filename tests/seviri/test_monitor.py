@@ -158,3 +158,70 @@ class TestEndToEnd:
         a = {(h.x, h.y) for h in product.hotspots}
         b = {(h.x, h.y) for h in direct.hotspots}
         assert len(a ^ b) <= max(2, len(a) // 5)
+
+
+class TestDegradation:
+    def test_corrupt_file_quarantined_with_reason(self, dirs):
+        incoming, archive = dirs
+        bogus = os.path.join(incoming, "junk.hsim")
+        with open(bogus, "wb") as f:
+            f.write(b"garbage")
+        with SeviriMonitor(incoming, archive) as monitor:
+            monitor.scan()
+            assert monitor.rejected_count == 1
+            # The file left the incoming spool for the dead-letter box —
+            # it used to linger and be re-parsed on every scan.
+            assert not os.path.exists(bogus)
+            records = monitor.dead_letters.records()
+            assert len(records) == 1
+            assert records[0].reason == "unparseable-header"
+            assert records[0].site == "monitor.scan"
+            # Rescanning finds nothing left to reject.
+            monitor.scan()
+            assert monitor.rejected_count == 1
+
+    def _partial_acquisition(self, incoming):
+        """IR_108 complete, IR_039 forever missing its last segment."""
+        write_hrit_segments(
+            incoming, "MSG2", "IR_108", TS, np.full((9, 9), 300.0), 3
+        )
+        paths039 = write_hrit_segments(
+            incoming, "MSG2", "IR_039", TS, np.full((9, 9), 300.0), 3
+        )
+        lost = paths039.pop()
+        staging = os.path.dirname(incoming) + os.sep + "lost"
+        os.makedirs(staging, exist_ok=True)
+        shutil.move(lost, staging)
+        return os.path.join(staging, os.path.basename(lost))
+
+    def test_stale_acquisition_dispatched_single_band(self, dirs):
+        incoming, archive = dirs
+        self._partial_acquisition(incoming)
+        with SeviriMonitor(incoming, archive) as monitor:
+            monitor.scan()
+            assert monitor.dispatch_ready() == []
+            # Still inside its grace period: nothing is given up on.
+            assert monitor.dispatch_stale(TS) == []
+            stale = monitor.dispatch_stale(TS + timedelta(hours=1))
+        assert len(stale) == 1
+        acq = stale[0]
+        assert acq.missing_bands == ("IR_039",)
+        assert not acq.complete
+        paths039, paths108 = acq.chain_input
+        assert paths039 == []
+        assert len(paths108) == 3
+        for path in paths108:
+            assert path.startswith(archive) and os.path.exists(path)
+
+    def test_stragglers_never_resurrect_a_stale_acquisition(self, dirs):
+        incoming, archive = dirs
+        lost = self._partial_acquisition(incoming)
+        with SeviriMonitor(incoming, archive) as monitor:
+            monitor.scan()
+            assert len(monitor.dispatch_stale(TS + timedelta(hours=1))) == 1
+            # The missing segment finally trickles in: too late.  It must
+            # not reassemble an acquisition that already shipped.
+            shutil.move(lost, incoming)
+            monitor.scan()
+            assert monitor.dispatch_ready() == []
+            assert monitor.dispatch_stale(TS + timedelta(hours=1)) == []
