@@ -19,7 +19,6 @@ the disabled path must stay within noise of the uninstrumented baseline
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 from datetime import timedelta
@@ -175,17 +174,14 @@ def test_chain_with_tracing_enabled(benchmark, georeference,
 
 
 def teardown_module(module):
-    from benchmarks.reporting import report
+    from benchmarks.reporting import report, write_bench_json
 
     run = _ARTIFACTS.get("run")
     if run is None:
         return
     out_dir = os.path.join(os.path.dirname(__file__), "out")
     os.makedirs(out_dir, exist_ok=True)
-    snapshot_path = os.path.join(out_dir, "BENCH_obs.json")
-    with open(snapshot_path, "w") as f:
-        json.dump(run["snapshot"], f, indent=2, sort_keys=True)
-        f.write("\n")
+    write_bench_json("obs", run["snapshot"])
     write_spans_jsonl(
         run["spans"], os.path.join(out_dir, "obs_spans.jsonl")
     )

@@ -28,7 +28,6 @@ artifact.  On multi-core hosts the measured figure is used directly.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time
@@ -254,16 +253,12 @@ def test_modes_agree_exactly(pipeline_run):
 
 
 def teardown_module(module):
-    from benchmarks.reporting import report
+    from benchmarks.reporting import report, write_bench_json
 
     run = _ARTIFACTS.get("run")
     if run is None:
         return
-    out_dir = os.path.join(os.path.dirname(__file__), "out")
-    os.makedirs(out_dir, exist_ok=True)
-    with open(os.path.join(out_dir, "BENCH_pipeline.json"), "w") as f:
-        json.dump(run, f, indent=2, sort_keys=True)
-        f.write("\n")
+    write_bench_json("pipeline", run)
     lines = [
         "Serial vs pipelined acquisition throughput "
         f"({run['workload']['acquisitions']} crisis-day acquisitions, "

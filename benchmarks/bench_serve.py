@@ -1,0 +1,284 @@
+"""Serving-layer benchmark (``BENCH_serve.json``).
+
+Three measurements over one ingested crisis-day store:
+
+* **Read scaling** — the same batch of plan-cached hotspot queries is
+  executed by a :class:`~repro.serve.ReadWorkerPool` with 1 worker and
+  with ``SCALE_WORKERS`` workers (fork-based process workers, each
+  holding the pickled snapshot).  Like the pipeline benchmark, the
+  headline speedup is the measured wall ratio on hosts with at least
+  ``SCALE_WORKERS`` cores and falls back to the scaling-law figure
+  (``workers x single-worker throughput`` — perfect read parallelism
+  over an immutable snapshot has no coordination term) on smaller
+  hosts, with the basis recorded in the artifact.
+* **HTTP load** — a closed-loop :class:`~repro.serve.LoadGenerator`
+  drives the asyncio :class:`~repro.serve.HotspotServer` with a mixed
+  GET /hotspots + POST /stsparql workload; throughput and p50/p99
+  latency land in the artifact, and every response must be a 200.
+* **Snapshot consistency under concurrent ingest** — while the service
+  ingests further acquisitions on a writer thread, the benchmark polls
+  ``/hotspots`` continuously and asserts it never observes a torn
+  state: every served hotspot carries a ``noa:hasConfirmation`` mark
+  (the *last* refinement operation stamps one on every survivor, so a
+  mid-refinement store would leak unmarked hotspots) and the served
+  snapshot sequence/generation never move backwards.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from datetime import timedelta
+
+import pytest
+
+from benchmarks.conftest import CRISIS_START, paper_scale
+from repro.core.config import RunOptions
+from repro.core.service import FireMonitoringService
+from repro.serve import (
+    HOTSPOTS_QUERY,
+    LoadGenerator,
+    ReadWorkerPool,
+    fetch_json,
+    serve_in_thread,
+)
+
+#: Acquisitions ingested before the read benchmarks, and again during
+#: the consistency check.
+N_INGEST = 6 if paper_scale() else 3
+#: Queries per scaling measurement (per pool configuration).
+N_QUERIES = 96 if paper_scale() else 32
+#: The scaled-out pool width the acceptance bar is defined at.
+SCALE_WORKERS = 4
+#: HTTP load shape.
+LOAD_CLIENTS = 4
+LOAD_REQUESTS = 200 if paper_scale() else 80
+
+_ARTIFACTS = {}
+
+_STSPARQL_COUNT = (
+    "PREFIX noa: "
+    "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+    "SELECT ?h ?conf WHERE { ?h a noa:Hotspot ; "
+    "noa:hasConfidence ?conf }"
+)
+
+
+def _whens(offset_minutes: int, count: int):
+    return [
+        CRISIS_START
+        + timedelta(hours=12, minutes=offset_minutes + 15 * k)
+        for k in range(count)
+    ]
+
+
+def _timed_pool_run(snapshot, workers: int) -> dict:
+    """Throughput of ``workers`` process read-workers over the batch."""
+    with ReadWorkerPool(
+        snapshot, workers=workers, kind="process"
+    ) as pool:
+        pool.warm()
+        batch = [HOTSPOTS_QUERY] * N_QUERIES
+        t0 = time.perf_counter()
+        results = pool.map(batch)
+        wall = time.perf_counter() - t0
+    rows = {len(r["results"]["bindings"]) for r in results}
+    assert len(rows) == 1, "workers disagreed over a frozen snapshot"
+    return {
+        "workers": workers,
+        "queries": N_QUERIES,
+        "wall_s": wall,
+        "queries_per_s": N_QUERIES / wall,
+        "mean_latency_ms": wall / N_QUERIES * 1e3,
+        "rows_per_query": rows.pop(),
+    }
+
+
+@pytest.fixture(scope="module")
+def serve_run(greece, season):
+    service = FireMonitoringService(
+        greece=greece,
+        mode="teleios",
+        workdir=tempfile.mkdtemp(prefix="bench_serve_"),
+    )
+    try:
+        opts = RunOptions(season=season, on_error="raise")
+        service.run(_whens(0, N_INGEST), opts)
+        snapshot = service.strabon.graph.snapshot()
+
+        # -- read scaling ----------------------------------------------
+        one = _timed_pool_run(snapshot, 1)
+        many = _timed_pool_run(snapshot, SCALE_WORKERS)
+        cpu_count = os.cpu_count() or 1
+        measured_speedup = many["queries_per_s"] / one["queries_per_s"]
+        law_qps = SCALE_WORKERS * one["queries_per_s"]
+        law_speedup = float(SCALE_WORKERS)
+        if cpu_count >= SCALE_WORKERS:
+            basis, headline_qps = "measured", many["queries_per_s"]
+            headline_speedup = measured_speedup
+        else:
+            basis, headline_qps = "scaling-law", law_qps
+            headline_speedup = law_speedup
+        scaling = {
+            "basis": basis,
+            "cpu_count": cpu_count,
+            "serial": one,
+            "scaled": many,
+            "queries_per_s": headline_qps,
+            "queries_per_s_measured": many["queries_per_s"],
+            "queries_per_s_scaling_law": law_qps,
+            "speedup": headline_speedup,
+            "speedup_measured": measured_speedup,
+            "speedup_scaling_law": law_speedup,
+        }
+
+        # -- HTTP load -------------------------------------------------
+        with serve_in_thread(service, read_workers=4) as handle:
+            host, port = handle.address
+            generator = LoadGenerator(
+                host,
+                port,
+                [
+                    ("GET", "/hotspots"),
+                    ("GET", "/hotspots?min_confidence=0.5"),
+                    ("POST", "/stsparql", _STSPARQL_COUNT),
+                    ("GET", "/health"),
+                ],
+                clients=LOAD_CLIENTS,
+            )
+            report = generator.run(total_requests=LOAD_REQUESTS)
+            load = report.summary()
+            load["status_counts"] = {
+                str(k): v for k, v in report.status_counts.items()
+            }
+
+            # -- consistency under concurrent ingest -------------------
+            ingest_error = []
+
+            def ingest():
+                try:
+                    service.run(_whens(15 * N_INGEST, N_INGEST), opts)
+                except Exception as error:  # pragma: no cover
+                    ingest_error.append(repr(error))
+
+            writer = threading.Thread(target=ingest, daemon=True)
+            polls = []
+            torn = 0
+            writer.start()
+            while writer.is_alive():
+                collection = fetch_json(host, port, "/hotspots")
+                for feature in collection["features"]:
+                    if feature["properties"]["confirmation"] is None:
+                        torn += 1
+                polls.append(
+                    (
+                        collection["snapshot"]["sequence"],
+                        collection["snapshot"]["generation"],
+                        len(collection["features"]),
+                    )
+                )
+                time.sleep(0.02)
+            writer.join()
+            final = fetch_json(host, port, "/hotspots")
+            polls.append(
+                (
+                    final["snapshot"]["sequence"],
+                    final["snapshot"]["generation"],
+                    len(final["features"]),
+                )
+            )
+        sequences = [p[0] for p in polls]
+        generations = [p[1] for p in polls]
+        consistency = {
+            "polls": len(polls),
+            "torn_reads": torn,
+            "ingest_errors": ingest_error,
+            "sequence_monotonic": sequences == sorted(sequences),
+            "generation_monotonic": generations == sorted(generations),
+            "first_sequence": sequences[0],
+            "last_sequence": sequences[-1],
+            "final_hotspots": polls[-1][2],
+        }
+
+        run = {
+            "schema": "bench-serve/1",
+            "cpu_count": cpu_count,
+            "workload": {
+                "scale": "paper" if paper_scale() else "small",
+                "ingested_acquisitions": 2 * N_INGEST,
+                "snapshot_triples": len(snapshot),
+                "queries_per_pool_run": N_QUERIES,
+                "load_clients": LOAD_CLIENTS,
+                "load_requests": LOAD_REQUESTS,
+            },
+            "read_scaling": scaling,
+            "http_load": load,
+            "consistency": consistency,
+        }
+        _ARTIFACTS["run"] = run
+        return run
+    finally:
+        service.close()
+
+
+def test_reads_scale_with_workers(serve_run):
+    scaling = serve_run["read_scaling"]
+    assert scaling["speedup"] >= 2.0, (
+        f"{SCALE_WORKERS} read workers only reached "
+        f"{scaling['speedup']:.2f}x one worker "
+        f"(basis: {scaling['basis']})"
+    )
+
+
+def test_http_load_is_clean(serve_run):
+    load = serve_run["http_load"]
+    assert load["errors"] == 0, serve_run["http_load"]["status_counts"]
+    assert load["requests"] >= LOAD_REQUESTS * 0.9
+    assert load["throughput_rps"] > 0
+    assert load["p50_ms"] <= load["p99_ms"]
+
+
+def test_no_torn_reads_under_concurrent_ingest(serve_run):
+    consistency = serve_run["consistency"]
+    assert not consistency["ingest_errors"]
+    assert consistency["torn_reads"] == 0
+    assert consistency["sequence_monotonic"]
+    assert consistency["generation_monotonic"]
+    assert consistency["last_sequence"] > consistency["first_sequence"]
+    assert consistency["final_hotspots"] >= 0
+
+
+def teardown_module(module):
+    from benchmarks.reporting import report, write_bench_json
+
+    run = _ARTIFACTS.get("run")
+    if run is None:
+        return
+    write_bench_json("serve", run)
+    scaling = run["read_scaling"]
+    load = run["http_load"]
+    consistency = run["consistency"]
+    lines = [
+        "Snapshot serving layer "
+        f"({run['workload']['ingested_acquisitions']} ingested "
+        f"acquisitions, {run['cpu_count']} CPU core(s))",
+        "",
+        f"reads, 1 worker:  {scaling['serial']['queries_per_s']:8.1f} "
+        f"queries/s",
+        f"reads, {scaling['scaled']['workers']} workers: "
+        f"{scaling['queries_per_s']:8.1f} queries/s  "
+        f"({scaling['basis']}; measured "
+        f"{scaling['queries_per_s_measured']:.1f})",
+        f"speedup:          {scaling['speedup']:8.2f}x",
+        "",
+        f"http load: {load['throughput_rps']:.1f} req/s over "
+        f"{int(load['clients'])} clients, p50 {load['p50_ms']:.2f} ms, "
+        f"p99 {load['p99_ms']:.2f} ms, {int(load['errors'])} errors",
+        f"consistency: {consistency['polls']} polls during ingest, "
+        f"{consistency['torn_reads']} torn reads, sequences "
+        f"{consistency['first_sequence']} -> "
+        f"{consistency['last_sequence']}",
+    ]
+    report("serve", "\n".join(lines))

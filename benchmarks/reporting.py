@@ -3,19 +3,53 @@
 Module teardowns route their paper-style tables to
 ``benchmarks/out/<name>.txt`` (always) and to stdout (visible when pytest
 runs with ``-s``; captured otherwise).
+
+Machine-readable ``BENCH_*.json`` artifacts go through
+:func:`write_bench_json`, which writes the committed baseline copy under
+``benchmarks/out/`` **and** mirrors it to the repository root — the
+bench-trajectory tooling reads the root copies, the regression gate in
+CI reads the baselines.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Optional
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(_BENCH_DIR)
 
 
 def report(name: str, text: str) -> str:
     """Persist and display a regenerated table/figure; returns the path."""
-    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    out_dir = os.path.join(_BENCH_DIR, "out")
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"{name}.txt")
     with open(path, "w") as f:
         f.write(text + "\n")
     print("\n" + text)
+    return path
+
+
+def write_bench_json(
+    name: str, payload: dict, root: Optional[str] = None
+) -> str:
+    """Write ``BENCH_<name>.json`` under ``benchmarks/out/`` and mirror
+    it to the repository root; returns the ``out/`` path.
+
+    ``root`` overrides the mirror directory (tests point it at a tmp
+    dir).  The payload is written deterministically (sorted keys) so
+    committed baselines diff cleanly.
+    """
+    filename = f"BENCH_{name}.json"
+    out_dir = os.path.join(_BENCH_DIR, "out")
+    os.makedirs(out_dir, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = os.path.join(out_dir, filename)
+    with open(path, "w") as f:
+        f.write(text)
+    mirror_dir = root if root is not None else _REPO_ROOT
+    with open(os.path.join(mirror_dir, filename), "w") as f:
+        f.write(text)
     return path

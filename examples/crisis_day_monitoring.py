@@ -22,6 +22,7 @@ whose ``status``/``errors`` say what was sacrificed.
 Run:  python examples/crisis_day_monitoring.py [--with-faults]
 """
 
+import json
 import sys
 from datetime import datetime, timedelta, timezone
 
@@ -129,6 +130,14 @@ def main(with_faults: bool = False) -> None:
     print("\n" + obs.table2_from_spans(
         obs.get_tracer().spans()
     ).format())
+
+    health = teleios.health()
+    print("\nMachine-readable health document (what GET /health serves):")
+    print(json.dumps(health, indent=2, sort_keys=True))
+    counted = sum(health["acquisitions"].values())
+    assert counted == len(whens), (counted, len(whens))
+    assert health["status"] in ("ok", "degraded"), health["status"]
+    assert health["snapshot"]["sequence"] >= len(whens)
 
     print(f"\nArchive: {len(teleios.archive)} products filed under "
           f"{teleios.archive.directory}")

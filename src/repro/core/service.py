@@ -219,12 +219,26 @@ class FireMonitoringService:
             self.map_composer: Optional[MapComposer] = MapComposer(
                 self.strabon
             )
+            # The serving layer's write → read hand-off.  An initial
+            # auxiliary-data-only snapshot is published immediately so
+            # /hotspots is answerable (empty) before the first
+            # acquisition lands.
+            from repro.serve.state import SnapshotPublisher
+
+            self.publisher: Optional[SnapshotPublisher] = (
+                SnapshotPublisher()
+            )
+            self.publisher.publish(self.strabon)
         else:
             self.chain = LegacyChain(self.georeference)
             self.strabon = None  # type: ignore[assignment]
             self.refinement = None
             self.map_composer = None
+            self.publisher = None
         self.outcomes: List[AcquisitionOutcome] = []
+        self._status_counts: Dict[str, int] = {
+            s: 0 for s in OUTCOME_STATUSES
+        }
         #: Per-acquisition accounting against the 5-minute window.
         self.budget = AcquisitionBudget()
         #: Refinement circuit breaker shared by runs that do not bring
@@ -524,8 +538,30 @@ class FireMonitoringService:
     def _account_outcome(self, outcome: AcquisitionOutcome) -> None:
         product = outcome.raw_product
         self.outcomes.append(outcome)
+        self._status_counts[outcome.status] = (
+            self._status_counts.get(outcome.status, 0) + 1
+        )
         self.budget.record_outcome(outcome)
+        # Publish the refined state for readers.  Runs after stage two
+        # for every acquisition that produced a product (ok *or*
+        # degraded — a degraded product is still the best available
+        # data), never mid-refinement: readers can only ever observe
+        # complete per-acquisition states.
+        if self.publisher is not None and outcome.status != "error":
+            self.publisher.publish(
+                self.strabon, timestamp=outcome.timestamp
+            )
         if _metrics.enabled:
+            status_gauge = _metrics.gauge(
+                "service_outcomes",
+                "Acquisition outcomes accounted so far, by status",
+            )
+            for status, count in self._status_counts.items():
+                status_gauge.set(count, status=status)
+            _metrics.gauge(
+                "service_dead_letters",
+                "Quarantined undecodable inputs in the dead-letter box",
+            ).set(len(self.dead_letters))
             histogram = _metrics.histogram(
                 "acquisition_stage_seconds",
                 "Wall seconds per acquisition, by service stage",
@@ -671,6 +707,54 @@ class FireMonitoringService:
             return self.map_composer.compose(**kwargs)
 
     # -- reporting -------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Machine-readable service health, as served at ``/health``.
+
+        ``status`` reflects the *current* degradation state: ``"error"``
+        when the latest acquisition produced no product, ``"degraded"``
+        when it completed with sacrifices or the refinement circuit
+        breaker is open, ``"ok"`` otherwise (including before the first
+        acquisition).
+        """
+        last = self.outcomes[-1].status if self.outcomes else None
+        breaker_state = self._breaker.state
+        if last == "error":
+            status = "error"
+        elif last == "degraded" or breaker_state == "open":
+            status = "degraded"
+        else:
+            status = "ok"
+        dead = len(self.dead_letters)
+        report: Dict[str, object] = {
+            "status": status,
+            "mode": self.mode,
+            "acquisitions": dict(self._status_counts),
+            "last_acquisition_status": last,
+            "circuit_breaker": breaker_state,
+            "dead_letters": dead,
+            "deadline_misses": self.budget.misses(),
+        }
+        if self.publisher is not None:
+            latest = self.publisher.latest()
+            report["snapshot"] = (
+                None
+                if latest is None
+                else {
+                    "sequence": latest.sequence,
+                    "generation": latest.generation,
+                    "triples": len(latest),
+                    "timestamp": None
+                    if latest.timestamp is None
+                    else latest.timestamp.isoformat(),
+                }
+            )
+        if _metrics.enabled:
+            _metrics.gauge(
+                "service_dead_letters",
+                "Quarantined undecodable inputs in the dead-letter box",
+            ).set(dead)
+        return report
 
     def timing_summary(self) -> Dict[str, float]:
         """Average per-acquisition stage timings across outcomes."""

@@ -34,6 +34,7 @@ __all__ = [
     "PermanentError",
     "ConfigurationError",
     "ServiceStateError",
+    "SnapshotWriteError",
     "WorkerCrashError",
     "StageTimeoutError",
     "AcquisitionFailed",
@@ -75,6 +76,12 @@ class ServiceStateError(PermanentError, RuntimeError):
     (e.g. a thematic map from the pre-TELEIOS configuration, or use of
     a closed service).  Subclasses :class:`RuntimeError` for
     compatibility with the ad-hoc errors it replaces."""
+
+
+class SnapshotWriteError(PermanentError, TypeError):
+    """A mutation was attempted on a frozen graph snapshot (or through
+    a read-only snapshot query endpoint).  Subclasses :class:`TypeError`
+    because immutability violations are type errors in spirit."""
 
 
 class WorkerCrashError(TransientError):

@@ -24,7 +24,7 @@ from repro.rdf.namespace import (
     XSD,
     Namespace,
 )
-from repro.rdf.graph import Graph, Triple
+from repro.rdf.graph import Graph, GraphSnapshot, Triple, TripleReader
 from repro.rdf.turtle import parse_turtle, serialize_turtle
 from repro.rdf.inference import RDFSInference
 
@@ -35,6 +35,7 @@ __all__ = [
     "GAG",
     "GN",
     "Graph",
+    "GraphSnapshot",
     "LGD",
     "LGDO",
     "Literal",
@@ -48,6 +49,7 @@ __all__ = [
     "SWEET",
     "Term",
     "Triple",
+    "TripleReader",
     "URI",
     "Variable",
     "XSD",

@@ -5,105 +5,43 @@ Terms are interned to integer identifiers; three nested-hash indexes
 iteration, mirroring how Strabon lays out its triple table plus indexes.
 The graph also tracks which objects are spatial (geometry-typed) literals
 so the stSPARQL engine can build an R-tree over them on demand.
+
+Two concrete classes share the read path (:class:`TripleReader`):
+
+* :class:`Graph` — the mutable store refinement writes to,
+* :class:`GraphSnapshot` — a frozen, generation-stamped view produced by
+  :meth:`Graph.snapshot`.  Snapshots are **copy-on-write**: taking one is
+  O(1) (the snapshot borrows the live indexes), and the *writer* pays for
+  isolation by detaching onto private copies before its next mutation.
+  Readers holding a snapshot therefore never block and never observe a
+  torn update, no matter how the live graph moves on.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.errors import SnapshotWriteError
 from repro.rdf.term import Literal, Term, URI
 
 Triple = Tuple[Term, Term, Term]
 _Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
 
 
-class Graph:
-    """A mutable set of RDF triples with pattern-matching access."""
+class TripleReader:
+    """The read-only face shared by :class:`Graph` and its snapshots."""
 
-    def __init__(self) -> None:
-        self._term_to_id: Dict[Term, int] = {}
-        self._id_to_term: List[Term] = []
-        self._spo: Dict[int, Dict[int, Set[int]]] = {}
-        self._pos: Dict[int, Dict[int, Set[int]]] = {}
-        self._osp: Dict[int, Dict[int, Set[int]]] = {}
-        self._size = 0
-        self._generation = 0
-
-    # -- term interning ----------------------------------------------------
-
-    def _intern(self, term: Term) -> int:
-        tid = self._term_to_id.get(term)
-        if tid is None:
-            tid = len(self._id_to_term)
-            self._term_to_id[term] = tid
-            self._id_to_term.append(term)
-        return tid
+    _term_to_id: Dict[Term, int]
+    _id_to_term: List[Term]
+    _spo: Dict[int, Dict[int, Set[int]]]
+    _pos: Dict[int, Dict[int, Set[int]]]
+    _osp: Dict[int, Dict[int, Set[int]]]
+    _size: int
+    _generation: int
 
     def _lookup(self, term: Term) -> Optional[int]:
         return self._term_to_id.get(term)
-
-    # -- mutation ------------------------------------------------------------
-
-    def add(self, s: Term, p: Term, o: Term) -> bool:
-        """Insert a triple; returns False when it was already present."""
-        si, pi, oi = self._intern(s), self._intern(p), self._intern(o)
-        bucket = self._spo.setdefault(si, {}).setdefault(pi, set())
-        if oi in bucket:
-            return False
-        bucket.add(oi)
-        self._pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
-        self._osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
-        self._size += 1
-        self._generation += 1
-        return True
-
-    def add_all(self, triples) -> int:
-        """Insert many triples; returns the number actually added."""
-        added = 0
-        for s, p, o in triples:
-            if self.add(s, p, o):
-                added += 1
-        return added
-
-    def remove(
-        self,
-        s: Optional[Term] = None,
-        p: Optional[Term] = None,
-        o: Optional[Term] = None,
-    ) -> int:
-        """Delete all triples matching the (possibly wildcard) pattern."""
-        victims = list(self.triples(s, p, o))
-        for triple in victims:
-            self._remove_exact(*triple)
-        return len(victims)
-
-    def _remove_exact(self, s: Term, p: Term, o: Term) -> None:
-        si, pi, oi = self._lookup(s), self._lookup(p), self._lookup(o)
-        if si is None or pi is None or oi is None:
-            return
-        try:
-            self._spo[si][pi].remove(oi)
-        except KeyError:
-            return
-        if not self._spo[si][pi]:
-            del self._spo[si][pi]
-            if not self._spo[si]:
-                del self._spo[si]
-        self._pos[pi][oi].discard(si)
-        if not self._pos[pi][oi]:
-            del self._pos[pi][oi]
-            if not self._pos[pi]:
-                del self._pos[pi]
-        self._osp[oi][si].discard(pi)
-        if not self._osp[oi][si]:
-            del self._osp[oi][si]
-            if not self._osp[oi]:
-                del self._osp[oi]
-        self._size -= 1
-        self._generation += 1
-
-    def clear(self) -> None:
-        self.__init__()
 
     # -- access ----------------------------------------------------------
 
@@ -256,6 +194,7 @@ class Graph:
         return bases
 
     def copy(self) -> "Graph":
+        """A fresh, independent *mutable* graph with the same triples."""
         g = Graph()
         g.add_all(self.triples())
         return g
@@ -263,5 +202,206 @@ class Graph:
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()
 
+
+class Graph(TripleReader):
+    """A mutable set of RDF triples with pattern-matching access."""
+
+    def __init__(self) -> None:
+        self._term_to_id = {}
+        self._id_to_term = []
+        self._spo = {}
+        self._pos = {}
+        self._osp = {}
+        self._size = 0
+        self._generation = 0
+        # Copy-on-write state: while ``_shared`` the index structures are
+        # borrowed by at least one live snapshot and must not be mutated
+        # in place.
+        self._shared = False
+        self._cached_snapshot: Optional["GraphSnapshot"] = None
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> "GraphSnapshot":
+        """A frozen, generation-stamped view of the current state.
+
+        O(1): the snapshot borrows the live index structures.  The first
+        mutation after a snapshot was taken detaches the live graph onto
+        private copies (:meth:`_detach`), so existing snapshots keep
+        reading exactly the state they captured.  Repeated calls between
+        mutations return the *same* snapshot object — derived structures
+        built on it (R-trees, inference closures) are shared for free.
+        """
+        cached = self._cached_snapshot
+        if cached is not None and cached.generation == self._generation:
+            return cached
+        snap = GraphSnapshot(self)
+        self._cached_snapshot = snap
+        self._shared = True
+        return snap
+
+    def _detach(self) -> None:
+        """Replace borrowed index structures with private copies.
+
+        Costs one pass over the graph, paid by the *writer* at most once
+        per snapshot-then-mutate cycle; readers never pay anything.
+        """
+        if not self._shared:
+            return
+        self._term_to_id = dict(self._term_to_id)
+        self._id_to_term = list(self._id_to_term)
+        self._spo = {
+            s: {p: set(o) for p, o in by_p.items()}
+            for s, by_p in self._spo.items()
+        }
+        self._pos = {
+            p: {o: set(s) for o, s in by_o.items()}
+            for p, by_o in self._pos.items()
+        }
+        self._osp = {
+            o: {s: set(p) for s, p in by_s.items()}
+            for o, by_s in self._osp.items()
+        }
+        self._shared = False
+
+    # -- term interning ----------------------------------------------------
+
+    def _intern(self, term: Term) -> int:
+        tid = self._term_to_id.get(term)
+        if tid is None:
+            tid = len(self._id_to_term)
+            self._term_to_id[term] = tid
+            self._id_to_term.append(term)
+        return tid
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, s: Term, p: Term, o: Term) -> bool:
+        """Insert a triple; returns False when it was already present."""
+        self._detach()
+        si, pi, oi = self._intern(s), self._intern(p), self._intern(o)
+        bucket = self._spo.setdefault(si, {}).setdefault(pi, set())
+        if oi in bucket:
+            return False
+        bucket.add(oi)
+        self._pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
+        self._osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
+        self._size += 1
+        self._generation += 1
+        return True
+
+    def add_all(self, triples) -> int:
+        """Insert many triples; returns the number actually added."""
+        added = 0
+        for s, p, o in triples:
+            if self.add(s, p, o):
+                added += 1
+        return added
+
+    def remove(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> int:
+        """Delete all triples matching the (possibly wildcard) pattern."""
+        victims = list(self.triples(s, p, o))
+        for triple in victims:
+            self._remove_exact(*triple)
+        return len(victims)
+
+    def _remove_exact(self, s: Term, p: Term, o: Term) -> None:
+        self._detach()
+        si, pi, oi = self._lookup(s), self._lookup(p), self._lookup(o)
+        if si is None or pi is None or oi is None:
+            return
+        try:
+            self._spo[si][pi].remove(oi)
+        except KeyError:
+            return
+        if not self._spo[si][pi]:
+            del self._spo[si][pi]
+            if not self._spo[si]:
+                del self._spo[si]
+        self._pos[pi][oi].discard(si)
+        if not self._pos[pi][oi]:
+            del self._pos[pi][oi]
+            if not self._pos[pi]:
+                del self._pos[pi]
+        self._osp[oi][si].discard(pi)
+        if not self._osp[oi][si]:
+            del self._osp[oi][si]
+            if not self._osp[oi]:
+                del self._osp[oi]
+        self._size -= 1
+        self._generation += 1
+
+    def clear(self) -> None:
+        # Fresh structures; live snapshots keep the old ones.
+        generation = self._generation
+        self.__init__()
+        self._generation = generation + 1
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Graph with {self._size} triples>"
+
+
+class GraphSnapshot(TripleReader):
+    """An immutable, generation-stamped view of a :class:`Graph`.
+
+    Shares the full read API of the live graph; any mutation attempt
+    raises :class:`~repro.errors.SnapshotWriteError`.  Safe to hand to
+    any number of concurrent reader threads — the structures it
+    references are never mutated again (the owning graph detaches onto
+    copies before its next write).
+    """
+
+    def __init__(self, source: Graph) -> None:
+        self._term_to_id = source._term_to_id
+        self._id_to_term = source._id_to_term
+        self._spo = source._spo
+        self._pos = source._pos
+        self._osp = source._osp
+        self._size = source._size
+        self._generation = source._generation
+        #: Lock for lazily-built per-snapshot structures (an R-tree, an
+        #: inference closure) that first-touch builders may share.
+        self.build_lock = threading.Lock()
+
+    # -- refused mutations -------------------------------------------------
+
+    def _refuse(self, operation: str):
+        raise SnapshotWriteError(
+            f"cannot {operation} on a graph snapshot (generation "
+            f"{self._generation}): snapshots are immutable — mutate the "
+            f"live graph and take a new snapshot"
+        )
+
+    def add(self, s: Term, p: Term, o: Term) -> bool:
+        self._refuse("add")
+
+    def add_all(self, triples) -> int:
+        self._refuse("add_all")
+
+    def remove(self, s=None, p=None, o=None) -> int:
+        self._refuse("remove")
+
+    def clear(self) -> None:
+        self._refuse("clear")
+
+    def __getstate__(self) -> dict:
+        # The build lock is process-local; everything else ships to
+        # forked read workers as-is.
+        state = dict(self.__dict__)
+        del state["build_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.build_lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GraphSnapshot generation={self._generation} "
+            f"with {self._size} triples>"
+        )

@@ -1,0 +1,40 @@
+"""``repro.serve`` — the scale-out read path of the monitoring service.
+
+The paper's service ends at dissemination: shapefiles and overlay maps
+pushed to GeoServer.  This package is the modern equivalent for the
+"millions of users" target — a serving layer that answers hotspot
+queries from immutable, atomically-published snapshots of the Strabon
+store while the ingest/refinement writer keeps running:
+
+* :class:`SnapshotPublisher` / :class:`PublishedSnapshot` — the
+  single-writer → many-reader hand-off (``repro.serve.state``),
+* :func:`query_hotspots` — snapshot → filtered GeoJSON
+  (``repro.serve.hotspots``),
+* :class:`ReadWorkerPool` — N-wide read execution over one frozen
+  snapshot, thread- or fork-based (``repro.serve.pool``),
+* :class:`HotspotServer` / :func:`serve_in_thread` — the stdlib-only
+  asyncio HTTP endpoint (``repro.serve.http``),
+* :class:`LoadGenerator` — the closed-loop benchmark driver
+  (``repro.serve.load``).
+"""
+
+from repro.serve.hotspots import HOTSPOTS_QUERY, parse_bbox, query_hotspots
+from repro.serve.http import HotspotServer, ServerHandle, serve_in_thread
+from repro.serve.load import LoadGenerator, LoadReport, fetch_json
+from repro.serve.pool import ReadWorkerPool
+from repro.serve.state import PublishedSnapshot, SnapshotPublisher
+
+__all__ = [
+    "HOTSPOTS_QUERY",
+    "HotspotServer",
+    "LoadGenerator",
+    "LoadReport",
+    "PublishedSnapshot",
+    "ReadWorkerPool",
+    "ServerHandle",
+    "SnapshotPublisher",
+    "fetch_json",
+    "parse_bbox",
+    "query_hotspots",
+    "serve_in_thread",
+]

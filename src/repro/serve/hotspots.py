@@ -1,0 +1,148 @@
+"""The ``/hotspots`` read path: snapshot → filtered GeoJSON.
+
+One static, plan-cached stSPARQL SELECT pulls every surviving hotspot
+(with acquisition time, geometry, confidence and confirmation status)
+out of a published snapshot; the request filters — bounding box, time
+range, confidence floor, confirmation — are applied in Python on the
+result rows.  Keeping the filters out of the query text means every
+request shape shares the *same* cached plan, and the snapshot's R-tree
+still accelerates the underlying pattern evaluation.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Any, Dict, Optional
+
+from repro.geometry import Envelope, Geometry
+from repro.geometry.geojson import feature, feature_collection
+from repro.rdf.term import Literal, URI
+from repro.serve.state import PublishedSnapshot
+
+_PREFIXES = """
+PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>
+PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+"""
+
+#: The one (plan-cached) query behind every /hotspots request.
+HOTSPOTS_QUERY = _PREFIXES + """
+SELECT ?h ?t ?hGeo ?conf ?confirmation
+WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?t ;
+     strdf:hasGeometry ?hGeo ;
+     noa:hasConfidence ?conf .
+  OPTIONAL { ?h noa:hasConfirmation ?confirmation }
+}
+"""
+
+
+def _stamp(value) -> str:
+    if isinstance(value, datetime):
+        return value.strftime("%Y-%m-%dT%H:%M:%S")
+    return str(value)
+
+
+def _confirmation_label(term: Optional[object]) -> Optional[str]:
+    """``noa:confirmed`` → ``"confirmed"`` (None when absent)."""
+    if term is None:
+        return None
+    text = term.value if isinstance(term, URI) else str(term)
+    return text.rsplit("#", 1)[-1].rsplit("/", 1)[-1]
+
+
+def query_hotspots(
+    published: PublishedSnapshot,
+    bbox: Optional[Envelope] = None,
+    since: Optional[object] = None,
+    until: Optional[object] = None,
+    min_confidence: Optional[float] = None,
+    confirmed: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """Surviving hotspots of a published snapshot as GeoJSON.
+
+    ``since`` / ``until`` take :class:`~datetime.datetime` objects or
+    ISO-8601 strings and compare lexically (xsd:dateTime lexical order
+    is chronological order).  ``confirmed=True`` keeps only hotspots
+    marked ``noa:confirmed``; ``False`` keeps the rest.  All filters
+    compose.
+    """
+    rows = published.view.select(HOTSPOTS_QUERY)
+    since_key = None if since is None else _stamp(since)
+    until_key = None if until is None else _stamp(until)
+    features = []
+    for row in rows:
+        geom_lit = row.get("hGeo")
+        if not isinstance(geom_lit, Literal):
+            continue
+        geom = geom_lit.value
+        if not isinstance(geom, Geometry) or geom.is_empty:
+            continue
+        acquired = getattr(row.get("t"), "lexical", None)
+        if since_key is not None and (
+            acquired is None or acquired < since_key
+        ):
+            continue
+        if until_key is not None and (
+            acquired is None or acquired > until_key
+        ):
+            continue
+        if min_confidence is not None:
+            try:
+                conf = float(row.get("conf").lexical)
+            except (AttributeError, TypeError, ValueError):
+                continue
+            if conf < min_confidence:
+                continue
+        confirmation = _confirmation_label(row.get("confirmation"))
+        if confirmed is not None:
+            if confirmed != (confirmation == "confirmed"):
+                continue
+        if bbox is not None and not bbox.intersects(geom.envelope):
+            continue
+        hotspot = row.get("h")
+        features.append(
+            feature(
+                geom,
+                {
+                    "hotspot": hotspot.value
+                    if isinstance(hotspot, URI)
+                    else str(hotspot),
+                    "acquired": acquired,
+                    "confidence": _maybe_float(row.get("conf")),
+                    "confirmation": confirmation,
+                },
+            )
+        )
+    collection = feature_collection(features)
+    # Provenance: which frozen state answered this request.  A client
+    # polling /hotspots can assert these never move backwards.
+    collection["snapshot"] = {
+        "sequence": published.sequence,
+        "generation": published.generation,
+        "timestamp": None
+        if published.timestamp is None
+        else _stamp(published.timestamp),
+    }
+    return collection
+
+
+def _maybe_float(term) -> Optional[float]:
+    try:
+        return float(term.lexical)
+    except (AttributeError, TypeError, ValueError):
+        return None
+
+
+def parse_bbox(text: str) -> Envelope:
+    """``"minx,miny,maxx,maxy"`` → :class:`Envelope` (ValueError on
+    malformed input — the HTTP layer maps it to a 400)."""
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != 4:
+        raise ValueError(
+            f"bbox needs 4 comma-separated numbers, got {text!r}"
+        )
+    minx, miny, maxx, maxy = (float(p) for p in parts)
+    if minx > maxx or miny > maxy:
+        raise ValueError(f"bbox is inverted: {text!r}")
+    return Envelope(minx, miny, maxx, maxy)

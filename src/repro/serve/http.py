@@ -1,0 +1,423 @@
+"""``HotspotServer`` — the stdlib-only HTTP face of the serving layer.
+
+A minimal asyncio HTTP/1.1 server (no third-party framework; the
+container images this repo targets carry only the standard library)
+exposing four endpoints:
+
+* ``GET /hotspots`` — surviving hotspots of the **latest published
+  snapshot** as GeoJSON; query parameters ``bbox=minx,miny,maxx,maxy``,
+  ``since=`` / ``until=`` (ISO-8601), ``min_confidence=`` and
+  ``confirmed=true|false`` filter the features.
+* ``POST /stsparql`` — a read-only stSPARQL endpoint over the same
+  snapshot (body: the query text, or JSON ``{"query": ...}``).
+  Updates are refused with **403** — writes go through the monitoring
+  service, never through the serving layer.
+* ``GET /metrics`` — the Prometheus exposition of the process registry.
+* ``GET /health`` — the monitoring service's degradation status
+  (acquisition outcome counts, circuit-breaker state, dead letters,
+  deadline misses, latest snapshot identity).
+
+The event loop never runs a query itself: evaluation happens on a
+thread pool (``read_workers`` wide) so slow reads overlap and the
+accept loop stays responsive.  Every request is answered from one
+atomically-published :class:`~repro.serve.state.PublishedSnapshot`, so
+a response can never observe half-refined acquisition state.
+
+:func:`serve_in_thread` runs the whole server (loop included) on a
+daemon thread — the shape tests, examples and the load benchmark use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import SnapshotWriteError
+from repro.obs import get_metrics, get_tracer, prometheus_text
+from repro.serve.hotspots import parse_bbox, query_hotspots
+from repro.stsparql.errors import SparqlError
+
+_tracer = get_tracer()
+_metrics = get_metrics()
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+#: Request bodies beyond this are refused (a read endpoint has no
+#: business accepting megabytes).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: Any) -> bytes:
+    return _response(
+        status, json.dumps(payload).encode("utf-8"), "application/json"
+    )
+
+
+class HotspotServer:
+    """Serve the latest published snapshot over HTTP.
+
+    ``service`` is duck-typed: it must expose a ``publisher`` (a
+    :class:`~repro.serve.state.SnapshotPublisher`) and a ``health()``
+    returning a JSON-serialisable dict — a
+    :class:`~repro.core.service.FireMonitoringService` in teleios mode,
+    or any stand-in with the same two attributes.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        read_workers: int = 4,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.read_workers = read_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=read_workers, thread_name_prefix="serve-read"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: (host, port) actually bound — resolved once started (port=0
+        #: asks the kernel for a free one).
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False)
+
+    @property
+    def url(self) -> str:
+        if self.address is None:
+            raise RuntimeError("server is not started")
+        return f"http://{self.address[0]}:{self.address[1]}"
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                payload = await self._dispatch(method, target, body)
+                writer.write(payload)
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, _version = (
+                line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise asyncio.IncompleteReadError(b"", length)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> bytes:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        endpoint = path.lstrip("/") or "root"
+        started = time.perf_counter()
+        try:
+            with _tracer.span(
+                "serve.request", endpoint=endpoint, method=method
+            ) as span:
+                status, payload = await self._route(
+                    method, path, split.query, body
+                )
+                span.set(status=status)
+        except _HttpError as error:
+            status = error.status
+            payload = _json_response(status, {"error": str(error)})
+        except SnapshotWriteError as error:
+            status = 403
+            payload = _json_response(status, {"error": str(error)})
+        except SparqlError as error:
+            status = 400
+            payload = _json_response(
+                status, {"error": f"{type(error).__name__}: {error}"}
+            )
+        except Exception as error:  # noqa: BLE001 — 500, never a crash
+            status = 500
+            payload = _response(
+                500,
+                json.dumps(
+                    {"error": f"{type(error).__name__}: {error}"}
+                ).encode("utf-8"),
+            )
+        if _metrics.enabled:
+            _metrics.counter(
+                "serve_requests_total",
+                "HTTP requests served, by endpoint and status",
+            ).inc(endpoint=endpoint, status=str(status))
+            _metrics.histogram(
+                "serve_request_seconds",
+                "Wall seconds per HTTP request, by endpoint",
+            ).observe(time.perf_counter() - started, endpoint=endpoint)
+        return payload
+
+    async def _route(
+        self, method: str, path: str, query: str, body: bytes
+    ) -> Tuple[int, bytes]:
+        if path == "/hotspots":
+            if method != "GET":
+                raise _HttpError(405, "use GET /hotspots")
+            return 200, await self._hotspots(query)
+        if path == "/stsparql":
+            if method != "POST":
+                raise _HttpError(405, "use POST /stsparql")
+            return 200, await self._stsparql(body)
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET /metrics")
+            text = prometheus_text(_metrics)
+            return 200, _response(
+                200,
+                text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/health":
+            if method != "GET":
+                raise _HttpError(405, "use GET /health")
+            health = await self._in_thread(self.service.health)
+            return 200, _json_response(200, health)
+        raise _HttpError(404, f"no such endpoint: {path}")
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def _in_thread(self, fn, *args):
+        return asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    def _latest(self):
+        published = self.service.publisher.latest()
+        if published is None:
+            raise _HttpError(
+                503, "no snapshot published yet — ingest is warming up"
+            )
+        return published
+
+    async def _hotspots(self, query: str) -> bytes:
+        params = parse_qs(query)
+
+        def single(name: str) -> Optional[str]:
+            values = params.get(name)
+            return values[-1] if values else None
+
+        try:
+            bbox_text = single("bbox")
+            bbox = None if bbox_text is None else parse_bbox(bbox_text)
+            conf_text = single("min_confidence")
+            min_confidence = (
+                None if conf_text is None else float(conf_text)
+            )
+        except ValueError as error:
+            raise _HttpError(400, str(error))
+        confirmed_text = single("confirmed")
+        confirmed: Optional[bool] = None
+        if confirmed_text is not None:
+            lowered = confirmed_text.lower()
+            if lowered not in ("true", "false", "1", "0"):
+                raise _HttpError(
+                    400, f"confirmed must be true/false, got {confirmed_text!r}"
+                )
+            confirmed = lowered in ("true", "1")
+        published = self._latest()
+        collection = await self._in_thread(
+            lambda: query_hotspots(
+                published,
+                bbox=bbox,
+                since=single("since"),
+                until=single("until"),
+                min_confidence=min_confidence,
+                confirmed=confirmed,
+            )
+        )
+        return _json_response(200, collection)
+
+    async def _stsparql(self, body: bytes) -> bytes:
+        text = body.decode("utf-8", errors="replace").strip()
+        if text.startswith("{"):
+            try:
+                text = json.loads(text)["query"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                raise _HttpError(
+                    400, 'JSON body must look like {"query": "..."}'
+                )
+        if not text:
+            raise _HttpError(400, "empty query")
+        published = self._latest()
+        result = await self._in_thread(published.view.query, text)
+        from repro.stsparql.eval import SolutionSet
+
+        if isinstance(result, SolutionSet):
+            payload: Any = result.to_sparql_json()
+        elif isinstance(result, bool):
+            payload = {"head": {}, "boolean": result}
+        else:  # CONSTRUCT — triple count only over HTTP
+            payload = {"triples": len(result)}
+        payload = dict(payload)
+        payload["snapshot"] = {
+            "sequence": published.sequence,
+            "generation": published.generation,
+        }
+        return _json_response(200, payload)
+
+
+class ServerHandle:
+    """A running :class:`HotspotServer` on a background thread."""
+
+    def __init__(self, server: HotspotServer, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.server.address is not None
+        return self.server.address
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            ).result(timeout=10)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    read_workers: int = 4,
+) -> ServerHandle:
+    """Start a :class:`HotspotServer` (and its event loop) on a daemon
+    thread; returns once the socket is bound."""
+    server = HotspotServer(
+        service, host=host, port=port, read_workers=read_workers
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            # Open keep-alive connections are still parked in
+            # readline(); cancel them and let the cancellations land
+            # before the loop closes.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, name="hotspot-server", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=10):
+        raise RuntimeError("hotspot server failed to start in 10s")
+    return ServerHandle(server, thread, loop)

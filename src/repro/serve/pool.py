@@ -1,0 +1,170 @@
+"""Read-side worker pool: N workers, one frozen snapshot.
+
+Scale-out for the query path.  Two execution kinds:
+
+* ``"thread"`` — a :class:`ThreadPoolExecutor` whose workers share one
+  :class:`~repro.stsparql.SnapshotView` (and therefore one R-tree, one
+  inference closure, one plan cache).  Cheap to start; on CPython the
+  GIL serialises the pure-Python evaluation, so threads buy concurrency
+  (overlapping requests) but not parallel speed-up.
+* ``"process"`` — a fork-based :class:`ProcessPoolExecutor` whose
+  initializer ships the *pickled snapshot* to each worker exactly once;
+  every worker rebuilds a private view over it and answers queries in
+  true parallel.  This is the configuration the serve benchmark scales.
+
+``"auto"`` picks processes when ``fork`` is available (Linux/macOS)
+and falls back to threads elsewhere — same policy as the acquisition
+pipeline's worker_kind.
+
+Results cross the process boundary as plain picklable data: SELECT
+returns the W3C SPARQL-JSON dict, ASK a bool — never live Term-laden
+SolutionSets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ServiceStateError
+from repro.rdf.graph import GraphSnapshot
+from repro.stsparql import SnapshotView
+from repro.stsparql.eval import SolutionSet
+
+RequestLike = Union[str, Tuple[str, Optional[Dict[str, object]]]]
+
+
+def _fork_available() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+# Per-worker-process view, installed by the pool initializer (the
+# snapshot arrives pickled in the initargs, once per worker, not once
+# per request).
+_WORKER_VIEW: Optional[SnapshotView] = None
+
+
+def _init_read_worker(snapshot: GraphSnapshot) -> None:
+    global _WORKER_VIEW
+    _WORKER_VIEW = SnapshotView(snapshot)
+
+
+def _encode(result: Union[SolutionSet, bool, Any]):
+    if isinstance(result, SolutionSet):
+        return result.to_sparql_json()
+    if isinstance(result, bool):
+        return result
+    # CONSTRUCT: a graph — return its size (the serving path never
+    # CONSTRUCTs across the process boundary).
+    return len(result)
+
+
+def _run_in_worker(text: str, params: Optional[Dict[str, object]]):
+    assert _WORKER_VIEW is not None, "pool initializer did not run"
+    return _encode(_WORKER_VIEW.query(text, params))
+
+
+class ReadWorkerPool:
+    """Execute read-only stSPARQL requests over one snapshot, N-wide."""
+
+    def __init__(
+        self,
+        snapshot: GraphSnapshot,
+        workers: int = 1,
+        kind: str = "auto",
+        view: Optional[SnapshotView] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if kind not in ("auto", "thread", "process"):
+            raise ValueError(f"unknown pool kind {kind!r}")
+        if kind == "auto":
+            kind = "process" if _fork_available() else "thread"
+        if kind == "process" and not _fork_available():
+            raise ServiceStateError(
+                "process read workers need the fork start method; "
+                "use kind='thread'"
+            )
+        self.snapshot = snapshot
+        self.workers = workers
+        self.kind = kind
+        self._closed = False
+        if kind == "process":
+            self._view = None
+            self._pool: Union[
+                ProcessPoolExecutor, ThreadPoolExecutor
+            ] = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_init_read_worker,
+                initargs=(snapshot,),
+            )
+        else:
+            self._view = (
+                view if view is not None else SnapshotView(snapshot)
+            )
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="read-worker",
+            )
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_local(self, text: str, params):
+        assert self._view is not None
+        return _encode(self._view.query(text, params))
+
+    def submit(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> Future:
+        """Queue one request; the future resolves to SPARQL-JSON (dict)
+        for SELECT or a bool for ASK."""
+        if self._closed:
+            raise ServiceStateError("read pool is closed")
+        if self.kind == "process":
+            return self._pool.submit(_run_in_worker, text, params)
+        return self._pool.submit(self._run_local, text, params)
+
+    def map(self, requests: Iterable[RequestLike]) -> List[Any]:
+        """Run a batch of requests across the pool; results in order.
+
+        Each request is a query text or a ``(text, params)`` pair.
+        """
+        futures = []
+        for request in requests:
+            if isinstance(request, str):
+                futures.append(self.submit(request))
+            else:
+                text, params = request
+                futures.append(self.submit(text, params))
+        return [f.result() for f in futures]
+
+    def warm(self) -> None:
+        """Force every worker to exist (process kind: fork + unpickle
+        now, not on the first timed request)."""
+        self.map(["ASK { ?__warm_s ?__warm_p ?__warm_o }"] * self.workers)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ReadWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReadWorkerPool {self.kind} x{self.workers} over "
+            f"generation {self.snapshot.generation}>"
+        )

@@ -1,0 +1,148 @@
+"""Snapshot publication: the hand-off point between writer and readers.
+
+The monitoring service is a single-writer system — one thread ingests
+acquisitions and runs the six-step semantic refinement against the live
+Strabon store.  The serving layer must never expose that store directly:
+mid-refinement the graph holds *torn* state (hotspots stored but not yet
+municipality-tagged, sea hotspots not yet deleted, survivors not yet
+confirmation-marked).  Instead the writer **publishes** an immutable
+:class:`~repro.stsparql.SnapshotView` after each acquisition's
+refinement completes, and every read request — HTTP or in-process —
+executes against the latest *published* snapshot.
+
+:class:`SnapshotPublisher` is that hand-off: a tiny thread-safe holder
+whose :meth:`publish` swap is atomic (one reference assignment under a
+lock) and whose :meth:`latest` never blocks on the writer.  Readers that
+grabbed an older snapshot keep a fully consistent view for as long as
+they hold it — publication never invalidates an in-flight read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional
+
+from repro.obs import get_metrics
+from repro.stsparql import SnapshotView, Strabon
+
+_metrics = get_metrics()
+
+
+@dataclass(frozen=True)
+class PublishedSnapshot:
+    """One immutable published state of the hotspot store.
+
+    ``sequence`` increases by one per publication; ``generation`` is the
+    live graph's mutation counter at the instant of publication.  Both
+    are monotonic, so a reader can detect (and a test can assert) that
+    it never travels backwards in time.
+    """
+
+    view: SnapshotView
+    sequence: int
+    generation: int
+    #: Acquisition timestamp that triggered this publication (None for
+    #: the initial — auxiliary-data-only — publication).
+    timestamp: Optional[datetime] = None
+    #: ``time.monotonic()`` at publication, for staleness metrics.
+    published_monotonic: float = field(default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.view.snapshot)
+
+
+class SnapshotPublisher:
+    """Single-writer / many-reader atomic snapshot hand-off."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latest: Optional[PublishedSnapshot] = None
+        self._sequence = 0
+        self._changed = threading.Condition(self._lock)
+
+    def publish(
+        self,
+        strabon: Strabon,
+        timestamp: Optional[datetime] = None,
+    ) -> PublishedSnapshot:
+        """Freeze the engine's current state and make it the latest.
+
+        Must be called from the writer thread only (snapshotting races
+        with mutation otherwise — the graph itself is single-writer).
+        The snapshot/view creation is O(1): the copy-on-write graph
+        hands out borrowed indexes, and the engine reuses the view when
+        the generation is unchanged (an acquisition that refined zero
+        hotspots republishes the same frozen structures).
+        """
+        view = strabon.snapshot_view()
+        with self._changed:
+            self._sequence += 1
+            published = PublishedSnapshot(
+                view=view,
+                sequence=self._sequence,
+                generation=view.generation,
+                timestamp=timestamp,
+                published_monotonic=time.monotonic(),
+            )
+            self._latest = published
+            self._changed.notify_all()
+        if _metrics.enabled:
+            gauge = _metrics.gauge(
+                "serve_snapshot_info",
+                "Latest published snapshot (sequence / generation / size)",
+            )
+            gauge.set(published.sequence, field="sequence")
+            gauge.set(published.generation, field="generation")
+            gauge.set(len(published), field="triples")
+        return published
+
+    def latest(self) -> Optional[PublishedSnapshot]:
+        """The most recently published snapshot (never blocks long —
+        the lock is only ever held for a reference swap)."""
+        with self._lock:
+            return self._latest
+
+    def require_latest(self) -> PublishedSnapshot:
+        """Like :meth:`latest` but raising when nothing is published."""
+        latest = self.latest()
+        if latest is None:
+            raise LookupError("no snapshot has been published yet")
+        return latest
+
+    @property
+    def sequence(self) -> int:
+        with self._lock:
+            return self._sequence
+
+    def wait_for(
+        self, sequence: int, timeout: Optional[float] = None
+    ) -> Optional[PublishedSnapshot]:
+        """Block until a snapshot with ``sequence`` or later is
+        published; returns it (or None on timeout).  Test/ops helper —
+        the serving path itself never waits."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._changed:
+            while self._latest is None or self._sequence < sequence:
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._changed.wait(remaining)
+            return self._latest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        latest = self.latest()
+        if latest is None:
+            return "<SnapshotPublisher (nothing published)>"
+        return (
+            f"<SnapshotPublisher seq={latest.sequence} "
+            f"generation={latest.generation}>"
+        )

@@ -22,12 +22,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Union
 
+from repro.errors import SnapshotWriteError
 from repro.geometry import Geometry
 from repro.obs import get_metrics, get_tracer, is_enabled
 from repro.geometry.rtree import RTree
 from repro.perf import get_config
 from repro.perf.lru import LRUCache
-from repro.rdf.graph import Graph
+from repro.rdf.graph import Graph, GraphSnapshot
 from repro.rdf.inference import RDFSInference
 from repro.rdf.term import Literal, Term, Variable
 from repro.rdf.turtle import parse_turtle
@@ -65,6 +66,47 @@ class UpdateResult:
     added: int = 0
 
 
+def _parse_via_cache(cache: LRUCache, text: str):
+    """Parse ``text`` through a shared plan cache; returns (plan, hit).
+
+    Parsed ASTs are immutable to the evaluator, so one plan may serve
+    every execution of the same request text — including concurrent
+    executions against different snapshots (the cache is thread-safe).
+    """
+    parsed = cache.get(text)
+    hit = parsed is not None
+    if not hit:
+        parsed = parse(text)
+        cache.put(text, parsed)
+    if _metrics.enabled:
+        if hit:
+            _metrics.counter(
+                "stsparql_plan_cache_hits_total",
+                "stSPARQL requests answered from the plan cache",
+            ).inc()
+        else:
+            _metrics.counter(
+                "stsparql_plan_cache_misses_total",
+                "stSPARQL requests parsed from text",
+            ).inc()
+    return parsed, hit
+
+
+def _construct_graph(
+    evaluator: Evaluator, query: ast.ConstructQuery
+) -> Graph:
+    """Evaluate a CONSTRUCT into a fresh (mutable) graph."""
+    bindings = evaluator.update_bindings(query.pattern)
+    if query.offset:
+        bindings = bindings[query.offset:]
+    if query.limit is not None:
+        bindings = bindings[: query.limit]
+    out = Graph()
+    for s, p, o in _instantiate(query.template, bindings):
+        out.add(s, p, o)
+    return out
+
+
 class Strabon:
     """A geospatial RDF store speaking stSPARQL."""
 
@@ -90,6 +132,10 @@ class Strabon:
         #: never mutates a parsed AST, so plans are shared safely.
         self.plan_cache = LRUCache(perf.plan_cache_size)
         self.last_stats = QueryStats()
+        #: The read-only view over the most recent snapshot (reused while
+        #: the graph generation is unchanged, so its R-tree and candidate
+        #: cache are shared by every reader thread).
+        self._last_view: Optional["SnapshotView"] = None
 
     # -- data loading --------------------------------------------------------
 
@@ -160,28 +206,34 @@ class Strabon:
             )
 
     def _parse_cached(self, text: str):
-        """Parse through the plan cache; returns (plan, was_cached).
+        """Parse through the plan cache; returns (plan, was_cached)."""
+        return _parse_via_cache(self.plan_cache, text)
 
-        Parsed ASTs are immutable to the evaluator, so one plan serves
-        every execution of the same request text.
+    # -- snapshot serving --------------------------------------------------
+
+    def snapshot_view(self) -> "SnapshotView":
+        """A read-only endpoint over a frozen snapshot of the graph.
+
+        The snapshot is copy-on-write (taking one is O(1)); the view
+        shares this engine's parsed-plan cache, builds its own R-tree
+        and candidate cache over the frozen state, and may be queried
+        from any number of threads while this engine keeps mutating the
+        live graph.  While the graph is unmutated, repeated calls return
+        the *same* view, so derived indexes are built once per published
+        generation.
         """
-        parsed = self.plan_cache.get(text)
-        hit = parsed is not None
-        if not hit:
-            parsed = parse(text)
-            self.plan_cache.put(text, parsed)
-        if _metrics.enabled:
-            if hit:
-                _metrics.counter(
-                    "stsparql_plan_cache_hits_total",
-                    "stSPARQL requests answered from the plan cache",
-                ).inc()
-            else:
-                _metrics.counter(
-                    "stsparql_plan_cache_misses_total",
-                    "stSPARQL requests parsed from text",
-                ).inc()
-        return parsed, hit
+        snap = self.graph.snapshot()
+        view = self._last_view
+        if view is not None and view.snapshot is snap:
+            return view
+        view = SnapshotView(
+            snap,
+            plan_cache=self.plan_cache,
+            enable_inference=self._inference is not None,
+            enable_spatial_index=self._spatial_index_enabled,
+        )
+        self._last_view = view
+        return view
 
     @staticmethod
     def _param_row(params: Optional[Dict[str, object]]) -> Optional[Row]:
@@ -318,15 +370,7 @@ class Strabon:
     def _construct(
         self, query: ast.ConstructQuery, initial: Optional[Row] = None
     ) -> Graph:
-        bindings = self._evaluator(initial).update_bindings(query.pattern)
-        if query.offset:
-            bindings = bindings[query.offset:]
-        if query.limit is not None:
-            bindings = bindings[: query.limit]
-        out = Graph()
-        for s, p, o in _instantiate(query.template, bindings):
-            out.add(s, p, o)
-        return out
+        return _construct_graph(self._evaluator(initial), query)
 
     # -- update machinery --------------------------------------------------
 
@@ -362,6 +406,179 @@ class Strabon:
             if self.graph.add(s, p, o):
                 added += 1
         return UpdateResult(removed=removed, added=added)
+
+
+class SnapshotView:
+    """A read-only stSPARQL endpoint over a :class:`GraphSnapshot`.
+
+    The scale-out read path of the serving layer: worker threads (or
+    forked worker processes) evaluate cached plans against a frozen,
+    generation-stamped snapshot while the live store keeps refining the
+    next acquisition.  The view
+
+    * shares the owning engine's parsed-plan LRU (thread-safe), so a
+      request parsed by any reader — or by the writer — is a cache hit
+      for every other one,
+    * lazily builds **one** R-tree and candidate cache per snapshot,
+      shared by all reader threads (the snapshot never changes, so no
+      invalidation is ever needed),
+    * refuses updates with :class:`~repro.errors.SnapshotWriteError`.
+    """
+
+    def __init__(
+        self,
+        snapshot: GraphSnapshot,
+        plan_cache: Optional[LRUCache] = None,
+        enable_inference: bool = True,
+        enable_spatial_index: bool = True,
+    ) -> None:
+        perf = get_config()
+        self.snapshot = snapshot
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else LRUCache(perf.plan_cache_size)
+        )
+        self._inference = (
+            RDFSInference(snapshot) if enable_inference else None
+        )
+        self._spatial_index_enabled = enable_spatial_index
+        self._rtree: Optional[RTree] = None
+        self._rtree_built = False
+        self._candidate_cache = LRUCache(perf.candidate_cache_size)
+
+    @property
+    def generation(self) -> int:
+        """The live-graph generation this view was frozen at."""
+        return self.snapshot.generation
+
+    def size(self) -> int:
+        return len(self.snapshot)
+
+    # -- frozen spatial index ---------------------------------------------
+
+    def _ensure_rtree(self) -> Optional[RTree]:
+        if not self._spatial_index_enabled:
+            return None
+        if not self._rtree_built:
+            # Built at most once per snapshot; the build lock lives on
+            # the snapshot so concurrent first readers serialise here.
+            with self.snapshot.build_lock:
+                if not self._rtree_built:
+                    entries = []
+                    for _, _, lit in self.snapshot.geometry_literals():
+                        geom = lit.value
+                        if isinstance(geom, Geometry) and not geom.is_empty:
+                            entries.append((geom.envelope, lit))
+                    self._rtree = RTree.bulk_load(entries)
+                    if self._inference is not None:
+                        # Materialise the subclass closure eagerly: the
+                        # refresh is not itself thread-safe, but once
+                        # built it is never invalidated on a frozen
+                        # graph, so later readers only ever read it.
+                        self._inference._refresh()
+                    self._rtree_built = True
+        return self._rtree
+
+    def spatial_candidates(self, geom: Geometry) -> Optional[Set[Literal]]:
+        """Geometry literals whose envelope intersects ``geom``'s."""
+        tree = self._ensure_rtree()
+        if tree is None:
+            return None
+        key = id(geom)
+        cached = self._candidate_cache.get(key)
+        if cached is not None and cached[0] is geom:
+            return cached[1]
+        result = set(tree.search(geom.envelope))
+        self._candidate_cache.put(key, (geom, result))
+        return result
+
+    # -- read-only request execution --------------------------------------
+
+    def _evaluator(self, initial: Optional[Row] = None) -> Evaluator:
+        candidates = (
+            self.spatial_candidates if self._spatial_index_enabled else None
+        )
+        return Evaluator(
+            self.snapshot,  # type: ignore[arg-type]
+            inference=self._inference,
+            spatial_candidates=candidates,
+            initial=initial,
+        )
+
+    def query(
+        self,
+        text: str,
+        params: Optional[Dict[str, object]] = None,
+    ) -> Union[SolutionSet, bool, Graph]:
+        """Run a read-only stSPARQL request against the snapshot.
+
+        SELECT / ASK / CONSTRUCT only — an update request raises
+        :class:`SnapshotWriteError` before touching anything.
+        """
+        initial = Strabon._param_row(params)
+        t0 = time.perf_counter()
+        parsed, _hit = _parse_via_cache(self.plan_cache, text)
+        if not isinstance(
+            parsed, (ast.SelectQuery, ast.AskQuery, ast.ConstructQuery)
+        ):
+            raise SnapshotWriteError(
+                "snapshot endpoints are read-only: send updates to the "
+                "live Strabon store"
+            )
+        with _tracer.span(
+            "stsparql.query", snapshot=True, generation=self.generation
+        ) as span:
+            if isinstance(parsed, ast.SelectQuery):
+                result: Union[SolutionSet, bool, Graph] = (
+                    self._evaluator(initial).select(parsed)
+                )
+                op, rows = "select", len(result)  # type: ignore[arg-type]
+            elif isinstance(parsed, ast.AskQuery):
+                result = self._evaluator(initial).ask(parsed)
+                op, rows = "ask", 1
+            else:
+                result = _construct_graph(self._evaluator(initial), parsed)
+                op, rows = "construct", len(result)
+            span.set(operation=op, rows=rows)
+        if _metrics.enabled:
+            _metrics.histogram(
+                "stsparql_query_seconds",
+                "Wall seconds per stSPARQL request (parse + eval)",
+            ).observe(
+                time.perf_counter() - t0, operation=f"snapshot-{op}"
+            )
+        return result
+
+    def select(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> SolutionSet:
+        result = self.query(text, params)
+        if not isinstance(result, SolutionSet):
+            raise SparqlEvalError("request was not a SELECT query")
+        return result
+
+    def ask(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> bool:
+        result = self.query(text, params)
+        if not isinstance(result, bool):
+            raise SparqlEvalError("request was not an ASK query")
+        return result
+
+    def construct(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> Graph:
+        result = self.query(text, params)
+        if not isinstance(result, Graph):
+            raise SparqlEvalError("request was not a CONSTRUCT query")
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SnapshotView generation={self.generation} "
+            f"over {len(self.snapshot)} triples>"
+        )
 
 
 def _ground(tmpl: ast.TriplePattern):

@@ -1,0 +1,201 @@
+"""The HTTP serving endpoint, end to end over a real service."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from tests.serve.conftest import EXTRA
+from repro.serve import serve_in_thread
+
+PREFIX = (
+    "PREFIX noa: "
+    "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+)
+SELECT = PREFIX + (
+    "SELECT ?h ?c WHERE { ?h a noa:Hotspot ; noa:hasConfidence ?c }"
+)
+
+
+@pytest.fixture(scope="module")
+def server(served_service):
+    with serve_in_thread(served_service) as handle:
+        yield handle
+
+
+def _request(handle, method, path, body=None):
+    host, port = handle.address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        data = response.read()
+    finally:
+        conn.close()
+    if response.getheader("Content-Type", "").startswith(
+        "application/json"
+    ):
+        return response.status, json.loads(data)
+    return response.status, data.decode("utf-8", errors="replace")
+
+
+def test_hotspots_returns_geojson_with_provenance(server):
+    status, collection = _request(server, "GET", "/hotspots")
+    assert status == 200
+    assert collection["type"] == "FeatureCollection"
+    assert len(collection["features"]) > 0
+    assert collection["snapshot"]["sequence"] >= 1
+    assert collection["snapshot"]["generation"] > 0
+    for feature in collection["features"]:
+        assert feature["geometry"]["type"]
+        props = feature["properties"]
+        assert props["hotspot"].startswith("http")
+        assert props["confidence"] is not None
+        # Published snapshots are post-refinement: every hotspot is
+        # confirmation-marked.
+        assert props["confirmation"] in ("confirmed", "unconfirmed")
+
+
+def test_hotspots_filters_compose(server):
+    _, everything = _request(server, "GET", "/hotspots")
+    total = len(everything["features"])
+    _, confident = _request(
+        server, "GET", "/hotspots?min_confidence=0.9"
+    )
+    assert len(confident["features"]) <= total
+    for feature in confident["features"]:
+        assert feature["properties"]["confidence"] >= 0.9
+    _, boxed = _request(server, "GET", "/hotspots?bbox=20,34,29,42")
+    assert len(boxed["features"]) <= total
+    _, nowhere = _request(server, "GET", "/hotspots?bbox=0,0,1,1")
+    assert nowhere["features"] == []
+    _, confirmed = _request(server, "GET", "/hotspots?confirmed=true")
+    _, unconfirmed = _request(
+        server, "GET", "/hotspots?confirmed=false"
+    )
+    assert (
+        len(confirmed["features"]) + len(unconfirmed["features"])
+        == total
+    )
+    _, windowed = _request(
+        server,
+        "GET",
+        "/hotspots?since=2007-08-24T13:15:00&until=2007-08-24T13:15:00",
+    )
+    for feature in windowed["features"]:
+        assert feature["properties"]["acquired"] == (
+            "2007-08-24T13:15:00"
+        )
+
+
+def test_hotspots_rejects_malformed_filters(server):
+    status, body = _request(server, "GET", "/hotspots?bbox=1,2,3")
+    assert status == 400 and "bbox" in body["error"]
+    status, _ = _request(server, "GET", "/hotspots?bbox=9,9,1,1")
+    assert status == 400
+    status, _ = _request(
+        server, "GET", "/hotspots?min_confidence=high"
+    )
+    assert status == 400
+    status, _ = _request(server, "GET", "/hotspots?confirmed=maybe")
+    assert status == 400
+
+
+def test_stsparql_select_and_refused_update(server):
+    status, result = _request(server, "POST", "/stsparql", SELECT)
+    assert status == 200
+    assert len(result["results"]["bindings"]) > 0
+    assert result["snapshot"]["sequence"] >= 1
+    # JSON envelope works too.
+    status, wrapped = _request(
+        server, "POST", "/stsparql", json.dumps({"query": SELECT})
+    )
+    assert status == 200
+    assert wrapped["results"] == result["results"]
+    status, refusal = _request(
+        server,
+        "POST",
+        "/stsparql",
+        PREFIX + "INSERT DATA { noa:evil a noa:Hotspot . }",
+    )
+    assert status == 403
+    assert "read-only" in refusal["error"]
+    status, bad = _request(server, "POST", "/stsparql", "SELEKT oops")
+    assert status == 400
+    status, empty = _request(server, "POST", "/stsparql", "")
+    assert status == 400
+
+
+def test_health_reflects_service_state(server, served_service):
+    status, health = _request(server, "GET", "/health")
+    assert status == 200
+    assert health["status"] in ("ok", "degraded")
+    assert health["mode"] == "teleios"
+    assert health["acquisitions"]["ok"] >= 2
+    assert health["circuit_breaker"] in (
+        "closed", "open", "half-open"
+    )
+    assert health["dead_letters"] == 0
+    assert health["snapshot"]["sequence"] >= 1
+    assert health["snapshot"]["triples"] > 0
+    assert health == json.loads(json.dumps(served_service.health()))
+
+
+def test_metrics_and_unknown_routes(server):
+    status, text = _request(server, "GET", "/metrics")
+    assert status == 200
+    assert isinstance(text, str)
+    status, _ = _request(server, "GET", "/no-such-endpoint")
+    assert status == 404
+    status, _ = _request(server, "POST", "/hotspots")
+    assert status == 405
+    status, _ = _request(server, "GET", "/stsparql")
+    assert status == 405
+
+
+def test_reads_never_observe_half_refined_state(
+    server, served_service, serve_options
+):
+    """The tentpole's e2e guarantee: /hotspots polled *during* run()
+    never returns a hotspot missing its confirmation mark (the final
+    refinement operation stamps every survivor), and the served
+    snapshot never travels backwards."""
+    errors = []
+
+    def ingest():
+        try:
+            served_service.run(EXTRA, serve_options)
+        except Exception as error:  # pragma: no cover
+            errors.append(repr(error))
+
+    writer = threading.Thread(target=ingest, daemon=True)
+    observations = []
+    torn = []
+    writer.start()
+    while writer.is_alive():
+        status, collection = _request(server, "GET", "/hotspots")
+        assert status == 200
+        for feature in collection["features"]:
+            if feature["properties"]["confirmation"] is None:
+                torn.append(feature["properties"]["hotspot"])
+        observations.append(
+            (
+                collection["snapshot"]["sequence"],
+                collection["snapshot"]["generation"],
+            )
+        )
+        time.sleep(0.01)
+    writer.join()
+    assert not errors
+    assert torn == []
+    sequences = [seq for seq, _ in observations]
+    generations = [gen for _, gen in observations]
+    assert sequences == sorted(sequences)
+    assert generations == sorted(generations)
+    # The run really did publish while we were polling.
+    final_sequence = served_service.publisher.sequence
+    assert final_sequence >= len(EXTRA)

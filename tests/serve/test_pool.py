@@ -1,0 +1,70 @@
+"""Read worker pools over a frozen snapshot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceStateError, SnapshotWriteError
+from repro.serve import ReadWorkerPool
+from repro.serve.pool import _fork_available
+from repro.stsparql import Strabon
+
+PREFIX = (
+    "PREFIX noa: "
+    "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+)
+SELECT = PREFIX + "SELECT ?h WHERE { ?h a noa:Hotspot }"
+ASK = PREFIX + "ASK { ?h a noa:Hotspot }"
+
+
+@pytest.fixture()
+def snapshot():
+    strabon = Strabon()
+    for i in range(3):
+        strabon.update(
+            PREFIX + f"INSERT DATA {{ noa:h{i} a noa:Hotspot . }}"
+        )
+    return strabon.graph.snapshot()
+
+
+def test_thread_pool_answers_select_and_ask(snapshot):
+    with ReadWorkerPool(snapshot, workers=2, kind="thread") as pool:
+        select, ask = pool.map([SELECT, ASK])
+    assert len(select["results"]["bindings"]) == 3
+    assert ask is True
+
+
+@pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+def test_process_pool_matches_thread_pool(snapshot):
+    with ReadWorkerPool(snapshot, workers=2, kind="thread") as pool:
+        expected = pool.map([SELECT])[0]
+    with ReadWorkerPool(snapshot, workers=2, kind="process") as pool:
+        pool.warm()
+        results = pool.map([SELECT] * 4)
+    for result in results:
+        assert len(result["results"]["bindings"]) == len(
+            expected["results"]["bindings"]
+        )
+
+
+def test_pool_refuses_updates(snapshot):
+    with ReadWorkerPool(snapshot, workers=1, kind="thread") as pool:
+        future = pool.submit(
+            PREFIX + "INSERT DATA { noa:x a noa:Hotspot . }"
+        )
+        with pytest.raises(SnapshotWriteError):
+            future.result()
+
+
+def test_pool_lifecycle_and_validation(snapshot):
+    with pytest.raises(ValueError):
+        ReadWorkerPool(snapshot, workers=0)
+    with pytest.raises(ValueError):
+        ReadWorkerPool(snapshot, workers=1, kind="quantum")
+    pool = ReadWorkerPool(snapshot, workers=1, kind="thread")
+    pool.close()
+    pool.close()  # idempotent
+    with pytest.raises(ServiceStateError):
+        pool.submit(SELECT)

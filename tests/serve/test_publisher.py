@@ -1,0 +1,74 @@
+"""Snapshot publication semantics (:class:`SnapshotPublisher`)."""
+
+from __future__ import annotations
+
+import threading
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.serve import SnapshotPublisher
+from repro.stsparql import Strabon
+
+PREFIX = (
+    "PREFIX noa: "
+    "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+)
+
+
+def test_publish_is_sequenced_and_generation_stamped():
+    strabon = Strabon()
+    publisher = SnapshotPublisher()
+    assert publisher.latest() is None
+    with pytest.raises(LookupError):
+        publisher.require_latest()
+    first = publisher.publish(strabon)
+    assert first.sequence == 1
+    assert first.generation == strabon.graph.generation
+    strabon.update(PREFIX + "INSERT DATA { noa:h1 a noa:Hotspot . }")
+    when = datetime(2007, 8, 24, 13, 0, tzinfo=timezone.utc)
+    second = publisher.publish(strabon, timestamp=when)
+    assert second.sequence == 2
+    assert second.generation > first.generation
+    assert second.timestamp == when
+    assert publisher.latest() is second
+    assert publisher.require_latest() is second
+
+
+def test_unchanged_store_republishes_the_same_view():
+    strabon = Strabon()
+    publisher = SnapshotPublisher()
+    a = publisher.publish(strabon)
+    b = publisher.publish(strabon)
+    assert b.sequence == a.sequence + 1
+    assert b.view is a.view  # zero-mutation republish is free
+
+
+def test_readers_keep_their_snapshot_across_publications():
+    strabon = Strabon()
+    strabon.update(PREFIX + "INSERT DATA { noa:h1 a noa:Hotspot . }")
+    publisher = SnapshotPublisher()
+    held = publisher.publish(strabon)
+    strabon.update(PREFIX + "INSERT DATA { noa:h2 a noa:Hotspot . }")
+    publisher.publish(strabon)
+    query = PREFIX + "SELECT ?h WHERE { ?h a noa:Hotspot }"
+    assert len(held.view.select(query)) == 1
+    assert len(publisher.require_latest().view.select(query)) == 2
+
+
+def test_wait_for_unblocks_on_publication():
+    strabon = Strabon()
+    publisher = SnapshotPublisher()
+    publisher.publish(strabon)
+    assert publisher.wait_for(99, timeout=0.05) is None  # times out
+    results = []
+
+    def waiter():
+        results.append(publisher.wait_for(2, timeout=5.0))
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    published = publisher.publish(strabon)
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert results and results[0] is published

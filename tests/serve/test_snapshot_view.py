@@ -1,0 +1,98 @@
+"""Snapshot-aware stSPARQL execution (:class:`SnapshotView`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SnapshotWriteError
+from repro.rdf import NOA, RDF, URI
+from repro.stsparql import SnapshotView, Strabon
+
+PREFIX = (
+    "PREFIX noa: "
+    "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+)
+SELECT_HOTSPOTS = PREFIX + "SELECT ?h WHERE { ?h a noa:Hotspot }"
+ASK_HOTSPOTS = PREFIX + "ASK { ?h a noa:Hotspot }"
+INSERT_ONE = (
+    PREFIX + "INSERT DATA { noa:sneaky a noa:Hotspot . }"
+)
+SPATIAL = PREFIX + (
+    "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+    "SELECT ?a WHERE { ?a strdf:hasGeometry ?g . "
+    'FILTER(strdf:anyInteract(?g, "POINT(24.0 38.0)")) }'
+)
+
+
+@pytest.fixture()
+def engine() -> Strabon:
+    strabon = Strabon()
+    for i in range(4):
+        strabon.update(
+            PREFIX + f"INSERT DATA {{ noa:h{i} a noa:Hotspot . }}"
+        )
+    return strabon
+
+
+def test_view_matches_live_results(engine):
+    live = engine.select(SELECT_HOTSPOTS)
+    view = engine.snapshot_view()
+    frozen = view.select(SELECT_HOTSPOTS)
+    assert sorted(map(repr, frozen)) == sorted(map(repr, live))
+    assert view.ask(ASK_HOTSPOTS) is True
+
+
+def test_view_is_cached_per_generation(engine):
+    view = engine.snapshot_view()
+    assert engine.snapshot_view() is view
+    engine.update(INSERT_ONE)
+    fresh = engine.snapshot_view()
+    assert fresh is not view
+    assert fresh.generation > view.generation
+
+
+def test_old_view_is_isolated_from_later_updates(engine):
+    view = engine.snapshot_view()
+    before = len(view.select(SELECT_HOTSPOTS))
+    engine.update(INSERT_ONE)
+    assert len(view.select(SELECT_HOTSPOTS)) == before
+    assert len(engine.snapshot_view().select(SELECT_HOTSPOTS)) == (
+        before + 1
+    )
+
+
+def test_view_refuses_updates(engine):
+    view = engine.snapshot_view()
+    with pytest.raises(SnapshotWriteError):
+        view.query(INSERT_ONE)
+    # Nothing leaked into the live store either.
+    assert (URI(NOA.base + "sneaky"), RDF.type, NOA.Hotspot) not in (
+        engine.graph
+    )
+
+
+def test_view_shares_the_engines_plan_cache(engine):
+    view = engine.snapshot_view()
+    assert view.plan_cache is engine.plan_cache
+    baseline = engine.plan_cache.stats().hits
+    view.select(SELECT_HOTSPOTS)  # miss (first sighting of the text)
+    view.select(SELECT_HOTSPOTS)  # hit
+    engine.select(SELECT_HOTSPOTS)  # hit — shared with the writer too
+    assert engine.plan_cache.stats().hits >= baseline + 2
+
+
+def test_view_spatial_query_uses_frozen_rtree(strabon_with_aux):
+    view = strabon_with_aux.snapshot_view()
+    rows = view.select(SPATIAL)
+    live = strabon_with_aux.select(SPATIAL)
+    assert sorted(map(repr, rows)) == sorted(map(repr, live))
+    # The R-tree was built lazily, once, on the snapshot.
+    assert view._rtree_built is True
+    assert view._rtree is not None
+
+
+def test_standalone_view_over_a_bare_snapshot(engine):
+    snap = engine.graph.snapshot()
+    view = SnapshotView(snap)
+    assert len(view.select(SELECT_HOTSPOTS)) == 4
+    assert view.plan_cache is not engine.plan_cache
