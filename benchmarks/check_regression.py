@@ -67,6 +67,21 @@ WATCHED = {
         ("http_load.errors", "lower", None),
         ("consistency.torn_reads", "lower", None),
     ],
+    "BENCH_durable.json": [
+        ("wal.never.batches_per_s", "higher", TIMING_THRESHOLD),
+        ("wal.commit.batches_per_s", "higher", TIMING_THRESHOLD),
+        (
+            "recovery.triples_per_s",
+            "higher",
+            TIMING_THRESHOLD,
+        ),
+        (
+            "recovery.longest_seconds",
+            "lower",
+            TIMING_THRESHOLD,
+        ),
+        ("compaction.ratio", "higher", None),
+    ],
 }
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -102,9 +102,7 @@ def load_catalog(
     if db is None:
         db = MonetDB()
     for spec in manifest["objects"]:
-        bundle = np.load(
-            os.path.join(directory, spec["file"]), allow_pickle=True
-        )
+        bundle = _load_bundle(directory, spec)
         if spec["kind"] == "table":
             schema = [
                 (col_name, parse_type(type_name))
@@ -151,6 +149,45 @@ def load_catalog(
             except Exception:
                 pass  # driver not registered on this instance
     return db
+
+
+def _load_bundle(directory: str, spec: Dict):
+    """Load one manifest-named ``.npz`` bundle, defensively.
+
+    The manifest is plain JSON a user (or attacker) can edit, so its
+    file names are confined to the catalog directory — no absolute
+    paths, no separators, no ``..`` — and the arrays are loaded with
+    ``allow_pickle=False`` (:func:`_storable` stringifies object
+    columns on save, so nothing legitimate ever needs pickling).  Any
+    violation or load failure is a clean :class:`ArrayDBError`, never
+    arbitrary unpickling.
+    """
+    filename = spec.get("file")
+    if not isinstance(filename, str) or not filename:
+        raise ArrayDBError(
+            f"catalog entry {spec.get('name')!r} has no file name"
+        )
+    if (
+        os.path.isabs(filename)
+        or filename != os.path.basename(filename)
+        or filename in (os.curdir, os.pardir)
+    ):
+        raise ArrayDBError(
+            f"catalog entry {spec.get('name')!r} names a file outside "
+            f"the catalog directory: {filename!r}"
+        )
+    path = os.path.join(directory, filename)
+    try:
+        # npz members decode lazily — materialise them here so a
+        # poisoned member (e.g. a pickled object array) is refused
+        # inside this guard, not at first access downstream.
+        with np.load(path, allow_pickle=False) as archive:
+            return {key: archive[key] for key in archive.files}
+    except (OSError, ValueError) as error:
+        raise ArrayDBError(
+            f"catalog entry {spec.get('name')!r}: cannot load "
+            f"{filename!r}: {error}"
+        ) from error
 
 
 def _storable(values: np.ndarray) -> np.ndarray:

@@ -102,12 +102,38 @@ class ServiceConfig:
     #: Satellite grids; library defaults when unset.
     raw_grid: Optional[object] = None
     target_grid: Optional[object] = None
+    #: Durable-state directory (``repro.durable``).  When set, the RDF
+    #: store is write-ahead logged and the service checkpoints its
+    #: acquisition cursor there after every commit;
+    #: ``FireMonitoringService.open(state_dir)`` resumes from it.
+    #: Unset = the historical fully-in-memory behaviour.
+    state_dir: Optional[str] = None
+    #: WAL fsync policy: ``"commit"`` (once per acquisition commit,
+    #: the default), ``"always"`` (every append) or ``"never"``
+    #: (benchmarks/tests — survives process crashes, not OS crashes).
+    wal_fsync: str = "commit"
+    #: Commits between compacting graph checkpoints.
+    checkpoint_interval: int = 16
 
     def validate(self) -> None:
         if self.mode not in ("teleios", "pre-teleios"):
             raise ConfigurationError(f"unknown mode {self.mode!r}")
         if self.clouds_per_scene < 0:
             raise ConfigurationError("clouds_per_scene must be >= 0")
+        if self.state_dir is not None and self.mode != "teleios":
+            raise ConfigurationError(
+                "state_dir requires mode='teleios' (the pre-TELEIOS "
+                "configuration has no semantic store to persist)"
+            )
+        if self.wal_fsync not in ("always", "commit", "never"):
+            raise ConfigurationError(
+                f"wal_fsync must be 'always', 'commit' or 'never', "
+                f"got {self.wal_fsync!r}"
+            )
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError(
+                "checkpoint_interval must be >= 1"
+            )
 
 
 @dataclass

@@ -252,6 +252,18 @@ WHERE {{
 """
         load_noa_ontology(strabon.graph)
 
+    @property
+    def product_count(self) -> int:
+        """Products stored so far — and the namespace index the *next*
+        product's URIs are minted under.  A durable service persists
+        and restores it: restarting at zero would mint URIs that
+        collide with recovered acquisitions."""
+        return self._product_count
+
+    @product_count.setter
+    def product_count(self, value: int) -> None:
+        self._product_count = int(value)
+
     # -- operations --------------------------------------------------------
 
     def store(self, product: HotspotProduct) -> OperationTiming:

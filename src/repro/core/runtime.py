@@ -57,6 +57,7 @@ __all__ = [
     "resolve_request",
     "run_stage_one",
     "request_identity",
+    "resume_filter",
 ]
 
 #: Climatological 10.8 µm background (K) substituted for a missing
@@ -156,6 +157,38 @@ def request_identity(
                     continue
                 return header.timestamp, header.sensor
     return None, None
+
+
+def resume_filter(
+    requests, last_committed: Optional[datetime]
+) -> Tuple[list, int]:
+    """Drop requests the durable acquisition cursor already covers.
+
+    Returns ``(pending, skipped)``.  A recovered service resumes a
+    replayed request stream *after* the last committed acquisition:
+    anything whose :func:`request_identity` timestamp is at or before
+    ``last_committed`` is already in the store and must not be
+    reprocessed.  Requests whose timestamp cannot be resolved (or
+    cannot be compared — naive vs aware datetimes) are conservatively
+    processed.
+    """
+    if last_committed is None:
+        return list(requests), 0
+    pending = []
+    skipped = 0
+    for item in requests:
+        timestamp, _sensor = request_identity(item)
+        covered = False
+        if timestamp is not None:
+            try:
+                covered = timestamp <= last_committed
+            except TypeError:
+                covered = False
+        if covered:
+            skipped += 1
+        else:
+            pending.append(item)
+    return pending, skipped
 
 
 def _expand(paths) -> List[str]:

@@ -51,6 +51,7 @@ from repro.core.products import HotspotProduct
 from repro.core.refinement import OperationTiming, RefinementPipeline
 from repro.core.sciql_chain import SciQLChain
 from repro.datasets import SyntheticGreece, load_auxiliary_data
+from repro.durable import crashpoints
 from repro.errors import ServiceStateError
 from repro.faults import CircuitBreaker, DeadLetterBox, RetryPolicy
 from repro.obs import AcquisitionBudget, get_metrics, get_tracer
@@ -199,10 +200,19 @@ class FireMonitoringService:
         )
         self.georeference = GeoReference(raw, target)
         self.use_files = config.use_files
-        self._owns_workdir = config.workdir is None
-        self.workdir = config.workdir or tempfile.mkdtemp(
-            prefix="noa_service_"
+        # A durable service keeps its working state (dead-letter box,
+        # archive) *inside* state_dir so it survives restarts; only a
+        # private mkdtemp directory is ever deleted by close().
+        self._owns_workdir = (
+            config.workdir is None and config.state_dir is None
         )
+        if config.workdir is not None:
+            self.workdir = config.workdir
+        elif config.state_dir is not None:
+            self.workdir = os.path.join(config.state_dir, "work")
+            os.makedirs(self.workdir, exist_ok=True)
+        else:
+            self.workdir = tempfile.mkdtemp(prefix="noa_service_")
         self._closed = False
         self.archive: Optional[ProductArchive] = (
             ProductArchive(os.path.join(self.workdir, "archive"))
@@ -212,7 +222,8 @@ class FireMonitoringService:
         if self.mode == "teleios":
             self.chain = SciQLChain(self.georeference)
             self.strabon = Strabon()
-            load_auxiliary_data(self.strabon, self.greece)
+            if config.state_dir is None:
+                load_auxiliary_data(self.strabon, self.greece)
             self.refinement: Optional[RefinementPipeline] = (
                 RefinementPipeline(self.strabon)
             )
@@ -222,13 +233,18 @@ class FireMonitoringService:
             # The serving layer's write → read hand-off.  An initial
             # auxiliary-data-only snapshot is published immediately so
             # /hotspots is answerable (empty) before the first
-            # acquisition lands.
+            # acquisition lands.  With a state_dir the publisher is
+            # created in _open_durable instead, seeded so sequence
+            # numbers continue monotonically across restarts.
             from repro.serve.state import SnapshotPublisher
 
-            self.publisher: Optional[SnapshotPublisher] = (
-                SnapshotPublisher()
-            )
-            self.publisher.publish(self.strabon)
+            if config.state_dir is None:
+                self.publisher: Optional[SnapshotPublisher] = (
+                    SnapshotPublisher()
+                )
+                self.publisher.publish(self.strabon)
+            else:
+                self.publisher = None
         else:
             self.chain = LegacyChain(self.georeference)
             self.strabon = None  # type: ignore[assignment]
@@ -248,6 +264,234 @@ class FireMonitoringService:
         #: Full-refinement wall times driving the "can stage two still
         #: fit the window?" estimate.
         self._refine_history: List[float] = []
+        #: Durable state (``repro.durable``), populated by
+        #: :meth:`_open_durable` when the config names a ``state_dir``.
+        self.durable = None
+        self.recovery = None
+        self._committed_acquisitions = 0
+        self._last_committed_timestamp: Optional[datetime] = None
+        self._resume_skipped = 0
+        self._service_state_path: Optional[str] = None
+        if config.state_dir is not None:
+            self._open_durable(config)
+
+    # -- durability --------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        state_dir: str,
+        greece: Optional[SyntheticGreece] = None,
+        **config_overrides,
+    ) -> "FireMonitoringService":
+        """Open (or create) a durable service rooted at ``state_dir``.
+
+        On a directory that already holds committed state, the saved
+        configuration is restored (explicit ``config_overrides`` win),
+        the graph is rebuilt from checkpoint + WAL replay, and the
+        service resumes exactly after the last committed acquisition —
+        replaying the original request stream through :meth:`run` skips
+        everything already committed.  ``greece`` should be the same
+        geography used originally when timestamps will be re-requested
+        (only scene *synthesis* depends on it; the semantic store comes
+        from disk).
+        """
+        from repro.durable import load_service_state
+
+        saved = load_service_state(
+            os.path.join(state_dir, "service.json")
+        )
+        kwargs: Dict[str, object] = {}
+        if saved is not None:
+            kwargs.update(saved.get("config", {}))
+        kwargs.update(config_overrides)
+        kwargs["state_dir"] = state_dir
+        return cls(greece=greece, config=ServiceConfig(**kwargs))
+
+    def _open_durable(self, config: ServiceConfig) -> None:
+        """Attach (creating or recovering) the durable state under
+        ``config.state_dir``; see DESIGN.md for the commit order."""
+        from repro.durable import DurableStore, load_service_state
+        from repro.serve.state import SnapshotPublisher
+
+        state_dir = config.state_dir
+        assert state_dir is not None
+        os.makedirs(state_dir, exist_ok=True)
+        self._service_state_path = os.path.join(
+            state_dir, "service.json"
+        )
+        durable_dir = os.path.join(state_dir, "durable")
+        fresh = not DurableStore.exists(durable_dir)
+        with _tracer.span("durable.open", fresh=fresh):
+            if fresh:
+                load_auxiliary_data(self.strabon, self.greece)
+            self.durable = DurableStore(
+                durable_dir,
+                graph=self.strabon.graph,
+                fsync=config.wal_fsync,
+                checkpoint_interval=config.checkpoint_interval,
+            )
+            if not fresh:
+                # The graph was rebuilt wholesale: derived indexes
+                # (R-tree, candidate memo, memoised view, inference
+                # closure) must not outlive their source.
+                self.strabon.reset_derived()
+        self.recovery = self.durable.recovery
+        saved = load_service_state(self._service_state_path)
+        committed = 0
+        last_ts: Optional[str] = None
+        published_sequence = 0
+        product_count = 0
+        if saved is not None:
+            committed = int(saved.get("committed", 0))
+            last_ts = saved.get("last_timestamp")
+            published_sequence = int(
+                saved.get("published_sequence", 0)
+            )
+            product_count = int(saved.get("product_count", 0))
+            counts = saved.get("status_counts") or {}
+            for status in OUTCOME_STATUSES:
+                if status in counts:
+                    self._status_counts[status] = int(counts[status])
+            self._refine_history = [
+                float(x) for x in saved.get("refine_history", [])
+            ]
+            if saved.get("breaker") == "open":
+                for _ in range(self._breaker.failure_threshold):
+                    self._breaker.record_failure()
+        # The WAL is the commit point: a crash between the WAL append
+        # and the service checkpoint leaves the WAL one acquisition
+        # ahead of service.json — its batch metadata wins the cursor.
+        wal_meta = (
+            self.recovery.last_meta
+            if self.recovery is not None
+            else None
+        )
+        if wal_meta and int(wal_meta.get("committed", 0)) > committed:
+            committed = int(wal_meta["committed"])
+            last_ts = wal_meta.get("timestamp")
+            status = wal_meta.get("status")
+            if status in self._status_counts:
+                self._status_counts[status] += 1
+            product_count = max(
+                product_count,
+                int(wal_meta.get("product_count", product_count)),
+            )
+        if self.refinement is not None:
+            # URI namespacing must continue where the recovered
+            # acquisitions left off, never restart at zero.
+            self.refinement.product_count = product_count
+        self._committed_acquisitions = committed
+        self._last_committed_timestamp = (
+            datetime.fromisoformat(last_ts) if last_ts else None
+        )
+        # Publication numbering must never regress for a polling
+        # reader: resume above the highest sequence that may have been
+        # observed before the crash.
+        self.publisher = SnapshotPublisher(
+            start_sequence=published_sequence
+        )
+        self.publisher.publish(
+            self.strabon, timestamp=self._last_committed_timestamp
+        )
+        self._save_service_state()
+        _log.info(
+            "durable state at %s: %s (committed=%d, published_seq=%d)",
+            state_dir,
+            "fresh" if fresh else "recovered",
+            committed,
+            self.publisher.sequence,
+        )
+
+    def _save_service_state(self, reserve_publish: bool = False) -> None:
+        """Atomically checkpoint the service-level cursor + context.
+
+        ``reserve_publish`` is set on the per-acquisition commit path,
+        where this write happens *before* the publication it covers:
+        the stored sequence is then ``current + 1`` — the number the
+        imminent publish will use — so a crash on either side of the
+        publish restarts numbering strictly above anything a reader
+        may have observed.
+        """
+        from repro.durable import save_service_state
+
+        assert self._service_state_path is not None
+        assert self.publisher is not None
+        save_service_state(
+            self._service_state_path,
+            {
+                "version": 1,
+                "committed": self._committed_acquisitions,
+                "last_timestamp": (
+                    None
+                    if self._last_committed_timestamp is None
+                    else self._last_committed_timestamp.isoformat()
+                ),
+                "published_sequence": self.publisher.sequence
+                + (1 if reserve_publish else 0),
+                "status_counts": dict(self._status_counts),
+                "product_count": (
+                    0
+                    if self.refinement is None
+                    else self.refinement.product_count
+                ),
+                "breaker": self._breaker.state,
+                "refine_history": self._refine_history[-8:],
+                "dead_letters": len(self.dead_letters),
+                "config": {
+                    "mode": self.config.mode,
+                    "seed": self.config.seed,
+                    "use_files": self.config.use_files,
+                    "archive_products": self.config.archive_products,
+                    "clouds_per_scene": self.config.clouds_per_scene,
+                    "wal_fsync": self.config.wal_fsync,
+                    "checkpoint_interval": (
+                        self.config.checkpoint_interval
+                    ),
+                },
+            },
+            fsync=self.config.wal_fsync != "never",
+        )
+
+    def _durable_commit(self, outcome: AcquisitionOutcome) -> None:
+        """Make one acquisition durable, *then* let it publish.
+
+        Order (each boundary is a registered crashpoint):
+
+        1. WAL append + fsync — **the commit point**,
+        2. service.json atomic write — cursor + the sequence the
+           imminent publication will use (reserved *before* publishing
+           so a restart never reuses an observed sequence number),
+        3. (caller publishes, then compacts).
+        """
+        if self.durable is None:
+            return
+        assert self.publisher is not None
+        with _tracer.span(
+            "durable.commit",
+            acquisition=self._committed_acquisitions + 1,
+        ):
+            self._committed_acquisitions += 1
+            self._last_committed_timestamp = outcome.timestamp
+            self.durable.commit(
+                meta={
+                    "committed": self._committed_acquisitions,
+                    "timestamp": (
+                        None
+                        if outcome.timestamp is None
+                        else outcome.timestamp.isoformat()
+                    ),
+                    "status": outcome.status,
+                    "product_count": (
+                        0
+                        if self.refinement is None
+                        else self.refinement.product_count
+                    ),
+                }
+            )
+            crashpoints.crash("commit.post-wal")
+            self._save_service_state(reserve_publish=True)
+            crashpoints.crash("commit.pre-publish")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -266,6 +510,8 @@ class FireMonitoringService:
         if self._closed:
             return
         self._closed = True
+        if self.durable is not None:
+            self.durable.close()
         if self._owns_workdir:
             shutil.rmtree(self.workdir, ignore_errors=True)
 
@@ -299,6 +545,27 @@ class FireMonitoringService:
         if overrides:
             options = options.merged(**overrides)
         options.validate()
+        if self._last_committed_timestamp is not None:
+            # Resuming a replayed request stream: acquisitions at or
+            # before the durable cursor are already in the store.
+            from repro.core.runtime import resume_filter
+
+            requests, skipped = resume_filter(
+                requests, self._last_committed_timestamp
+            )
+            if skipped:
+                self._resume_skipped += skipped
+                _log.info(
+                    "resume: skipped %d already-committed "
+                    "acquisition(s) at or before %s",
+                    skipped,
+                    self._last_committed_timestamp,
+                )
+                if _metrics.enabled:
+                    _metrics.counter(
+                        "service_resume_skipped_total",
+                        "Requests skipped as already committed",
+                    ).inc(skipped)
         if options.pipelined:
             from repro.core.pipeline import PipelinedExecutor
 
@@ -546,11 +813,21 @@ class FireMonitoringService:
         # for every acquisition that produced a product (ok *or*
         # degraded — a degraded product is still the best available
         # data), never mid-refinement: readers can only ever observe
-        # complete per-acquisition states.
+        # complete per-acquisition states.  With durable state the
+        # acquisition is made crash-proof *first* (WAL fsync, then the
+        # service checkpoint) — publication follows durability, which
+        # is why a reader can never observe state that a recovery
+        # would roll back.  An "error" outcome mutated nothing and
+        # published nothing, so it is deliberately not committed: a
+        # restart reprocesses it, deterministically failing again.
         if self.publisher is not None and outcome.status != "error":
+            self._durable_commit(outcome)
             self.publisher.publish(
                 self.strabon, timestamp=outcome.timestamp
             )
+            if self.durable is not None:
+                crashpoints.crash("commit.post-publish")
+                self.durable.maybe_checkpoint()
         if _metrics.enabled:
             status_gauge = _metrics.gauge(
                 "service_outcomes",
@@ -749,6 +1026,26 @@ class FireMonitoringService:
                     else latest.timestamp.isoformat(),
                 }
             )
+        if self.durable is not None:
+            report["durability"] = {
+                "state_dir": self.config.state_dir,
+                "committed_acquisitions": (
+                    self._committed_acquisitions
+                ),
+                "last_committed_timestamp": (
+                    None
+                    if self._last_committed_timestamp is None
+                    else self._last_committed_timestamp.isoformat()
+                ),
+                "recovered": self.recovery is not None,
+                "recovery": (
+                    None
+                    if self.recovery is None
+                    else self.recovery.to_dict()
+                ),
+                "resume_skipped": self._resume_skipped,
+                "wal": self.durable.stats(),
+            }
         if _metrics.enabled:
             _metrics.gauge(
                 "service_dead_letters",

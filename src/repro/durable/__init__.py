@@ -1,0 +1,74 @@
+"""``repro.durable`` — durability for the live monitoring system.
+
+The paper's NOA service runs for whole fire seasons; ours used to keep
+the entire Strabon graph and all service progress in memory, so one
+process death lost every refined hotspot since startup.  This package
+makes crash recovery a *tested, measured property*:
+
+* :mod:`repro.durable.wal` — an append-only, CRC-framed write-ahead
+  log of triple insert/delete batches with configurable fsync policy
+  and replay-on-open recovery that truncates torn tails.
+* :mod:`repro.durable.store` — :class:`DurableStore`, which journals a
+  live :class:`~repro.rdf.graph.Graph` through the WAL and compacts it
+  into generation-stamped checkpoints serialized from the existing
+  O(1) copy-on-write ``snapshot()`` (the writer is never blocked);
+  plus the atomic ``service.json`` save/load used for the service-level
+  acquisition cursor.
+* :mod:`repro.durable.codec` — the compact binary codec for RDF terms
+  and journal operation batches shared by WAL records and checkpoints.
+* :mod:`repro.durable.crashpoints` — the deterministic crash-injection
+  registry: named points in the commit path where a test can arm a
+  process abort (``os._exit``), so the crash-matrix suite can prove
+  recovery is exact at *every* window of the commit protocol.
+
+The commit protocol and why readers never observe rollback are
+documented in DESIGN.md ("Durability: WAL, checkpoints and the commit
+order").
+"""
+
+from repro.durable.codec import (
+    OP_ADD,
+    OP_CLEAR,
+    OP_REMOVE,
+    decode_ops,
+    decode_term,
+    encode_ops,
+    encode_term,
+)
+from repro.durable.crashpoints import (
+    CRASH_EXIT,
+    REGISTRY as CRASHPOINTS,
+    arm,
+    crash,
+    disarm,
+)
+from repro.durable.store import (
+    DurableStore,
+    GraphJournal,
+    RecoveryInfo,
+    load_service_state,
+    save_service_state,
+)
+from repro.durable.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "CRASH_EXIT",
+    "CRASHPOINTS",
+    "DurableStore",
+    "GraphJournal",
+    "OP_ADD",
+    "OP_CLEAR",
+    "OP_REMOVE",
+    "RecoveryInfo",
+    "WalRecord",
+    "WriteAheadLog",
+    "arm",
+    "crash",
+    "decode_ops",
+    "decode_term",
+    "disarm",
+    "encode_ops",
+    "encode_term",
+    "load_service_state",
+    "save_service_state",
+]

@@ -1,0 +1,472 @@
+"""Durable graph store: journal → WAL → compacting checkpoints.
+
+:class:`DurableStore` owns one directory::
+
+    <dir>/graph.ckpt   the last compacting checkpoint (atomic rename)
+    <dir>/wal.log      batches committed since that checkpoint
+
+A :class:`GraphJournal` hooks the live :class:`~repro.rdf.graph.Graph`
+mutators (``add`` / ``remove`` / ``clear``) and accumulates operations
+until :meth:`DurableStore.commit` frames them into one WAL record and
+fsyncs — *that* is the commit point.  Every
+:attr:`~DurableStore.checkpoint_interval` commits the store compacts:
+it serializes a consistent image from the graph's O(1) copy-on-write
+``snapshot()`` (the writer is never blocked), renames it in atomically,
+and resets the WAL with the checkpoint's sequence number as the new
+numbering base.  Replay applies the checkpoint, then only WAL records
+*above* the checkpoint's sequence — which is what makes a crash in the
+rename→reset window harmless: the old WAL's records are simply
+recognized as already contained.
+
+Checkpoints carry a whole-body CRC; a checkpoint that fails it raises
+:class:`~repro.errors.DurabilityError` (unlike a torn WAL *tail*,
+which is the expected crash signature and is silently truncated —
+completed checkpoints are installed by atomic rename, so a damaged one
+means real corruption, not a crash).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.durable import crashpoints
+from repro.durable.codec import (
+    OP_ADD,
+    OP_CLEAR,
+    OP_REMOVE,
+    Op,
+    decode_ops,
+    decode_triple,
+    encode_ops,
+    encode_triple,
+)
+from repro.durable.wal import (
+    WriteAheadLog,
+    batch_payload,
+    split_batch_payload,
+)
+from repro.errors import DurabilityError
+from repro.obs import get_metrics, get_tracer
+from repro.rdf.graph import Graph
+from repro.rdf.term import Term
+
+__all__ = [
+    "GraphJournal",
+    "DurableStore",
+    "RecoveryInfo",
+    "save_service_state",
+    "load_service_state",
+]
+
+_metrics = get_metrics()
+_tracer = get_tracer()
+
+_CKPT_MAGIC = b"REPROCKP"
+_CKPT_VERSION = 1
+#: magic | version | last_seq | generation | body crc32 | body length
+_CKPT_HEADER = struct.Struct("<8sIQQIQ")
+_U64 = struct.Struct("<Q")
+
+
+class GraphJournal:
+    """Accumulates graph mutations between commits.
+
+    Attached to a live graph as its ``_journal``; the graph's mutators
+    call the ``record_*`` hooks after each *successful* mutation (a
+    duplicate add or a no-op remove records nothing, so replay applies
+    exactly the state transitions that happened).
+    """
+
+    def __init__(self) -> None:
+        self._ops: List[Op] = []
+
+    def record_add(self, s: Term, p: Term, o: Term) -> None:
+        self._ops.append((OP_ADD, (s, p, o)))
+
+    def record_remove(self, s: Term, p: Term, o: Term) -> None:
+        self._ops.append((OP_REMOVE, (s, p, o)))
+
+    def record_clear(self) -> None:
+        # A clear wipes checkpoint state too, so operations journaled
+        # before it in the same uncommitted batch are dead weight.
+        self._ops.clear()
+        self._ops.append((OP_CLEAR, None))
+
+    def drain(self) -> List[Op]:
+        ops, self._ops = self._ops, []
+        return ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+@dataclass(frozen=True)
+class RecoveryInfo:
+    """What :class:`DurableStore` reconstructed on open."""
+
+    checkpoint_seq: int
+    checkpoint_triples: int
+    replayed_records: int
+    replayed_ops: int
+    truncated_bytes: int
+    seconds: float
+    #: Metadata of the newest WAL batch on disk (even one the
+    #: checkpoint already contains) — the service's acquisition cursor.
+    last_meta: Optional[Dict] = field(default=None)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "checkpoint_seq": self.checkpoint_seq,
+            "checkpoint_triples": self.checkpoint_triples,
+            "replayed_records": self.replayed_records,
+            "replayed_ops": self.replayed_ops,
+            "truncated_bytes": self.truncated_bytes,
+            "seconds": self.seconds,
+        }
+
+
+class DurableStore:
+    """WAL + checkpoint persistence for one live graph."""
+
+    CHECKPOINT_NAME = "graph.ckpt"
+    WAL_NAME = "wal.log"
+
+    def __init__(
+        self,
+        directory: str,
+        graph: Optional[Graph] = None,
+        fsync: str = "commit",
+        checkpoint_interval: int = 16,
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise DurabilityError("checkpoint_interval must be >= 1")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.fsync = fsync
+        self.checkpoint_interval = checkpoint_interval
+        self.graph = graph if graph is not None else Graph()
+        self._journal = GraphJournal()
+        self._closed = False
+        self._batches_since_checkpoint = 0
+        ckpt = self._checkpoint_path
+        wal = self._wal_path
+        if os.path.exists(ckpt):
+            self.recovery: Optional[RecoveryInfo] = self._recover()
+        else:
+            # No checkpoint means nothing was ever committed: a WAL
+            # left behind by a crash during the very first baseline
+            # checkpoint is stale pre-commit state.
+            if os.path.exists(wal):
+                os.unlink(wal)
+            self._wal = WriteAheadLog(wal, fsync=fsync)
+            self.recovery = None
+            self.checkpoint()  # the baseline: whatever is loaded now
+        self.graph._journal = self._journal
+
+    @staticmethod
+    def exists(directory: str) -> bool:
+        """True when ``directory`` holds committed durable state."""
+        return os.path.exists(
+            os.path.join(directory, DurableStore.CHECKPOINT_NAME)
+        )
+
+    @property
+    def _checkpoint_path(self) -> str:
+        return os.path.join(self.directory, self.CHECKPOINT_NAME)
+
+    @property
+    def _wal_path(self) -> str:
+        return os.path.join(self.directory, self.WAL_NAME)
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    @property
+    def pending_ops(self) -> int:
+        """Journaled operations not yet committed."""
+        return len(self._journal)
+
+    @property
+    def batches_since_checkpoint(self) -> int:
+        return self._batches_since_checkpoint
+
+    # -- commit ----------------------------------------------------------
+
+    def commit(self, meta: Optional[Dict] = None) -> Optional[int]:
+        """Drain the journal into one durable WAL record.
+
+        Returns the record's sequence number (None when there was
+        nothing to write: no operations *and* no metadata).  Once this
+        returns, the batch survives a crash — everything after it
+        (service checkpoint, publication, compaction) is recoverable
+        bookkeeping.
+        """
+        self._require_open()
+        ops = self._journal.drain()
+        if not ops and meta is None:
+            return None
+        payload = batch_payload(meta, encode_ops(ops))
+        seq = self._wal.append(payload)
+        self._wal.sync()
+        self._batches_since_checkpoint += 1
+        return seq
+
+    def maybe_checkpoint(self) -> bool:
+        """Compact when the interval says so; True when it did."""
+        if self._batches_since_checkpoint >= self.checkpoint_interval:
+            self.checkpoint()
+            return True
+        return False
+
+    def checkpoint(self) -> None:
+        """Serialize a consistent image and reset the WAL.
+
+        Uses the graph's copy-on-write snapshot, so the writer can keep
+        mutating while the image is streamed out.  Atomic: temp file →
+        fsync → rename → directory fsync → WAL reset; replay keys on
+        the stored ``last_seq``, so a crash at any boundary recovers
+        exactly.
+        """
+        self._require_open()
+        if len(self._journal):
+            raise DurabilityError(
+                f"checkpoint with {len(self._journal)} uncommitted "
+                "journaled operation(s) — commit() first"
+            )
+        with _tracer.span(
+            "durable.checkpoint", triples=len(self.graph)
+        ):
+            snap = self.graph.snapshot()
+            last_seq = self._wal.last_seq
+            body = bytearray(_U64.pack(len(snap)))
+            for triple in snap.triples():
+                encode_triple(body, triple)
+            header = _CKPT_HEADER.pack(
+                _CKPT_MAGIC,
+                _CKPT_VERSION,
+                last_seq,
+                snap.generation,
+                zlib.crc32(bytes(body)),
+                len(body),
+            )
+            tmp = self._checkpoint_path + ".tmp"
+            with open(tmp, "wb") as fh:
+                if crashpoints.fire("graph-checkpoint.torn"):
+                    fh.write(header)
+                    fh.write(body[: len(body) // 2])
+                    fh.flush()
+                    crashpoints.die()
+                fh.write(header)
+                fh.write(body)
+                fh.flush()
+                if self.fsync != "never":
+                    os.fsync(fh.fileno())
+            crashpoints.crash("graph-checkpoint.pre-rename")
+            os.replace(tmp, self._checkpoint_path)
+            _fsync_dir(self.directory, self.fsync != "never")
+            crashpoints.crash("graph-checkpoint.post-rename")
+            self._wal.reset(last_seq)
+            self._batches_since_checkpoint = 0
+        if _metrics.enabled:
+            _metrics.counter(
+                "durable_checkpoints_total",
+                "Compacting graph checkpoints written",
+            ).inc()
+            _metrics.gauge(
+                "durable_checkpoint_bytes",
+                "Size of the latest graph checkpoint",
+            ).set(len(header) + len(body))
+
+    # -- recovery --------------------------------------------------------
+
+    def _recover(self) -> RecoveryInfo:
+        start = time.perf_counter()
+        with _tracer.span("durable.recover", directory=self.directory):
+            last_seq, triples = self._load_checkpoint()
+            self._wal = WriteAheadLog(self._wal_path, fsync=self.fsync)
+            replayed_records = 0
+            replayed_ops = 0
+            last_meta: Optional[Dict] = None
+            for record in self._wal.replayed:
+                meta, ops_bytes = split_batch_payload(record.payload)
+                if meta:
+                    last_meta = meta
+                if record.seq <= last_seq:
+                    continue  # the checkpoint already contains it
+                ops = decode_ops(ops_bytes)
+                self._apply(ops)
+                replayed_records += 1
+                replayed_ops += len(ops)
+            self._batches_since_checkpoint = replayed_records
+        seconds = time.perf_counter() - start
+        if _metrics.enabled:
+            gauge = _metrics.gauge(
+                "durable_recovery_info",
+                "Last recovery: replayed records / ops / seconds",
+            )
+            gauge.set(replayed_records, field="records")
+            gauge.set(replayed_ops, field="ops")
+            gauge.set(seconds, field="seconds")
+        return RecoveryInfo(
+            checkpoint_seq=last_seq,
+            checkpoint_triples=triples,
+            replayed_records=replayed_records,
+            replayed_ops=replayed_ops,
+            truncated_bytes=self._wal.truncated_bytes,
+            seconds=seconds,
+            last_meta=last_meta,
+        )
+
+    def _load_checkpoint(self) -> Tuple[int, int]:
+        path = self._checkpoint_path
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if len(data) < _CKPT_HEADER.size:
+            raise DurabilityError(f"checkpoint {path!r} is truncated")
+        magic, version, last_seq, _generation, crc, length = (
+            _CKPT_HEADER.unpack_from(data, 0)
+        )
+        if magic != _CKPT_MAGIC:
+            raise DurabilityError(
+                f"{path!r} is not a checkpoint (bad magic {magic!r})"
+            )
+        if version != _CKPT_VERSION:
+            raise DurabilityError(
+                f"unsupported checkpoint version {version} in {path!r}"
+            )
+        body = data[_CKPT_HEADER.size:]
+        if len(body) != length or zlib.crc32(body) != crc:
+            raise DurabilityError(
+                f"checkpoint {path!r} failed its CRC — the file is "
+                "corrupt (completed checkpoints are installed "
+                "atomically, so this is not a crash artifact)"
+            )
+        (count,) = _U64.unpack_from(body, 0)
+        offset = _U64.size
+        graph = self.graph
+        for _ in range(count):
+            triple, offset = decode_triple(body, offset)
+            graph.add(*triple)
+        if offset != len(body):
+            raise DurabilityError(
+                f"checkpoint {path!r} has trailing bytes"
+            )
+        return last_seq, count
+
+    def _apply(self, ops: List[Op]) -> None:
+        graph = self.graph
+        for opcode, triple in ops:
+            if opcode == OP_ADD:
+                graph.add(*triple)
+            elif opcode == OP_REMOVE:
+                graph._remove_exact(*triple)
+            elif opcode == OP_CLEAR:
+                graph.clear()
+
+    # -- lifecycle / introspection ---------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Health-document fodder."""
+        return {
+            "wal_last_seq": self._wal.last_seq,
+            "wal_bytes": self._wal.size_bytes(),
+            "batches_since_checkpoint": self._batches_since_checkpoint,
+            "checkpoint_interval": self.checkpoint_interval,
+            "pending_ops": self.pending_ops,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.graph._journal is self._journal:
+            self.graph._journal = None
+        self._wal.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise DurabilityError("durable store is closed")
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DurableStore {self.directory!r} "
+            f"last_seq={self._wal.last_seq}>"
+        )
+
+
+# -- service-level state -------------------------------------------------
+
+
+def save_service_state(
+    path: str, state: Dict, fsync: bool = True
+) -> None:
+    """Atomically replace the service checkpoint JSON at ``path``.
+
+    Write-to-temp → fsync → rename, with the ``service-checkpoint.*``
+    crashpoints at the torn-write and pre-rename boundaries: a crash at
+    either leaves the *previous* complete state in place.
+    """
+    payload = json.dumps(state, sort_keys=True, indent=2).encode(
+        "utf-8"
+    )
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        if crashpoints.fire("service-checkpoint.torn"):
+            fh.write(payload[: len(payload) // 2])
+            fh.flush()
+            crashpoints.die()
+        fh.write(payload)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    crashpoints.crash("service-checkpoint.pre-rename")
+    os.replace(tmp, path)
+    _fsync_dir(os.path.dirname(path) or ".", fsync)
+
+
+def load_service_state(path: str) -> Optional[Dict]:
+    """The saved service state, or None when none was ever committed.
+
+    The file only ever appears via atomic rename, so a parse failure is
+    corruption, not a crash artifact."""
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as fh:
+        data = fh.read()
+    try:
+        state = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise DurabilityError(
+            f"service state {path!r} is corrupt: {error}"
+        ) from error
+    if not isinstance(state, dict):
+        raise DurabilityError(
+            f"service state {path!r} is not a JSON object"
+        )
+    return state
+
+
+def _fsync_dir(directory: str, enabled: bool) -> None:
+    if not enabled:
+        return
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)

@@ -101,6 +101,13 @@ class AcquisitionFailed(PermanentError):
     input was lost or undecodable)."""
 
 
+class DurabilityError(PermanentError):
+    """Durable state on disk is unusable (bad magic, failed CRC in a
+    checkpoint body, unsupported format version).  A torn WAL *tail* is
+    not an error — recovery truncates it — but corruption anywhere a
+    completed commit should live is."""
+
+
 def is_transient(error: BaseException) -> bool:
     """True when ``error`` carries the :class:`Transient` marker.
 

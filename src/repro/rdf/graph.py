@@ -219,6 +219,10 @@ class Graph(TripleReader):
         # in place.
         self._shared = False
         self._cached_snapshot: Optional["GraphSnapshot"] = None
+        # Durability hook: when a repro.durable.GraphJournal is
+        # attached here, every successful mutation is recorded for the
+        # write-ahead log (None = no journaling, zero overhead).
+        self._journal = None
 
     # -- snapshots ---------------------------------------------------------
 
@@ -288,6 +292,8 @@ class Graph(TripleReader):
         self._osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
         self._size += 1
         self._generation += 1
+        if self._journal is not None:
+            self._journal.record_add(s, p, o)
         return True
 
     def add_all(self, triples) -> int:
@@ -335,12 +341,20 @@ class Graph(TripleReader):
                 del self._osp[oi]
         self._size -= 1
         self._generation += 1
+        if self._journal is not None:
+            self._journal.record_remove(s, p, o)
 
     def clear(self) -> None:
-        # Fresh structures; live snapshots keep the old ones.
+        # Fresh structures; live snapshots keep the old ones.  The
+        # journal survives the reset — a clear is itself a journaled
+        # mutation, not a detach.
         generation = self._generation
+        journal = self._journal
         self.__init__()
         self._generation = generation + 1
+        self._journal = journal
+        if journal is not None:
+            journal.record_clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Graph with {self._size} triples>"

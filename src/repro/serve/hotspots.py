@@ -114,6 +114,11 @@ def query_hotspots(
                 },
             )
         )
+    # Deterministic output: result-row order reflects index iteration
+    # order, which differs between an organically-built store and one
+    # recovered from checkpoint + WAL replay.  Sorting by hotspot URI
+    # makes equal stores serve byte-identical collections.
+    features.sort(key=lambda f: f["properties"]["hotspot"])
     collection = feature_collection(features)
     # Provenance: which frozen state answered this request.  A client
     # polling /hotspots can assert these never move backwards.

@@ -55,12 +55,20 @@ class PublishedSnapshot:
 
 
 class SnapshotPublisher:
-    """Single-writer / many-reader atomic snapshot hand-off."""
+    """Single-writer / many-reader atomic snapshot hand-off.
 
-    def __init__(self) -> None:
+    ``start_sequence`` seeds the sequence counter: a recovered service
+    passes the highest sequence readers may already have observed
+    before the crash, so publication numbering stays monotonic across
+    process restarts (a polling reader never sees it regress).
+    """
+
+    def __init__(self, start_sequence: int = 0) -> None:
+        if start_sequence < 0:
+            raise ValueError("start_sequence must be >= 0")
         self._lock = threading.Lock()
         self._latest: Optional[PublishedSnapshot] = None
-        self._sequence = 0
+        self._sequence = start_sequence
         self._changed = threading.Condition(self._lock)
 
     def publish(

@@ -150,6 +150,23 @@ class Strabon:
     def size(self) -> int:
         return len(self.graph)
 
+    def reset_derived(self) -> None:
+        """Drop every structure derived from graph *content*.
+
+        Called after crash recovery rebuilds the graph wholesale
+        (checkpoint load + WAL replay): the R-tree, the candidate memo
+        and the memoised snapshot view key on generation counters that
+        restart in a recovered process, so they must be rebuilt from
+        the recovered state rather than trusted.  The parsed-plan cache
+        survives — it is keyed on query text alone.
+        """
+        self._rtree = None
+        self._rtree_generation = -1
+        self._candidate_cache.clear()
+        self._last_view = None
+        if self._inference is not None:
+            self._inference = RDFSInference(self.graph)
+
     # -- spatial index ---------------------------------------------------------
 
     def _ensure_rtree(self) -> Optional[RTree]:

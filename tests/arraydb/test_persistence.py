@@ -1,4 +1,7 @@
-"""Catalog save/load round trips."""
+"""Catalog save/load round trips — and manifest tamper resistance."""
+
+import json
+import os
 
 import numpy as np
 import pytest
@@ -72,6 +75,20 @@ class TestRoundtrip:
         with pytest.raises(ArrayDBError):
             load_catalog(str(tmp_path))
 
+    def test_loads_never_unpickle(self, populated_db, tmp_path, monkeypatch):
+        """The loader must pass allow_pickle=False on every np.load."""
+        save_catalog(populated_db, str(tmp_path))
+        real_load = np.load
+        seen = []
+
+        def spying_load(*args, **kwargs):
+            seen.append(kwargs.get("allow_pickle", "missing"))
+            return real_load(*args, **kwargs)
+
+        monkeypatch.setattr(np, "load", spying_load)
+        load_catalog(str(tmp_path))
+        assert seen and all(flag is False for flag in seen)
+
     def test_vault_attachment_remembered(self, tmp_path):
         from datetime import datetime, timezone
 
@@ -98,3 +115,85 @@ class TestRoundtrip:
         assert restored.vault.is_attached("scene")
         r = restored.execute("SELECT COUNT(*) AS n FROM scene")
         assert r.to_dicts() == [{"n": 16}]
+
+
+class TestTamperedManifest:
+    """The manifest is plain JSON anyone can edit — a tampered one must
+    fail with a clean :class:`ArrayDBError`, never escape the catalog
+    directory and never unpickle anything."""
+
+    def _rewrite(self, directory, mutate):
+        path = os.path.join(str(directory), "catalog.json")
+        with open(path) as f:
+            manifest = json.load(f)
+        mutate(manifest)
+        with open(path, "w") as f:
+            json.dump(manifest, f)
+
+    @pytest.mark.parametrize(
+        "filename",
+        [
+            "/etc/passwd",
+            "../outside.npz",
+            "sub/dir.npz",
+            "..",
+            ".",
+            "",
+            None,
+        ],
+    )
+    def test_escaping_file_names_rejected(
+        self, populated_db, tmp_path, filename
+    ):
+        save_catalog(populated_db, str(tmp_path))
+        self._rewrite(
+            tmp_path,
+            lambda m: m["objects"][0].__setitem__("file", filename),
+        )
+        with pytest.raises(ArrayDBError):
+            load_catalog(str(tmp_path))
+
+    def test_missing_bundle_is_a_clean_error(
+        self, populated_db, tmp_path
+    ):
+        save_catalog(populated_db, str(tmp_path))
+        self._rewrite(
+            tmp_path,
+            lambda m: m["objects"][0].__setitem__("file", "ghost.npz"),
+        )
+        with pytest.raises(ArrayDBError, match="ghost.npz"):
+            load_catalog(str(tmp_path))
+
+    def test_garbage_bundle_is_a_clean_error(
+        self, populated_db, tmp_path
+    ):
+        save_catalog(populated_db, str(tmp_path))
+        with open(tmp_path / "obs.npz", "wb") as f:
+            f.write(b"this is not an npz archive")
+        with pytest.raises(ArrayDBError, match="obs"):
+            load_catalog(str(tmp_path))
+
+    def test_pickled_payload_is_refused_not_executed(
+        self, populated_db, tmp_path
+    ):
+        """A manifest pointing at a pickle bomb raises instead of
+        executing it (np.load with allow_pickle=False refuses object
+        arrays)."""
+        save_catalog(populated_db, str(tmp_path))
+        bomb = tmp_path / "obs.npz"
+
+        class Boom:
+            def __reduce__(self):
+                return (os.system, ("true",))
+
+        np.savez(bomb, values_station=np.array([Boom()], dtype=object))
+        with pytest.raises(ArrayDBError):
+            load_catalog(str(tmp_path))
+
+    def test_unsupported_version_rejected(self, populated_db, tmp_path):
+        save_catalog(populated_db, str(tmp_path))
+        self._rewrite(
+            tmp_path, lambda m: m.__setitem__("version", 99)
+        )
+        with pytest.raises(ArrayDBError, match="version"):
+            load_catalog(str(tmp_path))

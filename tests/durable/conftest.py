@@ -1,0 +1,38 @@
+"""Fixtures for the durability suite.
+
+The crash matrix forks one child per cell, and every child rebuilds a
+full service from scratch, so the geography here is deliberately the
+cheapest deterministic one (``detail=1``) rather than the session-wide
+``detail=2`` fixture the integration tests share.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.datasets import SyntheticGreece
+from repro.seviri.fires import FireSeason
+
+CRISIS_START = datetime(2007, 8, 24, tzinfo=timezone.utc)
+
+#: Acquisitions per crash-matrix run (the crash lands during the
+#: second one's commit cycle; the third exercises resume).
+N_ACQUISITIONS = 3
+
+
+@pytest.fixture(scope="package")
+def durable_greece() -> SyntheticGreece:
+    return SyntheticGreece(seed=42, detail=1)
+
+
+@pytest.fixture(scope="package")
+def durable_season(durable_greece) -> FireSeason:
+    return FireSeason(durable_greece, CRISIS_START, days=1, seed=7)
+
+
+@pytest.fixture(scope="package")
+def acquisition_requests():
+    base = CRISIS_START + timedelta(hours=13)
+    return [base + timedelta(minutes=15 * k) for k in range(N_ACQUISITIONS)]

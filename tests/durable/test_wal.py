@@ -1,0 +1,189 @@
+"""The write-ahead log: framing, replay, torn tails, numbering."""
+
+from __future__ import annotations
+
+import os
+import random
+import struct
+
+import pytest
+
+from repro.durable.wal import (
+    _FRAME,
+    _HEADER,
+    REC_BATCH,
+    WriteAheadLog,
+    batch_payload,
+    split_batch_payload,
+)
+from repro.errors import DurabilityError
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+def test_append_replay_roundtrip(wal_path):
+    payloads = [b"", b"alpha", b"\x00" * 100, "Ηλεία".encode("utf-8")]
+    with WriteAheadLog(wal_path, fsync="never") as wal:
+        seqs = [wal.append(p) for p in payloads]
+    assert seqs == [1, 2, 3, 4]
+    reopened = WriteAheadLog(wal_path, fsync="never")
+    try:
+        records = reopened.replayed
+        assert [r.payload for r in records] == payloads
+        assert [r.seq for r in records] == seqs
+        assert all(r.kind == REC_BATCH for r in records)
+        assert reopened.last_seq == 4
+        assert reopened.truncated_bytes == 0
+        # Appends continue the numbering after a replayed open.
+        assert reopened.append(b"next") == 5
+    finally:
+        reopened.close()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_torn_tail_is_truncated_at_any_cut(wal_path, seed):
+    """Chopping the file anywhere inside the last record loses exactly
+    that record; everything before it replays intact."""
+    rng = random.Random(seed)
+    payloads = [
+        bytes(rng.getrandbits(8) for _ in range(rng.randrange(1, 60)))
+        for _ in range(4)
+    ]
+    with WriteAheadLog(wal_path, fsync="never") as wal:
+        offsets = [wal.size_bytes()]
+        for p in payloads:
+            wal.append(p)
+            offsets.append(wal.size_bytes())
+    # Cut somewhere strictly inside the final record.
+    cut = rng.randrange(offsets[-2] + 1, offsets[-1])
+    with open(wal_path, "r+b") as fh:
+        fh.truncate(cut)
+    reopened = WriteAheadLog(wal_path, fsync="never")
+    try:
+        assert [r.payload for r in reopened.replayed] == payloads[:-1]
+        assert reopened.truncated_bytes == cut - offsets[-2]
+        assert reopened.last_seq == len(payloads) - 1
+        assert os.path.getsize(wal_path) == offsets[-2]
+        # The tail is reusable: the lost sequence number is reissued.
+        assert reopened.append(b"replacement") == len(payloads)
+    finally:
+        reopened.close()
+
+
+def test_corrupt_middle_record_stops_replay_conservatively(wal_path):
+    with WriteAheadLog(wal_path, fsync="never") as wal:
+        wal.append(b"first")
+        start_second = wal.size_bytes()
+        wal.append(b"second")
+        wal.append(b"third")
+    # Flip one payload byte of the middle record.
+    with open(wal_path, "r+b") as fh:
+        fh.seek(start_second + _FRAME.size)
+        byte = fh.read(1)
+        fh.seek(start_second + _FRAME.size)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    reopened = WriteAheadLog(wal_path, fsync="never")
+    try:
+        # Nothing at or after the first bad CRC is trusted.
+        assert [r.payload for r in reopened.replayed] == [b"first"]
+        assert reopened.last_seq == 1
+    finally:
+        reopened.close()
+
+
+def test_bad_magic_raises(wal_path):
+    with open(wal_path, "wb") as fh:
+        fh.write(b"NOTAWAL!" + b"\x00" * 12)
+    with pytest.raises(DurabilityError):
+        WriteAheadLog(wal_path, fsync="never")
+
+
+def test_headerless_stub_is_a_torn_tail(wal_path):
+    # Crash after create but before the header landed.
+    with open(wal_path, "wb") as fh:
+        fh.write(b"REPR")
+    wal = WriteAheadLog(wal_path, fsync="never")
+    try:
+        assert wal.replayed == []
+        assert wal.truncated_bytes == 4
+        assert wal.append(b"fresh") == 1
+    finally:
+        wal.close()
+
+
+def test_reset_carries_numbering_in_the_header(wal_path):
+    with WriteAheadLog(wal_path, fsync="never") as wal:
+        for _ in range(3):
+            wal.append(b"x")
+        wal.reset()
+        assert wal.base_seq == 3
+        assert wal.size_bytes() == _HEADER.size
+        assert wal.append(b"after") == 4
+    reopened = WriteAheadLog(wal_path, fsync="never")
+    try:
+        assert reopened.base_seq == 3
+        assert [r.seq for r in reopened.replayed] == [4]
+    finally:
+        reopened.close()
+
+
+def test_invalid_fsync_policy_rejected(wal_path):
+    with pytest.raises(DurabilityError):
+        WriteAheadLog(wal_path, fsync="sometimes")
+
+
+def test_fsync_policies_all_produce_identical_files(tmp_path):
+    files = {}
+    for policy in ("always", "commit", "never"):
+        path = str(tmp_path / f"{policy}.log")
+        with WriteAheadLog(path, fsync=policy) as wal:
+            wal.append(b"one")
+            wal.append(b"two")
+            wal.sync()
+        with open(path, "rb") as fh:
+            files[policy] = fh.read()
+    assert files["always"] == files["commit"] == files["never"]
+
+
+def test_garbage_length_field_stops_replay(wal_path):
+    with WriteAheadLog(wal_path, fsync="never") as wal:
+        wal.append(b"good")
+        end = wal.size_bytes()
+    # Append a frame claiming a multi-GB payload.
+    with open(wal_path, "r+b") as fh:
+        fh.seek(end)
+        fh.write(_FRAME.pack((1 << 30) + 1, 2, REC_BATCH, 0))
+    reopened = WriteAheadLog(wal_path, fsync="never")
+    try:
+        assert [r.payload for r in reopened.replayed] == [b"good"]
+        assert reopened.truncated_bytes == _FRAME.size
+    finally:
+        reopened.close()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_batch_payload_roundtrip_randomized(seed):
+    rng = random.Random(seed)
+    meta = {
+        "committed": rng.randrange(1000),
+        "timestamp": "2007-08-24T13:00:00+00:00",
+        "status": rng.choice(["ok", "degraded", "Πλήρης"]),
+    }
+    ops = bytes(rng.getrandbits(8) for _ in range(rng.randrange(0, 200)))
+    out_meta, out_ops = split_batch_payload(batch_payload(meta, ops))
+    assert out_meta == meta
+    assert out_ops == ops
+    # Empty metadata round-trips to an empty dict.
+    assert split_batch_payload(batch_payload(None, b"ops"))[0] == {}
+
+
+def test_batch_payload_truncation_raises():
+    payload = batch_payload({"k": "v"}, b"tail")
+    with pytest.raises(DurabilityError):
+        split_batch_payload(payload[:2])
+    (meta_len,) = struct.unpack_from("<I", payload, 0)
+    with pytest.raises(DurabilityError):
+        split_batch_payload(payload[: 4 + meta_len - 1])
