@@ -9,8 +9,9 @@ threshold.  Usage::
         [--baseline benchmarks/out] [--threshold 0.25]
 
 Watched metrics are dotted paths into each artifact, each with a
-direction (``higher`` / ``lower`` is better) and an optional per-metric
-threshold.  Ratio-style metrics (speedups, hit ratios, error counts)
+direction (``higher`` / ``lower`` is better, or ``absolute`` — the
+current value itself must not exceed the threshold, no baseline
+involved) and an optional per-metric threshold.  Ratio-style metrics (speedups, hit ratios, error counts)
 use the strict default threshold; absolute wall-clock metrics carry a
 wider one, because the committed baselines come from a different
 machine than the CI runner and only *gross* regressions there are
@@ -54,6 +55,14 @@ WATCHED = {
     "BENCH_obs.json": [
         ("deadline.miss_ratio", "lower", None),
         ("stages.acquisition/total.p50_s", "lower", TIMING_THRESHOLD),
+        # The tracing acceptance bar: p50 per-acquisition overhead with
+        # tracing on must stay under 5% of the tracing-off latency.
+        ("tracing.overhead_p50_ratio", "absolute", 0.05),
+        (
+            "tracing.span_throughput_per_s",
+            "higher",
+            TIMING_THRESHOLD,
+        ),
     ],
     "BENCH_serve.json": [
         ("read_scaling.speedup", "higher", None),
@@ -144,6 +153,28 @@ def check(
             threshold = (
                 default_threshold if threshold is None else threshold
             )
+            if direction == "absolute":
+                cur = resolve(current_payload, path)
+                if cur is None:
+                    rows.append(
+                        (filename, path, "-", "-", "-", "MISSING")
+                    )
+                    failures += 1
+                    continue
+                regressed = cur > threshold
+                if regressed:
+                    failures += 1
+                rows.append(
+                    (
+                        filename,
+                        f"{path} (<= {_fmt(threshold)})",
+                        "-",
+                        _fmt(cur),
+                        "-",
+                        "REGRESSED" if regressed else "ok",
+                    )
+                )
+                continue
             base = resolve(baseline_payload, path)
             cur = resolve(current_payload, path)
             if base is None:

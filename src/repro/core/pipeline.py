@@ -68,7 +68,7 @@ from repro.core.config import FaultPolicy, RunOptions
 from repro.errors import WorkerCrashError, is_transient
 from repro.faults import FaultPlan, active_plan
 from repro.faults.plan import _install as _install_plan
-from repro.obs import get_metrics, get_tracer
+from repro.obs import context_of, get_metrics, get_tracer
 from repro.perf import get_config
 
 _log = logging.getLogger(__name__)
@@ -159,7 +159,7 @@ def _init_process_worker(spec: _WorkerSpec) -> None:
     _install_plan(spec.fault_plan)
 
 
-def _process_stage(index: int, item, attempt: int):
+def _process_stage(index: int, item, attempt: int, ctx=None):
     global _CHAIN
     assert _SPEC is not None, "worker used before initialisation"
     if _SPEC.kill_specs(index, attempt):
@@ -168,7 +168,22 @@ def _process_stage(index: int, item, attempt: int):
         os._exit(3)
     if _CHAIN is None:
         _CHAIN = _SPEC.make_chain()
-    return _SPEC.stage_one(_CHAIN, index, item, attempt)
+    if ctx is None or not _tracer.enabled:
+        return _SPEC.stage_one(_CHAIN, index, item, attempt)
+    # The worker's spans re-root under the acquisition's TraceContext
+    # (the fork hook already cleared any inherited stack) and travel
+    # home on the result for the parent tracer to adopt.
+    with _tracer.use_context(ctx):
+        with _tracer.span(
+            "pipeline.chain",
+            stage="chain",
+            worker_pid=os.getpid(),
+            index=index,
+            attempt=attempt,
+        ):
+            result = _SPEC.stage_one(_CHAIN, index, item, attempt)
+    result.spans = _tracer.drain_records()
+    return result
 
 
 @dataclass
@@ -179,6 +194,11 @@ class _Entry:
     item: object
     attempt: int
     future: Future
+    #: Parent-owned root span for the whole acquisition (opened at
+    #: enqueue, closed when stage two finishes) and its wire-form
+    #: identity propagated to the worker.  ``None`` when tracing is off.
+    root: object = None
+    ctx: object = None
 
 
 class PipelinedExecutor:
@@ -280,7 +300,7 @@ class PipelinedExecutor:
             ).inc()
         return self._pool
 
-    def _thread_stage(self, index: int, item, attempt: int):
+    def _thread_stage(self, index: int, item, attempt: int, ctx=None):
         """Stage one on a worker thread (fallback worker kind)."""
         spec = self._pool_spec
         assert spec is not None
@@ -295,17 +315,32 @@ class PipelinedExecutor:
         if chain is None:
             chain = spec.make_chain()
             self._thread_state.chain = chain
-        with _tracer.span("pipeline.chain", stage="chain"):
-            return spec.stage_one(chain, index, item, attempt)
+        # Worker threads share the parent tracer: attach the context so
+        # spans land in the right trace, but never drain — that would
+        # steal concurrently finished spans from other threads.
+        with _tracer.use_context(ctx):
+            with _tracer.span(
+                "pipeline.chain", stage="chain", index=index,
+                attempt=attempt,
+            ):
+                return spec.stage_one(chain, index, item, attempt)
 
     def _submit(self, pool, entry: _Entry) -> _Entry:
         if self.worker_kind == "process":
             entry.future = pool.submit(
-                _process_stage, entry.index, entry.item, entry.attempt
+                _process_stage,
+                entry.index,
+                entry.item,
+                entry.attempt,
+                entry.ctx,
             )
         else:
             entry.future = pool.submit(
-                self._thread_stage, entry.index, entry.item, entry.attempt
+                self._thread_stage,
+                entry.index,
+                entry.item,
+                entry.attempt,
+                entry.ctx,
             )
         return entry
 
@@ -359,17 +394,19 @@ class PipelinedExecutor:
                     continue
                 pending.popleft()
                 if self.on_error == "raise":
+                    _tracer.finish(
+                        entry.root,
+                        error=f"{type(error).__name__}: {error}",
+                    )
                     raise
-                outcomes.append(
-                    self.service._fail(entry.item, error, state)
-                )
+                outcomes.append(self._fail_entry(entry, error, state))
                 self._refill(iterator, pending)
                 continue
             pending.popleft()
             # Refill before refining so workers stay busy while this
             # thread runs stage two.
             self._refill(iterator, pending)
-            outcomes.append(self.service._stage_two(result, state))
+            outcomes.append(self._finish_entry(entry, result, state))
         _log.debug(
             "pipelined executor finished %d acquisition(s) "
             "(%d %s worker(s), depth %d)",
@@ -380,8 +417,41 @@ class PipelinedExecutor:
         )
         return outcomes
 
+    def _finish_entry(self, entry: _Entry, result, state):
+        """Stage two for one completed entry, stitched into its trace."""
+        if getattr(result, "spans", None):
+            _tracer.adopt(result.spans)
+        if entry.root is None:
+            return self.service._stage_two(result, state)
+        with _tracer.use_context(entry.ctx):
+            outcome = self.service._stage_two(result, state, entry.root)
+        _tracer.finish(entry.root)
+        self.service._account_outcome(outcome)
+        return outcome
+
+    def _fail_entry(self, entry: _Entry, error: BaseException, state):
+        """Account a permanent failure under the entry's root span."""
+        if entry.root is None:
+            return self.service._fail(entry.item, error, state)
+        with _tracer.use_context(entry.ctx):
+            outcome = self.service._failure_outcome(
+                entry.item, error, entry.root
+            )
+        _tracer.finish(
+            entry.root, error=f"{type(error).__name__}: {error}"
+        )
+        self.service._account_outcome(outcome)
+        return outcome
+
     def _enqueue(self, pending: Deque[_Entry], entry: _Entry) -> None:
         """Track + submit one entry, surviving a broken pool."""
+        if _tracer.enabled and entry.root is None:
+            # The acquisition's root span lives in the parent; only its
+            # TraceContext crosses into the worker.
+            entry.root = _tracer.begin(
+                "acquisition", mode=self.service.mode, pipelined=True
+            )
+            entry.ctx = context_of(entry.root)
         pending.append(entry)
         try:
             self._submit(self._ensure_pool(), entry)

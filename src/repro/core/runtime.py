@@ -100,6 +100,10 @@ class StageOneResult:
     #: guard work — what the budget decision in stage two is based on
     #: (``product.processing_seconds`` covers only the chain proper).
     stage_seconds: float = 0.0
+    #: Span records (``Span.to_dict()``) collected in the worker process
+    #: that ran this stage, shipped home for the parent tracer to adopt
+    #: (empty when tracing is off or the stage ran in-process).
+    spans: List[dict] = field(default_factory=list)
 
 
 def resolve_request(

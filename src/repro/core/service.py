@@ -54,7 +54,16 @@ from repro.datasets import SyntheticGreece, load_auxiliary_data
 from repro.durable import crashpoints
 from repro.errors import ServiceStateError
 from repro.faults import CircuitBreaker, DeadLetterBox, RetryPolicy
-from repro.obs import AcquisitionBudget, get_metrics, get_tracer
+from repro.obs import (
+    AcquisitionBudget,
+    SloEngine,
+    TraceContext,
+    context_of,
+    get_flight_recorder,
+    get_metrics,
+    get_tracer,
+)
+from repro.obs import flightrec as _flightrec
 from repro.seviri.fires import FireSeason
 from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
 from repro.seviri.hrit import write_hrit_segments
@@ -116,6 +125,15 @@ class AcquisitionOutcome:
     #: Wall seconds of the whole first stage (synthesis/ingest + guard +
     #: chain) — what the stage-two budget decision was based on.
     stage_one_seconds: float = 0.0
+    #: Distributed-trace identity of the acquisition's root span
+    #: (``None`` when tracing was off) — carries the trace through the
+    #: publish path after the root span has closed.
+    trace_context: Optional[TraceContext] = None
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        ctx = self.trace_context
+        return None if ctx is None else ctx.trace_id
 
     @property
     def ok(self) -> bool:
@@ -264,6 +282,14 @@ class FireMonitoringService:
         #: Full-refinement wall times driving the "can stage two still
         #: fit the window?" estimate.
         self._refine_history: List[float] = []
+        #: Rolling error-budget accounting for the 300 s acquisition
+        #: budget and the serving-latency objective (the HTTP tier
+        #: records into the same engine).
+        self.slo = SloEngine(metrics=_metrics)
+        self.slo.on_alert.append(self._on_slo_alert)
+        #: Summary of the flight-recorder dump a previous crash left
+        #: behind (``None`` on a clean start); surfaced in health().
+        self._crash_report: Optional[Dict[str, object]] = None
         #: Durable state (``repro.durable``), populated by
         #: :meth:`_open_durable` when the config names a ``state_dir``.
         self.durable = None
@@ -320,6 +346,7 @@ class FireMonitoringService:
         self._service_state_path = os.path.join(
             state_dir, "service.json"
         )
+        self._open_flight_recorder(state_dir)
         durable_dir = os.path.join(state_dir, "durable")
         fresh = not DurableStore.exists(durable_dir)
         with _tracer.span("durable.open", fresh=fresh):
@@ -401,6 +428,51 @@ class FireMonitoringService:
             "fresh" if fresh else "recovered",
             committed,
             self.publisher.sequence,
+        )
+
+    def _open_flight_recorder(self, state_dir: str) -> None:
+        """Point the flight recorder at ``state_dir/flightrec/`` and
+        surface the dump a previous crash may have left there."""
+        recorder = get_flight_recorder()
+        recorder.configure(os.path.join(state_dir, "flightrec"))
+        dump = _flightrec.latest_dump(recorder.dump_dir)
+        if dump is None:
+            return
+        events = dump.get("events", [])
+        last = events[-1] if events else None
+        self._crash_report = {
+            "path": dump.get("path"),
+            "reason": dump.get("reason"),
+            "pid": dump.get("pid"),
+            "dumped_at": dump.get("dumped_at"),
+            "events": len(events),
+            "last_event": (
+                None
+                if last is None
+                else {
+                    "kind": last.get("kind"),
+                    "name": last.get("name"),
+                    "trace_id": last.get("trace_id"),
+                }
+            ),
+        }
+        with _tracer.span(
+            "flightrec.recovered",
+            reason=str(dump.get("reason")),
+            events=len(events),
+        ):
+            recorder.record(
+                "recovery",
+                "flightrec.loaded",
+                reason=dump.get("reason"),
+                path=dump.get("path"),
+            )
+        _log.warning(
+            "previous crash left flight-recorder dump %s (reason=%s, "
+            "%d event(s))",
+            dump.get("path"),
+            dump.get("reason"),
+            len(events),
         )
 
     def _save_service_state(self, reserve_publish: bool = False) -> None:
@@ -665,6 +737,7 @@ class FireMonitoringService:
             sensor=sensor or "",
             status="error",
             errors=[f"{type(error).__name__}: {error}"],
+            trace_context=context_of(root),
         )
         root.set(status="error", error=type(error).__name__)
         _log.error(
@@ -711,6 +784,7 @@ class FireMonitoringService:
             chain_seconds=product.processing_seconds,
             stage_one_seconds=result.stage_seconds,
             errors=list(result.notes.reasons),
+            trace_context=context_of(root),
         )
         degraded = result.notes.degraded
         with _tracer.span("stage.refine", hotspots=len(product)):
@@ -788,7 +862,32 @@ class FireMonitoringService:
             self._count_degradation("refinement-truncated")
         return full
 
+    def _on_slo_alert(self, alert: Dict[str, object]) -> None:
+        """Structured alert sink: log + flight recorder."""
+        get_flight_recorder().record(
+            "alert",
+            f"slo.{alert['slo']}",
+            trace_id=alert.get("trace_id"),
+            state=alert["state"],
+            short_burn_rate=alert["short_burn_rate"],
+            long_burn_rate=alert["long_burn_rate"],
+        )
+        log = (
+            _log.warning
+            if alert["state"] == "burning"
+            else _log.info
+        )
+        log(
+            "SLO %s %s (burn rate short=%.2f long=%.2f, threshold %.2f)",
+            alert["slo"],
+            alert["state"],
+            alert["short_burn_rate"],
+            alert["long_burn_rate"],
+            alert["threshold"],
+        )
+
     def _count_degradation(self, reason: str) -> None:
+        get_flight_recorder().record("degradation", reason)
         if _metrics.enabled:
             _metrics.counter(
                 "acquisitions_degraded_total",
@@ -821,13 +920,35 @@ class FireMonitoringService:
         # published nothing, so it is deliberately not committed: a
         # restart reprocesses it, deterministically failing again.
         if self.publisher is not None and outcome.status != "error":
-            self._durable_commit(outcome)
-            self.publisher.publish(
-                self.strabon, timestamp=outcome.timestamp
-            )
-            if self.durable is not None:
-                crashpoints.crash("commit.post-publish")
-                self.durable.maybe_checkpoint()
+            # The acquisition's root span has already closed; the
+            # ambient context re-parents the publish span (and the
+            # durable-commit span inside it) into the same trace.
+            with _tracer.use_context(outcome.trace_context):
+                with _tracer.span(
+                    "service.publish",
+                    sequence=self.publisher.sequence + 1,
+                ):
+                    self._durable_commit(outcome)
+                    self.publisher.publish(
+                        self.strabon,
+                        timestamp=outcome.timestamp,
+                        trace_id=outcome.trace_id,
+                    )
+                    if self.durable is not None:
+                        crashpoints.crash("commit.post-publish")
+                        self.durable.maybe_checkpoint()
+        self.slo.record(
+            "acquisition-budget",
+            outcome.status != "error" and outcome.within_budget,
+            trace_id=outcome.trace_id,
+        )
+        get_flight_recorder().record(
+            "acquisition",
+            str(outcome.timestamp),
+            trace_id=outcome.trace_id,
+            status=outcome.status,
+            within_budget=outcome.within_budget,
+        )
         if _metrics.enabled:
             status_gauge = _metrics.gauge(
                 "service_outcomes",
@@ -850,6 +971,7 @@ class FireMonitoringService:
             histogram.observe(
                 outcome.chain_seconds + outcome.refinement_seconds,
                 stage="total",
+                exemplar=outcome.trace_id,
             )
             if not outcome.within_budget:
                 _metrics.counter(
@@ -1011,6 +1133,7 @@ class FireMonitoringService:
             "circuit_breaker": breaker_state,
             "dead_letters": dead,
             "deadline_misses": self.budget.misses(),
+            "slo": self.slo.status(),
         }
         if self.publisher is not None:
             latest = self.publisher.latest()
@@ -1045,6 +1168,7 @@ class FireMonitoringService:
                 ),
                 "resume_skipped": self._resume_skipped,
                 "wal": self.durable.stats(),
+                "flight_recorder": self._crash_report,
             }
         if _metrics.enabled:
             _metrics.gauge(

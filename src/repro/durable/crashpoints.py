@@ -121,9 +121,30 @@ def fire(name: str) -> bool:
 def crash(name: str) -> None:
     """Abort the process here when ``name`` is armed and due."""
     if fire(name):
-        die()
+        die(site=name)
 
 
-def die() -> None:
-    """The abort itself — skips all interpreter teardown."""
+def die(site: Optional[str] = None) -> None:
+    """The abort itself — skips all interpreter teardown.
+
+    Before exiting, the flight recorder gets one final ``crash`` event
+    naming the site and dumps its ring to ``state_dir/flightrec/`` —
+    best-effort (a failed dump never blocks the abort), but the atomic
+    tmp-write + rename means any dump that exists is complete, with the
+    crash event as its last entry.
+    """
+    try:
+        from repro.obs.flightrec import get_flight_recorder
+
+        recorder = get_flight_recorder()
+        recorder.record(
+            "crash",
+            site if site is not None else "<unnamed>",
+            pid=os.getpid(),
+        )
+        recorder.dump(
+            f"crashpoint:{site}" if site is not None else "crash"
+        )
+    except Exception:  # noqa: BLE001 - dying is the contract
+        pass
     os._exit(CRASH_EXIT)

@@ -262,7 +262,7 @@ class DurableStore:
                     fh.write(header)
                     fh.write(body[: len(body) // 2])
                     fh.flush()
-                    crashpoints.die()
+                    crashpoints.die(site="graph-checkpoint.torn")
                 fh.write(header)
                 fh.write(body)
                 fh.flush()
@@ -427,7 +427,7 @@ def save_service_state(
         if crashpoints.fire("service-checkpoint.torn"):
             fh.write(payload[: len(payload) // 2])
             fh.flush()
-            crashpoints.die()
+            crashpoints.die(site="service-checkpoint.torn")
         fh.write(payload)
         fh.flush()
         if fsync:

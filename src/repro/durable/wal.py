@@ -167,7 +167,7 @@ class WriteAheadLog:
             self._fh.write(frame)
             self._fh.write(payload[: len(payload) // 2])
             self._fh.flush()
-            crashpoints.die()
+            crashpoints.die(site="wal.append.torn")
         self._fh.write(frame)
         self._fh.write(payload)
         self._fh.flush()

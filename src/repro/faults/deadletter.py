@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass
 from datetime import datetime, timezone
 from typing import List, Optional
 
-from repro.obs import get_metrics
+from repro.obs import get_flight_recorder, get_metrics
 
 _log = logging.getLogger(__name__)
 _metrics = get_metrics()
@@ -85,6 +85,13 @@ class DeadLetterBox:
                 "dead_letter_total",
                 "Input files quarantined with a reason record",
             ).inc(reason=reason)
+        get_flight_recorder().record(
+            "deadletter",
+            reason,
+            path=path,
+            site=site,
+            error=record.error,
+        )
         _log.warning(
             "dead-lettered %s (%s): %s", path, reason, record.error
         )

@@ -22,7 +22,7 @@ import time
 from typing import Any, Callable, Iterator, List, Optional, TypeVar
 
 from repro.errors import StageTimeoutError, is_transient
-from repro.obs import get_metrics
+from repro.obs import get_flight_recorder, get_metrics
 
 _log = logging.getLogger(__name__)
 _metrics = get_metrics()
@@ -268,6 +268,13 @@ class CircuitBreaker:
                 "circuit_breaker_transitions_total",
                 "Circuit-breaker state transitions",
             ).inc(circuit=self.name, to=new_state)
+        get_flight_recorder().record(
+            "breaker",
+            self.name,
+            from_state=old,
+            to_state=new_state,
+            consecutive_failures=self._consecutive_failures,
+        )
         self._publish_state()
 
     def _publish_state(self) -> None:

@@ -27,6 +27,7 @@ may safely bind them at import time.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Optional
 
 from repro.obs.budget import (
@@ -42,20 +43,32 @@ from repro.obs.export import (
     tree_report,
     write_spans_jsonl,
 )
+from repro.obs.flightrec import FlightRecorder, get_flight_recorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slo import SLO, SloEngine, default_service_slos
 from repro.obs.snapshot import (
     SNAPSHOT_SCHEMA,
     build_snapshot,
     validate_snapshot,
     write_snapshot,
 )
-from repro.obs.span import NULL_SPAN, NullSpan, Span, Tracer
+from repro.obs.span import NULL_SPAN, NullSpan, Span, Tracer, mint_trace_id
+from repro.obs.trace import TraceContext, context_of, recent_traces
 
 __all__ = [
     "Span",
     "NullSpan",
     "NULL_SPAN",
     "Tracer",
+    "TraceContext",
+    "context_of",
+    "mint_trace_id",
+    "recent_traces",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "SLO",
+    "SloEngine",
+    "default_service_slos",
     "Counter",
     "Gauge",
     "Histogram",
@@ -92,9 +105,37 @@ SPAN_FAILURES = "span_failures_total"
 # modules may bind them at import time.
 _TRACER = Tracer(enabled=False)
 _METRICS = MetricsRegistry(enabled=False)
-_TRACER.on_failure = lambda span: _METRICS.counter(
-    SPAN_FAILURES, "Spans that closed with an error"
-).inc(span=span.name)
+
+
+def _on_span_failure(span: Span) -> None:
+    _METRICS.counter(
+        SPAN_FAILURES, "Spans that closed with an error"
+    ).inc(span=span.name)
+    get_flight_recorder().record(
+        "error",
+        span.name,
+        trace_id=span.trace_id,
+        error=span.error,
+    )
+
+
+_TRACER.on_failure = _on_span_failure
+
+
+def _after_fork_in_child() -> None:
+    """Make the global tracer and flight recorder fork-safe.
+
+    A forked worker inherits the parent's thread-local span stack (its
+    new spans would mis-parent), span-id counter (ids would collide once
+    stitched) and flight-recorder ring (the parent's story, not the
+    child's).  Reset all three; the worker then re-roots its spans under
+    the :class:`TraceContext` propagated with its work items.
+    """
+    _TRACER.reset_after_fork()
+    get_flight_recorder().reset_after_fork()
+
+
+os.register_at_fork(after_in_child=_after_fork_in_child)
 
 
 def get_tracer() -> Tracer:

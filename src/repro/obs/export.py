@@ -81,6 +81,16 @@ def _escape_label(value: str) -> str:
     )
 
 
+def _escape_help(value: str) -> str:
+    # Per the exposition format, HELP text escapes backslash and newline
+    # (but not quotes).
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_items(labels: Dict[str, str]) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
 def _format_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
@@ -106,12 +116,16 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             metric["help"],
         )
         if help_text:
-            out.write(f"# HELP {name} {help_text}\n")
+            out.write(f"# HELP {name} {_escape_help(help_text)}\n")
         # Percentile summaries use the Prometheus "summary" type.
         out.write(
             f"# TYPE {name} "
             f"{'summary' if kind == 'histogram' else kind}\n"
         )
+        exemplars = {
+            _label_items(labels): entries
+            for labels, entries in metric.get("exemplars", [])
+        }
         for labels, value in metric["samples"]:
             if kind == "histogram":
                 summary: Dict[str, float] = value
@@ -126,9 +140,20 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                     f"{name}_sum{_format_labels(labels)} "
                     f"{_format_value(summary['sum'])}\n"
                 )
+                # Exemplars attach OpenMetrics-style to the _count line,
+                # linking this series to the trace of its newest sample.
+                suffix = ""
+                entries = exemplars.get(_label_items(labels))
+                if entries:
+                    newest = entries[-1]
+                    suffix = (
+                        f' # {{trace_id="'
+                        f'{_escape_label(newest["trace_id"])}"}} '
+                        f'{_format_value(newest["value"])}'
+                    )
                 out.write(
                     f"{name}_count{_format_labels(labels)} "
-                    f"{_format_value(summary['count'])}\n"
+                    f"{_format_value(summary['count'])}{suffix}\n"
                 )
             else:
                 out.write(

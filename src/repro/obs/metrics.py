@@ -152,12 +152,30 @@ class Histogram(_Instrument):
     #: label set records its first observation.
     max_observations = 100_000
 
+    #: Exemplars retained per label set (newest win) — enough to link a
+    #: scraped percentile back to a handful of recent traces.
+    max_exemplars = 8
+
     def __init__(self, name, help="", registry=None) -> None:
         super().__init__(name, help, registry)
         self._observations: Dict[LabelKey, Deque[float]] = {}
         self._total_counts: Dict[LabelKey, int] = {}
+        self._exemplars: Dict[LabelKey, Deque[Dict[str, Any]]] = {}
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self,
+        value: float,
+        *,
+        exemplar: Optional[str] = None,
+        **labels: Any,
+    ) -> None:
+        """Record one observation.
+
+        ``exemplar`` (keyword-only so it can never collide with a label
+        name) is a trace id linking this observation back to the trace
+        that produced it; the newest :attr:`max_exemplars` per label set
+        are kept and exported alongside the summary.
+        """
         if not self._enabled:
             return
         key = _label_key(labels)
@@ -168,6 +186,32 @@ class Histogram(_Instrument):
                 self._observations[key] = bucket
             bucket.append(float(value))
             self._total_counts[key] = self._total_counts.get(key, 0) + 1
+            if exemplar:
+                ring = self._exemplars.get(key)
+                if ring is None:
+                    ring = deque(maxlen=self.max_exemplars)
+                    self._exemplars[key] = ring
+                ring.append(
+                    {"trace_id": str(exemplar), "value": float(value)}
+                )
+
+    def exemplars(
+        self, **labels: Any
+    ) -> List[Dict[str, Any]]:
+        """Retained exemplars for one label set, oldest first."""
+        with self._lock:
+            return list(self._exemplars.get(_label_key(labels), ()))
+
+    def exemplar_samples(
+        self,
+    ) -> List[Tuple[Dict[str, str], List[Dict[str, Any]]]]:
+        """(labels, exemplars) for every label set that has any."""
+        with self._lock:
+            return [
+                (dict(k), list(v))
+                for k, v in sorted(self._exemplars.items())
+                if v
+            ]
 
     def count(self, **labels: Any) -> int:
         """Observations currently retained for one label set."""
@@ -210,6 +254,7 @@ class Histogram(_Instrument):
         with self._lock:
             self._observations.clear()
             self._total_counts.clear()
+            self._exemplars.clear()
 
 
 def _percentile(sorted_values: List[float], p: float) -> float:
@@ -302,15 +347,20 @@ class MetricsRegistry:
         """Snapshot of every instrument: name, kind, help, samples."""
         with self._lock:
             metrics = list(self._metrics.values())
-        return [
-            {
+        collected = []
+        for m in sorted(metrics, key=lambda m: m.name):
+            entry: Dict[str, Any] = {
                 "name": m.name,
                 "kind": m.kind,
                 "help": m.help,
                 "samples": m.samples(),  # type: ignore[attr-defined]
             }
-            for m in sorted(metrics, key=lambda m: m.name)
-        ]
+            if isinstance(m, Histogram):
+                exemplars = m.exemplar_samples()
+                if exemplars:
+                    entry["exemplars"] = exemplars
+            collected.append(entry)
+        return collected
 
     # -- state ------------------------------------------------------------
 

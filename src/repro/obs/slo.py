@@ -1,0 +1,278 @@
+"""Service-level objectives and error-budget burn rates.
+
+An :class:`SLO` states "fraction ``objective`` of events must be good"
+(e.g. 0.99 of acquisitions finish inside the 300 s SEVIRI budget).  The
+:class:`SloEngine` keeps a rolling window of (timestamp, good) events
+per SLO and computes the **burn rate** over short and long windows:
+
+    burn_rate(window) = bad_fraction(window) / (1 - objective)
+
+A burn rate of 1.0 consumes the error budget exactly as fast as the
+objective allows; sustained rates above the per-SLO threshold on *both*
+windows (the classic multi-window rule — the short window makes alerts
+fast, the long window makes them sticky against blips) flip the SLO to
+``burning`` and fire a structured alert event to every registered
+``on_alert`` callback; dropping below on both windows fires a
+``recovered`` event.
+
+The engine exports ``slo_burn_rate{slo,window}`` gauges and
+``slo_events_total`` / ``slo_alerts_total`` counters into the global
+registry, and its :meth:`status` dict is embedded in ``health()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SLO",
+    "SloEngine",
+    "ACQUISITION_SLO",
+    "SERVING_SLO",
+    "SERVE_LATENCY_SLO_S",
+    "default_service_slos",
+]
+
+#: Serving-latency objective threshold: a read must answer inside this
+#: many seconds to count as good (generous for the stdlib HTTP tier;
+#: the point is the budget math, not the absolute number).
+SERVE_LATENCY_SLO_S = 0.25
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective: ``objective`` fraction of events must be good."""
+
+    name: str
+    objective: float
+    description: str = ""
+    #: Fast window — catches active burns quickly.
+    short_window_s: float = 300.0
+    #: Slow window — keeps one blip from flapping the alert.
+    long_window_s: float = 3600.0
+    #: Both windows must burn faster than this to alert.
+    burn_rate_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+
+
+ACQUISITION_SLO = SLO(
+    name="acquisition-budget",
+    objective=0.99,
+    description=(
+        "Acquisitions complete (non-error) inside the 300 s SEVIRI "
+        "cycle budget"
+    ),
+)
+
+SERVING_SLO = SLO(
+    name="serving-latency",
+    objective=0.95,
+    description=(
+        f"HTTP reads answer non-5xx within {SERVE_LATENCY_SLO_S:g} s"
+    ),
+)
+
+
+def default_service_slos() -> List[SLO]:
+    return [ACQUISITION_SLO, SERVING_SLO]
+
+
+class SloEngine:
+    """Tracks events per SLO and computes rolling burn rates."""
+
+    #: Events retained per SLO (newest win) — a backstop far above what
+    #: the long window needs at realistic event rates.
+    max_events = 50_000
+
+    def __init__(
+        self,
+        slos: Optional[List[SLO]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics=None,
+    ) -> None:
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._slos: Dict[str, SLO] = {}
+        self._events: Dict[str, Deque[Tuple[float, bool]]] = {}
+        self._burning: Dict[str, bool] = {}
+        #: Alert callbacks, each called with one structured event dict.
+        self.on_alert: List[Callable[[Dict[str, Any]], None]] = []
+        #: Structured alert events, in firing order (bounded).
+        self.alerts: Deque[Dict[str, Any]] = deque(maxlen=256)
+        for slo in slos if slos is not None else default_service_slos():
+            self.register(slo)
+
+    def _metrics_on(self) -> bool:
+        """Export only when the registry exists *and* is enabled —
+        touching a disabled registry would still create empty metric
+        families, which the off-by-default contract forbids."""
+        return self._metrics is not None and getattr(
+            self._metrics, "enabled", True
+        )
+
+    def register(self, slo: SLO) -> None:
+        with self._lock:
+            self._slos[slo.name] = slo
+            self._events.setdefault(
+                slo.name, deque(maxlen=self.max_events)
+            )
+            self._burning.setdefault(slo.name, False)
+
+    def slos(self) -> List[SLO]:
+        with self._lock:
+            return list(self._slos.values())
+
+    # -- event intake ------------------------------------------------------
+
+    def record(
+        self, name: str, good: bool, trace_id: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Record one event; returns the alert fired, if any."""
+        now = self._clock()
+        with self._lock:
+            slo = self._slos.get(name)
+            if slo is None:
+                raise KeyError(f"unknown SLO {name!r}")
+            self._events[name].append((now, bool(good)))
+        if self._metrics_on():
+            self._metrics.counter(
+                "slo_events_total", "Events recorded per SLO"
+            ).inc(slo=name, good=str(bool(good)).lower())
+        return self._evaluate(slo, now, trace_id)
+
+    # -- burn-rate math ----------------------------------------------------
+
+    def _window_fractions(
+        self, name: str, now: float, window_s: float
+    ) -> Tuple[int, int]:
+        """(bad, total) event counts inside the trailing window."""
+        cutoff = now - window_s
+        bad = total = 0
+        with self._lock:
+            for t, good in self._events[name]:
+                if t < cutoff:
+                    continue
+                total += 1
+                if not good:
+                    bad += 1
+        return bad, total
+
+    def burn_rate(
+        self, name: str, window_s: float, now: Optional[float] = None
+    ) -> float:
+        """bad_fraction / error_budget over the trailing window.
+
+        0.0 when the window holds no events (no evidence of burning).
+        """
+        with self._lock:
+            slo = self._slos.get(name)
+            if slo is None:
+                raise KeyError(f"unknown SLO {name!r}")
+        bad, total = self._window_fractions(
+            name, self._clock() if now is None else now, window_s
+        )
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - slo.objective)
+
+    def budget_remaining(
+        self, name: str, now: Optional[float] = None
+    ) -> float:
+        """Fraction of the long-window error budget still unspent."""
+        with self._lock:
+            slo = self._slos.get(name)
+            if slo is None:
+                raise KeyError(f"unknown SLO {name!r}")
+        bad, total = self._window_fractions(
+            name,
+            self._clock() if now is None else now,
+            slo.long_window_s,
+        )
+        if total == 0:
+            return 1.0
+        budget = (1.0 - slo.objective) * total
+        return max(0.0, 1.0 - bad / budget) if budget > 0 else 0.0
+
+    # -- alerting ----------------------------------------------------------
+
+    def _evaluate(
+        self, slo: SLO, now: float, trace_id: Optional[str]
+    ) -> Optional[Dict[str, Any]]:
+        short = self.burn_rate(slo.name, slo.short_window_s, now=now)
+        long = self.burn_rate(slo.name, slo.long_window_s, now=now)
+        if self._metrics_on():
+            gauge = self._metrics.gauge(
+                "slo_burn_rate", "Error-budget burn rate per SLO window"
+            )
+            gauge.set(short, slo=slo.name, window="short")
+            gauge.set(long, slo=slo.name, window="long")
+        threshold = slo.burn_rate_threshold
+        burning = short >= threshold and long >= threshold
+        with self._lock:
+            was = self._burning[slo.name]
+            if burning == was:
+                return None
+            self._burning[slo.name] = burning
+        alert = {
+            "kind": "slo_alert",
+            "slo": slo.name,
+            "state": "burning" if burning else "recovered",
+            "short_burn_rate": round(short, 4),
+            "long_burn_rate": round(long, 4),
+            "threshold": threshold,
+            "trace_id": trace_id,
+        }
+        self.alerts.append(alert)
+        if self._metrics_on():
+            self._metrics.counter(
+                "slo_alerts_total", "SLO alert transitions"
+            ).inc(slo=slo.name, state=alert["state"])
+        for callback in list(self.on_alert):
+            try:
+                callback(alert)
+            except Exception:  # noqa: BLE001 - alerting must not raise
+                pass
+        return alert
+
+    def is_burning(self, name: str) -> bool:
+        with self._lock:
+            return self._burning.get(name, False)
+
+    # -- reporting ---------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """Per-SLO burn rates and budget — the ``health()`` block."""
+        now = self._clock()
+        out: Dict[str, Any] = {}
+        for slo in self.slos():
+            bad, total = self._window_fractions(
+                slo.name, now, slo.long_window_s
+            )
+            out[slo.name] = {
+                "objective": slo.objective,
+                "events": total,
+                "bad_events": bad,
+                "short_burn_rate": round(
+                    self.burn_rate(slo.name, slo.short_window_s, now=now),
+                    4,
+                ),
+                "long_burn_rate": round(
+                    self.burn_rate(slo.name, slo.long_window_s, now=now),
+                    4,
+                ),
+                "budget_remaining": round(
+                    self.budget_remaining(slo.name, now=now), 4
+                ),
+                "burning": self.is_burning(slo.name),
+            }
+        return out

@@ -19,17 +19,67 @@ Both close the span and mark it failed if the body raises; the
 exception always propagates.  Spans are thread-safe: each thread keeps
 its own active-span stack, and the finished-span list is guarded by a
 lock.  No dependencies beyond the standard library.
+
+Distributed tracing (:mod:`repro.obs.trace`) builds on three hooks
+here:
+
+* every span carries a ``trace_id``: inherited from its parent, from
+  the thread's *ambient* remote context (:meth:`Tracer.use_context`),
+  or minted fresh for a new root,
+* spans recorded in another process travel home as plain dicts
+  (:meth:`Tracer.drain_records`) and are stitched into the parent
+  tracer with :meth:`Tracer.adopt`,
+* a forked child must neither mis-parent its spans under the stack it
+  inherited nor mint span ids that collide with the parent's —
+  :meth:`Tracer.reset_after_fork` (wired to ``os.register_at_fork``
+  for the global tracer) clears the inherited thread-local state and
+  rebases the id counter into a random high range.
 """
 
 from __future__ import annotations
 
 import functools
 import itertools
+import os
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["Span", "NullSpan", "NULL_SPAN", "Tracer"]
+__all__ = [
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "mint_trace_id",
+    "span_from_record",
+]
+
+
+def mint_trace_id() -> str:
+    """A fresh 64-bit trace id as 16 lowercase hex characters."""
+    return os.urandom(8).hex()
+
+
+def span_from_record(record: Dict[str, Any]) -> Span:
+    """Reconstruct a finished :class:`Span` from its ``to_dict`` record.
+
+    Used to stitch spans shipped home from another process (see
+    :meth:`Tracer.adopt`).  The reconstructed span is closed; its
+    ``duration`` is restored exactly even though ``start``/``end`` are
+    re-anchored to this process's clock.
+    """
+    span = Span(
+        record["name"],
+        record["span_id"],
+        record.get("parent_id"),
+        record.get("attributes") or {},
+        trace_id=record.get("trace_id"),
+    )
+    span.wall_start = record.get("wall_start", span.wall_start)
+    span.end = span.start + float(record.get("duration_s", 0.0))
+    span.status = record.get("status", "ok")
+    span.error = record.get("error")
+    return span
 
 
 class Span:
@@ -39,6 +89,7 @@ class Span:
         "name",
         "span_id",
         "parent_id",
+        "trace_id",
         "start",
         "end",
         "wall_start",
@@ -53,10 +104,12 @@ class Span:
         span_id: int,
         parent_id: Optional[int],
         attributes: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.wall_start = time.time()
         self.start = time.perf_counter()
         self.end: Optional[float] = None
@@ -92,6 +145,7 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "wall_start": self.wall_start,
             "duration_s": self.duration,
             "status": self.status,
@@ -114,6 +168,7 @@ class NullSpan:
     name = ""
     span_id = -1
     parent_id = None
+    trace_id = None
     status = "ok"
     error = None
     duration = 0.0
@@ -159,12 +214,15 @@ class _SpanContext:
         tracer = self._tracer
         recording = tracer.enabled
         if recording:
-            stack = tracer._stack()
-            parent = stack[-1].span_id if stack else None
+            parent, trace_id = tracer._parentage()
         else:
-            parent = None
+            parent, trace_id = None, None
         span = Span(
-            self._name, tracer._next_id(), parent, self._attributes
+            self._name,
+            tracer._next_id(),
+            parent,
+            self._attributes,
+            trace_id=trace_id,
         )
         if recording:
             tracer._stack().append(span)
@@ -197,6 +255,30 @@ class _SpanContext:
         return self.__exit__(*exc)
 
 
+class _AmbientContext:
+    """Context manager installing a remote parent for new root spans."""
+
+    __slots__ = ("_tracer", "_context")
+
+    def __init__(self, tracer: "Tracer", context) -> None:
+        self._tracer = tracer
+        self._context = context
+
+    def __enter__(self):
+        if self._context is not None:
+            self._tracer._context_stack().append(self._context)
+        return self._context
+
+    def __exit__(self, *exc) -> bool:
+        if self._context is not None:
+            stack = self._tracer._context_stack()
+            if stack and stack[-1] is self._context:
+                stack.pop()
+            elif self._context in stack:  # tolerate interleaved exits
+                stack.remove(self._context)
+        return False
+
+
 class Tracer:
     """Collects spans; thread-safe; cheap to call when disabled."""
 
@@ -214,6 +296,9 @@ class Tracer:
         #: Optional hook invoked (with the span) whenever a span closes
         #: with an error — the global hub wires this to a metrics counter.
         self.on_failure: Optional[Callable[[Span], None]] = None
+        #: Optional hook invoked with every recorded span — the global
+        #: hub wires this to the flight recorder.
+        self.on_record: Optional[Callable[[Span], None]] = None
 
     # -- span creation ----------------------------------------------------
 
@@ -248,6 +333,94 @@ class Tracer:
             return wrapper
 
         return decorate
+
+    # -- distributed tracing ----------------------------------------------
+
+    def use_context(self, context) -> _AmbientContext:
+        """Install ``context`` as the ambient remote parent for this thread.
+
+        While active, spans opened on this thread with an empty local
+        stack parent under ``context.span_id`` and inherit
+        ``context.trace_id`` instead of starting a fresh trace.  Accepts
+        ``None`` (no-op) so call sites need no branching.
+        """
+        return _AmbientContext(self, context)
+
+    def ambient_context(self):
+        """The innermost ambient remote context on this thread, if any."""
+        stack = self._context_stack()
+        return stack[-1] if stack else None
+
+    def begin(self, name: str, /, context=None, **attributes: Any):
+        """Open a span *without* pushing it on the thread's stack.
+
+        For executor-owned root spans whose lifetime is event-driven
+        (opened when work is enqueued, closed when the result lands on a
+        different iteration of the drive loop).  Parentage: explicit
+        ``context`` first, then the thread's stack/ambient context, then
+        a fresh trace.  Returns ``None`` when the tracer is disabled;
+        pass the result to :meth:`finish` (which tolerates ``None``).
+        """
+        if not self.enabled:
+            return None
+        if context is not None:
+            parent, trace_id = context.span_id, context.trace_id
+        else:
+            parent, trace_id = self._parentage()
+        return Span(name, self._next_id(), parent, attributes, trace_id=trace_id)
+
+    def finish(self, span: Optional[Span], error: Optional[str] = None) -> None:
+        """Close and record a span opened with :meth:`begin`."""
+        if span is None:
+            return
+        span.close()
+        if error is not None:
+            span.status = "error"
+            span.error = error
+        self._record(span)
+        if span.status == "error":
+            self._count_failure(span)
+
+    def drain_records(self) -> List[Dict[str, Any]]:
+        """Pop all finished spans as JSON-ready dicts.
+
+        Called in forked workers to ship their spans home over the
+        result queue; the parent stitches them back with :meth:`adopt`.
+        """
+        with self._lock:
+            finished, self._finished = self._finished, []
+        return [s.to_dict() for s in finished]
+
+    def adopt(self, records) -> int:
+        """Stitch span records from another process into this tracer."""
+        if not records:
+            return 0
+        adopted = 0
+        with self._lock:
+            for record in records:
+                if len(self._finished) >= self.max_spans:
+                    self.dropped += 1
+                    continue
+                self._finished.append(span_from_record(record))
+                adopted += 1
+        return adopted
+
+    def reset_after_fork(self) -> None:
+        """Make the tracer safe to use in a freshly forked child.
+
+        The child inherits the parent's thread-local span stack (so new
+        spans would mis-parent under spans it does not own), its
+        finished-span list (duplicate shipping), and its span-id counter
+        (id collisions once stitched).  Clear the first two and rebase
+        the counter into a random high range; ``enabled`` is preserved.
+        """
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished = []
+        self.failure_counts = {}
+        self.dropped = 0
+        base = (int.from_bytes(os.urandom(5), "big") << 20) | 1
+        self._counter = itertools.count(base)
 
     # -- introspection ----------------------------------------------------
 
@@ -286,12 +459,32 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def _context_stack(self) -> list:
+        stack = getattr(self._local, "contexts", None)
+        if stack is None:
+            stack = self._local.contexts = []
+        return stack
+
+    def _parentage(self):
+        """(parent span id, trace id) for a new span on this thread."""
+        stack = self._stack()
+        if stack:
+            top = stack[-1]
+            return top.span_id, top.trace_id
+        contexts = self._context_stack()
+        if contexts:
+            ctx = contexts[-1]
+            return ctx.span_id, ctx.trace_id
+        return None, mint_trace_id()
+
     def _record(self, span: Span) -> None:
         with self._lock:
             if len(self._finished) >= self.max_spans:
                 self.dropped += 1
                 return
             self._finished.append(span)
+        if self.on_record is not None:
+            self.on_record(span)
 
     def _count_failure(self, span: Span) -> None:
         with self._lock:

@@ -121,13 +121,17 @@ def query_hotspots(
     features.sort(key=lambda f: f["properties"]["hotspot"])
     collection = feature_collection(features)
     # Provenance: which frozen state answered this request.  A client
-    # polling /hotspots can assert these never move backwards.
+    # polling /hotspots can assert these never move backwards.  The
+    # trace_id names the acquisition trace that published this state,
+    # so any served feature links back to the distributed trace that
+    # produced it (inspectable at /debug/tracez).
     collection["snapshot"] = {
         "sequence": published.sequence,
         "generation": published.generation,
         "timestamp": None
         if published.timestamp is None
         else _stamp(published.timestamp),
+        "trace_id": published.trace_id,
     }
     return collection
 

@@ -2,7 +2,7 @@
 
 A minimal asyncio HTTP/1.1 server (no third-party framework; the
 container images this repo targets carry only the standard library)
-exposing four endpoints:
+exposing five endpoints:
 
 * ``GET /hotspots`` — surviving hotspots of the **latest published
   snapshot** as GeoJSON; query parameters ``bbox=minx,miny,maxx,maxy``,
@@ -15,7 +15,16 @@ exposing four endpoints:
 * ``GET /metrics`` — the Prometheus exposition of the process registry.
 * ``GET /health`` — the monitoring service's degradation status
   (acquisition outcome counts, circuit-breaker state, dead letters,
-  deadline misses, latest snapshot identity).
+  deadline misses, SLO burn rates, latest snapshot identity).
+* ``GET /debug/tracez`` — recent complete distributed traces from the
+  process tracer (``limit=``, ``trace_id=``, ``format=text``), for
+  correlating a served ``trace_id`` back to the acquisition that
+  produced the data.
+
+Every request runs under a ``serve.request`` span that joins the trace
+named by incoming ``x-trace-id`` / ``x-parent-span`` headers (or roots
+a fresh one); responses carrying a snapshot embed both the publishing
+acquisition's ``trace_id`` and the request's own ``request_trace_id``.
 
 The event loop never runs a query itself: evaluation happens on a
 thread pool (``read_workers`` wide) so slow reads overlap and the
@@ -38,7 +47,16 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import SnapshotWriteError
-from repro.obs import get_metrics, get_tracer, prometheus_text
+from repro.obs import (
+    TraceContext,
+    context_of,
+    get_flight_recorder,
+    get_metrics,
+    get_tracer,
+    prometheus_text,
+    recent_traces,
+)
+from repro.obs.slo import SERVE_LATENCY_SLO_S
 from repro.serve.hotspots import parse_bbox, query_hotspots
 from repro.stsparql.errors import SparqlError
 
@@ -150,7 +168,9 @@ class HotspotServer:
                 if request is None:
                     break
                 method, target, headers, body = request
-                payload = await self._dispatch(method, target, body)
+                payload = await self._dispatch(
+                    method, target, headers, body
+                )
                 writer.write(payload)
                 await writer.drain()
                 if headers.get("connection", "").lower() == "close":
@@ -194,20 +214,34 @@ class HotspotServer:
     # -- routing -----------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, target: str, body: bytes
+        self,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
     ) -> bytes:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         endpoint = path.lstrip("/") or "root"
         started = time.perf_counter()
+        # A client sending x-trace-id / x-parent-span joins its trace;
+        # otherwise the request span roots a fresh one.
+        incoming = TraceContext.from_headers(headers)
+        trace_id: Optional[str] = None
         try:
-            with _tracer.span(
-                "serve.request", endpoint=endpoint, method=method
-            ) as span:
-                status, payload = await self._route(
-                    method, path, split.query, body
-                )
-                span.set(status=status)
+            with _tracer.use_context(incoming):
+                with _tracer.span(
+                    "serve.request", endpoint=endpoint, method=method
+                ) as span:
+                    trace_id = span.trace_id
+                    status, payload = await self._route(
+                        method,
+                        path,
+                        split.query,
+                        body,
+                        context_of(span),
+                    )
+                    span.set(status=status)
         except _HttpError as error:
             status = error.status
             payload = _json_response(status, {"error": str(error)})
@@ -227,6 +261,13 @@ class HotspotServer:
                     {"error": f"{type(error).__name__}: {error}"}
                 ).encode("utf-8"),
             )
+            get_flight_recorder().record(
+                "error",
+                f"serve.{endpoint}",
+                trace_id=trace_id,
+                error=f"{type(error).__name__}: {error}",
+            )
+        elapsed = time.perf_counter() - started
         if _metrics.enabled:
             _metrics.counter(
                 "serve_requests_total",
@@ -235,20 +276,41 @@ class HotspotServer:
             _metrics.histogram(
                 "serve_request_seconds",
                 "Wall seconds per HTTP request, by endpoint",
-            ).observe(time.perf_counter() - started, endpoint=endpoint)
+            ).observe(elapsed, exemplar=trace_id, endpoint=endpoint)
+        # Only reader-facing data requests consume the serving error
+        # budget — health probes, metric scrapes and debug views are
+        # not the objective (and /health reporting its own request
+        # would make the report a moving target).
+        if path in ("/hotspots", "/stsparql"):
+            self._record_serving_slo(status, elapsed, trace_id)
         return payload
 
+    def _record_serving_slo(
+        self, status: int, elapsed: float, trace_id: Optional[str]
+    ) -> None:
+        slo = getattr(self.service, "slo", None)
+        if slo is None:
+            return
+        try:
+            slo.record(
+                "serving-latency",
+                status < 500 and elapsed < SERVE_LATENCY_SLO_S,
+                trace_id=trace_id,
+            )
+        except KeyError:  # a stand-in service without that SLO
+            pass
+
     async def _route(
-        self, method: str, path: str, query: str, body: bytes
+        self, method: str, path: str, query: str, body: bytes, ctx
     ) -> Tuple[int, bytes]:
         if path == "/hotspots":
             if method != "GET":
                 raise _HttpError(405, "use GET /hotspots")
-            return 200, await self._hotspots(query)
+            return 200, await self._hotspots(query, ctx)
         if path == "/stsparql":
             if method != "POST":
                 raise _HttpError(405, "use POST /stsparql")
-            return 200, await self._stsparql(body)
+            return 200, await self._stsparql(body, ctx)
         if path == "/metrics":
             if method != "GET":
                 raise _HttpError(405, "use GET /metrics")
@@ -263,13 +325,28 @@ class HotspotServer:
                 raise _HttpError(405, "use GET /health")
             health = await self._in_thread(self.service.health)
             return 200, _json_response(200, health)
+        if path == "/debug/tracez":
+            if method != "GET":
+                raise _HttpError(405, "use GET /debug/tracez")
+            return 200, self._tracez(query)
         raise _HttpError(404, f"no such endpoint: {path}")
 
     # -- endpoint bodies ---------------------------------------------------
 
-    def _in_thread(self, fn, *args):
+    def _in_thread(self, fn, *args, context=None):
+        """Run ``fn`` on the read executor, under the request's trace
+        context (worker threads have no ambient request state)."""
+        if context is None:
+            return asyncio.get_running_loop().run_in_executor(
+                self._executor, fn, *args
+            )
+
+        def call():
+            with _tracer.use_context(context):
+                return fn(*args)
+
         return asyncio.get_running_loop().run_in_executor(
-            self._executor, fn, *args
+            self._executor, call
         )
 
     def _latest(self):
@@ -280,7 +357,49 @@ class HotspotServer:
             )
         return published
 
-    async def _hotspots(self, query: str) -> bytes:
+    def _tracez(self, query: str) -> bytes:
+        """Recent complete traces (``/debug/tracez``).
+
+        Query parameters: ``limit=`` (default 20), ``trace_id=`` to
+        filter to one trace, ``format=text`` for the human tree
+        rendering instead of JSON.
+        """
+        params = parse_qs(query)
+
+        def single(name: str) -> Optional[str]:
+            values = params.get(name)
+            return values[-1] if values else None
+
+        try:
+            limit = int(single("limit") or "20")
+        except ValueError as error:
+            raise _HttpError(400, f"bad limit: {error}")
+        if limit < 1:
+            raise _HttpError(400, "limit must be >= 1")
+        traces = recent_traces(
+            _tracer, limit=limit, trace_id=single("trace_id")
+        )
+        if single("format") == "text":
+            blocks = [
+                f"trace {t['trace_id']} ({t['span_count']} span(s), "
+                f"{t['status']})\n{t['tree']}"
+                for t in traces
+            ]
+            return _response(
+                200,
+                ("\n\n".join(blocks) + "\n").encode("utf-8"),
+                "text/plain; charset=utf-8",
+            )
+        return _json_response(
+            200,
+            {
+                "tracing_enabled": _tracer.enabled,
+                "count": len(traces),
+                "traces": traces,
+            },
+        )
+
+    async def _hotspots(self, query: str, ctx=None) -> bytes:
         params = parse_qs(query)
 
         def single(name: str) -> Optional[str]:
@@ -314,11 +433,16 @@ class HotspotServer:
                 until=single("until"),
                 min_confidence=min_confidence,
                 confirmed=confirmed,
-            )
+            ),
+            context=ctx,
         )
+        if ctx is not None:
+            # Provenance both ways: the publishing acquisition's trace
+            # (set by query_hotspots) plus this request's own trace.
+            collection["snapshot"]["request_trace_id"] = ctx.trace_id
         return _json_response(200, collection)
 
-    async def _stsparql(self, body: bytes) -> bytes:
+    async def _stsparql(self, body: bytes, ctx=None) -> bytes:
         text = body.decode("utf-8", errors="replace").strip()
         if text.startswith("{"):
             try:
@@ -330,7 +454,9 @@ class HotspotServer:
         if not text:
             raise _HttpError(400, "empty query")
         published = self._latest()
-        result = await self._in_thread(published.view.query, text)
+        result = await self._in_thread(
+            published.view.query, text, context=ctx
+        )
         from repro.stsparql.eval import SolutionSet
 
         if isinstance(result, SolutionSet):
@@ -343,7 +469,10 @@ class HotspotServer:
         payload["snapshot"] = {
             "sequence": published.sequence,
             "generation": published.generation,
+            "trace_id": published.trace_id,
         }
+        if ctx is not None:
+            payload["snapshot"]["request_trace_id"] = ctx.trace_id
         return _json_response(200, payload)
 
 

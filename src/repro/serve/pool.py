@@ -24,13 +24,17 @@ SolutionSets.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import ServiceStateError
+from repro.obs import get_tracer
 from repro.rdf.graph import GraphSnapshot
 from repro.stsparql import SnapshotView
 from repro.stsparql.eval import SolutionSet
+
+_tracer = get_tracer()
 
 RequestLike = Union[str, Tuple[str, Optional[Dict[str, object]]]]
 
@@ -67,6 +71,26 @@ def _encode(result: Union[SolutionSet, bool, Any]):
 def _run_in_worker(text: str, params: Optional[Dict[str, object]]):
     assert _WORKER_VIEW is not None, "pool initializer did not run"
     return _encode(_WORKER_VIEW.query(text, params))
+
+
+def _run_traced_in_worker(
+    text: str, params: Optional[Dict[str, object]], context
+):
+    """Like :func:`_run_in_worker`, under the caller's trace context.
+
+    Returns ``(encoded result, span records)``; the parent adopts the
+    records so the read worker's span stitches into the request trace.
+    The fork hook already re-rooted this process's tracer.
+    """
+    assert _WORKER_VIEW is not None, "pool initializer did not run"
+    if not _tracer.enabled:
+        return _encode(_WORKER_VIEW.query(text, params)), []
+    with _tracer.use_context(context):
+        with _tracer.span(
+            "pool.query", kind="process", worker_pid=os.getpid()
+        ):
+            encoded = _encode(_WORKER_VIEW.query(text, params))
+    return encoded, _tracer.drain_records()
 
 
 class ReadWorkerPool:
@@ -119,16 +143,52 @@ class ReadWorkerPool:
         assert self._view is not None
         return _encode(self._view.query(text, params))
 
+    def _run_local_traced(self, text: str, params, context):
+        with _tracer.use_context(context):
+            with _tracer.span("pool.query", kind="thread"):
+                return self._run_local(text, params)
+
     def submit(
-        self, text: str, params: Optional[Dict[str, object]] = None
+        self,
+        text: str,
+        params: Optional[Dict[str, object]] = None,
+        context=None,
     ) -> Future:
         """Queue one request; the future resolves to SPARQL-JSON (dict)
-        for SELECT or a bool for ASK."""
+        for SELECT or a bool for ASK.
+
+        ``context`` (a :class:`~repro.obs.TraceContext`) threads the
+        caller's trace into the worker: the query runs under a
+        ``pool.query`` span parented on the context, and — for process
+        workers — the remote span records are stitched back into this
+        process's tracer before the future resolves.
+        """
         if self._closed:
             raise ServiceStateError("read pool is closed")
         if self.kind == "process":
-            return self._pool.submit(_run_in_worker, text, params)
-        return self._pool.submit(self._run_local, text, params)
+            if context is None:
+                return self._pool.submit(_run_in_worker, text, params)
+            inner = self._pool.submit(
+                _run_traced_in_worker, text, params, context
+            )
+            outer: Future = Future()
+
+            def _stitch(done: Future) -> None:
+                try:
+                    encoded, records = done.result()
+                except BaseException as error:  # noqa: BLE001
+                    outer.set_exception(error)
+                    return
+                _tracer.adopt(records)
+                outer.set_result(encoded)
+
+            inner.add_done_callback(_stitch)
+            return outer
+        if context is None:
+            return self._pool.submit(self._run_local, text, params)
+        return self._pool.submit(
+            self._run_local_traced, text, params, context
+        )
 
     def map(self, requests: Iterable[RequestLike]) -> List[Any]:
         """Run a batch of requests across the pool; results in order.

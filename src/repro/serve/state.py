@@ -49,6 +49,10 @@ class PublishedSnapshot:
     timestamp: Optional[datetime] = None
     #: ``time.monotonic()`` at publication, for staleness metrics.
     published_monotonic: float = field(default=0.0)
+    #: Trace id of the acquisition that published this snapshot (None
+    #: when tracing was off) — readers expose it as provenance, linking
+    #: any served result back to the trace that produced the data.
+    trace_id: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.view.snapshot)
@@ -75,6 +79,7 @@ class SnapshotPublisher:
         self,
         strabon: Strabon,
         timestamp: Optional[datetime] = None,
+        trace_id: Optional[str] = None,
     ) -> PublishedSnapshot:
         """Freeze the engine's current state and make it the latest.
 
@@ -94,6 +99,7 @@ class SnapshotPublisher:
                 generation=view.generation,
                 timestamp=timestamp,
                 published_monotonic=time.monotonic(),
+                trace_id=trace_id,
             )
             self._latest = published
             self._changed.notify_all()

@@ -29,6 +29,7 @@ import pytest
 from repro.core.config import RunOptions, ServiceConfig
 from repro.core.service import FireMonitoringService
 from repro.durable import CRASH_EXIT, CRASHPOINTS, crashpoints
+from repro.obs import flightrec
 from repro.serve.hotspots import query_hotspots
 
 from tests.durable.conftest import N_ACQUISITIONS
@@ -148,12 +149,31 @@ def test_crash_recover_resume(point, pipelined, tmp_path, oracle,
         f"expected injected crash {CRASH_EXIT}"
     )
 
+    # Dying at *any* armed point leaves a parseable flight-recorder
+    # dump whose tail names the crash site.
+    dumps = flightrec.list_dumps(os.path.join(state_dir, "flightrec"))
+    assert dumps, f"crash at {point!r} left no flight-recorder dump"
+    payload = flightrec.load_dump(dumps[-1])
+    assert payload["reason"] == f"crashpoint:{point}"
+    assert payload["events"], "dump carries no events"
+    last = payload["events"][-1]
+    assert last["kind"] == "crash"
+    assert last["name"] == point
+
     cursor = EXPECTED_CURSOR[point]
     service = FireMonitoringService.open(state_dir, greece=durable_greece)
     try:
         durability = service.health()["durability"]
         assert durability["recovered"] is True
         assert durability["committed_acquisitions"] == cursor
+
+        # Recovery surfaces the dump: health() names the crash site.
+        report = durability["flight_recorder"]
+        assert report is not None
+        assert report["reason"] == f"crashpoint:{point}"
+        assert report["last_event"]["kind"] == "crash"
+        assert report["last_event"]["name"] == point
+        assert report["events"] >= 1
         assert _capture(service) == oracle[cursor], (
             f"recovered state after {point!r} differs from the "
             f"never-crashed oracle at cursor {cursor}"

@@ -81,6 +81,62 @@ def test_prometheus_text_escapes_label_values():
     assert 'c{path="a\\"b\\\\c"} 1' in text
 
 
+def test_prometheus_text_escapes_adversarial_label_values():
+    """Newlines, quotes and backslashes must never break the line
+    format — one sample per line, however hostile the label value."""
+    registry = MetricsRegistry()
+    hostile = 'evil"} 9999\nfake_metric{x="y'
+    registry.counter("c", "hostile labels").inc(path=hostile)
+    registry.gauge("g").set(1, reason="back\\slash\nnew\"line")
+    text = prometheus_text(registry)
+    # The injected newline is escaped, so no forged sample line exists.
+    assert "\nfake_metric" not in text
+    assert 'c{path="evil\\"} 9999\\nfake_metric{x=\\"y"} 1\n' in text
+    assert 'g{reason="back\\\\slash\\nnew\\"line"} 1\n' in text
+    # Every non-comment line still parses as `name{...} value`.
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        assert line.rsplit(" ", 1)[1].replace(".", "").lstrip("-")
+
+
+def test_prometheus_text_escapes_help_text():
+    registry = MetricsRegistry()
+    registry.counter(
+        "c", "first line\nsecond \\ line"
+    ).inc()
+    text = prometheus_text(registry)
+    assert "# HELP c first line\\nsecond \\\\ line\n" in text
+
+
+def test_prometheus_histogram_count_carries_exemplar():
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency_seconds", "Request latency")
+    hist.observe(0.1, stage="total")
+    hist.observe(0.2, exemplar="deadbeef01234567", stage="total")
+    text = prometheus_text(registry)
+    assert (
+        'latency_seconds_count{stage="total"} 2 '
+        '# {trace_id="deadbeef01234567"} 0.2\n'
+    ) in text
+    # Series without exemplars render the plain count line.
+    hist.observe(0.3, stage="chain")
+    text = prometheus_text(registry)
+    assert 'latency_seconds_count{stage="chain"} 1\n' in text
+
+
+def test_histogram_exemplars_are_bounded_and_resettable():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h")
+    for k in range(20):
+        hist.observe(float(k), exemplar=f"{k:016x}")
+    entries = hist.exemplars()
+    assert len(entries) == hist.max_exemplars
+    assert entries[-1]["trace_id"] == f"{19:016x}"
+    hist.reset()
+    assert hist.exemplars() == []
+
+
 def test_tree_report_indents_children_and_marks_errors():
     spans = _sample_spans()
     report = tree_report(spans)

@@ -1,0 +1,178 @@
+"""SLO burn-rate engine: window math, multi-window alerting, status."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    ACQUISITION_SLO,
+    SERVING_SLO,
+    SLO,
+    SloEngine,
+    default_service_slos,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_engine(**slo_kwargs):
+    clock = FakeClock()
+    slo = SLO(
+        name="test",
+        objective=slo_kwargs.pop("objective", 0.9),
+        short_window_s=slo_kwargs.pop("short_window_s", 300.0),
+        long_window_s=slo_kwargs.pop("long_window_s", 3600.0),
+        burn_rate_threshold=slo_kwargs.pop("burn_rate_threshold", 2.0),
+        **slo_kwargs,
+    )
+    return SloEngine(slos=[slo], clock=clock), slo, clock
+
+
+def test_objective_must_be_a_fraction():
+    with pytest.raises(ValueError):
+        SLO(name="bad", objective=1.0)
+    with pytest.raises(ValueError):
+        SLO(name="bad", objective=0.0)
+
+
+def test_default_slos_cover_acquisition_and_serving():
+    names = {s.name for s in default_service_slos()}
+    assert names == {ACQUISITION_SLO.name, SERVING_SLO.name}
+
+
+def test_unknown_slo_raises():
+    engine = SloEngine(slos=[])
+    with pytest.raises(KeyError):
+        engine.record("nope", True)
+    with pytest.raises(KeyError):
+        engine.burn_rate("nope", 60.0)
+
+
+def test_burn_rate_is_bad_fraction_over_budget():
+    engine, slo, clock = make_engine(objective=0.9)
+    # 2 bad out of 10 -> bad_fraction 0.2, budget 0.1 -> burn rate 2.0.
+    for k in range(10):
+        engine.record("test", good=k >= 2)
+    assert engine.burn_rate("test", slo.short_window_s) == pytest.approx(
+        2.0
+    )
+    # An empty window is no evidence of burning.
+    clock.advance(slo.short_window_s + 1)
+    assert engine.burn_rate("test", slo.short_window_s) == 0.0
+
+
+def test_events_age_out_of_the_window():
+    engine, slo, clock = make_engine()
+    engine.record("test", good=False)
+    clock.advance(slo.short_window_s + 1)
+    engine.record("test", good=True)
+    # The old bad event left the short window; only the good one counts.
+    assert engine.burn_rate("test", slo.short_window_s) == 0.0
+    # It still counts against the long window.
+    assert engine.burn_rate("test", slo.long_window_s) > 0.0
+
+
+def test_alert_requires_both_windows_burning():
+    engine, slo, clock = make_engine(objective=0.9)
+    # All-bad events burn both windows immediately (rate 1/0.1 = 10).
+    alerts = [engine.record("test", good=False) for _ in range(3)]
+    fired = [a for a in alerts if a is not None]
+    assert len(fired) == 1
+    assert fired[0]["state"] == "burning"
+    assert fired[0]["slo"] == "test"
+    assert fired[0]["short_burn_rate"] >= slo.burn_rate_threshold
+    assert engine.is_burning("test")
+    assert list(engine.alerts) == fired
+
+
+def test_long_window_burning_alone_does_not_alert():
+    """The sticky long window alone never pages — both must burn."""
+    engine, slo, clock = make_engine(objective=0.5, burn_rate_threshold=1.5)
+    for _ in range(4):
+        engine.record("test", good=False)
+    assert engine.is_burning("test")
+    # The bad events age out of the short window; the long window still
+    # burns (4 bad / 5 events = 1.6 >= 1.5), but the quiet short window
+    # resolves the alert — and keeps it resolved.
+    clock.advance(slo.short_window_s + 1)
+    alert = engine.record("test", good=True)
+    assert alert is not None and alert["state"] == "recovered"
+    assert engine.burn_rate("test", slo.long_window_s) >= 1.5
+    assert not engine.is_burning("test")
+    # More good events never re-fire off the long window alone.
+    assert engine.record("test", good=True) is None
+
+
+def test_alert_callbacks_fire_and_exceptions_are_swallowed():
+    engine, slo, clock = make_engine()
+    seen = []
+
+    def bad_callback(alert):
+        raise RuntimeError("broken alert sink")
+
+    engine.on_alert.append(bad_callback)
+    engine.on_alert.append(seen.append)
+    for _ in range(3):
+        engine.record("test", good=False, trace_id="abc123")
+    assert len(seen) == 1
+    assert seen[0]["trace_id"] == "abc123"
+
+
+def test_budget_remaining_depletes_with_bad_events():
+    engine, slo, clock = make_engine(objective=0.9)
+    assert engine.budget_remaining("test") == 1.0
+    for _ in range(9):
+        engine.record("test", good=True)
+    engine.record("test", good=False)
+    # 1 bad, budget (1-0.9)*10 = 1 -> fully spent.
+    assert engine.budget_remaining("test") == pytest.approx(0.0)
+
+
+def test_status_reports_every_slo():
+    engine, slo, clock = make_engine(objective=0.9)
+    for _ in range(9):
+        engine.record("test", good=True)
+    engine.record("test", good=False)
+    status = engine.status()
+    entry = status["test"]
+    assert entry["objective"] == 0.9
+    assert entry["events"] == 10
+    assert entry["bad_events"] == 1
+    # 1 bad in 10 spends the budget at exactly rate 1 — no alert.
+    assert entry["short_burn_rate"] == pytest.approx(1.0)
+    assert entry["burning"] is False
+    assert 0.0 <= entry["budget_remaining"] <= 1.0
+
+
+def test_metrics_exported_only_when_registry_enabled():
+    disabled = MetricsRegistry()
+    disabled.enabled = False
+    engine = SloEngine(
+        slos=[SLO(name="test", objective=0.9)],
+        clock=FakeClock(),
+        metrics=disabled,
+    )
+    engine.record("test", good=True)
+    assert disabled.collect() == []
+
+    enabled = MetricsRegistry()
+    enabled.enabled = True
+    engine = SloEngine(
+        slos=[SLO(name="test", objective=0.9)],
+        clock=FakeClock(),
+        metrics=enabled,
+    )
+    engine.record("test", good=False)
+    names = {m["name"] for m in enabled.collect()}
+    assert "slo_events_total" in names
+    assert "slo_burn_rate" in names

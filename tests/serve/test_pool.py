@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro import obs
 from repro.errors import ServiceStateError, SnapshotWriteError
+from repro.obs import context_of
 from repro.serve import ReadWorkerPool
 from repro.serve.pool import _fork_available
 from repro.stsparql import Strabon
@@ -47,6 +51,60 @@ def test_process_pool_matches_thread_pool(snapshot):
         assert len(result["results"]["bindings"]) == len(
             expected["results"]["bindings"]
         )
+
+
+@pytest.fixture()
+def tracing():
+    obs.disable()
+    obs.reset()
+    obs.enable()
+    yield obs.get_tracer()
+    obs.disable()
+    obs.reset()
+
+
+@pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+def test_traced_process_query_stitches_worker_span(snapshot, tracing):
+    """A context-carrying submit ships the worker's span home."""
+    with tracing.span("serve.request") as request:
+        ctx = context_of(request)
+    with ReadWorkerPool(snapshot, workers=1, kind="process") as pool:
+        result = pool.submit(SELECT, context=ctx).result()
+    assert len(result["results"]["bindings"]) == 3
+    queries = [
+        s for s in tracing.spans() if s.name == "pool.query"
+    ]
+    assert len(queries) == 1
+    span = queries[0]
+    # Same trace, parented under the request, recorded over there.
+    assert span.trace_id == request.trace_id
+    assert span.parent_id == request.span_id
+    assert span.attributes["kind"] == "process"
+    assert span.attributes["worker_pid"] != os.getpid()
+
+
+def test_traced_thread_query_joins_the_request_trace(snapshot, tracing):
+    with tracing.span("serve.request") as request:
+        ctx = context_of(request)
+    with ReadWorkerPool(snapshot, workers=1, kind="thread") as pool:
+        assert pool.submit(ASK, context=ctx).result() is True
+    queries = [
+        s for s in tracing.spans() if s.name == "pool.query"
+    ]
+    assert len(queries) == 1
+    assert queries[0].trace_id == request.trace_id
+    assert queries[0].attributes["kind"] == "thread"
+
+
+def test_untraced_submit_records_nothing_when_disabled(snapshot):
+    obs.disable()
+    obs.reset()
+    with ReadWorkerPool(snapshot, workers=1, kind="thread") as pool:
+        assert pool.submit(ASK).result() is True
+        assert pool.submit(ASK, context=None).result() is True
+    assert obs.get_tracer().spans() == []
 
 
 def test_pool_refuses_updates(snapshot):
