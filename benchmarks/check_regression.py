@@ -76,6 +76,28 @@ WATCHED = {
         ("http_load.errors", "lower", None),
         ("consistency.torn_reads", "lower", None),
     ],
+    "BENCH_query.json": [
+        # The >= 3x acceptance bar itself is asserted inside
+        # bench_query.py; here we only guard against the measured
+        # ratios drifting down between commits.
+        ("families.refinement.speedup_p50", "higher", None),
+        ("families.bgp.speedup_p50", "higher", None),
+        (
+            "families.refinement.columnar.p50_ms",
+            "lower",
+            TIMING_THRESHOLD,
+        ),
+        (
+            "families.refinement.columnar.rows_per_s",
+            "higher",
+            TIMING_THRESHOLD,
+        ),
+        (
+            "families.bgp.columnar.rows_per_s",
+            "higher",
+            TIMING_THRESHOLD,
+        ),
+    ],
     "BENCH_durable.json": [
         ("wal.never.batches_per_s", "higher", TIMING_THRESHOLD),
         ("wal.commit.batches_per_s", "higher", TIMING_THRESHOLD),
@@ -128,10 +150,18 @@ def check(
     baseline_dir: str,
     current_dir: str,
     default_threshold: float,
+    only: Optional[List[str]] = None,
 ) -> int:
+    watched = WATCHED
+    if only:
+        unknown = sorted(set(only) - set(WATCHED))
+        if unknown:
+            print(f"unknown artifact(s) in --only: {unknown}")
+            return 2
+        watched = {name: WATCHED[name] for name in only}
     rows: List[Tuple[str, str, str, str, str, str]] = []
     failures = 0
-    for filename, metrics in sorted(WATCHED.items()):
+    for filename, metrics in sorted(watched.items()):
         current_path = os.path.join(current_dir, filename)
         baseline_path = os.path.join(baseline_dir, filename)
         if not os.path.exists(current_path):
@@ -268,8 +298,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=DEFAULT_THRESHOLD,
         help="default allowed relative regression (0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="BENCH_x.json",
+        help="restrict the gate to the named artifact(s); repeatable",
+    )
     args = parser.parse_args(argv)
-    return check(args.baseline, args.current, args.threshold)
+    return check(
+        args.baseline, args.current, args.threshold, only=args.only
+    )
 
 
 if __name__ == "__main__":

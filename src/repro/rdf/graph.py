@@ -43,6 +43,101 @@ class TripleReader:
     def _lookup(self, term: Term) -> Optional[int]:
         return self._term_to_id.get(term)
 
+    # -- dictionary access -----------------------------------------------
+    #
+    # The columnar stSPARQL engine works on the integer identifiers the
+    # graph already interns terms into, so the dictionary and the
+    # ID-level index walk are part of the public read API.
+
+    def term_id(self, term: Term) -> Optional[int]:
+        """The dictionary identifier of ``term`` (None if not interned)."""
+        return self._term_to_id.get(term)
+
+    def term_for_id(self, tid: int) -> Term:
+        """The term behind a dictionary identifier."""
+        return self._id_to_term[tid]
+
+    def term_count(self) -> int:
+        """Number of interned terms (the dictionary size)."""
+        return len(self._id_to_term)
+
+    def triples_ids(
+        self,
+        si: Optional[int] = None,
+        pi: Optional[int] = None,
+        oi: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield matching ``(sid, pid, oid)`` id-triples (None = wildcard).
+
+        The ID-level twin of :meth:`triples`: callers that already hold
+        dictionary identifiers skip the term lookups entirely.
+        """
+        if si is not None:
+            by_p = self._spo.get(si, {})
+            if pi is not None:
+                objs = by_p.get(pi, ())
+                if oi is not None:
+                    if oi in objs:
+                        yield (si, pi, oi)
+                else:
+                    for obj in list(objs):
+                        yield (si, pi, obj)
+            else:
+                for pred, objs in list(by_p.items()):
+                    if oi is not None:
+                        if oi in objs:
+                            yield (si, pred, oi)
+                    else:
+                        for obj in list(objs):
+                            yield (si, pred, obj)
+        elif pi is not None:
+            by_o = self._pos.get(pi, {})
+            if oi is not None:
+                for subj in list(by_o.get(oi, ())):
+                    yield (subj, pi, oi)
+            else:
+                for obj, subjects in list(by_o.items()):
+                    for subj in list(subjects):
+                        yield (subj, pi, obj)
+        elif oi is not None:
+            for subj, preds in list(self._osp.get(oi, {}).items()):
+                for pred in list(preds):
+                    yield (subj, pred, oi)
+        else:
+            for subj, by_p in list(self._spo.items()):
+                for pred, objs in list(by_p.items()):
+                    for obj in list(objs):
+                        yield (subj, pred, obj)
+
+    def count_ids(
+        self,
+        si: Optional[int] = None,
+        pi: Optional[int] = None,
+        oi: Optional[int] = None,
+    ) -> int:
+        """Cardinality of an ID-level pattern (cheap for bound pairs)."""
+        if si is None and pi is None and oi is None:
+            return self._size
+        if si is not None and pi is not None and oi is None:
+            return len(self._spo.get(si, {}).get(pi, ()))
+        if pi is not None and oi is not None and si is None:
+            return len(self._pos.get(pi, {}).get(oi, ()))
+        if si is not None and pi is None and oi is None:
+            return sum(
+                len(objs) for objs in self._spo.get(si, {}).values()
+            )
+        if pi is not None and si is None and oi is None:
+            return sum(
+                len(subjects)
+                for subjects in self._pos.get(pi, {}).values()
+            )
+        if oi is not None and si is None and pi is None:
+            return sum(
+                len(preds)
+                for preds in self._osp.get(oi, {}).values()
+            )
+        return sum(1 for _ in self.triples_ids(si, pi, oi))
+
     # -- access ----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -82,42 +177,7 @@ class TripleReader:
             p is not None and pi is None
         ) or (o is not None and oi is None):
             return
-        if si is not None:
-            by_p = self._spo.get(si, {})
-            if pi is not None:
-                objs = by_p.get(pi, ())
-                if oi is not None:
-                    if oi in objs:
-                        yield (si, pi, oi)
-                else:
-                    for obj in list(objs):
-                        yield (si, pi, obj)
-            else:
-                for pred, objs in list(by_p.items()):
-                    if oi is not None:
-                        if oi in objs:
-                            yield (si, pred, oi)
-                    else:
-                        for obj in list(objs):
-                            yield (si, pred, obj)
-        elif pi is not None:
-            by_o = self._pos.get(pi, {})
-            if oi is not None:
-                for subj in list(by_o.get(oi, ())):
-                    yield (subj, pi, oi)
-            else:
-                for obj, subjects in list(by_o.items()):
-                    for subj in list(subjects):
-                        yield (subj, pi, obj)
-        elif oi is not None:
-            for subj, preds in list(self._osp.get(oi, {}).items()):
-                for pred in list(preds):
-                    yield (subj, pred, oi)
-        else:
-            for subj, by_p in list(self._spo.items()):
-                for pred, objs in list(by_p.items()):
-                    for obj in list(objs):
-                        yield (subj, pred, obj)
+        yield from self.triples_ids(si, pi, oi)
 
     def count(
         self,
@@ -133,13 +193,7 @@ class TripleReader:
             p is not None and pi is None
         ) or (o is not None and oi is None):
             return 0
-        if s is None and p is None and o is None:
-            return self._size
-        if si is not None and pi is not None and oi is None:
-            return len(self._spo.get(si, {}).get(pi, ()))
-        if pi is not None and oi is not None and si is None:
-            return len(self._pos.get(pi, {}).get(oi, ()))
-        return sum(1 for _ in self._triple_ids(s, p, o))
+        return self.count_ids(si, pi, oi)
 
     # -- convenience accessors ------------------------------------------
 

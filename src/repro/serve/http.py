@@ -444,9 +444,12 @@ class HotspotServer:
 
     async def _stsparql(self, body: bytes, ctx=None) -> bytes:
         text = body.decode("utf-8", errors="replace").strip()
+        explain = False
         if text.startswith("{"):
             try:
-                text = json.loads(text)["query"]
+                doc = json.loads(text)
+                text = doc["query"]
+                explain = bool(doc.get("explain", False))
             except (json.JSONDecodeError, KeyError, TypeError):
                 raise _HttpError(
                     400, 'JSON body must look like {"query": "..."}'
@@ -455,12 +458,16 @@ class HotspotServer:
             raise _HttpError(400, "empty query")
         published = self._latest()
         result = await self._in_thread(
-            published.view.query, text, context=ctx
+            published.view.query, text, None, explain, context=ctx
         )
         from repro.stsparql.eval import SolutionSet
 
-        if isinstance(result, SolutionSet):
-            payload: Any = result.to_sparql_json()
+        if explain:
+            # The executed plan (engine, join order, estimates), not
+            # the solutions.
+            payload: Any = dict(result)
+        elif isinstance(result, SolutionSet):
+            payload = result.to_sparql_json()
         elif isinstance(result, bool):
             payload = {"head": {}, "boolean": result}
         else:  # CONSTRUCT — triple count only over HTTP

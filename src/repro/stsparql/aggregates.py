@@ -18,11 +18,22 @@ Value = Any
 def _distinct(values: List[Value], distinct: bool) -> List[Value]:
     if not distinct:
         return values
-    seen = []
+    # Hash-based dedup where possible; unhashable values (geometries)
+    # fall back to the linear equality scan.
+    out: List[Value] = []
+    seen = set()
+    unhashable: List[Value] = []
     for v in values:
-        if v not in seen:
-            seen.append(v)
-    return seen
+        try:
+            if v in seen:
+                continue
+            seen.add(v)
+        except TypeError:
+            if any(u == v for u in unhashable):
+                continue
+            unhashable.append(v)
+        out.append(v)
+    return out
 
 
 def agg_count(values: List[Value], distinct: bool) -> Value:

@@ -66,6 +66,45 @@ class UpdateResult:
     added: int = 0
 
 
+def _resolve_engine(name: Optional[str]):
+    """(read evaluator class, update evaluator class) for an engine name.
+
+    ``auto`` — the default — serves read queries from the columnar
+    engine but evaluates update WHERE clauses row-wise: update batches
+    are small, mutate the graph between operations (discarding the
+    generation-keyed columnar caches each time), and profit from
+    pattern-time R-tree restriction inside OPTIONAL blocks, so
+    vectorisation there costs more than it saves.  ``columnar`` and
+    ``interpreted`` force one engine for everything.
+
+    The columnar engine needs numpy; when it is unavailable the
+    interpreted evaluator silently serves every name so the store
+    stays functional on minimal installs.
+    """
+    if name is None:
+        name = get_config().query_engine
+    if name == "interpreted":
+        return Evaluator, Evaluator
+    try:
+        from repro.stsparql.columnar import ColumnarEvaluator
+    except ImportError:  # pragma: no cover - numpy is baked in
+        return Evaluator, Evaluator
+    if name == "auto":
+        return ColumnarEvaluator, Evaluator
+    return ColumnarEvaluator, ColumnarEvaluator
+
+
+def _explain_doc(
+    engine: str, operation: str, rows: int, plan: List[dict]
+) -> dict:
+    return {
+        "engine": engine,
+        "operation": operation,
+        "rows": rows,
+        "plan": plan,
+    }
+
+
 def _parse_via_cache(cache: LRUCache, text: str):
     """Parse ``text`` through a shared plan cache; returns (plan, hit).
 
@@ -115,8 +154,15 @@ class Strabon:
         graph: Optional[Graph] = None,
         enable_inference: bool = True,
         enable_spatial_index: bool = True,
+        query_engine: Optional[str] = None,
     ) -> None:
         self.graph = graph if graph is not None else Graph()
+        #: Evaluator classes behind read and update requests ("auto" by
+        #: default — columnar reads, row-wise update WHERE evaluation —
+        #: forced via the constructor or ``perf.configure``).
+        self._evaluator_cls, self._update_evaluator_cls = (
+            _resolve_engine(query_engine)
+        )
         self._inference = (
             RDFSInference(self.graph) if enable_inference else None
         )
@@ -207,7 +253,24 @@ class Strabon:
 
     # -- querying ----------------------------------------------------------
 
-    def _evaluator(self, initial: Optional[Row] = None) -> Evaluator:
+    @property
+    def engine_name(self) -> str:
+        """Name of the engine answering read queries (under ``auto``
+        update WHERE clauses may use a different one — see
+        :func:`_resolve_engine`)."""
+        return self._evaluator_cls.engine_name
+
+    def _engine_name_for(self, operation: str) -> str:
+        cls = (
+            self._update_evaluator_cls
+            if operation == "update"
+            else self._evaluator_cls
+        )
+        return cls.engine_name
+
+    def _evaluator(
+        self, initial: Optional[Row] = None, cls=None
+    ) -> Evaluator:
         """Build the evaluation plan: binds inference + spatial index."""
         with _tracer.span("stsparql.plan"):
             candidates = (
@@ -215,7 +278,7 @@ class Strabon:
                 if self._spatial_index_enabled
                 else None
             )
-            return Evaluator(
+            return (cls or self._evaluator_cls)(
                 self.graph,
                 inference=self._inference,
                 spatial_candidates=candidates,
@@ -264,25 +327,37 @@ class Strabon:
             for name, value in params.items()
         }
 
-    def _dispatch(self, parsed, initial: Optional[Row] = None):
+    def _dispatch(
+        self,
+        parsed,
+        initial: Optional[Row] = None,
+        explain_log: Optional[List[dict]] = None,
+    ):
         """Evaluate a parsed request; returns (result, operation, rows)."""
-        if isinstance(parsed, ast.SelectQuery):
-            result: Union[SolutionSet, bool, Graph, UpdateResult] = (
-                self._evaluator(initial).select(parsed)
-            )
-            return result, "select", len(result)  # type: ignore[arg-type]
-        if isinstance(parsed, ast.AskQuery):
-            return self._evaluator(initial).ask(parsed), "ask", 1
-        if isinstance(parsed, ast.ConstructQuery):
-            result = self._construct(parsed, initial)
-            return result, "construct", len(result)
-        return self._apply_update(parsed, initial), "update", 0
+        if isinstance(parsed, (ast.SelectQuery, ast.AskQuery, ast.ConstructQuery)):
+            evaluator = self._evaluator(initial)
+            evaluator.explain_log = explain_log
+            if isinstance(parsed, ast.SelectQuery):
+                result: Union[SolutionSet, bool, Graph, UpdateResult] = (
+                    evaluator.select(parsed)
+                )
+                return result, "select", len(result)  # type: ignore[arg-type]
+            if isinstance(parsed, ast.AskQuery):
+                return evaluator.ask(parsed), "ask", 1
+            built = _construct_graph(evaluator, parsed)
+            return built, "construct", len(built)
+        return (
+            self._apply_update(parsed, initial, explain_log),
+            "update",
+            0,
+        )
 
     def query(
         self,
         text: str,
         params: Optional[Dict[str, object]] = None,
-    ) -> Union[SolutionSet, bool, UpdateResult]:
+        explain: bool = False,
+    ) -> Union[SolutionSet, bool, UpdateResult, dict]:
         """Parse and run any stSPARQL request (SELECT / ASK / update).
 
         ``params`` pre-binds variables (``{"__ts": Literal(...)}`` binds
@@ -290,10 +365,17 @@ class Strabon:
         therefore plan-cache friendly — across executions.  Values may
         be RDF terms or plain Python values (converted like expression
         results).
+
+        With ``explain=True`` the request still executes, but the
+        return value is a JSON-style dict describing the execution:
+        the engine, the operation, the row count and — per evaluated
+        BGP — the selectivity-ordered join order with the cardinality
+        estimates that drove it.
         """
         initial = self._param_row(params)
+        explain_log: Optional[List[dict]] = [] if explain else None
         if not is_enabled():
-            return self._query_plain(text, initial)
+            return self._query_plain(text, initial, explain_log)
         with _tracer.span("stsparql.query") as span:
             t0 = time.perf_counter()
             with _tracer.span("stsparql.parse") as parse_span:
@@ -301,7 +383,9 @@ class Strabon:
                 parse_span.set(cached=was_cached)
             t1 = time.perf_counter()
             with _tracer.span("stsparql.eval"):
-                result, op, rows = self._dispatch(parsed, initial)
+                result, op, rows = self._dispatch(
+                    parsed, initial, explain_log
+                )
             t2 = time.perf_counter()
             stats = QueryStats(
                 operation=op,
@@ -333,14 +417,23 @@ class Strabon:
                     "stsparql_triples_removed_total",
                     "Triples deleted by stSPARQL updates",
                 ).inc(stats.triples_removed)
+        if explain_log is not None:
+            return _explain_doc(
+                self._engine_name_for(op), op, rows, explain_log
+            )
         return result
 
-    def _query_plain(self, text: str, initial: Optional[Row] = None):
+    def _query_plain(
+        self,
+        text: str,
+        initial: Optional[Row] = None,
+        explain_log: Optional[List[dict]] = None,
+    ):
         """The uninstrumented request path (observability disabled)."""
         t0 = time.perf_counter()
         parsed, _was_cached = self._parse_cached(text)
         t1 = time.perf_counter()
-        result, op, rows = self._dispatch(parsed, initial)
+        result, op, rows = self._dispatch(parsed, initial, explain_log)
         t2 = time.perf_counter()
         self.last_stats = QueryStats(
             operation=op,
@@ -350,6 +443,10 @@ class Strabon:
             triples_added=getattr(result, "added", 0),
             triples_removed=getattr(result, "removed", 0),
         )
+        if explain_log is not None:
+            return _explain_doc(
+                self._engine_name_for(op), op, rows, explain_log
+            )
         return result
 
     def select(
@@ -384,17 +481,13 @@ class Strabon:
             raise SparqlEvalError("request was not a CONSTRUCT query")
         return result
 
-    def _construct(
-        self, query: ast.ConstructQuery, initial: Optional[Row] = None
-    ) -> Graph:
-        return _construct_graph(self._evaluator(initial), query)
-
     # -- update machinery --------------------------------------------------
 
     def _apply_update(
         self,
         request: ast.UpdateRequest,
         initial: Optional[Row] = None,
+        explain_log: Optional[List[dict]] = None,
     ) -> UpdateResult:
         if request.where_pattern is None:
             # INSERT DATA / DELETE DATA — templates must be ground.
@@ -408,9 +501,9 @@ class Strabon:
                 if self.graph.add(*triple):
                     added += 1
             return UpdateResult(removed=removed, added=added)
-        bindings = self._evaluator(initial).update_bindings(
-            request.where_pattern
-        )
+        evaluator = self._evaluator(initial, self._update_evaluator_cls)
+        evaluator.explain_log = explain_log
+        bindings = evaluator.update_bindings(request.where_pattern)
         to_remove = _instantiate(request.delete_template, bindings)
         to_add = _instantiate(request.insert_template, bindings)
         removed = 0
@@ -448,9 +541,12 @@ class SnapshotView:
         plan_cache: Optional[LRUCache] = None,
         enable_inference: bool = True,
         enable_spatial_index: bool = True,
+        query_engine: Optional[str] = None,
     ) -> None:
         perf = get_config()
         self.snapshot = snapshot
+        # Read-only endpoint: only the read-path class is ever used.
+        self._evaluator_cls, _ = _resolve_engine(query_engine)
         self.plan_cache = (
             plan_cache
             if plan_cache is not None
@@ -512,11 +608,16 @@ class SnapshotView:
 
     # -- read-only request execution --------------------------------------
 
+    @property
+    def engine_name(self) -> str:
+        """Name of the execution engine answering requests."""
+        return self._evaluator_cls.engine_name
+
     def _evaluator(self, initial: Optional[Row] = None) -> Evaluator:
         candidates = (
             self.spatial_candidates if self._spatial_index_enabled else None
         )
-        return Evaluator(
+        return self._evaluator_cls(
             self.snapshot,  # type: ignore[arg-type]
             inference=self._inference,
             spatial_candidates=candidates,
@@ -527,13 +628,17 @@ class SnapshotView:
         self,
         text: str,
         params: Optional[Dict[str, object]] = None,
-    ) -> Union[SolutionSet, bool, Graph]:
+        explain: bool = False,
+    ) -> Union[SolutionSet, bool, Graph, dict]:
         """Run a read-only stSPARQL request against the snapshot.
 
         SELECT / ASK / CONSTRUCT only — an update request raises
-        :class:`SnapshotWriteError` before touching anything.
+        :class:`SnapshotWriteError` before touching anything.  With
+        ``explain=True`` the executed plan is returned instead of the
+        solutions (see :meth:`Strabon.query`).
         """
         initial = Strabon._param_row(params)
+        explain_log: Optional[List[dict]] = [] if explain else None
         t0 = time.perf_counter()
         parsed, _hit = _parse_via_cache(self.plan_cache, text)
         if not isinstance(
@@ -546,16 +651,18 @@ class SnapshotView:
         with _tracer.span(
             "stsparql.query", snapshot=True, generation=self.generation
         ) as span:
+            evaluator = self._evaluator(initial)
+            evaluator.explain_log = explain_log
             if isinstance(parsed, ast.SelectQuery):
                 result: Union[SolutionSet, bool, Graph] = (
-                    self._evaluator(initial).select(parsed)
+                    evaluator.select(parsed)
                 )
                 op, rows = "select", len(result)  # type: ignore[arg-type]
             elif isinstance(parsed, ast.AskQuery):
-                result = self._evaluator(initial).ask(parsed)
+                result = evaluator.ask(parsed)
                 op, rows = "ask", 1
             else:
-                result = _construct_graph(self._evaluator(initial), parsed)
+                result = _construct_graph(evaluator, parsed)
                 op, rows = "construct", len(result)
             span.set(operation=op, rows=rows)
         if _metrics.enabled:
@@ -565,6 +672,8 @@ class SnapshotView:
             ).observe(
                 time.perf_counter() - t0, operation=f"snapshot-{op}"
             )
+        if explain_log is not None:
+            return _explain_doc(self.engine_name, op, rows, explain_log)
         return result
 
     def select(

@@ -15,7 +15,6 @@ Strabon behaviour the paper's Figure 8 measures.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry import Geometry
@@ -45,6 +44,7 @@ class SolutionSet:
     def __init__(self, variables: Sequence[str], rows: List[Row]) -> None:
         self.variables = list(variables)
         self.rows = rows
+        self._var_index: Optional[Dict[str, int]] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -55,14 +55,61 @@ class SolutionSet:
     def __bool__(self) -> bool:
         return bool(self.rows)
 
+    @property
+    def variable_index(self) -> Dict[str, int]:
+        """Header name -> position, built once per solution set."""
+        index = self._var_index
+        if index is None:
+            index = {name: i for i, name in enumerate(self.variables)}
+            self._var_index = index
+        return index
+
     def column(self, name: str) -> List[Optional[Term]]:
         name = name.lstrip("?")
+        if name not in self.variable_index:
+            raise KeyError(
+                f"no variable ?{name} in solution header {self.variables}"
+            )
         return [row.get(name) for row in self.rows]
 
     def as_tuples(self) -> List[Tuple[Optional[Term], ...]]:
+        variables = self.variables
         return [
-            tuple(row.get(v) for v in self.variables) for row in self.rows
+            tuple(row.get(v) for v in variables) for row in self.rows
         ]
+
+    def _canonical_rows(self) -> List[Tuple]:
+        """Order-insensitive fingerprint: one sortable key per row."""
+        names = sorted(self.variable_index)
+        keys = []
+        for row in self.rows:
+            key = []
+            for name in names:
+                term = row.get(name)
+                if term is None:
+                    key.append(("", ""))
+                else:
+                    key.append((type(term).__name__, term.n3()))
+            keys.append(tuple(key))
+        keys.sort()
+        return keys
+
+    def __eq__(self, other: object) -> bool:
+        """Same variables and the same multiset of rows.
+
+        Row *order* is deliberately ignored — without ORDER BY it is an
+        implementation detail, and the differential harness compares the
+        interpreted and columnar engines through this.
+        """
+        if not isinstance(other, SolutionSet):
+            return NotImplemented
+        if set(self.variables) != set(other.variables):
+            return False
+        if len(self.rows) != len(other.rows):
+            return False
+        return self._canonical_rows() == other._canonical_rows()
+
+    __hash__ = None  # mutable container
 
     def to_sparql_json(self) -> dict:
         """W3C SPARQL 1.1 Query Results JSON Format (a plain dict)."""
@@ -99,6 +146,9 @@ class Evaluator:
     which re-enter :meth:`select`, see the same parameters.
     """
 
+    #: Reported by EXPLAIN output and engine metrics.
+    engine_name = "interpreted"
+
     def __init__(
         self,
         graph: Graph,
@@ -110,6 +160,9 @@ class Evaluator:
         self.inference = inference
         self.spatial_candidates = spatial_candidates
         self.initial: Row = dict(initial) if initial else {}
+        #: When set (to a list) by the engine, every BGP evaluation
+        #: appends its chosen join order and cardinality estimates.
+        self.explain_log: Optional[List[dict]] = None
 
     def _seed(self) -> List[Row]:
         return [dict(self.initial)]
@@ -144,6 +197,15 @@ class Evaluator:
         else:
             out_rows = self._evaluate_plain(query, rows)
         variables = self._header(query, rows)
+        return self._finalise(query, out_rows, variables)
+
+    def _finalise(
+        self,
+        query: ast.SelectQuery,
+        out_rows: List[Row],
+        variables: List[str],
+    ) -> SolutionSet:
+        """DISTINCT / ORDER BY / OFFSET / LIMIT over projected rows."""
         if query.distinct:
             seen: Set[Tuple] = set()
             deduped: List[Row] = []
@@ -390,24 +452,10 @@ class Evaluator:
         group_filters: List[ast.Filter],
         applied: Set[int],
     ) -> List[Row]:
-        remaining = list(bgp.triples)
-        # Greedy ordering: repeatedly pick the cheapest pattern given the
-        # variables bound so far (static estimate using the first row).
         bound: Set[str] = set()
         for row in rows[:1]:
             bound |= set(row)
-        spatial_pairs = _spatial_filter_pairs(group_filters)
-        ordered: List[ast.TriplePattern] = []
-        while remaining:
-            best_idx = min(
-                range(len(remaining)),
-                key=lambda i: self._estimate(
-                    remaining[i], bound, spatial_pairs
-                ),
-            )
-            pattern = remaining.pop(best_idx)
-            ordered.append(pattern)
-            bound |= {v.name for v in pattern.variables()}
+        ordered = self._order_patterns(bgp, bound, group_filters)
         for pattern in ordered:
             next_rows: List[Row] = []
             for row in rows:
@@ -435,6 +483,50 @@ class Evaluator:
             if not rows:
                 break
         return rows
+
+    def _order_patterns(
+        self,
+        bgp: ast.BGP,
+        bound: Set[str],
+        group_filters: List[ast.Filter],
+    ) -> List[ast.TriplePattern]:
+        """Greedy selectivity ordering, shared by both engines.
+
+        Repeatedly picks the cheapest remaining pattern given the
+        variables bound so far (:meth:`_estimate`).  When the evaluator
+        carries an ``explain_log``, the chosen order and the estimates
+        that drove it are recorded there.
+        """
+        remaining = list(bgp.triples)
+        spatial_pairs = _spatial_filter_pairs(group_filters)
+        bound = set(bound)
+        ordered: List[ast.TriplePattern] = []
+        estimates: List[int] = []
+        while remaining:
+            best_idx = min(
+                range(len(remaining)),
+                key=lambda i: self._estimate(
+                    remaining[i], bound, spatial_pairs
+                ),
+            )
+            pattern = remaining.pop(best_idx)
+            estimates.append(
+                self._estimate(pattern, bound, spatial_pairs)
+            )
+            ordered.append(pattern)
+            bound |= {v.name for v in pattern.variables()}
+        if self.explain_log is not None:
+            self.explain_log.append(
+                {
+                    "operator": "bgp",
+                    "engine": self.engine_name,
+                    "join_order": [
+                        _pattern_text(p) for p in ordered
+                    ],
+                    "estimates": estimates,
+                }
+            )
+        return ordered
 
     def _estimate(
         self,
@@ -725,6 +817,13 @@ def _term_json(term: Term) -> dict:
     elif term.datatype:
         out["datatype"] = term.datatype
     return out
+
+
+def _pattern_text(pattern: ast.TriplePattern) -> str:
+    return " ".join(
+        term.n3()
+        for term in (pattern.subject, pattern.predicate, pattern.object)
+    )
 
 
 def _numeric(value: Value) -> float:

@@ -128,6 +128,25 @@ def as_string(value: Value) -> str:
     raise ExpressionError(f"cannot stringify {type(value).__name__}")
 
 
+def instant_key(value: datetime) -> int:
+    """Total-order integer key for a datetime, in microseconds.
+
+    Exact integer arithmetic (no float rounding), so equality of keys is
+    equality of instants.  Aware datetimes are shifted to UTC first; the
+    caller must not mix aware and naive values in one comparison — their
+    keys live on different axes.
+    """
+    offset = value.utcoffset()
+    if offset is not None:
+        value = (value - offset).replace(tzinfo=None)
+    return (
+        value.toordinal() * 86400
+        + value.hour * 3600
+        + value.minute * 60
+        + value.second
+    ) * 1_000_000 + value.microsecond
+
+
 # -- comparison --------------------------------------------------------------
 
 

@@ -130,6 +130,24 @@ def test_stsparql_select_and_refused_update(server):
     assert status == 400
 
 
+def test_stsparql_explain_returns_plan(server):
+    status, plan = _request(
+        server,
+        "POST",
+        "/stsparql",
+        json.dumps({"query": SELECT, "explain": True}),
+    )
+    assert status == 200
+    assert plan["engine"] in ("columnar", "interpreted")
+    assert plan["operation"] == "select"
+    assert plan["rows"] > 0
+    bgp = plan["plan"][0]
+    assert bgp["operator"] == "bgp"
+    assert len(bgp["join_order"]) == len(bgp["estimates"]) == 2
+    # Explain responses carry the same snapshot provenance as results.
+    assert plan["snapshot"]["sequence"] >= 1
+
+
 def test_health_reflects_service_state(server, served_service):
     status, health = _request(server, "GET", "/health")
     assert status == 200

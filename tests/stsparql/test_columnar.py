@@ -1,0 +1,224 @@
+"""Columnar-engine specifics: explain plans, metrics, configuration.
+
+Result *equality* with the interpreted engine lives in
+``test_differential.py``; this file covers the machinery around the
+engine — the EXPLAIN surface, the observability counters, the perf
+knob and the SolutionSet helpers the executor leans on.
+"""
+
+import pytest
+
+from repro import obs, perf
+from repro.rdf import Literal, NOA, RDF, XSD
+from repro.stsparql import Strabon
+from repro.stsparql.eval import SolutionSet
+
+pytest.importorskip("numpy")
+
+PREFIX = (
+    "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+)
+
+
+def small_engine(**kwargs):
+    engine = Strabon(**kwargs)
+    for i in range(8):
+        node = NOA.term(f"h{i}")
+        engine.add(node, RDF.type, NOA.term("Hotspot"))
+        engine.add(
+            node,
+            NOA.term("hasConfidence"),
+            Literal(repr(i / 8), datatype=XSD.base + "double"),
+        )
+    return engine
+
+
+@pytest.fixture()
+def observability():
+    obs.enable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+class TestExplain:
+    def test_explain_reports_join_order_and_engine(self):
+        engine = small_engine()
+        doc = engine.query(
+            PREFIX
+            + """SELECT ?h ?c WHERE {
+                ?h a noa:Hotspot ; noa:hasConfidence ?c .
+                FILTER(?c > 0.5) }""",
+            explain=True,
+        )
+        assert doc["engine"] == "columnar"
+        assert doc["operation"] == "select"
+        assert doc["rows"] == 3
+        (bgp,) = doc["plan"]
+        assert bgp["operator"] == "bgp"
+        assert bgp["engine"] == "columnar"
+        assert len(bgp["join_order"]) == 2
+        assert len(bgp["estimates"]) == 2
+        # Estimates are the planner's scores: ordered greedily.
+        assert all(isinstance(e, int) for e in bgp["estimates"])
+
+    def test_explain_still_executes(self):
+        engine = small_engine()
+        doc = engine.query(
+            PREFIX + "INSERT { ?h noa:seen 1 } "
+            "WHERE { ?h a noa:Hotspot }",
+            explain=True,
+        )
+        assert doc["operation"] == "update"
+        assert len(doc["plan"]) == 1
+        assert engine.ask(PREFIX + "ASK { ?h noa:seen 1 }")
+
+    def test_snapshot_view_explain(self):
+        engine = small_engine()
+        view = engine.snapshot_view()
+        doc = view.query(
+            PREFIX + "SELECT ?h WHERE { ?h a noa:Hotspot }",
+            explain=True,
+        )
+        assert doc["engine"] == "columnar"
+        assert doc["rows"] == 8
+        assert doc["plan"][0]["join_order"]
+
+    def test_interpreted_engine_explains_too(self):
+        engine = small_engine(query_engine="interpreted")
+        doc = engine.query(
+            PREFIX + "SELECT ?h WHERE { ?h a noa:Hotspot }",
+            explain=True,
+        )
+        assert doc["engine"] == "interpreted"
+        assert doc["plan"][0]["engine"] == "interpreted"
+
+
+class TestMetrics:
+    def test_columnar_metrics_registered(self, observability):
+        engine = small_engine()
+        engine.select(
+            PREFIX
+            + """SELECT ?h ?c WHERE {
+                ?h a noa:Hotspot ; noa:hasConfidence ?c .
+                FILTER(?c >= 0.25) }"""
+        )
+        names = {
+            m["name"] for m in observability.get_metrics().collect()
+        }
+        assert "stsparql_columnar_batches_total" in names
+        assert "stsparql_columnar_batch_rows" in names
+        assert "stsparql_columnar_dictionary_terms" in names
+        assert "stsparql_columnar_vectorised_filters_total" in names
+
+    def test_filter_memo_counters(self, observability):
+        engine = small_engine()
+        # A string filter takes the per-distinct-combination path.
+        engine.add(
+            NOA.term("h0"), NOA.term("producedBy"), Literal("MSG2")
+        )
+        engine.add(
+            NOA.term("h1"), NOA.term("producedBy"), Literal("MSG2")
+        )
+        engine.select(
+            PREFIX
+            + """SELECT ?h WHERE { ?h noa:producedBy ?s .
+                FILTER(?s = "MSG2") }"""
+        )
+        names = {
+            m["name"] for m in observability.get_metrics().collect()
+        }
+        assert "stsparql_columnar_filter_memo_misses_total" in names
+
+
+class TestPerfKnob:
+    def test_engine_setting_validates(self):
+        with pytest.raises(ValueError):
+            perf.configure(query_engine="turbo")
+        with pytest.raises(ValueError):
+            perf.configure(columnar_batch_rows=0)
+        # Rejected values must not stick.
+        assert perf.get_config().query_engine in (
+            "auto",
+            "columnar",
+            "interpreted",
+        )
+        assert perf.get_config().columnar_batch_rows >= 1
+        original = perf.get_config().query_engine
+        try:
+            perf.configure(query_engine="interpreted")
+            assert Strabon().engine_name == "interpreted"
+            perf.configure(query_engine="columnar")
+            assert Strabon().engine_name == "columnar"
+        finally:
+            perf.configure(query_engine=original)
+
+    def test_auto_routes_updates_row_wise(self):
+        # "auto" (the default) answers read queries from the columnar
+        # engine but evaluates update WHERE clauses row-wise; explain
+        # reports the engine that actually ran each request.
+        engine = small_engine(query_engine="auto")
+        assert engine.engine_name == "columnar"
+        doc = engine.query(
+            PREFIX + "SELECT ?h WHERE { ?h a noa:Hotspot }",
+            explain=True,
+        )
+        assert doc["engine"] == "columnar"
+        doc = engine.query(
+            PREFIX
+            + """DELETE { ?h noa:producedBy ?s }
+                WHERE { ?h noa:producedBy ?s }""",
+            explain=True,
+        )
+        assert doc["engine"] == "interpreted"
+        forced = small_engine(query_engine="columnar")
+        doc = forced.query(
+            PREFIX
+            + """DELETE { ?h noa:producedBy ?s }
+                WHERE { ?h noa:producedBy ?s }""",
+            explain=True,
+        )
+        assert doc["engine"] == "columnar"
+
+    def test_batch_size_one_still_correct(self):
+        original = perf.get_config().columnar_batch_rows
+        try:
+            perf.configure(columnar_batch_rows=1)
+            engine = small_engine()
+            got = engine.select(
+                PREFIX
+                + """SELECT ?h ?c WHERE {
+                    ?h a noa:Hotspot ; noa:hasConfidence ?c .
+                    FILTER(?c > 0.3) }"""
+            )
+            assert len(got) == 5
+        finally:
+            perf.configure(columnar_batch_rows=original)
+
+
+class TestSolutionSet:
+    def test_column_raises_for_unknown_variable(self):
+        ss = SolutionSet(["a"], [{"a": Literal("x")}])
+        assert ss.column("a") == [Literal("x")]
+        assert ss.column("?a") == [Literal("x")]
+        with pytest.raises(KeyError):
+            ss.column("missing")
+
+    def test_equality_ignores_row_order(self):
+        r1 = {"a": Literal("x")}
+        r2 = {"a": Literal("y")}
+        assert SolutionSet(["a"], [r1, r2]) == SolutionSet(
+            ["a"], [r2, r1]
+        )
+        assert SolutionSet(["a"], [r1]) != SolutionSet(["a"], [r2])
+        assert SolutionSet(["a"], [r1, r1]) != SolutionSet(
+            ["a"], [r1]
+        )
+
+    def test_equality_needs_same_variables(self):
+        row = {"a": Literal("x")}
+        assert SolutionSet(["a"], [row]) != SolutionSet(
+            ["a", "b"], [row]
+        )
