@@ -2,8 +2,8 @@
 
 One construction-time object (:class:`ServiceConfig`) replaces the
 8-kwarg service constructor, and one per-batch object
-(:class:`RunOptions`) replaces the kwargs that used to be threaded
-through ``process_scenes`` / ``process_acquisitions``:
+(:class:`RunOptions`) carries everything that varies per
+:meth:`~repro.core.service.FireMonitoringService.run` call:
 
 >>> from repro.core import FireMonitoringService, ServiceConfig, RunOptions
 >>> service = FireMonitoringService(config=ServiceConfig(use_files=True))

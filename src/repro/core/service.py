@@ -26,9 +26,11 @@ skipped or truncated when the real-time window demands it, and with
 ``on_error="degrade"`` (the default) **no exception escapes** — every
 request yields an :class:`AcquisitionOutcome` whose ``status`` /
 ``errors`` say what happened.  The pre-redesign entry points
-(``process_acquisition`` / ``process_scene`` / ``process_ready`` /
-``process_scenes`` / ``process_acquisitions``) survive as thin
-deprecated shims with their historical raise-on-failure semantics.
+(``process_acquisition`` and friends) have been removed; callers that
+want the historical raise-on-failure semantics pass
+``RunOptions(on_error="raise")``.  :meth:`serve_sharded` starts the
+scatter-gather serving tier (``repro.serve.shard`` /
+``repro.serve.router``) over this service's snapshot publications.
 """
 
 from __future__ import annotations
@@ -38,10 +40,9 @@ import os
 import shutil
 import tempfile
 import time
-import warnings
 from dataclasses import dataclass, field
 from datetime import datetime
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.archive import ProductArchive
 from repro.core.config import FaultPolicy, RunOptions, ServiceConfig
@@ -64,7 +65,6 @@ from repro.obs import (
     get_tracer,
 )
 from repro.obs import flightrec as _flightrec
-from repro.seviri.fires import FireSeason
 from repro.seviri.geo import GeoReference, RawGrid, TargetGrid
 from repro.seviri.hrit import write_hrit_segments
 from repro.seviri.scene import SceneGenerator, SceneImage
@@ -997,79 +997,39 @@ class FireMonitoringService:
             "" if outcome.within_budget else "  ** DEADLINE MISS **",
         )
 
-    # -- deprecated pre-redesign entry points ------------------------------
+    # -- sharded serving ---------------------------------------------------
 
-    def _deprecated(self, old: str, new: str) -> None:
-        warnings.warn(
-            f"FireMonitoringService.{old} is deprecated; use {new}",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def process_acquisition(
+    def serve_sharded(
         self,
-        when: datetime,
-        season: Optional[FireSeason] = None,
-        sensor_name: str = "MSG2",
-    ) -> AcquisitionOutcome:
-        """Deprecated: use :meth:`run` with a timestamp request."""
-        self._deprecated("process_acquisition", "run([when], options)")
-        options = RunOptions(
-            season=season, sensor_name=sensor_name, on_error="raise"
+        shards: int = 4,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        read_workers: int = 2,
+    ):
+        """Start the sharded scatter-gather serving tier over this
+        service's publications.
+
+        Partitions the published store into ``shards`` spatial tiles
+        (plus a catch-all for non-geometric triples), starts one HTTP
+        server per shard and a router front end, and wires the shard
+        tier to this service's publisher so every future acquisition
+        repartitions automatically.  Returns ``(manager, router
+        handle)``; stop with ``handle.stop(); manager.stop_http()``.
+        """
+        if self.publisher is None:
+            raise ServiceStateError(
+                "sharded serving needs the teleios publisher — "
+                "construct the service with mode='teleios'"
+            )
+        from repro.serve.router import serve_router_in_thread
+        from repro.serve.shard import ShardManager
+
+        manager = ShardManager(self, shards=shards)
+        manager.start_http(host=host, read_workers=read_workers)
+        handle = serve_router_in_thread(
+            manager, host=host, port=port
         )
-        return self.run([when], options)[0]
-
-    def process_scene(self, scene: SceneImage) -> AcquisitionOutcome:
-        """Deprecated: use :meth:`run` with a scene request."""
-        self._deprecated("process_scene", "run([scene], options)")
-        return self.run([scene], RunOptions(on_error="raise"))[0]
-
-    def process_ready(self, acquisition) -> AcquisitionOutcome:
-        """Deprecated: use :meth:`run` with the dispatched acquisition."""
-        self._deprecated("process_ready", "run([acquisition], options)")
-        return self.run([acquisition], RunOptions(on_error="raise"))[0]
-
-    def process_scenes(
-        self,
-        scenes: Sequence[SceneImage],
-        pipelined: bool = False,
-        chain_workers: Optional[int] = None,
-        queue_depth: Optional[int] = None,
-    ) -> List[AcquisitionOutcome]:
-        """Deprecated: use :meth:`run`."""
-        self._deprecated("process_scenes", "run(scenes, options)")
-        return self.run(
-            scenes,
-            RunOptions(
-                pipelined=pipelined,
-                chain_workers=chain_workers,
-                queue_depth=queue_depth,
-                on_error="raise",
-            ),
-        )
-
-    def process_acquisitions(
-        self,
-        whens: Sequence[datetime],
-        season: Optional[FireSeason] = None,
-        sensor_name: str = "MSG2",
-        pipelined: bool = False,
-        chain_workers: Optional[int] = None,
-        queue_depth: Optional[int] = None,
-    ) -> List[AcquisitionOutcome]:
-        """Deprecated: use :meth:`run`."""
-        self._deprecated("process_acquisitions", "run(whens, options)")
-        return self.run(
-            whens,
-            RunOptions(
-                season=season,
-                sensor_name=sensor_name,
-                pipelined=pipelined,
-                chain_workers=chain_workers,
-                queue_depth=queue_depth,
-                on_error="raise",
-            ),
-        )
+        return manager, handle
 
     def _chain_input(self, scene: SceneImage):
         return scene_to_chain_input(scene, self.use_files, self.workdir)

@@ -24,8 +24,19 @@ makes crash recovery a *tested, measured property*:
 The commit protocol and why readers never observe rollback are
 documented in DESIGN.md ("Durability: WAL, checkpoints and the commit
 order").
+
+:mod:`repro.durable.attach` adds the serving tier's zero-copy read
+path over the same checkpoint files: :class:`CheckpointReader` mmaps a
+checkpoint and exposes its header (generation, WAL sequence, triple
+count) in O(1), deferring body decode until a snapshot is actually
+needed — so new read workers and shards attach in constant time.
 """
 
+from repro.durable.attach import (
+    CheckpointReader,
+    attach_checkpoint,
+    write_checkpoint,
+)
 from repro.durable.codec import (
     OP_ADD,
     OP_CLEAR,
@@ -54,6 +65,7 @@ from repro.durable.wal import WalRecord, WriteAheadLog
 __all__ = [
     "CRASH_EXIT",
     "CRASHPOINTS",
+    "CheckpointReader",
     "DurableStore",
     "GraphJournal",
     "OP_ADD",
@@ -63,6 +75,7 @@ __all__ = [
     "WalRecord",
     "WriteAheadLog",
     "arm",
+    "attach_checkpoint",
     "crash",
     "decode_ops",
     "decode_term",
@@ -71,4 +84,5 @@ __all__ = [
     "encode_term",
     "load_service_state",
     "save_service_state",
+    "write_checkpoint",
 ]

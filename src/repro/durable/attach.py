@@ -1,0 +1,252 @@
+"""Zero-copy snapshot attach over durable graph checkpoints.
+
+:class:`DurableStore` checkpoints are single files with a fixed 40-byte
+header (magic, version, WAL sequence, graph generation, body CRC, body
+length) followed by a triple-count-prefixed body in the shared
+:mod:`repro.durable.codec` wire format.  Recovery decodes the whole
+body eagerly; the *serving* tier must not — a new read worker or shard
+joining a running service should attach in O(1), not re-deserialise a
+multi-million-triple graph.
+
+:class:`CheckpointReader` is that attach path:
+
+* **attach** (construction) mmaps the file and parses only the header
+  and the body's leading triple count — constant work regardless of
+  graph size.  The mapping is shared page cache: N workers attaching
+  the same checkpoint hold one copy of the bytes between them, and
+  nothing crosses a pipe (the fork-pool used to pickle the entire
+  snapshot through the initializer arguments).
+* **materialise** (:meth:`snapshot`) decodes lazily, on first query
+  need, building a :class:`~repro.rdf.graph.GraphSnapshot` directly via
+  :meth:`~repro.rdf.graph.GraphSnapshot.from_parts` — no mutable graph,
+  no journal, generation stamped from the checkpoint header so derived
+  caches key correctly.
+
+CRC verification is opt-in (``verify=True``): completed checkpoints are
+installed by atomic rename, so a damaged file is real corruption, and
+the serving path prefers O(1) attach over an O(n) scan at every worker
+start.  :func:`write_checkpoint` writes a standalone, attachable
+checkpoint for any triple source (per-shard images, benchmarks) using
+the exact on-disk format of :class:`DurableStore`.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import zlib
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.durable.codec import decode_triple, encode_triple
+from repro.errors import DurabilityError
+from repro.rdf.graph import GraphSnapshot
+from repro.rdf.term import Term
+
+__all__ = ["CheckpointReader", "attach_checkpoint", "write_checkpoint"]
+
+_CKPT_MAGIC = b"REPROCKP"
+_CKPT_VERSION = 1
+#: magic | version | last_seq | generation | body crc32 | body length
+_CKPT_HEADER = struct.Struct("<8sIQQIQ")
+_U64 = struct.Struct("<Q")
+
+
+class CheckpointReader:
+    """An mmap attach to one durable graph checkpoint file.
+
+    Construction is O(1) in graph size: open, map, parse the header and
+    the body's triple count.  ``generation``, ``last_seq`` and
+    ``triple_count`` are available immediately; :meth:`snapshot`
+    decodes the body (once, memoised) on first call.
+    """
+
+    def __init__(self, path: str, verify: bool = False) -> None:
+        self.path = path
+        self._fh = open(path, "rb")
+        try:
+            self._map: Optional[mmap.mmap] = mmap.mmap(
+                self._fh.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError) as error:
+            self._fh.close()
+            raise DurabilityError(
+                f"cannot map checkpoint {path!r}: {error}"
+            ) from error
+        data = self._map
+        if len(data) < _CKPT_HEADER.size + _U64.size:
+            self.close()
+            raise DurabilityError(f"checkpoint {path!r} is truncated")
+        magic, version, last_seq, generation, crc, length = (
+            _CKPT_HEADER.unpack_from(data, 0)
+        )
+        if magic != _CKPT_MAGIC:
+            self.close()
+            raise DurabilityError(
+                f"{path!r} is not a checkpoint (bad magic {magic!r})"
+            )
+        if version != _CKPT_VERSION:
+            self.close()
+            raise DurabilityError(
+                f"unsupported checkpoint version {version} in {path!r}"
+            )
+        if len(data) - _CKPT_HEADER.size != length:
+            self.close()
+            raise DurabilityError(
+                f"checkpoint {path!r} body length mismatch"
+            )
+        #: WAL sequence the checkpoint contains up to.
+        self.last_seq = int(last_seq)
+        #: Graph generation at checkpoint time — the snapshot's stamp.
+        self.generation = int(generation)
+        self._body_crc = crc
+        self._body_length = length
+        (count,) = _U64.unpack_from(data, _CKPT_HEADER.size)
+        #: Triples in the image, known without decoding any of them.
+        self.triple_count = int(count)
+        self._snapshot: Optional[GraphSnapshot] = None
+        if verify:
+            self.verify()
+
+    def verify(self) -> None:
+        """Full-body CRC check (O(n) — attach itself never pays this)."""
+        body = memoryview(self._require_map())[_CKPT_HEADER.size:]
+        if zlib.crc32(body) != self._body_crc:
+            raise DurabilityError(
+                f"checkpoint {self.path!r} failed its CRC — the file "
+                "is corrupt (completed checkpoints are installed "
+                "atomically, so this is not a crash artifact)"
+            )
+
+    @property
+    def materialised(self) -> bool:
+        """True once :meth:`snapshot` has decoded the body."""
+        return self._snapshot is not None
+
+    def snapshot(self) -> GraphSnapshot:
+        """The checkpoint's state as a frozen, generation-stamped
+        snapshot (decoded lazily on first call, then memoised)."""
+        if self._snapshot is None:
+            self._snapshot = self._materialise()
+        return self._snapshot
+
+    def _materialise(self) -> GraphSnapshot:
+        data = self._require_map()
+        body = bytes(
+            memoryview(data)[
+                _CKPT_HEADER.size: _CKPT_HEADER.size + self._body_length
+            ]
+        )
+        term_to_id: Dict[Term, int] = {}
+        id_to_term: List[Term] = []
+        spo: Dict[int, Dict[int, Set[int]]] = {}
+        pos: Dict[int, Dict[int, Set[int]]] = {}
+        osp: Dict[int, Dict[int, Set[int]]] = {}
+
+        def intern(term: Term) -> int:
+            tid = term_to_id.get(term)
+            if tid is None:
+                tid = len(id_to_term)
+                term_to_id[term] = tid
+                id_to_term.append(term)
+            return tid
+
+        offset = _U64.size
+        size = 0
+        for _ in range(self.triple_count):
+            (s, p, o), offset = decode_triple(body, offset)
+            si, pi, oi = intern(s), intern(p), intern(o)
+            bucket = spo.setdefault(si, {}).setdefault(pi, set())
+            if oi in bucket:
+                continue
+            bucket.add(oi)
+            pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
+            osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
+            size += 1
+        if offset != len(body):
+            raise DurabilityError(
+                f"checkpoint {self.path!r} has trailing bytes"
+            )
+        return GraphSnapshot.from_parts(
+            term_to_id,
+            id_to_term,
+            spo,
+            pos,
+            osp,
+            size,
+            self.generation,
+        )
+
+    def _require_map(self) -> mmap.mmap:
+        if self._map is None:
+            raise DurabilityError(
+                f"checkpoint reader for {self.path!r} is closed"
+            )
+        return self._map
+
+    def close(self) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CheckpointReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "materialised" if self.materialised else "attached"
+        return (
+            f"<CheckpointReader {self.path!r} {state} "
+            f"generation={self.generation} "
+            f"triples={self.triple_count}>"
+        )
+
+
+def attach_checkpoint(path: str, verify: bool = False) -> CheckpointReader:
+    """Attach to the checkpoint at ``path`` in O(1) (see
+    :class:`CheckpointReader`)."""
+    return CheckpointReader(path, verify=verify)
+
+
+def write_checkpoint(
+    triples, path: str, generation: int = 0, last_seq: int = 0
+) -> int:
+    """Write a standalone, attachable checkpoint file.
+
+    ``triples`` is any iterable of term triples (a snapshot's
+    ``triples()``, a graph, a list).  Atomic: temp file → fsync →
+    rename, matching :meth:`DurableStore.checkpoint`'s format exactly,
+    so :class:`CheckpointReader` and crash recovery both read it.
+    Returns the number of triples written.
+    """
+    source = getattr(triples, "triples", None)
+    rows = source() if callable(source) else triples
+    generation = int(
+        getattr(triples, "generation", generation) or generation
+    )
+    body = bytearray(_U64.pack(0))
+    count = 0
+    for triple in rows:
+        encode_triple(body, triple)
+        count += 1
+    body[: _U64.size] = _U64.pack(count)
+    header = _CKPT_HEADER.pack(
+        _CKPT_MAGIC,
+        _CKPT_VERSION,
+        last_seq,
+        generation,
+        zlib.crc32(bytes(body)),
+        len(body),
+    )
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        fh.write(body)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return count

@@ -7,34 +7,75 @@ queries from immutable, atomically-published snapshots of the Strabon
 store while the ingest/refinement writer keeps running:
 
 * :class:`SnapshotPublisher` / :class:`PublishedSnapshot` — the
-  single-writer → many-reader hand-off (``repro.serve.state``),
+  single-writer → many-reader hand-off, and
+  :class:`ConsistencyToken` — the opaque comparable stamp every served
+  response carries (``repro.serve.state``),
 * :func:`query_hotspots` — snapshot → filtered GeoJSON
   (``repro.serve.hotspots``),
 * :class:`ReadWorkerPool` — N-wide read execution over one frozen
-  snapshot, thread- or fork-based (``repro.serve.pool``),
+  snapshot, thread- or fork-based, with O(1) zero-copy checkpoint
+  attach via :meth:`ReadWorkerPool.from_checkpoint`
+  (``repro.serve.pool``),
 * :class:`HotspotServer` / :func:`serve_in_thread` — the stdlib-only
-  asyncio HTTP endpoint (``repro.serve.http``),
+  asyncio HTTP endpoint, v1-versioned (``repro.serve.http``),
+* :class:`ShardManager` / :class:`TileLayout` — spatial partitioning
+  of the published store by target-grid tile, one engine + publisher
+  per shard (``repro.serve.shard``),
+* :class:`ShardRouter` / :func:`serve_router_in_thread` — the
+  scatter-gather front end with bbox-pruned fan-out and composite
+  consistency tokens (``repro.serve.router``),
+* :class:`ServeClient` — the HTTP client speaking the same
+  ``query(text, params=, explain=, query_engine=, timeout=)`` contract
+  as the in-process engines (``repro.serve.client``),
 * :class:`LoadGenerator` — the closed-loop benchmark driver
   (``repro.serve.load``).
 """
 
+from repro.serve.client import ServeClient, ServeError
 from repro.serve.hotspots import HOTSPOTS_QUERY, parse_bbox, query_hotspots
 from repro.serve.http import HotspotServer, ServerHandle, serve_in_thread
 from repro.serve.load import LoadGenerator, LoadReport, fetch_json
 from repro.serve.pool import ReadWorkerPool
-from repro.serve.state import PublishedSnapshot, SnapshotPublisher
+from repro.serve.router import (
+    RouterService,
+    ShardRouter,
+    serve_router_in_thread,
+)
+from repro.serve.shard import (
+    CATCH_ALL,
+    ShardManager,
+    Tile,
+    TileLayout,
+    partition_snapshot,
+)
+from repro.serve.state import (
+    ConsistencyToken,
+    PublishedSnapshot,
+    SnapshotPublisher,
+)
 
 __all__ = [
+    "CATCH_ALL",
+    "ConsistencyToken",
     "HOTSPOTS_QUERY",
     "HotspotServer",
     "LoadGenerator",
     "LoadReport",
     "PublishedSnapshot",
     "ReadWorkerPool",
+    "RouterService",
+    "ServeClient",
+    "ServeError",
     "ServerHandle",
+    "ShardManager",
+    "ShardRouter",
     "SnapshotPublisher",
+    "Tile",
+    "TileLayout",
     "fetch_json",
     "parse_bbox",
+    "partition_snapshot",
     "query_hotspots",
     "serve_in_thread",
+    "serve_router_in_thread",
 ]

@@ -2,24 +2,39 @@
 
 A minimal asyncio HTTP/1.1 server (no third-party framework; the
 container images this repo targets carry only the standard library)
-exposing five endpoints:
+exposing five endpoints, all published under ``/v1/`` (the bare legacy
+paths keep answering as aliases, with a ``Deprecation: true`` header
+and a ``Link`` naming the ``/v1`` successor):
 
-* ``GET /hotspots`` — surviving hotspots of the **latest published
+* ``GET /v1/hotspots`` — surviving hotspots of the **latest published
   snapshot** as GeoJSON; query parameters ``bbox=minx,miny,maxx,maxy``,
   ``since=`` / ``until=`` (ISO-8601), ``min_confidence=`` and
   ``confirmed=true|false`` filter the features.
-* ``POST /stsparql`` — a read-only stSPARQL endpoint over the same
-  snapshot (body: the query text, or JSON ``{"query": ...}``).
-  Updates are refused with **403** — writes go through the monitoring
-  service, never through the serving layer.
-* ``GET /metrics`` — the Prometheus exposition of the process registry.
-* ``GET /health`` — the monitoring service's degradation status
+* ``POST /v1/stsparql`` — a read-only stSPARQL endpoint over the same
+  snapshot (body: the query text, or JSON ``{"query": ..., "params":
+  ..., "explain": ..., "engine": ..., "timeout_s": ...}`` — the same
+  keyword contract as :meth:`Strabon.query`).  Updates are refused
+  with **403** — writes go through the monitoring service, never
+  through the serving layer; a request overrunning ``timeout_s``
+  answers **408**.
+* ``GET /v1/metrics`` — the Prometheus exposition of the process
+  registry.
+* ``GET /v1/health`` — the monitoring service's degradation status
   (acquisition outcome counts, circuit-breaker state, dead letters,
   deadline misses, SLO burn rates, latest snapshot identity).
-* ``GET /debug/tracez`` — recent complete distributed traces from the
-  process tracer (``limit=``, ``trace_id=``, ``format=text``), for
+* ``GET /v1/debug/tracez`` — recent complete distributed traces from
+  the process tracer (``limit=``, ``trace_id=``, ``format=text``), for
   correlating a served ``trace_id`` back to the acquisition that
   produced the data.
+
+Every data-bearing response carries a normalised ``provenance`` block:
+the opaque consistency ``token`` (see
+:class:`~repro.serve.state.ConsistencyToken`) plus its sequence /
+generation parts, the publishing acquisition's ``trace_id``, the
+request's own ``request_trace_id``, and the scatter-gather fields
+(``shards`` / ``degraded`` / ``missing_shards``) the sharded router
+fills in.  The pre-v1 ``snapshot`` block is retained for
+compatibility.
 
 Every request runs under a ``serve.request`` span that joins the trace
 named by incoming ``x-trace-id`` / ``x-parent-span`` headers (or roots
@@ -57,8 +72,9 @@ from repro.obs import (
     recent_traces,
 )
 from repro.obs.slo import SERVE_LATENCY_SLO_S
-from repro.serve.hotspots import parse_bbox, query_hotspots
-from repro.stsparql.errors import SparqlError
+from repro.serve.hotspots import _stamp, parse_bbox, query_hotspots
+from repro.serve.state import ConsistencyToken
+from repro.stsparql.errors import QueryTimeoutError, SparqlError
 
 _tracer = get_tracer()
 _metrics = get_metrics()
@@ -69,8 +85,25 @@ _REASONS = {
     403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    422: "Unprocessable Entity",
     503: "Service Unavailable",
 }
+
+#: Endpoints published under ``/v1/``; the bare legacy paths keep
+#: working as aliases but answer with a ``Deprecation`` header naming
+#: the successor.
+V1_ENDPOINTS = (
+    "/hotspots",
+    "/stsparql",
+    "/metrics",
+    "/health",
+    "/debug/tracez",
+)
+
+#: Engine names a request may select via ``query_engine`` (the JSON
+#: body's ``engine`` field over HTTP).
+QUERY_ENGINES = ("auto", "interpreted", "columnar")
 
 #: Request bodies beyond this are refused (a read endpoint has no
 #: business accepting megabytes).
@@ -87,21 +120,43 @@ def _response(
     status: int,
     body: bytes,
     content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     reason = _REASONS.get(status, "Unknown")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
-        "\r\n"
     )
-    return head.encode("ascii") + body
+    if extra_headers:
+        head += "".join(
+            f"{name}: {value}\r\n"
+            for name, value in extra_headers.items()
+        )
+    return head.encode("ascii") + b"\r\n" + body
 
 
 def _json_response(status: int, payload: Any) -> bytes:
     return _response(
         status, json.dumps(payload).encode("utf-8"), "application/json"
     )
+
+
+def _deprecation_headers(route: str) -> Dict[str, str]:
+    """Headers a legacy (unversioned) alias carries on every answer."""
+    return {
+        "Deprecation": "true",
+        "Link": f"</v1{route}>; rel=\"successor-version\"",
+    }
+
+
+def _splice_headers(payload: bytes, headers: Dict[str, str]) -> bytes:
+    """Insert extra header lines into an already-built raw response."""
+    head, _, rest = payload.partition(b"\r\n")
+    lines = "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    ).encode("ascii")
+    return head + b"\r\n" + lines + rest
 
 
 class HotspotServer:
@@ -222,7 +277,15 @@ class HotspotServer:
     ) -> bytes:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
-        endpoint = path.lstrip("/") or "root"
+        # The versioned surface lives under /v1/; the bare legacy paths
+        # stay as aliases whose answers carry a Deprecation header.
+        if path == "/v1" or path.startswith("/v1/"):
+            route = path[len("/v1"):] or "/"
+            legacy = False
+        else:
+            route = path
+            legacy = route in V1_ENDPOINTS
+        endpoint = route.lstrip("/") or "root"
         started = time.perf_counter()
         # A client sending x-trace-id / x-parent-span joins its trace;
         # otherwise the request span roots a fresh one.
@@ -236,7 +299,7 @@ class HotspotServer:
                     trace_id = span.trace_id
                     status, payload = await self._route(
                         method,
-                        path,
+                        route,
                         split.query,
                         body,
                         context_of(span),
@@ -248,6 +311,11 @@ class HotspotServer:
         except SnapshotWriteError as error:
             status = 403
             payload = _json_response(status, {"error": str(error)})
+        except QueryTimeoutError as error:
+            status = 408
+            payload = _json_response(
+                status, {"error": f"{type(error).__name__}: {error}"}
+            )
         except SparqlError as error:
             status = 400
             payload = _json_response(
@@ -267,6 +335,10 @@ class HotspotServer:
                 trace_id=trace_id,
                 error=f"{type(error).__name__}: {error}",
             )
+        if legacy:
+            payload = _splice_headers(
+                payload, _deprecation_headers(route)
+            )
         elapsed = time.perf_counter() - started
         if _metrics.enabled:
             _metrics.counter(
@@ -281,7 +353,7 @@ class HotspotServer:
         # budget — health probes, metric scrapes and debug views are
         # not the objective (and /health reporting its own request
         # would make the report a moving target).
-        if path in ("/hotspots", "/stsparql"):
+        if route in ("/hotspots", "/stsparql"):
             self._record_serving_slo(status, elapsed, trace_id)
         return payload
 
@@ -324,11 +396,17 @@ class HotspotServer:
             if method != "GET":
                 raise _HttpError(405, "use GET /health")
             health = await self._in_thread(self.service.health)
+            latest = self.service.publisher.latest()
+            health["provenance"] = (
+                None
+                if latest is None
+                else self._provenance(latest, ctx)
+            )
             return 200, _json_response(200, health)
         if path == "/debug/tracez":
             if method != "GET":
                 raise _HttpError(405, "use GET /debug/tracez")
-            return 200, self._tracez(query)
+            return 200, self._tracez(query, ctx)
         raise _HttpError(404, f"no such endpoint: {path}")
 
     # -- endpoint bodies ---------------------------------------------------
@@ -357,7 +435,32 @@ class HotspotServer:
             )
         return published
 
-    def _tracez(self, query: str) -> bytes:
+    def _provenance(self, published, ctx=None) -> Dict[str, Any]:
+        """The normalised v1 provenance block every data-bearing
+        response carries: which frozen state answered (as an opaque
+        consistency token plus its parts), which acquisition trace
+        produced it, and — for routed responses — which shards were
+        consulted and whether any were missing."""
+        token = ConsistencyToken.single(
+            published.sequence, published.generation
+        )
+        return {
+            "api": "v1",
+            "role": "server",
+            "token": token.encode(),
+            "sequence": published.sequence,
+            "generation": published.generation,
+            "timestamp": None
+            if published.timestamp is None
+            else _stamp(published.timestamp),
+            "trace_id": published.trace_id,
+            "request_trace_id": None if ctx is None else ctx.trace_id,
+            "shards": None,
+            "degraded": False,
+            "missing_shards": [],
+        }
+
+    def _tracez(self, query: str, ctx=None) -> bytes:
         """Recent complete traces (``/debug/tracez``).
 
         Query parameters: ``limit=`` (default 20), ``trace_id=`` to
@@ -390,12 +493,16 @@ class HotspotServer:
                 ("\n\n".join(blocks) + "\n").encode("utf-8"),
                 "text/plain; charset=utf-8",
             )
+        latest = self.service.publisher.latest()
         return _json_response(
             200,
             {
                 "tracing_enabled": _tracer.enabled,
                 "count": len(traces),
                 "traces": traces,
+                "provenance": None
+                if latest is None
+                else self._provenance(latest, ctx),
             },
         )
 
@@ -440,25 +547,71 @@ class HotspotServer:
             # Provenance both ways: the publishing acquisition's trace
             # (set by query_hotspots) plus this request's own trace.
             collection["snapshot"]["request_trace_id"] = ctx.trace_id
+        collection["provenance"] = self._provenance(published, ctx)
         return _json_response(200, collection)
 
-    async def _stsparql(self, body: bytes, ctx=None) -> bytes:
+    @staticmethod
+    def _parse_query_body(body: bytes) -> Dict[str, Any]:
+        """Decode an ``/stsparql`` request body into the unified query
+        contract: raw query text, or JSON ``{"query": ..., "params":
+        ..., "explain": ..., "engine": ..., "timeout_s": ...}`` —
+        field-for-field the keywords of :meth:`Strabon.query`."""
         text = body.decode("utf-8", errors="replace").strip()
-        explain = False
+        fields: Dict[str, Any] = {
+            "query": text,
+            "params": None,
+            "explain": False,
+            "engine": None,
+            "timeout_s": None,
+        }
         if text.startswith("{"):
             try:
                 doc = json.loads(text)
-                text = doc["query"]
-                explain = bool(doc.get("explain", False))
+                fields["query"] = doc["query"]
+                fields["params"] = doc.get("params")
+                fields["explain"] = bool(doc.get("explain", False))
+                fields["engine"] = doc.get("engine")
+                fields["timeout_s"] = doc.get("timeout_s")
             except (json.JSONDecodeError, KeyError, TypeError):
                 raise _HttpError(
                     400, 'JSON body must look like {"query": "..."}'
                 )
-        if not text:
+        if not fields["query"]:
             raise _HttpError(400, "empty query")
+        params = fields["params"]
+        if params is not None and not isinstance(params, dict):
+            raise _HttpError(400, "params must be a JSON object")
+        engine = fields["engine"]
+        if engine is not None and engine not in QUERY_ENGINES:
+            raise _HttpError(
+                400,
+                f"engine must be one of {'/'.join(QUERY_ENGINES)}, "
+                f"got {engine!r}",
+            )
+        timeout_s = fields["timeout_s"]
+        if timeout_s is not None:
+            try:
+                timeout_s = float(timeout_s)
+            except (TypeError, ValueError):
+                raise _HttpError(400, "timeout_s must be a number")
+            if timeout_s <= 0:
+                raise _HttpError(400, "timeout_s must be > 0")
+            fields["timeout_s"] = timeout_s
+        return fields
+
+    async def _stsparql(self, body: bytes, ctx=None) -> bytes:
+        fields = self._parse_query_body(body)
+        explain = fields["explain"]
         published = self._latest()
         result = await self._in_thread(
-            published.view.query, text, None, explain, context=ctx
+            lambda: published.view.query(
+                fields["query"],
+                params=fields["params"],
+                explain=explain,
+                query_engine=fields["engine"],
+                timeout=fields["timeout_s"],
+            ),
+            context=ctx,
         )
         from repro.stsparql.eval import SolutionSet
 
@@ -480,6 +633,7 @@ class HotspotServer:
         }
         if ctx is not None:
             payload["snapshot"]["request_trace_id"] = ctx.trace_id
+        payload["provenance"] = self._provenance(published, ctx)
         return _json_response(200, payload)
 
 
@@ -527,6 +681,14 @@ def serve_in_thread(
     server = HotspotServer(
         service, host=host, port=port, read_workers=read_workers
     )
+    return spawn_server(server, "hotspot-server")
+
+
+def spawn_server(
+    server: HotspotServer, thread_name: str
+) -> ServerHandle:
+    """Run an already-built server (or subclass — the router) with its
+    own event loop on a daemon thread; returns once bound."""
     loop = asyncio.new_event_loop()
     started = threading.Event()
 
@@ -551,9 +713,9 @@ def serve_in_thread(
             loop.close()
 
     thread = threading.Thread(
-        target=runner, name="hotspot-server", daemon=True
+        target=runner, name=thread_name, daemon=True
     )
     thread.start()
     if not started.wait(timeout=10):
-        raise RuntimeError("hotspot server failed to start in 10s")
+        raise RuntimeError(f"{thread_name} failed to start in 10s")
     return ServerHandle(server, thread, loop)

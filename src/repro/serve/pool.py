@@ -16,6 +16,14 @@ Scale-out for the query path.  Two execution kinds:
 and falls back to threads elsewhere — same policy as the acquisition
 pipeline's worker_kind.
 
+:meth:`ReadWorkerPool.from_checkpoint` replaces the pickled-snapshot
+hand-off with **zero-copy attach**: each worker mmaps the durable
+checkpoint file (:class:`~repro.durable.attach.CheckpointReader`) and
+joins in O(1) — nothing is serialised through the fork, the kernel
+page cache holds one copy of the bytes for all workers, and worker
+start-up cost is independent of graph size.  This is how shard
+processes and late-joining read workers attach to a running service.
+
 Results cross the process boundary as plain picklable data: SELECT
 returns the W3C SPARQL-JSON dict, ASK a bool — never live Term-laden
 SolutionSets.
@@ -58,6 +66,38 @@ def _init_read_worker(snapshot: GraphSnapshot) -> None:
     _WORKER_VIEW = SnapshotView(snapshot)
 
 
+def _init_attach_worker(path: str) -> None:
+    """Zero-copy initializer: attach to the checkpoint at ``path``.
+
+    The fork carries only a path string; the worker mmaps the
+    checkpoint (O(1)) and decodes it lazily on its first query, so
+    pool start-up never pays a per-worker deserialisation of the whole
+    graph.
+    """
+    global _WORKER_VIEW
+    from repro.durable.attach import CheckpointReader
+
+    _WORKER_VIEW = _LazyAttachView(CheckpointReader(path))
+
+
+class _LazyAttachView:
+    """A :class:`SnapshotView` stand-in that materialises from an
+    attached checkpoint on the first query."""
+
+    def __init__(self, reader) -> None:
+        self._reader = reader
+        self._view: Optional[SnapshotView] = None
+
+    @property
+    def generation(self) -> int:
+        return self._reader.generation
+
+    def query(self, text, params=None, **kwargs):
+        if self._view is None:
+            self._view = SnapshotView(self._reader.snapshot())
+        return self._view.query(text, params, **kwargs)
+
+
 def _encode(result: Union[SolutionSet, bool, Any]):
     if isinstance(result, SolutionSet):
         return result.to_sparql_json()
@@ -98,10 +138,11 @@ class ReadWorkerPool:
 
     def __init__(
         self,
-        snapshot: GraphSnapshot,
+        snapshot: Optional[GraphSnapshot],
         workers: int = 1,
         kind: str = "auto",
         view: Optional[SnapshotView] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -114,28 +155,66 @@ class ReadWorkerPool:
                 "process read workers need the fork start method; "
                 "use kind='thread'"
             )
+        if snapshot is None and checkpoint_path is None:
+            raise ValueError(
+                "need a snapshot or a checkpoint_path to attach to"
+            )
         self.snapshot = snapshot
+        self.checkpoint_path = checkpoint_path
         self.workers = workers
         self.kind = kind
         self._closed = False
         if kind == "process":
             self._view = None
+            if checkpoint_path is not None:
+                # Zero-copy attach: the fork carries a path, not a
+                # pickled graph — each worker mmaps the checkpoint.
+                initializer, initargs = (
+                    _init_attach_worker,
+                    (checkpoint_path,),
+                )
+            else:
+                initializer, initargs = (
+                    _init_read_worker,
+                    (snapshot,),
+                )
             self._pool: Union[
                 ProcessPoolExecutor, ThreadPoolExecutor
             ] = ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=multiprocessing.get_context("fork"),
-                initializer=_init_read_worker,
-                initargs=(snapshot,),
+                initializer=initializer,
+                initargs=initargs,
             )
         else:
-            self._view = (
-                view if view is not None else SnapshotView(snapshot)
-            )
+            if view is not None:
+                self._view = view
+            elif snapshot is not None:
+                self._view = SnapshotView(snapshot)
+            else:
+                from repro.durable.attach import CheckpointReader
+
+                reader = CheckpointReader(checkpoint_path)
+                self.snapshot = reader.snapshot()
+                self._view = SnapshotView(self.snapshot)
             self._pool = ThreadPoolExecutor(
                 max_workers=workers,
                 thread_name_prefix="read-worker",
             )
+
+    @classmethod
+    def from_checkpoint(
+        cls, path: str, workers: int = 1, kind: str = "auto"
+    ) -> "ReadWorkerPool":
+        """A pool whose workers attach to a durable checkpoint file.
+
+        Process workers never receive the graph at all — only the
+        path — so pool construction is O(1) in graph size and N
+        workers share one page-cached copy of the checkpoint bytes.
+        """
+        return cls(
+            None, workers=workers, kind=kind, checkpoint_path=path
+        )
 
     # -- execution ---------------------------------------------------------
 
@@ -224,7 +303,9 @@ class ReadWorkerPool:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"<ReadWorkerPool {self.kind} x{self.workers} over "
-            f"generation {self.snapshot.generation}>"
+        source = (
+            f"generation {self.snapshot.generation}"
+            if self.snapshot is not None
+            else f"checkpoint {self.checkpoint_path!r}"
         )
+        return f"<ReadWorkerPool {self.kind} x{self.workers} over {source}>"

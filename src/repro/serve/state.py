@@ -32,6 +32,66 @@ _metrics = get_metrics()
 
 
 @dataclass(frozen=True)
+class ConsistencyToken:
+    """An opaque, comparable consistency token for served responses.
+
+    One part per shard — ``(sequence, generation)`` of the published
+    snapshot that answered — so a single-server token has one part and
+    a routed (scatter-gather) token has one part per consulted shard.
+    The wire form is versioned and human-readable::
+
+        v1:12.340            one server:  sequence 12, generation 340
+        v1:12.340-12.17-9.0  three shards
+
+    Tokens over the *same* topology are partially ordered:
+    :meth:`is_behind` is componentwise — a client that stored a token
+    can assert the service never travels backwards in time, shard by
+    shard, across restarts (publishers reseed their sequence counters
+    on recovery precisely to keep this holding).
+    """
+
+    parts: tuple
+
+    @classmethod
+    def single(cls, sequence: int, generation: int) -> "ConsistencyToken":
+        return cls(((int(sequence), int(generation)),))
+
+    @classmethod
+    def decode(cls, text: str) -> "ConsistencyToken":
+        if not text.startswith("v1:"):
+            raise ValueError(f"unversioned consistency token: {text!r}")
+        try:
+            parts = tuple(
+                (int(seq), int(gen))
+                for seq, gen in (
+                    chunk.split(".") for chunk in text[3:].split("-")
+                )
+            )
+        except ValueError:
+            raise ValueError(f"malformed consistency token: {text!r}")
+        if not parts:
+            raise ValueError(f"empty consistency token: {text!r}")
+        return cls(parts)
+
+    def encode(self) -> str:
+        return "v1:" + "-".join(f"{s}.{g}" for s, g in self.parts)
+
+    def is_behind(self, other: "ConsistencyToken") -> bool:
+        """True when *every* part of ``self`` is <= the matching part
+        of ``other`` and at least one is strictly older.  Tokens from
+        different topologies (part counts) are incomparable and raise."""
+        if len(self.parts) != len(other.parts):
+            raise ValueError(
+                "tokens from different shard topologies are incomparable"
+            )
+        if any(
+            s > o for (s, _), (o, _) in zip(self.parts, other.parts)
+        ):
+            return False
+        return self.parts != other.parts
+
+
+@dataclass(frozen=True)
 class PublishedSnapshot:
     """One immutable published state of the hotspot store.
 
@@ -74,6 +134,19 @@ class SnapshotPublisher:
         self._latest: Optional[PublishedSnapshot] = None
         self._sequence = start_sequence
         self._changed = threading.Condition(self._lock)
+        self._subscribers: list = []
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback(published)`` to run after every publish.
+
+        Callbacks run on the writer thread, *outside* the publisher
+        lock (readers are never blocked by a slow subscriber), in
+        registration order.  The sharded serving tier subscribes its
+        repartitioner here so every main publication fans out to the
+        per-shard publishers.
+        """
+        with self._lock:
+            self._subscribers.append(callback)
 
     def publish(
         self,
@@ -103,6 +176,9 @@ class SnapshotPublisher:
             )
             self._latest = published
             self._changed.notify_all()
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(published)
         if _metrics.enabled:
             gauge = _metrics.gauge(
                 "serve_snapshot_info",

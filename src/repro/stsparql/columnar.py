@@ -343,6 +343,7 @@ class ColumnarEvaluator(Evaluator):
         ]
         applied: Set[int] = set()
         for element in elements:
+            self._check_deadline()
             if isinstance(element, ast.BGP):
                 batch = self._bgp_batch(
                     element, batch, group_filters, applied

@@ -269,7 +269,10 @@ class Strabon:
         return cls.engine_name
 
     def _evaluator(
-        self, initial: Optional[Row] = None, cls=None
+        self,
+        initial: Optional[Row] = None,
+        cls=None,
+        deadline: Optional[float] = None,
     ) -> Evaluator:
         """Build the evaluation plan: binds inference + spatial index."""
         with _tracer.span("stsparql.plan"):
@@ -278,12 +281,14 @@ class Strabon:
                 if self._spatial_index_enabled
                 else None
             )
-            return (cls or self._evaluator_cls)(
+            evaluator = (cls or self._evaluator_cls)(
                 self.graph,
                 inference=self._inference,
                 spatial_candidates=candidates,
                 initial=initial,
             )
+            evaluator.deadline = deadline
+            return evaluator
 
     def _parse_cached(self, text: str):
         """Parse through the plan cache; returns (plan, was_cached)."""
@@ -332,10 +337,14 @@ class Strabon:
         parsed,
         initial: Optional[Row] = None,
         explain_log: Optional[List[dict]] = None,
+        deadline: Optional[float] = None,
+        evaluator_cls=None,
     ):
         """Evaluate a parsed request; returns (result, operation, rows)."""
         if isinstance(parsed, (ast.SelectQuery, ast.AskQuery, ast.ConstructQuery)):
-            evaluator = self._evaluator(initial)
+            evaluator = self._evaluator(
+                initial, evaluator_cls, deadline=deadline
+            )
             evaluator.explain_log = explain_log
             if isinstance(parsed, ast.SelectQuery):
                 result: Union[SolutionSet, bool, Graph, UpdateResult] = (
@@ -347,7 +356,7 @@ class Strabon:
             built = _construct_graph(evaluator, parsed)
             return built, "construct", len(built)
         return (
-            self._apply_update(parsed, initial, explain_log),
+            self._apply_update(parsed, initial, explain_log, deadline),
             "update",
             0,
         )
@@ -357,6 +366,8 @@ class Strabon:
         text: str,
         params: Optional[Dict[str, object]] = None,
         explain: bool = False,
+        query_engine: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Union[SolutionSet, bool, UpdateResult, dict]:
         """Parse and run any stSPARQL request (SELECT / ASK / update).
 
@@ -371,11 +382,31 @@ class Strabon:
         the engine, the operation, the row count and — per evaluated
         BGP — the selectivity-ordered join order with the cardinality
         estimates that drove it.
+
+        ``query_engine`` forces an engine for *this request only*
+        (``"interpreted"`` / ``"columnar"`` / ``"auto"``); ``timeout``
+        is a cooperative wall-clock budget in seconds — a request that
+        overruns it raises
+        :class:`~repro.stsparql.errors.QueryTimeoutError` at the next
+        operator boundary.  This keyword contract (``explain=``,
+        ``query_engine=``, ``timeout=``) is shared verbatim with
+        :meth:`SnapshotView.query` and the serving tier's
+        :class:`~repro.serve.client.ServeClient`.
         """
         initial = self._param_row(params)
         explain_log: Optional[List[dict]] = [] if explain else None
+        deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        evaluator_cls = (
+            _resolve_engine(query_engine)[0]
+            if query_engine is not None
+            else None
+        )
         if not is_enabled():
-            return self._query_plain(text, initial, explain_log)
+            return self._query_plain(
+                text, initial, explain_log, deadline, evaluator_cls
+            )
         with _tracer.span("stsparql.query") as span:
             t0 = time.perf_counter()
             with _tracer.span("stsparql.parse") as parse_span:
@@ -384,7 +415,7 @@ class Strabon:
             t1 = time.perf_counter()
             with _tracer.span("stsparql.eval"):
                 result, op, rows = self._dispatch(
-                    parsed, initial, explain_log
+                    parsed, initial, explain_log, deadline, evaluator_cls
                 )
             t2 = time.perf_counter()
             stats = QueryStats(
@@ -418,9 +449,12 @@ class Strabon:
                     "Triples deleted by stSPARQL updates",
                 ).inc(stats.triples_removed)
         if explain_log is not None:
-            return _explain_doc(
-                self._engine_name_for(op), op, rows, explain_log
+            name = (
+                evaluator_cls.engine_name
+                if evaluator_cls is not None and op != "update"
+                else self._engine_name_for(op)
             )
+            return _explain_doc(name, op, rows, explain_log)
         return result
 
     def _query_plain(
@@ -428,12 +462,16 @@ class Strabon:
         text: str,
         initial: Optional[Row] = None,
         explain_log: Optional[List[dict]] = None,
+        deadline: Optional[float] = None,
+        evaluator_cls=None,
     ):
         """The uninstrumented request path (observability disabled)."""
         t0 = time.perf_counter()
         parsed, _was_cached = self._parse_cached(text)
         t1 = time.perf_counter()
-        result, op, rows = self._dispatch(parsed, initial, explain_log)
+        result, op, rows = self._dispatch(
+            parsed, initial, explain_log, deadline, evaluator_cls
+        )
         t2 = time.perf_counter()
         self.last_stats = QueryStats(
             operation=op,
@@ -444,9 +482,12 @@ class Strabon:
             triples_removed=getattr(result, "removed", 0),
         )
         if explain_log is not None:
-            return _explain_doc(
-                self._engine_name_for(op), op, rows, explain_log
+            name = (
+                evaluator_cls.engine_name
+                if evaluator_cls is not None and op != "update"
+                else self._engine_name_for(op)
             )
+            return _explain_doc(name, op, rows, explain_log)
         return result
 
     def select(
@@ -488,6 +529,7 @@ class Strabon:
         request: ast.UpdateRequest,
         initial: Optional[Row] = None,
         explain_log: Optional[List[dict]] = None,
+        deadline: Optional[float] = None,
     ) -> UpdateResult:
         if request.where_pattern is None:
             # INSERT DATA / DELETE DATA — templates must be ground.
@@ -501,7 +543,9 @@ class Strabon:
                 if self.graph.add(*triple):
                     added += 1
             return UpdateResult(removed=removed, added=added)
-        evaluator = self._evaluator(initial, self._update_evaluator_cls)
+        evaluator = self._evaluator(
+            initial, self._update_evaluator_cls, deadline=deadline
+        )
         evaluator.explain_log = explain_log
         bindings = evaluator.update_bindings(request.where_pattern)
         to_remove = _instantiate(request.delete_template, bindings)
@@ -613,32 +657,51 @@ class SnapshotView:
         """Name of the execution engine answering requests."""
         return self._evaluator_cls.engine_name
 
-    def _evaluator(self, initial: Optional[Row] = None) -> Evaluator:
+    def _evaluator(
+        self,
+        initial: Optional[Row] = None,
+        cls=None,
+        deadline: Optional[float] = None,
+    ) -> Evaluator:
         candidates = (
             self.spatial_candidates if self._spatial_index_enabled else None
         )
-        return self._evaluator_cls(
+        evaluator = (cls or self._evaluator_cls)(
             self.snapshot,  # type: ignore[arg-type]
             inference=self._inference,
             spatial_candidates=candidates,
             initial=initial,
         )
+        evaluator.deadline = deadline
+        return evaluator
 
     def query(
         self,
         text: str,
         params: Optional[Dict[str, object]] = None,
         explain: bool = False,
+        query_engine: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Union[SolutionSet, bool, Graph, dict]:
         """Run a read-only stSPARQL request against the snapshot.
 
         SELECT / ASK / CONSTRUCT only — an update request raises
         :class:`SnapshotWriteError` before touching anything.  With
         ``explain=True`` the executed plan is returned instead of the
-        solutions (see :meth:`Strabon.query`).
+        solutions; ``query_engine=`` forces an engine for this request;
+        ``timeout=`` is a cooperative budget in seconds (the shared
+        keyword contract of :meth:`Strabon.query`).
         """
         initial = Strabon._param_row(params)
         explain_log: Optional[List[dict]] = [] if explain else None
+        deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        evaluator_cls = (
+            _resolve_engine(query_engine)[0]
+            if query_engine is not None
+            else None
+        )
         t0 = time.perf_counter()
         parsed, _hit = _parse_via_cache(self.plan_cache, text)
         if not isinstance(
@@ -651,7 +714,9 @@ class SnapshotView:
         with _tracer.span(
             "stsparql.query", snapshot=True, generation=self.generation
         ) as span:
-            evaluator = self._evaluator(initial)
+            evaluator = self._evaluator(
+                initial, evaluator_cls, deadline=deadline
+            )
             evaluator.explain_log = explain_log
             if isinstance(parsed, ast.SelectQuery):
                 result: Union[SolutionSet, bool, Graph] = (
@@ -673,7 +738,12 @@ class SnapshotView:
                 time.perf_counter() - t0, operation=f"snapshot-{op}"
             )
         if explain_log is not None:
-            return _explain_doc(self.engine_name, op, rows, explain_log)
+            name = (
+                evaluator_cls.engine_name
+                if evaluator_cls is not None
+                else self.engine_name
+            )
+            return _explain_doc(name, op, rows, explain_log)
         return result
 
     def select(

@@ -1,6 +1,6 @@
 """stSPARQL error hierarchy (rooted in :mod:`repro.errors`)."""
 
-from repro.errors import Permanent, ReproError
+from repro.errors import Permanent, ReproError, Transient
 
 
 class SparqlError(ReproError):
@@ -13,6 +13,16 @@ class SparqlParseError(SparqlError, Permanent):
 
 class SparqlEvalError(SparqlError, Permanent):
     """Raised when a query is structurally valid but cannot be evaluated."""
+
+
+class QueryTimeoutError(SparqlError, Transient):
+    """Raised when a request overran its ``timeout=`` budget.
+
+    The deadline is cooperative: evaluators check it at group and BGP
+    boundaries, so a timed-out query stops between operators, never
+    mid-row.  Transient — the same request may fit the budget against a
+    smaller snapshot or a warmer cache.
+    """
 
 
 class ExpressionError(Exception):

@@ -163,9 +163,24 @@ class Evaluator:
         #: When set (to a list) by the engine, every BGP evaluation
         #: appends its chosen join order and cardinality estimates.
         self.explain_log: Optional[List[dict]] = None
+        #: Cooperative evaluation deadline (``time.perf_counter()``
+        #: value) set by the engine's ``timeout=``; checked between
+        #: operators, ``None`` means unbounded.
+        self.deadline: Optional[float] = None
 
     def _seed(self) -> List[Row]:
         return [dict(self.initial)]
+
+    def _check_deadline(self) -> None:
+        if self.deadline is not None:
+            import time
+
+            if time.perf_counter() > self.deadline:
+                from repro.stsparql.errors import QueryTimeoutError
+
+                raise QueryTimeoutError(
+                    "query exceeded its timeout budget"
+                )
 
     # -- public entry points ------------------------------------------------
 
@@ -353,6 +368,7 @@ class Evaluator:
         group_filters = [e for e in elements if isinstance(e, ast.Filter)]
         applied: Set[int] = set()
         for element in elements:
+            self._check_deadline()
             if isinstance(element, ast.BGP):
                 rows = self._eval_bgp(
                     element, rows, group_filters, applied
@@ -457,6 +473,7 @@ class Evaluator:
             bound |= set(row)
         ordered = self._order_patterns(bgp, bound, group_filters)
         for pattern in ordered:
+            self._check_deadline()
             next_rows: List[Row] = []
             for row in rows:
                 restriction = self._spatial_restriction(

@@ -4,6 +4,7 @@ from datetime import datetime, timedelta, timezone
 
 import pytest
 
+from repro.core.config import RunOptions
 from repro.core.mapping import MapComposer, region_wkt
 from repro.core.products import Hotspot, HotspotProduct
 from repro.core.refinement import RefinementPipeline
@@ -89,9 +90,10 @@ class TestMapComposer:
 class TestService:
     def test_teleios_acquisition(self, greece, season):
         service = FireMonitoringService(greece=greece, mode="teleios")
-        outcome = service.process_acquisition(
-            START + timedelta(hours=15), season
-        )
+        outcome = service.run(
+            [START + timedelta(hours=15)],
+            RunOptions(season=season, on_error="raise"),
+        )[0]
         assert outcome.raw_product is not None
         assert outcome.refined_count is not None
         assert len(outcome.refinement_timings) == 6
@@ -99,9 +101,10 @@ class TestService:
 
     def test_pre_teleios_has_no_refinement(self, greece, season):
         service = FireMonitoringService(greece=greece, mode="pre-teleios")
-        outcome = service.process_acquisition(
-            START + timedelta(hours=15), season
-        )
+        outcome = service.run(
+            [START + timedelta(hours=15)],
+            RunOptions(season=season, on_error="raise"),
+        )[0]
         assert outcome.refined_count is None
         assert outcome.refinement_timings == []
 
@@ -111,9 +114,10 @@ class TestService:
 
     def test_export_product(self, greece, season, tmp_path):
         service = FireMonitoringService(greece=greece, mode="pre-teleios")
-        outcome = service.process_acquisition(
-            START + timedelta(hours=15), season
-        )
+        outcome = service.run(
+            [START + timedelta(hours=15)],
+            RunOptions(season=season, on_error="raise"),
+        )[0]
         shp = service.export_product(
             outcome.raw_product, str(tmp_path / "prod")
         )
@@ -124,10 +128,14 @@ class TestService:
 
     def test_timing_summary(self, greece, season):
         service = FireMonitoringService(greece=greece, mode="pre-teleios")
-        service.process_acquisition(START + timedelta(hours=15), season)
-        service.process_acquisition(
-            START + timedelta(hours=15, minutes=15), season
-        )
+        service.run(
+            [START + timedelta(hours=15)],
+            RunOptions(season=season, on_error="raise"),
+        )[0]
+        service.run(
+            [START + timedelta(hours=15, minutes=15)],
+            RunOptions(season=season, on_error="raise"),
+        )[0]
         summary = service.timing_summary()
         assert summary["acquisitions"] == 2.0
         assert summary["chain_avg_s"] > 0
@@ -136,7 +144,8 @@ class TestService:
         # Find an acquisition with smoke-over-sea false alarms; the
         # refined count must never exceed the raw count.
         service = FireMonitoringService(greece=greece, mode="teleios")
-        outcome = service.process_acquisition(
-            START + timedelta(hours=17), season
-        )
+        outcome = service.run(
+            [START + timedelta(hours=17)],
+            RunOptions(season=season, on_error="raise"),
+        )[0]
         assert outcome.refined_count <= len(outcome.raw_product)

@@ -1,4 +1,4 @@
-"""The redesigned service API: config objects, run(), lifecycle, shims."""
+"""The redesigned service API: config objects, run(), lifecycle."""
 
 from __future__ import annotations
 
@@ -118,43 +118,40 @@ class TestLifecycle:
                 svc.thematic_map()
 
 
-class TestDeprecatedShims:
-    def test_process_acquisition(self, service, season):
-        with pytest.deprecated_call():
-            outcome = service.process_acquisition(WHEN, season)
-        assert outcome.ok and outcome.timestamp == WHEN
+class TestShimsRemoved:
+    def test_deprecated_entry_points_are_gone(self, service):
+        # The DeprecationWarning shims completed their cycle; run() is
+        # the only batch entry point.
+        for name in (
+            "process_acquisition",
+            "process_scene",
+            "process_ready",
+            "process_scenes",
+            "process_acquisitions",
+        ):
+            assert not hasattr(service, name)
 
-    def test_process_scene(self, service, season):
-        scene = service.scene_generator.generate(WHEN, season)
-        with pytest.deprecated_call():
-            outcome = service.process_scene(scene)
-        assert outcome.timestamp == WHEN
-
-    def test_process_scenes(self, service, season):
+    def test_run_covers_scene_requests(self, service, season):
         scenes = [
             service.scene_generator.generate(
                 WHEN + timedelta(minutes=15 * k), season
             )
             for k in range(2)
         ]
-        with pytest.deprecated_call():
-            outcomes = service.process_scenes(scenes)
+        outcomes = service.run(scenes, RunOptions(on_error="raise"))
         assert [o.timestamp for o in outcomes] == [
             s.timestamp for s in scenes
         ]
 
-    def test_process_acquisitions(self, service, season):
-        with pytest.deprecated_call():
-            outcomes = service.process_acquisitions([WHEN], season)
-        assert len(outcomes) == 1 and outcomes[0].ok
-
-    def test_shims_keep_raise_semantics(self, service, season):
-        # The legacy entry points propagated failures; the shims pin
-        # on_error="raise" so they still do.
+    def test_run_raise_semantics_replace_the_shims(self, service, season):
+        # The legacy entry points propagated failures; migrated callers
+        # get the same behaviour with on_error="raise".
         from repro.faults import FaultInjected, FaultPlan, inject
 
         plan = FaultPlan().raise_in("stage.chain", times=99)
         with inject(plan):
-            with pytest.deprecated_call():
-                with pytest.raises(FaultInjected):
-                    service.process_acquisition(WHEN, season)
+            with pytest.raises(FaultInjected):
+                service.run(
+                    [WHEN],
+                    RunOptions(season=season, on_error="raise"),
+                )

@@ -4,6 +4,7 @@ from datetime import datetime, timedelta, timezone
 
 import pytest
 
+from repro.core.config import RunOptions
 from repro.core.service import FireMonitoringService
 from repro.seviri.acquisition import AcquisitionSchedule
 from repro.seviri.sensors import MSG1, MSG2
@@ -30,9 +31,14 @@ class TestMonitoringWindow:
         # 30 minutes: 6 MSG1 (5-min) + 2 MSG2 (15-min).
         assert len(acquisitions) == 8
         for acq in acquisitions:
-            outcome = service.process_acquisition(
-                acq.timestamp, season, sensor_name=acq.sensor.name
-            )
+            outcome = service.run(
+                [acq.timestamp],
+                RunOptions(
+                    season=season,
+                    sensor_name=acq.sensor.name,
+                    on_error="raise",
+                ),
+            )[0]
             assert outcome.within_budget
             assert outcome.refined_count is not None
         assert len(service.archive) == 8
@@ -52,10 +58,13 @@ class TestMonitoringWindow:
         service = FireMonitoringService(greece=greece, mode="teleios")
         when = START + timedelta(hours=14)
         last = None
+        options = RunOptions(
+            season=season, sensor_name="MSG1", on_error="raise"
+        )
         for k in range(4):
-            last = service.process_acquisition(
-                when + timedelta(minutes=5 * k), season, sensor_name="MSG1"
-            )
+            last = service.run(
+                [when + timedelta(minutes=5 * k)], options
+            )[0]
         confirmed = [
             row
             for row in service.refinement.surviving_hotspots(

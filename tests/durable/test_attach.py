@@ -1,0 +1,184 @@
+"""Zero-copy checkpoint attach (`repro.durable.attach`)."""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.durable import (
+    CheckpointReader,
+    DurableStore,
+    attach_checkpoint,
+    write_checkpoint,
+)
+from repro.errors import DurabilityError
+from repro.rdf.graph import Graph
+from repro.rdf.term import Literal, URI
+from repro.serve import ReadWorkerPool
+
+
+def _uri(n: int) -> URI:
+    return URI(f"http://example.org/{n}")
+
+
+def _graph(n: int, generation: int = 0) -> Graph:
+    graph = Graph()
+    for k in range(n):
+        graph.add(_uri(k), _uri(10_000), Literal(f"v{k}"))
+        graph.add(
+            _uri(k),
+            _uri(10_001),
+            Literal(
+                f"POINT ({20.6 + 0.01 * k} {34.6 + 0.01 * k})",
+                datatype="http://strdf.di.uoa.gr/ontology#WKT",
+            ),
+        )
+    for _ in range(generation):
+        # Bump the graph's generation with a no-net-change mutation.
+        graph.add(_uri(0), _uri(10_002), Literal("tmp"))
+        graph.remove(_uri(0), _uri(10_002), None)
+    return graph
+
+
+@pytest.fixture()
+def ckpt(tmp_path):
+    return str(tmp_path / "graph.ckpt")
+
+
+class TestAttach:
+    def test_header_fields_without_materialising(self, ckpt):
+        graph = _graph(25)
+        count = write_checkpoint(
+            graph.snapshot(), ckpt, last_seq=7
+        )
+        with CheckpointReader(ckpt) as reader:
+            assert reader.triple_count == count == len(graph)
+            assert reader.last_seq == 7
+            assert reader.generation == graph.generation
+            # Attach alone never decodes the body.
+            assert not reader.materialised
+
+    def test_snapshot_round_trips_and_is_stamped(self, ckpt):
+        graph = _graph(10, generation=3)
+        write_checkpoint(graph.snapshot(), ckpt)
+        with attach_checkpoint(ckpt) as reader:
+            snapshot = reader.snapshot()
+            assert reader.materialised
+            assert set(snapshot.triples()) == set(graph.triples())
+            assert snapshot.generation == graph.generation
+            # Memoised: the second call is the same object.
+            assert reader.snapshot() is snapshot
+
+    def test_write_accepts_plain_iterables(self, ckpt):
+        triples = [
+            (_uri(k), _uri(10_000), Literal(f"v{k}")) for k in range(4)
+        ]
+        assert write_checkpoint(triples, ckpt, generation=9) == 4
+        with attach_checkpoint(ckpt) as reader:
+            assert reader.generation == 9
+            assert set(reader.snapshot().triples()) == set(triples)
+
+    def test_durable_store_checkpoint_is_attachable(self, ckpt, tmp_path):
+        # The serving tier attaches the exact files DurableStore
+        # installs — one on-disk format, two readers.
+        graph = _graph(8)
+        store = DurableStore(
+            str(tmp_path / "durable"), graph=graph, fsync="never"
+        )
+        try:
+            store.commit()
+            store.checkpoint()
+            path = os.path.join(
+                str(tmp_path / "durable"), DurableStore.CHECKPOINT_NAME
+            )
+            with attach_checkpoint(path, verify=True) as reader:
+                assert set(reader.snapshot().triples()) == set(
+                    graph.triples()
+                )
+        finally:
+            store.close()
+
+
+class TestCorruption:
+    def test_crc_check_is_opt_in_and_catches_damage(self, ckpt):
+        write_checkpoint(_graph(6).snapshot(), ckpt)
+        with open(ckpt, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)[0]
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([last ^ 0xFF]))
+        # O(1) attach does not scan the body...
+        reader = CheckpointReader(ckpt)
+        reader.close()
+        # ...but verify=True does.
+        with pytest.raises(DurabilityError, match="CRC"):
+            CheckpointReader(ckpt, verify=True)
+
+    def test_bad_magic_rejected(self, ckpt):
+        write_checkpoint(_graph(2).snapshot(), ckpt)
+        with open(ckpt, "r+b") as fh:
+            fh.write(b"NOTACKPT")
+        with pytest.raises(DurabilityError, match="magic"):
+            CheckpointReader(ckpt)
+
+    def test_truncated_body_rejected(self, ckpt):
+        write_checkpoint(_graph(5).snapshot(), ckpt)
+        size = os.path.getsize(ckpt)
+        with open(ckpt, "r+b") as fh:
+            fh.truncate(size - 3)
+        with pytest.raises(DurabilityError, match="length"):
+            CheckpointReader(ckpt)
+
+    def test_trailing_bytes_detected_on_materialise(self, ckpt):
+        graph = _graph(3)
+        write_checkpoint(graph.snapshot(), ckpt)
+        # Lie about the triple count: body decodes short.
+        header_size = struct.calcsize("<8sIQQIQ")
+        with open(ckpt, "r+b") as fh:
+            fh.seek(header_size)
+            fh.write(struct.pack("<Q", len(graph) - 1))
+        reader = CheckpointReader(ckpt)
+        with pytest.raises(DurabilityError, match="trailing"):
+            reader.snapshot()
+
+    def test_closed_reader_refuses(self, ckpt):
+        write_checkpoint(_graph(2).snapshot(), ckpt)
+        reader = CheckpointReader(ckpt)
+        reader.close()
+        with pytest.raises(DurabilityError, match="closed"):
+            reader.snapshot()
+
+
+class TestPoolAttach:
+    QUERY = (
+        "SELECT ?s ?v WHERE { ?s <http://example.org/10000> ?v }"
+    )
+
+    def _expected(self, graph: Graph):
+        with ReadWorkerPool(
+            graph.snapshot(), workers=1, kind="thread"
+        ) as pool:
+            return pool.map([self.QUERY])[0]
+
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_from_checkpoint_answers_match_in_memory(
+        self, ckpt, kind
+    ):
+        graph = _graph(12)
+        write_checkpoint(graph.snapshot(), ckpt)
+        expected = self._expected(graph)
+        with ReadWorkerPool.from_checkpoint(
+            ckpt, workers=2, kind=kind
+        ) as pool:
+            results = pool.map([self.QUERY] * 4)
+        for result in results:
+            assert (
+                result["results"]["bindings"]
+                == expected["results"]["bindings"]
+            )
+
+    def test_pool_requires_a_source(self):
+        with pytest.raises(ValueError, match="snapshot or a checkpoint"):
+            ReadWorkerPool(None, workers=1, kind="thread")

@@ -14,6 +14,7 @@ from datetime import datetime, timezone
 
 import pytest
 
+from repro.core.config import RunOptions
 from repro.core.service import FireMonitoringService
 from repro.obs import table2_from_spans, tree_report
 from repro.seviri.hrit import write_hrit_segments
@@ -32,7 +33,7 @@ def teleios(greece, tmp_path):
 def test_outcome_fields_populated_with_tracing_disabled(
     teleios, season, noon_scene
 ):
-    outcome = teleios.process_scene(noon_scene)
+    outcome = teleios.run([noon_scene], RunOptions(on_error="raise"))[0]
     assert outcome.chain_seconds > 0.0
     assert len(outcome.refinement_timings) == 6
     assert all(t.seconds >= 0.0 for t in outcome.refinement_timings)
@@ -48,7 +49,7 @@ def test_outcome_fields_populated_with_tracing_disabled(
 def test_span_tree_covers_every_pipeline_layer(
     observability, teleios, noon_scene
 ):
-    outcome = teleios.process_scene(noon_scene)
+    outcome = teleios.run([noon_scene], RunOptions(on_error="raise"))[0]
     teleios.export_product(outcome.raw_product)
     spans = observability.get_tracer().spans()
     names = {s.name for s in spans}
@@ -102,7 +103,7 @@ def test_span_tree_covers_every_pipeline_layer(
 def test_metrics_and_table2_from_an_instrumented_run(
     observability, teleios, noon_scene
 ):
-    teleios.process_scene(noon_scene)
+    teleios.run([noon_scene], RunOptions(on_error="raise"))[0]
     metrics = observability.get_metrics()
     stage_hist = metrics.get("chain_stage_seconds")
     assert stage_hist is not None
@@ -158,7 +159,7 @@ def test_vault_load_spans_from_file_based_chain(
     observability, teleios, noon_scene
 ):
     teleios.use_files = True
-    teleios.process_scene(noon_scene)
+    teleios.run([noon_scene], RunOptions(on_error="raise"))[0]
     spans = observability.get_tracer().spans()
     vault_loads = [s for s in spans if s.name == "vault.load"]
     assert vault_loads, "file-based ingestion must traverse the vault"
@@ -174,7 +175,7 @@ def test_zero_hotspot_acquisition_still_reports_budget(
     observability, teleios
 ):
     # No fire season: a quiet acquisition with nothing to refine.
-    outcome = teleios.process_acquisition(WHEN, season=None)
+    outcome = teleios.run([WHEN], RunOptions(season=None, on_error="raise"))[0]
     assert len(outcome.raw_product) == 0
     assert outcome.refined_count == 0
     report = teleios.budget_report()
@@ -191,7 +192,7 @@ def test_failed_acquisition_closes_spans_and_counts_failure(
 
     monkeypatch.setattr(teleios.chain, "process", explode)
     with pytest.raises(RuntimeError, match="chain crashed"):
-        teleios.process_scene(noon_scene)
+        teleios.run([noon_scene], RunOptions(on_error="raise"))[0]
     tracer = observability.get_tracer()
     (span,) = [s for s in tracer.spans() if s.name == "acquisition"]
     assert span.status == "error"

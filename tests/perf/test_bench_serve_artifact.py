@@ -33,9 +33,10 @@ def artifact():
 
 
 def test_schema_has_every_required_section(artifact):
-    assert artifact["schema"] == "bench-serve/1"
+    assert artifact["schema"] == "bench-serve/2"
     for section in (
         "workload", "read_scaling", "http_load", "consistency",
+        "shard_scaling", "attach",
     ):
         assert section in artifact, f"missing section {section!r}"
     assert artifact["workload"]["ingested_acquisitions"] > 0
@@ -57,6 +58,19 @@ def test_http_load_was_clean(artifact):
     assert load["errors"] == 0
     assert load["throughput_rps"] > 0
     assert 0 < load["p50_ms"] <= load["p99_ms"]
+
+
+def test_sharded_tier_met_its_bars(artifact):
+    scaling = artifact["shard_scaling"]
+    assert scaling["differential_ok"] is True
+    assert scaling["speedup_4_vs_1"] >= 2.0, (
+        f"committed artifact shows only "
+        f"{scaling['speedup_4_vs_1']:.2f}x at 4 shards"
+    )
+    attach = artifact["attach"]
+    # Attach is O(1) in graph size and far cheaper than eager decode.
+    assert attach["size_independence_ratio"] <= 3.0
+    assert attach["attach_to_materialise_ratio"] <= 0.2
 
 
 def test_no_torn_reads_were_observed(artifact):

@@ -6,6 +6,7 @@ from datetime import timedelta
 
 import pytest
 
+from repro.core.config import RunOptions
 from repro.core.pipeline import PipelinedExecutor
 from repro.core.service import FireMonitoringService
 from tests.conftest import CRISIS_START
@@ -41,7 +42,9 @@ def _surviving(service, when):
 @pytest.mark.parametrize("worker_kind", ["process", "thread"])
 def test_pipelined_matches_serial_exactly(greece, season, worker_kind):
     serial = _service(greece)
-    serial_outcomes = serial.process_acquisitions(_whens(), season)
+    serial_outcomes = serial.run(
+        _whens(), RunOptions(season=season, on_error="raise")
+    )
 
     pipelined = _service(greece)
     with PipelinedExecutor(
@@ -59,16 +62,22 @@ def test_pipelined_matches_serial_exactly(greece, season, worker_kind):
         assert _surviving(pipelined, when) == _surviving(serial, when)
 
 
-def test_process_scenes_pipelined_matches_serial(greece, season):
+def test_run_scenes_pipelined_matches_serial(greece, season):
     scenes = [
         _service(greece).scene_generator.generate(when, season)
         for when in _whens()
     ]
     serial = _service(greece)
-    serial_outcomes = serial.process_scenes(scenes)
+    serial_outcomes = serial.run(scenes, RunOptions(on_error="raise"))
     pipelined = _service(greece)
-    pipelined_outcomes = pipelined.process_scenes(
-        scenes, pipelined=True, chain_workers=2, queue_depth=1
+    pipelined_outcomes = pipelined.run(
+        scenes,
+        RunOptions(
+            pipelined=True,
+            chain_workers=2,
+            queue_depth=1,
+            on_error="raise",
+        ),
     )
     assert _keys(pipelined_outcomes) == _keys(serial_outcomes)
     assert _surviving(pipelined, _whens()[-1]) == _surviving(

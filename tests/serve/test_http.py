@@ -160,6 +160,11 @@ def test_health_reflects_service_state(server, served_service):
     assert health["dead_letters"] == 0
     assert health["snapshot"]["sequence"] >= 1
     assert health["snapshot"]["triples"] > 0
+    # The HTTP layer adds only the normalised provenance block on top
+    # of the service's own health document.
+    provenance = health.pop("provenance")
+    assert provenance["api"] == "v1"
+    assert provenance["token"].startswith("v1:")
     assert health == json.loads(json.dumps(served_service.health()))
 
 

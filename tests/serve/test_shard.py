@@ -1,0 +1,262 @@
+"""Spatial sharding: tile layout, partitioning, composite tokens."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Envelope
+from repro.rdf.term import Literal, URI
+from repro.serve import (
+    CATCH_ALL,
+    ConsistencyToken,
+    ShardManager,
+    SnapshotPublisher,
+    TileLayout,
+    partition_snapshot,
+)
+from repro.stsparql import Strabon
+
+WKT = "http://strdf.di.uoa.gr/ontology#WKT"
+GEOM = URI("http://strdf.di.uoa.gr/ontology#hasGeometry")
+LABEL = URI("http://www.w3.org/2000/01/rdf-schema#label")
+
+
+def _point(n: int) -> URI:
+    return URI(f"http://example.org/point/{n}")
+
+
+def _engine_with_points(points) -> Strabon:
+    """A Strabon whose graph holds one geometric star per point plus a
+    couple of geometry-free (catch-all) subjects."""
+    engine = Strabon()
+    for n, (lon, lat) in enumerate(points):
+        engine.graph.add(
+            _point(n),
+            GEOM,
+            Literal(f"POINT ({lon} {lat})", datatype=WKT),
+        )
+        engine.graph.add(_point(n), LABEL, Literal(f"p{n}"))
+    aux = URI("http://example.org/aux")
+    engine.graph.add(aux, LABEL, Literal("no geometry here"))
+    return engine
+
+
+class _FakeService:
+    """The duck-typed minimum a ShardManager needs."""
+
+    def __init__(self, start_sequence: int = 0) -> None:
+        self.publisher = SnapshotPublisher(start_sequence=start_sequence)
+
+
+class TestTileLayout:
+    @pytest.mark.parametrize(
+        "shards,expected",
+        [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (6, (3, 2)), (5, (5, 1))],
+    )
+    def test_for_shards_is_most_square(self, shards, expected):
+        layout = TileLayout.for_shards(shards)
+        assert (layout.tiles_x, layout.tiles_y) == expected
+        assert len(layout) == shards
+
+    def test_tiles_cover_the_grid_envelope_disjointly(self):
+        layout = TileLayout(3, 2)
+        # Row-major indices, edges shared, area partitioned.
+        assert [t.index for t in layout.tiles] == list(range(6))
+        total = sum(
+            (t.envelope.maxx - t.envelope.minx)
+            * (t.envelope.maxy - t.envelope.miny)
+            for t in layout.tiles
+        )
+        env = layout.envelope
+        assert total == pytest.approx(
+            (env.maxx - env.minx) * (env.maxy - env.miny)
+        )
+
+    def test_tile_for_clamps_out_of_grid_points(self):
+        layout = TileLayout(2, 2)
+        env = layout.envelope
+        inside = layout.tile_for(env.minx + 0.1, env.miny + 0.1)
+        assert inside == 0
+        assert layout.tile_for(env.minx - 90, env.miny - 90) == 0
+        assert (
+            layout.tile_for(env.maxx + 90, env.maxy + 90)
+            == len(layout) - 1
+        )
+
+    def test_tiles_for_bbox_prunes(self):
+        layout = TileLayout(2, 2)
+        env = layout.envelope
+        midx = (env.minx + env.maxx) / 2
+        midy = (env.miny + env.maxy) / 2
+        assert layout.tiles_for_bbox(None) == [0, 1, 2, 3]
+        west = Envelope(env.minx, env.miny, midx - 0.01, env.maxy)
+        assert layout.tiles_for_bbox(west) == [0, 2]
+        corner = Envelope(
+            env.minx, env.miny, midx - 0.01, midy - 0.01
+        )
+        assert layout.tiles_for_bbox(corner) == [0]
+        outside = Envelope(0.0, 0.0, 1.0, 1.0)
+        assert layout.tiles_for_bbox(outside) == []
+
+    def test_invalid_layouts_rejected(self):
+        with pytest.raises(ValueError):
+            TileLayout(0, 1)
+        with pytest.raises(ValueError):
+            TileLayout.for_shards(0)
+
+
+class TestPartition:
+    def test_partitions_disjointly_cover_the_snapshot(self):
+        layout = TileLayout(2, 2)
+        env = layout.envelope
+        midx = (env.minx + env.maxx) / 2
+        engine = _engine_with_points(
+            [
+                (env.minx + 0.1, env.miny + 0.1),  # tile 0
+                (midx + 0.1, env.miny + 0.1),  # tile 1
+                (env.minx + 0.1, env.maxy - 0.1),  # tile 2
+            ]
+        )
+        snapshot = engine.graph.snapshot()
+        parts = partition_snapshot(snapshot, layout)
+        assert set(parts) == {0, 1, 2, 3, CATCH_ALL}
+        union = set()
+        total = 0
+        for graph in parts.values():
+            triples = set(graph.triples())
+            assert not (union & triples), "partitions overlap"
+            union |= triples
+            total += len(graph)
+        assert union == set(snapshot.triples())
+        assert total == len(snapshot)
+
+    def test_subject_star_is_never_split(self):
+        layout = TileLayout(2, 2)
+        env = layout.envelope
+        engine = _engine_with_points([(env.minx + 0.1, env.miny + 0.1)])
+        parts = partition_snapshot(engine.graph.snapshot(), layout)
+        # The geometric subject's whole star (geometry + label) lands
+        # in one tile; the geometry-free subject goes catch-all.
+        assert len(parts[0]) == 2
+        assert len(parts[CATCH_ALL]) == 1
+
+    def test_out_of_grid_geometry_is_clamped_not_dropped(self):
+        layout = TileLayout(2, 2)
+        engine = _engine_with_points([(-170.0, -80.0)])
+        parts = partition_snapshot(engine.graph.snapshot(), layout)
+        assert len(parts[0]) == 2  # clamped to the south-west tile
+
+
+class TestShardManager:
+    def test_publish_fans_out_in_lockstep(self):
+        service = _FakeService()
+        layout = TileLayout(2, 2)
+        env = layout.envelope
+        engine = _engine_with_points([(env.minx + 0.1, env.miny + 0.1)])
+        manager = ShardManager(service, layout=layout)
+        assert manager.shard_ids == [0, 1, 2, 3, CATCH_ALL]
+        service.publisher.publish(engine)
+        for sid in manager.shard_ids:
+            latest = manager.shards[sid].publisher.latest()
+            assert latest is not None
+            assert latest.sequence == 1
+        # The tile shard answers with the partitioned data.
+        tile_latest = manager.shards[0].publisher.latest()
+        assert len(tile_latest) == 2
+        assert len(manager.shards[CATCH_ALL].publisher.latest()) == 1
+
+    def test_pre_published_state_is_adopted_at_construction(self):
+        service = _FakeService()
+        layout = TileLayout(2, 1)
+        engine = _engine_with_points([])
+        service.publisher.publish(engine)
+        manager = ShardManager(service, layout=layout)
+        # The manager replays the already-latest publication.
+        assert all(
+            manager.shards[sid].publisher.latest() is not None
+            for sid in manager.shard_ids
+        )
+
+    def test_token_is_composite_and_monotonic(self):
+        service = _FakeService()
+        layout = TileLayout(2, 1)
+        manager = ShardManager(service, layout=layout)
+        unpublished = manager.token()
+        assert unpublished.parts == ((0, 0),) * 3
+        engine = _engine_with_points([])
+        service.publisher.publish(engine)
+        first = manager.token()
+        assert unpublished.is_behind(first)
+        service.publisher.publish(engine)
+        second = manager.token()
+        assert first.is_behind(second)
+        assert not second.is_behind(first)
+        # Wire round-trip preserves ordering.
+        assert ConsistencyToken.decode(first.encode()).is_behind(
+            ConsistencyToken.decode(second.encode())
+        )
+
+    def test_token_monotonic_across_restarts(self):
+        # Run 1: two publications, client stores the token.
+        service = _FakeService()
+        layout = TileLayout(2, 1)
+        manager = ShardManager(service, layout=layout)
+        engine = _engine_with_points([])
+        service.publisher.publish(engine)
+        service.publisher.publish(engine)
+        stored = manager.token()
+        # "Restart": a recovered service seeds its publisher with the
+        # last pre-crash sequence; the new manager seeds its shard
+        # publishers from it, so the composite token never regresses.
+        recovered = _FakeService(
+            start_sequence=service.publisher.sequence
+        )
+        manager2 = ShardManager(recovered, layout=layout)
+        recovered.publisher.publish(engine)
+        resumed = manager2.token()
+        assert stored.is_behind(resumed)
+        assert not resumed.is_behind(stored)
+
+    def test_tokens_across_topologies_are_incomparable(self):
+        two = ConsistencyToken(((1, 1), (1, 1)))
+        three = ConsistencyToken(((1, 1), (1, 1), (1, 1)))
+        with pytest.raises(ValueError, match="topologies"):
+            two.is_behind(three)
+
+    def test_bbox_shards_never_include_catch_all(self):
+        service = _FakeService()
+        manager = ShardManager(service, shards=4)
+        assert CATCH_ALL not in manager.shard_ids_for_bbox(None)
+        env = manager.layout.envelope
+        west = Envelope(
+            env.minx,
+            env.miny,
+            (env.minx + env.maxx) / 2 - 0.01,
+            env.maxy,
+        )
+        pruned = manager.shard_ids_for_bbox(west)
+        assert pruned == [0, 2]
+
+    def test_duplicate_publication_delivery_is_ignored(self):
+        service = _FakeService()
+        manager = ShardManager(service, shards=2)
+        engine = _engine_with_points([])
+        published = service.publisher.publish(engine)
+        before = manager.token()
+        manager._on_publish(published)  # replayed delivery
+        assert manager.token() == before
+
+
+class TestTokenCodec:
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ConsistencyToken.decode("12.34")
+        with pytest.raises(ValueError):
+            ConsistencyToken.decode("v1:spam.eggs")
+        with pytest.raises(ValueError):
+            ConsistencyToken.decode("v1:")
+
+    def test_encode_decode_round_trip(self):
+        token = ConsistencyToken(((12, 340), (12, 17), (9, 0)))
+        assert token.encode() == "v1:12.340-12.17-9.0"
+        assert ConsistencyToken.decode(token.encode()) == token
