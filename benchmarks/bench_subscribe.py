@@ -1,0 +1,254 @@
+"""Continuous-subscription benchmark (``BENCH_subscribe.json``).
+
+Three measurements per subscription-count series point (1k / 10k /
+100k geofenced subscriptions):
+
+* **Registration** — bulk :meth:`SubscriptionEngine.register_many`
+  wall time (one R-tree pack plus one priming scan over the published
+  snapshot), reported as subscriptions per second.
+* **Incremental vs full re-run** — one acquisition's delta is
+  committed through :meth:`process_commit` (the production path: delta
+  records probed against the geofence index) and, against the *same*
+  pre-commit engine state, through :meth:`evaluate_full` with
+  ``commit=False`` (every standing query over the whole snapshot minus
+  the seen-set).  The headline bar — asserted here at the largest
+  count — is incremental >= 10x faster than the full re-run.
+* **Differential** — the notification key set the incremental path
+  produced must equal the full re-run's at every series point;
+  ``differential_mismatches`` lands in the artifact and is gated at
+  zero by ``check_regression.py``.
+
+The store is deliberately modest (hundreds of hotspots) while the
+subscription count scales to 100k: the quantity under test is how
+evaluation cost scales with *subscriptions*, which is where a naive
+re-run-everything design blows up (cost ~ subscriptions x snapshot)
+and the delta-driven engine stays ~ delta x log(subscriptions).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.serve import SnapshotPublisher, SubscriptionEngine
+from repro.stsparql import Strabon
+
+#: Subscription counts in the series; the acceptance bar is defined at
+#: the largest.
+SERIES = (1_000, 10_000, 100_000)
+#: Hotspots in the store before the measured acquisition.
+N_INITIAL = 480
+#: Hotspots the measured acquisition inserts (one delta batch).
+N_DELTA = 24
+#: Timing repeats (best-of) for the full re-run measurement.
+REPEATS = 3
+#: The synthetic Greece-ish envelope subscriptions geofence within.
+ENVELOPE = (20.0, 34.0, 29.0, 42.0)
+
+NOA = "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#"
+WKT = "http://strdf.di.uoa.gr/ontology#WKT"
+
+_ARTIFACTS = {}
+
+
+def _insert_hotspots(strabon, start, count, rng):
+    statements = []
+    for n in range(start, start + count):
+        lon = rng.uniform(ENVELOPE[0], ENVELOPE[2])
+        lat = rng.uniform(ENVELOPE[1], ENVELOPE[3])
+        confidence = round(rng.uniform(0.3, 1.0), 3)
+        subject = f"<http://example.org/hotspot/{n}>"
+        statements.append(f"{subject} a noa:Hotspot .")
+        statements.append(
+            f'{subject} strdf:hasGeometry "POINT ({lon:.5f} '
+            f'{lat:.5f})"^^<{WKT}> .'
+        )
+        statements.append(
+            f'{subject} noa:hasConfidence "{confidence}" .'
+        )
+    strabon.update(
+        f"PREFIX noa: <{NOA}>\n"
+        "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+        "INSERT DATA {\n" + "\n".join(statements) + "\n}"
+    )
+
+
+def _subscription_docs(count, rng):
+    """Geofenced filter subscriptions: small random boxes over the
+    envelope, a spread of confidence floors."""
+    minx, miny, maxx, maxy = ENVELOPE
+    docs = []
+    for _ in range(count):
+        w = rng.uniform(0.05, 0.8)
+        h = rng.uniform(0.05, 0.8)
+        x = rng.uniform(minx, maxx - w)
+        y = rng.uniform(miny, maxy - h)
+        doc = {"kind": "filter", "bbox": [x, y, x + w, y + h]}
+        if rng.random() < 0.5:
+            doc["min_confidence"] = round(rng.uniform(0.3, 0.9), 2)
+        docs.append(doc)
+    return docs
+
+
+def _series_point(count: int) -> dict:
+    rng = random.Random(20130807 + count)
+    strabon = Strabon()
+    _insert_hotspots(strabon, 0, N_INITIAL, rng)
+
+    publisher = SnapshotPublisher()
+    engine = SubscriptionEngine()
+    engine.bind(strabon, publisher)
+    publisher.publish(strabon)
+
+    docs = _subscription_docs(count, rng)
+    t0 = time.perf_counter()
+    engine.register_many(docs)
+    register_wall = time.perf_counter() - t0
+
+    # One acquisition's delta, captured by the engine's journal tee.
+    _insert_hotspots(strabon, N_INITIAL, N_DELTA, rng)
+
+    # Full re-run against the same pre-commit state (commit=False
+    # leaves seen-sets untouched, so both paths see identical state).
+    full_wall = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        full = engine.evaluate_full(strabon, 2, commit=False)
+        full_wall = min(full_wall, time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    batch = engine.process_commit(2)
+    incremental_wall = time.perf_counter() - t0
+
+    from repro.serve.subscribe import Notification
+
+    incremental_keys = {
+        Notification.from_dict(d).key() for d in batch.notifications
+    }
+    full_keys = {n.key() for n in full}
+    mismatches = len(incremental_keys ^ full_keys)
+
+    engine.close()
+    return {
+        "subscriptions": count,
+        "registration": {
+            "wall_s": register_wall,
+            "subs_per_s": count / register_wall,
+        },
+        "incremental_ms": incremental_wall * 1e3,
+        "full_rerun_ms": full_wall * 1e3,
+        "speedup_incremental_vs_full": full_wall / incremental_wall,
+        "notifications": len(incremental_keys),
+        "differential_mismatches": mismatches,
+    }
+
+
+@pytest.fixture(scope="module")
+def subscribe_run():
+    series = {}
+    for count in SERIES:
+        series[str(count)] = _series_point(count)
+    top = series[str(SERIES[-1])]
+    run = {
+        "schema": "bench-subscribe/1",
+        "workload": {
+            "initial_hotspots": N_INITIAL,
+            "delta_hotspots": N_DELTA,
+            "series": list(SERIES),
+        },
+        "series": series,
+        "headline": {
+            "subscriptions": SERIES[-1],
+            "speedup_incremental_vs_full": top[
+                "speedup_incremental_vs_full"
+            ],
+            "incremental_ms": top["incremental_ms"],
+            "full_rerun_ms": top["full_rerun_ms"],
+            "registration_subs_per_s": top["registration"][
+                "subs_per_s"
+            ],
+            "differential_mismatches": sum(
+                point["differential_mismatches"]
+                for point in series.values()
+            ),
+        },
+    }
+    _ARTIFACTS["run"] = run
+    return run
+
+
+def test_incremental_meets_the_10x_bar(subscribe_run):
+    headline = subscribe_run["headline"]
+    assert headline["speedup_incremental_vs_full"] >= 10.0, (
+        f"incremental evaluation at {headline['subscriptions']} "
+        f"subscriptions only reached "
+        f"{headline['speedup_incremental_vs_full']:.1f}x the full "
+        "re-run"
+    )
+
+
+def test_incremental_and_full_agree_everywhere(subscribe_run):
+    for count, point in subscribe_run["series"].items():
+        assert point["differential_mismatches"] == 0, (
+            f"incremental != full re-run at {count} subscriptions"
+        )
+        assert point["notifications"] > 0, (
+            f"no notifications at {count} subscriptions - "
+            "the differential is vacuous"
+        )
+
+
+def test_incremental_cost_tracks_matches_not_registry(subscribe_run):
+    """Delta evaluation cost must scale with the *matches it
+    delivers*, not with the registry: per-notification cost may not
+    grow as the registry does (a per-subscription re-scan would grow
+    it ~linearly in subscriptions)."""
+    series = subscribe_run["series"]
+    small = series[str(SERIES[0])]
+    large = series[str(SERIES[-1])]
+    per_notif_small = small["incremental_ms"] / small["notifications"]
+    per_notif_large = large["incremental_ms"] / large["notifications"]
+    assert per_notif_large <= per_notif_small * 5.0, (
+        f"per-notification cost grew "
+        f"{per_notif_large / per_notif_small:.1f}x over a "
+        f"{SERIES[-1] // SERIES[0]}x registry growth"
+    )
+
+
+def teardown_module(module):
+    from benchmarks.reporting import report, write_bench_json
+
+    run = _ARTIFACTS.get("run")
+    if run is None:
+        return
+    write_bench_json("subscribe", run)
+    lines = [
+        "Continuous subscriptions: incremental vs full re-run "
+        f"({N_INITIAL}+{N_DELTA} hotspots)",
+        "",
+        f"{'subs':>8}  {'register/s':>11}  {'incr ms':>8}  "
+        f"{'full ms':>8}  {'speedup':>8}  {'notifs':>6}  {'diff':>4}",
+    ]
+    for count in SERIES:
+        point = run["series"][str(count)]
+        lines.append(
+            f"{count:>8}  "
+            f"{point['registration']['subs_per_s']:>11.0f}  "
+            f"{point['incremental_ms']:>8.2f}  "
+            f"{point['full_rerun_ms']:>8.2f}  "
+            f"{point['speedup_incremental_vs_full']:>7.1f}x  "
+            f"{point['notifications']:>6}  "
+            f"{point['differential_mismatches']:>4}"
+        )
+    headline = run["headline"]
+    lines += [
+        "",
+        f"headline: {headline['speedup_incremental_vs_full']:.1f}x "
+        f"at {headline['subscriptions']} subscriptions "
+        f"(bar: >= 10x), "
+        f"{headline['differential_mismatches']} differential "
+        "mismatches",
+    ]
+    report("subscribe", "\n".join(lines))

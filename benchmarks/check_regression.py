@@ -118,6 +118,24 @@ WATCHED = {
             TIMING_THRESHOLD,
         ),
     ],
+    "BENCH_subscribe.json": [
+        # The ISSUE-9 acceptance bar (incremental >= 10x a full re-run
+        # at 100k geofenced subscriptions) is asserted inside
+        # bench_subscribe.py; the gate guards against drift, and the
+        # incremental/full differential must stay exact.
+        (
+            "headline.speedup_incremental_vs_full",
+            "higher",
+            TIMING_THRESHOLD,
+        ),
+        ("headline.incremental_ms", "lower", TIMING_THRESHOLD),
+        (
+            "headline.registration_subs_per_s",
+            "higher",
+            TIMING_THRESHOLD,
+        ),
+        ("headline.differential_mismatches", "absolute", 0.0),
+    ],
     "BENCH_durable.json": [
         ("wal.never.batches_per_s", "higher", TIMING_THRESHOLD),
         ("wal.commit.batches_per_s", "higher", TIMING_THRESHOLD),

@@ -287,6 +287,19 @@ class FireMonitoringService:
         #: records into the same engine).
         self.slo = SloEngine(metrics=_metrics)
         self.slo.on_alert.append(self._on_slo_alert)
+        #: Continuous-query engine (``repro.serve.subscribe``):
+        #: standing queries evaluated incrementally per committed
+        #: acquisition and fanned out over SSE.  None in legacy mode;
+        #: with a ``state_dir`` it is (re)opened durable in
+        #: :meth:`_open_durable` instead.
+        self.subscriptions = None
+        if self.mode == "teleios" and self.publisher is not None:
+            from repro.obs.slo import NOTIFICATION_SLO
+            from repro.serve.subscribe import SubscriptionEngine
+
+            self.slo.register(NOTIFICATION_SLO)
+            self.subscriptions = SubscriptionEngine(slo=self.slo)
+            self.subscriptions.bind(self.strabon, self.publisher)
         #: Summary of the flight-recorder dump a previous crash left
         #: behind (``None`` on a clean start); surfaced in health().
         self._crash_report: Optional[Dict[str, object]] = None
@@ -296,6 +309,7 @@ class FireMonitoringService:
         self.recovery = None
         self._committed_acquisitions = 0
         self._last_committed_timestamp: Optional[datetime] = None
+        self._last_wal_seq: Optional[int] = None
         self._resume_skipped = 0
         self._service_state_path: Optional[str] = None
         if config.state_dir is not None:
@@ -418,9 +432,31 @@ class FireMonitoringService:
         self.publisher = SnapshotPublisher(
             start_sequence=published_sequence
         )
+        # Durable subscription state rides in state_dir/subs/ — the
+        # registry, per-subscriber cursors and the notification log —
+        # and the at-most-one notification batch a crash can have
+        # swallowed (committed to the WAL, never logged) is
+        # regenerated before readers reconnect, stamped with the
+        # imminent initial publication's sequence.
+        from repro.obs.slo import NOTIFICATION_SLO
+        from repro.serve.subscribe import SubscriptionEngine
+
+        self.slo.register(NOTIFICATION_SLO)
+        self.subscriptions = SubscriptionEngine(
+            state_dir=os.path.join(state_dir, "subs"),
+            fsync=config.wal_fsync,
+            slo=self.slo,
+        )
+        self.subscriptions.bind(self.strabon, self.publisher)
+        repaired = self.subscriptions.repair_tail(
+            self.durable.wal.replayed,
+            sequence=self.publisher.sequence + 1,
+        )
         self.publisher.publish(
             self.strabon, timestamp=self._last_committed_timestamp
         )
+        if repaired is not None:
+            self.subscriptions.publish_batch(repaired)
         self._save_service_state()
         _log.info(
             "durable state at %s: %s (committed=%d, published_seq=%d)",
@@ -545,7 +581,7 @@ class FireMonitoringService:
         ):
             self._committed_acquisitions += 1
             self._last_committed_timestamp = outcome.timestamp
-            self.durable.commit(
+            self._last_wal_seq = self.durable.commit(
                 meta={
                     "committed": self._committed_acquisitions,
                     "timestamp": (
@@ -582,6 +618,10 @@ class FireMonitoringService:
         if self._closed:
             return
         self._closed = True
+        if self.subscriptions is not None:
+            # Restores the graph's original journal — must precede the
+            # durable close, whose identity check expects it.
+            self.subscriptions.close()
         if self.durable is not None:
             self.durable.close()
         if self._owns_workdir:
@@ -929,11 +969,26 @@ class FireMonitoringService:
                     sequence=self.publisher.sequence + 1,
                 ):
                     self._durable_commit(outcome)
-                    self.publisher.publish(
+                    # The subscription engine evaluates the committed
+                    # delta and (durably) logs its notification batch
+                    # *before* the publish, so the snapshot readers
+                    # see always contains the notified state; fan-out
+                    # follows the publish.
+                    batch = None
+                    if self.subscriptions is not None:
+                        batch = self.subscriptions.process_commit(
+                            self.publisher.sequence + 1,
+                            wal_seq=self._last_wal_seq,
+                        )
+                    published = self.publisher.publish(
                         self.strabon,
                         timestamp=outcome.timestamp,
                         trace_id=outcome.trace_id,
                     )
+                    if batch is not None:
+                        self.subscriptions.publish_batch(
+                            batch, published
+                        )
                     if self.durable is not None:
                         crashpoints.crash("commit.post-publish")
                         self.durable.maybe_checkpoint()
@@ -1109,6 +1164,8 @@ class FireMonitoringService:
                     else latest.timestamp.isoformat(),
                 }
             )
+        if self.subscriptions is not None:
+            report["subscriptions"] = self.subscriptions.stats()
         if self.durable is not None:
             report["durability"] = {
                 "state_dir": self.config.state_dir,

@@ -53,6 +53,11 @@ from repro.durable.crashpoints import (
     crash,
     disarm,
 )
+from repro.durable.cursors import (
+    CursorStore,
+    NotificationBatch,
+    NotificationLog,
+)
 from repro.durable.store import (
     DurableStore,
     GraphJournal,
@@ -66,8 +71,11 @@ __all__ = [
     "CRASH_EXIT",
     "CRASHPOINTS",
     "CheckpointReader",
+    "CursorStore",
     "DurableStore",
     "GraphJournal",
+    "NotificationBatch",
+    "NotificationLog",
     "OP_ADD",
     "OP_CLEAR",
     "OP_REMOVE",

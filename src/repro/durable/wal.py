@@ -74,7 +74,12 @@ class WalRecord:
 class WriteAheadLog:
     """An append-only log over one file (single-writer)."""
 
-    def __init__(self, path: str, fsync: str = "commit") -> None:
+    def __init__(
+        self,
+        path: str,
+        fsync: str = "commit",
+        crash_sites: bool = True,
+    ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise DurabilityError(
                 f"fsync policy must be one of {FSYNC_POLICIES}, "
@@ -82,6 +87,11 @@ class WriteAheadLog:
             )
         self.path = path
         self.fsync = fsync
+        #: Whether the ``wal.append.*`` crashpoints fire for this log.
+        #: The crash matrix arms them by *hit count* against the triple
+        #: WAL's commit order; secondary logs (the notification log)
+        #: opt out so they do not shift that counting.
+        self.crash_sites = crash_sites
         self._records_replayed = 0
         self._truncated_bytes = 0
         if os.path.exists(path):
@@ -161,7 +171,7 @@ class WriteAheadLog:
         frame = _FRAME.pack(
             len(payload), seq, kind, zlib.crc32(payload)
         )
-        if crashpoints.fire("wal.append.torn"):
+        if self.crash_sites and crashpoints.fire("wal.append.torn"):
             # A crash mid-write: the frame lands but only half the
             # payload does.  Replay must refuse this record.
             self._fh.write(frame)
@@ -171,7 +181,8 @@ class WriteAheadLog:
         self._fh.write(frame)
         self._fh.write(payload)
         self._fh.flush()
-        crashpoints.crash("wal.append.pre-sync")
+        if self.crash_sites:
+            crashpoints.crash("wal.append.pre-sync")
         if self.fsync == "always":
             os.fsync(self._fh.fileno())
             if _metrics.enabled:

@@ -32,6 +32,8 @@ __all__ = [
     "SLO",
     "SloEngine",
     "ACQUISITION_SLO",
+    "NOTIFICATION_SLO",
+    "NOTIFY_LATENCY_SLO_S",
     "SERVING_SLO",
     "SERVE_LATENCY_SLO_S",
     "default_service_slos",
@@ -78,6 +80,21 @@ SERVING_SLO = SLO(
     objective=0.95,
     description=(
         f"HTTP reads answer non-5xx within {SERVE_LATENCY_SLO_S:g} s"
+    ),
+)
+
+#: Notification-delivery objective threshold: commit-to-fanout wall
+#: time per publication batch.  Generous against the 300 s acquisition
+#: budget — the point is catching a systematically slow subscription
+#: path, not shaving milliseconds.
+NOTIFY_LATENCY_SLO_S = 1.0
+
+NOTIFICATION_SLO = SLO(
+    name="notification-delivery",
+    objective=0.99,
+    description=(
+        "Subscription notification batches evaluated and fanned out "
+        f"within {NOTIFY_LATENCY_SLO_S:g} s of the WAL commit"
     ),
 )
 

@@ -26,12 +26,18 @@ store while the ingest/refinement writer keeps running:
   consistency tokens (``repro.serve.router``),
 * :class:`ServeClient` — the HTTP client speaking the same
   ``query(text, params=, explain=, query_engine=, timeout=)`` contract
-  as the in-process engines (``repro.serve.client``),
+  as the in-process engines, plus subscription CRUD and an
+  :class:`SseStream` reader (``repro.serve.client``),
+* :class:`SubscriptionEngine` / :class:`Subscription` — continuous
+  stSPARQL subscriptions with incremental per-commit evaluation and
+  durable exactly-once delivery (``repro.serve.subscribe``),
+* :class:`SseHub` — the push fan-out bridging the writer thread to
+  ``/v1/stream`` SSE channels (``repro.serve.sse``),
 * :class:`LoadGenerator` — the closed-loop benchmark driver
   (``repro.serve.load``).
 """
 
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeClient, ServeError, SseStream
 from repro.serve.hotspots import HOTSPOTS_QUERY, parse_bbox, query_hotspots
 from repro.serve.http import HotspotServer, ServerHandle, serve_in_thread
 from repro.serve.load import LoadGenerator, LoadReport, fetch_json
@@ -48,10 +54,17 @@ from repro.serve.shard import (
     TileLayout,
     partition_snapshot,
 )
+from repro.serve.sse import SseChannel, SseHub
 from repro.serve.state import (
     ConsistencyToken,
     PublishedSnapshot,
     SnapshotPublisher,
+)
+from repro.serve.subscribe import (
+    Subscription,
+    SubscriptionEngine,
+    SubscriptionError,
+    SubscriptionRegistry,
 )
 
 __all__ = [
@@ -70,6 +83,13 @@ __all__ = [
     "ShardManager",
     "ShardRouter",
     "SnapshotPublisher",
+    "SseChannel",
+    "SseHub",
+    "SseStream",
+    "Subscription",
+    "SubscriptionEngine",
+    "SubscriptionError",
+    "SubscriptionRegistry",
     "Tile",
     "TileLayout",
     "fetch_json",

@@ -26,7 +26,7 @@ from typing import Any, Dict, Optional
 from repro.errors import SnapshotWriteError
 from repro.stsparql.errors import QueryTimeoutError, SparqlError
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["ServeClient", "ServeError", "SseStream"]
 
 
 class ServeError(RuntimeError):
@@ -71,7 +71,7 @@ class ServeClient:
             data = response.read()
         finally:
             conn.close()
-        if response.status == 200:
+        if response.status in (200, 201):
             return json.loads(data)
         try:
             message = json.loads(data).get("error", "")
@@ -81,6 +81,12 @@ class ServeClient:
             raise SnapshotWriteError(message)
         if response.status == 408:
             raise QueryTimeoutError(message)
+        if response.status == 422 and path.startswith(
+            "/v1/subscriptions"
+        ):
+            from repro.serve.subscribe import SubscriptionError
+
+            raise SubscriptionError(message)
         if response.status in (400, 422):
             raise SparqlError(message)
         raise ServeError(response.status, message)
@@ -146,6 +152,53 @@ class ServeClient:
             path += "?" + urlencode(query)
         return self._request("GET", path)
 
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(self, doc: Dict[str, Any]) -> dict:
+        """Register a subscription (``POST /v1/subscriptions``);
+        returns the stored document, id and cursor included."""
+        return self._request(
+            "POST", "/v1/subscriptions", json.dumps(doc)
+        )
+
+    def subscriptions(self) -> dict:
+        return self._request("GET", "/v1/subscriptions")
+
+    def subscription(self, sub_id: str) -> dict:
+        """One subscription's stored document, cursor included."""
+        return self._request("GET", f"/v1/subscriptions/{sub_id}")
+
+    def unsubscribe(self, sub_id: str) -> dict:
+        return self._request(
+            "DELETE", f"/v1/subscriptions/{sub_id}"
+        )
+
+    def ack(self, sub_id: str, sequence: int) -> dict:
+        """Acknowledge everything up to a publication sequence — the
+        durable cursor a reconnect resumes from."""
+        return self._request(
+            "POST",
+            f"/v1/subscriptions/{sub_id}/ack",
+            json.dumps({"sequence": sequence}),
+        )
+
+    def stream(
+        self,
+        subscription: str,
+        cursor: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> "SseStream":
+        """Open ``GET /v1/stream`` for one subscription.  Without an
+        explicit ``cursor`` the server resumes from the durably
+        acknowledged one."""
+        return SseStream(
+            self.host,
+            self.port,
+            subscription,
+            cursor=cursor,
+            timeout=timeout,
+        )
+
     def health(self) -> dict:
         return self._request("GET", "/v1/health")
 
@@ -156,3 +209,85 @@ class ServeClient:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ServeClient {self.host}:{self.port}>"
+
+
+class SseStream:
+    """One open ``/v1/stream`` SSE connection.
+
+    Iterate :meth:`events` for parsed ``{"id", "event", "data"}``
+    dicts (``data`` is the decoded JSON document; keep-alive comments
+    are swallowed).  The socket timeout bounds how long an idle read
+    blocks — keep it above the server's keep-alive interval or a quiet
+    stream will raise ``TimeoutError``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        subscription: str,
+        cursor: Optional[int] = None,
+        timeout: float = 30.0,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._conn = http.client.HTTPConnection(
+            host, port, timeout=timeout
+        )
+        path = f"/v1/stream?subscription={subscription}"
+        if cursor is not None:
+            path += f"&cursor={int(cursor)}"
+        self._conn.request("GET", path, headers=headers or {})
+        self._response = self._conn.getresponse()
+        if self._response.status != 200:
+            data = self._response.read()
+            try:
+                message = json.loads(data).get("error", "")
+            except (json.JSONDecodeError, AttributeError):
+                message = data.decode("utf-8", errors="replace")[:200]
+            self._conn.close()
+            raise ServeError(self._response.status, message)
+
+    def events(self):
+        """Yield events until the connection closes."""
+        event: Dict[str, Any] = {}
+        data_lines: list = []
+        while True:
+            raw = self._response.readline()
+            if not raw:
+                return
+            line = raw.decode("utf-8").rstrip("\r\n")
+            if not line:
+                if data_lines:
+                    yield {
+                        "id": event.get("id"),
+                        "event": event.get("event", "message"),
+                        "data": json.loads("\n".join(data_lines)),
+                    }
+                event, data_lines = {}, []
+                continue
+            if line.startswith(":"):
+                continue
+            name, _, value = line.partition(":")
+            if value.startswith(" "):
+                value = value[1:]
+            if name == "data":
+                data_lines.append(value)
+            elif name == "id":
+                try:
+                    event["id"] = int(value)
+                except ValueError:
+                    pass
+            elif name == "event":
+                event["event"] = value
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except Exception:  # noqa: BLE001 - teardown must not raise
+            pass
+
+    def __enter__(self) -> "SseStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

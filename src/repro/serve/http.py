@@ -73,7 +73,14 @@ from repro.obs import (
 )
 from repro.obs.slo import SERVE_LATENCY_SLO_S
 from repro.serve.hotspots import _stamp, parse_bbox, query_hotspots
+from repro.serve.sse import (
+    SseHub,
+    format_batch,
+    format_comment,
+    frame_sequence,
+)
 from repro.serve.state import ConsistencyToken
+from repro.serve.subscribe import SubscriptionError
 from repro.stsparql.errors import QueryTimeoutError, SparqlError
 
 _tracer = get_tracer()
@@ -81,6 +88,7 @@ _metrics = get_metrics()
 
 _REASONS = {
     200: "OK",
+    201: "Created",
     400: "Bad Request",
     403: "Forbidden",
     404: "Not Found",
@@ -99,7 +107,12 @@ V1_ENDPOINTS = (
     "/metrics",
     "/health",
     "/debug/tracez",
+    "/subscriptions",
+    "/stream",
 )
+
+#: Seconds of stream silence before a keep-alive comment is emitted.
+STREAM_KEEPALIVE_S = 15.0
 
 #: Engine names a request may select via ``query_engine`` (the JSON
 #: body's ``engine`` field over HTTP).
@@ -187,6 +200,9 @@ class HotspotServer:
         #: (host, port) actually bound — resolved once started (port=0
         #: asks the kernel for a free one).
         self.address: Optional[Tuple[str, int]] = None
+        #: SSE fan-out hub — attached to the service's subscription
+        #: engine lazily, on the first ``/v1/stream`` connection.
+        self.sse = SseHub()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -223,6 +239,16 @@ class HotspotServer:
                 if request is None:
                     break
                 method, target, headers, body = request
+                path = urlsplit(target).path.rstrip("/") or "/"
+                if method == "GET" and path in (
+                    "/stream",
+                    "/v1/stream",
+                ):
+                    # SSE: the response never ends, so the stream
+                    # handler owns the writer; the connection is
+                    # dedicated (no keep-alive reuse after it).
+                    await self._stream(writer, target, headers)
+                    break
                 payload = await self._dispatch(
                     method, target, headers, body
                 )
@@ -284,7 +310,10 @@ class HotspotServer:
             legacy = False
         else:
             route = path
-            legacy = route in V1_ENDPOINTS
+            legacy = any(
+                route == known or route.startswith(known + "/")
+                for known in V1_ENDPOINTS
+            )
         endpoint = route.lstrip("/") or "root"
         started = time.perf_counter()
         # A client sending x-trace-id / x-parent-span joins its trace;
@@ -307,6 +336,9 @@ class HotspotServer:
                     span.set(status=status)
         except _HttpError as error:
             status = error.status
+            payload = _json_response(status, {"error": str(error)})
+        except SubscriptionError as error:
+            status = 422
             payload = _json_response(status, {"error": str(error)})
         except SnapshotWriteError as error:
             status = 403
@@ -407,6 +439,14 @@ class HotspotServer:
             if method != "GET":
                 raise _HttpError(405, "use GET /debug/tracez")
             return 200, self._tracez(query, ctx)
+        if path == "/subscriptions" or path.startswith(
+            "/subscriptions/"
+        ):
+            return await self._subscriptions(method, path, body, ctx)
+        if path == "/stream":
+            # GET /stream never reaches _route (the connection handler
+            # takes it over); anything else here is a method error.
+            raise _HttpError(405, "use GET /stream (SSE)")
         raise _HttpError(404, f"no such endpoint: {path}")
 
     # -- endpoint bodies ---------------------------------------------------
@@ -459,6 +499,207 @@ class HotspotServer:
             "degraded": False,
             "missing_shards": [],
         }
+
+    # -- subscriptions -----------------------------------------------------
+
+    def _engine(self):
+        engine = getattr(self.service, "subscriptions", None)
+        if engine is None:
+            raise _HttpError(
+                404, "subscriptions are not enabled on this service"
+            )
+        return engine
+
+    @staticmethod
+    def _parse_json_body(body: bytes) -> Dict[str, Any]:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _HttpError(400, "body must be a JSON object")
+        if not isinstance(doc, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        return doc
+
+    @staticmethod
+    def _subscription_doc(engine, sub) -> Dict[str, Any]:
+        doc = sub.to_dict()
+        doc["cursor"] = engine.cursor(sub.id)
+        return doc
+
+    async def _subscriptions(
+        self, method: str, path: str, body: bytes, ctx
+    ) -> Tuple[int, bytes]:
+        engine = self._engine()
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 1:
+            if method == "GET":
+                subs = engine.registry.list()
+                return 200, _json_response(
+                    200,
+                    {
+                        "count": len(subs),
+                        "subscriptions": [
+                            self._subscription_doc(engine, s)
+                            for s in subs
+                        ],
+                    },
+                )
+            if method == "POST":
+                doc = self._parse_json_body(body)
+                # Registration primes against the latest snapshot (a
+                # scan) — keep it off the event loop.
+                sub = await self._in_thread(
+                    engine.register, doc, context=ctx
+                )
+                return 201, _json_response(
+                    201, self._subscription_doc(engine, sub)
+                )
+            raise _HttpError(405, "use GET or POST /subscriptions")
+        sub_id = parts[1]
+        if len(parts) == 2:
+            if method == "GET":
+                sub = engine.registry.get(sub_id)
+                if sub is None:
+                    raise _HttpError(
+                        404, f"no such subscription: {sub_id}"
+                    )
+                return 200, _json_response(
+                    200, self._subscription_doc(engine, sub)
+                )
+            if method == "DELETE":
+                removed = await self._in_thread(
+                    engine.remove, sub_id, context=ctx
+                )
+                if not removed:
+                    raise _HttpError(
+                        404, f"no such subscription: {sub_id}"
+                    )
+                return 200, _json_response(
+                    200, {"removed": sub_id}
+                )
+            raise _HttpError(
+                405, "use GET or DELETE /subscriptions/<id>"
+            )
+        if len(parts) == 3 and parts[2] == "ack":
+            if method != "POST":
+                raise _HttpError(
+                    405, "use POST /subscriptions/<id>/ack"
+                )
+            if engine.registry.get(sub_id) is None:
+                raise _HttpError(
+                    404, f"no such subscription: {sub_id}"
+                )
+            doc = self._parse_json_body(body)
+            try:
+                sequence = int(doc["sequence"])
+            except (KeyError, TypeError, ValueError):
+                raise _HttpError(
+                    400, 'ack body must be {"sequence": <int>}'
+                )
+            cursor = engine.ack(sub_id, sequence)
+            return 200, _json_response(
+                200, {"subscription": sub_id, "cursor": cursor}
+            )
+        raise _HttpError(404, f"no such endpoint: {path}")
+
+    async def _stream(self, writer, target: str, headers) -> None:
+        """``GET /v1/stream?subscription=<id>[&cursor=N]`` — SSE.
+
+        Resume order: explicit ``cursor=`` beats ``Last-Event-ID``
+        beats the durable acknowledged cursor.  The channel registers
+        on the hub *before* the log replay, and live frames whose
+        sequence the replay already covered are dropped, so the
+        hand-off from replayed history to live delivery has no gap and
+        no duplicate.
+        """
+        split = urlsplit(target)
+        params = parse_qs(split.query)
+
+        def single(name: str) -> Optional[str]:
+            values = params.get(name)
+            return values[-1] if values else None
+
+        status = 200
+        try:
+            engine = self._engine()
+            sub_id = single("subscription")
+            if not sub_id:
+                raise _HttpError(
+                    400, "subscription= query parameter is required"
+                )
+            if engine.registry.get(sub_id) is None:
+                raise _HttpError(
+                    404, f"no such subscription: {sub_id}"
+                )
+            cursor_text = single("cursor")
+            if cursor_text is None:
+                cursor_text = headers.get("last-event-id")
+            if cursor_text is not None:
+                try:
+                    cursor = int(cursor_text)
+                except ValueError:
+                    raise _HttpError(
+                        400, f"bad cursor: {cursor_text!r}"
+                    )
+            else:
+                cursor = engine.cursor(sub_id)
+        except _HttpError as error:
+            status = error.status
+            writer.write(
+                _json_response(status, {"error": str(error)})
+            )
+            await writer.drain()
+            if _metrics.enabled:
+                _metrics.counter(
+                    "serve_requests_total",
+                    "HTTP requests served, by endpoint and status",
+                ).inc(endpoint="stream", status=str(status))
+            return
+        if _metrics.enabled:
+            _metrics.counter(
+                "serve_requests_total",
+                "HTTP requests served, by endpoint and status",
+            ).inc(endpoint="stream", status="200")
+        self.sse.attach(engine)
+        channel = self.sse.register(sub_id)
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-cache\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            last = cursor
+            for batch in engine.replay_after(cursor):
+                for frame in format_batch(
+                    batch, subscription_id=sub_id
+                ):
+                    writer.write(frame)
+                last = max(last, batch.sequence)
+            await writer.drain()
+            while True:
+                try:
+                    frame = await asyncio.wait_for(
+                        channel.queue.get(),
+                        timeout=STREAM_KEEPALIVE_S,
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(format_comment())
+                    await writer.drain()
+                    continue
+                sequence = frame_sequence(frame)
+                if sequence is not None and sequence <= last:
+                    continue  # the log replay already covered it
+                writer.write(frame)
+                await writer.drain()
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            self.sse.unregister(channel)
 
     def _tracez(self, query: str, ctx=None) -> bytes:
         """Recent complete traces (``/debug/tracez``).

@@ -117,6 +117,14 @@ class RouterService:
     def slo(self):
         return getattr(self.base, "slo", None)
 
+    @property
+    def subscriptions(self):
+        """The main service's subscription engine — subscriptions are
+        a write-path construct (evaluated on the main commit), so the
+        router serves the same registry and stream as the main server
+        rather than fanning out to shards."""
+        return getattr(self.base, "subscriptions", None)
+
     def health(self) -> dict:
         tier = self.manager.health()
         shard_docs = tier["shards"]

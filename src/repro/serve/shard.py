@@ -197,6 +197,12 @@ class _ShardService:
     """The duck-typed ``service`` a per-shard ``HotspotServer`` sees:
     the shard's publisher plus a small health document."""
 
+    #: Shards never host the subscription engine — continuous queries
+    #: evaluate on the main commit path; the router exposes the main
+    #: service's engine instead (``/v1/subscriptions`` on a shard
+    #: answers 404).
+    subscriptions = None
+
     def __init__(self, manager: "ShardManager", shard_id: int) -> None:
         self._manager = manager
         self._shard = manager.shards[shard_id]

@@ -144,6 +144,11 @@ class SnapshotPublisher:
         registration order.  The sharded serving tier subscribes its
         repartitioner here so every main publication fans out to the
         per-shard publishers.
+
+        Callbacks are **isolated**: one raising never prevents the
+        publication, the remaining callbacks (the sharded lockstep
+        republish among them), or future publications — the error is
+        counted and flight-recorded instead.
         """
         with self._lock:
             self._subscribers.append(callback)
@@ -178,7 +183,26 @@ class SnapshotPublisher:
             self._changed.notify_all()
             subscribers = list(self._subscribers)
         for callback in subscribers:
-            callback(published)
+            try:
+                callback(published)
+            except Exception as error:  # noqa: BLE001 — isolation
+                # A broken subscriber must not break the publication,
+                # the callbacks after it (the sharded repartitioner
+                # subscribes here), or the writer itself.
+                from repro.obs import get_flight_recorder
+
+                get_flight_recorder().record(
+                    "error",
+                    "publish.subscriber",
+                    sequence=published.sequence,
+                    trace_id=trace_id,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                if _metrics.enabled:
+                    _metrics.counter(
+                        "serve_subscriber_errors_total",
+                        "Publish subscriber callbacks that raised",
+                    ).inc()
         if _metrics.enabled:
             gauge = _metrics.gauge(
                 "serve_snapshot_info",

@@ -1,0 +1,1414 @@
+"""``repro.serve.subscribe`` — continuous queries over the hotspot store.
+
+The paper's service is a *push* pipeline: refined hotspots must reach
+civil-protection users inside the acquisition budget, not wait for the
+next poll of ``/hotspots``.  This module turns the serving tier around:
+clients register **subscriptions** — standing queries that stay live
+across acquisitions — and the service evaluates them *incrementally*
+against each committed WAL triple batch, pushing matches out as
+notifications (delivered over SSE by ``repro.serve.sse`` /
+``repro.serve.http``).
+
+Three subscription families:
+
+* ``filter`` — the ``/hotspots`` predicate vocabulary as a standing
+  query: bounding-box geofence, confidence floor, municipality,
+  confirmation status.  Geofences live in an R-tree, so matching one
+  changed hotspot against 100k subscriptions is a point probe, not a
+  scan.
+* ``stsparql`` — a restricted stSPARQL SELECT over the hotspot star,
+  using ``?h`` as the hotspot variable.  Incremental evaluation binds
+  ``?h`` to each changed subject via the engine's ``params=``
+  pre-binding, so the query text stays constant (plan-cache friendly)
+  and cost scales with the delta, not the graph.
+* ``fwi`` — per-municipality fire-danger classes in the spirit of the
+  Fire Weather Index rules of Gao et al. (arXiv 1411.2186): the class
+  is a pure function of the live hotspot evidence inside each
+  municipality, and a subscription fires on every class *transition*
+  at or above its ``min_class``.
+
+**Why incremental equals full re-run.**  A hotspot's match status
+against any subscription above depends only on its own star (type,
+geometry, confidence, confirmation, municipality link), and the
+refinement pipeline only mutates the stars of the current
+acquisition's hotspots (insertion, municipality tagging, sea/land
+deletion, confirmation marking).  So the set of subjects whose match
+status *can* have changed since the last publication is exactly the
+set of subjects appearing in the committed triple batch — evaluating
+only those, minus the already-notified set, yields the same
+notifications as re-running every standing query over the full
+snapshot.  FWI classes aggregate per municipality, so the recompute
+set is the municipalities referenced by the batch (a municipality
+whose hotspots did not change cannot change class).  The differential
+suite (``tests/serve/test_subscribe_differential.py``) asserts this
+equivalence run-for-run; the delivery contract across crashes lives in
+``repro.durable.cursors``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.durable.codec import OP_ADD, OP_CLEAR, OP_REMOVE
+from repro.durable.cursors import (
+    CursorStore,
+    NotificationBatch,
+    NotificationLog,
+)
+from repro.geometry import Envelope
+from repro.geometry.rtree import RTree
+from repro.obs import get_metrics, get_tracer
+from repro.rdf.namespace import NOA, RDF, STRDF
+from repro.rdf.term import URI
+
+__all__ = [
+    "DANGER_CLASSES",
+    "DeltaBatch",
+    "HotspotRecord",
+    "Notification",
+    "Subscription",
+    "SubscriptionEngine",
+    "SubscriptionError",
+    "SubscriptionRegistry",
+    "danger_class",
+    "validate_standing_query",
+]
+
+_tracer = get_tracer()
+_metrics = get_metrics()
+
+#: Fire-danger classes, mildest first.  A municipality's class is a
+#: pure function of the summed confidence of its live hotspots, so
+#: incremental recomputation of the touched municipalities is exactly
+#: equivalent to a full recompute.
+DANGER_CLASSES = ("low", "moderate", "high", "very-high", "extreme")
+
+#: Summed-confidence boundaries between consecutive danger classes.
+FWI_THRESHOLDS = (0.5, 1.5, 3.0, 5.0)
+
+SUBSCRIPTION_KINDS = ("filter", "stsparql", "fwi")
+
+#: Tombstoned R-tree entries tolerated before a rebuild (the R-tree
+#: has no delete; removals are filtered at probe time until then).
+_TOMBSTONE_REBUILD = 64
+
+_HOTSPOT = NOA.Hotspot
+_TYPE = RDF.type
+_GEOMETRY = STRDF.hasGeometry
+_CONFIDENCE = NOA.hasConfidence
+_CONFIRMATION = NOA.hasConfirmation
+_MUNICIPALITY = NOA.isInMunicipality
+_ACQUIRED = NOA.hasAcquisitionDateTime
+_CONFIRMED = NOA.confirmed
+
+
+class SubscriptionError(ValueError):
+    """An invalid subscription document or standing query."""
+
+
+def danger_class(score: float) -> int:
+    """Danger-class index for a municipality's summed confidence."""
+    index = 0
+    for boundary in FWI_THRESHOLDS:
+        if score >= boundary:
+            index += 1
+    return index
+
+
+def validate_standing_query(text: str) -> None:
+    """Refuse standing queries outside the incremental fragment.
+
+    A standing query must be a plain SELECT over the hotspot star
+    using ``?h`` as the hotspot variable — no solution modifiers and
+    no aggregates, because those make a row's membership depend on
+    *other* rows, which breaks the subject-local incremental argument.
+    """
+    from repro.stsparql import ast
+    from repro.stsparql.parser import parse
+
+    try:
+        parsed = parse(text)
+    except Exception as error:
+        raise SubscriptionError(
+            f"standing query does not parse: {error}"
+        ) from error
+    if not isinstance(parsed, ast.SelectQuery):
+        raise SubscriptionError(
+            "standing queries must be SELECT queries"
+        )
+    if (
+        parsed.group_by
+        or parsed.having
+        or parsed.order_by
+        or parsed.limit is not None
+        or parsed.offset
+    ):
+        raise SubscriptionError(
+            "standing queries cannot use GROUP BY / HAVING / ORDER "
+            "BY / LIMIT / OFFSET — row membership must be "
+            "subject-local for incremental evaluation"
+        )
+    for projection in parsed.projections:
+        if isinstance(projection.expression, ast.Aggregate):
+            raise SubscriptionError(
+                "standing queries cannot project aggregates"
+            )
+    if "?h" not in text:
+        raise SubscriptionError(
+            "standing queries must use ?h as the hotspot variable"
+        )
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One registered standing query."""
+
+    id: str
+    kind: str
+    bbox: Optional[Envelope] = None
+    min_confidence: Optional[float] = None
+    municipality: Optional[str] = None
+    confirmed: Optional[bool] = None
+    query: Optional[str] = None
+    min_class: int = 0
+    #: Publication sequence at registration — the subscription only
+    #: observes acquisitions committed after it (current matches are
+    #: primed into the seen-set, not notified).
+    created_sequence: int = 0
+
+    @classmethod
+    def from_dict(
+        cls, doc: Dict[str, Any], sub_id: str, created_sequence: int
+    ) -> "Subscription":
+        if not isinstance(doc, dict):
+            raise SubscriptionError(
+                "subscription must be a JSON object"
+            )
+        kind = doc.get("kind", "filter")
+        if kind not in SUBSCRIPTION_KINDS:
+            raise SubscriptionError(
+                f"kind must be one of {'/'.join(SUBSCRIPTION_KINDS)}, "
+                f"got {kind!r}"
+            )
+        bbox = None
+        if doc.get("bbox") is not None:
+            raw = doc["bbox"]
+            if not (
+                isinstance(raw, (list, tuple)) and len(raw) == 4
+            ):
+                raise SubscriptionError(
+                    "bbox must be [minx, miny, maxx, maxy]"
+                )
+            try:
+                bbox = Envelope(*(float(v) for v in raw))
+            except (TypeError, ValueError) as error:
+                raise SubscriptionError(
+                    f"bad bbox: {error}"
+                ) from error
+        min_confidence = doc.get("min_confidence")
+        if min_confidence is not None:
+            try:
+                min_confidence = float(min_confidence)
+            except (TypeError, ValueError) as error:
+                raise SubscriptionError(
+                    f"bad min_confidence: {error}"
+                ) from error
+        confirmed = doc.get("confirmed")
+        if confirmed is not None and not isinstance(confirmed, bool):
+            raise SubscriptionError("confirmed must be a boolean")
+        municipality = doc.get("municipality")
+        if municipality is not None:
+            municipality = str(municipality)
+        query = doc.get("query")
+        min_class = 0
+        if kind == "stsparql":
+            if not query:
+                raise SubscriptionError(
+                    "stsparql subscriptions need a query"
+                )
+            validate_standing_query(query)
+        elif query is not None:
+            raise SubscriptionError(
+                f"{kind} subscriptions do not take a query"
+            )
+        if kind == "fwi":
+            name = doc.get("min_class", "high")
+            if name not in DANGER_CLASSES:
+                raise SubscriptionError(
+                    f"min_class must be one of "
+                    f"{'/'.join(DANGER_CLASSES)}, got {name!r}"
+                )
+            min_class = DANGER_CLASSES.index(name)
+        return cls(
+            id=sub_id,
+            kind=kind,
+            bbox=bbox,
+            min_confidence=min_confidence,
+            municipality=municipality,
+            confirmed=confirmed,
+            query=query,
+            min_class=min_class,
+            created_sequence=created_sequence,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "created_sequence": self.created_sequence,
+        }
+        if self.bbox is not None:
+            doc["bbox"] = list(self.bbox.as_tuple())
+        if self.min_confidence is not None:
+            doc["min_confidence"] = self.min_confidence
+        if self.municipality is not None:
+            doc["municipality"] = self.municipality
+        if self.confirmed is not None:
+            doc["confirmed"] = self.confirmed
+        if self.query is not None:
+            doc["query"] = self.query
+        if self.kind == "fwi":
+            doc["min_class"] = DANGER_CLASSES[self.min_class]
+        return doc
+
+
+@dataclass(frozen=True)
+class HotspotRecord:
+    """One hotspot star flattened for predicate matching."""
+
+    subject: str
+    lon: float
+    lat: float
+    confidence: Optional[float] = None
+    confirmed: Optional[bool] = None
+    municipality: Optional[str] = None
+    acquired: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """The subjects and municipalities one commit may have changed."""
+
+    subjects: Tuple[str, ...] = ()
+    municipalities: Tuple[str, ...] = ()
+    #: A ``clear`` was journaled — subject-local reasoning is void and
+    #: the evaluator falls back to a full scan for this batch.
+    full_rescan: bool = False
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One match pushed to one subscription."""
+
+    subscription: str
+    kind: str
+    sequence: int
+    subject: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> Tuple[str, ...]:
+        """Delivery identity — the differential and resume contracts
+        compare sets of these."""
+        if self.kind == "fwi":
+            return (
+                self.subscription,
+                self.subject,
+                str(self.payload.get("danger_class")),
+            )
+        return (self.subscription, self.subject)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "subscription": self.subscription,
+            "kind": self.kind,
+            "sequence": self.sequence,
+            "subject": self.subject,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Notification":
+        return cls(
+            subscription=str(doc["subscription"]),
+            kind=str(doc["kind"]),
+            sequence=int(doc["sequence"]),
+            subject=str(doc["subject"]),
+            payload=dict(doc.get("payload", {})),
+        )
+
+
+# -- delta extraction ------------------------------------------------------
+
+
+def delta_from_ops(ops: Sequence) -> DeltaBatch:
+    """Collapse a journaled op batch into its touched subjects and
+    municipalities (both sides of ``noa:isInMunicipality`` — an add
+    raises the target's evidence, a star-delete lowers it)."""
+    subjects: Set[str] = set()
+    municipalities: Set[str] = set()
+    full_rescan = False
+    for opcode, triple in ops:
+        if opcode == OP_CLEAR:
+            full_rescan = True
+            subjects.clear()
+            municipalities.clear()
+            continue
+        if opcode not in (OP_ADD, OP_REMOVE) or triple is None:
+            continue
+        s, p, o = triple
+        subjects.add(_text(s))
+        if p == _MUNICIPALITY:
+            municipalities.add(_text(o))
+    return DeltaBatch(
+        subjects=tuple(sorted(subjects)),
+        municipalities=tuple(sorted(municipalities)),
+        full_rescan=full_rescan,
+    )
+
+
+def _text(term: Any) -> str:
+    value = getattr(term, "value", term)
+    if isinstance(value, str):
+        return value
+    lexical = getattr(term, "lexical", None)
+    return lexical if lexical is not None else str(value)
+
+
+def _source_graph(source):
+    """The triple store behind a Strabon engine, a SnapshotView, or a
+    bare graph."""
+    graph = getattr(source, "graph", None)
+    if graph is not None:
+        return graph
+    snapshot = getattr(source, "snapshot", None)
+    if snapshot is not None and not callable(snapshot):
+        return snapshot
+    return source
+
+
+def hotspot_record(graph, subject: str) -> Optional[HotspotRecord]:
+    """The subject's star as a :class:`HotspotRecord`, or None when it
+    is not (or no longer) a live hotspot with a usable geometry."""
+    uri = URI(subject)
+    if not any(
+        True for _ in graph.triples(uri, _TYPE, _HOTSPOT)
+    ):
+        return None
+    geom_lit = graph.value(uri, _GEOMETRY)
+    geom = getattr(geom_lit, "value", None)
+    envelope = getattr(geom, "envelope", None)
+    if envelope is None:
+        return None
+    lon, lat = envelope.center
+    confidence: Optional[float] = None
+    conf_term = graph.value(uri, _CONFIDENCE)
+    if conf_term is not None:
+        try:
+            confidence = float(conf_term.lexical)
+        except (AttributeError, TypeError, ValueError):
+            confidence = None
+    confirmation = graph.value(uri, _CONFIRMATION)
+    confirmed = (
+        None if confirmation is None else confirmation == _CONFIRMED
+    )
+    municipality = graph.value(uri, _MUNICIPALITY)
+    acquired = graph.value(uri, _ACQUIRED)
+    return HotspotRecord(
+        subject=subject,
+        lon=lon,
+        lat=lat,
+        confidence=confidence,
+        confirmed=confirmed,
+        municipality=(
+            None if municipality is None else _text(municipality)
+        ),
+        acquired=getattr(acquired, "lexical", None),
+    )
+
+
+def iter_hotspot_records(graph) -> Iterable[HotspotRecord]:
+    """Every live hotspot star (the full-scan path: priming, the full
+    re-run baseline, and ``full_rescan`` batches)."""
+    for subject in graph.subjects(_TYPE, _HOTSPOT):
+        record = hotspot_record(graph, _text(subject))
+        if record is not None:
+            yield record
+
+
+def municipality_score(graph, municipality: str) -> float:
+    """Summed confidence of the live hotspots inside a municipality."""
+    target = URI(municipality)
+    score = 0.0
+    for s, _, _ in graph.triples(None, _MUNICIPALITY, target):
+        if not any(True for _ in graph.triples(s, _TYPE, _HOTSPOT)):
+            continue
+        conf = graph.value(s, _CONFIDENCE)
+        try:
+            score += float(conf.lexical)
+        except (AttributeError, TypeError, ValueError):
+            continue
+    return score
+
+
+def _municipality_matches(uri: Optional[str], wanted: str) -> bool:
+    if uri is None:
+        return False
+    if uri == wanted:
+        return True
+    local = uri.rsplit("#", 1)[-1].rsplit("/", 1)[-1]
+    return local == wanted
+
+
+# -- the registry ----------------------------------------------------------
+
+
+class SubscriptionRegistry:
+    """Thread-safe subscription store with an R-tree geofence index.
+
+    Geofenced ``filter`` subscriptions are indexed by their bounding
+    box so matching a changed hotspot is a point probe —
+    O(log subscriptions) — instead of a scan.  The R-tree has no
+    delete, so removals are tombstoned and filtered at probe time; the
+    index is rebuilt (STR bulk-load) once tombstones pile up.  Fresh
+    registrations go to a side list probed linearly and folded into
+    the tree on the next rebuild, keeping single registrations O(log n)
+    amortised and bulk registration one packing pass.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._subs: Dict[str, Subscription] = {}
+        self._rtree: Optional[RTree] = None
+        self._pending: List[Subscription] = []
+        self._tombstones: Set[str] = set()
+        self._global_filters: Dict[str, Subscription] = {}
+        self._queries: Dict[str, Subscription] = {}
+        self._fwi: Dict[str, Subscription] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def add(
+        self, sub: Subscription, defer_rebuild: bool = False
+    ) -> Subscription:
+        with self._lock:
+            if sub.id in self._subs:
+                raise SubscriptionError(
+                    f"duplicate subscription id {sub.id!r}"
+                )
+            self._subs[sub.id] = sub
+            if sub.kind == "filter":
+                if sub.bbox is None:
+                    self._global_filters[sub.id] = sub
+                else:
+                    self._pending.append(sub)
+                    if (
+                        not defer_rebuild
+                        and len(self._pending) > _TOMBSTONE_REBUILD
+                    ):
+                        self._rebuild()
+            elif sub.kind == "stsparql":
+                self._queries[sub.id] = sub
+            else:
+                self._fwi[sub.id] = sub
+            return sub
+
+    def add_many(self, subs: Iterable[Subscription]) -> None:
+        """Bulk registration: one STR bulk-load instead of n inserts
+        (per-add threshold rebuilds are deferred to the single pack at
+        the end — they would make bulk registration quadratic)."""
+        with self._lock:
+            for sub in subs:
+                self.add(sub, defer_rebuild=True)
+            self._rebuild()
+
+    def remove(self, sub_id: str) -> bool:
+        with self._lock:
+            sub = self._subs.pop(sub_id, None)
+            if sub is None:
+                return False
+            self._global_filters.pop(sub_id, None)
+            self._queries.pop(sub_id, None)
+            self._fwi.pop(sub_id, None)
+            self._pending = [
+                p for p in self._pending if p.id != sub_id
+            ]
+            if sub.kind == "filter" and sub.bbox is not None:
+                self._tombstones.add(sub_id)
+                if len(self._tombstones) > _TOMBSTONE_REBUILD:
+                    self._rebuild()
+            return True
+
+    def get(self, sub_id: str) -> Optional[Subscription]:
+        with self._lock:
+            return self._subs.get(sub_id)
+
+    def list(self) -> List[Subscription]:
+        with self._lock:
+            return sorted(
+                self._subs.values(), key=lambda s: s.id
+            )
+
+    def standing_queries(self) -> List[Subscription]:
+        with self._lock:
+            return list(self._queries.values())
+
+    def fwi_subscriptions(self) -> List[Subscription]:
+        with self._lock:
+            return list(self._fwi.values())
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "filter": len(self._subs)
+                - len(self._queries)
+                - len(self._fwi),
+                "stsparql": len(self._queries),
+                "fwi": len(self._fwi),
+            }
+
+    def _rebuild(self) -> None:
+        live = [
+            s
+            for s in self._subs.values()
+            if s.kind == "filter" and s.bbox is not None
+        ]
+        self._rtree = RTree.bulk_load(
+            (s.bbox, s) for s in live
+        )
+        self._pending = []
+        self._tombstones = set()
+
+    def geofence_candidates(
+        self, lon: float, lat: float
+    ) -> List[Subscription]:
+        """Filter subscriptions whose predicates could match a hotspot
+        at (lon, lat): a point probe of the geofence index plus the
+        bbox-less filters (which see everything)."""
+        with self._lock:
+            if self._rtree is None and (
+                self._pending or self._tombstones
+            ):
+                self._rebuild()
+            out: List[Subscription] = []
+            if self._rtree is not None:
+                for sub in self._rtree.search_point(lon, lat):
+                    if sub.id in self._tombstones:
+                        continue
+                    if sub.id not in self._subs:
+                        continue
+                    out.append(sub)
+            for sub in self._pending:
+                if sub.bbox.contains_point(lon, lat):
+                    out.append(sub)
+            out.extend(self._global_filters.values())
+            return out
+
+    @staticmethod
+    def filter_matches(
+        sub: Subscription, record: HotspotRecord
+    ) -> bool:
+        """The non-spatial predicates (bbox was the index probe)."""
+        if sub.min_confidence is not None:
+            if (
+                record.confidence is None
+                or record.confidence < sub.min_confidence
+            ):
+                return False
+        if sub.confirmed is not None:
+            if record.confirmed is None:
+                return False
+            if record.confirmed != sub.confirmed:
+                return False
+        if sub.municipality is not None:
+            if not _municipality_matches(
+                record.municipality, sub.municipality
+            ):
+                return False
+        return True
+
+
+# -- journal tee -----------------------------------------------------------
+
+
+class _TeeJournal:
+    """Fans graph-mutation records out to several journals.
+
+    The durable store drains *its own* journal reference (never via
+    ``graph._journal``), so interposing a tee on the graph is safe: the
+    store still sees every op, and the subscription engine gets an
+    independent copy to turn into deltas.
+    """
+
+    def __init__(self, *sinks) -> None:
+        self._sinks = [s for s in sinks if s is not None]
+
+    def record_add(self, s, p, o) -> None:
+        for sink in self._sinks:
+            sink.record_add(s, p, o)
+
+    def record_remove(self, s, p, o) -> None:
+        for sink in self._sinks:
+            sink.record_remove(s, p, o)
+
+    def record_clear(self) -> None:
+        for sink in self._sinks:
+            sink.record_clear()
+
+    def __len__(self) -> int:
+        return len(self._sinks[0]) if self._sinks else 0
+
+
+class _CaptureJournal:
+    """The engine's private journal behind the tee."""
+
+    def __init__(self) -> None:
+        self._ops: List = []
+
+    def record_add(self, s, p, o) -> None:
+        self._ops.append((OP_ADD, (s, p, o)))
+
+    def record_remove(self, s, p, o) -> None:
+        self._ops.append((OP_REMOVE, (s, p, o)))
+
+    def record_clear(self) -> None:
+        self._ops.clear()
+        self._ops.append((OP_CLEAR, None))
+
+    def drain(self) -> List:
+        ops, self._ops = self._ops, []
+        return ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+# -- the engine ------------------------------------------------------------
+
+
+class SubscriptionEngine:
+    """Evaluates every registered subscription against each commit.
+
+    Single-writer like the store itself: :meth:`process_commit` and
+    :meth:`publish_batch` run on the service's writer thread inside
+    the publish window; registration and acknowledgement arrive from
+    HTTP threads and synchronise on the engine lock.
+
+    With a ``state_dir`` the engine is durable: the registry, the
+    per-subscriber acknowledged cursors and the notification log live
+    under ``<state_dir>/`` and follow the store's commit order — the
+    triple WAL fsync is the commit point, the notification batch is
+    appended (fsynced) *before* the snapshot publish, and recovery
+    regenerates the at-most-one tail batch a crash between the two can
+    swallow (see :meth:`repair_tail`).
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[str] = None,
+        fsync: str = "commit",
+        slo=None,
+    ) -> None:
+        import os
+
+        self.registry = SubscriptionRegistry()
+        self._lock = threading.RLock()
+        self._seen: Dict[str, Set[str]] = {}
+        self._fwi_classes: Optional[Dict[str, int]] = None
+        self._listeners: List[
+            Callable[[NotificationBatch], None]
+        ] = []
+        self._slo = slo
+        self._strabon = None
+        self._publisher = None
+        self._capture: Optional[_CaptureJournal] = None
+        self._base_journal = None
+        self._eval_started: Dict[int, float] = {}
+        self.state_dir = state_dir
+        self.log: Optional[NotificationLog] = None
+        self.cursors: Optional[CursorStore] = None
+        #: Session-only cursors when there is no durable store.
+        self._mem_cursors: Dict[str, int] = {}
+        self._registry_path: Optional[str] = None
+        self._fsync = fsync
+        if state_dir is not None:
+            os.makedirs(state_dir, exist_ok=True)
+            self._registry_path = os.path.join(
+                state_dir, "registry.json"
+            )
+            self.log = NotificationLog(
+                os.path.join(state_dir, "notifications.log"),
+                fsync=fsync,
+            )
+            self.cursors = CursorStore(
+                os.path.join(state_dir, "cursors.json"),
+                fsync=fsync != "never",
+            )
+            self._load_registry()
+            self._rebuild_seen()
+
+    # -- durable state -----------------------------------------------------
+
+    def _load_registry(self) -> None:
+        from repro.durable import load_service_state
+
+        assert self._registry_path is not None
+        saved = load_service_state(self._registry_path)
+        if saved is None:
+            return
+        subs = []
+        for doc in saved.get("subscriptions", []):
+            subs.append(
+                Subscription.from_dict(
+                    doc,
+                    sub_id=str(doc["id"]),
+                    created_sequence=int(
+                        doc.get("created_sequence", 0)
+                    ),
+                )
+            )
+        self.registry.add_many(subs)
+
+    def _persist_registry(self) -> None:
+        if self._registry_path is None:
+            return
+        from repro.durable import save_service_state
+
+        save_service_state(
+            self._registry_path,
+            {
+                "version": 1,
+                "subscriptions": [
+                    s.to_dict() for s in self.registry.list()
+                ],
+            },
+            fsync=self._fsync != "never",
+        )
+
+    def _rebuild_seen(self) -> None:
+        """Replaying the notification log restores exactly-once: every
+        previously delivered (subscription, subject) pair re-enters
+        the seen-set, so regenerated or repaired batches can never
+        duplicate a notification that already reached the log."""
+        assert self.log is not None
+        for batch in self.log.batches:
+            for doc in batch.notifications:
+                note = Notification.from_dict(doc)
+                if note.kind == "fwi":
+                    continue
+                self._seen.setdefault(
+                    note.subscription, set()
+                ).add(note.subject)
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(self, strabon, publisher=None) -> None:
+        """Attach to the live graph (tee the mutation journal) and the
+        publisher (for priming new registrations against the latest
+        published snapshot)."""
+        self._strabon = strabon
+        self._publisher = publisher
+        graph = strabon.graph
+        self._capture = _CaptureJournal()
+        self._base_journal = graph._journal
+        if self._base_journal is not None:
+            graph._journal = _TeeJournal(
+                self._base_journal, self._capture
+            )
+        else:
+            graph._journal = self._capture
+        self._ensure_fwi_baseline(graph)
+
+    def detach(self) -> None:
+        """Restore the graph's original journal (must run before the
+        durable store's close, whose identity check expects it)."""
+        if self._strabon is None:
+            return
+        graph = self._strabon.graph
+        self._strabon = None
+        self._capture = None
+        graph._journal = self._base_journal
+        self._base_journal = None
+
+    def close(self) -> None:
+        self.detach()
+        if self.log is not None:
+            self.log.close()
+
+    def add_listener(
+        self, listener: Callable[[NotificationBatch], None]
+    ) -> None:
+        """``listener(batch)`` runs on the writer thread after every
+        publication (the SSE hub registers here)."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        with self._lock:
+            self._listeners = [
+                cb for cb in self._listeners if cb is not listener
+            ]
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, doc: Dict[str, Any]) -> Subscription:
+        """Validate, index, prime and persist one subscription.
+
+        Priming evaluates the new subscription against the latest
+        *published* snapshot and marks current matches as seen without
+        notifying — a standing query starts "from now", it does not
+        replay history.
+        """
+        sequence = (
+            self._publisher.sequence
+            if self._publisher is not None
+            else 0
+        )
+        sub = Subscription.from_dict(
+            doc, sub_id=uuid.uuid4().hex[:12], created_sequence=sequence
+        )
+        with self._lock:
+            self.registry.add(sub)
+            self._prime([sub])
+            self._persist_registry()
+        self._export_gauges()
+        return sub
+
+    def register_many(
+        self, docs: Iterable[Dict[str, Any]]
+    ) -> List[Subscription]:
+        """Bulk registration (one R-tree pack, one priming scan)."""
+        sequence = (
+            self._publisher.sequence
+            if self._publisher is not None
+            else 0
+        )
+        subs = [
+            Subscription.from_dict(
+                doc,
+                sub_id=uuid.uuid4().hex[:12],
+                created_sequence=sequence,
+            )
+            for doc in docs
+        ]
+        with self._lock:
+            self.registry.add_many(subs)
+            self._prime(subs)
+            self._persist_registry()
+        self._export_gauges()
+        return subs
+
+    def remove(self, sub_id: str) -> bool:
+        with self._lock:
+            removed = self.registry.remove(sub_id)
+            if removed:
+                self._seen.pop(sub_id, None)
+                self._mem_cursors.pop(sub_id, None)
+                if self.cursors is not None:
+                    self.cursors.forget(sub_id)
+                self._persist_registry()
+        self._export_gauges()
+        return removed
+
+    # -- cursors -----------------------------------------------------------
+
+    def ack(self, sub_id: str, sequence: int) -> int:
+        """Advance a subscriber's acknowledged cursor (monotonic);
+        returns the cursor now in effect.  Durable when the engine is."""
+        if self.cursors is not None:
+            return self.cursors.ack(sub_id, sequence)
+        if sequence < 0:
+            raise SubscriptionError("cursor sequence must be >= 0")
+        with self._lock:
+            current = self._mem_cursors.get(sub_id, 0)
+            if sequence > current:
+                self._mem_cursors[sub_id] = sequence
+                current = sequence
+            return current
+
+    def cursor(self, sub_id: str) -> int:
+        """The acknowledged cursor (0 = nothing acknowledged yet)."""
+        if self.cursors is not None:
+            return self.cursors.get(sub_id)
+        with self._lock:
+            return self._mem_cursors.get(sub_id, 0)
+
+    def replay_after(self, sequence: int) -> List[NotificationBatch]:
+        """Logged batches past a cursor — the SSE resume set (empty
+        when the engine runs without a durable log)."""
+        if self.log is None:
+            return []
+        return self.log.after(sequence)
+
+    def _prime(self, subs: List[Subscription]) -> None:
+        source = self._priming_source()
+        if source is None:
+            return
+        graph = _source_graph(source)
+        filters = [s for s in subs if s.kind == "filter"]
+        queries = [s for s in subs if s.kind == "stsparql"]
+        if filters:
+            for record in iter_hotspot_records(graph):
+                for sub in filters:
+                    if (
+                        sub.bbox is not None
+                        and not sub.bbox.contains_point(
+                            record.lon, record.lat
+                        )
+                    ):
+                        continue
+                    if SubscriptionRegistry.filter_matches(
+                        sub, record
+                    ):
+                        self._seen.setdefault(
+                            sub.id, set()
+                        ).add(record.subject)
+        for sub in queries:
+            rows = source.select(sub.query)
+            for row in rows:
+                h = row.get("h")
+                if h is not None:
+                    self._seen.setdefault(sub.id, set()).add(
+                        _text(h)
+                    )
+        if any(s.kind == "fwi" for s in subs):
+            self._ensure_fwi_baseline(graph)
+
+    def _priming_source(self):
+        if self._publisher is not None:
+            latest = self._publisher.latest()
+            if latest is not None:
+                return latest.view
+        if self._strabon is not None:
+            return self._strabon
+        return None
+
+    # -- evaluation --------------------------------------------------------
+
+    def _ensure_fwi_baseline(self, graph) -> None:
+        if self._fwi_classes is not None:
+            return
+        classes: Dict[str, int] = {}
+        scores: Dict[str, float] = {}
+        for record in iter_hotspot_records(graph):
+            if record.municipality is None:
+                continue
+            scores[record.municipality] = scores.get(
+                record.municipality, 0.0
+            ) + (record.confidence or 0.0)
+        for municipality, score in scores.items():
+            index = danger_class(score)
+            if index:
+                classes[municipality] = index
+        self._fwi_classes = classes
+
+    def process_commit(
+        self,
+        sequence: int,
+        wal_seq: Optional[int] = None,
+        ops: Optional[Sequence] = None,
+    ) -> NotificationBatch:
+        """Evaluate the committed delta and durably log the batch.
+
+        Runs inside the service's publish window, *after* the triple
+        WAL fsync (the commit point) and *before* the snapshot
+        publish.  ``ops`` overrides the captured journal (the recovery
+        repair path passes decoded WAL ops).
+        """
+        started = time.monotonic()
+        if ops is None:
+            ops = (
+                self._capture.drain()
+                if self._capture is not None
+                else []
+            )
+        delta = delta_from_ops(ops)
+        assert self._strabon is not None, "engine is not bound"
+        with self._lock, _tracer.span(
+            "subscribe.evaluate",
+            sequence=sequence,
+            subjects=len(delta.subjects),
+        ):
+            notifications = self._evaluate_delta(
+                delta, self._strabon, sequence
+            )
+        batch = NotificationBatch(
+            sequence=sequence,
+            wal_seq=wal_seq,
+            notifications=tuple(
+                n.to_dict() for n in notifications
+            ),
+        )
+        if self.log is not None:
+            self.log.append(batch)
+        self._eval_started[sequence] = started
+        return batch
+
+    def _evaluate_delta(
+        self, delta: DeltaBatch, source, sequence: int
+    ) -> List[Notification]:
+        graph = _source_graph(source)
+        if delta.full_rescan:
+            return self._evaluate_records(
+                list(iter_hotspot_records(graph)),
+                source,
+                sequence,
+                municipalities=None,
+            )
+        records = []
+        for subject in delta.subjects:
+            record = hotspot_record(graph, subject)
+            if record is not None:
+                records.append(record)
+        municipalities = set(delta.municipalities)
+        for record in records:
+            if record.municipality is not None:
+                municipalities.add(record.municipality)
+        return self._evaluate_records(
+            records, source, sequence, municipalities
+        )
+
+    def _evaluate_records(
+        self,
+        records: List[HotspotRecord],
+        source,
+        sequence: int,
+        municipalities: Optional[Set[str]],
+    ) -> List[Notification]:
+        graph = _source_graph(source)
+        notifications: List[Notification] = []
+        # filter family: point probe per changed hotspot.
+        for record in records:
+            for sub in self.registry.geofence_candidates(
+                record.lon, record.lat
+            ):
+                seen = self._seen.setdefault(sub.id, set())
+                if record.subject in seen:
+                    continue
+                if SubscriptionRegistry.filter_matches(
+                    sub, record
+                ):
+                    seen.add(record.subject)
+                    notifications.append(
+                        self._hotspot_notification(
+                            sub, record, sequence
+                        )
+                    )
+        # stsparql family: the standing query with ?h pre-bound to
+        # each changed subject — constant text, cached plan.
+        for sub in self.registry.standing_queries():
+            seen = self._seen.setdefault(sub.id, set())
+            for record in records:
+                if record.subject in seen:
+                    continue
+                rows = source.select(
+                    sub.query,
+                    params={"h": URI(record.subject)},
+                )
+                if len(rows):
+                    seen.add(record.subject)
+                    notifications.append(
+                        self._hotspot_notification(
+                            sub, record, sequence
+                        )
+                    )
+        # fwi family: recompute only the touched municipalities.
+        if municipalities is None:
+            notifications.extend(
+                self._fwi_full(graph, sequence)
+            )
+        else:
+            self._ensure_fwi_baseline(graph)
+            for municipality in sorted(municipalities):
+                notifications.extend(
+                    self._fwi_transition(
+                        graph, municipality, sequence
+                    )
+                )
+        return notifications
+
+    def _fwi_transition(
+        self, graph, municipality: str, sequence: int
+    ) -> List[Notification]:
+        assert self._fwi_classes is not None
+        new_index = danger_class(
+            municipality_score(graph, municipality)
+        )
+        old_index = self._fwi_classes.get(municipality, 0)
+        if new_index == old_index:
+            return []
+        if new_index:
+            self._fwi_classes[municipality] = new_index
+        else:
+            self._fwi_classes.pop(municipality, None)
+        out = []
+        for sub in self.registry.fwi_subscriptions():
+            if new_index < sub.min_class:
+                continue
+            if (
+                sub.municipality is not None
+                and not _municipality_matches(
+                    municipality, sub.municipality
+                )
+            ):
+                continue
+            out.append(
+                Notification(
+                    subscription=sub.id,
+                    kind="fwi",
+                    sequence=sequence,
+                    subject=municipality,
+                    payload={
+                        "danger_class": DANGER_CLASSES[new_index],
+                        "previous_class": DANGER_CLASSES[old_index],
+                        "municipality": municipality,
+                    },
+                )
+            )
+        return out
+
+    def _fwi_full(self, graph, sequence: int) -> List[Notification]:
+        """Full-rescan fallback: recompute every municipality."""
+        self._ensure_fwi_baseline(graph)
+        assert self._fwi_classes is not None
+        scores: Dict[str, float] = {}
+        for record in iter_hotspot_records(graph):
+            if record.municipality is None:
+                continue
+            scores[record.municipality] = scores.get(
+                record.municipality, 0.0
+            ) + (record.confidence or 0.0)
+        touched = set(scores) | set(self._fwi_classes)
+        out: List[Notification] = []
+        for municipality in sorted(touched):
+            out.extend(
+                self._fwi_transition(graph, municipality, sequence)
+            )
+        return out
+
+    @staticmethod
+    def _hotspot_notification(
+        sub: Subscription,
+        record: HotspotRecord,
+        sequence: int,
+    ) -> Notification:
+        payload: Dict[str, Any] = {
+            "lon": record.lon,
+            "lat": record.lat,
+            "confidence": record.confidence,
+            "municipality": record.municipality,
+            "confirmed": record.confirmed,
+            "acquired": record.acquired,
+        }
+        return Notification(
+            subscription=sub.id,
+            kind=sub.kind,
+            sequence=sequence,
+            subject=record.subject,
+            payload=payload,
+        )
+
+    def evaluate_full(
+        self, source, sequence: int, commit: bool = True
+    ) -> List[Notification]:
+        """The full re-run baseline: every standing query over the
+        whole snapshot, minus the seen-set.
+
+        With ``commit=False`` the engine's state (seen-sets, FWI
+        classes) is untouched — the differential benchmark uses this
+        to time a re-run against the same pre-state the incremental
+        path saw.
+        """
+        graph = _source_graph(source)
+        with self._lock:
+            if not commit:
+                saved_seen = {
+                    k: set(v) for k, v in self._seen.items()
+                }
+                saved_fwi = (
+                    None
+                    if self._fwi_classes is None
+                    else dict(self._fwi_classes)
+                )
+            notifications = self._evaluate_full_locked(
+                graph, source, sequence
+            )
+            if not commit:
+                self._seen = saved_seen
+                self._fwi_classes = saved_fwi
+            return notifications
+
+    def _evaluate_full_locked(
+        self, graph, source, sequence: int
+    ) -> List[Notification]:
+        notifications: List[Notification] = []
+        records = list(iter_hotspot_records(graph))
+        for record in records:
+            for sub in self.registry.geofence_candidates(
+                record.lon, record.lat
+            ):
+                seen = self._seen.setdefault(sub.id, set())
+                if record.subject in seen:
+                    continue
+                if SubscriptionRegistry.filter_matches(
+                    sub, record
+                ):
+                    seen.add(record.subject)
+                    notifications.append(
+                        self._hotspot_notification(
+                            sub, record, sequence
+                        )
+                    )
+        by_subject = {r.subject: r for r in records}
+        for sub in self.registry.standing_queries():
+            seen = self._seen.setdefault(sub.id, set())
+            for row in source.select(sub.query):
+                h = row.get("h")
+                if h is None:
+                    continue
+                subject = _text(h)
+                if subject in seen:
+                    continue
+                seen.add(subject)
+                record = by_subject.get(subject)
+                if record is None:
+                    record = hotspot_record(graph, subject)
+                if record is None:
+                    continue
+                notifications.append(
+                    self._hotspot_notification(
+                        sub, record, sequence
+                    )
+                )
+        notifications.extend(self._fwi_full(graph, sequence))
+        return notifications
+
+    # -- delivery ----------------------------------------------------------
+
+    def publish_batch(
+        self, batch: NotificationBatch, published=None
+    ) -> None:
+        """Fan the batch out to listeners; record latency + SLO.
+
+        Runs after the snapshot publish, so a subscriber that reads
+        back through the query API on receiving a notification always
+        observes a snapshot containing the notified state.
+        """
+        started = self._eval_started.pop(batch.sequence, None)
+        with self._lock:
+            listeners = list(self._listeners)
+        delivered = True
+        for listener in listeners:
+            try:
+                listener(batch)
+            except Exception:  # noqa: BLE001 — isolation, like publish
+                delivered = False
+        elapsed = (
+            0.0
+            if started is None
+            else time.monotonic() - started
+        )
+        if _metrics.enabled:
+            _metrics.histogram(
+                "subscribe_notification_seconds",
+                "Commit-to-fanout latency per notification batch",
+            ).observe(elapsed)
+            if batch.notifications:
+                _metrics.counter(
+                    "subscribe_notifications_total",
+                    "Notifications fanned out to subscribers",
+                ).inc(len(batch.notifications))
+        if self._slo is not None:
+            from repro.obs.slo import NOTIFY_LATENCY_SLO_S
+
+            try:
+                self._slo.record(
+                    "notification-delivery",
+                    delivered and elapsed < NOTIFY_LATENCY_SLO_S,
+                    trace_id=getattr(published, "trace_id", None),
+                )
+            except KeyError:
+                pass
+
+    # -- recovery ----------------------------------------------------------
+
+    def repair_tail(
+        self, wal_records, sequence: int
+    ) -> Optional[NotificationBatch]:
+        """Regenerate the at-most-one batch a crash can swallow.
+
+        The crash window is between the triple-WAL fsync (the commit
+        point) and the notification-log append: the acquisition is
+        durable but its notifications never reached the log.  Only the
+        *last* WAL record can be in that state — any earlier record
+        was followed by a successful append.  Its ops are re-decoded
+        and evaluated against the recovered graph (which, the record
+        being last, equals the state the original evaluation saw); the
+        regenerated batch is stamped with the restart's imminent
+        publication sequence, and the rebuilt seen-set guarantees no
+        notification already in the log is emitted twice.
+        """
+        from repro.durable.codec import decode_ops
+        from repro.durable.wal import REC_BATCH, split_batch_payload
+
+        last = None
+        for record in wal_records:
+            if record.kind == REC_BATCH:
+                last = record
+        if last is None:
+            return None
+        logged = self.log.last_wal_seq if self.log else None
+        if logged is not None and last.seq <= logged:
+            return None
+        _, ops_bytes = split_batch_payload(last.payload)
+        ops = decode_ops(ops_bytes)
+        batch = self.process_commit(
+            sequence, wal_seq=last.seq, ops=ops
+        )
+        return batch
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        counts = self.registry.counts()
+        report: Dict[str, Any] = {
+            "subscriptions": sum(counts.values()),
+            "by_kind": counts,
+            "durable": self.log is not None,
+        }
+        if self.log is not None:
+            report["logged_batches"] = len(self.log)
+            report["last_sequence"] = self.log.last_sequence
+        if self.cursors is not None:
+            report["cursors"] = self.cursors.all()
+        return report
+
+    def _export_gauges(self) -> None:
+        if not _metrics.enabled:
+            return
+        for kind, count in self.registry.counts().items():
+            _metrics.gauge(
+                "subscribe_subscriptions",
+                "Registered subscriptions, by kind",
+            ).set(count, kind=kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SubscriptionEngine subs={len(self.registry)} "
+            f"durable={self.log is not None}>"
+        )

@@ -56,6 +56,49 @@ def test_readers_keep_their_snapshot_across_publications():
     assert len(publisher.require_latest().view.select(query)) == 2
 
 
+def test_raising_subscriber_is_isolated():
+    """One broken callback must not break the publication, the
+    callbacks registered after it, or future publications."""
+    strabon = Strabon()
+    publisher = SnapshotPublisher()
+    calls = []
+
+    def broken(published):
+        calls.append(("broken", published.sequence))
+        raise RuntimeError("subscriber bug")
+
+    def healthy(published):
+        calls.append(("healthy", published.sequence))
+
+    publisher.subscribe(broken)
+    publisher.subscribe(healthy)
+    first = publisher.publish(strabon)
+    second = publisher.publish(strabon)
+    assert first.sequence == 1 and second.sequence == 2
+    assert calls == [
+        ("broken", 1),
+        ("healthy", 1),
+        ("broken", 2),
+        ("healthy", 2),
+    ]
+    assert publisher.latest() is second
+
+
+def test_subscriber_error_ordering_is_preserved():
+    """Sequences observed by a later subscriber stay gap-free even
+    when an earlier subscriber raises on every publication."""
+    strabon = Strabon()
+    publisher = SnapshotPublisher()
+    seen = []
+    publisher.subscribe(
+        lambda p: (_ for _ in ()).throw(ValueError("boom"))
+    )
+    publisher.subscribe(lambda p: seen.append(p.sequence))
+    for _ in range(5):
+        publisher.publish(strabon)
+    assert seen == [1, 2, 3, 4, 5]
+
+
 def test_wait_for_unblocks_on_publication():
     strabon = Strabon()
     publisher = SnapshotPublisher()

@@ -165,6 +165,27 @@ class TestShardManager:
         assert len(tile_latest) == 2
         assert len(manager.shards[CATCH_ALL].publisher.latest()) == 1
 
+    def test_lockstep_republish_survives_raising_subscriber(self):
+        """A broken subscriber registered *before* the shard manager
+        must not break the lockstep repartition fan-out — publisher
+        callbacks are isolated (satellite of the subscription work)."""
+        service = _FakeService()
+        layout = TileLayout(2, 2)
+        env = layout.envelope
+        engine = _engine_with_points([(env.minx + 0.1, env.miny + 0.1)])
+
+        def broken(published):
+            raise RuntimeError("subscriber bug before the manager")
+
+        service.publisher.subscribe(broken)
+        manager = ShardManager(service, layout=layout)
+        service.publisher.publish(engine)
+        service.publisher.publish(engine)
+        for sid in manager.shard_ids:
+            latest = manager.shards[sid].publisher.latest()
+            assert latest is not None
+            assert latest.sequence == 2
+
     def test_pre_published_state_is_adopted_at_construction(self):
         service = _FakeService()
         layout = TileLayout(2, 1)

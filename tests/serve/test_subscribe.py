@@ -1,0 +1,393 @@
+"""Subscription registry, validation and incremental evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Envelope
+from repro.rdf.namespace import NOA
+from repro.serve import SnapshotPublisher
+from repro.serve.subscribe import (
+    DANGER_CLASSES,
+    Subscription,
+    SubscriptionEngine,
+    SubscriptionError,
+    SubscriptionRegistry,
+    danger_class,
+    delta_from_ops,
+    validate_standing_query,
+)
+from repro.stsparql import Strabon
+
+PREFIX = (
+    "PREFIX noa: "
+    "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+    "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+)
+
+WKT = "<http://strdf.di.uoa.gr/ontology#WKT>"
+
+
+def _insert_hotspot(
+    strabon: Strabon,
+    n: int,
+    lon: float,
+    lat: float,
+    confidence: float = 0.8,
+    municipality: str = "http://example.org/muni/A",
+) -> str:
+    subject = f"http://example.org/hotspot/{n}"
+    strabon.update(
+        PREFIX
+        + f"""INSERT DATA {{
+            <{subject}> a noa:Hotspot .
+            <{subject}> strdf:hasGeometry
+                "POINT ({lon} {lat})"^^{WKT} .
+            <{subject}> noa:hasConfidence "{confidence}" .
+            <{subject}> noa:isInMunicipality <{municipality}> .
+        }}"""
+    )
+    return subject
+
+
+def _engine_on(strabon: Strabon) -> SubscriptionEngine:
+    publisher = SnapshotPublisher()
+    engine = SubscriptionEngine()
+    engine.bind(strabon, publisher)
+    publisher.publish(strabon)
+    return engine
+
+
+class TestValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SubscriptionError):
+            Subscription.from_dict({"kind": "nope"}, "x", 0)
+
+    def test_rejects_bad_bbox(self):
+        with pytest.raises(SubscriptionError):
+            Subscription.from_dict(
+                {"kind": "filter", "bbox": [1, 2, 3]}, "x", 0
+            )
+
+    def test_rejects_non_boolean_confirmed(self):
+        with pytest.raises(SubscriptionError):
+            Subscription.from_dict(
+                {"kind": "filter", "confirmed": "yes"}, "x", 0
+            )
+
+    def test_fwi_min_class_must_be_named(self):
+        with pytest.raises(SubscriptionError):
+            Subscription.from_dict(
+                {"kind": "fwi", "min_class": "apocalyptic"}, "x", 0
+            )
+        sub = Subscription.from_dict(
+            {"kind": "fwi", "min_class": "extreme"}, "x", 0
+        )
+        assert sub.min_class == DANGER_CLASSES.index("extreme")
+
+    def test_standing_query_must_be_plain_select(self):
+        validate_standing_query(
+            PREFIX + "SELECT ?h WHERE { ?h a noa:Hotspot }"
+        )
+        with pytest.raises(SubscriptionError):
+            validate_standing_query(
+                PREFIX + "ASK { ?h a noa:Hotspot }"
+            )
+
+    def test_standing_query_rejects_modifiers_and_aggregates(self):
+        with pytest.raises(SubscriptionError):
+            validate_standing_query(
+                PREFIX
+                + "SELECT ?h WHERE { ?h a noa:Hotspot } LIMIT 5"
+            )
+        with pytest.raises(SubscriptionError):
+            validate_standing_query(
+                PREFIX
+                + "SELECT (COUNT(?h) AS ?n) WHERE "
+                + "{ ?h a noa:Hotspot }"
+            )
+
+    def test_standing_query_requires_h_variable(self):
+        with pytest.raises(SubscriptionError):
+            validate_standing_query(
+                PREFIX + "SELECT ?x WHERE { ?x a noa:Hotspot }"
+            )
+
+    def test_filter_subscriptions_take_no_query(self):
+        with pytest.raises(SubscriptionError):
+            Subscription.from_dict(
+                {"kind": "filter", "query": "SELECT ?h WHERE {}"},
+                "x",
+                0,
+            )
+
+    def test_round_trips_through_dict(self):
+        sub = Subscription.from_dict(
+            {
+                "kind": "filter",
+                "bbox": [20.0, 36.0, 25.0, 40.0],
+                "min_confidence": 0.5,
+                "confirmed": True,
+            },
+            "abc",
+            7,
+        )
+        doc = sub.to_dict()
+        again = Subscription.from_dict(
+            doc, doc["id"], doc["created_sequence"]
+        )
+        assert again == sub
+
+
+class TestDangerClass:
+    @pytest.mark.parametrize(
+        "score,name",
+        [
+            (0.0, "low"),
+            (0.49, "low"),
+            (0.5, "moderate"),
+            (1.5, "high"),
+            (3.0, "very-high"),
+            (5.0, "extreme"),
+            (99.0, "extreme"),
+        ],
+    )
+    def test_thresholds(self, score, name):
+        assert DANGER_CLASSES[danger_class(score)] == name
+
+
+class TestRegistry:
+    def _sub(self, n: int, bbox=None) -> Subscription:
+        return Subscription.from_dict(
+            {"kind": "filter", "bbox": bbox}, f"sub{n}", 0
+        )
+
+    def test_point_probe_finds_only_covering_geofences(self):
+        registry = SubscriptionRegistry()
+        registry.add_many(
+            [
+                self._sub(0, [0.0, 0.0, 10.0, 10.0]),
+                self._sub(1, [20.0, 20.0, 30.0, 30.0]),
+                self._sub(2, None),  # global — always a candidate
+            ]
+        )
+        hits = {
+            s.id for s in registry.geofence_candidates(5.0, 5.0)
+        }
+        assert hits == {"sub0", "sub2"}
+
+    def test_removal_tombstones_until_rebuild(self):
+        registry = SubscriptionRegistry()
+        registry.add_many(
+            [
+                self._sub(n, [0.0, 0.0, 10.0, 10.0])
+                for n in range(3)
+            ]
+        )
+        assert registry.remove("sub1")
+        assert not registry.remove("sub1")
+        hits = {
+            s.id for s in registry.geofence_candidates(5.0, 5.0)
+        }
+        assert hits == {"sub0", "sub2"}
+
+    def test_pending_inserts_are_probed_before_rebuild(self):
+        registry = SubscriptionRegistry()
+        registry.add(self._sub(0, [0.0, 0.0, 10.0, 10.0]))
+        hits = {
+            s.id for s in registry.geofence_candidates(5.0, 5.0)
+        }
+        assert hits == {"sub0"}
+
+    def test_duplicate_ids_are_refused(self):
+        registry = SubscriptionRegistry()
+        registry.add(self._sub(0))
+        with pytest.raises(SubscriptionError):
+            registry.add(self._sub(0))
+
+    def test_counts_by_kind(self):
+        registry = SubscriptionRegistry()
+        registry.add(self._sub(0))
+        registry.add(
+            Subscription.from_dict(
+                {"kind": "fwi", "min_class": "low"}, "f", 0
+            )
+        )
+        assert registry.counts() == {
+            "filter": 1,
+            "stsparql": 0,
+            "fwi": 1,
+        }
+
+
+class TestDeltaExtraction:
+    def test_collects_subjects_and_municipalities(self):
+        from repro.durable.codec import OP_ADD, OP_REMOVE
+        from repro.rdf.term import URI
+
+        s = URI("http://example.org/h1")
+        m = URI("http://example.org/muni/A")
+        ops = [
+            (OP_ADD, (s, NOA.hasConfidence, m)),
+            (OP_REMOVE, (s, NOA.isInMunicipality, m)),
+        ]
+        delta = delta_from_ops(ops)
+        assert delta.subjects == ("http://example.org/h1",)
+        assert delta.municipalities == ("http://example.org/muni/A",)
+        assert not delta.full_rescan
+
+    def test_clear_forces_full_rescan(self):
+        from repro.durable.codec import OP_CLEAR
+
+        delta = delta_from_ops([(OP_CLEAR, None)])
+        assert delta.full_rescan
+
+
+class TestEngine:
+    def test_filter_subscription_notifies_on_new_hotspot(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        sub = engine.register(
+            {"kind": "filter", "min_confidence": 0.5}
+        )
+        subject = _insert_hotspot(strabon, 1, 23.7, 38.0)
+        batch = engine.process_commit(2)
+        keys = {
+            (d["subscription"], d["subject"])
+            for d in batch.notifications
+        }
+        assert (sub.id, subject) in keys
+
+    def test_notification_is_exactly_once_per_subject(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        engine.register({"kind": "filter"})
+        _insert_hotspot(strabon, 1, 23.7, 38.0)
+        first = engine.process_commit(2)
+        assert len(first.notifications) == 1
+        # Touch the same subject again — already notified, no repeat.
+        strabon.update(
+            PREFIX
+            + 'INSERT DATA { <http://example.org/hotspot/1> '
+            + 'noa:hasConfidence "0.9" . }'
+        )
+        second = engine.process_commit(3)
+        assert second.notifications == ()
+
+    def test_priming_suppresses_pre_existing_matches(self):
+        strabon = Strabon()
+        _insert_hotspot(strabon, 1, 23.7, 38.0)
+        engine = _engine_on(strabon)  # hotspot already published
+        engine.register({"kind": "filter"})
+        strabon.update(
+            PREFIX
+            + 'INSERT DATA { <http://example.org/hotspot/1> '
+            + 'noa:hasConfidence "0.9" . }'
+        )
+        batch = engine.process_commit(2)
+        assert batch.notifications == ()  # it matched before "now"
+
+    def test_geofence_excludes_outside_hotspots(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        engine.register(
+            {"kind": "filter", "bbox": [20.0, 36.0, 25.0, 40.0]}
+        )
+        _insert_hotspot(strabon, 1, 23.0, 38.0)  # inside
+        _insert_hotspot(strabon, 2, 5.0, 5.0)  # outside
+        batch = engine.process_commit(2)
+        subjects = {d["subject"] for d in batch.notifications}
+        assert subjects == {"http://example.org/hotspot/1"}
+
+    def test_stsparql_standing_query_binds_h_per_subject(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        sub = engine.register(
+            {
+                "kind": "stsparql",
+                "query": PREFIX
+                + "SELECT ?h WHERE { ?h a noa:Hotspot . "
+                + "?h noa:hasConfidence ?c . "
+                + 'FILTER(?c >= "0.7") }',
+            }
+        )
+        _insert_hotspot(strabon, 1, 23.0, 38.0, confidence=0.9)
+        _insert_hotspot(strabon, 2, 23.1, 38.1, confidence=0.3)
+        batch = engine.process_commit(2)
+        mine = [
+            d
+            for d in batch.notifications
+            if d["subscription"] == sub.id
+        ]
+        assert [d["subject"] for d in mine] == [
+            "http://example.org/hotspot/1"
+        ]
+
+    def test_fwi_fires_on_class_transition_only(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        sub = engine.register({"kind": "fwi", "min_class": "low"})
+        _insert_hotspot(strabon, 1, 23.0, 38.0, confidence=0.4)
+        first = engine.process_commit(2)
+        fwi = [
+            d for d in first.notifications if d["kind"] == "fwi"
+        ]
+        assert fwi == []  # 0.4 is still "low" — no transition
+        _insert_hotspot(strabon, 2, 23.1, 38.1, confidence=0.4)
+        second = engine.process_commit(3)
+        fwi = [
+            d for d in second.notifications if d["kind"] == "fwi"
+        ]
+        assert len(fwi) == 1
+        assert fwi[0]["subscription"] == sub.id
+        assert fwi[0]["payload"]["danger_class"] == "moderate"
+        assert fwi[0]["payload"]["previous_class"] == "low"
+
+    def test_fwi_min_class_filters_transitions(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        engine.register({"kind": "fwi", "min_class": "extreme"})
+        _insert_hotspot(strabon, 1, 23.0, 38.0, confidence=1.0)
+        batch = engine.process_commit(2)
+        assert [
+            d for d in batch.notifications if d["kind"] == "fwi"
+        ] == []
+
+    def test_remove_drops_seen_state_and_cursor(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        sub = engine.register({"kind": "filter"})
+        engine.ack(sub.id, 5)
+        assert engine.cursor(sub.id) == 5
+        assert engine.remove(sub.id)
+        assert engine.cursor(sub.id) == 0
+        assert not engine.remove(sub.id)
+
+    def test_ack_is_monotonic(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        sub = engine.register({"kind": "filter"})
+        assert engine.ack(sub.id, 3) == 3
+        assert engine.ack(sub.id, 1) == 3  # regressions ignored
+
+    def test_raising_listener_does_not_break_fanout(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        engine.register({"kind": "filter"})
+        seen = []
+        engine.add_listener(
+            lambda b: (_ for _ in ()).throw(RuntimeError("bug"))
+        )
+        engine.add_listener(lambda b: seen.append(b.sequence))
+        _insert_hotspot(strabon, 1, 23.0, 38.0)
+        batch = engine.process_commit(2)
+        engine.publish_batch(batch)
+        assert seen == [2]
+
+    def test_stats_reports_counts(self):
+        strabon = Strabon()
+        engine = _engine_on(strabon)
+        engine.register({"kind": "filter"})
+        stats = engine.stats()
+        assert stats["subscriptions"] == 1
+        assert stats["durable"] is False
