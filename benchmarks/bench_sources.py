@@ -1,0 +1,255 @@
+"""Multi-source federation benchmark (``BENCH_sources.json``).
+
+Two measurement families:
+
+* **Per-source ingest** — driver ``acquire()`` plus RDF annotation
+  (``annotate_source_batch``) throughput, in observations per second,
+  for the polar-orbiter and weather-station drivers over a run of
+  acquisition slots.
+* **Dedup cost** — :func:`repro.sources.fuse` over 10 K and 100 K
+  synthetic detections (seeded fires jittered inside the fusion
+  window, well-separated between fires), reported as detections per
+  second.  The grid-bucketed union-find must scale near-linearly:
+  per-detection cost at 100 K may not exceed 5x the 10 K cost.  Each
+  series point also re-fuses a shuffled copy and counts
+  ``order_mismatch`` — gated at zero by ``check_regression.py``, the
+  arrival-order-invariance contract at benchmark scale.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.core.annotation import annotate_source_batch
+from repro.datasets import SyntheticGreece
+from repro.rdf import Graph
+from repro.seviri.fires import FireSeason
+from repro.sources import (
+    PolarOrbiterDriver,
+    SourceObservation,
+    WeatherStationDriver,
+    fuse,
+)
+
+CRISIS_START = datetime(2007, 8, 24, tzinfo=timezone.utc)
+
+#: Detection counts in the dedup series.
+DEDUP_SERIES = (10_000, 100_000)
+#: Acquisition slots measured per ingest driver.
+INGEST_SLOTS = 8
+#: Weather stations for the ingest measurement (well above the
+#: operational default, so per-observation cost dominates setup).
+INGEST_STATIONS = 256
+#: Fusion window used by the dedup series.
+WINDOW_MIN = 30.0
+WINDOW_DEG = 0.05
+
+_ARTIFACTS = {}
+
+
+def _synth_detections(count: int, seed: int):
+    """``count`` detections over ``count // 10`` fires on a lattice
+    4 windows apart, jittered inside half a window — the same shape
+    the property suite uses, at benchmark scale."""
+    rng = random.Random(seed)
+    n_fires = max(2, count // 10)
+    side = int(n_fires**0.5) + 1
+    observations = []
+    for index in range(count):
+        fire = rng.randrange(n_fires)
+        lon = 10.0 + 4.0 * WINDOW_DEG * (fire % side)
+        lat = 30.0 + 4.0 * WINDOW_DEG * (fire // side)
+        observations.append(
+            SourceObservation(
+                source=rng.choice(("seviri", "polar", "viirs")),
+                kind="fire",
+                lon=lon + rng.uniform(-1, 1) * WINDOW_DEG / 4,
+                lat=lat + rng.uniform(-1, 1) * WINDOW_DEG / 4,
+                timestamp=CRISIS_START
+                + timedelta(minutes=rng.uniform(0, WINDOW_MIN / 2)),
+                confidence=rng.uniform(0.3, 1.0),
+            )
+        )
+    return observations
+
+
+def _canonical(clusters):
+    return sorted(
+        (
+            c.sources,
+            c.confidence,
+            tuple(
+                sorted(
+                    (o.source, o.lon, o.lat, o.confidence)
+                    for o in c.observations
+                )
+            ),
+        )
+        for c in clusters
+    )
+
+
+def _dedup_point(count: int) -> dict:
+    observations = _synth_detections(count, seed=count)
+    t0 = time.perf_counter()
+    clusters = fuse(
+        observations,
+        window_minutes=WINDOW_MIN,
+        window_degrees=WINDOW_DEG,
+    )
+    wall = time.perf_counter() - t0
+    shuffled = list(observations)
+    random.Random(count * 31 + 7).shuffle(shuffled)
+    again = fuse(
+        shuffled,
+        window_minutes=WINDOW_MIN,
+        window_degrees=WINDOW_DEG,
+    )
+    mismatch = 0 if _canonical(clusters) == _canonical(again) else 1
+    return {
+        "detections": count,
+        "clusters": len(clusters),
+        "confirmed": sum(1 for c in clusters if c.confirmed),
+        "wall_s": wall,
+        "detections_per_s": count / wall,
+        "order_mismatch": mismatch,
+    }
+
+
+def _ingest_point(name: str, driver, season) -> dict:
+    base = CRISIS_START + timedelta(hours=13)
+    total = 0
+    t0 = time.perf_counter()
+    for slot in range(INGEST_SLOTS):
+        when = base + timedelta(minutes=15 * slot)
+        batch = driver.acquire(when, season)
+        graph = Graph()
+        annotate_source_batch(graph, batch)
+        total += len(batch)
+    wall = time.perf_counter() - t0
+    return {
+        "source": name,
+        "slots": INGEST_SLOTS,
+        "observations": total,
+        "wall_s": wall,
+        "observations_per_s": total / wall,
+    }
+
+
+@pytest.fixture(scope="module")
+def sources_run():
+    greece = SyntheticGreece(seed=42, detail=1)
+    season = FireSeason(greece, CRISIS_START, days=1, seed=7)
+    ingest = {
+        "polar": _ingest_point(
+            "polar",
+            PolarOrbiterDriver(greece, seed=7, revisit_minutes=15),
+            season,
+        ),
+        "weather": _ingest_point(
+            "weather",
+            WeatherStationDriver(
+                greece, stations=INGEST_STATIONS, seed=7
+            ),
+            season,
+        ),
+    }
+    series = {}
+    for count in DEDUP_SERIES:
+        series[str(count)] = _dedup_point(count)
+    top = series[str(DEDUP_SERIES[-1])]
+    run = {
+        "schema": "bench-sources/1",
+        "workload": {
+            "ingest_slots": INGEST_SLOTS,
+            "weather_stations": INGEST_STATIONS,
+            "dedup_series": list(DEDUP_SERIES),
+            "window_minutes": WINDOW_MIN,
+            "window_degrees": WINDOW_DEG,
+        },
+        "ingest": ingest,
+        "dedup": {"series": series},
+        "headline": {
+            "dedup_detections_per_s": top["detections_per_s"],
+            "order_mismatches": sum(
+                point["order_mismatch"]
+                for point in series.values()
+            ),
+        },
+    }
+    _ARTIFACTS["run"] = run
+    return run
+
+
+def test_ingest_produced_observations(sources_run):
+    for name, point in sources_run["ingest"].items():
+        assert point["observations"] > 0, f"{name} ingested nothing"
+        assert point["observations_per_s"] > 0
+
+
+def test_dedup_is_order_invariant_at_scale(sources_run):
+    assert sources_run["headline"]["order_mismatches"] == 0
+    for count, point in sources_run["dedup"]["series"].items():
+        assert point["clusters"] > 0
+        assert point["confirmed"] > 0, (
+            f"dedup at {count} produced no confirmed clusters - "
+            "the series is vacuous"
+        )
+
+
+def test_dedup_scales_near_linearly(sources_run):
+    series = sources_run["dedup"]["series"]
+    small = series[str(DEDUP_SERIES[0])]
+    large = series[str(DEDUP_SERIES[-1])]
+    per_small = small["wall_s"] / small["detections"]
+    per_large = large["wall_s"] / large["detections"]
+    assert per_large <= per_small * 5.0, (
+        f"per-detection fuse cost grew "
+        f"{per_large / per_small:.1f}x over a "
+        f"{DEDUP_SERIES[-1] // DEDUP_SERIES[0]}x input growth"
+    )
+
+
+def teardown_module(module):
+    from benchmarks.reporting import report, write_bench_json
+
+    run = _ARTIFACTS.get("run")
+    if run is None:
+        return
+    write_bench_json("sources", run)
+    lines = [
+        "Multi-source federation: ingest throughput and dedup cost",
+        "",
+        f"{'source':>8}  {'slots':>5}  {'obs':>6}  {'obs/s':>10}",
+    ]
+    for name in ("polar", "weather"):
+        point = run["ingest"][name]
+        lines.append(
+            f"{name:>8}  {point['slots']:>5}  "
+            f"{point['observations']:>6}  "
+            f"{point['observations_per_s']:>10.0f}"
+        )
+    lines += [
+        "",
+        f"{'detections':>10}  {'clusters':>8}  {'confirmed':>9}  "
+        f"{'wall s':>7}  {'det/s':>10}  {'order':>5}",
+    ]
+    for count in DEDUP_SERIES:
+        point = run["dedup"]["series"][str(count)]
+        lines.append(
+            f"{point['detections']:>10}  {point['clusters']:>8}  "
+            f"{point['confirmed']:>9}  {point['wall_s']:>7.3f}  "
+            f"{point['detections_per_s']:>10.0f}  "
+            f"{'ok' if point['order_mismatch'] == 0 else 'DIFF':>5}"
+        )
+    lines += [
+        "",
+        f"headline: {run['headline']['dedup_detections_per_s']:.0f} "
+        f"detections/s at {DEDUP_SERIES[-1]} "
+        f"({run['headline']['order_mismatches']} order mismatches)",
+    ]
+    report("sources", "\n".join(lines))

@@ -136,6 +136,28 @@ WATCHED = {
         ),
         ("headline.differential_mismatches", "absolute", 0.0),
     ],
+    "BENCH_sources.json": [
+        # Order invariance of the fusion dedup is a correctness
+        # contract, not a performance number: any mismatch between the
+        # arrival order and a shuffled re-run fails the gate exactly.
+        ("headline.order_mismatches", "absolute", 0.0),
+        ("headline.dedup_detections_per_s", "higher", TIMING_THRESHOLD),
+        (
+            "dedup.series.10000.detections_per_s",
+            "higher",
+            TIMING_THRESHOLD,
+        ),
+        (
+            "ingest.polar.observations_per_s",
+            "higher",
+            TIMING_THRESHOLD,
+        ),
+        (
+            "ingest.weather.observations_per_s",
+            "higher",
+            TIMING_THRESHOLD,
+        ),
+    ],
     "BENCH_durable.json": [
         ("wal.never.batches_per_s", "higher", TIMING_THRESHOLD),
         ("wal.commit.batches_per_s", "higher", TIMING_THRESHOLD),

@@ -9,6 +9,13 @@ Machine-readable ``BENCH_*.json`` artifacts go through
 ``benchmarks/out/`` **and** mirrors it to the repository root — the
 bench-trajectory tooling reads the root copies, the regression gate in
 CI reads the baselines.
+
+The root mirror is configurable through ``REPRO_BENCH_MIRROR``: unset
+keeps the historical repo-root mirror; a directory path redirects it;
+``0`` / ``false`` / ``off`` / ``no`` (or empty) disables it entirely.
+Smoke runs of the benchmarks (CI jobs, local sanity checks) should set
+``REPRO_BENCH_MIRROR=0`` so a low-scale run never clobbers committed
+root artifacts with throwaway numbers.
 """
 
 from __future__ import annotations
@@ -36,11 +43,15 @@ def write_bench_json(
     name: str, payload: dict, root: Optional[str] = None
 ) -> str:
     """Write ``BENCH_<name>.json`` under ``benchmarks/out/`` and mirror
-    it to the repository root; returns the ``out/`` path.
+    it; returns the ``out/`` path.
 
     ``root`` overrides the mirror directory (tests point it at a tmp
-    dir).  The payload is written deterministically (sorted keys) so
-    committed baselines diff cleanly.
+    dir) and wins over the environment.  Otherwise the
+    ``REPRO_BENCH_MIRROR`` variable picks the mirror: unset → the
+    repository root (the historical behaviour), a path → that
+    directory, a falsy value (``0``/``false``/``off``/``no``/empty) →
+    no mirror at all.  The payload is written deterministically
+    (sorted keys) so committed baselines diff cleanly.
     """
     filename = f"BENCH_{name}.json"
     out_dir = os.path.join(_BENCH_DIR, "out")
@@ -49,7 +60,20 @@ def write_bench_json(
     path = os.path.join(out_dir, filename)
     with open(path, "w") as f:
         f.write(text)
-    mirror_dir = root if root is not None else _REPO_ROOT
-    with open(os.path.join(mirror_dir, filename), "w") as f:
-        f.write(text)
+    mirror_dir = _mirror_dir(root)
+    if mirror_dir is not None:
+        with open(os.path.join(mirror_dir, filename), "w") as f:
+            f.write(text)
     return path
+
+
+def _mirror_dir(root: Optional[str]) -> Optional[str]:
+    """Resolve the mirror directory (None disables the mirror)."""
+    if root is not None:
+        return root
+    env = os.environ.get("REPRO_BENCH_MIRROR")
+    if env is None:
+        return _REPO_ROOT
+    if env.strip().lower() in ("", "0", "false", "off", "no"):
+        return None
+    return env

@@ -12,11 +12,12 @@ import itertools
 from typing import List, Optional, Tuple
 
 from repro.core.products import Hotspot, HotspotProduct
+from repro.geometry import Point, Polygon
 from repro.ontology.noa import (
     CONFIRMATION_CONFIRMED,
     CONFIRMATION_UNCONFIRMED,
 )
-from repro.rdf import Graph, Literal, NOA, RDF, STRDF, Term, URI, XSD
+from repro.rdf import GAG, Graph, Literal, NOA, RDF, STRDF, Term, URI, XSD
 
 _product_counter = itertools.count()
 
@@ -119,3 +120,129 @@ def annotate_product(
         for triple in hotspot_triples(node, hotspot, shp_node):
             added += graph.add(*triple)
     return added, uris
+
+
+# -- multi-source federation (ISSUE 10) ----------------------------------
+
+
+def source_uri(name: str) -> URI:
+    """The URI identifying one federated source."""
+    return NOA.term(f"Source_{name}")
+
+
+def source_name(uri) -> str:
+    """Source name back out of a :func:`source_uri` (or its string)."""
+    value = uri.value if hasattr(uri, "value") else str(uri)
+    _, _, tail = value.rpartition("Source_")
+    return tail or value
+
+
+def _stamp_literal(when) -> Literal:
+    return Literal(
+        when.strftime("%Y-%m-%dT%H:%M:%S"),
+        datatype=XSD.base + "dateTime",
+    )
+
+
+def _float_literal(value: float) -> Literal:
+    return Literal(repr(float(value)), datatype=XSD.base + "float")
+
+
+def annotate_source_batch(
+    graph: Graph, batch, footprint_degrees: float = 0.02
+) -> int:
+    """Insert one source batch's RDF representation.
+
+    Fire detections become ``noa:SourceDetection`` stars whose URIs
+    embed the source name, the acquisition stamp and the row index —
+    stable across durable recovery without any counter to persist.
+    Detection geometries are square footprints of half-width
+    ``footprint_degrees / 2`` (the fusion window), so the refinement
+    stage's ``strdf:anyInteract`` join against hotspot polygons *is*
+    the spatial half of the dedup window.  Weather observations use
+    one *stable URI per station* with replace-star semantics: each
+    acquisition's report supersedes the previous one, so
+    per-municipality danger scores reflect current conditions instead
+    of accumulating history.
+    """
+    added = 0
+    src = source_uri(batch.source)
+    slot = batch.timestamp.strftime("%Y%m%dT%H%M%S")
+    for index, obs in enumerate(batch.observations):
+        if obs.kind == "weather":
+            station = obs.extras.get("station", f"st{index}")
+            node = NOA.term(
+                f"WeatherObservation_{batch.source}_{station}"
+            )
+            # Replace the previous report's star wholesale.
+            graph.remove(s=node)
+            added += graph.add(node, RDF.type, NOA.WeatherObservation)
+            added += graph.add(node, NOA.fromSource, src)
+            added += graph.add(
+                node, NOA.hasAcquisitionDateTime,
+                _stamp_literal(obs.timestamp),
+            )
+            added += graph.add(
+                node,
+                STRDF.hasGeometry,
+                Literal(
+                    Point(obs.lon, obs.lat).wkt,
+                    datatype=STRDF.geometry.value,
+                ),
+            )
+            added += graph.add(
+                node,
+                NOA.hasDangerContribution,
+                _float_literal(obs.confidence),
+            )
+            for key, predicate in (
+                ("temperature_c", NOA.hasTemperature),
+                ("relative_humidity", NOA.hasRelativeHumidity),
+                ("wind_speed_ms", NOA.hasWindSpeed),
+            ):
+                if key in obs.extras:
+                    added += graph.add(
+                        node,
+                        predicate,
+                        _float_literal(obs.extras[key]),
+                    )
+            municipality_index = obs.extras.get(
+                "municipality_index", -1
+            )
+            if municipality_index is not None and municipality_index >= 0:
+                added += graph.add(
+                    node,
+                    NOA.isInMunicipality,
+                    GAG.term(f"mun{municipality_index}"),
+                )
+        else:
+            node = NOA.term(
+                f"SourceDetection_{batch.source}_{slot}_{index}"
+            )
+            added += graph.add(node, RDF.type, NOA.SourceDetection)
+            added += graph.add(node, NOA.fromSource, src)
+            added += graph.add(
+                node, NOA.hasAcquisitionDateTime,
+                _stamp_literal(obs.timestamp),
+            )
+            added += graph.add(
+                node, NOA.hasConfidence,
+                _float_literal(obs.confidence),
+            )
+            half = max(footprint_degrees, 1e-6) / 2.0
+            footprint = Polygon(
+                [
+                    (obs.lon - half, obs.lat - half),
+                    (obs.lon + half, obs.lat - half),
+                    (obs.lon + half, obs.lat + half),
+                    (obs.lon - half, obs.lat + half),
+                ]
+            )
+            added += graph.add(
+                node,
+                STRDF.hasGeometry,
+                Literal(
+                    footprint.wkt, datatype=STRDF.geometry.value
+                ),
+            )
+    return added

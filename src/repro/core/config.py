@@ -114,6 +114,11 @@ class ServiceConfig:
     wal_fsync: str = "commit"
     #: Commits between compacting graph checkpoints.
     checkpoint_interval: int = 16
+    #: Multi-source acquisition federation (ISSUE 10): a
+    #: :class:`repro.sources.SourcesConfig`, a plain dict of its
+    #: fields, or ``True`` for the defaults.  ``None`` keeps the
+    #: single-source (SEVIRI-only) pipeline.
+    sources: Optional[object] = None
 
     def validate(self) -> None:
         if self.mode not in ("teleios", "pre-teleios"):
@@ -134,6 +139,34 @@ class ServiceConfig:
             raise ConfigurationError(
                 "checkpoint_interval must be >= 1"
             )
+        if self.sources is not None:
+            if self.mode != "teleios":
+                raise ConfigurationError(
+                    "sources requires mode='teleios' (the federation "
+                    "feeds the semantic refinement stage)"
+                )
+            self.sources = self.sources_config()
+
+    def sources_config(self):
+        """The ``sources`` field normalised to a ``SourcesConfig``."""
+        if self.sources is None:
+            return None
+        from repro.sources import SourcesConfig
+
+        try:
+            if isinstance(self.sources, SourcesConfig):
+                self.sources.validate()
+                return self.sources
+            if self.sources is True:
+                return SourcesConfig()
+            if isinstance(self.sources, dict):
+                return SourcesConfig.from_dict(self.sources)
+        except ValueError as error:
+            raise ConfigurationError(str(error)) from error
+        raise ConfigurationError(
+            "sources must be a SourcesConfig, a dict of its fields, "
+            f"True or None, got {type(self.sources).__name__}"
+        )
 
 
 @dataclass

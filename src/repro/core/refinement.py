@@ -32,14 +32,25 @@ from dataclasses import dataclass, field
 from datetime import datetime, timedelta
 from typing import Dict, List, Optional
 
-from repro.core.annotation import annotate_product
+from repro.core.annotation import (
+    _float_literal,
+    annotate_product,
+    annotate_source_batch,
+    source_name,
+    source_uri,
+)
 from repro.core.products import HotspotProduct
 from repro.faults import trip as faults_trip
 from repro.obs import get_metrics, get_tracer
 from repro.obs.span import Span
-from repro.ontology.noa import load_noa_ontology
+from repro.ontology.noa import (
+    CONFIRMATION_CONFIRMED,
+    load_noa_ontology,
+)
+from repro.rdf import NOA
 from repro.rdf.namespace import XSD
 from repro.rdf.term import Literal
+from repro.sources.fusion import fused_confidence
 from repro.stsparql import Strabon
 
 _log = logging.getLogger(__name__)
@@ -149,6 +160,38 @@ WHERE {
   FILTER NOT EXISTS { ?h noa:hasConfirmation noa:confirmed } }
 """
 
+#: Cross-source confirmation (ISSUE 10): all (hotspot, detection)
+#: pairs where a federated source saw heat inside the hotspot's
+#: footprint within the fusion window.  Detection geometries are
+#: already inflated to the window (see ``annotate_source_batch``), so
+#: ``anyInteract`` *is* the spatial half of the dedup predicate.
+_CROSS_MATCH_QUERY = _PREFIXES + """
+SELECT ?h ?conf ?src ?dConf
+WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?__ts ;
+     noa:hasConfidence ?conf ;
+     strdf:hasGeometry ?hGeo .
+  ?d a noa:SourceDetection ;
+     noa:fromSource ?src ;
+     noa:hasConfidence ?dConf ;
+     noa:hasAcquisitionDateTime ?dTime ;
+     strdf:hasGeometry ?dGeo .
+  FILTER( str(?dTime) >= str(?__window_start) ) .
+  FILTER( str(?dTime) <= str(?__ts) ) .
+  FILTER( strdf:anyInteract(?hGeo, ?dGeo) ) . }
+"""
+
+#: The current acquisition's surviving hotspots with confidence —
+#: the set the cross-confirm stage partitions into confirmed/decayed.
+_ACQ_HOTSPOTS_QUERY = _PREFIXES + """
+SELECT ?h ?conf
+WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?__ts ;
+     noa:hasConfidence ?conf . }
+"""
+
 _SURVIVORS_ALL_QUERY = _PREFIXES + """
 SELECT ?h ?hGeo ?conf ?confirmation
 WHERE {
@@ -218,17 +261,72 @@ class RefinementPipeline:
         "Time Persistence",
     )
 
+    #: Labels of the three federation operations (ISSUE 10).
+    SOURCE_OPERATIONS = (
+        "Source Ingest",
+        "Cross Confirm",
+        "Static Sources",
+    )
+
     def __init__(
         self,
         strabon: Strabon,
         persistence_window_minutes: int = 60,
         persistence_min_detections: int = 3,
+        federation=None,
+        static_min_prior_detections: int = 1,
     ) -> None:
         self.strabon = strabon
         self.persistence_window_minutes = persistence_window_minutes
         self.persistence_min_detections = persistence_min_detections
+        self.federation = federation
+        self.static_min_prior_detections = static_min_prior_detections
+        #: The operation labels *this* pipeline runs, in order.  The
+        #: class-level :attr:`OPERATIONS` stays the paper's six; a
+        #: federation-backed pipeline interleaves the three
+        #: multi-source stages (ingest right after Store so the
+        #: spatial rules see one graph; confirm/static-flag before
+        #: Time Persistence so its NOT-EXISTS respects cross-source
+        #: confirmations).
+        if federation is None:
+            self.operations = tuple(self.OPERATIONS)
+        else:
+            self.operations = (
+                "Store",
+                "Source Ingest",
+                "Municipalities",
+                "Delete In Sea",
+                "Invalid For Fires",
+                "Refine In Coast",
+                "Cross Confirm",
+                "Static Sources",
+                "Time Persistence",
+            )
+        self.last_source_reports: List = []
         self.timings: List[OperationTiming] = []
         self._product_count = 0
+        # Persistence floor for the static-heat-source flag, baked
+        # into the HAVING clause like the confirmation threshold.
+        self._static_update = _PREFIXES + f"""
+INSERT {{ ?h noa:matchesStaticSource ?site }}
+WHERE {{
+  SELECT ?h ?site (COUNT(?prev) AS ?n)
+  WHERE {{
+    ?h a noa:Hotspot ;
+       noa:hasAcquisitionDateTime ?__ts ;
+       strdf:hasGeometry ?hGeo .
+    ?site a noa:StaticHeatSource ;
+       strdf:hasGeometry ?sGeo .
+    FILTER( strdf:anyInteract(?hGeo, ?sGeo) ) .
+    ?prev a noa:Hotspot ;
+       noa:hasAcquisitionDateTime ?pTime ;
+       strdf:hasGeometry ?pGeo .
+    FILTER( str(?pTime) < str(?__ts) ) .
+    FILTER( strdf:anyInteract(?pGeo, ?sGeo) ) .
+  }}
+  GROUP BY ?h ?site
+  HAVING (COUNT(?prev) >= {self.static_min_prior_detections}) }}
+"""
         # The confirmation threshold is part of the HAVING clause, and
         # constant for the pipeline's lifetime — bake it into the text
         # once so the template stays plan-cacheable.
@@ -340,6 +438,164 @@ WHERE {{
         self.timings.append(timing)
         return timing
 
+    # -- multi-source operations (ISSUE 10) --------------------------------
+
+    def source_ingest(
+        self,
+        product: HotspotProduct,
+        fault_index: Optional[int] = None,
+    ) -> OperationTiming:
+        """Federation operation A: poll every driver and annotate.
+
+        A lost source is a *gap*, not a failure: the federation
+        returns per-source reports (kept in
+        :attr:`last_source_reports` for the service's provenance and
+        degradation accounting) and the acquisition proceeds with
+        whatever arrived.
+        """
+        assert self.federation is not None
+        window_degrees = self.federation.config.fusion_window_degrees
+        with _tracer.measure("refine.source_ingest") as span:
+            batches, reports = self.federation.collect(
+                product.timestamp, fault_index=fault_index
+            )
+            added = 0
+            observations = 0
+            for batch in batches:
+                added += annotate_source_batch(
+                    self.strabon.graph,
+                    batch,
+                    footprint_degrees=window_degrees,
+                )
+                observations += len(batch)
+        self.last_source_reports = reports
+        timing = OperationTiming.from_span(
+            span,
+            "Source Ingest",
+            product.timestamp,
+            {
+                "triples": added,
+                "observations": observations,
+                "gaps": sum(1 for r in reports if r.is_gap),
+            },
+        )
+        self.timings.append(timing)
+        return timing
+
+    def cross_confirm(self, timestamp: datetime) -> OperationTiming:
+        """Federation operation B: dedup/confirm across sources.
+
+        A hotspot whose footprint any federated detection touched
+        within the fusion window is *confirmed by multiple sources*
+        (SEVIRI plus at least one more): it gets
+        ``noa:hasConfirmation noa:confirmed``, one
+        ``noa:crossConfirmedBy`` link per corroborating source, and
+        the noisy-OR fused confidence.  A hotspot no other source saw
+        decays by ``single_source_decay``.  Iteration follows sorted
+        hotspot URIs and per-source maxima, so the result — including
+        the floating-point fusion — is independent of source arrival
+        order.
+        """
+        assert self.federation is not None
+        config = self.federation.config
+        window_start = timestamp - timedelta(
+            minutes=config.fusion_window_minutes
+        )
+        params = {
+            "__ts": _ts_param(timestamp),
+            "__window_start": _ts_param(window_start),
+        }
+        with _tracer.measure("refine.cross_confirm") as span:
+            matches: Dict[str, Dict[str, float]] = {}
+            for row in self.strabon.select(
+                _CROSS_MATCH_QUERY, params
+            ):
+                key = row["h"].value
+                name = source_name(row["src"])
+                detection_conf = float(row["dConf"].value)
+                per = matches.setdefault(key, {})
+                per[name] = max(
+                    per.get(name, 0.0), detection_conf
+                )
+            graph = self.strabon.graph
+            confirmed = 0
+            decayed = 0
+            hot_rows = sorted(
+                self.strabon.select(_ACQ_HOTSPOTS_QUERY, params),
+                key=lambda r: r["h"].value,
+            )
+            for row in hot_rows:
+                node = row["h"]
+                confidence = float(row["conf"].value)
+                per = matches.get(node.value)
+                if per:
+                    fused = fused_confidence(
+                        [confidence]
+                        + [per[name] for name in sorted(per)]
+                    )
+                    graph.remove(s=node, p=NOA.hasConfidence)
+                    graph.add(
+                        node,
+                        NOA.hasConfidence,
+                        _float_literal(fused),
+                    )
+                    graph.remove(s=node, p=NOA.hasConfirmation)
+                    graph.add(
+                        node,
+                        NOA.hasConfirmation,
+                        CONFIRMATION_CONFIRMED,
+                    )
+                    for name in sorted(per):
+                        graph.add(
+                            node,
+                            NOA.crossConfirmedBy,
+                            source_uri(name),
+                        )
+                    confirmed += 1
+                else:
+                    value = round(
+                        confidence * config.single_source_decay, 6
+                    )
+                    if value != confidence:
+                        graph.remove(s=node, p=NOA.hasConfidence)
+                        graph.add(
+                            node,
+                            NOA.hasConfidence,
+                            _float_literal(value),
+                        )
+                    decayed += 1
+        timing = OperationTiming.from_span(
+            span,
+            "Cross Confirm",
+            timestamp,
+            {"confirmed": confirmed, "decayed": decayed},
+        )
+        self.timings.append(timing)
+        return timing
+
+    def static_sources(self, timestamp: datetime) -> OperationTiming:
+        """Federation operation C: flag persistent industrial heat.
+
+        The temporal-persistence rule: a hotspot over a known static
+        site that already produced detections in *earlier*
+        acquisitions is flagged ``noa:matchesStaticSource`` — the
+        serving and subscription tiers exclude flagged hotspots from
+        alerts (this-is-fine's industrial filtering).
+        """
+        with _tracer.measure("refine.static_sources") as span:
+            result = self.strabon.update(
+                self._static_update,
+                {"__ts": _ts_param(timestamp)},
+            )
+        timing = OperationTiming.from_span(
+            span,
+            "Static Sources",
+            timestamp,
+            {"flagged": result.added},
+        )
+        self.timings.append(timing)
+        return timing
+
     # -- orchestration -----------------------------------------------------
 
     def refine_acquisition(
@@ -363,14 +619,28 @@ WHERE {{
         ``fault_index`` specifically.
         """
         ts = product.timestamp
-        steps = [
-            ("store", lambda: self.store(product)),
+        steps = [("store", lambda: self.store(product))]
+        if self.federation is not None:
+            steps.append(
+                (
+                    "source_ingest",
+                    lambda: self.source_ingest(product, fault_index),
+                )
+            )
+        steps += [
             ("municipalities", lambda: self.municipalities(ts)),
             ("delete_in_sea", lambda: self.delete_in_sea(ts)),
             ("invalid_for_fires", lambda: self.invalid_for_fires(ts)),
             ("refine_in_coast", lambda: self.refine_in_coast(ts)),
-            ("time_persistence", lambda: self.time_persistence(ts)),
         ]
+        if self.federation is not None:
+            steps += [
+                ("cross_confirm", lambda: self.cross_confirm(ts)),
+                ("static_sources", lambda: self.static_sources(ts)),
+            ]
+        steps.append(
+            ("time_persistence", lambda: self.time_persistence(ts))
+        )
         out: List[OperationTiming] = []
         with _tracer.span("refinement", hotspots=len(product)) as span:
             for slug, step in steps:

@@ -129,6 +129,13 @@ class AcquisitionOutcome:
     #: (``None`` when tracing was off) — carries the trace through the
     #: publish path after the root span has closed.
     trace_context: Optional[TraceContext] = None
+    #: Per-source provenance dicts for this acquisition (multi-source
+    #: federation); empty without a federation.  Rides the published
+    #: snapshot so readers see which feeds contributed — including
+    #: outage gaps.
+    source_reports: List[Dict[str, object]] = field(
+        default_factory=list
+    )
 
     @property
     def trace_id(self) -> Optional[str]:
@@ -242,8 +249,25 @@ class FireMonitoringService:
             self.strabon = Strabon()
             if config.state_dir is None:
                 load_auxiliary_data(self.strabon, self.greece)
+            # Multi-source acquisition federation (ISSUE 10): polar
+            # orbiter + weather stations behind per-source drivers;
+            # the refinement pipeline grows the ingest / cross-confirm
+            # / static-source stages when present.
+            sources_config = config.sources_config()
+            if sources_config is not None:
+                from repro.sources import SourceFederation
+
+                self.sources: Optional[SourceFederation] = (
+                    SourceFederation.from_config(
+                        sources_config, self.greece
+                    )
+                )
+            else:
+                self.sources = None
             self.refinement: Optional[RefinementPipeline] = (
-                RefinementPipeline(self.strabon)
+                RefinementPipeline(
+                    self.strabon, federation=self.sources
+                )
             )
             self.map_composer: Optional[MapComposer] = MapComposer(
                 self.strabon
@@ -266,6 +290,7 @@ class FireMonitoringService:
         else:
             self.chain = LegacyChain(self.georeference)
             self.strabon = None  # type: ignore[assignment]
+            self.sources = None
             self.refinement = None
             self.map_composer = None
             self.publisher = None
@@ -556,6 +581,11 @@ class FireMonitoringService:
                     "checkpoint_interval": (
                         self.config.checkpoint_interval
                     ),
+                    "sources": (
+                        None
+                        if self.sources is None
+                        else self.sources.config.to_dict()
+                    ),
                 },
             },
             fsync=self.config.wal_fsync != "never",
@@ -657,6 +687,12 @@ class FireMonitoringService:
         if overrides:
             options = options.merged(**overrides)
         options.validate()
+        if self.sources is not None:
+            # Bind the season to the federation (polar detections
+            # sample its ground truth) and seed the static-site
+            # catalogue + events before any scene is synthesised or
+            # dispatched to pipeline workers.  Idempotent.
+            self.sources.prepare(options.season, self.strabon.graph)
         if self._last_committed_timestamp is not None:
             # Resuming a replayed request stream: acquisitions at or
             # before the durable cursor are already in the store.
@@ -889,7 +925,7 @@ class FireMonitoringService:
                 refinement.surviving_hotspots(product.timestamp)
             )
         full = len(outcome.refinement_timings) == len(
-            RefinementPipeline.OPERATIONS
+            refinement.operations
         )
         if full:
             self._refine_history.append(outcome.refinement_seconds)
@@ -897,10 +933,29 @@ class FireMonitoringService:
             outcome.errors.append(
                 f"refinement truncated at the window deadline "
                 f"({len(outcome.refinement_timings)}/"
-                f"{len(RefinementPipeline.OPERATIONS)} operations)"
+                f"{len(refinement.operations)} operations)"
             )
             self._count_degradation("refinement-truncated")
-        return full
+        # Losing a federated source is its own degradation-ladder
+        # rung: the acquisition keeps serving on the remaining feeds
+        # and the gap rides the provenance the snapshot publishes.
+        gaps = []
+        ran_ingest = any(
+            t.operation == "Source Ingest"
+            for t in outcome.refinement_timings
+        )
+        if self.sources is not None and ran_ingest:
+            reports = refinement.last_source_reports
+            outcome.source_reports = [r.to_dict() for r in reports]
+            gaps = [r for r in reports if r.is_gap]
+            for gap in gaps:
+                outcome.errors.append(
+                    f"source {gap.source} unavailable "
+                    f"({gap.status}): {gap.error}"
+                )
+            if gaps:
+                self._count_degradation("source-outage")
+        return full and not gaps
 
     def _on_slo_alert(self, alert: Dict[str, object]) -> None:
         """Structured alert sink: log + flight recorder."""
@@ -984,6 +1039,7 @@ class FireMonitoringService:
                         self.strabon,
                         timestamp=outcome.timestamp,
                         trace_id=outcome.trace_id,
+                        sources=tuple(outcome.source_reports),
                     )
                     if batch is not None:
                         self.subscriptions.publish_batch(
@@ -1166,6 +1222,8 @@ class FireMonitoringService:
             )
         if self.subscriptions is not None:
             report["subscriptions"] = self.subscriptions.stats()
+        if self.sources is not None:
+            report["sources"] = self.sources.status()
         if self.durable is not None:
             report["durability"] = {
                 "state_dir": self.config.state_dir,

@@ -34,6 +34,12 @@ _DATATYPE_PROPERTIES = [
     ("isDerivedFromSensor", XSD.base + "string"),
     ("isFromProcessingChain", XSD.base + "string"),
     ("hasYpesCode", XSD.base + "string"),
+    # Multi-source federation vocabulary (ISSUE 10).
+    ("hasDangerContribution", XSD.base + "float"),
+    ("hasTemperature", XSD.base + "float"),
+    ("hasRelativeHumidity", XSD.base + "float"),
+    ("hasWindSpeed", XSD.base + "float"),
+    ("hasStaticSourceName", XSD.base + "string"),
 ]
 
 _OBJECT_PROPERTIES = [
@@ -41,6 +47,10 @@ _OBJECT_PROPERTIES = [
     "hasConfirmation",
     "isInMunicipality",
     "isDerivedFromShapefile",
+    # Multi-source federation vocabulary (ISSUE 10).
+    "fromSource",
+    "crossConfirmedBy",
+    "matchesStaticSource",
 ]
 
 
@@ -51,7 +61,14 @@ def noa_ontology_triples() -> List[Tuple[Term, Term, Term]]:
     def t(s: Term, p: Term, o: Term) -> None:
         triples.append((s, p, o))
 
-    for cls in ("RawData", "Shapefile", "Hotspot"):
+    for cls in (
+        "RawData",
+        "Shapefile",
+        "Hotspot",
+        "SourceDetection",
+        "WeatherObservation",
+        "StaticHeatSource",
+    ):
         t(NOA.term(cls), RDF.type, OWL.Class)
     # SWEET alignment (interoperability, as the paper notes).
     t(NOA.RawData, RDFS.subClassOf, SWEET.term("data/Data"))

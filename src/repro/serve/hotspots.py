@@ -1,12 +1,13 @@
 """The ``/hotspots`` read path: snapshot → filtered GeoJSON.
 
 One static, plan-cached stSPARQL SELECT pulls every surviving hotspot
-(with acquisition time, geometry, confidence and confirmation status)
-out of a published snapshot; the request filters — bounding box, time
-range, confidence floor, confirmation — are applied in Python on the
-result rows.  Keeping the filters out of the query text means every
-request shape shares the *same* cached plan, and the snapshot's R-tree
-still accelerates the underlying pattern evaluation.
+(with acquisition time, geometry, confidence, confirmation status and
+multi-source provenance) out of a published snapshot; the request
+filters — bounding box, time range, confidence floor, confirmation,
+static-source exclusion — are applied in Python on the result rows.
+Keeping the filters out of the query text means every request shape
+shares the *same* cached plan, and the snapshot's R-tree still
+accelerates the underlying pattern evaluation.
 """
 
 from __future__ import annotations
@@ -24,15 +25,20 @@ PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>
 PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
 """
 
-#: The one (plan-cached) query behind every /hotspots request.
+#: The one (plan-cached) query behind every /hotspots request.  The
+#: two federation OPTIONALs multiply rows per hotspot (one per
+#: corroborating source / matched static site); ``query_hotspots``
+#: merges them back into one feature per hotspot URI.
 HOTSPOTS_QUERY = _PREFIXES + """
-SELECT ?h ?t ?hGeo ?conf ?confirmation
+SELECT ?h ?t ?hGeo ?conf ?confirmation ?src ?site
 WHERE {
   ?h a noa:Hotspot ;
      noa:hasAcquisitionDateTime ?t ;
      strdf:hasGeometry ?hGeo ;
      noa:hasConfidence ?conf .
   OPTIONAL { ?h noa:hasConfirmation ?confirmation }
+  OPTIONAL { ?h noa:crossConfirmedBy ?src }
+  OPTIONAL { ?h noa:matchesStaticSource ?site }
 }
 """
 
@@ -51,6 +57,16 @@ def _confirmation_label(term: Optional[object]) -> Optional[str]:
     return text.rsplit("#", 1)[-1].rsplit("/", 1)[-1]
 
 
+def _source_label(term) -> Optional[str]:
+    """``noa:Source_polar`` → ``"polar"``."""
+    if term is None:
+        return None
+    text = term.value if isinstance(term, URI) else str(term)
+    tail = text.rsplit("#", 1)[-1].rsplit("/", 1)[-1]
+    _, _, name = tail.partition("Source_")
+    return name or tail
+
+
 def query_hotspots(
     published: PublishedSnapshot,
     bbox: Optional[Envelope] = None,
@@ -58,20 +74,46 @@ def query_hotspots(
     until: Optional[object] = None,
     min_confidence: Optional[float] = None,
     confirmed: Optional[bool] = None,
+    static: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """Surviving hotspots of a published snapshot as GeoJSON.
 
     ``since`` / ``until`` take :class:`~datetime.datetime` objects or
     ISO-8601 strings and compare lexically (xsd:dateTime lexical order
     is chronological order).  ``confirmed=True`` keeps only hotspots
-    marked ``noa:confirmed``; ``False`` keeps the rest.  All filters
-    compose.
+    marked ``noa:confirmed``; ``False`` keeps the rest.
+    ``static=False`` drops hotspots flagged as static heat sources
+    (refineries); ``True`` keeps only those.  All filters compose.
     """
     rows = published.view.select(HOTSPOTS_QUERY)
     since_key = None if since is None else _stamp(since)
     until_key = None if until is None else _stamp(until)
-    features = []
+    # Merge the OPTIONAL-multiplied rows back to one record per
+    # hotspot, collecting corroborating sources and static matches.
+    records: Dict[str, Dict[str, Any]] = {}
     for row in rows:
+        hotspot = row.get("h")
+        key = (
+            hotspot.value
+            if isinstance(hotspot, URI)
+            else str(hotspot)
+        )
+        record = records.get(key)
+        if record is None:
+            record = records[key] = {
+                "row": row,
+                "sources": set(),
+                "static": False,
+            }
+        source = _source_label(row.get("src"))
+        if source:
+            record["sources"].add(source)
+        if row.get("site") is not None:
+            record["static"] = True
+    features = []
+    for key in sorted(records):
+        record = records[key]
+        row = record["row"]
         geom_lit = row.get("hGeo")
         if not isinstance(geom_lit, Literal):
             continue
@@ -98,27 +140,29 @@ def query_hotspots(
         if confirmed is not None:
             if confirmed != (confirmation == "confirmed"):
                 continue
+        if static is not None and static != record["static"]:
+            continue
         if bbox is not None and not bbox.intersects(geom.envelope):
             continue
-        hotspot = row.get("h")
         features.append(
             feature(
                 geom,
                 {
-                    "hotspot": hotspot.value
-                    if isinstance(hotspot, URI)
-                    else str(hotspot),
+                    "hotspot": key,
                     "acquired": acquired,
                     "confidence": _maybe_float(row.get("conf")),
                     "confirmation": confirmation,
+                    # Multi-source provenance: SEVIRI made the
+                    # hotspot; these are the *additional* feeds that
+                    # corroborated it within the fusion window.
+                    "sources": sorted(record["sources"]),
+                    "static": record["static"],
                 },
             )
         )
-    # Deterministic output: result-row order reflects index iteration
-    # order, which differs between an organically-built store and one
-    # recovered from checkpoint + WAL replay.  Sorting by hotspot URI
-    # makes equal stores serve byte-identical collections.
-    features.sort(key=lambda f: f["properties"]["hotspot"])
+    # Deterministic output: records iterate in sorted-URI order, so
+    # equal stores (organically built vs recovered from checkpoint +
+    # WAL replay) serve byte-identical collections.
     collection = feature_collection(features)
     # Provenance: which frozen state answered this request.  A client
     # polling /hotspots can assert these never move backwards.  The
@@ -132,6 +176,10 @@ def query_hotspots(
         if published.timestamp is None
         else _stamp(published.timestamp),
         "trace_id": published.trace_id,
+        # Per-source federation reports of the publishing acquisition
+        # (empty without a federation) — an outage gap is visible
+        # right here, next to the data served despite it.
+        "sources": list(published.sources),
     }
     return collection
 

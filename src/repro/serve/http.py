@@ -8,8 +8,10 @@ and a ``Link`` naming the ``/v1`` successor):
 
 * ``GET /v1/hotspots`` — surviving hotspots of the **latest published
   snapshot** as GeoJSON; query parameters ``bbox=minx,miny,maxx,maxy``,
-  ``since=`` / ``until=`` (ISO-8601), ``min_confidence=`` and
-  ``confirmed=true|false`` filter the features.
+  ``since=`` / ``until=`` (ISO-8601), ``min_confidence=``,
+  ``confirmed=true|false`` and ``static=true|false`` (static heat
+  sources — refineries — flagged by the federation) filter the
+  features.
 * ``POST /v1/stsparql`` — a read-only stSPARQL endpoint over the same
   snapshot (body: the query text, or JSON ``{"query": ..., "params":
   ..., "explain": ..., "engine": ..., "timeout_s": ...}`` — the same
@@ -498,6 +500,11 @@ class HotspotServer:
             "shards": None,
             "degraded": False,
             "missing_shards": [],
+            # Per-source federation reports of the publishing
+            # acquisition (empty without a federation): a reader can
+            # see right in the provenance that e.g. the polar feed was
+            # out when this state was produced.
+            "sources": list(getattr(published, "sources", ()) or ()),
         }
 
     # -- subscriptions -----------------------------------------------------
@@ -763,15 +770,19 @@ class HotspotServer:
             )
         except ValueError as error:
             raise _HttpError(400, str(error))
-        confirmed_text = single("confirmed")
-        confirmed: Optional[bool] = None
-        if confirmed_text is not None:
-            lowered = confirmed_text.lower()
+        def flag(name: str) -> Optional[bool]:
+            text = single(name)
+            if text is None:
+                return None
+            lowered = text.lower()
             if lowered not in ("true", "false", "1", "0"):
                 raise _HttpError(
-                    400, f"confirmed must be true/false, got {confirmed_text!r}"
+                    400, f"{name} must be true/false, got {text!r}"
                 )
-            confirmed = lowered in ("true", "1")
+            return lowered in ("true", "1")
+
+        confirmed = flag("confirmed")
+        static = flag("static")
         published = self._latest()
         collection = await self._in_thread(
             lambda: query_hotspots(
@@ -781,6 +792,7 @@ class HotspotServer:
                 until=single("until"),
                 min_confidence=min_confidence,
                 confirmed=confirmed,
+                static=static,
             ),
             context=ctx,
         )

@@ -113,6 +113,11 @@ class PublishedSnapshot:
     #: when tracing was off) — readers expose it as provenance, linking
     #: any served result back to the trace that produced the data.
     trace_id: Optional[str] = None
+    #: Per-source federation reports for the publishing acquisition
+    #: (tuple of plain dicts; empty without a federation).  This is how
+    #: an outage gap reaches readers: the snapshot still serves, and
+    #: its provenance names the missing feed.
+    sources: tuple = ()
 
     def __len__(self) -> int:
         return len(self.view.snapshot)
@@ -158,6 +163,7 @@ class SnapshotPublisher:
         strabon: Strabon,
         timestamp: Optional[datetime] = None,
         trace_id: Optional[str] = None,
+        sources: tuple = (),
     ) -> PublishedSnapshot:
         """Freeze the engine's current state and make it the latest.
 
@@ -178,6 +184,7 @@ class SnapshotPublisher:
                 timestamp=timestamp,
                 published_monotonic=time.monotonic(),
                 trace_id=trace_id,
+                sources=tuple(sources),
             )
             self._latest = published
             self._changed.notify_all()

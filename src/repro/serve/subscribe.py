@@ -23,9 +23,16 @@ Three subscription families:
   and cost scales with the delta, not the graph.
 * ``fwi`` — per-municipality fire-danger classes in the spirit of the
   Fire Weather Index rules of Gao et al. (arXiv 1411.2186): the class
-  is a pure function of the live hotspot evidence inside each
-  municipality, and a subscription fires on every class *transition*
-  at or above its ``min_class``.
+  is a pure function of the live fire evidence inside each
+  municipality — hotspot confidences plus the weather-station
+  ``noa:hasDangerContribution`` observations the multi-source
+  federation feeds in — and a subscription fires on every class
+  *transition* at or above its ``min_class``.
+
+Hotspots the federation flagged as **static heat sources**
+(``noa:matchesStaticSource`` — refineries, industrial flares) are
+excluded from every alert family: they are real combustion, but not
+fires, so they neither notify nor contribute fire-danger evidence.
 
 **Why incremental equals full re-run.**  A hotspot's match status
 against any subscription above depends only on its own star (type,
@@ -37,9 +44,14 @@ status *can* have changed since the last publication is exactly the
 set of subjects appearing in the committed triple batch — evaluating
 only those, minus the already-notified set, yields the same
 notifications as re-running every standing query over the full
-snapshot.  FWI classes aggregate per municipality, so the recompute
+snapshot.  The federation's per-hotspot marks (``crossConfirmedBy``,
+``matchesStaticSource``) are part of that star and are written by the
+same refinement commit, so the argument survives multi-source fusion
+unchanged.  FWI classes aggregate per municipality, so the recompute
 set is the municipalities referenced by the batch (a municipality
-whose hotspots did not change cannot change class).  The differential
+whose hotspots and weather observations did not change cannot change
+class — weather stars link via the same ``isInMunicipality``
+predicate the delta extractor watches).  The differential
 suite (``tests/serve/test_subscribe_differential.py``) asserts this
 equivalence run-for-run; the delivery contract across crashes lives in
 ``repro.durable.cursors``.
@@ -85,6 +97,8 @@ __all__ = [
     "SubscriptionError",
     "SubscriptionRegistry",
     "danger_class",
+    "municipality_score",
+    "municipality_scores",
     "validate_standing_query",
 ]
 
@@ -114,6 +128,10 @@ _CONFIRMATION = NOA.hasConfirmation
 _MUNICIPALITY = NOA.isInMunicipality
 _ACQUIRED = NOA.hasAcquisitionDateTime
 _CONFIRMED = NOA.confirmed
+_CROSS_CONFIRMED = NOA.crossConfirmedBy
+_STATIC_MATCH = NOA.matchesStaticSource
+_WEATHER = NOA.WeatherObservation
+_DANGER_CONTRIBUTION = NOA.hasDangerContribution
 
 
 class SubscriptionError(ValueError):
@@ -297,6 +315,11 @@ class HotspotRecord:
     confirmed: Optional[bool] = None
     municipality: Optional[str] = None
     acquired: Optional[str] = None
+    #: Federation sources that corroborated the hotspot (sorted).
+    sources: Tuple[str, ...] = ()
+    #: Matched a known static heat source (refinery) — excluded from
+    #: every alert family and from fire-danger evidence.
+    static: bool = False
 
 
 @dataclass(frozen=True)
@@ -427,6 +450,11 @@ def hotspot_record(graph, subject: str) -> Optional[HotspotRecord]:
     )
     municipality = graph.value(uri, _MUNICIPALITY)
     acquired = graph.value(uri, _ACQUIRED)
+    sources = sorted(
+        _source_short(o)
+        for _, _, o in graph.triples(uri, _CROSS_CONFIRMED, None)
+    )
+    static = graph.value(uri, _STATIC_MATCH) is not None
     return HotspotRecord(
         subject=subject,
         lon=lon,
@@ -437,7 +465,16 @@ def hotspot_record(graph, subject: str) -> Optional[HotspotRecord]:
             None if municipality is None else _text(municipality)
         ),
         acquired=getattr(acquired, "lexical", None),
+        sources=tuple(sources),
+        static=static,
     )
+
+
+def _source_short(term: Any) -> str:
+    """``noa:Source_polar`` → ``"polar"``."""
+    tail = _text(term).rsplit("#", 1)[-1].rsplit("/", 1)[-1]
+    _, _, name = tail.partition("Source_")
+    return name or tail
 
 
 def iter_hotspot_records(graph) -> Iterable[HotspotRecord]:
@@ -450,18 +487,52 @@ def iter_hotspot_records(graph) -> Iterable[HotspotRecord]:
 
 
 def municipality_score(graph, municipality: str) -> float:
-    """Summed confidence of the live hotspots inside a municipality."""
+    """Summed fire-danger evidence inside a municipality.
+
+    Live hotspot confidences (static heat sources excluded — a
+    refinery flare is not fire danger) plus the federation's
+    weather-station ``hasDangerContribution`` observations.
+    """
     target = URI(municipality)
     score = 0.0
     for s, _, _ in graph.triples(None, _MUNICIPALITY, target):
-        if not any(True for _ in graph.triples(s, _TYPE, _HOTSPOT)):
+        if any(True for _ in graph.triples(s, _TYPE, _HOTSPOT)):
+            if graph.value(s, _STATIC_MATCH) is not None:
+                continue
+            term = graph.value(s, _CONFIDENCE)
+        elif any(True for _ in graph.triples(s, _TYPE, _WEATHER)):
+            term = graph.value(s, _DANGER_CONTRIBUTION)
+        else:
             continue
-        conf = graph.value(s, _CONFIDENCE)
         try:
-            score += float(conf.lexical)
+            score += float(term.lexical)
         except (AttributeError, TypeError, ValueError):
             continue
     return score
+
+
+def municipality_scores(graph) -> Dict[str, float]:
+    """:func:`municipality_score` for every municipality at once (the
+    full-scan FWI paths: baseline and ``full_rescan`` batches)."""
+    scores: Dict[str, float] = {}
+    for record in iter_hotspot_records(graph):
+        if record.municipality is None or record.static:
+            continue
+        scores[record.municipality] = scores.get(
+            record.municipality, 0.0
+        ) + (record.confidence or 0.0)
+    for s in graph.subjects(_TYPE, _WEATHER):
+        municipality = graph.value(s, _MUNICIPALITY)
+        if municipality is None:
+            continue
+        contribution = graph.value(s, _DANGER_CONTRIBUTION)
+        try:
+            value = float(contribution.lexical)
+        except (AttributeError, TypeError, ValueError):
+            continue
+        key = _text(municipality)
+        scores[key] = scores.get(key, 0.0) + value
+    return scores
 
 
 def _municipality_matches(uri: Optional[str], wanted: str) -> bool:
@@ -964,6 +1035,8 @@ class SubscriptionEngine:
         queries = [s for s in subs if s.kind == "stsparql"]
         if filters:
             for record in iter_hotspot_records(graph):
+                if record.static:
+                    continue
                 for sub in filters:
                     if (
                         sub.bbox is not None
@@ -1004,14 +1077,9 @@ class SubscriptionEngine:
         if self._fwi_classes is not None:
             return
         classes: Dict[str, int] = {}
-        scores: Dict[str, float] = {}
-        for record in iter_hotspot_records(graph):
-            if record.municipality is None:
-                continue
-            scores[record.municipality] = scores.get(
-                record.municipality, 0.0
-            ) + (record.confidence or 0.0)
-        for municipality, score in scores.items():
+        for municipality, score in municipality_scores(
+            graph
+        ).items():
             index = danger_class(score)
             if index:
                 classes[municipality] = index
@@ -1092,8 +1160,11 @@ class SubscriptionEngine:
     ) -> List[Notification]:
         graph = _source_graph(source)
         notifications: List[Notification] = []
-        # filter family: point probe per changed hotspot.
+        # filter family: point probe per changed hotspot.  Static heat
+        # sources never alert.
         for record in records:
+            if record.static:
+                continue
             for sub in self.registry.geofence_candidates(
                 record.lon, record.lat
             ):
@@ -1114,7 +1185,7 @@ class SubscriptionEngine:
         for sub in self.registry.standing_queries():
             seen = self._seen.setdefault(sub.id, set())
             for record in records:
-                if record.subject in seen:
+                if record.static or record.subject in seen:
                     continue
                 rows = source.select(
                     sub.query,
@@ -1186,13 +1257,7 @@ class SubscriptionEngine:
         """Full-rescan fallback: recompute every municipality."""
         self._ensure_fwi_baseline(graph)
         assert self._fwi_classes is not None
-        scores: Dict[str, float] = {}
-        for record in iter_hotspot_records(graph):
-            if record.municipality is None:
-                continue
-            scores[record.municipality] = scores.get(
-                record.municipality, 0.0
-            ) + (record.confidence or 0.0)
+        scores = municipality_scores(graph)
         touched = set(scores) | set(self._fwi_classes)
         out: List[Notification] = []
         for municipality in sorted(touched):
@@ -1214,6 +1279,7 @@ class SubscriptionEngine:
             "municipality": record.municipality,
             "confirmed": record.confirmed,
             "acquired": record.acquired,
+            "sources": list(record.sources),
         }
         return Notification(
             subscription=sub.id,
@@ -1259,6 +1325,8 @@ class SubscriptionEngine:
         notifications: List[Notification] = []
         records = list(iter_hotspot_records(graph))
         for record in records:
+            if record.static:
+                continue
             for sub in self.registry.geofence_candidates(
                 record.lon, record.lat
             ):
@@ -1284,12 +1352,12 @@ class SubscriptionEngine:
                 subject = _text(h)
                 if subject in seen:
                     continue
-                seen.add(subject)
                 record = by_subject.get(subject)
                 if record is None:
                     record = hotspot_record(graph, subject)
-                if record is None:
+                if record is None or record.static:
                     continue
+                seen.add(subject)
                 notifications.append(
                     self._hotspot_notification(
                         sub, record, sequence

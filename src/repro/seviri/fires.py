@@ -37,7 +37,7 @@ class FireEvent:
     peak: datetime
     end: datetime
     max_radius_km: float
-    kind: str = "forest"  # "forest" | "agricultural" | "smoke"
+    kind: str = "forest"  # "forest" | "agricultural" | "smoke" | "industrial"
     #: Wind direction in radians (plume orientation for smoke).
     wind_direction: float = 0.0
 
@@ -233,11 +233,16 @@ class FireSeason:
         return [e for e in self.events if e.active(when)]
 
     def active_fires(self, when: datetime) -> List[FireEvent]:
-        """Real combustion only (no smoke artifacts)."""
+        """Real combustion only (no smoke artifacts).
+
+        Includes ``industrial`` static heat sources: a refinery flare
+        is real combustion every instrument detects — filtering it is
+        the refinement stage's job, not the simulation's.
+        """
         return [
             e
             for e in self.active_events(when)
-            if e.kind in ("forest", "agricultural")
+            if e.kind in ("forest", "agricultural", "industrial")
         ]
 
     def forest_fires(self) -> List[FireEvent]:

@@ -1,0 +1,181 @@
+"""Driver protocol and shared records for the acquisition federation.
+
+The federation layer generalises the single SEVIRI/HRIT stream into a
+set of *sources*, each behind a small driver interface: the
+geostationary stream stays where it is (the processing chain), while a
+polar orbiter (MODIS/VIIRS-like) and a weather-station network
+contribute :class:`SourceObservation` records per acquisition slot.
+Drivers are deliberately tiny — ``available(when)`` models each
+source's revisit pattern, ``acquire(when, season)`` produces a
+timestamped batch — so fault injection and circuit breaking can wrap
+them uniformly (see :mod:`repro.sources.federation`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, List, Optional, Tuple
+
+from repro.seviri.fires import FireSeason
+
+#: Source kinds understood by the ingest path.
+KIND_FIRE = "fire"
+KIND_WEATHER = "weather"
+
+
+@dataclass(frozen=True)
+class SourceObservation:
+    """One point observation from one source.
+
+    ``confidence`` is normalised to [0, 1] for fire detections (the
+    polar instruments report 0–100; drivers rescale) and carries the
+    danger contribution for weather observations.  ``extras`` holds
+    per-kind attributes (satellite name, temperature, wind ...).
+    """
+
+    source: str
+    kind: str
+    lon: float
+    lat: float
+    timestamp: datetime
+    confidence: float
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SourceBatch:
+    """Everything one driver produced for one acquisition slot."""
+
+    source: str
+    kind: str
+    timestamp: datetime
+    observations: List[SourceObservation]
+    seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+
+class SourceDriver(ABC):
+    """A single upstream feed behind the federation.
+
+    Subclasses are deterministic in ``(seed, when)`` — two drivers
+    acquired in either order produce identical observations, which is
+    what makes the fusion stage order-independent end to end.
+    """
+
+    #: Unique source name; also the fault site (``source.<name>``).
+    name: str = "source"
+    #: ``fire`` or ``weather``.
+    kind: str = KIND_FIRE
+
+    @abstractmethod
+    def available(self, when: datetime) -> bool:
+        """Does this source have a pass / report at ``when``?"""
+
+    @abstractmethod
+    def acquire(
+        self, when: datetime, season: Optional[FireSeason]
+    ) -> SourceBatch:
+        """Produce the batch for the acquisition slot at ``when``."""
+
+
+def sort_observations(
+    observations: List[SourceObservation],
+) -> List[SourceObservation]:
+    """Canonical observation order (source, time, position).
+
+    Sorting before ingest and before fusion removes any dependence on
+    the order drivers were polled in — the differential suite's
+    oracle property.
+    """
+    return sorted(
+        observations,
+        key=lambda o: (
+            o.source,
+            o.timestamp.isoformat(),
+            round(o.lon, 9),
+            round(o.lat, 9),
+            round(o.confidence, 9),
+        ),
+    )
+
+
+@dataclass
+class SourcesConfig:
+    """Federation configuration carried by ``ServiceConfig.sources``.
+
+    Serialisable to/from a plain dict so the durable service can
+    persist it in ``service.json`` and restore the same federation on
+    recovery.
+    """
+
+    polar: bool = True
+    weather: bool = True
+    stations: int = 12
+    seed: int = 0
+    #: Polar revisit period; the pass window is ``polar_pass_minutes``.
+    polar_revisit_minutes: int = 90
+    polar_pass_minutes: int = 20
+    #: Spatio-temporal dedup window for cross-source confirmation.
+    fusion_window_minutes: int = 30
+    fusion_window_degrees: float = 0.05
+    #: Confidence multiplier for hotspots no other source has seen.
+    single_source_decay: float = 0.85
+    #: Simulated static industrial heat sources (refineries).
+    static_sites: int = 3
+    #: Per-source circuit breaker tuning.
+    breaker_threshold: int = 2
+    breaker_recovery_seconds: float = 60.0
+
+    def validate(self) -> None:
+        if self.fusion_window_minutes <= 0:
+            raise ValueError("fusion_window_minutes must be positive")
+        if self.fusion_window_degrees <= 0:
+            raise ValueError("fusion_window_degrees must be positive")
+        if not 0.0 < self.single_source_decay <= 1.0:
+            raise ValueError(
+                "single_source_decay must be in (0, 1]"
+            )
+        if self.stations < 0 or self.static_sites < 0:
+            raise ValueError("stations/static_sites must be >= 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "polar": self.polar,
+            "weather": self.weather,
+            "stations": self.stations,
+            "seed": self.seed,
+            "polar_revisit_minutes": self.polar_revisit_minutes,
+            "polar_pass_minutes": self.polar_pass_minutes,
+            "fusion_window_minutes": self.fusion_window_minutes,
+            "fusion_window_degrees": self.fusion_window_degrees,
+            "single_source_decay": self.single_source_decay,
+            "static_sites": self.static_sites,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_recovery_seconds": self.breaker_recovery_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SourcesConfig":
+        known = {
+            key: payload[key]
+            for key in cls().to_dict()
+            if key in payload
+        }
+        config = cls(**known)  # type: ignore[arg-type]
+        config.validate()
+        return config
+
+
+__all__ = [
+    "KIND_FIRE",
+    "KIND_WEATHER",
+    "SourceBatch",
+    "SourceDriver",
+    "SourceObservation",
+    "SourcesConfig",
+    "sort_observations",
+]

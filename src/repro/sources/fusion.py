@@ -1,0 +1,146 @@
+"""Spatio-temporal dedup and confidence fusion.
+
+Cross-source confirmation needs two primitives:
+
+* :func:`fuse` — cluster raw detections from many sources inside a
+  spatio-temporal window (grid-bucketed union-find, O(n) for the
+  benchmark's 100 K-detection case) so one fire seen by three
+  instruments becomes one cluster, while two fires a few pixels apart
+  stay distinct;
+* :func:`fused_confidence` — the noisy-OR rule
+  ``1 - prod(1 - c_i)``: independent detections only ever *raise*
+  belief, and the result is invariant to source arrival order (the
+  inputs are sorted before multiplying so the floating-point product
+  is bit-identical across permutations too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.sources.base import SourceObservation, sort_observations
+
+
+def fused_confidence(confidences: Iterable[float]) -> float:
+    """Noisy-OR fusion of per-source confidences in [0, 1]."""
+    remainder = 1.0
+    for value in sorted(
+        min(1.0, max(0.0, float(c))) for c in confidences
+    ):
+        remainder *= 1.0 - value
+    return round(1.0 - remainder, 6)
+
+
+@dataclass
+class FusedCluster:
+    """One deduplicated detection: all observations of one fire."""
+
+    observations: List[SourceObservation] = field(
+        default_factory=list
+    )
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        return tuple(sorted({o.source for o in self.observations}))
+
+    @property
+    def confidence(self) -> float:
+        # One vote per source: several pixels from the same instrument
+        # are one observation of one fire, not independent evidence.
+        best: Dict[str, float] = {}
+        for obs in self.observations:
+            best[obs.source] = max(
+                best.get(obs.source, 0.0), obs.confidence
+            )
+        return fused_confidence(best.values())
+
+    @property
+    def confirmed(self) -> bool:
+        return len(self.sources) >= 2
+
+    @property
+    def centroid(self) -> Tuple[float, float]:
+        n = len(self.observations)
+        return (
+            sum(o.lon for o in self.observations) / n,
+            sum(o.lat for o in self.observations) / n,
+        )
+
+
+class _UnionFind:
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:  # path compression
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic orientation: smaller index wins.
+            if ra > rb:
+                ra, rb = rb, ra
+            self.parent[rb] = ra
+
+
+def fuse(
+    observations: Sequence[SourceObservation],
+    window_minutes: float = 30.0,
+    window_degrees: float = 0.05,
+) -> List[FusedCluster]:
+    """Cluster detections within the spatio-temporal dedup window.
+
+    Two observations belong to the same fire when they lie within
+    ``window_degrees`` (Chebyshev distance, matching the engine's
+    envelope ``anyInteract`` semantics) and ``window_minutes`` of each
+    other; clusters are the transitive closure of that relation.  A
+    uniform grid of cell size ``window_degrees`` limits candidate
+    pairs to the 3x3 neighbourhood, keeping the pass linear in
+    practice — the property the 100 K-detection benchmark measures.
+    """
+    ordered = sort_observations(list(observations))
+    n = len(ordered)
+    uf = _UnionFind(n)
+    grid: Dict[Tuple[int, int], List[int]] = {}
+    for index, obs in enumerate(ordered):
+        cx = int(obs.lon // window_degrees)
+        cy = int(obs.lat // window_degrees)
+        grid.setdefault((cx, cy), []).append(index)
+    window_seconds = window_minutes * 60.0
+    for index, obs in enumerate(ordered):
+        cx = int(obs.lon // window_degrees)
+        cy = int(obs.lat // window_degrees)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for other in grid.get((cx + dx, cy + dy), ()):
+                    if other <= index:
+                        continue
+                    peer = ordered[other]
+                    if (
+                        abs(peer.lon - obs.lon) <= window_degrees
+                        and abs(peer.lat - obs.lat) <= window_degrees
+                        and abs(
+                            (
+                                peer.timestamp - obs.timestamp
+                            ).total_seconds()
+                        )
+                        <= window_seconds
+                    ):
+                        uf.union(index, other)
+    clusters: Dict[int, FusedCluster] = {}
+    for index, obs in enumerate(ordered):
+        clusters.setdefault(
+            uf.find(index), FusedCluster()
+        ).observations.append(obs)
+    # Canonical cluster order: by root index, which follows the sorted
+    # observation order — stable across input permutations.
+    return [clusters[root] for root in sorted(clusters)]
+
+
+__all__ = ["FusedCluster", "fuse", "fused_confidence"]

@@ -1,0 +1,180 @@
+"""Static heat sources — refineries and industrial flares.
+
+The related FIRMS repos ("this-is-fine"'s industrial filtering) all
+hit the same false-alarm family: a refinery flare is a *real* thermal
+anomaly, detected acquisition after acquisition by every instrument,
+yet it is never a wildfire.  Land-cover filtering alone cannot remove
+it (the flare sits wherever it sits, often amid fire-consistent
+scrub), so the pipeline adds a *temporal-persistence* rule: a hotspot
+coinciding with a known static site that has produced detections in
+earlier acquisitions is flagged ``noa:matchesStaticSource`` and
+excluded from alerting.
+
+This module supplies the simulation side: seeded site placement on
+fire-consistent cover (so the land-cover rule does not delete them
+first — exactly why the dedicated rule exists), constant-intensity
+``industrial`` season events every fire-detecting source picks up,
+and the static-site RDF catalogue the refinement rule joins against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import List
+
+from repro.datasets.corine import FIRE_CONSISTENT_KEYS
+from repro.datasets.geography import SyntheticGreece
+from repro.geometry import Polygon
+from repro.rdf import Graph, Literal, NOA, RDF, STRDF, XSD
+from repro.seviri.fires import FireEvent, FireSeason
+
+
+@dataclass(frozen=True)
+class StaticSite:
+    """One permanent industrial heat source."""
+
+    site_id: int
+    name: str
+    lon: float
+    lat: float
+    radius_km: float = 1.2
+
+    @property
+    def uri(self):
+        return NOA.term(f"StaticHeatSource_{self.site_id}")
+
+    @property
+    def footprint(self) -> Polygon:
+        """Square exclusion footprint around the stack/flare."""
+        half = max(self.radius_km, 0.1) / 111.0
+        return Polygon(
+            [
+                (self.lon - half, self.lat - half),
+                (self.lon + half, self.lat - half),
+                (self.lon + half, self.lat + half),
+                (self.lon - half, self.lat + half),
+            ]
+        )
+
+
+@dataclass
+class StaticHeatEvent(FireEvent):
+    """A season event that burns at constant intensity forever.
+
+    Unlike a wildfire's triangular profile, a flare neither grows nor
+    decays — every acquisition in the window sees the same signal,
+    which is precisely the persistence signature the refinement rule
+    keys on.
+    """
+
+    steady_intensity: float = 0.55
+
+    def intensity_at(self, when: datetime) -> float:
+        return self.steady_intensity if self.active(when) else 0.0
+
+    def radius_km_at(self, when: datetime) -> float:
+        return self.max_radius_km if self.active(when) else 0.0
+
+
+def simulate_static_sites(
+    greece: SyntheticGreece, count: int = 3, seed: int = 0
+) -> List[StaticSite]:
+    """Seeded refinery placement on land with fire-consistent cover.
+
+    Sites deliberately sit on cover the land-cover rule would *keep*
+    — if CLC filtering could remove them, the temporal-persistence
+    rule would have nothing to do.
+    """
+    rng = random.Random(seed * 104_729 + 7)
+    minx, miny, maxx, maxy = greece.bbox
+    sites: List[StaticSite] = []
+    attempts = 0
+    while len(sites) < count and attempts < count * 600:
+        attempts += 1
+        lon = rng.uniform(minx, maxx)
+        lat = rng.uniform(miny, maxy)
+        if not greece.is_land(lon, lat):
+            continue
+        if greece.land_cover_at(lon, lat) not in FIRE_CONSISTENT_KEYS:
+            continue
+        sites.append(
+            StaticSite(
+                site_id=len(sites),
+                name=f"Refinery{len(sites)}",
+                lon=lon,
+                lat=lat,
+            )
+        )
+    return sites
+
+
+def static_site_events(
+    sites: List[StaticSite], start: datetime, end: datetime
+) -> List[StaticHeatEvent]:
+    """Constant-intensity ``industrial`` events spanning the window."""
+    margin = timedelta(hours=1)
+    events = []
+    for site in sites:
+        events.append(
+            StaticHeatEvent(
+                event_id=9_000_000 + site.site_id,
+                lon=site.lon,
+                lat=site.lat,
+                start=start - margin,
+                peak=start + (end - start) / 2,
+                end=end + margin,
+                max_radius_km=site.radius_km,
+                kind="industrial",
+            )
+        )
+    return events
+
+
+def attach_static_sites(
+    season: FireSeason, sites: List[StaticSite]
+) -> None:
+    """Inject the static events into a season (idempotent)."""
+    existing = {e.event_id for e in season.events}
+    for event in static_site_events(sites, season.start, season.end):
+        if event.event_id not in existing:
+            season.events.append(event)
+
+
+def load_static_sites(graph: Graph, sites: List[StaticSite]) -> int:
+    """Insert the static-site catalogue triples (idempotent).
+
+    A durable service replays previously committed triples from the
+    WAL, so the loader only adds what is missing — double inserts on
+    recovery would be no-ops anyway (the graph is a set), but the
+    guard keeps the journal clean.
+    """
+    added = 0
+    for site in sites:
+        uri = site.uri
+        added += graph.add(uri, RDF.type, NOA.StaticHeatSource)
+        added += graph.add(
+            uri,
+            NOA.hasStaticSourceName,
+            Literal(site.name, datatype=XSD.base + "string"),
+        )
+        added += graph.add(
+            uri,
+            STRDF.hasGeometry,
+            Literal(
+                site.footprint.wkt,
+                datatype=STRDF.geometry.value,
+            ),
+        )
+    return added
+
+
+__all__ = [
+    "StaticHeatEvent",
+    "StaticSite",
+    "attach_static_sites",
+    "load_static_sites",
+    "simulate_static_sites",
+    "static_site_events",
+]

@@ -1,0 +1,149 @@
+"""FIRMS-style CSV exchange behind the Data Vault.
+
+Polar-orbiter active-fire products distribute as flat CSV (the NASA
+FIRMS download the related repos parse: one detection per row with
+longitude, latitude, acquisition time and confidence).  This module
+gives the federation a file round-trip in that shape:
+
+* :func:`write_firms_csv` — serialise a :class:`SourceBatch` to a
+  ``*.firms.csv`` file (the file-mode archive of a polar pass);
+* :class:`FirmsCsvDriver` — the Data Vault format driver that
+  materialises an attached CSV as a SciQL array with one cell per
+  detection and attributes ``lon`` / ``lat`` / ``confidence``, the
+  same lazy attach-then-load lifecycle the HRIT imagery uses;
+* :func:`read_firms_csv` — parse back into observations for ingest.
+"""
+
+from __future__ import annotations
+
+import os
+from datetime import datetime, timezone
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.arraydb.array import Dimension, SciQLArray
+from repro.arraydb.catalog import Catalog
+from repro.arraydb.errors import VaultError
+from repro.arraydb.types import DOUBLE
+from repro.sources.base import (
+    KIND_FIRE,
+    SourceBatch,
+    SourceObservation,
+    sort_observations,
+)
+
+SUFFIX = ".firms.csv"
+_HEADER = "latitude,longitude,acq_datetime,confidence,source"
+_TIME_FMT = "%Y-%m-%dT%H:%M:%S"
+
+
+def write_firms_csv(batch: SourceBatch, path: str) -> str:
+    """Serialise a fire batch in FIRMS row order; returns ``path``."""
+    lines = [_HEADER]
+    for obs in sort_observations(batch.observations):
+        lines.append(
+            ",".join(
+                (
+                    f"{obs.lat:.6f}",
+                    f"{obs.lon:.6f}",
+                    obs.timestamp.strftime(_TIME_FMT),
+                    f"{obs.confidence:.4f}",
+                    obs.source,
+                )
+            )
+        )
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+    return path
+
+
+def read_firms_csv(path: str) -> List[SourceObservation]:
+    """Parse a ``*.firms.csv`` back into fire observations."""
+    observations: List[SourceObservation] = []
+    with open(path) as f:
+        header = f.readline().strip()
+        if header != _HEADER:
+            raise VaultError(
+                f"not a FIRMS csv (header {header!r}): {path}"
+            )
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            lat, lon, stamp, confidence, source = line.split(",")
+            observations.append(
+                SourceObservation(
+                    source=source,
+                    kind=KIND_FIRE,
+                    lon=float(lon),
+                    lat=float(lat),
+                    timestamp=datetime.strptime(
+                        stamp, _TIME_FMT
+                    ).replace(tzinfo=timezone.utc),
+                    confidence=float(confidence),
+                )
+            )
+    return observations
+
+
+class FirmsCsvDriver:
+    """Data Vault format driver for FIRMS-style detection CSVs."""
+
+    format_name = "FIRMS-CSV"
+
+    def can_handle(
+        self, path: Union[str, Tuple[str, ...]]
+    ) -> bool:
+        if not isinstance(path, str):
+            return bool(path) and self.can_handle(str(path[0]))
+        if not path.endswith(SUFFIX) or not os.path.isfile(path):
+            return False
+        try:
+            with open(path) as f:
+                return f.readline().strip() == _HEADER
+        except OSError:
+            return False
+
+    def load(self, path, catalog: Catalog, name: str) -> None:
+        if not isinstance(path, str):
+            path = str(path[0])
+        observations = read_firms_csv(path)
+        count = len(observations)
+        array = SciQLArray(
+            name,
+            [Dimension("i", 0, max(count, 1))],
+            [
+                ("lon", DOUBLE),
+                ("lat", DOUBLE),
+                ("confidence", DOUBLE),
+            ],
+        )
+        array.set_attribute(
+            "lon",
+            np.array(
+                [o.lon for o in observations] or [0.0], dtype=float
+            )[: max(count, 1)],
+        )
+        array.set_attribute(
+            "lat",
+            np.array(
+                [o.lat for o in observations] or [0.0], dtype=float
+            )[: max(count, 1)],
+        )
+        array.set_attribute(
+            "confidence",
+            np.array(
+                [o.confidence for o in observations] or [0.0],
+                dtype=float,
+            )[: max(count, 1)],
+        )
+        catalog.create(array, replace=True)
+
+
+__all__ = [
+    "FirmsCsvDriver",
+    "SUFFIX",
+    "read_firms_csv",
+    "write_firms_csv",
+]

@@ -1,0 +1,164 @@
+"""Simulated weather-station network feeding the FWI family.
+
+A fixed set of stations (seeded, always on land) reports temperature,
+relative humidity and wind speed every acquisition slot.  Each report
+carries a *danger contribution* — a toy Fire Weather Index term in
+[0, ~1.2] combining dryness, heat and wind — which the subscription
+engine folds into per-municipality fire-danger scores alongside
+hotspot confidence (§ the FWI subscription family).
+
+Reports are deterministic in ``(seed, station, when)``: polling the
+weather source before or after the polar source changes nothing,
+which the fusion differential suite relies on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+from datetime import datetime
+from typing import List, Optional
+
+from repro.datasets.geography import SyntheticGreece
+from repro.seviri.fires import FireSeason
+from repro.sources.base import (
+    KIND_WEATHER,
+    SourceBatch,
+    SourceDriver,
+    SourceObservation,
+)
+
+
+@dataclass(frozen=True)
+class WeatherStation:
+    station_id: int
+    name: str
+    lon: float
+    lat: float
+    #: Index into ``greece.municipalities`` or -1 when outside all.
+    municipality_index: int
+
+
+def simulate_stations(
+    greece: SyntheticGreece, count: int = 12, seed: int = 0
+) -> List[WeatherStation]:
+    """Seeded station placement: uniform over land."""
+    rng = random.Random(seed * 7_919 + 17)
+    minx, miny, maxx, maxy = greece.bbox
+    stations: List[WeatherStation] = []
+    attempts = 0
+    while len(stations) < count and attempts < count * 400:
+        attempts += 1
+        lon = rng.uniform(minx, maxx)
+        lat = rng.uniform(miny, maxy)
+        if not greece.is_land(lon, lat):
+            continue
+        municipality = greece.municipality_at(lon, lat)
+        index = (
+            greece.municipalities.index(municipality)
+            if municipality is not None
+            else -1
+        )
+        stations.append(
+            WeatherStation(
+                station_id=len(stations),
+                name=f"WS{len(stations):02d}",
+                lon=lon,
+                lat=lat,
+                municipality_index=index,
+            )
+        )
+    return stations
+
+
+def danger_contribution(
+    temperature_c: float, relative_humidity: float, wind_speed_ms: float
+) -> float:
+    """Toy FWI term: dryness x heat x wind, clipped to [0, 1.2]."""
+    dryness = max(0.0, (101.0 - relative_humidity) / 100.0)
+    heat = max(0.0, min(1.0, (temperature_c - 10.0) / 30.0))
+    wind = 1.0 + max(0.0, wind_speed_ms) / 12.0
+    return round(min(1.2, dryness * (0.35 + 0.65 * heat) * wind), 4)
+
+
+class WeatherStationDriver(SourceDriver):
+    """In-situ observations: always available, never a revisit gap."""
+
+    kind = KIND_WEATHER
+
+    def __init__(
+        self,
+        greece: SyntheticGreece,
+        name: str = "weather",
+        stations: int = 12,
+        seed: int = 0,
+    ) -> None:
+        self.greece = greece
+        self.name = name
+        self.seed = int(seed)
+        self.stations = simulate_stations(
+            greece, count=stations, seed=self.seed
+        )
+
+    def available(self, when: datetime) -> bool:
+        return True
+
+    def _report(
+        self, station: WeatherStation, when: datetime
+    ) -> SourceObservation:
+        rng = random.Random(
+            (self.seed * 1_000_003)
+            ^ (station.station_id * 9_176_201)
+            ^ int(when.timestamp())
+        )
+        hour = when.hour + when.minute / 60.0
+        diurnal = math.sin((hour - 5.0) / 24.0 * 2.0 * math.pi)
+        temperature = 24.0 + 9.0 * diurnal + rng.gauss(0.0, 1.5)
+        humidity = min(
+            100.0,
+            max(8.0, 45.0 - 18.0 * diurnal + rng.gauss(0.0, 6.0)),
+        )
+        wind = max(0.0, rng.gauss(4.5, 2.5))
+        contribution = danger_contribution(
+            temperature, humidity, wind
+        )
+        return SourceObservation(
+            source=self.name,
+            kind=KIND_WEATHER,
+            lon=station.lon,
+            lat=station.lat,
+            timestamp=when,
+            confidence=contribution,
+            extras={
+                "station": station.name,
+                "temperature_c": round(temperature, 2),
+                "relative_humidity": round(humidity, 1),
+                "wind_speed_ms": round(wind, 2),
+                "municipality_index": station.municipality_index,
+            },
+        )
+
+    def acquire(
+        self, when: datetime, season: Optional[FireSeason]
+    ) -> SourceBatch:
+        started = time.monotonic()
+        observations = [
+            self._report(station, when) for station in self.stations
+        ]
+        return SourceBatch(
+            source=self.name,
+            kind=KIND_WEATHER,
+            timestamp=when,
+            observations=observations,
+            seconds=time.monotonic() - started,
+        )
+
+
+__all__ = [
+    "WeatherStation",
+    "WeatherStationDriver",
+    "danger_contribution",
+    "simulate_stations",
+]

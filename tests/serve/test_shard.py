@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import json
+import random
+
 import pytest
 
+from repro.core.annotation import source_uri
 from repro.geometry import Envelope
+from repro.ontology.noa import CONFIRMATION_CONFIRMED
+from repro.rdf import NOA, RDF, STRDF, XSD
 from repro.rdf.term import Literal, URI
 from repro.serve import (
     CATCH_ALL,
@@ -14,6 +20,7 @@ from repro.serve import (
     TileLayout,
     partition_snapshot,
 )
+from repro.serve.hotspots import query_hotspots
 from repro.stsparql import Strabon
 
 WKT = "http://strdf.di.uoa.gr/ontology#WKT"
@@ -266,6 +273,258 @@ class TestShardManager:
         before = manager.token()
         manager._on_publish(published)  # replayed delivery
         assert manager.token() == before
+
+
+SOURCE_POOL = ("polar", "weather", "viirs")
+
+
+def _multi_source_star(
+    graph,
+    n: int,
+    lon: float,
+    lat: float,
+    *,
+    confidence: float,
+    sources,
+    static: bool,
+    confirmed: bool,
+) -> URI:
+    """One federated hotspot star, shaped exactly like the acquisition
+    chain writes it (square footprint, crossConfirmedBy per source,
+    matchesStaticSource for refinery matches)."""
+    node = URI(NOA.base + f"Hotspot_prop_{n}")
+    half = 0.01
+    ring = (
+        f"{lon - half} {lat - half}, {lon + half} {lat - half}, "
+        f"{lon + half} {lat + half}, {lon - half} {lat + half}, "
+        f"{lon - half} {lat - half}"
+    )
+    graph.add(node, RDF.type, NOA.Hotspot)
+    graph.add(
+        node,
+        NOA.hasAcquisitionDateTime,
+        Literal(
+            "2007-08-24T13:00:00", datatype=XSD.base + "dateTime"
+        ),
+    )
+    graph.add(
+        node,
+        NOA.hasConfidence,
+        Literal(repr(confidence), datatype=XSD.base + "float"),
+    )
+    graph.add(
+        node,
+        STRDF.hasGeometry,
+        Literal(f"POLYGON (({ring}))", datatype=WKT),
+    )
+    if confirmed:
+        graph.add(node, NOA.hasConfirmation, CONFIRMATION_CONFIRMED)
+    for source in sources:
+        graph.add(node, NOA.crossConfirmedBy, source_uri(source))
+    if static:
+        graph.add(
+            node,
+            NOA.matchesStaticSource,
+            URI(NOA.base + f"StaticSite_{n}"),
+        )
+    return node
+
+
+def _federated_store(seed: int, layout: TileLayout):
+    """A Strabon holding seeded-random multi-source hotspot stars.
+
+    Returns (engine, expectations) where expectations maps each
+    hotspot URI string to the tile index its footprint centre owns.
+    At least one star is cross-confirmed by two feeds and at least
+    one matches a static site, so the properties below actually
+    exercise the federation triples.
+    """
+    rng = random.Random(seed)
+    engine = Strabon()
+    env = layout.envelope
+    expectations = {}
+    count = rng.randint(5, 14)
+    for n in range(count):
+        lon = rng.uniform(env.minx + 0.05, env.maxx - 0.05)
+        lat = rng.uniform(env.miny + 0.05, env.maxy - 0.05)
+        if n == 0:
+            sources = ("polar", "weather")
+            static = False
+        elif n == 1:
+            sources = ("polar",)
+            static = True
+        else:
+            sources = tuple(
+                sorted(
+                    rng.sample(SOURCE_POOL, rng.randint(0, 3))
+                )
+            )
+            static = rng.random() < 0.25
+        node = _multi_source_star(
+            engine.graph,
+            n,
+            lon,
+            lat,
+            confidence=rng.uniform(0.3, 1.0),
+            sources=sources,
+            static=static,
+            confirmed=len(sources) >= 2,
+        )
+        expectations[node.value] = layout.tile_for(lon, lat)
+    # Non-geometric company for the catch-all shard.
+    engine.graph.add(
+        URI(NOA.base + "catalogue"), LABEL, Literal("aux")
+    )
+    return engine, expectations
+
+
+def _features_by_uri(collection):
+    return {
+        f["properties"]["hotspot"]: json.dumps(f, sort_keys=True)
+        for f in collection["features"]
+    }
+
+
+class TestMultiSourceStars:
+    """Seeded property tests: federated hotspot stars (geometry +
+    crossConfirmedBy + matchesStaticSource) shard like any other
+    subject star — never split, owned by the footprint-centre tile —
+    and scatter-gather over the shards serves exactly the single-store
+    answer, provenance included (ISSUE 10 satellite)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("shards", [2, 4, 6])
+    def test_star_lands_whole_in_the_centroid_tile(
+        self, seed, shards
+    ):
+        layout = TileLayout.for_shards(shards)
+        engine, expectations = _federated_store(seed, layout)
+        snapshot = engine.graph.snapshot()
+        parts = partition_snapshot(snapshot, layout)
+        star_sizes = {
+            uri: sum(
+                1
+                for s, _p, _o in snapshot.triples()
+                if s.value == uri
+            )
+            for uri in expectations
+        }
+        for uri, tile in expectations.items():
+            holders = [
+                sid
+                for sid, graph in parts.items()
+                if any(
+                    s.value == uri
+                    for s, _p, _o in graph.triples()
+                )
+            ]
+            assert holders == [tile], (
+                f"star {uri} split across {holders}, "
+                f"expected tile {tile}"
+            )
+            held = sum(
+                1
+                for s, _p, _o in parts[tile].triples()
+                if s.value == uri
+            )
+            assert held == star_sizes[uri]
+        # Disjoint cover, as for any partitioning.
+        union = set()
+        for graph in parts.values():
+            triples = set(graph.triples())
+            assert not (union & triples)
+            union |= triples
+        assert union == set(snapshot.triples())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_scatter_gather_preserves_provenance(self, seed):
+        """The multiset union of per-shard /hotspots answers equals
+        the single-store answer byte-for-byte — including the fused
+        source lists and static flags, which live in the same subject
+        star as the geometry."""
+        layout = TileLayout.for_shards(4)
+        engine, _ = _federated_store(seed, layout)
+        whole = SnapshotPublisher().publish(engine)
+        want = _features_by_uri(query_hotspots(whole))
+        assert any(
+            json.loads(f)["properties"]["sources"]
+            for f in want.values()
+        )
+        assert any(
+            json.loads(f)["properties"]["static"]
+            for f in want.values()
+        )
+        parts = partition_snapshot(
+            engine.graph.snapshot(), layout
+        )
+        got = {}
+        for sid, graph in parts.items():
+            published = SnapshotPublisher().publish(Strabon(graph))
+            for uri, blob in _features_by_uri(
+                query_hotspots(published)
+            ).items():
+                assert uri not in got, "hotspot served twice"
+                got[uri] = blob
+        assert got == want
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bbox_fanout_is_exact_for_federated_stars(self, seed):
+        layout = TileLayout.for_shards(4)
+        engine, _ = _federated_store(seed, layout)
+        service = _FakeService()
+        manager = ShardManager(service, layout=layout)
+        service.publisher.publish(engine)
+        env = layout.envelope
+        rng = random.Random(seed * 17 + 3)
+        for _ in range(5):
+            x = sorted(
+                rng.uniform(env.minx, env.maxx) for _ in range(2)
+            )
+            y = sorted(
+                rng.uniform(env.miny, env.maxy) for _ in range(2)
+            )
+            bbox = Envelope(x[0], y[0], x[1], y[1])
+            whole = _features_by_uri(
+                query_hotspots(
+                    service.publisher.require_latest(), bbox=bbox
+                )
+            )
+            gathered = {}
+            for sid in manager.shard_ids_for_bbox(bbox):
+                latest = manager.shards[sid].publisher.latest()
+                for uri, blob in _features_by_uri(
+                    query_hotspots(latest, bbox=bbox)
+                ).items():
+                    assert uri not in gathered
+                    gathered[uri] = blob
+            assert gathered == whole
+
+    def test_confirmed_filter_composes_across_shards(self):
+        layout = TileLayout.for_shards(4)
+        engine, _ = _federated_store(0, layout)
+        whole = SnapshotPublisher().publish(engine)
+        for flags in (
+            {"confirmed": True},
+            {"static": False},
+            {"confirmed": True, "static": False},
+        ):
+            want = _features_by_uri(
+                query_hotspots(whole, **flags)
+            )
+            parts = partition_snapshot(
+                engine.graph.snapshot(), layout
+            )
+            got = {}
+            for graph in parts.values():
+                published = SnapshotPublisher().publish(
+                    Strabon(graph)
+                )
+                got.update(
+                    _features_by_uri(
+                        query_hotspots(published, **flags)
+                    )
+                )
+            assert got == want
 
 
 class TestTokenCodec:

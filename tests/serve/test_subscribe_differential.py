@@ -133,6 +133,136 @@ def test_incremental_equals_full_rerun_per_snapshot(
         service.close()
 
 
+def test_full_rescan_races_source_outage(diff_greece, diff_requests):
+    """A CLEAR-triggering store rebuild races a source-outage
+    degradation (ISSUE 10 satellite).
+
+    After the second acquisition publishes, the live graph is rebuilt
+    wholesale — ``clear()`` + re-add, exactly the journal shape
+    checkpoint compaction and recovery replay produce — so the *third*
+    acquisition's commit delta carries ``OP_CLEAR`` and forces a full
+    rescan.  That same acquisition loses its polar source to an
+    injected outage.  The incremental delivery must still equal
+    ``evaluate_full()`` on every snapshot: the rescan may not
+    resurrect already-notified subjects, alert on static heat sources,
+    or hide the degradation's provenance.
+    """
+    from repro.faults import FaultPlan, inject
+
+    season = FireSeason(diff_greece, CRISIS_START, days=1, seed=7)
+    service = FireMonitoringService(
+        greece=diff_greece,
+        config=ServiceConfig(
+            seed=42,
+            sources={"seed": 7, "polar_revisit_minutes": 15},
+        ),
+    )
+    try:
+        engine = service.subscriptions
+        for doc in SUB_DOCS:
+            engine.register(doc)
+
+        oracle = SubscriptionEngine()
+        for sub in engine.registry.list():
+            oracle.registry.add(sub)
+        initial = service.publisher.require_latest()
+        oracle.evaluate_full(
+            initial.view, initial.sequence, commit=True
+        )
+
+        batches = {}
+        engine.add_listener(
+            lambda b: batches.__setitem__(b.sequence, b)
+        )
+        snapshots = []
+        service.publisher.subscribe(snapshots.append)
+
+        rebuilt = []
+
+        def rebuild_after_second(published):
+            # Runs on the writer thread right after the publish: the
+            # CLEAR + re-adds land in the capture journal and drain
+            # into the *next* acquisition's commit delta.
+            if published.sequence != initial.sequence + 2 or rebuilt:
+                return
+            graph = service.strabon.graph
+            triples = list(graph.triples())
+            graph.clear()
+            for s, p, o in triples:
+                graph.add(s, p, o)
+            service.strabon.reset_derived()
+            rebuilt.append(len(triples))
+
+        service.publisher.subscribe(rebuild_after_second)
+
+        plan = FaultPlan(seed=2).raise_in("source.polar", index=2)
+        with inject(plan):
+            outcomes = service.run(
+                diff_requests, RunOptions(season=season)
+            )
+
+        assert [o.status for o in outcomes] == [
+            "ok",
+            "ok",
+            "degraded",
+        ]
+        assert rebuilt, "the CLEAR rebuild never ran"
+        assert len(snapshots) == len(diff_requests)
+
+        # The racing acquisition is both degraded *and* full-rescanned;
+        # its published provenance still names the gap.
+        final = snapshots[-1]
+        assert any(
+            r["source"] == "polar" and r["status"] == "outage"
+            for r in final.sources
+        )
+
+        total = 0
+        for snap in snapshots:
+            assert snap.sequence in batches
+            incremental = {
+                Notification.from_dict(d).key()
+                for d in batches[snap.sequence].notifications
+            }
+            full = {
+                n.key()
+                for n in oracle.evaluate_full(
+                    snap.view, snap.sequence, commit=True
+                )
+            }
+            assert incremental == full, (
+                f"sequence {snap.sequence}: incremental != full "
+                f"(only-incremental={incremental - full}, "
+                f"only-full={full - incremental})"
+            )
+            total += len(incremental)
+        assert total > 0
+
+        # The rescan notified nothing twice and nothing static.
+        from repro.rdf import NOA
+
+        for sub in engine.registry.list():
+            subjects = [
+                d["subject"]
+                for b in batches.values()
+                for d in b.notifications
+                if d["subscription"] == sub.id
+                and d.get("kind") != "fwi"
+            ]
+            assert len(subjects) == len(set(subjects))
+            for subject in subjects:
+                from repro.rdf.term import URI
+
+                assert (
+                    final.view.snapshot.value(
+                        URI(subject), NOA.matchesStaticSource
+                    )
+                    is None
+                ), f"static heat source {subject} alerted"
+    finally:
+        service.close()
+
+
 # -- crash / resume exactness ----------------------------------------------
 
 pytestmark_fork = pytest.mark.skipif(

@@ -1,0 +1,253 @@
+"""Fusion unit tests + seeded property tests for the dedup window.
+
+The property suite generates synthetic "fires" far apart (≥ 4 windows)
+with per-source detections jittered *inside* half a window, and
+requires :func:`repro.sources.fusion.fuse` to neither split one fire
+across sources nor merge two distinct fires — under every seeded
+jitter and any arrival order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from datetime import timedelta
+
+import pytest
+
+from repro.sources import SourceObservation, fuse, fused_confidence
+
+from tests.sources.conftest import CRISIS_START
+
+WINDOW_DEG = 0.05
+WINDOW_MIN = 30.0
+
+
+def _obs(source, lon, lat, minutes=0.0, confidence=0.8):
+    return SourceObservation(
+        source=source,
+        kind="fire",
+        lon=lon,
+        lat=lat,
+        timestamp=CRISIS_START + timedelta(minutes=minutes),
+        confidence=confidence,
+    )
+
+
+# -- fused_confidence ------------------------------------------------------
+
+
+def test_fused_confidence_is_noisy_or():
+    assert fused_confidence([0.5, 0.8]) == pytest.approx(0.9)
+    assert fused_confidence([]) == 0.0
+    assert fused_confidence([1.0, 0.2]) == 1.0
+
+
+def test_fused_confidence_order_invariant_bitwise():
+    rng = random.Random(11)
+    for _ in range(50):
+        values = [rng.random() for _ in range(rng.randint(1, 6))]
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        # == (not approx): sorting before multiplying makes the
+        # floating-point product identical across permutations.
+        assert fused_confidence(values) == fused_confidence(shuffled)
+
+
+def test_fused_confidence_monotone_and_clipped():
+    base = fused_confidence([0.4, 0.3])
+    assert fused_confidence([0.4, 0.3, 0.2]) >= base
+    assert fused_confidence([-3.0, 7.0]) == 1.0
+    assert 0.0 <= fused_confidence([0.999, 0.999]) <= 1.0
+
+
+# -- fuse(): basic semantics ----------------------------------------------
+
+
+def test_fuse_merges_within_window():
+    clusters = fuse(
+        [
+            _obs("polar", 23.0, 38.0),
+            _obs("seviri", 23.0 + WINDOW_DEG / 2, 38.0, minutes=10),
+        ],
+        window_minutes=WINDOW_MIN,
+        window_degrees=WINDOW_DEG,
+    )
+    assert len(clusters) == 1
+    assert clusters[0].sources == ("polar", "seviri")
+    assert clusters[0].confirmed
+
+
+def test_fuse_splits_outside_window():
+    # Too far in space.
+    spatial = fuse(
+        [
+            _obs("polar", 23.0, 38.0),
+            _obs("seviri", 23.0 + 3 * WINDOW_DEG, 38.0),
+        ],
+        window_minutes=WINDOW_MIN,
+        window_degrees=WINDOW_DEG,
+    )
+    assert len(spatial) == 2
+    assert not any(c.confirmed for c in spatial)
+    # Too far in time.
+    temporal = fuse(
+        [
+            _obs("polar", 23.0, 38.0, minutes=0),
+            _obs("seviri", 23.0, 38.0, minutes=2 * WINDOW_MIN),
+        ],
+        window_minutes=WINDOW_MIN,
+        window_degrees=WINDOW_DEG,
+    )
+    assert len(temporal) == 2
+
+
+def test_single_source_never_confirms():
+    clusters = fuse(
+        [
+            _obs("polar", 23.0, 38.0, confidence=0.9),
+            _obs("polar", 23.001, 38.001, confidence=0.7),
+        ],
+        window_minutes=WINDOW_MIN,
+        window_degrees=WINDOW_DEG,
+    )
+    assert len(clusters) == 1
+    assert not clusters[0].confirmed
+    # One vote per source: the cluster's confidence is the best pixel,
+    # not the noisy-OR of every pixel of the same instrument.
+    assert clusters[0].confidence == pytest.approx(0.9)
+
+
+# -- seeded dedup-window properties ---------------------------------------
+
+
+def _synth_fires(seed: int):
+    """K fires ≥ 4 windows apart, each seen by 1–3 sources with ≤ 3
+    detections jittered within half a window in space and time."""
+    rng = random.Random(seed)
+    n_fires = rng.randint(2, 6)
+    fires = []
+    observations = []
+    for k in range(n_fires):
+        # A diagonal lattice keeps every pair ≥ 4 windows apart.
+        lon = 20.0 + 4.0 * WINDOW_DEG * k
+        lat = 36.0 + 4.0 * WINDOW_DEG * ((k * 7) % n_fires)
+        sources = rng.sample(
+            ["seviri", "polar", "viirs"], rng.randint(1, 3)
+        )
+        fire_obs = []
+        for source in sources:
+            for _ in range(rng.randint(1, 3)):
+                fire_obs.append(
+                    _obs(
+                        source,
+                        lon
+                        + rng.uniform(-1, 1) * WINDOW_DEG / 4,
+                        lat
+                        + rng.uniform(-1, 1) * WINDOW_DEG / 4,
+                        minutes=rng.uniform(0, WINDOW_MIN / 2),
+                        confidence=rng.uniform(0.3, 1.0),
+                    )
+                )
+        fires.append((set(sources), fire_obs))
+        observations.extend(fire_obs)
+    return fires, observations
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_dedup_window_neither_splits_nor_merges(seed):
+    fires, observations = _synth_fires(seed)
+    rng = random.Random(seed * 31 + 1)
+    rng.shuffle(observations)
+    clusters = fuse(
+        observations,
+        window_minutes=WINDOW_MIN,
+        window_degrees=WINDOW_DEG,
+    )
+    assert len(clusters) == len(fires), (
+        "fuse() split one fire or merged two distinct fires"
+    )
+    expected = sorted(
+        (tuple(sorted(sources)), len(obs))
+        for sources, obs in fires
+    )
+    got = sorted(
+        (c.sources, len(c.observations)) for c in clusters
+    )
+    assert got == expected
+    for cluster in clusters:
+        assert cluster.confirmed == (len(cluster.sources) >= 2)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_fuse_invariant_under_arrival_order(seed):
+    _, observations = _synth_fires(seed)
+    rng = random.Random(seed * 97 + 5)
+
+    def canonical(clusters):
+        return [
+            (
+                c.sources,
+                c.confidence,
+                c.centroid,
+                tuple(
+                    (o.source, o.lon, o.lat, o.confidence)
+                    for o in o_sorted(c.observations)
+                ),
+            )
+            for c in clusters
+        ]
+
+    def o_sorted(obs):
+        return sorted(
+            obs, key=lambda o: (o.source, o.lon, o.lat)
+        )
+
+    baseline = canonical(
+        fuse(
+            observations,
+            window_minutes=WINDOW_MIN,
+            window_degrees=WINDOW_DEG,
+        )
+    )
+    for _ in range(4):
+        shuffled = list(observations)
+        rng.shuffle(shuffled)
+        assert (
+            canonical(
+                fuse(
+                    shuffled,
+                    window_minutes=WINDOW_MIN,
+                    window_degrees=WINDOW_DEG,
+                )
+            )
+            == baseline
+        )
+
+
+def test_fuse_exhaustive_permutations_small():
+    """Every permutation of a 4-observation input, not just samples."""
+    observations = [
+        _obs("polar", 23.0, 38.0, confidence=0.6),
+        _obs("seviri", 23.01, 38.01, minutes=5, confidence=0.7),
+        _obs("polar", 23.4, 38.4, confidence=0.5),
+        _obs("viirs", 23.41, 38.41, minutes=8, confidence=0.9),
+    ]
+    results = set()
+    for perm in itertools.permutations(observations):
+        clusters = fuse(
+            perm,
+            window_minutes=WINDOW_MIN,
+            window_degrees=WINDOW_DEG,
+        )
+        results.add(
+            tuple(
+                (c.sources, c.confidence) for c in clusters
+            )
+        )
+    assert len(results) == 1
+    (outcome,) = results
+    assert outcome == (
+        (("polar", "seviri"), fused_confidence([0.6, 0.7])),
+        (("polar", "viirs"), fused_confidence([0.5, 0.9])),
+    )

@@ -1,0 +1,201 @@
+"""The fusion differential suite (ISSUE 10 tentpole harness, part a).
+
+Two layers of order-independence evidence:
+
+* **fuse() vs an order-independent oracle** — an O(n²) BFS transitive
+  closure over the observation *multiset* (no ordering anywhere in its
+  construction) must agree with the grid/union-find implementation on
+  every seeded input and under every tested arrival permutation.
+* **end-to-end arrival order** — a full service run over a seeded
+  crisis day must serve byte-identical hotspot GeoJSON (confirmed
+  sets, fused confidences, per-hotspot source lists) whether the
+  federation polls its drivers in registration order or reversed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import deque
+from datetime import timedelta
+
+import pytest
+
+from repro.core import FireMonitoringService, RunOptions, ServiceConfig
+from repro.serve.hotspots import query_hotspots
+from repro.sources import fuse
+from tests.sources.conftest import CRISIS_START
+from tests.sources.test_fusion import WINDOW_DEG, WINDOW_MIN, _synth_fires
+
+
+# -- the order-independent oracle -----------------------------------------
+
+
+def _oracle_clusters(observations, window_minutes, window_degrees):
+    """Transitive closure by pairwise scan — O(n²), no grid, no
+    union-find, and no dependence on input order: observations are
+    keyed by their full value, and components come out as frozensets."""
+    keyed = sorted(
+        (
+            (
+                o.source,
+                o.timestamp.isoformat(),
+                round(o.lon, 12),
+                round(o.lat, 12),
+                round(o.confidence, 12),
+            ),
+            o,
+        )
+        for o in observations
+    )
+    window_seconds = window_minutes * 60.0
+
+    def near(a, b):
+        return (
+            abs(a.lon - b.lon) <= window_degrees
+            and abs(a.lat - b.lat) <= window_degrees
+            and abs((a.timestamp - b.timestamp).total_seconds())
+            <= window_seconds
+        )
+
+    n = len(keyed)
+    adjacency = {i: [] for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if near(keyed[i][1], keyed[j][1]):
+                adjacency[i].append(j)
+                adjacency[j].append(i)
+    seen = set()
+    components = []
+    for start in range(n):
+        if start in seen:
+            continue
+        queue = deque([start])
+        component = set()
+        while queue:
+            node = queue.popleft()
+            if node in component:
+                continue
+            component.add(node)
+            queue.extend(
+                peer
+                for peer in adjacency[node]
+                if peer not in component
+            )
+        seen |= component
+        components.append(
+            frozenset(keyed[index][0] for index in component)
+        )
+    return frozenset(components)
+
+
+def _fuse_as_components(observations):
+    clusters = fuse(
+        observations,
+        window_minutes=WINDOW_MIN,
+        window_degrees=WINDOW_DEG,
+    )
+    return frozenset(
+        frozenset(
+            (
+                o.source,
+                o.timestamp.isoformat(),
+                round(o.lon, 12),
+                round(o.lat, 12),
+                round(o.confidence, 12),
+            )
+            for o in c.observations
+        )
+        for c in clusters
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuse_matches_oracle_under_permutations(seed):
+    _, observations = _synth_fires(seed)
+    oracle = _oracle_clusters(observations, WINDOW_MIN, WINDOW_DEG)
+    rng = random.Random(seed * 131 + 7)
+    for _ in range(5):
+        shuffled = list(observations)
+        rng.shuffle(shuffled)
+        assert _fuse_as_components(shuffled) == oracle
+
+
+def test_oracle_handles_chains():
+    """A chain A–B–C where A and C are NOT directly within the window
+    must still be one cluster (transitive closure), in both
+    implementations."""
+    from tests.sources.test_fusion import _obs
+
+    chain = [
+        _obs("seviri", 23.0, 38.0),
+        _obs("polar", 23.0 + 0.9 * WINDOW_DEG, 38.0, minutes=5),
+        _obs("viirs", 23.0 + 1.8 * WINDOW_DEG, 38.0, minutes=10),
+    ]
+    oracle = _oracle_clusters(chain, WINDOW_MIN, WINDOW_DEG)
+    assert len(oracle) == 1
+    assert _fuse_as_components(chain) == oracle
+
+
+# -- end-to-end: crisis days under permuted driver order ------------------
+
+
+def _crisis_day_features(
+    greece, make_season, season_seed, reverse_drivers
+):
+    """Canonical /hotspots features after a 3-acquisition crisis run
+    with the federation's drivers polled in the given order."""
+    season = make_season(seed=season_seed)
+    service = FireMonitoringService(
+        greece=greece,
+        config=ServiceConfig(
+            seed=42,
+            sources={
+                "seed": season_seed,
+                "polar_revisit_minutes": 15,
+            },
+        ),
+    )
+    try:
+        if reverse_drivers:
+            service.sources.drivers.reverse()
+        base = CRISIS_START + timedelta(hours=13)
+        requests = [
+            base + timedelta(minutes=15 * k) for k in range(3)
+        ]
+        outcomes = service.run(
+            requests, RunOptions(season=season, on_error="raise")
+        )
+        assert [o.status for o in outcomes] == ["ok"] * 3
+        collection = query_hotspots(
+            service.publisher.require_latest()
+        )
+        # The snapshot provenance block lists per-source reports in
+        # poll order — deliberately excluded from the equality: the
+        # *data* must be order-independent, the provenance may not be.
+        return json.dumps(collection["features"], sort_keys=True)
+    finally:
+        service.close()
+
+
+@pytest.mark.parametrize("season_seed", [3, 7, 11])
+def test_arrival_order_is_invisible_in_served_data(
+    sources_greece, make_season, season_seed
+):
+    forward = _crisis_day_features(
+        sources_greece, make_season, season_seed, reverse_drivers=False
+    )
+    reverse = _crisis_day_features(
+        sources_greece, make_season, season_seed, reverse_drivers=True
+    )
+    assert forward == reverse
+    features = json.loads(forward)
+    confirmed = [
+        f
+        for f in features
+        if f["properties"]["confirmation"] == "confirmed"
+    ]
+    cross = [f for f in features if f["properties"]["sources"]]
+    # The run must actually exercise fusion to mean anything.
+    assert confirmed, "crisis day produced no confirmed hotspots"
+    assert cross, "crisis day produced no cross-source matches"
